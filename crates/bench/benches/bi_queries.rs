@@ -1,0 +1,48 @@
+//! Criterion benchmarks: one benchmark per BI query (optimized engine)
+//! plus a naive-engine counterpart for a representative subset — the
+//! micro-benchmark layer of experiments E5/E6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_datagen::GeneratorConfig;
+use snb_params::ParamGen;
+use snb_store::store_for_config;
+use std::hint::black_box;
+
+fn bench_bi(c: &mut Criterion) {
+    let config = GeneratorConfig::for_scale_name("0.001").expect("scale exists");
+    let store = store_for_config(&config);
+    let gen = ParamGen::new(&store, config.seed);
+
+    let mut group = c.benchmark_group("bi_optimized");
+    for q in 1..=25u8 {
+        let bindings = gen.bi_params(q, 4);
+        if bindings.is_empty() {
+            continue;
+        }
+        group.bench_function(format!("bi{q:02}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let r = snb_bi::run(&store, black_box(&bindings[i % bindings.len()]));
+                i += 1;
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bi_naive");
+    for q in [1u8, 6, 12, 14, 17, 20] {
+        let bindings = gen.bi_params(q, 2);
+        group.bench_function(format!("bi{q:02}_naive"), |b| {
+            b.iter(|| black_box(snb_bi::run_naive(&store, black_box(&bindings[0]))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_bi
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the generator and the load path
+//! (supporting E1's load-time disclosure requirement, spec §6.1.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_datagen::{generate, GeneratorConfig};
+use snb_store::build_store;
+use std::hint::black_box;
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    for sf in ["0.001", "0.003"] {
+        let config = GeneratorConfig::for_scale_name(sf).expect("scale exists");
+        group.bench_function(format!("generate_sf{sf}"), |b| {
+            b.iter(|| black_box(generate(black_box(&config))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("load");
+    let config = GeneratorConfig::for_scale_name("0.003").expect("scale exists");
+    let world = snb_datagen::dictionaries::StaticWorld::build(config.seed);
+    let graph = generate(&config);
+    group.bench_function("build_store_sf0.003", |b| {
+        b.iter(|| black_box(build_store(black_box(&graph), &world, None)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_datagen
+}
+criterion_main!(benches);

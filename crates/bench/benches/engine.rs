@@ -1,0 +1,102 @@
+//! Criterion ablations of the engine's design choices (the DESIGN.md
+//! call-outs): bounded top-k vs sort-truncate, CSR base vs overflow
+//! iteration, BFS variants, and tag-class closure strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_core::rng::Rng;
+use snb_datagen::GeneratorConfig;
+use snb_engine::topk::{sort_truncate, TopK};
+use snb_engine::traverse::{khop_neighborhood, shortest_path_len};
+use snb_store::{store_for_config, Adj};
+use std::hint::black_box;
+
+fn bench_topk_ablation(c: &mut Criterion) {
+    // Design choice: bounded heap + would_accept pruning vs the naive
+    // materialise-sort-truncate plan, at growing candidate counts.
+    let mut group = c.benchmark_group("topk_vs_sort");
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut rng = Rng::new(42);
+        let items: Vec<(u64, u64)> =
+            (0..n).map(|i| (rng.next_bounded(1_000_000), i as u64)).collect();
+        group.bench_function(format!("topk_{n}"), |b| {
+            b.iter(|| {
+                let mut tk = TopK::new(20);
+                for &(key, v) in &items {
+                    tk.push((key, v), v);
+                }
+                black_box(tk.into_sorted())
+            })
+        });
+        group.bench_function(format!("sort_{n}"), |b| {
+            b.iter(|| {
+                let all: Vec<((u64, u64), u64)> =
+                    items.iter().map(|&(key, v)| ((key, v), v)).collect();
+                black_box(sort_truncate(all, 20))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adjacency_ablation(c: &mut Criterion) {
+    // Design choice: compacted CSR vs overflow-heavy adjacency.
+    let mut rng = Rng::new(7);
+    let n = 10_000u32;
+    let edges: Vec<(u32, u32, ())> = (0..120_000)
+        .map(|_| (rng.next_bounded(n as u64) as u32, rng.next_bounded(n as u64) as u32, ()))
+        .collect();
+    let compacted = Adj::from_edges(n as usize, &edges);
+    let mut overflowed: Adj<()> = Adj::from_edges(n as usize, &edges[..60_000]);
+    for &(s, t, _) in &edges[60_000..] {
+        overflowed.insert(s, t, ());
+    }
+    let mut group = c.benchmark_group("adjacency");
+    group.bench_function("scan_compacted", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for u in 0..n {
+                for t in compacted.targets_of(u) {
+                    acc = acc.wrapping_add(t as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("scan_half_overflow", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for u in 0..n {
+                for t in overflowed.targets_of(u) {
+                    acc = acc.wrapping_add(t as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_traversals(c: &mut Criterion) {
+    let config = GeneratorConfig::for_scale_name("0.003").expect("scale exists");
+    let store = store_for_config(&config);
+    let hub = (0..store.persons.len() as u32).max_by_key(|&p| store.knows.degree(p)).unwrap();
+    let far = (hub + store.persons.len() as u32 / 2) % store.persons.len() as u32;
+    let mut group = c.benchmark_group("traverse");
+    group.bench_function("khop2", |b| {
+        b.iter(|| black_box(khop_neighborhood(&store, black_box(hub), 2)))
+    });
+    group.bench_function("khop3", |b| {
+        b.iter(|| black_box(khop_neighborhood(&store, black_box(hub), 3)))
+    });
+    group.bench_function("shortest_path", |b| {
+        b.iter(|| black_box(shortest_path_len(&store, black_box(hub), black_box(far))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_topk_ablation, bench_adjacency_ablation, bench_traversals
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the Interactive workload: IC 1–14 complex
+//! reads, the IS short-read set, and the IU insert path (E10's
+//! micro-benchmark layer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snb_core::datetime::DateTime;
+use snb_datagen::GeneratorConfig;
+use snb_interactive::short;
+use snb_params::ParamGen;
+use snb_store::store_for_config;
+use std::hint::black_box;
+
+fn bench_interactive(c: &mut Criterion) {
+    let config = GeneratorConfig::for_scale_name("0.001").expect("scale exists");
+    let store = store_for_config(&config);
+    let gen = ParamGen::new(&store, config.seed);
+
+    let mut group = c.benchmark_group("ic");
+    for q in 1..=14u8 {
+        let bindings = gen.ic_params(q, 4);
+        if bindings.is_empty() {
+            continue;
+        }
+        group.bench_function(format!("ic{q:02}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let r =
+                    snb_interactive::run_complex(&store, black_box(&bindings[i % bindings.len()]));
+                i += 1;
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+
+    let person = store.persons.id[store.persons.len() / 3];
+    let message = store.messages.id[store.messages.len() / 3];
+    let mut group = c.benchmark_group("is");
+    group.bench_function("is1", |b| {
+        b.iter(|| black_box(short::is1::run(&store, &short::is1::Params { person_id: person })))
+    });
+    group.bench_function("is2", |b| {
+        b.iter(|| black_box(short::is2::run(&store, &short::is2::Params { person_id: person })))
+    });
+    group.bench_function("is3", |b| {
+        b.iter(|| black_box(short::is3::run(&store, &short::is3::Params { person_id: person })))
+    });
+    group.bench_function("is7", |b| {
+        b.iter(|| black_box(short::is7::run(&store, &short::is7::Params { message_id: message })))
+    });
+    group.finish();
+
+    // IU insert path (knows edges into the overflow adjacency).
+    let mut group = c.benchmark_group("iu");
+    group.bench_function("iu8_insert_knows", |b| {
+        let mut s = store_for_config(&config);
+        let ids: Vec<u64> = s.persons.id.clone();
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = ids[i % ids.len()];
+            let bb = ids[(i / ids.len() + i + 1) % ids.len()];
+            if a != bb {
+                let _ = s.insert_knows(a, bb, DateTime(i as i64));
+            }
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(700)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_interactive
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment E6 — optimized vs naive engine ablation (the
+//! reproduction's analogue of the paper's cross-system comparison):
+//! per-query speedup of the CSR/top-k plans over the
+//! full-materialisation reference plans. Validation (both engines must
+//! agree) is implied because the naive engine doubles as the oracle.
+
+use snb_driver::{power_test, Engine, ALL_BI_QUERIES};
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let store = snb_bench::build_store_verbose(&config);
+    eprintln!("# validating engines agree on every binding ...");
+    let validated = snb_driver::validate_all(&store, &ALL_BI_QUERIES, 3, config.seed)
+        .expect("engines disagree");
+    eprintln!("# {validated} bindings validated");
+
+    let optimized = power_test(&store, &ALL_BI_QUERIES, 4, Engine::Optimized, config.seed);
+    let naive = power_test(&store, &ALL_BI_QUERIES, 4, Engine::Naive, config.seed);
+    let rows: Vec<Vec<String>> = optimized
+        .iter()
+        .zip(&naive)
+        .map(|(o, n)| {
+            let speedup = n.mean.as_secs_f64() / o.mean.as_secs_f64().max(1e-9);
+            vec![
+                format!("BI {}", o.query),
+                snb_bench::fmt_duration(o.mean),
+                snb_bench::fmt_duration(n.mean),
+                format!("{speedup:.2}x"),
+            ]
+        })
+        .collect();
+    snb_bench::print_table(
+        "E6: optimized vs naive engine (mean latency)",
+        &["query", "optimized", "naive", "speedup"],
+        &rows,
+    );
+    let geo: f64 = optimized
+        .iter()
+        .zip(&naive)
+        .map(|(o, n)| (n.mean.as_secs_f64() / o.mean.as_secs_f64().max(1e-9)).ln())
+        .sum::<f64>()
+        / optimized.len() as f64;
+    println!("\ngeometric-mean speedup: {:.2}x", geo.exp());
+}

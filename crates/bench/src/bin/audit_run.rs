@@ -1,0 +1,70 @@
+//! Experiment E8 — the §6.2 audit rule: run the interactive workload
+//! under timed pacing at several Time Compression Ratios and report the
+//! fraction of operations that started within one second of schedule
+//! (a valid run needs ≥ 95%).
+
+use std::time::Duration;
+
+use snb_datagen::dictionaries::StaticWorld;
+use snb_datagen::stream::TimedEvent;
+use snb_driver::{run_interactive, InteractiveConfig, Pacing};
+use snb_store::bulk_store_and_stream;
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let world = StaticWorld::build(config.seed);
+
+    // Target wall times per run; speedup derived from the sim span.
+    let mut rows = Vec::new();
+    for target_wall_s in [2.0f64, 1.0, 0.5] {
+        let (mut store, events) = bulk_store_and_stream(&config);
+        let slice: Vec<TimedEvent> = events.into_iter().take(2_000).collect();
+        let span_s =
+            (slice.last().unwrap().timestamp.0 - slice[0].timestamp.0).max(1) as f64 / 1000.0;
+        let speedup = span_s / target_wall_s;
+        let driver_config = InteractiveConfig {
+            pacing: Pacing::Timed { speedup },
+            ..InteractiveConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let report =
+            run_interactive(&mut store, &world, &slice, &driver_config).expect("run succeeds");
+        let wall = started.elapsed();
+        let on_time = report.log.on_schedule_fraction(Duration::from_secs(1));
+        rows.push(vec![
+            format!("{target_wall_s:.1}s"),
+            format!("{speedup:.0}x"),
+            report.log.records.len().to_string(),
+            snb_bench::fmt_duration(wall),
+            format!("{:.2}%", on_time * 100.0),
+            if report.log.passes_audit() { "PASS".into() } else { "FAIL".into() },
+        ]);
+    }
+    snb_bench::print_table(
+        "E8: audit (95% of operations must start < 1s late)",
+        &["target wall", "TCR speedup", "operations", "actual wall", "on-time", "audit"],
+        &rows,
+    );
+
+    // Latency table from the last run shape: rerun full-speed for stats.
+    let (mut store, events) = bulk_store_and_stream(&config);
+    let report = run_interactive(&mut store, &world, &events, &InteractiveConfig::default())
+        .expect("run succeeds");
+    let stats = report.log.latency_stats();
+    let srows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.operation.clone(),
+                s.count.to_string(),
+                snb_bench::fmt_duration(s.mean),
+                snb_bench::fmt_duration(s.p95),
+            ]
+        })
+        .collect();
+    snb_bench::print_table(
+        "operation latencies (full-speed run)",
+        &["operation", "count", "mean", "p95"],
+        &srows,
+    );
+}

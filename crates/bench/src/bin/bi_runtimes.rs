@@ -1,0 +1,50 @@
+//! Experiment E5 — per-query BI runtimes (the shape of the BI paper's
+//! per-query runtime tables): mean / median / max latency and row
+//! volume for all 25 BI queries over curated parameter bindings.
+
+use snb_driver::{power_test, Engine, ALL_BI_QUERIES};
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let store = snb_bench::build_store_verbose(&config);
+    let stats = power_test(&store, &ALL_BI_QUERIES, 8, Engine::Optimized, config.seed);
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                format!("BI {}", s.query),
+                s.executions.to_string(),
+                snb_bench::fmt_duration(s.mean),
+                snb_bench::fmt_duration(s.p50),
+                snb_bench::fmt_duration(s.max),
+                format!("{:.2}", s.cv),
+                s.total_rows.to_string(),
+            ]
+        })
+        .collect();
+    snb_bench::print_table(
+        &format!("E5: BI power test (optimized engine, {} persons)", config.persons),
+        &["query", "runs", "mean", "p50", "max", "cv", "rows"],
+        &rows,
+    );
+
+    let total: std::time::Duration = stats.iter().map(|s| s.mean * s.executions as u32).sum();
+    println!("\ntotal power-test work: {}", snb_bench::fmt_duration(total));
+
+    // Throughput sweep.
+    let mut t_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let r = snb_driver::throughput_test(&store, &ALL_BI_QUERIES, 4, threads, config.seed);
+        t_rows.push(vec![
+            threads.to_string(),
+            r.queries_executed.to_string(),
+            snb_bench::fmt_duration(r.wall),
+            format!("{:.1}", r.qps),
+        ]);
+    }
+    snb_bench::print_table(
+        "E5: BI throughput test (thread sweep)",
+        &["threads", "queries", "wall", "qps"],
+        &t_rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Experiment E5b — per-query runtime scaling across scale factors
+//! (the BI paper's runtime-vs-SF figure): mean optimized-engine latency
+//! for each BI query at SF 0.001 / 0.003 / 0.01 / 0.03, plus the
+//! growth factor from the smallest to the largest scale.
+
+use snb_datagen::GeneratorConfig;
+use snb_driver::{power_test, Engine, ALL_BI_QUERIES};
+
+fn main() {
+    let sweep = ["0.001", "0.003", "0.01", "0.03"];
+    let mut per_sf = Vec::new();
+    for sf in sweep {
+        let config = GeneratorConfig::for_scale_name(sf).expect("scale exists");
+        let store = snb_bench::build_store_verbose(&config);
+        per_sf.push(power_test(&store, &ALL_BI_QUERIES, 4, Engine::Optimized, config.seed));
+    }
+    let mut rows = Vec::new();
+    for (qi, q) in ALL_BI_QUERIES.iter().enumerate() {
+        let mut row = vec![format!("BI {q}")];
+        for stats in &per_sf {
+            row.push(snb_bench::fmt_duration(stats[qi].mean));
+        }
+        let first = per_sf[0][qi].mean.as_secs_f64().max(1e-9);
+        let last = per_sf[per_sf.len() - 1][qi].mean.as_secs_f64();
+        row.push(format!("{:.1}x", last / first));
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("query".to_string())
+        .chain(sweep.iter().map(|s| format!("SF {s}")))
+        .chain(std::iter::once("growth".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    snb_bench::print_table(
+        "E5b: BI mean latency vs scale factor (optimized engine)",
+        &header_refs,
+        &rows,
+    );
+    println!(
+        "\npersons per SF: {}",
+        sweep
+            .iter()
+            .map(|s| {
+                let c = GeneratorConfig::for_scale_name(s).expect("scale exists");
+                format!("{s}={}", c.persons)
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

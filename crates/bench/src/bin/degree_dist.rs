@@ -1,0 +1,97 @@
+//! Experiment E2 — generator structure (spec §2.3.3.2, Figure 2.2):
+//! degree distribution of the `knows` graph, the split of edges across
+//! the three correlation dimensions, and the homophily triangle excess
+//! against an Erdős–Rényi graph of the same density.
+
+use rustc_hash::FxHashSet;
+use snb_datagen::generate;
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let graph = generate(&config);
+    let n = graph.persons.len();
+
+    // Degree histogram (log-ish buckets).
+    let mut degree = vec![0usize; n];
+    for k in &graph.knows {
+        degree[k.a.0 as usize] += 1;
+        degree[k.b.0 as usize] += 1;
+    }
+    let buckets = [
+        (0usize, 0usize),
+        (1, 2),
+        (3, 5),
+        (6, 10),
+        (11, 20),
+        (21, 40),
+        (41, 80),
+        (81, usize::MAX),
+    ];
+    let mut rows = Vec::new();
+    for (lo, hi) in buckets {
+        let count = degree.iter().filter(|&&d| d >= lo && d <= hi).count();
+        let label =
+            if hi == usize::MAX { format!("{lo}+") } else { format!("{lo}-{hi}") };
+        rows.push(vec![
+            label,
+            count.to_string(),
+            format!("{:.1}%", 100.0 * count as f64 / n as f64),
+        ]);
+    }
+    let mean = 2.0 * graph.knows.len() as f64 / n as f64;
+    let max = degree.iter().max().copied().unwrap_or(0);
+    snb_bench::print_table("E2: knows degree distribution", &["degree", "persons", "share"], &rows);
+    println!("mean degree {mean:.2} (target {}), max degree {max}", config.mean_knows_degree);
+
+    // Correlation-dimension split (spec: study ≈ 45%, interests ≈ 45%,
+    // random ≈ 10% plus windowing top-up).
+    let mut per_dim = [0usize; 3];
+    for k in &graph.knows {
+        per_dim[k.dimension as usize] += 1;
+    }
+    let dim_rows: Vec<Vec<String>> = ["study (dim 0)", "interest (dim 1)", "random (dim 2)"]
+        .iter()
+        .zip(per_dim)
+        .map(|(name, c)| {
+            vec![
+                name.to_string(),
+                c.to_string(),
+                format!("{:.1}%", 100.0 * c as f64 / graph.knows.len() as f64),
+            ]
+        })
+        .collect();
+    snb_bench::print_table(
+        "E2: edges per correlation dimension",
+        &["dimension", "edges", "share"],
+        &dim_rows,
+    );
+
+    // Triangle count vs random expectation.
+    let mut adj: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    for k in &graph.knows {
+        adj[k.a.0 as usize].insert(k.b.0 as u32);
+        adj[k.b.0 as usize].insert(k.a.0 as u32);
+    }
+    let mut triangles = 0u64;
+    for u in 0..n {
+        for &v in &adj[u] {
+            if (v as usize) <= u {
+                continue;
+            }
+            for &w in &adj[v as usize] {
+                if w > v && adj[u].contains(&w) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    let m = graph.knows.len() as f64;
+    let nf = n as f64;
+    let p = 2.0 * m / (nf * (nf - 1.0));
+    let expected = nf * (nf - 1.0) * (nf - 2.0) / 6.0 * p * p * p;
+    println!(
+        "\nE2: triangles = {triangles}, Erdos-Renyi expectation = {expected:.1}, \
+         homophily excess = {:.1}x",
+        triangles as f64 / expected.max(1e-9)
+    );
+}

@@ -1,0 +1,42 @@
+//! Generates a Full Disclosure Report (spec chapter 6): loads a scale
+//! factor, runs the interactive workload full-speed, and writes the
+//! §6.2 results directory (`results_log.csv`, `results_summary.md`,
+//! `configuration.txt`) under `./results/fdr/`.
+
+use std::time::Instant;
+
+use snb_datagen::dictionaries::StaticWorld;
+use snb_driver::disclosure::{Disclosure, SystemDetails};
+use snb_driver::{run_interactive, InteractiveConfig};
+use snb_store::bulk_store_and_stream;
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let world = StaticWorld::build(config.seed);
+    let load_started = Instant::now();
+    let (mut store, events) = bulk_store_and_stream(&config);
+    let load_time = load_started.elapsed();
+    let stats = store.stats();
+
+    let report = run_interactive(&mut store, &world, &events, &InteractiveConfig::default())
+        .expect("run succeeds");
+
+    let sf_name = std::env::args().nth(1).unwrap_or_else(|| "0.003".into());
+    let disclosure = Disclosure {
+        system: SystemDetails::collect(),
+        versions: (
+            "LDBC SNB specification v0.3.3 (reproduction)",
+            concat!("snb-datagen ", env!("CARGO_PKG_VERSION")),
+            concat!("snb-driver ", env!("CARGO_PKG_VERSION")),
+        ),
+        scale_factor: &sf_name,
+        seed: config.seed,
+        load_time,
+        stats,
+        log: &report.log,
+    };
+    let dir = std::path::Path::new("results/fdr");
+    disclosure.write_results_dir(dir).expect("write results dir");
+    println!("{}", disclosure.render());
+    println!("\nresults directory written to {}", dir.display());
+}

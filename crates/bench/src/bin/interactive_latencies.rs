@@ -1,0 +1,65 @@
+//! Experiment E10 — Interactive per-query latencies (the shape of the
+//! SIGMOD'15 Interactive paper's latency tables): IC 1–14 and IS 1–7
+//! latency statistics over curated bindings.
+
+use std::time::Instant;
+
+use snb_interactive::short;
+use snb_params::ParamGen;
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let store = snb_bench::build_store_verbose(&config);
+    let gen = ParamGen::new(&store, config.seed);
+
+    let mut rows = Vec::new();
+    for q in 1..=14u8 {
+        let bindings = gen.ic_params(q, 8);
+        let mut lats = Vec::new();
+        let mut total_rows = 0usize;
+        for b in &bindings {
+            let started = Instant::now();
+            total_rows += snb_interactive::run_complex(&store, b);
+            lats.push(started.elapsed());
+        }
+        lats.sort_unstable();
+        let mean: std::time::Duration =
+            lats.iter().sum::<std::time::Duration>() / lats.len().max(1) as u32;
+        rows.push(vec![
+            format!("IC {q}"),
+            lats.len().to_string(),
+            snb_bench::fmt_duration(mean),
+            snb_bench::fmt_duration(lats[lats.len() / 2]),
+            snb_bench::fmt_duration(*lats.last().unwrap()),
+            total_rows.to_string(),
+        ]);
+    }
+    snb_bench::print_table(
+        "E10: interactive complex reads",
+        &["query", "runs", "mean", "p50", "max", "rows"],
+        &rows,
+    );
+
+    // Short reads over sampled entities.
+    let person = store.persons.id[store.persons.len() / 2];
+    let message = store.messages.id[store.messages.len() / 2];
+    let mut srows = Vec::new();
+    let mut measure = |name: &str, mut f: Box<dyn FnMut() -> usize + '_>| {
+        let reps = 200;
+        let started = Instant::now();
+        let mut rows = 0;
+        for _ in 0..reps {
+            rows = f();
+        }
+        let mean = started.elapsed() / reps;
+        srows.push(vec![name.to_string(), snb_bench::fmt_duration(mean), rows.to_string()]);
+    };
+    measure("IS 1", Box::new(|| short::is1::run(&store, &short::is1::Params { person_id: person }).len()));
+    measure("IS 2", Box::new(|| short::is2::run(&store, &short::is2::Params { person_id: person }).len()));
+    measure("IS 3", Box::new(|| short::is3::run(&store, &short::is3::Params { person_id: person }).len()));
+    measure("IS 4", Box::new(|| short::is4::run(&store, &short::is4::Params { message_id: message }).len()));
+    measure("IS 5", Box::new(|| short::is5::run(&store, &short::is5::Params { message_id: message }).len()));
+    measure("IS 6", Box::new(|| short::is6::run(&store, &short::is6::Params { message_id: message }).len()));
+    measure("IS 7", Box::new(|| short::is7::run(&store, &short::is7::Params { message_id: message }).len()));
+    snb_bench::print_table("E10: short reads", &["query", "mean", "rows"], &srows);
+}

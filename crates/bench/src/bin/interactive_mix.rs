@@ -1,0 +1,47 @@
+//! Experiment E3 — interactive query-mix ratios (spec Tables 3.1 and
+//! B.1): run the full interactive driver and compare the achieved
+//! per-query instance counts against the configured frequencies.
+
+use snb_datagen::dictionaries::StaticWorld;
+use snb_driver::{run_interactive, InteractiveConfig};
+use snb_store::bulk_store_and_stream;
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let (mut store, events) = bulk_store_and_stream(&config);
+    let world = StaticWorld::build(config.seed);
+    eprintln!("# bulk store loaded, {} stream events", events.len());
+
+    let driver_config = InteractiveConfig { sf_name: "1".into(), ..InteractiveConfig::default() };
+    let report =
+        run_interactive(&mut store, &world, &events, &driver_config).expect("run succeeds");
+
+    let freqs = snb_driver::schedule::frequencies_for("1");
+    let mut rows = Vec::new();
+    for q in 1..=14u8 {
+        let achieved = report
+            .log
+            .records
+            .iter()
+            .filter(|r| r.operation == format!("IC {q}"))
+            .count();
+        let expected = events.len() / freqs[q as usize - 1] as usize;
+        rows.push(vec![
+            format!("IC {q}"),
+            freqs[q as usize - 1].to_string(),
+            expected.to_string(),
+            achieved.to_string(),
+        ]);
+    }
+    snb_bench::print_table(
+        "E3: interactive mix (SF1 frequencies)",
+        &["query", "freq (updates per read)", "expected instances", "achieved"],
+        &rows,
+    );
+    println!(
+        "\nupdates applied: {}, complex reads: {}, short reads: {}",
+        report.updates_applied, report.complex_reads, report.short_reads
+    );
+    let ratio = report.short_reads as f64 / report.complex_reads.max(1) as f64;
+    println!("short reads per complex read: {ratio:.2}");
+}

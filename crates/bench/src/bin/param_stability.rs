@@ -1,0 +1,55 @@
+//! Experiment E4 — parameter-curation quality (spec §3.3, properties
+//! P1–P3): runtime coefficient of variation under curated bindings vs
+//! uniformly random bindings, per query. Curation should keep the
+//! variance bounded (P1) and stable across repeated streams (P2).
+
+use snb_params::ParamGen;
+
+fn cv(lats: &[std::time::Duration]) -> f64 {
+    let n = lats.len().max(1) as f64;
+    let mean = lats.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = lats.iter().map(|d| (d.as_secs_f64() - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+fn main() {
+    let config = snb_bench::cli_config();
+    let store = snb_bench::build_store_verbose(&config);
+    let gen = ParamGen::new(&store, config.seed);
+    // Queries with non-trivial per-binding variance potential.
+    let queries = [4u8, 5, 6, 7, 8, 10, 13, 16, 21, 22];
+    let n = 10;
+    let mut rows = Vec::new();
+    let mut wins = 0;
+    for q in queries {
+        let curated = gen.bi_params(q, n);
+        let random = gen.bi_params_random(q, n);
+        // Warm up, then measure twice to show P2 stability.
+        let _ = snb_driver::bi::run_bindings(&store, &curated);
+        let c1 = cv(&snb_driver::bi::run_bindings(&store, &curated));
+        let c2 = cv(&snb_driver::bi::run_bindings(&store, &curated));
+        let r1 = cv(&snb_driver::bi::run_bindings(&store, &random));
+        if c1 <= r1 {
+            wins += 1;
+        }
+        rows.push(vec![
+            format!("BI {q}"),
+            format!("{c1:.3}"),
+            format!("{c2:.3}"),
+            format!("{r1:.3}"),
+            if c1 <= r1 { "curated".into() } else { "random".into() },
+        ]);
+    }
+    snb_bench::print_table(
+        "E4: runtime CV, curated vs random bindings",
+        &["query", "curated cv (run 1)", "curated cv (run 2)", "random cv", "lower"],
+        &rows,
+    );
+    println!(
+        "\ncurated bindings had lower or equal variance on {wins}/{} queries",
+        queries.len()
+    );
+}

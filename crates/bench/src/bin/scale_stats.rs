@@ -1,0 +1,96 @@
+//! Experiment E1 — scale-factor statistics (spec Table 2.12) and the
+//! bulk/stream split (E9, spec §2.3.4).
+//!
+//! Generates a sweep of laptop scale factors and prints measured
+//! node/edge counts next to the spec's published progression, so growth
+//! ratios can be compared shape-wise.
+
+use snb_core::scale::{SCALE_FACTORS, SPEC_TABLE_2_12};
+use snb_datagen::GeneratorConfig;
+use snb_store::{bulk_store_and_stream, store_for_config};
+
+fn main() {
+    let sweep = ["0.001", "0.003", "0.01", "0.03"];
+    let mut rows = Vec::new();
+    for name in sweep {
+        let config = GeneratorConfig::for_scale_name(name).expect("scale exists");
+        let store = store_for_config(&config);
+        let stats = store.stats();
+        rows.push(vec![
+            name.to_string(),
+            stats.persons.to_string(),
+            stats.nodes.to_string(),
+            stats.edges.to_string(),
+            format!("{:.1}", stats.nodes as f64 / stats.persons as f64),
+            format!("{:.1}", stats.edges as f64 / stats.nodes as f64),
+            stats.posts.to_string(),
+            stats.comments.to_string(),
+            stats.knows.to_string(),
+            stats.likes.to_string(),
+        ]);
+    }
+    snb_bench::print_table(
+        "E1: measured scale statistics (this reproduction)",
+        &[
+            "SF", "persons", "nodes", "edges", "nodes/person", "edges/node", "posts", "comments",
+            "knows", "likes",
+        ],
+        &rows,
+    );
+
+    let spec_rows: Vec<Vec<String>> = SPEC_TABLE_2_12
+        .iter()
+        .map(|&(name, persons, nodes, edges)| {
+            vec![
+                name.to_string(),
+                persons.to_string(),
+                nodes.to_string(),
+                edges.to_string(),
+                format!("{:.1}", nodes as f64 / persons as f64),
+                format!("{:.1}", edges as f64 / nodes as f64),
+            ]
+        })
+        .collect();
+    snb_bench::print_table(
+        "spec Table 2.12 (published)",
+        &["SF", "persons", "nodes", "edges", "nodes/person", "edges/node"],
+        &spec_rows,
+    );
+
+    // E9: bulk/stream split fractions.
+    let mut split_rows = Vec::new();
+    for name in ["0.001", "0.003", "0.01"] {
+        let config = GeneratorConfig::for_scale_name(name).expect("scale exists");
+        let full = store_for_config(&config);
+        let (bulk, events) = bulk_store_and_stream(&config);
+        let total_records = full.persons.len()
+            + full.messages.len()
+            + full.forums.len()
+            + full.knows.edge_count() / 2
+            + full.person_likes.edge_count()
+            + full.forum_member.edge_count();
+        let bulk_records = bulk.persons.len()
+            + bulk.messages.len()
+            + bulk.forums.len()
+            + bulk.knows.edge_count() / 2
+            + bulk.person_likes.edge_count()
+            + bulk.forum_member.edge_count();
+        split_rows.push(vec![
+            name.to_string(),
+            total_records.to_string(),
+            bulk_records.to_string(),
+            events.len().to_string(),
+            format!("{:.1}%", 100.0 * bulk_records as f64 / total_records as f64),
+        ]);
+    }
+    snb_bench::print_table(
+        "E9: bulk vs update-stream split (spec: ~90% bulk)",
+        &["SF", "dynamic records", "bulk", "stream events", "bulk fraction"],
+        &split_rows,
+    );
+
+    println!(
+        "\nknown scale factors: {}",
+        SCALE_FACTORS.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+    );
+}

@@ -1,0 +1,223 @@
+//! BI 2 — *Top tags for country, age, gender, time* (reconstructed).
+//!
+//! Messages created within `[start_date, end_date]` by persons located
+//! in one of two countries are grouped by (country, creation month,
+//! creator gender, creator age group, tag); groups above a frequency
+//! threshold are reported. The age group is `floor(years between the
+//! birthday and the simulation end (2013-01-01) / 5)`.
+//!
+//! Reconstruction notes: the supplied spec extraction elides this query
+//! body; parameters, grouping and sort follow the official v0.3.x
+//! definition, with the group-count threshold exposed as a parameter
+//! (the official text fixes it at 100, far above what laptop scales can
+//! produce).
+
+use rustc_hash::FxHashMap;
+use snb_core::model::Gender;
+use snb_core::Date;
+use snb_engine::topk::sort_truncate;
+use snb_engine::TopK;
+use snb_store::{Ix, Store};
+
+/// Parameters of BI 2.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Start of the window (inclusive).
+    pub start_date: Date,
+    /// End of the window (inclusive).
+    pub end_date: Date,
+    /// First country name.
+    pub country1: String,
+    /// Second country name.
+    pub country2: String,
+    /// Minimum group size (exclusive threshold; official value 100).
+    pub min_count: u64,
+}
+
+/// One result row of BI 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Country name the creator lives in.
+    pub country_name: String,
+    /// Creation month (1–12).
+    pub month: u32,
+    /// Creator gender.
+    pub gender: Gender,
+    /// Age group (5-year buckets against 2013-01-01).
+    pub age_group: i32,
+    /// Tag name.
+    pub tag_name: String,
+    /// Messages in the group.
+    pub message_count: u64,
+}
+
+/// Simulation-end anchor for the age-group calculation.
+const AGE_ANCHOR: (i32, u32, u32) = (2013, 1, 1);
+
+fn age_group(store: &Store, p: Ix) -> i32 {
+    let bday = store.persons.birthday[p as usize];
+    let anchor = Date::from_ymd(AGE_ANCHOR.0, AGE_ANCHOR.1, AGE_ANCHOR.2);
+    let years = (anchor.0 - bday.0) / 366; // floor of whole years (conservative)
+    years / 5
+}
+
+type Key = (Ix, u32, Gender, i32, Ix); // (country, month, gender, ageGroup, tag)
+
+fn sort_key(store: &Store, key: &Key, count: u64) -> impl Ord + Clone {
+    (
+        std::cmp::Reverse(count),
+        store.tags.name[key.4 as usize].clone(),
+        key.3,
+        key.1,
+        key.2 == Gender::Male, // female < male alphabetically
+        store.places.name[key.0 as usize].clone(),
+    )
+}
+
+fn to_row(store: &Store, key: Key, count: u64) -> Row {
+    Row {
+        country_name: store.places.name[key.0 as usize].clone(),
+        month: key.1,
+        gender: key.2,
+        age_group: key.3,
+        tag_name: store.tags.name[key.4 as usize].clone(),
+        message_count: count,
+    }
+}
+
+const LIMIT: usize = 100;
+
+/// Optimized implementation: message scan with person-side filters,
+/// hash aggregation, bounded top-k.
+pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    let c1 = store.country_by_name(&params.country1);
+    let c2 = store.country_by_name(&params.country2);
+    let (Ok(c1), Ok(c2)) = (c1, c2) else { return Vec::new() };
+    let lo = params.start_date.at_midnight();
+    let hi = params.end_date.plus_days(1).at_midnight(); // inclusive end day
+    let mut groups: FxHashMap<Key, u64> = FxHashMap::default();
+    for m in 0..store.messages.len() as Ix {
+        let t = store.messages.creation_date[m as usize];
+        if t < lo || t >= hi {
+            continue;
+        }
+        let p = store.messages.creator[m as usize];
+        let country = store.person_country(p);
+        if country != c1 && country != c2 {
+            continue;
+        }
+        let month = t.month();
+        let gender = store.persons.gender[p as usize];
+        let ag = age_group(store, p);
+        for tag in store.message_tag.targets_of(m) {
+            *groups.entry((country, month, gender, ag, tag)).or_insert(0) += 1;
+        }
+    }
+    let mut tk = TopK::new(LIMIT);
+    for (key, count) in groups {
+        if count > params.min_count {
+            tk.push(sort_key(store, &key, count), to_row(store, key, count));
+        }
+    }
+    tk.into_sorted()
+}
+
+/// Naive reference: person-major nested loops, full sort.
+pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
+    let (Ok(c1), Ok(c2)) =
+        (store.country_by_name(&params.country1), store.country_by_name(&params.country2))
+    else {
+        return Vec::new();
+    };
+    let lo = params.start_date.at_midnight();
+    let hi = params.end_date.plus_days(1).at_midnight();
+    let mut groups: FxHashMap<Key, u64> = FxHashMap::default();
+    for p in 0..store.persons.len() as Ix {
+        let country = store.person_country(p);
+        if country != c1 && country != c2 {
+            continue;
+        }
+        for m in store.person_messages.targets_of(p) {
+            let t = store.messages.creation_date[m as usize];
+            if t < lo || t >= hi {
+                continue;
+            }
+            for tag in store.message_tag.targets_of(m) {
+                let key =
+                    (country, t.month(), store.persons.gender[p as usize], age_group(store, p), tag);
+                *groups.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    let items: Vec<_> = groups
+        .into_iter()
+        .filter(|&(_, c)| c > params.min_count)
+        .map(|(key, count)| (sort_key(store, &key, count), to_row(store, key, count)))
+        .collect();
+    sort_truncate(items, LIMIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil;
+
+    fn params() -> Params {
+        Params {
+            start_date: Date::from_ymd(2010, 1, 1),
+            end_date: Date::from_ymd(2012, 12, 31),
+            country1: "China".into(),
+            country2: "India".into(),
+            min_count: 0,
+        }
+    }
+
+    #[test]
+    fn optimized_matches_naive() {
+        let s = testutil::store();
+        assert_eq!(run(s, &params()), run_naive(s, &params()));
+    }
+
+    #[test]
+    fn respects_threshold_and_limit() {
+        let s = testutil::store();
+        let all = run(s, &params());
+        assert!(all.len() <= 100);
+        let mut p = params();
+        p.min_count = 2;
+        let filtered = run(s, &p);
+        assert!(filtered.iter().all(|r| r.message_count > 2));
+        assert!(filtered.len() <= all.len());
+    }
+
+    #[test]
+    fn only_requested_countries_appear() {
+        let s = testutil::store();
+        for r in run(s, &params()) {
+            assert!(r.country_name == "China" || r.country_name == "India");
+            assert!((1..=12).contains(&r.month));
+        }
+    }
+
+    #[test]
+    fn unknown_country_yields_empty() {
+        let s = testutil::store();
+        let mut p = params();
+        p.country1 = "Atlantis".into();
+        assert!(run(s, &p).is_empty());
+        assert!(run_naive(s, &p).is_empty());
+    }
+
+    #[test]
+    fn sorted_by_count_then_tag() {
+        let s = testutil::store();
+        let rows = run(s, &params());
+        for w in rows.windows(2) {
+            assert!(
+                w[0].message_count > w[1].message_count
+                    || (w[0].message_count == w[1].message_count
+                        && w[0].tag_name <= w[1].tag_name)
+            );
+        }
+    }
+}

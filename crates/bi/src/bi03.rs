@@ -1,0 +1,160 @@
+//! BI 3 — *Tag evolution* (reconstructed).
+//!
+//! For a given year/month, compare each tag's message volume in that
+//! month against the following month and rank tags by the absolute
+//! difference — "which topics spiked or collapsed".
+
+use rustc_hash::FxHashMap;
+use snb_core::Date;
+use snb_engine::topk::sort_truncate;
+use snb_engine::TopK;
+use snb_store::{Ix, Store};
+
+/// Parameters of BI 3.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Reference year.
+    pub year: i32,
+    /// Reference month (1–12).
+    pub month: u32,
+}
+
+/// One result row of BI 3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Tag name.
+    pub tag_name: String,
+    /// Messages with the tag in the reference month.
+    pub count_month1: u64,
+    /// Messages with the tag in the following month.
+    pub count_month2: u64,
+    /// `|count_month1 - count_month2|`.
+    pub diff: u64,
+}
+
+const LIMIT: usize = 100;
+
+fn month_window(year: i32, month: u32) -> (snb_core::DateTime, snb_core::DateTime) {
+    let start = Date::from_ymd(year, month, 1);
+    let (ny, nm) = if month == 12 { (year + 1, 1) } else { (year, month + 1) };
+    (start.at_midnight(), Date::from_ymd(ny, nm, 1).at_midnight())
+}
+
+fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, String) {
+    (std::cmp::Reverse(row.diff), row.tag_name.clone())
+}
+
+/// Optimized implementation: per-tag counters over a single scan of the
+/// two month windows.
+pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    let (m1_lo, m1_hi) = month_window(params.year, params.month);
+    let (ny, nm) =
+        if params.month == 12 { (params.year + 1, 1) } else { (params.year, params.month + 1) };
+    let (m2_lo, m2_hi) = month_window(ny, nm);
+    let mut counts: FxHashMap<Ix, (u64, u64)> = FxHashMap::default();
+    for m in 0..store.messages.len() as Ix {
+        let t = store.messages.creation_date[m as usize];
+        let slot = if t >= m1_lo && t < m1_hi {
+            0
+        } else if t >= m2_lo && t < m2_hi {
+            1
+        } else {
+            continue;
+        };
+        for tag in store.message_tag.targets_of(m) {
+            let e = counts.entry(tag).or_insert((0, 0));
+            if slot == 0 {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+    let mut tk = TopK::new(LIMIT);
+    for (tag, (c1, c2)) in counts {
+        let row = Row {
+            tag_name: store.tags.name[tag as usize].clone(),
+            count_month1: c1,
+            count_month2: c2,
+            diff: c1.abs_diff(c2),
+        };
+        tk.push(sort_key(&row), row);
+    }
+    tk.into_sorted()
+}
+
+/// Naive reference: tag-major scan through the reverse tag index.
+pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
+    let (m1_lo, m1_hi) = month_window(params.year, params.month);
+    let (ny, nm) =
+        if params.month == 12 { (params.year + 1, 1) } else { (params.year, params.month + 1) };
+    let (m2_lo, m2_hi) = month_window(ny, nm);
+    let mut items = Vec::new();
+    for tag in 0..store.tags.len() as Ix {
+        let mut c1 = 0u64;
+        let mut c2 = 0u64;
+        for m in store.tag_message.targets_of(tag) {
+            let t = store.messages.creation_date[m as usize];
+            if t >= m1_lo && t < m1_hi {
+                c1 += 1;
+            } else if t >= m2_lo && t < m2_hi {
+                c2 += 1;
+            }
+        }
+        if c1 == 0 && c2 == 0 {
+            continue;
+        }
+        let row = Row {
+            tag_name: store.tags.name[tag as usize].clone(),
+            count_month1: c1,
+            count_month2: c2,
+            diff: c1.abs_diff(c2),
+        };
+        items.push((sort_key(&row), row));
+    }
+    sort_truncate(items, LIMIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil;
+
+    #[test]
+    fn optimized_matches_naive() {
+        let s = testutil::store();
+        for (y, m) in [(2011, 3), (2011, 12), (2012, 6)] {
+            let p = Params { year: y, month: m };
+            assert_eq!(run(s, &p), run_naive(s, &p), "{y}-{m}");
+        }
+    }
+
+    #[test]
+    fn december_rolls_into_january() {
+        let s = testutil::store();
+        let rows = run(s, &Params { year: 2011, month: 12 });
+        // Just exercising the year rollover path; diff must be
+        // consistent.
+        for r in &rows {
+            assert_eq!(r.diff, r.count_month1.abs_diff(r.count_month2));
+        }
+    }
+
+    #[test]
+    fn sorted_by_diff_desc_then_name() {
+        let s = testutil::store();
+        let rows = run(s, &Params { year: 2011, month: 6 });
+        assert!(!rows.is_empty());
+        for w in rows.windows(2) {
+            assert!(
+                w[0].diff > w[1].diff || (w[0].diff == w[1].diff && w[0].tag_name <= w[1].tag_name)
+            );
+        }
+    }
+
+    #[test]
+    fn window_outside_simulation_is_empty() {
+        let s = testutil::store();
+        assert!(run(s, &Params { year: 2005, month: 1 }).is_empty());
+    }
+}

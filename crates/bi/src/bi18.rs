@@ -1,0 +1,165 @@
+//! BI 18 — *How many persons have a given number of messages*
+//! (spec-text).
+//!
+//! For each Person, count their Messages that have non-empty content,
+//! length below a threshold (exclusive), creation date after a given
+//! date (exclusive), and are written in one of the given languages (a
+//! Post's own language; a Comment inherits the root Post's language).
+//! Then histogram: for each message count, the number of Persons with
+//! exactly that count — including Persons with zero qualifying
+//! messages.
+
+use rustc_hash::FxHashMap;
+use snb_core::Date;
+use snb_engine::topk::sort_truncate;
+use snb_engine::TopK;
+use snb_store::{Ix, Store};
+
+use crate::common::thread_language;
+
+/// Parameters of BI 18.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Messages strictly after this date qualify.
+    pub date: Date,
+    /// Maximum content length (exclusive).
+    pub length_threshold: u32,
+    /// Accepted (thread) languages.
+    pub languages: Vec<String>,
+}
+
+/// One result row of BI 18.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Number of qualifying messages.
+    pub message_count: u64,
+    /// Number of persons with exactly that many.
+    pub person_count: u64,
+}
+
+const LIMIT: usize = 100;
+
+fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, std::cmp::Reverse<u64>) {
+    (std::cmp::Reverse(row.person_count), std::cmp::Reverse(row.message_count))
+}
+
+fn qualifies(store: &Store, m: Ix, cutoff: snb_core::DateTime, p: &Params) -> bool {
+    store.messages.creation_date[m as usize] > cutoff
+        && !store.messages.content[m as usize].is_empty()
+        && store.messages.length[m as usize] < p.length_threshold
+        && p.languages.iter().any(|l| l == thread_language(store, m))
+}
+
+fn histogram(per_person: &[u64]) -> FxHashMap<u64, u64> {
+    let mut hist: FxHashMap<u64, u64> = FxHashMap::default();
+    for &c in per_person {
+        *hist.entry(c).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Optimized implementation: message scan accumulating per-creator,
+/// then the second-level aggregation (CP-8.2 subsequent aggregation).
+pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    let cutoff = params.date.at_midnight();
+    let mut per_person = vec![0u64; store.persons.len()];
+    for m in 0..store.messages.len() as Ix {
+        if qualifies(store, m, cutoff, params) {
+            per_person[store.messages.creator[m as usize] as usize] += 1;
+        }
+    }
+    let mut tk = TopK::new(LIMIT);
+    for (count, persons) in histogram(&per_person) {
+        let row = Row { message_count: count, person_count: persons };
+        tk.push(sort_key(&row), row);
+    }
+    tk.into_sorted()
+}
+
+/// Naive reference: person-major scan through their message lists.
+pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
+    let cutoff = params.date.at_midnight();
+    let per_person: Vec<u64> = (0..store.persons.len() as Ix)
+        .map(|p| {
+            store
+                .person_messages
+                .targets_of(p)
+                .filter(|&m| qualifies(store, m, cutoff, params))
+                .count() as u64
+        })
+        .collect();
+    let items: Vec<_> = histogram(&per_person)
+        .into_iter()
+        .map(|(count, persons)| {
+            let row = Row { message_count: count, person_count: persons };
+            (sort_key(&row), row)
+        })
+        .collect();
+    sort_truncate(items, LIMIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil;
+
+    fn params() -> Params {
+        Params {
+            date: Date::from_ymd(2010, 6, 1),
+            length_threshold: 150,
+            languages: vec!["zh".into(), "en".into(), "hi".into()],
+        }
+    }
+
+    #[test]
+    fn optimized_matches_naive() {
+        let s = testutil::store();
+        assert_eq!(run(s, &params()), run_naive(s, &params()));
+    }
+
+    #[test]
+    fn person_counts_cover_population() {
+        let s = testutil::store();
+        let rows = run(s, &params());
+        let covered: u64 = rows.iter().map(|r| r.person_count).sum();
+        // With <=100 distinct counts at this scale, every person is in
+        // exactly one bucket.
+        if rows.len() < 100 {
+            assert_eq!(covered as usize, s.persons.len());
+        }
+        // The zero bucket must exist (plenty of inactive users).
+        assert!(rows.iter().any(|r| r.message_count == 0));
+    }
+
+    #[test]
+    fn language_filter_excludes() {
+        let s = testutil::store();
+        let mut p = params();
+        p.languages = vec!["xx".into()];
+        let rows = run(s, &p);
+        // Nothing qualifies, so everyone lands in the zero bucket.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].message_count, 0);
+        assert_eq!(rows[0].person_count as usize, s.persons.len());
+    }
+
+    #[test]
+    fn image_posts_never_qualify() {
+        let s = testutil::store();
+        let cutoff = Date::from_ymd(2010, 1, 1).at_midnight();
+        for m in 0..s.messages.len() as Ix {
+            if !s.messages.image_file[m as usize].is_empty() {
+                assert!(!qualifies(s, m, cutoff, &params()), "image post qualified");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_by_person_count() {
+        let s = testutil::store();
+        let rows = run(s, &params());
+        for w in rows.windows(2) {
+            assert!(sort_key(&w[0]) < sort_key(&w[1]));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! BI 19 — *Stranger's interaction* (reconstructed).
+//!
+//! *Strangers* of a person are other persons they do not know who are
+//! members of at least one forum tagged with a tag of `tag_class1`
+//! *and* at least one forum tagged with a tag of `tag_class2` (direct
+//! class relation). For each Person born after a given date, count
+//! their direct reply Comments to strangers' Messages and the number of
+//! distinct strangers interacted with; report persons with at least
+//! one interaction.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use snb_core::Date;
+use snb_engine::topk::sort_truncate;
+use snb_engine::TopK;
+use snb_store::{Ix, Store, NONE};
+
+/// Parameters of BI 19.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Persons born strictly after this date qualify.
+    pub date: Date,
+    /// First tag-class name.
+    pub tag_class1: String,
+    /// Second tag-class name.
+    pub tag_class2: String,
+}
+
+/// One result row of BI 19.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Person id.
+    pub person_id: u64,
+    /// Distinct strangers the person replied to.
+    pub stranger_count: u64,
+    /// Reply comments to strangers' messages.
+    pub interaction_count: u64,
+}
+
+const LIMIT: usize = 100;
+
+fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, u64) {
+    (std::cmp::Reverse(row.interaction_count), row.person_id)
+}
+
+/// Marks persons who are members of ≥1 forum tagged with each class.
+fn class_members(store: &Store, c1: Ix, c2: Ix) -> Vec<bool> {
+    let forum_has_class = |f: Ix, class: Ix| {
+        store.forum_tag.targets_of(f).any(|t| store.tags.class[t as usize] == class)
+    };
+    let mut in1 = vec![false; store.persons.len()];
+    let mut in2 = vec![false; store.persons.len()];
+    for f in 0..store.forums.len() as Ix {
+        let h1 = forum_has_class(f, c1);
+        let h2 = forum_has_class(f, c2);
+        if !h1 && !h2 {
+            continue;
+        }
+        for p in store.forum_member.targets_of(f) {
+            if h1 {
+                in1[p as usize] = true;
+            }
+            if h2 {
+                in2[p as usize] = true;
+            }
+        }
+    }
+    in1.iter().zip(&in2).map(|(&a, &b)| a && b).collect()
+}
+
+/// Optimized implementation.
+pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    let (Ok(c1), Ok(c2)) = (
+        store.tag_class_named(&params.tag_class1),
+        store.tag_class_named(&params.tag_class2),
+    ) else {
+        return Vec::new();
+    };
+    let candidate_stranger = class_members(store, c1, c2);
+    let mut acc: FxHashMap<Ix, (FxHashSet<Ix>, u64)> = FxHashMap::default();
+    for c in 0..store.messages.len() as Ix {
+        let parent = store.messages.reply_of[c as usize];
+        if parent == NONE {
+            continue;
+        }
+        let replier = store.messages.creator[c as usize];
+        if store.persons.birthday[replier as usize] <= params.date {
+            continue;
+        }
+        let author = store.messages.creator[parent as usize];
+        if author == replier || !candidate_stranger[author as usize] {
+            continue;
+        }
+        if store.knows.contains(replier, author) {
+            continue;
+        }
+        let e = acc.entry(replier).or_default();
+        e.0.insert(author);
+        e.1 += 1;
+    }
+    let mut tk = TopK::new(LIMIT);
+    for (p, (strangers, interactions)) in acc {
+        let row = Row {
+            person_id: store.persons.id[p as usize],
+            stranger_count: strangers.len() as u64,
+            interaction_count: interactions,
+        };
+        tk.push(sort_key(&row), row);
+    }
+    tk.into_sorted()
+}
+
+/// Naive reference: person-major with per-pair stranger re-testing.
+pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
+    let (Ok(c1), Ok(c2)) = (
+        store.tag_class_named(&params.tag_class1),
+        store.tag_class_named(&params.tag_class2),
+    ) else {
+        return Vec::new();
+    };
+    let is_stranger_candidate = |p: Ix| {
+        let member_of = |class: Ix| {
+            store.member_forum.targets_of(p).any(|f| {
+                store.forum_tag.targets_of(f).any(|t| store.tags.class[t as usize] == class)
+            })
+        };
+        member_of(c1) && member_of(c2)
+    };
+    let mut items = Vec::new();
+    for p in 0..store.persons.len() as Ix {
+        if store.persons.birthday[p as usize] <= params.date {
+            continue;
+        }
+        let friends: FxHashSet<Ix> = store.knows.targets_of(p).collect();
+        let mut strangers = FxHashSet::default();
+        let mut interactions = 0u64;
+        for c in store.person_messages.targets_of(p) {
+            let parent = store.messages.reply_of[c as usize];
+            if parent == NONE {
+                continue;
+            }
+            let author = store.messages.creator[parent as usize];
+            if author == p || friends.contains(&author) || !is_stranger_candidate(author) {
+                continue;
+            }
+            strangers.insert(author);
+            interactions += 1;
+        }
+        if interactions == 0 {
+            continue;
+        }
+        let row = Row {
+            person_id: store.persons.id[p as usize],
+            stranger_count: strangers.len() as u64,
+            interaction_count: interactions,
+        };
+        items.push((sort_key(&row), row));
+    }
+    sort_truncate(items, LIMIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil;
+
+    fn params() -> Params {
+        Params {
+            date: Date::from_ymd(1984, 1, 1),
+            tag_class1: "MusicalArtist".into(),
+            tag_class2: "Band".into(),
+        }
+    }
+
+    #[test]
+    fn optimized_matches_naive() {
+        let s = testutil::store();
+        assert_eq!(run(s, &params()), run_naive(s, &params()));
+        let p2 = Params {
+            date: Date::from_ymd(1980, 1, 1),
+            tag_class1: "Scientist".into(),
+            tag_class2: "Writer".into(),
+        };
+        assert_eq!(run(s, &p2), run_naive(s, &p2));
+    }
+
+    #[test]
+    fn stranger_count_bounded_by_interactions() {
+        let s = testutil::store();
+        for r in run(s, &params()) {
+            assert!(r.stranger_count <= r.interaction_count);
+            assert!(r.interaction_count > 0);
+        }
+    }
+
+    #[test]
+    fn birthday_filter_applies() {
+        let s = testutil::store();
+        let p = Params { date: Date::from_ymd(1996, 1, 1), ..params() };
+        // Everyone is born 1980-1995, so no repliers qualify.
+        assert!(run(s, &p).is_empty());
+    }
+
+    #[test]
+    fn sorted_desc() {
+        let s = testutil::store();
+        let rows = run(s, &params());
+        for w in rows.windows(2) {
+            assert!(sort_key(&w[0]) < sort_key(&w[1]));
+        }
+    }
+}

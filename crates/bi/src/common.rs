@@ -1,0 +1,138 @@
+//! Helpers shared across the BI query implementations.
+
+use snb_core::datetime::DateTime;
+use snb_store::{Ix, Store, NONE};
+
+/// The language of a message per BI 18: a Post's own `language`
+/// attribute; a Comment inherits the language of the Post at the root
+/// of its thread.
+pub fn thread_language(store: &Store, m: Ix) -> &str {
+    let root = store.messages.root_post[m as usize];
+    &store.messages.language[root as usize]
+}
+
+/// Number of likes a message has received.
+pub fn like_count(store: &Store, m: Ix) -> u64 {
+    store.message_likes.degree(m) as u64
+}
+
+/// Whether message `m` carries tag `t`.
+pub fn has_tag(store: &Store, m: Ix, t: Ix) -> bool {
+    store.message_tag.targets_of(m).any(|x| x == t)
+}
+
+/// Whether message `m` carries at least one tag whose *direct* class is
+/// `class` (the "direct relation, not transitive" reading of BI 4/16).
+pub fn has_tag_of_class(store: &Store, m: Ix, class: Ix) -> bool {
+    store.message_tag.targets_of(m).any(|t| store.tags.class[t as usize] == class)
+}
+
+/// Whether message `m` carries a tag whose class lies in the subtree of
+/// `class` (the transitive reading of BI 20).
+pub fn has_tag_in_class_subtree(store: &Store, m: Ix, class: Ix) -> bool {
+    store.message_tag.targets_of(m).any(|t| store.tag_in_class_subtree(t, class))
+}
+
+/// All message indices created strictly before `t`.
+pub fn messages_before(store: &Store, t: DateTime) -> impl Iterator<Item = Ix> + '_ {
+    (0..store.messages.len() as Ix).filter(move |&m| store.messages.creation_date[m as usize] < t)
+}
+
+/// All message indices created strictly after `t`.
+pub fn messages_after(store: &Store, t: DateTime) -> impl Iterator<Item = Ix> + '_ {
+    (0..store.messages.len() as Ix).filter(move |&m| store.messages.creation_date[m as usize] > t)
+}
+
+/// All persons located in `country` (any of its cities), as a vector.
+pub fn persons_of_country(store: &Store, country: Ix) -> Vec<Ix> {
+    store.persons_in_country(country).collect()
+}
+
+/// Whether a person is located in `country`.
+pub fn person_in_country(store: &Store, p: Ix, country: Ix) -> bool {
+    store.person_country(p) == country
+}
+
+/// Size of the reply tree rooted at message `m` (inclusive), counting
+/// only messages that satisfy `keep`.
+pub fn thread_size(store: &Store, root: Ix, keep: impl Fn(Ix) -> bool) -> u64 {
+    let mut count = 0;
+    let mut stack = vec![root];
+    while let Some(m) = stack.pop() {
+        if keep(m) {
+            count += 1;
+        }
+        stack.extend(store.message_replies.targets_of(m));
+    }
+    count
+}
+
+/// Whether `forum` is a valid forum index (guards `NONE` columns).
+pub fn valid_forum(f: Ix) -> bool {
+    f != NONE
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! A shared store for the per-query unit tests: built once per test
+    //! binary (the generator is deterministic, so every test sees the
+    //! same graph).
+
+    use snb_datagen::GeneratorConfig;
+    use snb_store::{store_for_config, Store};
+    use std::sync::OnceLock;
+
+    /// The shared tiny store (150 persons, full window).
+    pub fn store() -> &'static Store {
+        static STORE: OnceLock<Store> = OnceLock::new();
+        STORE.get_or_init(|| {
+            let mut c = GeneratorConfig::for_scale_name("0.001").expect("scale exists");
+            c.persons = 150;
+            store_for_config(&c)
+        })
+    }
+
+    /// A mid-window timestamp useful as a default date parameter.
+    pub fn mid_date() -> snb_core::Date {
+        snb_core::Date::from_ymd(2011, 7, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::store;
+
+    #[test]
+    fn thread_language_inherits_from_root() {
+        let s = store();
+        for m in 0..s.messages.len() as Ix {
+            if !s.messages.is_post(m) {
+                let root = s.messages.root_post[m as usize];
+                assert_eq!(thread_language(s, m), s.messages.language[root as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_size_counts_inclusive() {
+        let s = store();
+        let post = (0..s.messages.len() as Ix).find(|&m| s.messages.is_post(m)).unwrap();
+        let all = thread_size(s, post, |_| true);
+        assert!(all >= 1);
+        let none = thread_size(s, post, |_| false);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn messages_before_after_partition() {
+        let s = store();
+        let t = testutil::mid_date().at_midnight();
+        let before = messages_before(s, t).count();
+        let after = messages_after(s, t).count();
+        let at = (0..s.messages.len() as Ix)
+            .filter(|&m| s.messages.creation_date[m as usize] == t)
+            .count();
+        assert_eq!(before + after + at, s.messages.len());
+    }
+}

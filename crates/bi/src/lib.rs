@@ -1,0 +1,265 @@
+#![warn(missing_docs)]
+
+//! # snb-bi
+//!
+//! The LDBC SNB **Business Intelligence workload**: all 25 read queries
+//! (spec chapter 5), each as a module with
+//!
+//! * a documented `Params` struct,
+//! * a typed `Row` result with the spec's sort/limit semantics,
+//! * `run` — the optimized physical plan (CSR traversal, hash
+//!   aggregation, bounded top-k with pruning), and
+//! * `run_naive` — an independent reference implementation used for
+//!   cross-validation (the benchmark's validation-mode oracle) and as
+//!   the comparison baseline of experiment E6.
+//!
+//! Queries whose full text appears in the supplied spec extraction are
+//! implemented verbatim; the rest are reconstructed from the official
+//! v0.3.x workload and carry a "reconstructed" marker in their module
+//! docs (see `DESIGN.md` §5 for the fidelity table).
+
+pub mod bi01;
+pub mod bi02;
+pub mod bi03;
+pub mod bi04;
+pub mod bi05;
+pub mod bi06;
+pub mod bi07;
+pub mod bi08;
+pub mod bi09;
+pub mod bi10;
+pub mod bi11;
+pub mod bi12;
+pub mod bi13;
+pub mod bi14;
+pub mod bi15;
+pub mod bi16;
+pub mod bi17;
+pub mod bi18;
+pub mod bi19;
+pub mod bi20;
+pub mod bi21;
+pub mod bi22;
+pub mod bi23;
+pub mod bi24;
+pub mod bi25;
+pub mod common;
+pub mod meta;
+
+use snb_store::Store;
+
+/// A parameter binding for any BI query — the uniform currency between
+/// the parameter-curation crate, the driver and the benchmark harness.
+#[derive(Clone, Debug)]
+pub enum BiParams {
+    /// BI 1 parameters.
+    Q1(bi01::Params),
+    /// BI 2 parameters.
+    Q2(bi02::Params),
+    /// BI 3 parameters.
+    Q3(bi03::Params),
+    /// BI 4 parameters.
+    Q4(bi04::Params),
+    /// BI 5 parameters.
+    Q5(bi05::Params),
+    /// BI 6 parameters.
+    Q6(bi06::Params),
+    /// BI 7 parameters.
+    Q7(bi07::Params),
+    /// BI 8 parameters.
+    Q8(bi08::Params),
+    /// BI 9 parameters.
+    Q9(bi09::Params),
+    /// BI 10 parameters.
+    Q10(bi10::Params),
+    /// BI 11 parameters.
+    Q11(bi11::Params),
+    /// BI 12 parameters.
+    Q12(bi12::Params),
+    /// BI 13 parameters.
+    Q13(bi13::Params),
+    /// BI 14 parameters.
+    Q14(bi14::Params),
+    /// BI 15 parameters.
+    Q15(bi15::Params),
+    /// BI 16 parameters.
+    Q16(bi16::Params),
+    /// BI 17 parameters.
+    Q17(bi17::Params),
+    /// BI 18 parameters.
+    Q18(bi18::Params),
+    /// BI 19 parameters.
+    Q19(bi19::Params),
+    /// BI 20 parameters.
+    Q20(bi20::Params),
+    /// BI 21 parameters.
+    Q21(bi21::Params),
+    /// BI 22 parameters.
+    Q22(bi22::Params),
+    /// BI 23 parameters.
+    Q23(bi23::Params),
+    /// BI 24 parameters.
+    Q24(bi24::Params),
+    /// BI 25 parameters.
+    Q25(bi25::Params),
+}
+
+impl BiParams {
+    /// The query number (1–25).
+    pub fn query(&self) -> u8 {
+        match self {
+            BiParams::Q1(_) => 1,
+            BiParams::Q2(_) => 2,
+            BiParams::Q3(_) => 3,
+            BiParams::Q4(_) => 4,
+            BiParams::Q5(_) => 5,
+            BiParams::Q6(_) => 6,
+            BiParams::Q7(_) => 7,
+            BiParams::Q8(_) => 8,
+            BiParams::Q9(_) => 9,
+            BiParams::Q10(_) => 10,
+            BiParams::Q11(_) => 11,
+            BiParams::Q12(_) => 12,
+            BiParams::Q13(_) => 13,
+            BiParams::Q14(_) => 14,
+            BiParams::Q15(_) => 15,
+            BiParams::Q16(_) => 16,
+            BiParams::Q17(_) => 17,
+            BiParams::Q18(_) => 18,
+            BiParams::Q19(_) => 19,
+            BiParams::Q20(_) => 20,
+            BiParams::Q21(_) => 21,
+            BiParams::Q22(_) => 22,
+            BiParams::Q23(_) => 23,
+            BiParams::Q24(_) => 24,
+            BiParams::Q25(_) => 25,
+        }
+    }
+}
+
+/// A type-erased execution summary: the row count plus an
+/// order-sensitive fingerprint of the result, enough for validation
+/// without materialising heterogeneous row types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuerySummary {
+    /// Number of result rows.
+    pub rows: usize,
+    /// FNV-style fingerprint over the Debug rendering of the rows.
+    pub fingerprint: u64,
+}
+
+fn summarize<T: std::fmt::Debug>(rows: &[T]) -> QuerySummary {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for r in rows {
+        let s = format!("{r:?}");
+        for b in s.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    QuerySummary { rows: rows.len(), fingerprint: hash }
+}
+
+/// Runs a BI query through the optimized engine.
+pub fn run(store: &Store, params: &BiParams) -> QuerySummary {
+    match params {
+        BiParams::Q1(p) => summarize(&bi01::run(store, p)),
+        BiParams::Q2(p) => summarize(&bi02::run(store, p)),
+        BiParams::Q3(p) => summarize(&bi03::run(store, p)),
+        BiParams::Q4(p) => summarize(&bi04::run(store, p)),
+        BiParams::Q5(p) => summarize(&bi05::run(store, p)),
+        BiParams::Q6(p) => summarize(&bi06::run(store, p)),
+        BiParams::Q7(p) => summarize(&bi07::run(store, p)),
+        BiParams::Q8(p) => summarize(&bi08::run(store, p)),
+        BiParams::Q9(p) => summarize(&bi09::run(store, p)),
+        BiParams::Q10(p) => summarize(&bi10::run(store, p)),
+        BiParams::Q11(p) => summarize(&bi11::run(store, p)),
+        BiParams::Q12(p) => summarize(&bi12::run(store, p)),
+        BiParams::Q13(p) => summarize(&bi13::run(store, p)),
+        BiParams::Q14(p) => summarize(&bi14::run(store, p)),
+        BiParams::Q15(p) => summarize(&bi15::run(store, p)),
+        BiParams::Q16(p) => summarize(&bi16::run(store, p)),
+        BiParams::Q17(p) => summarize(&bi17::run(store, p)),
+        BiParams::Q18(p) => summarize(&bi18::run(store, p)),
+        BiParams::Q19(p) => summarize(&bi19::run(store, p)),
+        BiParams::Q20(p) => summarize(&bi20::run(store, p)),
+        BiParams::Q21(p) => summarize(&bi21::run(store, p)),
+        BiParams::Q22(p) => summarize(&bi22::run(store, p)),
+        BiParams::Q23(p) => summarize(&bi23::run(store, p)),
+        BiParams::Q24(p) => summarize(&bi24::run(store, p)),
+        BiParams::Q25(p) => summarize(&bi25::run(store, p)),
+    }
+}
+
+/// Runs a BI query through the naive reference engine.
+pub fn run_naive(store: &Store, params: &BiParams) -> QuerySummary {
+    match params {
+        BiParams::Q1(p) => summarize(&bi01::run_naive(store, p)),
+        BiParams::Q2(p) => summarize(&bi02::run_naive(store, p)),
+        BiParams::Q3(p) => summarize(&bi03::run_naive(store, p)),
+        BiParams::Q4(p) => summarize(&bi04::run_naive(store, p)),
+        BiParams::Q5(p) => summarize(&bi05::run_naive(store, p)),
+        BiParams::Q6(p) => summarize(&bi06::run_naive(store, p)),
+        BiParams::Q7(p) => summarize(&bi07::run_naive(store, p)),
+        BiParams::Q8(p) => summarize(&bi08::run_naive(store, p)),
+        BiParams::Q9(p) => summarize(&bi09::run_naive(store, p)),
+        BiParams::Q10(p) => summarize(&bi10::run_naive(store, p)),
+        BiParams::Q11(p) => summarize(&bi11::run_naive(store, p)),
+        BiParams::Q12(p) => summarize(&bi12::run_naive(store, p)),
+        BiParams::Q13(p) => summarize(&bi13::run_naive(store, p)),
+        BiParams::Q14(p) => summarize(&bi14::run_naive(store, p)),
+        BiParams::Q15(p) => summarize(&bi15::run_naive(store, p)),
+        BiParams::Q16(p) => summarize(&bi16::run_naive(store, p)),
+        BiParams::Q17(p) => summarize(&bi17::run_naive(store, p)),
+        BiParams::Q18(p) => summarize(&bi18::run_naive(store, p)),
+        BiParams::Q19(p) => summarize(&bi19::run_naive(store, p)),
+        BiParams::Q20(p) => summarize(&bi20::run_naive(store, p)),
+        BiParams::Q21(p) => summarize(&bi21::run_naive(store, p)),
+        BiParams::Q22(p) => summarize(&bi22::run_naive(store, p)),
+        BiParams::Q23(p) => summarize(&bi23::run_naive(store, p)),
+        BiParams::Q24(p) => summarize(&bi24::run_naive(store, p)),
+        BiParams::Q25(p) => summarize(&bi25::run_naive(store, p)),
+    }
+}
+
+/// Validation mode (spec §6.2): runs both engines and errors on any
+/// mismatch.
+pub fn validate(store: &Store, params: &BiParams) -> snb_core::SnbResult<QuerySummary> {
+    let optimized = run(store, params);
+    let naive = run_naive(store, params);
+    if optimized != naive {
+        return Err(snb_core::SnbError::Validation {
+            query: format!("BI {}", params.query()),
+            detail: format!("optimized {optimized:?} != naive {naive:?}"),
+        });
+    }
+    Ok(optimized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_is_order_sensitive() {
+        let a = summarize(&[1, 2, 3]);
+        let b = summarize(&[3, 2, 1]);
+        assert_eq!(a.rows, b.rows);
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn query_numbers_match_variants() {
+        let p = BiParams::Q17(bi17::Params { country: "China".into() });
+        assert_eq!(p.query(), 17);
+        let p = BiParams::Q1(bi01::Params { date: snb_core::Date::from_ymd(2012, 1, 1) });
+        assert_eq!(p.query(), 1);
+        let p = BiParams::Q25(bi25::Params {
+            person1_id: 0,
+            person2_id: 1,
+            start_date: snb_core::Date::from_ymd(2010, 1, 1),
+            end_date: snb_core::Date::from_ymd(2012, 1, 1),
+        });
+        assert_eq!(p.query(), 25);
+    }
+}

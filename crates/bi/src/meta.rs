@@ -1,0 +1,198 @@
+//! Choke-point coverage metadata (spec Appendix A, Table A.1).
+//!
+//! Transcribed from the per-choke-point query lists in the supplied
+//! spec text. CP-8.2's query list is rendered as an image in the
+//! extraction; its entries are reconstructed from the per-query CP
+//! lines that are present (flagged below).
+
+/// One choke point with the queries it correlates with.
+pub struct ChokePoint {
+    /// Identifier, e.g. `"1.1"`.
+    pub id: &'static str,
+    /// Short name.
+    pub name: &'static str,
+    /// Covered BI query numbers.
+    pub bi: &'static [u8],
+    /// Covered Interactive complex query numbers.
+    pub ic: &'static [u8],
+}
+
+/// The full choke-point table (Appendix A).
+pub const CHOKE_POINTS: &[ChokePoint] = &[
+    ChokePoint { id: "1.1", name: "Interesting orders", bi: &[2, 4, 11, 17, 18, 19], ic: &[2, 9] },
+    ChokePoint {
+        id: "1.2",
+        name: "High cardinality group-by",
+        bi: &[1, 2, 4, 5, 6, 7, 9, 10, 12, 13, 14, 15, 16, 18, 21, 25],
+        ic: &[9],
+    },
+    ChokePoint { id: "1.3", name: "Top-k pushdown", bi: &[2, 4, 5, 9, 16, 19, 22], ic: &[11] },
+    ChokePoint { id: "1.4", name: "Low cardinality group-by", bi: &[8, 18, 20, 22, 23, 24], ic: &[] },
+    ChokePoint {
+        id: "2.1",
+        name: "Rich join order optimization",
+        bi: &[2, 4, 5, 9, 10, 11, 19, 20, 21, 22, 24, 25],
+        ic: &[1, 3],
+    },
+    ChokePoint {
+        id: "2.2",
+        name: "Late projection",
+        bi: &[4, 5, 11, 12, 13, 14, 25],
+        ic: &[2, 7, 9],
+    },
+    ChokePoint {
+        id: "2.3",
+        name: "Join type selection",
+        bi: &[2, 5, 6, 7, 9, 10, 11, 13, 14, 15, 16, 19, 21, 23, 24],
+        ic: &[2, 4, 5, 7, 9, 10],
+    },
+    ChokePoint {
+        id: "2.4",
+        name: "Sparse foreign key joins",
+        bi: &[3, 4, 5, 9, 16, 19, 21, 23, 24, 25],
+        ic: &[8, 11],
+    },
+    ChokePoint { id: "3.1", name: "Detecting correlation", bi: &[2, 3, 11, 12, 22], ic: &[3] },
+    ChokePoint {
+        id: "3.2",
+        name: "Dimensional clustering",
+        bi: &[1, 2, 3, 7, 10, 11, 13, 14, 15, 18, 21, 24],
+        ic: &[2, 8, 9],
+    },
+    ChokePoint {
+        id: "3.3",
+        name: "Scattered index access",
+        bi: &[4, 5, 7, 8, 15, 16, 19, 21, 22, 23, 25],
+        ic: &[5, 7, 8, 9, 10, 11, 12, 13, 14],
+    },
+    ChokePoint { id: "4.1", name: "Common subexpression elimination", bi: &[1, 3], ic: &[10] },
+    ChokePoint { id: "4.2", name: "Complex boolean expressions", bi: &[18], ic: &[10] },
+    ChokePoint { id: "4.3", name: "Low overhead expressions", bi: &[3, 18, 23, 24], ic: &[] },
+    ChokePoint { id: "4.4", name: "String matching performance", bi: &[11], ic: &[] },
+    ChokePoint {
+        id: "5.1",
+        name: "Flattening sub-queries",
+        bi: &[19, 21, 22, 25],
+        ic: &[3, 6, 7, 10],
+    },
+    ChokePoint { id: "5.2", name: "Outer/sub-query overlap", bi: &[8, 22], ic: &[10] },
+    ChokePoint {
+        id: "5.3",
+        name: "Intra-query result reuse",
+        bi: &[3, 5, 15, 16, 21, 22, 25],
+        ic: &[1, 8],
+    },
+    ChokePoint {
+        id: "6.1",
+        name: "Inter-query result reuse",
+        bi: &[3, 5, 7, 11, 12, 13, 15, 20],
+        ic: &[10],
+    },
+    ChokePoint { id: "7.1", name: "Incremental path computation", bi: &[16], ic: &[10] },
+    ChokePoint {
+        id: "7.2",
+        name: "Cardinality estimation of transitive paths",
+        bi: &[14, 16, 25],
+        ic: &[12, 13, 14],
+    },
+    ChokePoint {
+        id: "7.3",
+        name: "Execution of a transitive step",
+        bi: &[14, 16, 19, 25],
+        ic: &[12, 13, 14],
+    },
+    ChokePoint { id: "7.4", name: "Transitive termination criteria", bi: &[14, 19], ic: &[] },
+    ChokePoint {
+        id: "8.1",
+        name: "Complex patterns",
+        bi: &[8, 11, 14, 16, 18, 19, 20, 25],
+        ic: &[7, 13, 14],
+    },
+    // CP-8.2's list is an image in the source; reconstructed from the
+    // per-query CP lines available in the text.
+    ChokePoint { id: "8.2", name: "Complex aggregations", bi: &[18, 21], ic: &[1, 3, 4, 5, 12, 14] },
+    ChokePoint {
+        id: "8.3",
+        name: "Ranking-style queries",
+        bi: &[11, 13, 18, 22, 25],
+        ic: &[7, 14],
+    },
+    ChokePoint { id: "8.4", name: "Query composition", bi: &[5, 10, 15, 18, 21, 22, 25], ic: &[] },
+    ChokePoint {
+        id: "8.5",
+        name: "Dates and times",
+        bi: &[1, 2, 3, 10, 12, 13, 14, 18, 19, 21, 23, 24, 25],
+        ic: &[2, 3, 4, 5, 9],
+    },
+    ChokePoint { id: "8.6", name: "Handling paths", bi: &[16, 25], ic: &[10, 13, 14] },
+];
+
+/// The choke points covered by a BI query.
+pub fn choke_points_of_bi(query: u8) -> Vec<&'static str> {
+    CHOKE_POINTS.iter().filter(|cp| cp.bi.contains(&query)).map(|cp| cp.id).collect()
+}
+
+/// The choke points covered by an Interactive complex query.
+pub fn choke_points_of_ic(query: u8) -> Vec<&'static str> {
+    CHOKE_POINTS.iter().filter(|cp| cp.ic.contains(&query)).map(|cp| cp.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bi_query_covers_some_choke_point() {
+        for q in 1..=25u8 {
+            assert!(!choke_points_of_bi(q).is_empty(), "BI {q} uncovered");
+        }
+    }
+
+    #[test]
+    fn every_ic_query_covers_some_choke_point() {
+        for q in 1..=14u8 {
+            assert!(!choke_points_of_ic(q).is_empty(), "IC {q} uncovered");
+        }
+    }
+
+    #[test]
+    fn query_numbers_in_range() {
+        for cp in CHOKE_POINTS {
+            for &q in cp.bi {
+                assert!((1..=25).contains(&q), "CP {} BI {q}", cp.id);
+            }
+            for &q in cp.ic {
+                assert!((1..=14).contains(&q), "CP {} IC {q}", cp.id);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_text_cp_lines_match_table() {
+        // The queries whose CP lines survive in the supplied text; the
+        // matrix must agree with them exactly.
+        let cases: &[(u8, &[&str])] = &[
+            (1, &["1.2", "3.2", "4.1", "8.5"]),
+            (12, &["1.2", "2.2", "3.1", "6.1", "8.5"]),
+            (13, &["1.2", "2.2", "2.3", "3.2", "6.1", "8.3", "8.5"]),
+            (14, &["1.2", "2.2", "2.3", "3.2", "7.2", "7.3", "7.4", "8.1", "8.5"]),
+            (
+                16,
+                &["1.2", "1.3", "2.3", "2.4", "3.3", "5.3", "7.1", "7.2", "7.3", "8.1", "8.6"],
+            ),
+            (
+                18,
+                &["1.1", "1.2", "1.4", "3.2", "4.2", "4.3", "8.1", "8.2", "8.3", "8.4", "8.5"],
+            ),
+            (20, &["1.4", "2.1", "6.1", "8.1"]),
+            (
+                21,
+                &["1.2", "2.1", "2.3", "2.4", "3.2", "3.3", "5.1", "5.3", "8.2", "8.4", "8.5"],
+            ),
+        ];
+        for (q, expect) in cases {
+            let got = choke_points_of_bi(*q);
+            assert_eq!(&got[..], *expect, "BI {q}");
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Civil-date arithmetic for the benchmark's `Date` and `DateTime` types.
+//!
+//! The spec (Table 2.1) defines `Date` with day precision encoded as
+//! `yyyy-mm-dd` and `DateTime` with millisecond precision encoded as
+//! `yyyy-mm-ddTHH:MM:ss.sss+0000` (always GMT). Queries frequently compare
+//! a `DateTime` against a `Date`; per §3.2 the `Date` is implicitly
+//! promoted to midnight GMT of that day.
+//!
+//! The day↔(year, month, day) conversion uses Howard Hinnant's proleptic
+//! Gregorian algorithms, exact over the benchmark's whole simulated range.
+
+use std::fmt;
+
+/// Milliseconds per day.
+pub const MILLIS_PER_DAY: i64 = 86_400_000;
+/// Milliseconds per hour.
+pub const MILLIS_PER_HOUR: i64 = 3_600_000;
+/// Milliseconds per minute.
+pub const MILLIS_PER_MINUTE: i64 = 60_000;
+
+/// A calendar date with day precision, stored as days since 1970-01-01.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Date(pub i32);
+
+/// A timestamp with millisecond precision, stored as milliseconds since
+/// 1970-01-01T00:00:00.000 GMT.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DateTime(pub i64);
+
+/// Converts a civil date to days since the Unix epoch.
+///
+/// Valid for all dates in the proleptic Gregorian calendar representable
+/// in `i32` days (far beyond the benchmark's 2010–2013 window).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    debug_assert!((1..=12).contains(&m), "month out of range: {m}");
+    debug_assert!((1..=31).contains(&d), "day out of range: {d}");
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March-based month [0, 11]
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i32 - 719_468
+}
+
+/// Converts days since the Unix epoch to a `(year, month, day)` triple.
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Number of days in `month` of `year`, accounting for leap years.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+impl Date {
+    /// Builds a date from a civil `(year, month, day)` triple.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Self {
+        Date(days_from_civil(y, m, d))
+    }
+
+    /// Decomposes into `(year, month, day)`.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// The calendar year.
+    pub fn year(self) -> i32 {
+        self.to_ymd().0
+    }
+
+    /// The calendar month, `1..=12`.
+    pub fn month(self) -> u32 {
+        self.to_ymd().1
+    }
+
+    /// The day of month, `1..=31`.
+    pub fn day(self) -> u32 {
+        self.to_ymd().2
+    }
+
+    /// This date at midnight GMT, the implicit promotion of §3.2.
+    pub fn at_midnight(self) -> DateTime {
+        DateTime(self.0 as i64 * MILLIS_PER_DAY)
+    }
+
+    /// Adds a (possibly negative) number of days.
+    pub fn plus_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Parses the spec's `yyyy-mm-dd` representation.
+    pub fn parse(s: &str) -> Option<Date> {
+        let b = s.as_bytes();
+        if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+            return None;
+        }
+        let y: i32 = s[0..4].parse().ok()?;
+        let m: u32 = s[5..7].parse().ok()?;
+        let d: u32 = s[8..10].parse().ok()?;
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        Some(Date::from_ymd(y, m, d))
+    }
+}
+
+impl DateTime {
+    /// Builds a timestamp from civil components.
+    pub fn from_parts(y: i32, mo: u32, d: u32, h: u32, mi: u32, s: u32, ms: u32) -> Self {
+        let days = days_from_civil(y, mo, d) as i64;
+        DateTime(
+            days * MILLIS_PER_DAY
+                + h as i64 * MILLIS_PER_HOUR
+                + mi as i64 * MILLIS_PER_MINUTE
+                + s as i64 * 1000
+                + ms as i64,
+        )
+    }
+
+    /// The date part (GMT).
+    pub fn date(self) -> Date {
+        Date(self.0.div_euclid(MILLIS_PER_DAY) as i32)
+    }
+
+    /// Milliseconds past midnight GMT.
+    pub fn millis_of_day(self) -> i64 {
+        self.0.rem_euclid(MILLIS_PER_DAY)
+    }
+
+    /// The calendar year (the spec's `year(date)` function).
+    pub fn year(self) -> i32 {
+        self.date().year()
+    }
+
+    /// The calendar month (the spec's `month(date)` function), `1..=12`.
+    pub fn month(self) -> u32 {
+        self.date().month()
+    }
+
+    /// A combined `(year, month)` bucket key, convenient for grouping.
+    pub fn year_month(self) -> (i32, u32) {
+        let (y, m, _) = self.date().to_ymd();
+        (y, m)
+    }
+
+    /// Adds a (possibly negative) number of milliseconds.
+    pub fn plus_millis(self, ms: i64) -> DateTime {
+        DateTime(self.0 + ms)
+    }
+
+    /// Parses the spec's `yyyy-mm-ddTHH:MM:ss.sss+0000` representation.
+    pub fn parse(s: &str) -> Option<DateTime> {
+        let b = s.as_bytes();
+        if b.len() != 28 || b[10] != b'T' || b[13] != b':' || b[16] != b':' || b[19] != b'.' {
+            return None;
+        }
+        if &s[23..] != "+0000" {
+            return None;
+        }
+        let date = Date::parse(&s[0..10])?;
+        let h: u32 = s[11..13].parse().ok()?;
+        let mi: u32 = s[14..16].parse().ok()?;
+        let sec: u32 = s[17..19].parse().ok()?;
+        let ms: u32 = s[20..23].parse().ok()?;
+        if h > 23 || mi > 59 || sec > 59 {
+            return None;
+        }
+        Some(date.at_midnight().plus_millis(
+            h as i64 * MILLIS_PER_HOUR + mi as i64 * MILLIS_PER_MINUTE + sec as i64 * 1000 + ms as i64,
+        ))
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d) = self.date().to_ymd();
+        let ms = self.millis_of_day();
+        let h = ms / MILLIS_PER_HOUR;
+        let mi = (ms % MILLIS_PER_HOUR) / MILLIS_PER_MINUTE;
+        let s = (ms % MILLIS_PER_MINUTE) / 1000;
+        let milli = ms % 1000;
+        write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{milli:03}+0000")
+    }
+}
+
+impl fmt::Debug for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DateTime({self})")
+    }
+}
+
+/// Number of whole-or-partial months spanned from `start` to `end`,
+/// counting partial months on both ends as one month each.
+///
+/// This is the month-counting rule of BI 21 ("a creationDate of Jan 31 and
+/// an endDate of Mar 1 result in 3 months").
+pub fn spanned_months(start: DateTime, end: DateTime) -> i32 {
+    let (sy, sm, _) = start.date().to_ymd();
+    let (ey, em, _) = end.date().to_ymd();
+    (ey - sy) * 12 + em as i32 - sm as i32 + 1
+}
+
+/// Minutes between two timestamps, truncated toward zero (IC 7 latency).
+pub fn minutes_between(earlier: DateTime, later: DateTime) -> i64 {
+    (later.0 - earlier.0) / MILLIS_PER_MINUTE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        for &(y, m, d, days) in &[
+            (1970, 1, 2, 1),
+            (1969, 12, 31, -1),
+            (2000, 3, 1, 11017),
+            (2010, 1, 1, 14610),
+            (2013, 1, 1, 15706),
+            (1600, 2, 29, -135081),
+        ] {
+            assert_eq!(days_from_civil(y, m, d), days, "{y}-{m}-{d}");
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2012));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2011));
+        assert_eq!(days_in_month(2012, 2), 29);
+        assert_eq!(days_in_month(2011, 2), 28);
+        assert_eq!(days_in_month(2011, 12), 31);
+    }
+
+    #[test]
+    fn date_display_and_parse() {
+        let d = Date::from_ymd(2011, 7, 4);
+        assert_eq!(d.to_string(), "2011-07-04");
+        assert_eq!(Date::parse("2011-07-04"), Some(d));
+        assert_eq!(Date::parse("2011-13-04"), None);
+        assert_eq!(Date::parse("2011-02-29"), None);
+        assert_eq!(Date::parse("garbage"), None);
+    }
+
+    #[test]
+    fn datetime_display_and_parse() {
+        let dt = DateTime::from_parts(2012, 11, 5, 13, 9, 59, 123);
+        let s = dt.to_string();
+        assert_eq!(s, "2012-11-05T13:09:59.123+0000");
+        assert_eq!(DateTime::parse(&s), Some(dt));
+        assert_eq!(DateTime::parse("2012-11-05T13:09:59.123+0100"), None);
+    }
+
+    #[test]
+    fn datetime_components() {
+        let dt = DateTime::from_parts(2012, 2, 29, 23, 59, 59, 999);
+        assert_eq!(dt.year(), 2012);
+        assert_eq!(dt.month(), 2);
+        assert_eq!(dt.date(), Date::from_ymd(2012, 2, 29));
+        assert_eq!(dt.year_month(), (2012, 2));
+    }
+
+    #[test]
+    fn date_promotion_is_midnight() {
+        let d = Date::from_ymd(2010, 6, 15);
+        let dt = d.at_midnight();
+        assert_eq!(dt.millis_of_day(), 0);
+        assert_eq!(dt.date(), d);
+    }
+
+    #[test]
+    fn negative_datetime_components() {
+        // Dates before the epoch must still decompose correctly.
+        let dt = DateTime::from_parts(1969, 12, 31, 12, 0, 0, 0);
+        assert!(dt.0 < 0);
+        assert_eq!(dt.date(), Date::from_ymd(1969, 12, 31));
+        assert_eq!(dt.millis_of_day(), 12 * MILLIS_PER_HOUR);
+    }
+
+    #[test]
+    fn spanned_months_matches_bi21_example() {
+        // Jan 31 -> Mar 1 spans 3 months per the BI 21 definition.
+        let start = Date::from_ymd(2012, 1, 31).at_midnight();
+        let end = Date::from_ymd(2012, 3, 1).at_midnight();
+        assert_eq!(spanned_months(start, end), 3);
+        // Same month counts as 1.
+        let s2 = Date::from_ymd(2012, 5, 1).at_midnight();
+        let e2 = Date::from_ymd(2012, 5, 31).at_midnight();
+        assert_eq!(spanned_months(s2, e2), 1);
+        // Across a year boundary.
+        let s3 = Date::from_ymd(2011, 12, 15).at_midnight();
+        let e3 = Date::from_ymd(2012, 1, 15).at_midnight();
+        assert_eq!(spanned_months(s3, e3), 2);
+    }
+
+    #[test]
+    fn minutes_between_truncates() {
+        let a = DateTime::from_parts(2012, 1, 1, 0, 0, 0, 0);
+        let b = a.plus_millis(MILLIS_PER_MINUTE * 3 + 59_000);
+        assert_eq!(minutes_between(a, b), 3);
+    }
+
+    #[test]
+    fn civil_round_trip_dense_range() {
+        // Walk every day of the benchmark window linearly and cross-check.
+        let start = days_from_civil(2009, 12, 28);
+        let end = days_from_civil(2013, 1, 5);
+        let (mut y, mut m, mut d) = (2009, 12, 28);
+        for day in start..=end {
+            assert_eq!(days_from_civil(y, m, d), day);
+            assert_eq!(civil_from_days(day), (y, m, d));
+            d += 1;
+            if d > days_in_month(y, m) {
+                d = 1;
+                m += 1;
+                if m > 12 {
+                    m = 1;
+                    y += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+use std::io;
+
+/// Workspace-wide result alias.
+pub type SnbResult<T> = Result<T, SnbError>;
+
+/// Errors surfaced by generation, loading, and driving the benchmark.
+#[derive(Debug)]
+pub enum SnbError {
+    /// An underlying I/O failure (serializer output, CSV loading, logs).
+    Io(io::Error),
+    /// A CSV / update-stream line that does not match the expected schema.
+    Parse {
+        /// Where the bad input was seen (file:line or field name).
+        context: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A reference to an entity id that is not present in the store.
+    UnknownId {
+        /// Entity type, e.g. `"Person"`.
+        entity: &'static str,
+        /// The unresolved raw id.
+        id: u64,
+    },
+    /// A benchmark configuration that cannot be executed.
+    Config(String),
+    /// A validation-mode mismatch between two implementations of a query.
+    Validation {
+        /// The query that disagreed, e.g. `"BI 7"`.
+        query: String,
+        /// The two summaries that differed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnbError::Io(e) => write!(f, "i/o error: {e}"),
+            SnbError::Parse { context, detail } => {
+                write!(f, "parse error in {context}: {detail}")
+            }
+            SnbError::UnknownId { entity, id } => {
+                write!(f, "unknown {entity} id {id}")
+            }
+            SnbError::Config(msg) => write!(f, "configuration error: {msg}"),
+            SnbError::Validation { query, detail } => {
+                write!(f, "validation failure in {query}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnbError {
+    fn from(e: io::Error) -> Self {
+        SnbError::Io(e)
+    }
+}
+
+impl SnbError {
+    /// Convenience constructor for parse failures.
+    pub fn parse(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        SnbError::Parse { context: context.into(), detail: detail.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SnbError::UnknownId { entity: "Person", id: 7 };
+        assert_eq!(e.to_string(), "unknown Person id 7");
+        let e = SnbError::parse("person_0.csv:3", "bad field count");
+        assert!(e.to_string().contains("person_0.csv:3"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e: SnbError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

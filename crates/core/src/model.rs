@@ -1,0 +1,193 @@
+//! Entity and relation vocabulary of the SNB schema (spec §2.3.2).
+//!
+//! Raw 64-bit ids are only unique *within* an entity type (spec Table
+//! 2.1: "a Forum and a Post might have the same ID"), so ids are wrapped
+//! in per-entity newtypes to keep Person/Forum/Message id spaces from
+//! being mixed up at compile time.
+
+use std::fmt;
+
+macro_rules! raw_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+raw_id!(
+    /// Raw id of a Person.
+    PersonId
+);
+raw_id!(
+    /// Raw id of a Forum.
+    ForumId
+);
+raw_id!(
+    /// Raw id of a Message (Posts and Comments share one id space in this
+    /// implementation so `replyOf` can point at either).
+    MessageId
+);
+raw_id!(
+    /// Raw id of a Tag.
+    TagId
+);
+raw_id!(
+    /// Raw id of a TagClass.
+    TagClassId
+);
+raw_id!(
+    /// Raw id of a Place (city, country or continent).
+    PlaceId
+);
+raw_id!(
+    /// Raw id of an Organisation (university or company).
+    OrganisationId
+);
+
+/// The three kinds of Place (spec §2.3.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum PlaceKind {
+    /// A city; persons and universities are located in cities.
+    City,
+    /// A country; companies and messages are located in countries.
+    Country,
+    /// A continent; countries are part of continents.
+    Continent,
+}
+
+impl PlaceKind {
+    /// The spec's CSV `type` column value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlaceKind::City => "city",
+            PlaceKind::Country => "country",
+            PlaceKind::Continent => "continent",
+        }
+    }
+}
+
+/// The two kinds of Organisation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum OrganisationKind {
+    /// A university (persons study at universities; located in a city).
+    University,
+    /// A company (persons work at companies; located in a country).
+    Company,
+}
+
+impl OrganisationKind {
+    /// The spec's CSV `type` column value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OrganisationKind::University => "university",
+            OrganisationKind::Company => "company",
+        }
+    }
+}
+
+/// The two concrete Message subtypes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MessageKind {
+    /// A Post, container-of'd by a Forum; carries `language`/`imageFile`.
+    Post,
+    /// A Comment, reply-of another Message.
+    Comment,
+}
+
+/// The three Forum flavours the spec distinguishes by title (§2.3.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ForumKind {
+    /// A person's personal wall ("Wall of ...").
+    Wall,
+    /// A person's image album ("Album ... of ...").
+    Album,
+    /// A topical group ("Group for ...").
+    Group,
+}
+
+/// Person gender values emitted by Datagen.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Gender {
+    /// "male" in CSV output.
+    Male,
+    /// "female" in CSV output.
+    Female,
+}
+
+impl Gender {
+    /// The CSV string representation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Gender::Male => "male",
+            Gender::Female => "female",
+        }
+    }
+}
+
+/// Message length categories of BI 1 (Posting summary).
+///
+/// * `0`: `0 <= length < 40` (short)
+/// * `1`: `40 <= length < 80` (one-liner)
+/// * `2`: `80 <= length < 160` (tweet)
+/// * `3`: `160 <= length` (long)
+pub fn length_category(length: u32) -> u8 {
+    match length {
+        0..=39 => 0,
+        40..=79 => 1,
+        80..=159 => 2,
+        _ => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Purely a compile-time property; demonstrate Display/Debug.
+        let p = PersonId(3);
+        assert_eq!(p.to_string(), "3");
+        assert_eq!(format!("{p:?}"), "PersonId(3)");
+        assert_eq!(PersonId::from(9), PersonId(9));
+    }
+
+    #[test]
+    fn length_categories_match_bi1_boundaries() {
+        assert_eq!(length_category(0), 0);
+        assert_eq!(length_category(39), 0);
+        assert_eq!(length_category(40), 1);
+        assert_eq!(length_category(79), 1);
+        assert_eq!(length_category(80), 2);
+        assert_eq!(length_category(159), 2);
+        assert_eq!(length_category(160), 3);
+        assert_eq!(length_category(5000), 3);
+    }
+
+    #[test]
+    fn enum_csv_strings() {
+        assert_eq!(PlaceKind::City.as_str(), "city");
+        assert_eq!(PlaceKind::Continent.as_str(), "continent");
+        assert_eq!(OrganisationKind::University.as_str(), "university");
+        assert_eq!(Gender::Female.as_str(), "female");
+    }
+}

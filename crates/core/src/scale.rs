@@ -1,0 +1,106 @@
+//! Scale factors (spec §2.3.4.1, Table 2.12).
+//!
+//! A scale factor fixes the number of Persons; every other entity count
+//! follows from the generator's distributions. The spec's published SFs
+//! start at 0.1 (1.5 K persons); this reproduction adds three laptop
+//! sub-scales (0.001 / 0.003 / 0.01 / 0.03) obtained by extending the
+//! person-count progression downward, so tests and CI stay fast while
+//! benchmarks can still sweep an order of magnitude.
+
+use crate::datetime::Date;
+
+/// A named scale factor with its person count (spec Table 2.12).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleFactor {
+    /// Human name, e.g. `"0.1"` or `"30"`.
+    pub name: &'static str,
+    /// Nominal on-disk size in gigabytes (CsvBasic).
+    pub gigabytes: f64,
+    /// Number of Persons to generate.
+    pub persons: u64,
+}
+
+/// All scale factors known to this implementation, ascending.
+pub const SCALE_FACTORS: &[ScaleFactor] = &[
+    ScaleFactor { name: "0.001", gigabytes: 0.001, persons: 80 },
+    ScaleFactor { name: "0.003", gigabytes: 0.003, persons: 170 },
+    ScaleFactor { name: "0.01", gigabytes: 0.01, persons: 370 },
+    ScaleFactor { name: "0.03", gigabytes: 0.03, persons: 800 },
+    // From here on the person counts are the spec's Table 2.12.
+    ScaleFactor { name: "0.1", gigabytes: 0.1, persons: 1_500 },
+    ScaleFactor { name: "0.3", gigabytes: 0.3, persons: 3_500 },
+    ScaleFactor { name: "1", gigabytes: 1.0, persons: 11_000 },
+    ScaleFactor { name: "3", gigabytes: 3.0, persons: 27_000 },
+    ScaleFactor { name: "10", gigabytes: 10.0, persons: 73_000 },
+    ScaleFactor { name: "30", gigabytes: 30.0, persons: 182_000 },
+    ScaleFactor { name: "100", gigabytes: 100.0, persons: 499_000 },
+    ScaleFactor { name: "300", gigabytes: 300.0, persons: 1_250_000 },
+    ScaleFactor { name: "1000", gigabytes: 1000.0, persons: 3_600_000 },
+];
+
+impl ScaleFactor {
+    /// Looks a scale factor up by name.
+    pub fn by_name(name: &str) -> Option<ScaleFactor> {
+        SCALE_FACTORS.iter().copied().find(|sf| sf.name == name)
+    }
+
+    /// Spec default simulation window: 3 years starting 2010-01-01.
+    pub fn default_window() -> (Date, Date) {
+        (Date::from_ymd(2010, 1, 1), Date::from_ymd(2013, 1, 1))
+    }
+
+    /// Fraction of simulated time serialized into the bulk-load dataset;
+    /// the remaining tail becomes the update streams (spec §2.3.4:
+    /// "roughly the 90% of the total generated network").
+    pub const BULK_FRACTION: f64 = 0.9;
+}
+
+/// Spec Table 2.12 node/edge totals for the published scale factors,
+/// used by experiment E1 to compare measured growth against the paper.
+pub const SPEC_TABLE_2_12: &[(&str, u64, u64, u64)] = &[
+    // (name, persons, nodes, edges)
+    ("0.1", 1_500, 327_600, 1_500_000),
+    ("0.3", 3_500, 908_000, 4_600_000),
+    ("1", 11_000, 3_200_000, 17_300_000),
+    ("3", 27_000, 9_300_000, 52_700_000),
+    ("10", 73_000, 30_000_000, 176_600_000),
+    ("30", 182_000, 88_800_000, 540_900_000),
+    ("100", 499_000, 282_600_000, 1_800_000_000),
+    ("300", 1_250_000, 817_300_000, 5_300_000_000),
+    ("1000", 3_600_000, 2_700_000_000, 17_000_000_000),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(ScaleFactor::by_name("1").unwrap().persons, 11_000);
+        assert_eq!(ScaleFactor::by_name("0.003").unwrap().persons, 170);
+        assert!(ScaleFactor::by_name("7").is_none());
+    }
+
+    #[test]
+    fn ascending_person_counts() {
+        for w in SCALE_FACTORS.windows(2) {
+            assert!(w[0].persons < w[1].persons);
+        }
+    }
+
+    #[test]
+    fn spec_table_names_resolve() {
+        for &(name, persons, _, _) in SPEC_TABLE_2_12 {
+            let sf = ScaleFactor::by_name(name).unwrap();
+            assert_eq!(sf.persons, persons);
+        }
+    }
+
+    #[test]
+    fn default_window_is_three_years() {
+        let (start, end) = ScaleFactor::default_window();
+        assert_eq!(start.year(), 2010);
+        assert_eq!(end.year(), 2013);
+        assert_eq!(end.0 - start.0, 1096); // 2012 is a leap year
+    }
+}

@@ -1,0 +1,713 @@
+//! CSV serializers (spec §2.3.4.2).
+//!
+//! Four variants are supported, matching spec Tables 2.13–2.16:
+//!
+//! * **CsvBasic** — every entity, relation and multi-valued attribute in
+//!   its own file;
+//! * **CsvMergeForeign** — 1-to-1 / N-to-1 relations merged into the
+//!   entity files as foreign-key columns;
+//! * **CsvComposite** — like CsvBasic but multi-valued attributes
+//!   (`Person.email`, `Person.speaks`) stored as `;`-separated composite
+//!   values inside `person_*.csv`;
+//! * **CsvCompositeMergeForeign** — both of the above.
+//!
+//! Files use `|` as the field separator and `;` for composites, one
+//! header line, and are split into `static/` and `dynamic/`
+//! subdirectories of the output root — all per spec. Only records
+//! created strictly before the bulk/stream cut are serialized; the tail
+//! belongs to the update streams (see [`crate::stream`]).
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use snb_core::datetime::DateTime;
+use snb_core::model::MessageKind;
+use snb_core::SnbResult;
+
+use crate::dictionaries::{StaticWorld, BROWSERS, COUNTRIES, TAGS, TAG_CLASSES};
+use crate::graph::RawGraph;
+
+/// The serializer variant to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsvVariant {
+    /// Spec Table 2.13 (33 files).
+    Basic,
+    /// Spec Table 2.14 (20 files).
+    MergeForeign,
+    /// Spec Table 2.15 (31 files).
+    Composite,
+    /// Spec Table 2.16 (18 files).
+    CompositeMergeForeign,
+}
+
+impl CsvVariant {
+    fn merge_foreign(self) -> bool {
+        matches!(self, CsvVariant::MergeForeign | CsvVariant::CompositeMergeForeign)
+    }
+
+    fn composite(self) -> bool {
+        matches!(self, CsvVariant::Composite | CsvVariant::CompositeMergeForeign)
+    }
+}
+
+struct Csv {
+    w: BufWriter<File>,
+}
+
+impl Csv {
+    fn create(dir: &Path, name: &str, header: &str) -> SnbResult<Csv> {
+        let mut w = BufWriter::new(File::create(dir.join(name))?);
+        writeln!(w, "{header}")?;
+        Ok(Csv { w })
+    }
+
+    fn row(&mut self, fields: &[&str]) -> SnbResult<()> {
+        writeln!(self.w, "{}", fields.join("|"))?;
+        Ok(())
+    }
+}
+
+/// Serializes the bulk-load dataset (records before `cut`) under
+/// `root/social_network/{static,dynamic}`. Returns the list of files
+/// written (relative paths), so callers/tests can check the layout
+/// against the spec's file tables.
+pub fn serialize(
+    graph: &RawGraph,
+    world: &StaticWorld,
+    variant: CsvVariant,
+    cut: DateTime,
+    root: &Path,
+) -> SnbResult<Vec<String>> {
+    let base = root.join("social_network");
+    let static_dir = base.join("static");
+    let dynamic_dir = base.join("dynamic");
+    fs::create_dir_all(&static_dir)?;
+    fs::create_dir_all(&dynamic_dir)?;
+    let mut files = Vec::new();
+    let mut track = |sub: &str, name: &str| files.push(format!("{sub}/{name}"));
+
+    write_static(world, variant, &static_dir, &mut track)?;
+    write_dynamic(graph, world, variant, cut, &dynamic_dir, &mut track)?;
+    Ok(files)
+}
+
+fn write_static(
+    world: &StaticWorld,
+    variant: CsvVariant,
+    dir: &Path,
+    track: &mut impl FnMut(&str, &str),
+) -> SnbResult<()> {
+    // organisation_0_0.csv
+    let uni_count = world.universities.len();
+    if variant.merge_foreign() {
+        let mut f = Csv::create(dir, "organisation_0_0.csv", "id|type|name|url|place")?;
+        for (i, u) in world.universities.iter().enumerate() {
+            f.row(&[
+                &i.to_string(),
+                "university",
+                &u.name,
+                &format!("http://dbpedia.org/resource/{}", u.name),
+                &u.city.0.to_string(),
+            ])?;
+        }
+        for (i, (name, country)) in world.companies.iter().enumerate() {
+            f.row(&[
+                &(uni_count + i).to_string(),
+                "company",
+                name,
+                &format!("http://dbpedia.org/resource/{name}"),
+                &world.country_place[*country].0.to_string(),
+            ])?;
+        }
+        track("static", "organisation_0_0.csv");
+    } else {
+        let mut f = Csv::create(dir, "organisation_0_0.csv", "id|type|name|url")?;
+        let mut loc = Csv::create(
+            dir,
+            "organisation_isLocatedIn_place_0_0.csv",
+            "Organisation.id|Place.id",
+        )?;
+        for (i, u) in world.universities.iter().enumerate() {
+            f.row(&[
+                &i.to_string(),
+                "university",
+                &u.name,
+                &format!("http://dbpedia.org/resource/{}", u.name),
+            ])?;
+            loc.row(&[&i.to_string(), &u.city.0.to_string()])?;
+        }
+        for (i, (name, country)) in world.companies.iter().enumerate() {
+            let id = uni_count + i;
+            f.row(&[
+                &id.to_string(),
+                "company",
+                name,
+                &format!("http://dbpedia.org/resource/{name}"),
+            ])?;
+            loc.row(&[&id.to_string(), &world.country_place[*country].0.to_string()])?;
+        }
+        track("static", "organisation_0_0.csv");
+        track("static", "organisation_isLocatedIn_place_0_0.csv");
+    }
+
+    // place_0_0.csv (+ isPartOf)
+    {
+        let header = if variant.merge_foreign() {
+            "id|name|url|type|isPartOf"
+        } else {
+            "id|name|url|type"
+        };
+        let mut f = Csv::create(dir, "place_0_0.csv", header)?;
+        let mut part = if variant.merge_foreign() {
+            None
+        } else {
+            Some(Csv::create(dir, "place_isPartOf_place_0_0.csv", "Place.id|Place.id")?)
+        };
+        for (pid, name) in world.place_names.iter().enumerate() {
+            let kind = if pid < world.continent_place.len() {
+                "continent"
+            } else if pid < world.continent_place.len() + world.country_place.len() {
+                "country"
+            } else {
+                "city"
+            };
+            let parent: Option<u64> = if kind == "country" {
+                let ci = pid - world.continent_place.len();
+                Some(world.continent_place[COUNTRIES[ci].continent].0)
+            } else if kind == "city" {
+                world
+                    .country_of_city(snb_core::model::PlaceId(pid as u64))
+                    .map(|ci| world.country_place[ci].0)
+            } else {
+                None
+            };
+            let url = format!("http://dbpedia.org/resource/{name}");
+            if variant.merge_foreign() {
+                let parent_s = parent.map(|p| p.to_string()).unwrap_or_default();
+                f.row(&[&pid.to_string(), name, &url, kind, &parent_s])?;
+            } else {
+                f.row(&[&pid.to_string(), name, &url, kind])?;
+                if let (Some(part), Some(parent)) = (part.as_mut(), parent) {
+                    part.row(&[&pid.to_string(), &parent.to_string()])?;
+                }
+            }
+        }
+        track("static", "place_0_0.csv");
+        if !variant.merge_foreign() {
+            track("static", "place_isPartOf_place_0_0.csv");
+        }
+    }
+
+    // tag_0_0.csv (+ hasType)
+    {
+        let header =
+            if variant.merge_foreign() { "id|name|url|hasType" } else { "id|name|url" };
+        let mut f = Csv::create(dir, "tag_0_0.csv", header)?;
+        let mut ht = if variant.merge_foreign() {
+            None
+        } else {
+            Some(Csv::create(dir, "tag_hasType_tagclass_0_0.csv", "Tag.id|TagClass.id")?)
+        };
+        for (ti, &(name, class)) in TAGS.iter().enumerate() {
+            let url = format!("http://dbpedia.org/resource/{name}");
+            if variant.merge_foreign() {
+                f.row(&[&ti.to_string(), name, &url, &class.to_string()])?;
+            } else {
+                f.row(&[&ti.to_string(), name, &url])?;
+                ht.as_mut().unwrap().row(&[&ti.to_string(), &class.to_string()])?;
+            }
+        }
+        track("static", "tag_0_0.csv");
+        if !variant.merge_foreign() {
+            track("static", "tag_hasType_tagclass_0_0.csv");
+        }
+    }
+
+    // tagclass_0_0.csv (+ isSubclassOf)
+    {
+        let header = if variant.merge_foreign() {
+            "id|name|url|isSubclassOf"
+        } else {
+            "id|name|url"
+        };
+        let mut f = Csv::create(dir, "tagclass_0_0.csv", header)?;
+        let mut sub = if variant.merge_foreign() {
+            None
+        } else {
+            Some(Csv::create(
+                dir,
+                "tagclass_isSubclassOf_tagclass_0_0.csv",
+                "TagClass.id|TagClass.id",
+            )?)
+        };
+        for (ci, &(name, parent)) in TAG_CLASSES.iter().enumerate() {
+            let url = format!("http://dbpedia.org/ontology/{name}");
+            if variant.merge_foreign() {
+                let p = if ci == 0 { String::new() } else { parent.to_string() };
+                f.row(&[&ci.to_string(), name, &url, &p])?;
+            } else {
+                f.row(&[&ci.to_string(), name, &url])?;
+                if ci != 0 {
+                    sub.as_mut().unwrap().row(&[&ci.to_string(), &parent.to_string()])?;
+                }
+            }
+        }
+        track("static", "tagclass_0_0.csv");
+        if !variant.merge_foreign() {
+            track("static", "tagclass_isSubclassOf_tagclass_0_0.csv");
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn write_dynamic(
+    graph: &RawGraph,
+    world: &StaticWorld,
+    variant: CsvVariant,
+    cut: DateTime,
+    dir: &Path,
+    track: &mut impl FnMut(&str, &str),
+) -> SnbResult<()> {
+    let in_bulk = |t: DateTime| t < cut;
+
+    // --- person files ---
+    {
+        let mut header =
+            "id|firstName|lastName|gender|birthday|creationDate|locationIP|browserUsed"
+                .to_string();
+        if variant.merge_foreign() {
+            header.push_str("|place");
+        }
+        if variant.composite() {
+            header.push_str("|language|email");
+        }
+        let mut f = Csv::create(dir, "person_0_0.csv", &header)?;
+        let mut located = if variant.merge_foreign() {
+            None
+        } else {
+            Some(Csv::create(dir, "person_isLocatedIn_place_0_0.csv", "Person.id|Place.id")?)
+        };
+        let (mut speaks, mut email) = if variant.composite() {
+            (None, None)
+        } else {
+            (
+                Some(Csv::create(dir, "person_speaks_language_0_0.csv", "Person.id|language")?),
+                Some(Csv::create(dir, "person_email_emailaddress_0_0.csv", "Person.id|email")?),
+            )
+        };
+        let mut interest =
+            Csv::create(dir, "person_hasInterest_tag_0_0.csv", "Person.id|Tag.id")?;
+        let mut study = Csv::create(
+            dir,
+            "person_studyAt_organisation_0_0.csv",
+            "Person.id|Organisation.id|classYear",
+        )?;
+        let mut work = Csv::create(
+            dir,
+            "person_workAt_organisation_0_0.csv",
+            "Person.id|Organisation.id|workFrom",
+        )?;
+        for p in graph.persons.iter().filter(|p| in_bulk(p.creation_date)) {
+            let id = p.id.0.to_string();
+            let langs: Vec<&str> =
+                p.languages.iter().map(|&l| world.languages[l as usize]).collect();
+            let mut fields: Vec<String> = vec![
+                id.clone(),
+                p.first_name.clone(),
+                p.last_name.clone(),
+                p.gender.as_str().to_string(),
+                p.birthday.to_string(),
+                p.creation_date.to_string(),
+                p.location_ip.clone(),
+                BROWSERS[p.browser as usize].0.to_string(),
+            ];
+            if variant.merge_foreign() {
+                fields.push(p.city.0.to_string());
+            }
+            if variant.composite() {
+                fields.push(langs.join(";"));
+                fields.push(p.emails.join(";"));
+            }
+            let refs: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+            f.row(&refs)?;
+            if let Some(located) = located.as_mut() {
+                located.row(&[&id, &p.city.0.to_string()])?;
+            }
+            if let Some(speaks) = speaks.as_mut() {
+                for l in &langs {
+                    speaks.row(&[&id, l])?;
+                }
+            }
+            if let Some(email) = email.as_mut() {
+                for e in &p.emails {
+                    email.row(&[&id, e])?;
+                }
+            }
+            for t in &p.interests {
+                interest.row(&[&id, &t.0.to_string()])?;
+            }
+            if let Some((org, year)) = p.study_at {
+                study.row(&[&id, &org.0.to_string(), &year.to_string()])?;
+            }
+            for (org, from) in &p.work_at {
+                work.row(&[&id, &org.0.to_string(), &from.to_string()])?;
+            }
+        }
+        track("dynamic", "person_0_0.csv");
+        if !variant.merge_foreign() {
+            track("dynamic", "person_isLocatedIn_place_0_0.csv");
+        }
+        if !variant.composite() {
+            track("dynamic", "person_speaks_language_0_0.csv");
+            track("dynamic", "person_email_emailaddress_0_0.csv");
+        }
+        track("dynamic", "person_hasInterest_tag_0_0.csv");
+        track("dynamic", "person_studyAt_organisation_0_0.csv");
+        track("dynamic", "person_workAt_organisation_0_0.csv");
+    }
+
+    // person_knows_person
+    {
+        let mut f = Csv::create(
+            dir,
+            "person_knows_person_0_0.csv",
+            "Person.id|Person.id|creationDate",
+        )?;
+        for k in graph.knows.iter().filter(|k| in_bulk(k.creation_date)) {
+            f.row(&[&k.a.0.to_string(), &k.b.0.to_string(), &k.creation_date.to_string()])?;
+        }
+        track("dynamic", "person_knows_person_0_0.csv");
+    }
+
+    // --- forum files ---
+    {
+        let header = if variant.merge_foreign() {
+            "id|title|creationDate|moderator"
+        } else {
+            "id|title|creationDate"
+        };
+        let mut f = Csv::create(dir, "forum_0_0.csv", header)?;
+        let mut moderator = if variant.merge_foreign() {
+            None
+        } else {
+            Some(Csv::create(dir, "forum_hasModerator_person_0_0.csv", "Forum.id|Person.id")?)
+        };
+        let mut member = Csv::create(
+            dir,
+            "forum_hasMember_person_0_0.csv",
+            "Forum.id|Person.id|joinDate",
+        )?;
+        let mut ftag = Csv::create(dir, "forum_hasTag_tag_0_0.csv", "Forum.id|Tag.id")?;
+        for fo in graph.forums.iter().filter(|f| in_bulk(f.creation_date)) {
+            let id = fo.id.0.to_string();
+            if variant.merge_foreign() {
+                f.row(&[&id, &fo.title, &fo.creation_date.to_string(), &fo.moderator.0.to_string()])?;
+            } else {
+                f.row(&[&id, &fo.title, &fo.creation_date.to_string()])?;
+                moderator.as_mut().unwrap().row(&[&id, &fo.moderator.0.to_string()])?;
+            }
+            for t in &fo.tags {
+                ftag.row(&[&id, &t.0.to_string()])?;
+            }
+        }
+        for m in graph.memberships.iter().filter(|m| in_bulk(m.join_date)) {
+            member.row(&[
+                &m.forum.0.to_string(),
+                &m.person.0.to_string(),
+                &m.join_date.to_string(),
+            ])?;
+        }
+        track("dynamic", "forum_0_0.csv");
+        if !variant.merge_foreign() {
+            track("dynamic", "forum_hasModerator_person_0_0.csv");
+        }
+        track("dynamic", "forum_hasMember_person_0_0.csv");
+        track("dynamic", "forum_hasTag_tag_0_0.csv");
+    }
+
+    // --- post files ---
+    {
+        let mut header =
+            "id|imageFile|creationDate|locationIP|browserUsed|language|content|length".to_string();
+        if variant.merge_foreign() {
+            header.push_str("|creator|Forum.id|place");
+        }
+        let mut f = Csv::create(dir, "post_0_0.csv", &header)?;
+        let (mut creator, mut container, mut located) = if variant.merge_foreign() {
+            (None, None, None)
+        } else {
+            (
+                Some(Csv::create(dir, "post_hasCreator_person_0_0.csv", "Post.id|Person.id")?),
+                Some(Csv::create(dir, "forum_containerOf_post_0_0.csv", "Forum.id|Post.id")?),
+                Some(Csv::create(dir, "post_isLocatedIn_place_0_0.csv", "Post.id|Place.id")?),
+            )
+        };
+        let mut ptag = Csv::create(dir, "post_hasTag_tag_0_0.csv", "Post.id|Tag.id")?;
+        for m in graph
+            .messages
+            .iter()
+            .filter(|m| m.kind == MessageKind::Post && in_bulk(m.creation_date))
+        {
+            let id = m.id.0.to_string();
+            let lang = m
+                .language
+                .map(|l| world.languages[l as usize].to_string())
+                .unwrap_or_default();
+            let image = m.image_file.clone().unwrap_or_default();
+            let mut fields: Vec<String> = vec![
+                id.clone(),
+                image,
+                m.creation_date.to_string(),
+                m.location_ip.clone(),
+                BROWSERS[m.browser as usize].0.to_string(),
+                lang,
+                m.content.clone(),
+                m.length.to_string(),
+            ];
+            if variant.merge_foreign() {
+                fields.push(m.creator.0.to_string());
+                fields.push(m.forum.expect("post has forum").0.to_string());
+                fields.push(m.country.0.to_string());
+            }
+            let refs: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+            f.row(&refs)?;
+            if let Some(creator) = creator.as_mut() {
+                creator.row(&[&id, &m.creator.0.to_string()])?;
+            }
+            if let Some(container) = container.as_mut() {
+                container.row(&[&m.forum.expect("post has forum").0.to_string(), &id])?;
+            }
+            if let Some(located) = located.as_mut() {
+                located.row(&[&id, &m.country.0.to_string()])?;
+            }
+            for t in &m.tags {
+                ptag.row(&[&id, &t.0.to_string()])?;
+            }
+        }
+        track("dynamic", "post_0_0.csv");
+        if !variant.merge_foreign() {
+            track("dynamic", "post_hasCreator_person_0_0.csv");
+            track("dynamic", "forum_containerOf_post_0_0.csv");
+            track("dynamic", "post_isLocatedIn_place_0_0.csv");
+        }
+        track("dynamic", "post_hasTag_tag_0_0.csv");
+    }
+
+    // --- comment files ---
+    {
+        let mut header = "id|creationDate|locationIP|browserUsed|content|length".to_string();
+        if variant.merge_foreign() {
+            header.push_str("|creator|place|replyOfPost|replyOfComment");
+        }
+        let mut f = Csv::create(dir, "comment_0_0.csv", &header)?;
+        let (mut creator, mut located, mut reply_post, mut reply_comment) =
+            if variant.merge_foreign() {
+                (None, None, None, None)
+            } else {
+                (
+                    Some(Csv::create(
+                        dir,
+                        "comment_hasCreator_person_0_0.csv",
+                        "Comment.id|Person.id",
+                    )?),
+                    Some(Csv::create(
+                        dir,
+                        "comment_isLocatedIn_place_0_0.csv",
+                        "Comment.id|Place.id",
+                    )?),
+                    Some(Csv::create(
+                        dir,
+                        "comment_replyOf_post_0_0.csv",
+                        "Comment.id|Post.id",
+                    )?),
+                    Some(Csv::create(
+                        dir,
+                        "comment_replyOf_comment_0_0.csv",
+                        "Comment.id|Comment.id",
+                    )?),
+                )
+            };
+        let mut ctag = Csv::create(dir, "comment_hasTag_tag_0_0.csv", "Comment.id|Tag.id")?;
+        for m in graph
+            .messages
+            .iter()
+            .filter(|m| m.kind == MessageKind::Comment && in_bulk(m.creation_date))
+        {
+            let id = m.id.0.to_string();
+            let parent = m.reply_of.expect("comment has parent");
+            let parent_is_post = graph.messages[parent.0 as usize].kind == MessageKind::Post;
+            let mut fields: Vec<String> = vec![
+                id.clone(),
+                m.creation_date.to_string(),
+                m.location_ip.clone(),
+                BROWSERS[m.browser as usize].0.to_string(),
+                m.content.clone(),
+                m.length.to_string(),
+            ];
+            if variant.merge_foreign() {
+                fields.push(m.creator.0.to_string());
+                fields.push(m.country.0.to_string());
+                if parent_is_post {
+                    fields.push(parent.0.to_string());
+                    fields.push(String::new());
+                } else {
+                    fields.push(String::new());
+                    fields.push(parent.0.to_string());
+                }
+            }
+            let refs: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+            f.row(&refs)?;
+            if let Some(creator) = creator.as_mut() {
+                creator.row(&[&id, &m.creator.0.to_string()])?;
+            }
+            if let Some(located) = located.as_mut() {
+                located.row(&[&id, &m.country.0.to_string()])?;
+            }
+            if parent_is_post {
+                if let Some(rp) = reply_post.as_mut() {
+                    rp.row(&[&id, &parent.0.to_string()])?;
+                }
+            } else if let Some(rc) = reply_comment.as_mut() {
+                rc.row(&[&id, &parent.0.to_string()])?;
+            }
+            for t in &m.tags {
+                ctag.row(&[&id, &t.0.to_string()])?;
+            }
+        }
+        track("dynamic", "comment_0_0.csv");
+        if !variant.merge_foreign() {
+            track("dynamic", "comment_hasCreator_person_0_0.csv");
+            track("dynamic", "comment_isLocatedIn_place_0_0.csv");
+            track("dynamic", "comment_replyOf_post_0_0.csv");
+            track("dynamic", "comment_replyOf_comment_0_0.csv");
+        }
+        track("dynamic", "comment_hasTag_tag_0_0.csv");
+    }
+
+    // --- likes ---
+    {
+        let mut post_likes = Csv::create(
+            dir,
+            "person_likes_post_0_0.csv",
+            "Person.id|Post.id|creationDate",
+        )?;
+        let mut comment_likes = Csv::create(
+            dir,
+            "person_likes_comment_0_0.csv",
+            "Person.id|Comment.id|creationDate",
+        )?;
+        for l in graph.likes.iter().filter(|l| in_bulk(l.creation_date)) {
+            let row = [
+                l.person.0.to_string(),
+                l.message.0.to_string(),
+                l.creation_date.to_string(),
+            ];
+            let refs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
+            match graph.messages[l.message.0 as usize].kind {
+                MessageKind::Post => post_likes.row(&refs)?,
+                MessageKind::Comment => comment_likes.row(&refs)?,
+            }
+        }
+        track("dynamic", "person_likes_post_0_0.csv");
+        track("dynamic", "person_likes_comment_0_0.csv");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneratorConfig;
+    use snb_core::scale::ScaleFactor;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("snb_ser_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn small() -> (GeneratorConfig, RawGraph, StaticWorld) {
+        let mut c = GeneratorConfig::for_scale(ScaleFactor::by_name("0.001").unwrap());
+        c.persons = 50;
+        let w = StaticWorld::build(c.seed);
+        let g = crate::generate(&c);
+        (c, g, w)
+    }
+
+    #[test]
+    fn basic_variant_writes_spec_files() {
+        let (c, g, w) = small();
+        let dir = tmpdir("basic");
+        let files = serialize(&g, &w, CsvVariant::Basic, c.stream_cut(), &dir).unwrap();
+        // Spec Table 2.13 lists 33 files.
+        assert_eq!(files.len(), 33, "files: {files:?}");
+        for f in &files {
+            let p = dir.join("social_network").join(f);
+            assert!(p.exists(), "missing {f}");
+            let content = fs::read_to_string(&p).unwrap();
+            assert!(content.lines().count() >= 1, "empty file {f}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_foreign_variant_writes_20_files() {
+        let (c, g, w) = small();
+        let dir = tmpdir("mf");
+        let files = serialize(&g, &w, CsvVariant::MergeForeign, c.stream_cut(), &dir).unwrap();
+        assert_eq!(files.len(), 20, "files: {files:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn composite_variants_file_counts() {
+        let (c, g, w) = small();
+        let dir = tmpdir("comp");
+        let files = serialize(&g, &w, CsvVariant::Composite, c.stream_cut(), &dir).unwrap();
+        assert_eq!(files.len(), 31, "files: {files:?}");
+        let files = serialize(
+            &g,
+            &w,
+            CsvVariant::CompositeMergeForeign,
+            c.stream_cut(),
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(files.len(), 18, "files: {files:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bulk_cut_excludes_tail_records() {
+        let (c, g, w) = small();
+        let cut = c.stream_cut();
+        let dir = tmpdir("cut");
+        serialize(&g, &w, CsvVariant::Basic, cut, &dir).unwrap();
+        let person_csv =
+            fs::read_to_string(dir.join("social_network/dynamic/person_0_0.csv")).unwrap();
+        let rows = person_csv.lines().count() - 1;
+        let expected = g.persons.iter().filter(|p| p.creation_date < cut).count();
+        assert_eq!(rows, expected);
+        assert!(rows <= g.persons.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn person_rows_have_expected_field_count() {
+        let (c, g, w) = small();
+        let dir = tmpdir("fields");
+        serialize(&g, &w, CsvVariant::Composite, c.stream_cut(), &dir).unwrap();
+        let csv = fs::read_to_string(dir.join("social_network/dynamic/person_0_0.csv")).unwrap();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let n = header.split('|').count();
+        assert_eq!(n, 10); // 8 scalar + language + email composites
+        for line in lines {
+            assert_eq!(line.split('|').count(), n, "row: {line}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

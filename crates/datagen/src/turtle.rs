@@ -1,0 +1,291 @@
+//! Turtle serializer (spec §2.3.4.2): RDF output for SPARQL systems.
+//!
+//! Emits the two files the spec names — `0_ldbc_socialnet_static_dbp.ttl`
+//! (places, tags, tag classes, organisations) and `0_ldbc_socialnet.ttl`
+//! (persons, forums, messages and their relations) — using the
+//! `ldbc_socialnet` vocabulary namespace style of the official
+//! serializer. Only records created strictly before the bulk/stream cut
+//! are emitted, mirroring the CSV serializers.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use snb_core::datetime::DateTime;
+use snb_core::model::MessageKind;
+use snb_core::SnbResult;
+
+use crate::dictionaries::{StaticWorld, BROWSERS, COUNTRIES, TAGS, TAG_CLASSES};
+use crate::graph::RawGraph;
+
+const PREFIXES: &str = "\
+@prefix snvoc: <http://www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/> .
+@prefix sn:    <http://www.ldbc.eu/ldbc_socialnet/1.0/data/> .
+@prefix dbp:   <http://dbpedia.org/resource/> .
+@prefix xsd:   <http://www.w3.org/2001/XMLSchema#> .
+@prefix rdf:   <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs:  <http://www.w3.org/2000/01/rdf-schema#> .
+";
+
+/// Escapes a Turtle string literal.
+fn ttl_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn dt_literal(dt: snb_core::DateTime) -> String {
+    format!("\"{dt}\"^^xsd:dateTime")
+}
+
+/// Serializes the static and dynamic graphs as Turtle under
+/// `root/social_network/`. Returns the two file names written.
+pub fn serialize_turtle(
+    graph: &RawGraph,
+    world: &StaticWorld,
+    cut: DateTime,
+    root: &Path,
+) -> SnbResult<Vec<String>> {
+    let base = root.join("social_network");
+    fs::create_dir_all(&base)?;
+    write_static(world, &base)?;
+    write_dynamic(graph, world, cut, &base)?;
+    Ok(vec!["0_ldbc_socialnet_static_dbp.ttl".into(), "0_ldbc_socialnet.ttl".into()])
+}
+
+fn write_static(world: &StaticWorld, base: &Path) -> SnbResult<()> {
+    let mut w = BufWriter::new(File::create(base.join("0_ldbc_socialnet_static_dbp.ttl"))?);
+    writeln!(w, "{PREFIXES}")?;
+    for (pid, name) in world.place_names.iter().enumerate() {
+        let kind = if pid < world.continent_place.len() {
+            "Continent"
+        } else if pid < world.continent_place.len() + world.country_place.len() {
+            "Country"
+        } else {
+            "City"
+        };
+        writeln!(w, "sn:place{pid} rdf:type snvoc:{kind} ;")?;
+        writeln!(w, "    snvoc:id \"{pid}\"^^xsd:long ;")?;
+        writeln!(w, "    rdfs:label {} .", ttl_str(name))?;
+        if kind == "Country" {
+            let ci = pid - world.continent_place.len();
+            writeln!(
+                w,
+                "sn:place{pid} snvoc:isPartOf sn:place{} .",
+                world.continent_place[COUNTRIES[ci].continent].0
+            )?;
+        } else if kind == "City" {
+            if let Some(ci) = world.country_of_city(snb_core::model::PlaceId(pid as u64)) {
+                writeln!(w, "sn:place{pid} snvoc:isPartOf sn:place{} .", world.country_place[ci].0)?;
+            }
+        }
+    }
+    for (ci, &(name, parent)) in TAG_CLASSES.iter().enumerate() {
+        writeln!(w, "sn:tagclass{ci} rdf:type snvoc:TagClass ;")?;
+        writeln!(w, "    rdfs:label {} .", ttl_str(name))?;
+        if ci != 0 {
+            writeln!(w, "sn:tagclass{ci} snvoc:isSubclassOf sn:tagclass{parent} .")?;
+        }
+    }
+    for (ti, &(name, class)) in TAGS.iter().enumerate() {
+        writeln!(w, "sn:tag{ti} rdf:type snvoc:Tag ;")?;
+        writeln!(w, "    rdfs:label {} ;", ttl_str(name))?;
+        writeln!(w, "    snvoc:hasType sn:tagclass{class} .")?;
+    }
+    for (ui, u) in world.universities.iter().enumerate() {
+        writeln!(w, "sn:org{ui} rdf:type snvoc:University ;")?;
+        writeln!(w, "    rdfs:label {} ;", ttl_str(&u.name))?;
+        writeln!(w, "    snvoc:isLocatedIn sn:place{} .", u.city.0)?;
+    }
+    let uni_count = world.universities.len();
+    for (ci, (name, country)) in world.companies.iter().enumerate() {
+        let id = uni_count + ci;
+        writeln!(w, "sn:org{id} rdf:type snvoc:Company ;")?;
+        writeln!(w, "    rdfs:label {} ;", ttl_str(name))?;
+        writeln!(w, "    snvoc:isLocatedIn sn:place{} .", world.country_place[*country].0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn write_dynamic(
+    graph: &RawGraph,
+    world: &StaticWorld,
+    cut: DateTime,
+    base: &Path,
+) -> SnbResult<()> {
+    let in_bulk = |t: DateTime| t < cut;
+    let mut w = BufWriter::new(File::create(base.join("0_ldbc_socialnet.ttl"))?);
+    writeln!(w, "{PREFIXES}")?;
+    for p in graph.persons.iter().filter(|p| in_bulk(p.creation_date)) {
+        let id = p.id.0;
+        writeln!(w, "sn:pers{id} rdf:type snvoc:Person ;")?;
+        writeln!(w, "    snvoc:id \"{id}\"^^xsd:long ;")?;
+        writeln!(w, "    snvoc:firstName {} ;", ttl_str(&p.first_name))?;
+        writeln!(w, "    snvoc:lastName {} ;", ttl_str(&p.last_name))?;
+        writeln!(w, "    snvoc:gender {} ;", ttl_str(p.gender.as_str()))?;
+        writeln!(w, "    snvoc:birthday \"{}\"^^xsd:date ;", p.birthday)?;
+        writeln!(w, "    snvoc:creationDate {} ;", dt_literal(p.creation_date))?;
+        writeln!(w, "    snvoc:locationIP {} ;", ttl_str(&p.location_ip))?;
+        writeln!(w, "    snvoc:browserUsed {} ;", ttl_str(BROWSERS[p.browser as usize].0))?;
+        writeln!(w, "    snvoc:isLocatedIn sn:place{} .", p.city.0)?;
+        for e in &p.emails {
+            writeln!(w, "sn:pers{id} snvoc:email {} .", ttl_str(e))?;
+        }
+        for &l in &p.languages {
+            writeln!(w, "sn:pers{id} snvoc:speaks {} .", ttl_str(world.languages[l as usize]))?;
+        }
+        for t in &p.interests {
+            writeln!(w, "sn:pers{id} snvoc:hasInterest sn:tag{} .", t.0)?;
+        }
+        if let Some((org, year)) = p.study_at {
+            writeln!(
+                w,
+                "sn:pers{id} snvoc:studyAt [ snvoc:hasOrganisation sn:org{} ; snvoc:classYear \"{year}\"^^xsd:int ] .",
+                org.0
+            )?;
+        }
+        for &(org, from) in &p.work_at {
+            writeln!(
+                w,
+                "sn:pers{id} snvoc:workAt [ snvoc:hasOrganisation sn:org{} ; snvoc:workFrom \"{from}\"^^xsd:int ] .",
+                org.0
+            )?;
+        }
+    }
+    for k in graph.knows.iter().filter(|k| in_bulk(k.creation_date)) {
+        writeln!(
+            w,
+            "sn:pers{} snvoc:knows [ snvoc:hasPerson sn:pers{} ; snvoc:creationDate {} ] .",
+            k.a.0,
+            k.b.0,
+            dt_literal(k.creation_date)
+        )?;
+    }
+    for f in graph.forums.iter().filter(|f| in_bulk(f.creation_date)) {
+        let id = f.id.0;
+        writeln!(w, "sn:forum{id} rdf:type snvoc:Forum ;")?;
+        writeln!(w, "    snvoc:title {} ;", ttl_str(&f.title))?;
+        writeln!(w, "    snvoc:creationDate {} ;", dt_literal(f.creation_date))?;
+        writeln!(w, "    snvoc:hasModerator sn:pers{} .", f.moderator.0)?;
+        for t in &f.tags {
+            writeln!(w, "sn:forum{id} snvoc:hasTag sn:tag{} .", t.0)?;
+        }
+    }
+    for m in graph.memberships.iter().filter(|m| in_bulk(m.join_date)) {
+        writeln!(
+            w,
+            "sn:forum{} snvoc:hasMember [ snvoc:hasPerson sn:pers{} ; snvoc:joinDate {} ] .",
+            m.forum.0,
+            m.person.0,
+            dt_literal(m.join_date)
+        )?;
+    }
+    for m in graph.messages.iter().filter(|m| in_bulk(m.creation_date)) {
+        let (node, kind) = match m.kind {
+            MessageKind::Post => (format!("sn:post{}", m.id.0), "Post"),
+            MessageKind::Comment => (format!("sn:comm{}", m.id.0), "Comment"),
+        };
+        writeln!(w, "{node} rdf:type snvoc:{kind} ;")?;
+        writeln!(w, "    snvoc:id \"{}\"^^xsd:long ;", m.id.0)?;
+        writeln!(w, "    snvoc:creationDate {} ;", dt_literal(m.creation_date))?;
+        writeln!(w, "    snvoc:locationIP {} ;", ttl_str(&m.location_ip))?;
+        writeln!(w, "    snvoc:browserUsed {} ;", ttl_str(BROWSERS[m.browser as usize].0))?;
+        writeln!(w, "    snvoc:length \"{}\"^^xsd:int ;", m.length)?;
+        writeln!(w, "    snvoc:hasCreator sn:pers{} ;", m.creator.0)?;
+        writeln!(w, "    snvoc:isLocatedIn sn:place{} .", m.country.0)?;
+        if let Some(img) = &m.image_file {
+            writeln!(w, "{node} snvoc:imageFile {} .", ttl_str(img))?;
+        } else {
+            writeln!(w, "{node} snvoc:content {} .", ttl_str(&m.content))?;
+        }
+        if let Some(l) = m.language {
+            writeln!(w, "{node} snvoc:language {} .", ttl_str(world.languages[l as usize]))?;
+        }
+        if let Some(f) = m.forum {
+            writeln!(w, "sn:forum{} snvoc:containerOf {node} .", f.0)?;
+        }
+        if let Some(parent) = m.reply_of {
+            let parent_kind = graph.messages[parent.0 as usize].kind;
+            let parent_node = match parent_kind {
+                MessageKind::Post => format!("sn:post{}", parent.0),
+                MessageKind::Comment => format!("sn:comm{}", parent.0),
+            };
+            writeln!(w, "{node} snvoc:replyOf {parent_node} .")?;
+        }
+        for t in &m.tags {
+            writeln!(w, "{node} snvoc:hasTag sn:tag{} .", t.0)?;
+        }
+    }
+    for l in graph.likes.iter().filter(|l| in_bulk(l.creation_date)) {
+        let target = match graph.messages[l.message.0 as usize].kind {
+            MessageKind::Post => format!("sn:post{}", l.message.0),
+            MessageKind::Comment => format!("sn:comm{}", l.message.0),
+        };
+        writeln!(
+            w,
+            "sn:pers{} snvoc:likes [ snvoc:hasMessage {target} ; snvoc:creationDate {} ] .",
+            l.person.0,
+            dt_literal(l.creation_date)
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneratorConfig;
+
+    #[test]
+    fn turtle_output_is_well_formed_enough() {
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 40;
+        let world = StaticWorld::build(c.seed);
+        let graph = crate::generate(&c);
+        let dir = std::env::temp_dir().join(format!("snb_ttl_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let files = serialize_turtle(&graph, &world, c.stream_cut(), &dir).unwrap();
+        assert_eq!(files.len(), 2);
+        for f in &files {
+            let content = fs::read_to_string(dir.join("social_network").join(f)).unwrap();
+            assert!(content.starts_with("@prefix snvoc:"));
+            // Every statement line ends in ';' or '.' — a crude
+            // well-formedness check that catches missing terminators.
+            for line in content.lines().filter(|l| !l.is_empty() && !l.starts_with('@')) {
+                assert!(
+                    line.ends_with(';') || line.ends_with('.'),
+                    "unterminated line: {line}"
+                );
+            }
+        }
+        // The dynamic file mentions all bulk persons.
+        let dynamic =
+            fs::read_to_string(dir.join("social_network/0_ldbc_socialnet.ttl")).unwrap();
+        let cut = c.stream_cut();
+        for p in graph.persons.iter().filter(|p| p.creation_date < cut) {
+            assert!(dynamic.contains(&format!("sn:pers{} rdf:type", p.id.0)));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(ttl_str("plain"), "\"plain\"");
+        assert_eq!(ttl_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(ttl_str("line\nbreak"), "\"line\\nbreak\"");
+    }
+}

@@ -1,0 +1,247 @@
+//! The BI-workload driver: power and throughput tests.
+//!
+//! * **Power test** — every query runs sequentially over its curated
+//!   parameter bindings; per-query latency statistics are reported (the
+//!   shape of the BI paper's per-query runtime tables).
+//! * **Throughput test** — `n` client threads concurrently drain a
+//!   shared queue of (query, binding) work items against the read-only
+//!   store; reports aggregate queries/second.
+//! * **Validation mode** (spec §6.2) — every binding executed through
+//!   both engines, failing on the first mismatch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use snb_bi::BiParams;
+use snb_core::SnbResult;
+use snb_params::ParamGen;
+use snb_store::Store;
+
+/// Which engine a run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// CSR + hash aggregation + top-k pruning.
+    Optimized,
+    /// Full-materialisation reference plans.
+    Naive,
+}
+
+/// Per-query power-test statistics.
+#[derive(Clone, Debug)]
+pub struct QueryStats {
+    /// BI query number.
+    pub query: u8,
+    /// Number of bindings executed.
+    pub executions: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// Maximum latency.
+    pub max: Duration,
+    /// Coefficient of variation of the latencies (stddev / mean) — the
+    /// parameter-curation quality metric of experiment E4.
+    pub cv: f64,
+    /// Total rows returned.
+    pub total_rows: usize,
+}
+
+fn stats_for(query: u8, lats: &[Duration], rows: usize) -> QueryStats {
+    let mut sorted: Vec<Duration> = lats.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len().max(1);
+    let total: Duration = sorted.iter().sum();
+    let mean = total / n as u32;
+    let mean_s = mean.as_secs_f64();
+    let var = sorted
+        .iter()
+        .map(|d| {
+            let x = d.as_secs_f64() - mean_s;
+            x * x
+        })
+        .sum::<f64>()
+        / n as f64;
+    QueryStats {
+        query,
+        executions: sorted.len(),
+        mean,
+        p50: sorted.get(n / 2).copied().unwrap_or_default(),
+        max: sorted.last().copied().unwrap_or_default(),
+        cv: if mean_s > 0.0 { var.sqrt() / mean_s } else { 0.0 },
+        total_rows: rows,
+    }
+}
+
+/// Runs the power test over queries `queries` with `bindings_per_query`
+/// curated bindings each.
+pub fn power_test(
+    store: &Store,
+    queries: &[u8],
+    bindings_per_query: usize,
+    engine: Engine,
+    seed: u64,
+) -> Vec<QueryStats> {
+    let gen = ParamGen::new(store, seed);
+    let mut out = Vec::new();
+    for &q in queries {
+        let bindings = gen.bi_params(q, bindings_per_query);
+        let mut lats = Vec::with_capacity(bindings.len());
+        let mut rows = 0usize;
+        for b in &bindings {
+            let started = Instant::now();
+            let summary = match engine {
+                Engine::Optimized => snb_bi::run(store, b),
+                Engine::Naive => snb_bi::run_naive(store, b),
+            };
+            lats.push(started.elapsed());
+            rows += summary.rows;
+        }
+        out.push(stats_for(q, &lats, rows));
+    }
+    out
+}
+
+/// Runs `bindings` (pre-generated) and returns their latencies — used
+/// by experiment E4 to compare curated against random bindings.
+pub fn run_bindings(store: &Store, bindings: &[BiParams]) -> Vec<Duration> {
+    bindings
+        .iter()
+        .map(|b| {
+            let started = Instant::now();
+            let _ = snb_bi::run(store, b);
+            started.elapsed()
+        })
+        .collect()
+}
+
+/// Throughput-test report.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total queries executed.
+    pub queries_executed: usize,
+    /// Wall-clock duration of the drain.
+    pub wall: Duration,
+    /// Queries per second.
+    pub qps: f64,
+}
+
+/// Runs the throughput test: `threads` workers drain a shared queue of
+/// (query, binding) items against the shared read-only store.
+pub fn throughput_test(
+    store: &Store,
+    queries: &[u8],
+    bindings_per_query: usize,
+    threads: usize,
+    seed: u64,
+) -> ThroughputReport {
+    let gen = ParamGen::new(store, seed);
+    let mut work: Vec<BiParams> = Vec::new();
+    for &q in queries {
+        work.extend(gen.bi_params(q, bindings_per_query));
+    }
+    let cursor = AtomicUsize::new(0);
+    let started = Instant::now();
+    let executed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let _ = snb_bi::run(store, &work[i]);
+                executed.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let queries_executed = executed.load(Ordering::Relaxed);
+    ThroughputReport {
+        threads,
+        queries_executed,
+        wall,
+        qps: queries_executed as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Validation mode: run every binding through both engines (spec §6.2's
+/// "driver in validation mode"); errors on the first mismatch.
+pub fn validate_all(
+    store: &Store,
+    queries: &[u8],
+    bindings_per_query: usize,
+    seed: u64,
+) -> SnbResult<usize> {
+    let gen = ParamGen::new(store, seed);
+    let mut validated = 0;
+    for &q in queries {
+        for b in gen.bi_params(q, bindings_per_query) {
+            snb_bi::validate(store, &b)?;
+            validated += 1;
+        }
+    }
+    Ok(validated)
+}
+
+/// All 25 BI query numbers.
+pub const ALL_BI_QUERIES: [u8; 25] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::GeneratorConfig;
+    use snb_store::store_for_config;
+    use std::sync::OnceLock;
+
+    fn store() -> &'static Store {
+        static S: OnceLock<Store> = OnceLock::new();
+        S.get_or_init(|| {
+            let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+            c.persons = 120;
+            store_for_config(&c)
+        })
+    }
+
+    #[test]
+    fn power_test_covers_requested_queries() {
+        let stats = power_test(store(), &[1, 12, 17], 3, Engine::Optimized, 7);
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert!(s.executions > 0);
+            assert!(s.max >= s.p50);
+        }
+    }
+
+    #[test]
+    fn validation_passes_on_all_queries() {
+        let validated = validate_all(store(), &ALL_BI_QUERIES, 2, 7).unwrap();
+        assert!(validated >= 25, "validated only {validated}");
+    }
+
+    #[test]
+    fn throughput_scales_worker_count() {
+        let r1 = throughput_test(store(), &[1, 3, 12], 4, 1, 7);
+        let r4 = throughput_test(store(), &[1, 3, 12], 4, 4, 7);
+        assert_eq!(r1.queries_executed, r4.queries_executed);
+        assert!(r1.qps > 0.0 && r4.qps > 0.0);
+    }
+
+    #[test]
+    fn stats_math() {
+        let lats = [
+            Duration::from_micros(100),
+            Duration::from_micros(200),
+            Duration::from_micros(300),
+        ];
+        let s = stats_for(9, &lats, 5);
+        assert_eq!(s.mean, Duration::from_micros(200));
+        assert_eq!(s.p50, Duration::from_micros(200));
+        assert_eq!(s.max, Duration::from_micros(300));
+        assert!(s.cv > 0.0);
+        assert_eq!(s.total_rows, 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Concurrent mixed read/write execution (spec §6.4, *Serializability*).
+//!
+//! The spec's optional serializability check: updates may execute
+//! atomically while reads run concurrently, and an auditor verifies
+//! serializability. This module provides the concurrency harness:
+//!
+//! * the store sits behind a [`parking_lot::RwLock`] — updates take the
+//!   write lock (each IU is one atomic critical section), reads take
+//!   the read lock and therefore always observe a transaction-
+//!   consistent snapshot;
+//! * a writer thread drains the update stream through a
+//!   [`crossbeam::channel`] while `n` reader threads execute complex
+//!   reads;
+//! * serializability evidence: periodic invariant checks under the
+//!   read lock must never observe a half-applied update, and the final
+//!   state must equal a serial replay of the same stream.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use parking_lot::RwLock;
+
+use snb_core::SnbResult;
+use snb_datagen::dictionaries::StaticWorld;
+use snb_datagen::stream::TimedEvent;
+use snb_interactive::IcParams;
+use snb_store::Store;
+
+/// Outcome of a concurrent run.
+#[derive(Debug)]
+pub struct ConcurrentReport {
+    /// Updates applied by the writer.
+    pub updates_applied: usize,
+    /// Complex reads executed across all readers.
+    pub reads_executed: usize,
+    /// Consistency checks performed while the writer was active.
+    pub consistency_checks: usize,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+}
+
+/// Runs `reader_threads` complex-read loops concurrently with a writer
+/// that applies every event in `events`. Each reader cycles through
+/// `bindings`; a checker thread repeatedly validates store invariants
+/// under the read lock (the serializability probe). Returns once the
+/// stream is drained and all readers have stopped.
+pub fn run_concurrent(
+    store: Store,
+    world: &StaticWorld,
+    events: &[TimedEvent],
+    bindings: &[IcParams],
+    reader_threads: usize,
+) -> SnbResult<(Store, ConcurrentReport)> {
+    let lock = RwLock::new(store);
+    let done = AtomicBool::new(false);
+    let reads = AtomicUsize::new(0);
+    let checks = AtomicUsize::new(0);
+    let (tx, rx) = channel::bounded::<&TimedEvent>(256);
+    let started = Instant::now();
+    let mut writer_result: SnbResult<usize> = Ok(0);
+
+    std::thread::scope(|scope| {
+        // Readers: cycle bindings until the writer finishes.
+        for r in 0..reader_threads.max(1) {
+            let lock = &lock;
+            let done = &done;
+            let reads = &reads;
+            scope.spawn(move || {
+                let mut i = r; // offset so readers hit different bindings
+                while !done.load(Ordering::Acquire) {
+                    if bindings.is_empty() {
+                        break;
+                    }
+                    let guard = lock.read();
+                    let _ = snb_interactive::run_complex(&guard, &bindings[i % bindings.len()]);
+                    drop(guard);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += reader_threads;
+                }
+            });
+        }
+        // Consistency checker: snapshot-level serializability probe.
+        {
+            let lock = &lock;
+            let done = &done;
+            let checks = &checks;
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let guard = lock.read();
+                    guard
+                        .validate_invariants()
+                        .expect("reader observed a half-applied update");
+                    drop(guard);
+                    checks.fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Feeder → writer: one atomic write-lock section per event.
+        let feeder = scope.spawn(move || {
+            for e in events {
+                if tx.send(e).is_err() {
+                    break;
+                }
+            }
+            // Sender dropped here closes the channel.
+        });
+        let writer = scope.spawn(|| {
+            let mut applied = 0usize;
+            for e in rx.iter() {
+                let mut guard = lock.write();
+                guard.apply_event(e, world)?;
+                drop(guard);
+                applied += 1;
+            }
+            Ok::<usize, snb_core::SnbError>(applied)
+        });
+        let result = writer.join().expect("writer thread panicked");
+        feeder.join().expect("feeder thread panicked");
+        done.store(true, Ordering::Release);
+        writer_result = result;
+    });
+
+    let applied = writer_result?;
+    let report = ConcurrentReport {
+        updates_applied: applied,
+        reads_executed: reads.load(Ordering::Relaxed),
+        consistency_checks: checks.load(Ordering::Relaxed),
+        wall: started.elapsed(),
+    };
+    Ok((lock.into_inner(), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::GeneratorConfig;
+    use snb_params::ParamGen;
+    use snb_store::bulk_store_and_stream;
+
+    #[test]
+    fn concurrent_run_matches_serial_replay() {
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 90;
+        let world = StaticWorld::build(c.seed);
+        let (store, events) = bulk_store_and_stream(&c);
+        let bindings: Vec<IcParams> = {
+            let gen = ParamGen::new(&store, c.seed);
+            (1..=14u8).flat_map(|q| gen.ic_params(q, 1)).collect()
+        };
+        let (concurrent, report) =
+            run_concurrent(store, &world, &events, &bindings, 3).unwrap();
+        assert_eq!(report.updates_applied, events.len());
+        assert!(report.reads_executed > 0, "readers never ran");
+        assert!(report.consistency_checks > 0, "checker never ran");
+
+        // Serial replay oracle.
+        let (mut serial, events2) = bulk_store_and_stream(&c);
+        for e in &events2 {
+            serial.apply_event(e, &world).unwrap();
+        }
+        assert_eq!(concurrent.persons.len(), serial.persons.len());
+        assert_eq!(concurrent.messages.len(), serial.messages.len());
+        assert_eq!(concurrent.knows.edge_count(), serial.knows.edge_count());
+        assert_eq!(concurrent.person_likes.edge_count(), serial.person_likes.edge_count());
+        concurrent.validate_invariants().unwrap();
+
+        // Query-level equality of the final states.
+        let gen = ParamGen::new(&serial, c.seed);
+        for q in [2u8, 7, 12, 13] {
+            for b in gen.ic_params(q, 2) {
+                assert_eq!(
+                    snb_interactive::run_complex(&concurrent, &b),
+                    snb_interactive::run_complex(&serial, &b),
+                    "IC {q} differs after concurrent replay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_still_terminates() {
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 30;
+        let world = StaticWorld::build(c.seed);
+        let (store, _) = bulk_store_and_stream(&c);
+        let (final_store, report) = run_concurrent(store, &world, &[], &[], 2).unwrap();
+        assert_eq!(report.updates_applied, 0);
+        final_store.validate_invariants().unwrap();
+    }
+}

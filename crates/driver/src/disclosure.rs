@@ -1,0 +1,220 @@
+//! Full Disclosure Report support (spec chapter 6).
+//!
+//! The FDR "allows reproduction of any benchmark result by a third
+//! party": system details (§6.1.1), benchmark configuration, load time,
+//! the results directory (§6.2: configuration settings used, results
+//! log, results summary). This module collects what is collectable
+//! programmatically and writes the results directory layout the
+//! auditor retrieves.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+use snb_core::SnbResult;
+
+use crate::log::ResultsLog;
+
+/// System details per §6.1.1, best-effort from the running host.
+#[derive(Clone, Debug, Default)]
+pub struct SystemDetails {
+    /// OS name/version string.
+    pub os: String,
+    /// CPU model.
+    pub cpu: String,
+    /// Logical CPU count.
+    pub cpus: usize,
+    /// Total memory in MiB.
+    pub memory_mib: u64,
+    /// Rust compiler version used to build the SUT.
+    pub rustc: String,
+}
+
+impl SystemDetails {
+    /// Collects details from `/proc` and the environment (Linux).
+    pub fn collect() -> SystemDetails {
+        let os = std::fs::read_to_string("/proc/version")
+            .unwrap_or_else(|_| "unknown".into())
+            .trim()
+            .to_string();
+        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let cpu = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown".into());
+        let cpus = cpuinfo.matches("processor\t").count().max(1);
+        let memory_mib = std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|m| {
+                m.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
+                    l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok())
+                })
+            })
+            .map(|kb| kb / 1024)
+            .unwrap_or(0);
+        let rustc = option_env!("CARGO_PKG_RUST_VERSION").unwrap_or("stable").to_string();
+        SystemDetails { os, cpu, cpus, memory_mib, rustc }
+    }
+}
+
+/// Everything that goes into the disclosure document.
+pub struct Disclosure<'a> {
+    /// Host details.
+    pub system: SystemDetails,
+    /// Benchmark-kit version triple (spec §6.1: specification, data
+    /// generator, driver versions).
+    pub versions: (&'a str, &'a str, &'a str),
+    /// Scale-factor name.
+    pub scale_factor: &'a str,
+    /// Generator seed.
+    pub seed: u64,
+    /// Measured bulk-load time.
+    pub load_time: Duration,
+    /// Store statistics after load.
+    pub stats: snb_store::StoreStats,
+    /// The run's results log.
+    pub log: &'a ResultsLog,
+}
+
+impl Disclosure<'_> {
+    /// Renders the FDR as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Full Disclosure Report\n");
+        let _ = writeln!(out, "## Versions (§6.1)\n");
+        let _ = writeln!(out, "- specification: {}", self.versions.0);
+        let _ = writeln!(out, "- data generator: {}", self.versions.1);
+        let _ = writeln!(out, "- driver: {}\n", self.versions.2);
+        let _ = writeln!(out, "## System under test (§6.1.1)\n");
+        let _ = writeln!(out, "- OS: {}", self.system.os);
+        let _ = writeln!(out, "- CPU: {} × {}", self.system.cpus, self.system.cpu);
+        let _ = writeln!(out, "- memory: {} MiB", self.system.memory_mib);
+        let _ = writeln!(out, "- toolchain: rustc {}\n", self.system.rustc);
+        let _ = writeln!(out, "## Dataset (§6.1.3)\n");
+        let _ = writeln!(out, "- scale factor: {} (seed {})", self.scale_factor, self.seed);
+        let _ = writeln!(
+            out,
+            "- loaded: {} nodes, {} edges ({} persons, {} posts, {} comments)",
+            self.stats.nodes,
+            self.stats.edges,
+            self.stats.persons,
+            self.stats.posts,
+            self.stats.comments
+        );
+        let _ = writeln!(out, "- load time: {:.3?}\n", self.load_time);
+        let _ = writeln!(out, "## Run summary (§6.2)\n");
+        let _ = writeln!(out, "- operations executed: {}", self.log.records.len());
+        let _ = writeln!(
+            out,
+            "- on-schedule (<1s late): {:.2}% → audit {}",
+            self.log.on_schedule_fraction(Duration::from_secs(1)) * 100.0,
+            if self.log.passes_audit() { "PASS" } else { "FAIL" }
+        );
+        let _ = writeln!(out, "\n| operation | count | mean | p50 | p95 | max |");
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for s in self.log.latency_stats() {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:?} | {:?} | {:?} | {:?} |",
+                s.operation, s.count, s.mean, s.p50, s.p95, s.max
+            );
+        }
+        out
+    }
+
+    /// Writes the §6.2 results directory: `results_log.csv`,
+    /// `results_summary.md` (the FDR), and `configuration.txt`.
+    pub fn write_results_dir(&self, dir: &Path) -> SnbResult<()> {
+        std::fs::create_dir_all(dir)?;
+        self.log.write_csv(&dir.join("results_log.csv"))?;
+        std::fs::write(dir.join("results_summary.md"), self.render())?;
+        let mut cfg = std::fs::File::create(dir.join("configuration.txt"))?;
+        writeln!(cfg, "scale_factor={}", self.scale_factor)?;
+        writeln!(cfg, "seed={}", self.seed)?;
+        writeln!(cfg, "spec_version={}", self.versions.0)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogRecord;
+
+    fn sample_log() -> ResultsLog {
+        let mut log = ResultsLog::default();
+        for i in 0..10u64 {
+            log.push(LogRecord {
+                operation: format!("IC {}", i % 3 + 1),
+                scheduled_start: Duration::from_millis(i),
+                actual_start: Duration::from_millis(i),
+                latency: Duration::from_micros(100 + i),
+                result_count: i as usize,
+            });
+        }
+        log
+    }
+
+    fn sample_stats() -> snb_store::StoreStats {
+        snb_store::StoreStats {
+            nodes: 1000,
+            edges: 5000,
+            persons: 100,
+            forums: 150,
+            posts: 300,
+            comments: 450,
+            knows: 600,
+            likes: 700,
+        }
+    }
+
+    #[test]
+    fn system_details_collect_on_linux() {
+        let d = SystemDetails::collect();
+        assert!(d.cpus >= 1);
+        assert!(!d.os.is_empty());
+    }
+
+    #[test]
+    fn render_contains_required_sections() {
+        let log = sample_log();
+        let d = Disclosure {
+            system: SystemDetails::collect(),
+            versions: ("0.3.3", "snb-datagen 0.1.0", "snb-driver 0.1.0"),
+            scale_factor: "0.003",
+            seed: 42,
+            load_time: Duration::from_millis(123),
+            stats: sample_stats(),
+            log: &log,
+        };
+        let md = d.render();
+        for section in ["Versions", "System under test", "Dataset", "Run summary"] {
+            assert!(md.contains(section), "missing {section}");
+        }
+        assert!(md.contains("audit PASS"));
+    }
+
+    #[test]
+    fn results_dir_layout() {
+        let log = sample_log();
+        let d = Disclosure {
+            system: SystemDetails::default(),
+            versions: ("0.3.3", "dg", "drv"),
+            scale_factor: "0.001",
+            seed: 1,
+            load_time: Duration::from_secs(1),
+            stats: sample_stats(),
+            log: &log,
+        };
+        let dir = std::env::temp_dir().join(format!("snb_fdr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        d.write_results_dir(&dir).unwrap();
+        assert!(dir.join("results_log.csv").exists());
+        assert!(dir.join("results_summary.md").exists());
+        assert!(dir.join("configuration.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,191 @@
+//! Results log and audit checks (spec §6.2).
+//!
+//! Every executed operation records its scheduled and actual start
+//! times plus its latency; a run is *on schedule* when at least 95% of
+//! operations start within one second of their schedule
+//! (`actual_start_time - scheduled_start_time < 1 second`).
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+use snb_core::SnbResult;
+
+/// One results-log record.
+#[derive(Clone, Debug)]
+pub struct LogRecord {
+    /// Operation label, e.g. `"IC 9"` or `"IU 7"`.
+    pub operation: String,
+    /// Scheduled start offset from run begin.
+    pub scheduled_start: Duration,
+    /// Actual start offset from run begin.
+    pub actual_start: Duration,
+    /// Execution latency.
+    pub latency: Duration,
+    /// Result row count (0 for updates).
+    pub result_count: usize,
+}
+
+/// The results log of a run.
+#[derive(Default, Debug)]
+pub struct ResultsLog {
+    /// All executed operations in execution order.
+    pub records: Vec<LogRecord>,
+}
+
+/// Latency statistics for one operation type.
+#[derive(Clone, Debug)]
+pub struct LatencyStats {
+    /// Operation label.
+    pub operation: String,
+    /// Number of executions.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th percentile latency.
+    pub p95: Duration,
+    /// Maximum latency.
+    pub max: Duration,
+}
+
+impl ResultsLog {
+    /// Appends a record.
+    pub fn push(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// Fraction of operations starting within `tolerance` of schedule.
+    pub fn on_schedule_fraction(&self, tolerance: Duration) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        let on_time = self
+            .records
+            .iter()
+            .filter(|r| r.actual_start.saturating_sub(r.scheduled_start) < tolerance)
+            .count();
+        on_time as f64 / self.records.len() as f64
+    }
+
+    /// The spec's audit rule: 95% of operations start less than one
+    /// second late.
+    pub fn passes_audit(&self) -> bool {
+        self.on_schedule_fraction(Duration::from_secs(1)) >= 0.95
+    }
+
+    /// Per-operation latency summaries, sorted by label.
+    pub fn latency_stats(&self) -> Vec<LatencyStats> {
+        use std::collections::BTreeMap;
+        let mut by_op: BTreeMap<&str, Vec<Duration>> = BTreeMap::new();
+        for r in &self.records {
+            by_op.entry(&r.operation).or_default().push(r.latency);
+        }
+        by_op
+            .into_iter()
+            .map(|(op, mut lats)| {
+                lats.sort_unstable();
+                let count = lats.len();
+                let total: Duration = lats.iter().sum();
+                LatencyStats {
+                    operation: op.to_string(),
+                    count,
+                    mean: total / count as u32,
+                    p50: lats[count / 2],
+                    p95: lats[(count * 95 / 100).min(count - 1)],
+                    max: *lats.last().expect("non-empty"),
+                }
+            })
+            .collect()
+    }
+
+    /// Writes `results_log.csv` in the audit layout.
+    pub fn write_csv(&self, path: &Path) -> SnbResult<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            f,
+            "operation|scheduled_start_time_us|actual_start_time_us|latency_us|result_count"
+        )?;
+        for r in &self.records {
+            writeln!(
+                f,
+                "{}|{}|{}|{}|{}",
+                r.operation,
+                r.scheduled_start.as_micros(),
+                r.actual_start.as_micros(),
+                r.latency.as_micros(),
+                r.result_count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(op: &str, sched_ms: u64, actual_ms: u64) -> LogRecord {
+        LogRecord {
+            operation: op.into(),
+            scheduled_start: Duration::from_millis(sched_ms),
+            actual_start: Duration::from_millis(actual_ms),
+            latency: Duration::from_micros(250),
+            result_count: 1,
+        }
+    }
+
+    #[test]
+    fn audit_passes_at_95_percent() {
+        let mut log = ResultsLog::default();
+        for i in 0..95 {
+            log.push(record("IC 1", i, i)); // on time
+        }
+        for i in 0..5 {
+            log.push(record("IC 1", i, i + 5_000)); // 5 s late
+        }
+        assert!(log.passes_audit());
+        log.push(record("IC 1", 0, 10_000));
+        assert!(!log.passes_audit());
+    }
+
+    #[test]
+    fn early_starts_are_on_time() {
+        let mut log = ResultsLog::default();
+        log.push(record("IU 2", 100, 50)); // started early
+        assert_eq!(log.on_schedule_fraction(Duration::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn latency_stats_grouped_and_ordered() {
+        let mut log = ResultsLog::default();
+        for (op, us) in [("IC 2", 100u64), ("IC 1", 300), ("IC 2", 200), ("IC 1", 100)] {
+            log.push(LogRecord {
+                operation: op.into(),
+                scheduled_start: Duration::ZERO,
+                actual_start: Duration::ZERO,
+                latency: Duration::from_micros(us),
+                result_count: 0,
+            });
+        }
+        let stats = log.latency_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].operation, "IC 1");
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].mean, Duration::from_micros(200));
+        assert_eq!(stats[0].max, Duration::from_micros(300));
+    }
+
+    #[test]
+    fn csv_round_trips_row_count() {
+        let mut log = ResultsLog::default();
+        log.push(record("IC 3", 1, 2));
+        log.push(record("IU 8", 3, 4));
+        let path = std::env::temp_dir().join(format!("snb_log_{}.csv", std::process::id()));
+        log.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,141 @@
+//! Query-mix scheduling (spec §3.4, Table 3.1 / Appendix B.1).
+//!
+//! Update times come from the update streams (simulation time). Each
+//! complex-read type has a per-SF *frequency*: one instance is issued
+//! every `freq` update operations. Short-read sequences are chained
+//! after complex reads with a decaying continuation probability. The
+//! Time Compression Ratio squeezes or stretches the whole schedule
+//! without changing the ratios.
+
+/// Per-scale-factor complex-read frequencies (spec Table B.1).
+/// Index 0 = IC 1 … index 13 = IC 14.
+pub const FREQUENCIES: &[(&str, [u32; 14])] = &[
+    ("1", [26, 37, 69, 36, 57, 129, 87, 45, 157, 30, 16, 44, 19, 49]),
+    ("3", [26, 37, 79, 36, 61, 172, 72, 27, 209, 32, 17, 44, 19, 49]),
+    ("10", [26, 37, 92, 36, 66, 236, 54, 15, 287, 35, 19, 44, 19, 49]),
+    ("30", [26, 37, 106, 36, 72, 316, 48, 9, 384, 37, 20, 44, 19, 49]),
+    ("100", [26, 37, 123, 36, 78, 434, 38, 5, 527, 40, 22, 44, 19, 49]),
+    ("300", [26, 37, 142, 36, 84, 580, 32, 3, 705, 44, 24, 44, 19, 49]),
+    ("1000", [26, 37, 165, 36, 91, 796, 25, 1, 967, 47, 26, 44, 19, 49]),
+];
+
+/// Frequencies for a scale-factor name; sub-SF scales use the SF 1
+/// column (the spec defines frequencies from SF 1 up).
+pub fn frequencies_for(sf_name: &str) -> [u32; 14] {
+    FREQUENCIES
+        .iter()
+        .find(|(name, _)| *name == sf_name)
+        .map(|&(_, f)| f)
+        .unwrap_or(FREQUENCIES[0].1)
+}
+
+/// One scheduled operation kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// An update from the stream (IU 1–8); payload index into the event
+    /// vector.
+    Update(usize),
+    /// A complex read IC `1..=14`; payload is the binding index.
+    Complex(u8, usize),
+}
+
+/// An operation with its scheduled simulation timestamp.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledOp {
+    /// Simulation-time schedule.
+    pub sim_time: snb_core::DateTime,
+    /// What to run.
+    pub kind: OpKind,
+}
+
+/// Builds the interleaved schedule: every update at its stream time,
+/// and one IC `q` instance on every `freq[q]`-th update (the driver's
+/// `update_interleave` rule). Binding indices cycle per query type.
+pub fn build_schedule(
+    update_times: &[snb_core::DateTime],
+    frequencies: &[u32; 14],
+) -> Vec<ScheduledOp> {
+    let mut ops = Vec::with_capacity(update_times.len() + update_times.len() / 8);
+    let mut issued = [0usize; 14];
+    for (i, &t) in update_times.iter().enumerate() {
+        ops.push(ScheduledOp { sim_time: t, kind: OpKind::Update(i) });
+        for (q, &freq) in frequencies.iter().enumerate() {
+            if freq != 0 && (i + 1) % freq as usize == 0 {
+                ops.push(ScheduledOp {
+                    sim_time: t,
+                    kind: OpKind::Complex(q as u8 + 1, issued[q]),
+                });
+                issued[q] += 1;
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::DateTime;
+
+    #[test]
+    fn sf1_frequencies_match_spec_table() {
+        let f = frequencies_for("1");
+        assert_eq!(f[0], 26);
+        assert_eq!(f[5], 129); // IC 6
+        assert_eq!(f[8], 157); // IC 9
+        assert_eq!(f[13], 49); // IC 14
+    }
+
+    #[test]
+    fn scale_dependent_frequencies() {
+        // IC 8's frequency decays with SF (spec Table B.1).
+        assert_eq!(frequencies_for("1")[7], 45);
+        assert_eq!(frequencies_for("100")[7], 5);
+        assert_eq!(frequencies_for("1000")[7], 1);
+        // Unknown SFs fall back to SF 1.
+        assert_eq!(frequencies_for("0.003"), frequencies_for("1"));
+    }
+
+    #[test]
+    fn schedule_ratios_follow_frequencies() {
+        let times: Vec<DateTime> = (0..10_000).map(|i| DateTime(i * 1000)).collect();
+        let freq = frequencies_for("1");
+        let ops = build_schedule(&times, &freq);
+        let updates = ops.iter().filter(|o| matches!(o.kind, OpKind::Update(_))).count();
+        assert_eq!(updates, 10_000);
+        for q in 1..=14u8 {
+            let count = ops
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Complex(qq, _) if qq == q))
+                .count();
+            let expect = 10_000 / freq[q as usize - 1] as usize;
+            assert_eq!(count, expect, "IC {q}");
+        }
+    }
+
+    #[test]
+    fn schedule_is_time_ordered() {
+        let times: Vec<DateTime> = (0..500).map(|i| DateTime(i * 7)).collect();
+        let ops = build_schedule(&times, &frequencies_for("1"));
+        for w in ops.windows(2) {
+            assert!(w[0].sim_time <= w[1].sim_time);
+        }
+    }
+
+    #[test]
+    fn binding_indices_increment_per_type() {
+        let times: Vec<DateTime> = (0..200).map(DateTime).collect();
+        let ops = build_schedule(&times, &frequencies_for("1"));
+        let mut last: [Option<usize>; 14] = [None; 14];
+        for op in ops {
+            if let OpKind::Complex(q, ix) = op.kind {
+                let slot = &mut last[q as usize - 1];
+                match slot {
+                    None => assert_eq!(ix, 0),
+                    Some(prev) => assert_eq!(ix, *prev + 1),
+                }
+                *slot = Some(ix);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Group-by helpers.
+//!
+//! BI queries are aggregation-heavy (choke points CP-1.1/1.2/1.4); the
+//! hot structure is an integer-keyed hash map, so groups use `FxHashMap`
+//! throughout (see the perf guide's hashing chapter).
+
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+/// Counts occurrences per key.
+pub fn count_by<K: Eq + Hash, I: IntoIterator<Item = K>>(items: I) -> FxHashMap<K, u64> {
+    let mut map = FxHashMap::default();
+    for k in items {
+        *map.entry(k).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Folds values per key with an accumulator.
+pub fn fold_by<K, V, A, I, F>(items: I, init: A, mut f: F) -> FxHashMap<K, A>
+where
+    K: Eq + Hash,
+    A: Clone,
+    I: IntoIterator<Item = (K, V)>,
+    F: FnMut(&mut A, V),
+{
+    let mut map: FxHashMap<K, A> = FxHashMap::default();
+    for (k, v) in items {
+        f(map.entry(k).or_insert_with(|| init.clone()), v);
+    }
+    map
+}
+
+/// Collects distinct elements per key (the spec's `count(DISTINCT …)`
+/// aggregation semantics, §3.2).
+pub fn distinct_by<K, V, I>(items: I) -> FxHashMap<K, rustc_hash::FxHashSet<V>>
+where
+    K: Eq + Hash,
+    V: Eq + Hash,
+    I: IntoIterator<Item = (K, V)>,
+{
+    let mut map: FxHashMap<K, rustc_hash::FxHashSet<V>> = FxHashMap::default();
+    for (k, v) in items {
+        map.entry(k).or_default().insert(v);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_by_counts() {
+        let m = count_by(vec![1, 2, 2, 3, 3, 3]);
+        assert_eq!(m[&1], 1);
+        assert_eq!(m[&2], 2);
+        assert_eq!(m[&3], 3);
+    }
+
+    #[test]
+    fn fold_by_accumulates() {
+        let m = fold_by(vec![("a", 1), ("b", 2), ("a", 3)], 0i32, |acc, v| *acc += v);
+        assert_eq!(m[&"a"], 4);
+        assert_eq!(m[&"b"], 2);
+    }
+
+    #[test]
+    fn distinct_by_dedups() {
+        let m = distinct_by(vec![(1, 10), (1, 10), (1, 20), (2, 10)]);
+        assert_eq!(m[&1].len(), 2);
+        assert_eq!(m[&2].len(), 1);
+    }
+}

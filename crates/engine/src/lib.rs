@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # snb-engine
+//!
+//! The query-execution toolkit the workload implementations are built
+//! from:
+//!
+//! * [`topk`] — bounded top-k with the spec's composite tie-breaking
+//!   keys and a pruning hook for choke point CP-1.3;
+//! * [`group`] — `FxHashMap`-backed aggregation helpers (CP-1.2/1.4);
+//! * [`traverse`] — BFS k-hop neighbourhoods, bidirectional shortest
+//!   path, all-shortest-paths enumeration, and the trail semantics of
+//!   BI 16 (CP-7.x).
+//!
+//! Queries combine these primitives directly against the store's CSR
+//! adjacency; there is deliberately no interpreted plan layer — each
+//! query is a hand-written physical plan, the way a vendor would
+//! implement the benchmark natively.
+
+pub mod group;
+pub mod topk;
+pub mod traverse;
+
+pub use topk::TopK;

@@ -1,0 +1,201 @@
+//! Bounded top-k selection with spec tie-breaking.
+//!
+//! Every SNB query ends in `ORDER BY … LIMIT k`; evaluating it as
+//! sort-everything-then-truncate is the naive plan. [`TopK`] keeps only
+//! the best `k` rows in a max-heap of the currently-worst kept key, so
+//! a stream of `n` candidates costs `O(n log k)` and — crucially for
+//! choke point CP-1.3 (*top-k pushdown*) — exposes
+//! [`TopK::would_accept`], which lets query code skip work for
+//! candidates that already cannot enter the result.
+//!
+//! Keys are "smaller is better": encode descending orders with
+//! [`std::cmp::Reverse`] inside the key tuple.
+
+use std::collections::BinaryHeap;
+
+struct Entry<K: Ord, T> {
+    key: K,
+    seq: u64,
+    value: T,
+}
+
+impl<K: Ord, T> PartialEq for Entry<K, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<K: Ord, T> Eq for Entry<K, T> {}
+impl<K: Ord, T> PartialOrd for Entry<K, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, T> Ord for Entry<K, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Keeps the `k` smallest-keyed items seen.
+pub struct TopK<K: Ord, T> {
+    k: usize,
+    heap: BinaryHeap<Entry<K, T>>,
+    seq: u64,
+}
+
+impl<K: Ord + Clone, T> TopK<K, T> {
+    /// Creates a collector for the best `k` items.
+    pub fn new(k: usize) -> Self {
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1), seq: 0 }
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether a candidate with `key` would enter the current top-k —
+    /// the CP-1.3 pruning hook: callers can skip building expensive row
+    /// payloads when this is false.
+    pub fn would_accept(&self, key: &K) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            return true;
+        }
+        let worst = &self.heap.peek().expect("heap non-empty").key;
+        key < worst
+    }
+
+    /// The current k-th (worst kept) key, if the collector is full.
+    pub fn threshold(&self) -> Option<&K> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| &e.key)
+        }
+    }
+
+    /// Offers an item; keeps it only if it beats the current top-k.
+    pub fn push(&mut self, key: K, value: T) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { key, seq: self.seq, value });
+            self.seq += 1;
+        } else if key < self.heap.peek().expect("heap non-empty").key {
+            self.heap.pop();
+            self.heap.push(Entry { key, seq: self.seq, value });
+            self.seq += 1;
+        }
+    }
+
+    /// Consumes the collector, returning items ascending by key (the
+    /// query's ORDER BY order).
+    pub fn into_sorted(self) -> Vec<T> {
+        let mut entries = self.heap.into_vec();
+        entries.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
+        entries.into_iter().map(|e| e.value).collect()
+    }
+
+    /// Like [`TopK::into_sorted`] but returns `(key, value)` pairs.
+    pub fn into_sorted_entries(self) -> Vec<(K, T)> {
+        let mut entries = self.heap.into_vec();
+        entries.sort_by(|a, b| a.key.cmp(&b.key).then(a.seq.cmp(&b.seq)));
+        entries.into_iter().map(|e| (e.key, e.value)).collect()
+    }
+}
+
+/// Reference implementation used by the naive engine and tests:
+/// sort the whole candidate set and truncate.
+pub fn sort_truncate<K: Ord, T>(mut items: Vec<(K, T)>, k: usize) -> Vec<T> {
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    items.truncate(k);
+    items.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn keeps_k_smallest_in_order() {
+        let mut tk = TopK::new(3);
+        for v in [5, 1, 9, 3, 7, 2, 8] {
+            tk.push(v, v * 10);
+        }
+        assert_eq!(tk.into_sorted(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn descending_via_reverse() {
+        let mut tk = TopK::new(2);
+        for (count, id) in [(5u32, 1u64), (9, 2), (9, 3), (1, 4)] {
+            tk.push((Reverse(count), id), id);
+        }
+        // Highest count first; ties by ascending id.
+        assert_eq!(tk.into_sorted(), vec![2, 3]);
+    }
+
+    #[test]
+    fn would_accept_prunes_correctly() {
+        let mut tk = TopK::new(2);
+        tk.push(10, "a");
+        assert!(tk.would_accept(&100), "not full yet: accept anything");
+        tk.push(20, "b");
+        assert!(!tk.would_accept(&20), "equal to worst: rejected");
+        assert!(!tk.would_accept(&25));
+        assert!(tk.would_accept(&15));
+        assert_eq!(tk.threshold(), Some(&20));
+        tk.push(15, "c");
+        assert_eq!(tk.threshold(), Some(&15));
+        assert_eq!(tk.into_sorted(), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn zero_k_accepts_nothing() {
+        let mut tk: TopK<i32, ()> = TopK::new(0);
+        assert!(!tk.would_accept(&1));
+        tk.push(1, ());
+        assert!(tk.is_empty());
+        assert!(tk.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut tk = TopK::new(10);
+        tk.push(2, "b");
+        tk.push(1, "a");
+        assert_eq!(tk.len(), 2);
+        assert_eq!(tk.into_sorted(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn agrees_with_sort_truncate() {
+        use snb_core::rng::Rng;
+        let mut rng = Rng::new(7);
+        for trial in 0..50 {
+            let n = rng.index(200) + 1;
+            let k = rng.index(20) + 1;
+            let items: Vec<(u64, u64)> =
+                (0..n).map(|i| (rng.next_bounded(50), i as u64)).collect();
+            let mut tk = TopK::new(k);
+            for &(key, v) in &items {
+                tk.push((key, v), v);
+            }
+            let expect = sort_truncate(
+                items.iter().map(|&(key, v)| ((key, v), v)).collect(),
+                k,
+            );
+            assert_eq!(tk.into_sorted(), expect, "trial {trial} n={n} k={k}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Graph traversal primitives over the store's `knows` adjacency:
+//! k-hop neighbourhoods, bidirectional shortest-path length, all
+//! shortest paths, and trail-constrained reachability (BI 16).
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use snb_store::{Ix, Store};
+
+/// Friends within exactly `1..=max_hops` hops of `start`, excluding
+/// `start` itself. Returns `(person, distance)` pairs with the minimal
+/// distance (the "friends and friends of friends" pattern of IC 1/3/9).
+pub fn khop_neighborhood(store: &Store, start: Ix, max_hops: u32) -> Vec<(Ix, u32)> {
+    let mut dist: FxHashMap<Ix, u32> = FxHashMap::default();
+    dist.insert(start, 0);
+    let mut frontier = vec![start];
+    let mut out = Vec::new();
+    for d in 1..=max_hops {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for v in store.knows.targets_of(u) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(d);
+                    next.push(v);
+                    out.push((v, d));
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// Shortest-path length between two persons over `knows`, or `-1` when
+/// unreachable, `0` when `a == b` (IC 13 semantics). Bidirectional BFS.
+pub fn shortest_path_len(store: &Store, a: Ix, b: Ix) -> i32 {
+    if a == b {
+        return 0;
+    }
+    let mut dist_a: FxHashMap<Ix, u32> = FxHashMap::default();
+    let mut dist_b: FxHashMap<Ix, u32> = FxHashMap::default();
+    dist_a.insert(a, 0);
+    dist_b.insert(b, 0);
+    let mut frontier_a = vec![a];
+    let mut frontier_b = vec![b];
+    let mut depth_a = 0u32;
+    let mut depth_b = 0u32;
+    loop {
+        if frontier_a.is_empty() || frontier_b.is_empty() {
+            return -1;
+        }
+        // Expand the smaller frontier.
+        let expand_a = frontier_a.len() <= frontier_b.len();
+        let (frontier, dist, other, depth) = if expand_a {
+            (&mut frontier_a, &mut dist_a, &dist_b, &mut depth_a)
+        } else {
+            (&mut frontier_b, &mut dist_b, &dist_a, &mut depth_b)
+        };
+        *depth += 1;
+        let mut next = Vec::new();
+        let mut best: Option<u32> = None;
+        for &u in frontier.iter() {
+            for v in store.knows.targets_of(u) {
+                if dist.contains_key(&v) {
+                    continue;
+                }
+                dist.insert(v, *depth);
+                if let Some(&od) = other.get(&v) {
+                    let total = *depth + od;
+                    best = Some(best.map_or(total, |b: u32| b.min(total)));
+                }
+                next.push(v);
+            }
+        }
+        if let Some(b) = best {
+            return b as i32;
+        }
+        *frontier = next;
+    }
+}
+
+/// All shortest paths between two persons over `knows` (IC 14 / BI 25).
+/// Returns the list of paths, each a person-index sequence from `a` to
+/// `b`; empty when unreachable. `a == b` yields the single trivial path.
+pub fn all_shortest_paths(store: &Store, a: Ix, b: Ix) -> Vec<Vec<Ix>> {
+    if a == b {
+        return vec![vec![a]];
+    }
+    // Forward BFS recording parents on shortest paths.
+    let mut dist: FxHashMap<Ix, u32> = FxHashMap::default();
+    let mut parents: FxHashMap<Ix, Vec<Ix>> = FxHashMap::default();
+    dist.insert(a, 0);
+    let mut frontier = vec![a];
+    let mut found_at: Option<u32> = None;
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        if let Some(f) = found_at {
+            if d >= f {
+                break;
+            }
+        }
+        d += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for v in store.knows.targets_of(u) {
+                match dist.get(&v) {
+                    None => {
+                        dist.insert(v, d);
+                        parents.insert(v, vec![u]);
+                        next.push(v);
+                        if v == b {
+                            found_at = Some(d);
+                        }
+                    }
+                    Some(&dv) if dv == d => {
+                        parents.get_mut(&v).expect("parents recorded").push(u);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        frontier = next;
+    }
+    if found_at.is_none() {
+        return Vec::new();
+    }
+    // Backtrack all parent chains.
+    let mut paths = Vec::new();
+    let mut stack = vec![vec![b]];
+    while let Some(path) = stack.pop() {
+        let head = *path.last().expect("path non-empty");
+        if head == a {
+            let mut full = path.clone();
+            full.reverse();
+            paths.push(full);
+            continue;
+        }
+        for &p in &parents[&head] {
+            let mut ext = path.clone();
+            ext.push(p);
+            stack.push(ext);
+        }
+    }
+    paths.sort();
+    paths
+}
+
+/// Persons reachable from `start` by a *trail* (edges used at most once,
+/// nodes repeatable) whose length falls within
+/// `[min_distance, max_distance]` — the BI 16 reachability semantics.
+///
+/// For `max_distance` up to the workload's small bounds this enumerates
+/// trails depth-first with an edge-used set. Persons reachable on a
+/// shorter trail only are excluded (matching the reference
+/// implementations' permissive reading noted in the spec, a person on
+/// both a shorter *and* an in-range trail is included).
+pub fn trail_reachable(
+    store: &Store,
+    start: Ix,
+    min_distance: u32,
+    max_distance: u32,
+) -> FxHashSet<Ix> {
+    let mut out = FxHashSet::default();
+    // Edge key: unordered pair packed into u64.
+    let edge_key = |u: Ix, v: Ix| {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        ((lo as u64) << 32) | hi as u64
+    };
+    let mut used: FxHashSet<u64> = FxHashSet::default();
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        store: &Store,
+        u: Ix,
+        depth: u32,
+        min: u32,
+        max: u32,
+        used: &mut FxHashSet<u64>,
+        out: &mut FxHashSet<Ix>,
+        edge_key: &impl Fn(Ix, Ix) -> u64,
+    ) {
+        if depth >= min {
+            out.insert(u);
+        }
+        if depth == max {
+            return;
+        }
+        let nbrs: Vec<Ix> = store.knows.targets_of(u).collect();
+        for v in nbrs {
+            let k = edge_key(u, v);
+            if used.insert(k) {
+                dfs(store, v, depth + 1, min, max, used, out, edge_key);
+                used.remove(&k);
+            }
+        }
+    }
+    dfs(store, start, 0, min_distance, max_distance, &mut used, &mut out, &edge_key);
+    if min_distance > 0 {
+        out.remove(&start);
+    }
+    out
+}
+
+/// Floyd–Warshall over a small vertex subset; the oracle the proptests
+/// compare BFS results against.
+pub fn floyd_warshall(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<u32>> {
+    const INF: u32 = u32::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for &(u, v) in edges {
+        d[u][v] = 1;
+        d[v][u] = 1;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k].saturating_add(d[k][j]);
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_core::scale::ScaleFactor;
+    use snb_datagen::GeneratorConfig;
+    use snb_store::store_for_config;
+
+    fn store() -> Store {
+        let mut c = GeneratorConfig::for_scale(ScaleFactor::by_name("0.001").unwrap());
+        c.persons = 150;
+        store_for_config(&c)
+    }
+
+    #[test]
+    fn khop_excludes_start_and_has_min_distances() {
+        let s = store();
+        let hood = khop_neighborhood(&s, 0, 2);
+        assert!(hood.iter().all(|&(p, _)| p != 0));
+        // Distance-1 entries must be direct friends.
+        let friends: FxHashSet<Ix> = s.knows.targets_of(0).collect();
+        for &(p, d) in &hood {
+            if d == 1 {
+                assert!(friends.contains(&p));
+            } else {
+                assert!(!friends.contains(&p), "friend {p} listed at distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_matches_floyd_warshall() {
+        let s = store();
+        let n = s.persons.len();
+        let mut edges = Vec::new();
+        for u in 0..n as Ix {
+            for v in s.knows.targets_of(u) {
+                if u < v {
+                    edges.push((u as usize, v as usize));
+                }
+            }
+        }
+        let oracle = floyd_warshall(n, &edges);
+        for a in (0..n).step_by(17) {
+            for b in (0..n).step_by(13) {
+                let got = shortest_path_len(&s, a as Ix, b as Ix);
+                let want = oracle[a][b];
+                if want >= u32::MAX / 4 {
+                    assert_eq!(got, -1, "{a}->{b}");
+                } else {
+                    assert_eq!(got, want as i32, "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_shortest_paths_are_shortest_and_valid() {
+        let s = store();
+        let n = s.persons.len() as Ix;
+        let mut checked = 0;
+        for a in (0..n).step_by(11) {
+            for b in (0..n).step_by(23) {
+                let len = shortest_path_len(&s, a, b);
+                let paths = all_shortest_paths(&s, a, b);
+                if len < 0 {
+                    assert!(paths.is_empty());
+                    continue;
+                }
+                assert!(!paths.is_empty());
+                for p in &paths {
+                    assert_eq!(p.len() as i32 - 1, len, "{a}->{b}");
+                    assert_eq!(p[0], a);
+                    assert_eq!(*p.last().unwrap(), b);
+                    for w in p.windows(2) {
+                        assert!(s.knows.contains(w[0], w[1]), "non-edge in path");
+                    }
+                    checked += 1;
+                }
+                // Paths must be distinct.
+                let mut dedup = paths.clone();
+                dedup.dedup();
+                assert_eq!(dedup.len(), paths.len());
+            }
+        }
+        assert!(checked > 0, "no connected pairs sampled");
+    }
+
+    #[test]
+    fn trail_reachable_superset_of_path_band() {
+        // Any person whose shortest distance lies in [min,max] is
+        // reachable by a trail of that length.
+        let s = store();
+        let hood = khop_neighborhood(&s, 3, 3);
+        let trails = trail_reachable(&s, 3, 2, 3);
+        for &(p, d) in &hood {
+            if d >= 2 {
+                assert!(trails.contains(&p), "person {p} at distance {d} missing");
+            }
+        }
+        assert!(!trails.contains(&3), "start included");
+    }
+
+    #[test]
+    fn trail_zero_min_includes_start() {
+        let s = store();
+        let trails = trail_reachable(&s, 0, 0, 2);
+        assert!(trails.contains(&0));
+    }
+}

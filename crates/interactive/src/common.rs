@@ -1,0 +1,79 @@
+//! Shared helpers for the Interactive workload.
+
+use snb_store::{Ix, Store};
+
+/// Direct friends of a person.
+pub fn friends(store: &Store, p: Ix) -> Vec<Ix> {
+    store.knows.targets_of(p).collect()
+}
+
+/// Friends and friends-of-friends (distance 1..=2), excluding `p`.
+pub fn friends_within_2(store: &Store, p: Ix) -> Vec<Ix> {
+    snb_engine::traverse::khop_neighborhood(store, p, 2)
+        .into_iter()
+        .map(|(q, _)| q)
+        .collect()
+}
+
+/// The message's display content: `content`, or `imageFile` for image
+/// posts (the `Message.content or Post.imageFile` projection used by
+/// IC 2/7/9 and IS 2/4).
+pub fn content_or_image(store: &Store, m: Ix) -> String {
+    let content = &store.messages.content[m as usize];
+    if content.is_empty() {
+        store.messages.image_file[m as usize].clone()
+    } else {
+        content.clone()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared store for the interactive query tests.
+
+    use snb_datagen::GeneratorConfig;
+    use snb_store::{store_for_config, Store};
+    use std::sync::OnceLock;
+
+    /// The shared tiny store.
+    pub fn store() -> &'static Store {
+        static STORE: OnceLock<Store> = OnceLock::new();
+        STORE.get_or_init(|| {
+            let mut c = GeneratorConfig::for_scale_name("0.001").expect("scale exists");
+            c.persons = 150;
+            store_for_config(&c)
+        })
+    }
+
+    /// A well-connected start person's raw id.
+    pub fn hub_person() -> u64 {
+        let s = store();
+        let ix = (0..s.persons.len() as u32).max_by_key(|&p| s.knows.degree(p)).unwrap();
+        s.persons.id[ix as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testutil::store;
+
+    #[test]
+    fn friends_within_2_excludes_self_and_contains_friends() {
+        let s = store();
+        let p = 0;
+        let hood = friends_within_2(s, p);
+        assert!(!hood.contains(&p));
+        for f in friends(s, p) {
+            assert!(hood.contains(&f));
+        }
+    }
+
+    #[test]
+    fn content_or_image_never_empty_for_real_messages() {
+        let s = store();
+        for m in 0..s.messages.len() as Ix {
+            assert!(!content_or_image(s, m).is_empty());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+#![warn(missing_docs)]
+
+//! # snb-interactive
+//!
+//! The LDBC SNB **Interactive workload** (spec chapter 4): complex
+//! reads IC 1–14, short reads IS 1–7, and updates IU 1–8.
+//!
+//! Complex reads traverse the two-hop neighbourhood of a start person
+//! and are sublinear in dataset size; short reads are single-entity
+//! lookups the driver chains after complex reads; updates insert single
+//! nodes or edges through the store's overflow write path.
+
+pub mod common;
+pub mod ic01;
+pub mod ic02;
+pub mod ic03;
+pub mod ic04;
+pub mod ic05;
+pub mod ic06;
+pub mod ic07;
+pub mod ic08;
+pub mod ic09;
+pub mod ic10;
+pub mod ic11;
+pub mod ic12;
+pub mod ic13;
+pub mod ic14;
+pub mod short;
+pub mod updates;
+
+use snb_store::Store;
+
+pub use updates::Update;
+
+/// A parameter binding for any complex read — the uniform currency for
+/// the driver and benches.
+#[derive(Clone, Debug)]
+pub enum IcParams {
+    /// IC 1 parameters.
+    Q1(ic01::Params),
+    /// IC 2 parameters.
+    Q2(ic02::Params),
+    /// IC 3 parameters.
+    Q3(ic03::Params),
+    /// IC 4 parameters.
+    Q4(ic04::Params),
+    /// IC 5 parameters.
+    Q5(ic05::Params),
+    /// IC 6 parameters.
+    Q6(ic06::Params),
+    /// IC 7 parameters.
+    Q7(ic07::Params),
+    /// IC 8 parameters.
+    Q8(ic08::Params),
+    /// IC 9 parameters.
+    Q9(ic09::Params),
+    /// IC 10 parameters.
+    Q10(ic10::Params),
+    /// IC 11 parameters.
+    Q11(ic11::Params),
+    /// IC 12 parameters.
+    Q12(ic12::Params),
+    /// IC 13 parameters.
+    Q13(ic13::Params),
+    /// IC 14 parameters.
+    Q14(ic14::Params),
+}
+
+impl IcParams {
+    /// The query number (1–14).
+    pub fn query(&self) -> u8 {
+        match self {
+            IcParams::Q1(_) => 1,
+            IcParams::Q2(_) => 2,
+            IcParams::Q3(_) => 3,
+            IcParams::Q4(_) => 4,
+            IcParams::Q5(_) => 5,
+            IcParams::Q6(_) => 6,
+            IcParams::Q7(_) => 7,
+            IcParams::Q8(_) => 8,
+            IcParams::Q9(_) => 9,
+            IcParams::Q10(_) => 10,
+            IcParams::Q11(_) => 11,
+            IcParams::Q12(_) => 12,
+            IcParams::Q13(_) => 13,
+            IcParams::Q14(_) => 14,
+        }
+    }
+}
+
+/// Runs a complex read, returning its row count (the driver's
+/// type-erased result).
+pub fn run_complex(store: &Store, params: &IcParams) -> usize {
+    match params {
+        IcParams::Q1(p) => ic01::run(store, p).len(),
+        IcParams::Q2(p) => ic02::run(store, p).len(),
+        IcParams::Q3(p) => ic03::run(store, p).len(),
+        IcParams::Q4(p) => ic04::run(store, p).len(),
+        IcParams::Q5(p) => ic05::run(store, p).len(),
+        IcParams::Q6(p) => ic06::run(store, p).len(),
+        IcParams::Q7(p) => ic07::run(store, p).len(),
+        IcParams::Q8(p) => ic08::run(store, p).len(),
+        IcParams::Q9(p) => ic09::run(store, p).len(),
+        IcParams::Q10(p) => ic10::run(store, p).len(),
+        IcParams::Q11(p) => ic11::run(store, p).len(),
+        IcParams::Q12(p) => ic12::run(store, p).len(),
+        IcParams::Q13(p) => ic13::run(store, p).len(),
+        IcParams::Q14(p) => ic14::run(store, p).len(),
+    }
+}
+
+/// Validation mode for complex reads: executes both the optimized and
+/// the independent naive engine and errors unless the full row
+/// sequences match exactly (order included). Returns the row count.
+pub fn validate_complex(store: &Store, params: &IcParams) -> snb_core::SnbResult<usize> {
+    fn check<T: std::fmt::Debug + PartialEq>(
+        q: u8,
+        optimized: Vec<T>,
+        naive: Vec<T>,
+    ) -> snb_core::SnbResult<usize> {
+        if optimized != naive {
+            return Err(snb_core::SnbError::Validation {
+                query: format!("IC {q}"),
+                detail: format!(
+                    "optimized ({} rows) != naive ({} rows): {optimized:?} vs {naive:?}",
+                    optimized.len(),
+                    naive.len()
+                ),
+            });
+        }
+        Ok(optimized.len())
+    }
+    match params {
+        IcParams::Q1(p) => check(1, ic01::run(store, p), ic01::run_naive(store, p)),
+        IcParams::Q2(p) => check(2, ic02::run(store, p), ic02::run_naive(store, p)),
+        IcParams::Q3(p) => check(3, ic03::run(store, p), ic03::run_naive(store, p)),
+        IcParams::Q4(p) => check(4, ic04::run(store, p), ic04::run_naive(store, p)),
+        IcParams::Q5(p) => check(5, ic05::run(store, p), ic05::run_naive(store, p)),
+        IcParams::Q6(p) => check(6, ic06::run(store, p), ic06::run_naive(store, p)),
+        IcParams::Q7(p) => check(7, ic07::run(store, p), ic07::run_naive(store, p)),
+        IcParams::Q8(p) => check(8, ic08::run(store, p), ic08::run_naive(store, p)),
+        IcParams::Q9(p) => check(9, ic09::run(store, p), ic09::run_naive(store, p)),
+        IcParams::Q10(p) => check(10, ic10::run(store, p), ic10::run_naive(store, p)),
+        IcParams::Q11(p) => check(11, ic11::run(store, p), ic11::run_naive(store, p)),
+        IcParams::Q12(p) => check(12, ic12::run(store, p), ic12::run_naive(store, p)),
+        IcParams::Q13(p) => check(13, ic13::run(store, p), ic13::run_naive(store, p)),
+        IcParams::Q14(p) => check(14, ic14::run(store, p), ic14::run_naive(store, p)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_numbers() {
+        assert_eq!(IcParams::Q13(ic13::Params { person1_id: 0, person2_id: 1 }).query(), 13);
+        assert_eq!(IcParams::Q7(ic07::Params { person_id: 0 }).query(), 7);
+    }
+}

@@ -1,0 +1,430 @@
+//! Short reads IS 1–7 (spec §4.2): single-entity lookups and one-hop
+//! expansions, issued by the driver between complex reads.
+
+use snb_engine::TopK;
+use snb_store::{Store, NONE};
+
+use crate::common::content_or_image;
+
+/// IS 1 — profile of a person.
+pub mod is1 {
+    use super::*;
+
+    /// Parameters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Person raw id.
+        pub person_id: u64,
+    }
+
+    /// Result row.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Row {
+        /// First name.
+        pub first_name: String,
+        /// Last name.
+        pub last_name: String,
+        /// Birthday.
+        pub birthday: snb_core::Date,
+        /// Registration IP.
+        pub location_ip: String,
+        /// Browser used.
+        pub browser_used: String,
+        /// Home city raw id.
+        pub city_id: u64,
+        /// Gender.
+        pub gender: String,
+        /// Profile creation timestamp.
+        pub creation_date: snb_core::DateTime,
+    }
+
+    /// Runs IS 1.
+    pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+        let Ok(p) = store.person(params.person_id) else { return Vec::new() };
+        let i = p as usize;
+        vec![Row {
+            first_name: store.persons.first_name[i].clone(),
+            last_name: store.persons.last_name[i].clone(),
+            birthday: store.persons.birthday[i],
+            location_ip: store.persons.location_ip[i].clone(),
+            browser_used: store.persons.browser[i].clone(),
+            city_id: store.places.id[store.persons.city[i] as usize],
+            gender: store.persons.gender[i].as_str().to_string(),
+            creation_date: store.persons.creation_date[i],
+        }]
+    }
+}
+
+/// IS 2 — the person's 10 most recent messages, each with its thread's
+/// original post and that post's author.
+pub mod is2 {
+    use super::*;
+
+    /// Parameters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Person raw id.
+        pub person_id: u64,
+    }
+
+    /// Result row.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Row {
+        /// Message id.
+        pub message_id: u64,
+        /// Content or image file.
+        pub message_content: String,
+        /// Message creation timestamp.
+        pub message_creation_date: snb_core::DateTime,
+        /// Root post id.
+        pub original_post_id: u64,
+        /// Root post author id.
+        pub original_post_author_id: u64,
+        /// Root post author first name.
+        pub original_post_author_first_name: String,
+        /// Root post author last name.
+        pub original_post_author_last_name: String,
+    }
+
+    const LIMIT: usize = 10;
+
+    /// Runs IS 2.
+    pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+        let Ok(p) = store.person(params.person_id) else { return Vec::new() };
+        let mut tk = TopK::new(LIMIT);
+        for m in store.person_messages.targets_of(p) {
+            let t = store.messages.creation_date[m as usize];
+            let id = store.messages.id[m as usize];
+            // Sort: creationDate desc, id desc (spec IS 2).
+            let key = (std::cmp::Reverse(t), std::cmp::Reverse(id));
+            if !tk.would_accept(&key) {
+                continue;
+            }
+            let root = store.messages.root_post[m as usize];
+            let author = store.messages.creator[root as usize] as usize;
+            tk.push(
+                key,
+                Row {
+                    message_id: id,
+                    message_content: content_or_image(store, m),
+                    message_creation_date: t,
+                    original_post_id: store.messages.id[root as usize],
+                    original_post_author_id: store.persons.id[author],
+                    original_post_author_first_name: store.persons.first_name[author].clone(),
+                    original_post_author_last_name: store.persons.last_name[author].clone(),
+                },
+            );
+        }
+        tk.into_sorted()
+    }
+}
+
+/// IS 3 — friends of a person with friendship dates.
+pub mod is3 {
+    use super::*;
+
+    /// Parameters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Person raw id.
+        pub person_id: u64,
+    }
+
+    /// Result row.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Row {
+        /// Friend id.
+        pub person_id: u64,
+        /// First name.
+        pub first_name: String,
+        /// Last name.
+        pub last_name: String,
+        /// When the friendship was established.
+        pub friendship_creation_date: snb_core::DateTime,
+    }
+
+    /// Runs IS 3 (sort: friendship date desc, friend id asc; no limit).
+    pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+        let Ok(p) = store.person(params.person_id) else { return Vec::new() };
+        let mut rows: Vec<Row> = store
+            .knows
+            .neighbors(p)
+            .map(|(f, d)| Row {
+                person_id: store.persons.id[f as usize],
+                first_name: store.persons.first_name[f as usize].clone(),
+                last_name: store.persons.last_name[f as usize].clone(),
+                friendship_creation_date: d,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.friendship_creation_date
+                .cmp(&a.friendship_creation_date)
+                .then(a.person_id.cmp(&b.person_id))
+        });
+        rows
+    }
+}
+
+/// IS 4 — content of a message.
+pub mod is4 {
+    use super::*;
+
+    /// Parameters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Message raw id.
+        pub message_id: u64,
+    }
+
+    /// Result row.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Row {
+        /// Creation timestamp.
+        pub message_creation_date: snb_core::DateTime,
+        /// Content or image file.
+        pub message_content: String,
+    }
+
+    /// Runs IS 4.
+    pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+        let Ok(m) = store.message(params.message_id) else { return Vec::new() };
+        vec![Row {
+            message_creation_date: store.messages.creation_date[m as usize],
+            message_content: content_or_image(store, m),
+        }]
+    }
+}
+
+/// IS 5 — creator of a message.
+pub mod is5 {
+    use super::*;
+
+    /// Parameters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Message raw id.
+        pub message_id: u64,
+    }
+
+    /// Result row.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Row {
+        /// Author id.
+        pub person_id: u64,
+        /// First name.
+        pub first_name: String,
+        /// Last name.
+        pub last_name: String,
+    }
+
+    /// Runs IS 5.
+    pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+        let Ok(m) = store.message(params.message_id) else { return Vec::new() };
+        let p = store.messages.creator[m as usize] as usize;
+        vec![Row {
+            person_id: store.persons.id[p],
+            first_name: store.persons.first_name[p].clone(),
+            last_name: store.persons.last_name[p].clone(),
+        }]
+    }
+}
+
+/// IS 6 — the forum of a message's thread and its moderator.
+pub mod is6 {
+    use super::*;
+
+    /// Parameters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Message raw id.
+        pub message_id: u64,
+    }
+
+    /// Result row.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Row {
+        /// Forum id.
+        pub forum_id: u64,
+        /// Forum title.
+        pub forum_title: String,
+        /// Moderator id.
+        pub moderator_id: u64,
+        /// Moderator first name.
+        pub moderator_first_name: String,
+        /// Moderator last name.
+        pub moderator_last_name: String,
+    }
+
+    /// Runs IS 6.
+    pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+        let Ok(m) = store.message(params.message_id) else { return Vec::new() };
+        let forum = store.thread_forum(m);
+        if forum == NONE {
+            return Vec::new();
+        }
+        let moderator = store.forums.moderator[forum as usize] as usize;
+        vec![Row {
+            forum_id: store.forums.id[forum as usize],
+            forum_title: store.forums.title[forum as usize].clone(),
+            moderator_id: store.persons.id[moderator],
+            moderator_first_name: store.persons.first_name[moderator].clone(),
+            moderator_last_name: store.persons.last_name[moderator].clone(),
+        }]
+    }
+}
+
+/// IS 7 — direct replies of a message, with a flag telling whether each
+/// reply's author knows the original author.
+pub mod is7 {
+    use super::*;
+
+    /// Parameters.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Params {
+        /// Message raw id.
+        pub message_id: u64,
+    }
+
+    /// Result row.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Row {
+        /// Reply comment id.
+        pub comment_id: u64,
+        /// Reply content.
+        pub comment_content: String,
+        /// Reply creation timestamp.
+        pub comment_creation_date: snb_core::DateTime,
+        /// Reply author id.
+        pub reply_author_id: u64,
+        /// Reply author first name.
+        pub reply_author_first_name: String,
+        /// Reply author last name.
+        pub reply_author_last_name: String,
+        /// Whether the reply author knows the original author (false
+        /// when they are the same person).
+        pub reply_author_knows_original: bool,
+    }
+
+    /// Runs IS 7 (sort: reply creation desc, author id asc).
+    pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+        let Ok(m) = store.message(params.message_id) else { return Vec::new() };
+        let original_author = store.messages.creator[m as usize];
+        let mut rows: Vec<Row> = store
+            .message_replies
+            .targets_of(m)
+            .map(|c| {
+                let author = store.messages.creator[c as usize];
+                let knows = author != original_author
+                    && store.knows.contains(author, original_author);
+                Row {
+                    comment_id: store.messages.id[c as usize],
+                    comment_content: store.messages.content[c as usize].clone(),
+                    comment_creation_date: store.messages.creation_date[c as usize],
+                    reply_author_id: store.persons.id[author as usize],
+                    reply_author_first_name: store.persons.first_name[author as usize].clone(),
+                    reply_author_last_name: store.persons.last_name[author as usize].clone(),
+                    reply_author_knows_original: knows,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.comment_creation_date
+                .cmp(&a.comment_creation_date)
+                .then(a.reply_author_id.cmp(&b.reply_author_id))
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testutil::store;
+    use snb_store::Ix;
+
+    #[test]
+    fn is1_profile_round_trip() {
+        let s = store();
+        let id = s.persons.id[5];
+        let rows = is1::run(s, &is1::Params { person_id: id });
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].first_name, s.persons.first_name[5]);
+        assert_eq!(rows[0].creation_date, s.persons.creation_date[5]);
+        assert!(is1::run(s, &is1::Params { person_id: 12_345_678 }).is_empty());
+    }
+
+    #[test]
+    fn is2_recent_messages_sorted_desc() {
+        let s = store();
+        let p = (0..s.persons.len() as Ix)
+            .max_by_key(|&p| s.person_messages.degree(p))
+            .unwrap();
+        let rows = is2::run(s, &is2::Params { person_id: s.persons.id[p as usize] });
+        assert!(!rows.is_empty());
+        assert!(rows.len() <= 10);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].message_creation_date > w[1].message_creation_date
+                    || (w[0].message_creation_date == w[1].message_creation_date
+                        && w[0].message_id > w[1].message_id)
+            );
+        }
+        // Original post resolution: post rows reference themselves.
+        for r in &rows {
+            let m = s.message(r.message_id).unwrap();
+            if s.messages.is_post(m) {
+                assert_eq!(r.original_post_id, r.message_id);
+            }
+        }
+    }
+
+    #[test]
+    fn is3_friend_list_complete() {
+        let s = store();
+        let p = (0..s.persons.len() as Ix).max_by_key(|&p| s.knows.degree(p)).unwrap();
+        let rows = is3::run(s, &is3::Params { person_id: s.persons.id[p as usize] });
+        assert_eq!(rows.len(), s.knows.degree(p));
+        for w in rows.windows(2) {
+            assert!(w[0].friendship_creation_date >= w[1].friendship_creation_date);
+        }
+    }
+
+    #[test]
+    fn is4_is5_message_lookup() {
+        let s = store();
+        let mid = s.messages.id[7];
+        let content = is4::run(s, &is4::Params { message_id: mid });
+        assert_eq!(content.len(), 1);
+        let creator = is5::run(s, &is5::Params { message_id: mid });
+        assert_eq!(creator.len(), 1);
+        assert_eq!(
+            creator[0].person_id,
+            s.persons.id[s.messages.creator[7] as usize]
+        );
+    }
+
+    #[test]
+    fn is6_resolves_thread_forum_for_comments() {
+        let s = store();
+        let comment = (0..s.messages.len() as Ix)
+            .find(|&m| !s.messages.is_post(m))
+            .expect("some comment");
+        let rows = is6::run(s, &is6::Params { message_id: s.messages.id[comment as usize] });
+        assert_eq!(rows.len(), 1);
+        let root = s.messages.root_post[comment as usize];
+        assert_eq!(rows[0].forum_id, s.forums.id[s.messages.forum[root as usize] as usize]);
+    }
+
+    #[test]
+    fn is7_knows_flag_false_for_self_reply() {
+        let s = store();
+        for m in 0..s.messages.len() as Ix {
+            for r in is7::run(s, &is7::Params { message_id: s.messages.id[m as usize] }) {
+                let author = s.person(r.reply_author_id).unwrap();
+                if author == s.messages.creator[m as usize] {
+                    assert!(!r.reply_author_knows_original, "self-reply flagged as knows");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Updates IU 1–8 (spec §4.3), delegating to the store's insert path.
+//!
+//! The parameter structs live in `snb-store` ([`snb_store::PersonInsert`]
+//! etc.) because the store owns the write path; this module provides the
+//! workload-facing names and the dispatch enum used by the driver.
+
+use snb_core::datetime::DateTime;
+use snb_core::SnbResult;
+use snb_store::{CommentInsert, ForumInsert, PersonInsert, PostInsert, Store};
+
+/// Any IU operation, driver-dispatchable.
+#[derive(Clone, Debug)]
+pub enum Update {
+    /// IU 1 — add person.
+    AddPerson(PersonInsert),
+    /// IU 2 — add like to post.
+    AddLikePost {
+        /// Liker.
+        person_id: u64,
+        /// Liked post.
+        post_id: u64,
+        /// Like timestamp.
+        creation_date: DateTime,
+    },
+    /// IU 3 — add like to comment.
+    AddLikeComment {
+        /// Liker.
+        person_id: u64,
+        /// Liked comment.
+        comment_id: u64,
+        /// Like timestamp.
+        creation_date: DateTime,
+    },
+    /// IU 4 — add forum.
+    AddForum(ForumInsert),
+    /// IU 5 — add forum membership.
+    AddForumMembership {
+        /// Joining person.
+        person_id: u64,
+        /// Forum joined.
+        forum_id: u64,
+        /// Join timestamp.
+        join_date: DateTime,
+    },
+    /// IU 6 — add post.
+    AddPost(PostInsert),
+    /// IU 7 — add comment.
+    AddComment(CommentInsert),
+    /// IU 8 — add friendship.
+    AddFriendship {
+        /// One endpoint.
+        person1_id: u64,
+        /// Other endpoint.
+        person2_id: u64,
+        /// Friendship timestamp.
+        creation_date: DateTime,
+    },
+}
+
+impl Update {
+    /// The IU number (1–8).
+    pub fn number(&self) -> u8 {
+        match self {
+            Update::AddPerson(_) => 1,
+            Update::AddLikePost { .. } => 2,
+            Update::AddLikeComment { .. } => 3,
+            Update::AddForum(_) => 4,
+            Update::AddForumMembership { .. } => 5,
+            Update::AddPost(_) => 6,
+            Update::AddComment(_) => 7,
+            Update::AddFriendship { .. } => 8,
+        }
+    }
+
+    /// Applies the update to a store.
+    pub fn apply(&self, store: &mut Store) -> SnbResult<()> {
+        match self {
+            Update::AddPerson(p) => store.insert_person(p.clone()).map(|_| ()),
+            Update::AddLikePost { person_id, post_id, creation_date } => {
+                store.insert_like(*person_id, *post_id, *creation_date)
+            }
+            Update::AddLikeComment { person_id, comment_id, creation_date } => {
+                store.insert_like(*person_id, *comment_id, *creation_date)
+            }
+            Update::AddForum(f) => store.insert_forum(f.clone()).map(|_| ()),
+            Update::AddForumMembership { person_id, forum_id, join_date } => {
+                store.insert_membership(*person_id, *forum_id, *join_date)
+            }
+            Update::AddPost(p) => store.insert_post(p.clone()).map(|_| ()),
+            Update::AddComment(c) => store.insert_comment(c.clone()).map(|_| ()),
+            Update::AddFriendship { person1_id, person2_id, creation_date } => {
+                store.insert_knows(*person1_id, *person2_id, *creation_date)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::GeneratorConfig;
+    use snb_store::store_for_config;
+
+    fn fresh_store() -> Store {
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 60;
+        store_for_config(&c)
+    }
+
+    #[test]
+    fn friendship_update_visible_to_is3() {
+        let mut s = fresh_store();
+        // Pick two persons that do not know each other.
+        let (a, b) = {
+            let mut found = None;
+            'outer: for a in 0..s.persons.len() as u32 {
+                for b in a + 1..s.persons.len() as u32 {
+                    if !s.knows.contains(a, b) {
+                        found = Some((s.persons.id[a as usize], s.persons.id[b as usize]));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("non-friends exist")
+        };
+        let before = crate::short::is3::run(&s, &crate::short::is3::Params { person_id: a });
+        Update::AddFriendship { person1_id: a, person2_id: b, creation_date: DateTime(1_000) }
+            .apply(&mut s)
+            .unwrap();
+        let after = crate::short::is3::run(&s, &crate::short::is3::Params { person_id: a });
+        assert_eq!(after.len(), before.len() + 1);
+        assert!(after.iter().any(|r| r.person_id == b));
+    }
+
+    #[test]
+    fn post_then_like_then_is4() {
+        let mut s = fresh_store();
+        let author = s.persons.id[0];
+        let forum = s.forums.id[0];
+        let country = s.places.id[s.person_country(0) as usize];
+        Update::AddPost(PostInsert {
+            id: 7_000_000,
+            image_file: String::new(),
+            creation_date: DateTime(5_000),
+            location_ip: "1.1.1.1".into(),
+            browser_used: "Chrome".into(),
+            language: "en".into(),
+            content: "fresh post".into(),
+            length: 10,
+            author_person_id: author,
+            forum_id: forum,
+            country_id: country,
+            tag_ids: vec![1],
+        })
+        .apply(&mut s)
+        .unwrap();
+        let rows =
+            crate::short::is4::run(&s, &crate::short::is4::Params { message_id: 7_000_000 });
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].message_content, "fresh post");
+        Update::AddLikePost { person_id: s.persons.id[1], post_id: 7_000_000, creation_date: DateTime(6_000) }
+            .apply(&mut s)
+            .unwrap();
+        let m = s.message(7_000_000).unwrap();
+        assert_eq!(s.message_likes.degree(m), 1);
+    }
+
+    #[test]
+    fn numbers_match_spec() {
+        let u = Update::AddFriendship { person1_id: 0, person2_id: 1, creation_date: DateTime(0) };
+        assert_eq!(u.number(), 8);
+        let u = Update::AddLikeComment { person_id: 0, comment_id: 1, creation_date: DateTime(0) };
+        assert_eq!(u.number(), 3);
+    }
+}

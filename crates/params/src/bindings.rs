@@ -1,0 +1,685 @@
+//! Per-query parameter-binding generation.
+//!
+//! For every BI and IC query template, enumerate candidate bindings,
+//! attach a factor count (stage 1) and curate the most uniform subset
+//! (stage 2, [`crate::curation::curate`]). The same machinery can also
+//! return *uncurated* random bindings — experiment E4 compares runtime
+//! variance between the two to demonstrate properties P1–P3.
+
+use snb_bi::BiParams;
+use snb_core::datetime::Date;
+use snb_core::model::PlaceKind;
+use snb_core::rng::Rng;
+use snb_interactive::IcParams;
+use snb_store::{Ix, Store};
+
+use crate::curation::curate;
+
+/// Parameter generator bound to a loaded store.
+pub struct ParamGen<'a> {
+    store: &'a Store,
+    seed: u64,
+    /// Per-person activity factor (stage 1 for person-rooted queries).
+    person_factor: Vec<u64>,
+}
+
+impl<'a> ParamGen<'a> {
+    /// Builds the factor tables for a store.
+    pub fn new(store: &'a Store, seed: u64) -> Self {
+        let person_factor = (0..store.persons.len() as Ix)
+            .map(|p| {
+                let deg = store.knows.degree(p) as u64;
+                let friend_msgs: u64 = store
+                    .knows
+                    .targets_of(p)
+                    .map(|f| store.person_messages.degree(f) as u64)
+                    .sum();
+                deg * 4 + friend_msgs
+            })
+            .collect();
+        ParamGen { store, seed, person_factor }
+    }
+
+    fn countries(&self) -> Vec<(Ix, u64)> {
+        (0..self.store.places.len() as Ix)
+            .filter(|&p| self.store.places.kind[p as usize] == PlaceKind::Country)
+            .map(|c| (c, self.store.persons_in_country(c).count() as u64))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    fn tags_with_messages(&self) -> Vec<(Ix, u64)> {
+        (0..self.store.tags.len() as Ix)
+            .map(|t| (t, self.store.tag_message.degree(t) as u64))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    fn classes_with_messages(&self) -> Vec<(Ix, u64)> {
+        (0..self.store.tag_classes.len() as Ix)
+            .map(|c| {
+                let msgs: u64 = self
+                    .store
+                    .tagclass_tags
+                    .targets_of(c)
+                    .map(|t| self.store.tag_message.degree(t) as u64)
+                    .sum();
+                (c, msgs)
+            })
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    fn curated_persons(&self, n: usize) -> Vec<Ix> {
+        let candidates: Vec<(Ix, u64)> = self
+            .person_factor
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(p, &f)| (p as Ix, f))
+            .collect();
+        curate(&candidates, n)
+    }
+
+    fn month_windows(&self) -> Vec<((i32, u32), u64)> {
+        // Candidate (year, month) pairs with their message volume.
+        let mut counts: rustc_hash::FxHashMap<(i32, u32), u64> = rustc_hash::FxHashMap::default();
+        for m in 0..self.store.messages.len() {
+            *counts.entry(self.store.messages.creation_date[m].year_month()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    fn date_candidates(&self) -> Vec<(Date, u64)> {
+        // Month boundaries over the simulated window with "messages
+        // before" as factor.
+        let mut dates = Vec::new();
+        for year in 2010..=2012 {
+            for month in 1..=12 {
+                let d = Date::from_ymd(year, month, 1);
+                let cutoff = d.at_midnight();
+                let before = self
+                    .store
+                    .messages
+                    .creation_date
+                    .iter()
+                    .filter(|&&t| t < cutoff)
+                    .count() as u64;
+                if before > 0 {
+                    dates.push((d, before));
+                }
+            }
+        }
+        dates
+    }
+
+    fn country_name(&self, c: Ix) -> String {
+        self.store.places.name[c as usize].clone()
+    }
+
+    /// Curated bindings for BI query `query` (1–25).
+    pub fn bi_params(&self, query: u8, n: usize) -> Vec<BiParams> {
+        self.bi_params_inner(query, n, true)
+    }
+
+    /// Uncurated (random) bindings — experiment E4's control group.
+    pub fn bi_params_random(&self, query: u8, n: usize) -> Vec<BiParams> {
+        self.bi_params_inner(query, n, false)
+    }
+
+    fn pick_bindings<T: Clone>(&self, cands: &[(T, u64)], n: usize, curated: bool, tag: u64) -> Vec<T> {
+        if curated {
+            curate(cands, n)
+        } else {
+            let mut rng = Rng::derive(self.seed, tag, 7777);
+            (0..n.min(cands.len()))
+                .map(|_| cands[rng.index(cands.len())].0.clone())
+                .collect()
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn bi_params_inner(&self, query: u8, n: usize, curated: bool) -> Vec<BiParams> {
+        let s = self.store;
+        match query {
+            1 => self
+                .pick_bindings(&self.date_candidates(), n, curated, 1)
+                .into_iter()
+                .map(|date| BiParams::Q1(snb_bi::bi01::Params { date }))
+                .collect(),
+            2 => {
+                let countries = self.countries();
+                let mut cands = Vec::new();
+                for (i, &(c1, n1)) in countries.iter().enumerate() {
+                    for &(c2, n2) in countries.iter().skip(i + 1) {
+                        cands.push(((c1, c2), n1 + n2));
+                    }
+                }
+                self.pick_bindings(&cands, n, curated, 2)
+                    .into_iter()
+                    .map(|(c1, c2)| {
+                        BiParams::Q2(snb_bi::bi02::Params {
+                            start_date: Date::from_ymd(2010, 1, 1),
+                            end_date: Date::from_ymd(2012, 12, 31),
+                            country1: self.country_name(c1),
+                            country2: self.country_name(c2),
+                            min_count: 0,
+                        })
+                    })
+                    .collect()
+            }
+            3 => self
+                .pick_bindings(&self.month_windows(), n, curated, 3)
+                .into_iter()
+                .map(|(y, m)| BiParams::Q3(snb_bi::bi03::Params { year: y, month: m }))
+                .collect(),
+            4 => {
+                let classes = self.classes_with_messages();
+                let countries = self.countries();
+                let mut cands = Vec::new();
+                for &(cl, mf) in &classes {
+                    for &(co, pf) in &countries {
+                        cands.push(((cl, co), mf * pf));
+                    }
+                }
+                self.pick_bindings(&cands, n, curated, 4)
+                    .into_iter()
+                    .map(|(cl, co)| {
+                        BiParams::Q4(snb_bi::bi04::Params {
+                            tag_class: s.tag_classes.name[cl as usize].clone(),
+                            country: self.country_name(co),
+                        })
+                    })
+                    .collect()
+            }
+            5 => self
+                .pick_bindings(&self.countries(), n, curated, 5)
+                .into_iter()
+                .map(|c| BiParams::Q5(snb_bi::bi05::Params { country: self.country_name(c) }))
+                .collect(),
+            6 => self
+                .pick_bindings(&self.tags_with_messages(), n, curated, 6)
+                .into_iter()
+                .map(|t| {
+                    BiParams::Q6(snb_bi::bi06::Params { tag: s.tags.name[t as usize].clone() })
+                })
+                .collect(),
+            7 => self
+                .pick_bindings(&self.tags_with_messages(), n, curated, 7)
+                .into_iter()
+                .map(|t| {
+                    BiParams::Q7(snb_bi::bi07::Params { tag: s.tags.name[t as usize].clone() })
+                })
+                .collect(),
+            8 => self
+                .pick_bindings(&self.tags_with_messages(), n, curated, 8)
+                .into_iter()
+                .map(|t| {
+                    BiParams::Q8(snb_bi::bi08::Params { tag: s.tags.name[t as usize].clone() })
+                })
+                .collect(),
+            9 => {
+                let classes = self.classes_with_messages();
+                let mut cands = Vec::new();
+                for (i, &(c1, f1)) in classes.iter().enumerate() {
+                    for &(c2, f2) in classes.iter().skip(i + 1) {
+                        cands.push(((c1, c2), f1 + f2));
+                    }
+                }
+                self.pick_bindings(&cands, n, curated, 9)
+                    .into_iter()
+                    .map(|(c1, c2)| {
+                        BiParams::Q9(snb_bi::bi09::Params {
+                            tag_class1: s.tag_classes.name[c1 as usize].clone(),
+                            tag_class2: s.tag_classes.name[c2 as usize].clone(),
+                            threshold: 0,
+                        })
+                    })
+                    .collect()
+            }
+            10 => self
+                .pick_bindings(&self.tags_with_messages(), n, curated, 10)
+                .into_iter()
+                .map(|t| {
+                    BiParams::Q10(snb_bi::bi10::Params {
+                        tag: s.tags.name[t as usize].clone(),
+                        date: Date::from_ymd(2011, 1, 1),
+                    })
+                })
+                .collect(),
+            11 => self
+                .pick_bindings(&self.countries(), n, curated, 11)
+                .into_iter()
+                .map(|c| {
+                    BiParams::Q11(snb_bi::bi11::Params {
+                        country: self.country_name(c),
+                        blacklist: vec!["maybe".into(), "wonder".into()],
+                    })
+                })
+                .collect(),
+            12 => self
+                .pick_bindings(&self.date_candidates(), n, curated, 12)
+                .into_iter()
+                .map(|date| {
+                    BiParams::Q12(snb_bi::bi12::Params { date, like_threshold: 1 })
+                })
+                .collect(),
+            13 => self
+                .pick_bindings(&self.countries(), n, curated, 13)
+                .into_iter()
+                .map(|c| BiParams::Q13(snb_bi::bi13::Params { country: self.country_name(c) }))
+                .collect(),
+            14 => self
+                .pick_bindings(&self.month_windows(), n, curated, 14)
+                .into_iter()
+                .map(|(y, m)| {
+                    let begin = Date::from_ymd(y, m, 1);
+                    BiParams::Q14(snb_bi::bi14::Params { begin, end: begin.plus_days(89) })
+                })
+                .collect(),
+            15 => self
+                .pick_bindings(&self.countries(), n, curated, 15)
+                .into_iter()
+                .map(|c| BiParams::Q15(snb_bi::bi15::Params { country: self.country_name(c) }))
+                .collect(),
+            16 => {
+                let persons = self.curated_persons(n);
+                let classes = self.classes_with_messages();
+                let countries = self.countries();
+                persons
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let (cl, _) = classes[i % classes.len()];
+                        let (co, _) = countries[i % countries.len()];
+                        BiParams::Q16(snb_bi::bi16::Params {
+                            person_id: s.persons.id[p as usize],
+                            country: self.country_name(co),
+                            tag_class: s.tag_classes.name[cl as usize].clone(),
+                            min_path_distance: 1,
+                            max_path_distance: 2,
+                        })
+                    })
+                    .collect()
+            }
+            17 => self
+                .pick_bindings(&self.countries(), n, curated, 17)
+                .into_iter()
+                .map(|c| BiParams::Q17(snb_bi::bi17::Params { country: self.country_name(c) }))
+                .collect(),
+            18 => self
+                .pick_bindings(&self.date_candidates(), n, curated, 18)
+                .into_iter()
+                .map(|date| {
+                    BiParams::Q18(snb_bi::bi18::Params {
+                        date,
+                        length_threshold: 150,
+                        languages: vec!["zh".into(), "en".into(), "hi".into()],
+                    })
+                })
+                .collect(),
+            19 => {
+                let classes = self.classes_with_messages();
+                let mut cands = Vec::new();
+                for (i, &(c1, f1)) in classes.iter().enumerate() {
+                    for &(c2, f2) in classes.iter().skip(i + 1) {
+                        cands.push(((c1, c2), f1 + f2));
+                    }
+                }
+                self.pick_bindings(&cands, n, curated, 19)
+                    .into_iter()
+                    .map(|(c1, c2)| {
+                        BiParams::Q19(snb_bi::bi19::Params {
+                            date: Date::from_ymd(1984, 1, 1),
+                            tag_class1: s.tag_classes.name[c1 as usize].clone(),
+                            tag_class2: s.tag_classes.name[c2 as usize].clone(),
+                        })
+                    })
+                    .collect()
+            }
+            20 => {
+                let classes = self.classes_with_messages();
+                (0..n)
+                    .map(|i| {
+                        let names: Vec<String> = classes
+                            .iter()
+                            .cycle()
+                            .skip(i)
+                            .take(4)
+                            .map(|&(c, _)| s.tag_classes.name[c as usize].clone())
+                            .collect();
+                        BiParams::Q20(snb_bi::bi20::Params { tag_classes: names })
+                    })
+                    .collect()
+            }
+            21 => self
+                .pick_bindings(&self.countries(), n, curated, 21)
+                .into_iter()
+                .map(|c| {
+                    BiParams::Q21(snb_bi::bi21::Params {
+                        country: self.country_name(c),
+                        end_date: Date::from_ymd(2012, 6, 1),
+                    })
+                })
+                .collect(),
+            22 => {
+                let countries = self.countries();
+                let mut cands = Vec::new();
+                for (i, &(c1, n1)) in countries.iter().enumerate() {
+                    for &(c2, n2) in countries.iter().skip(i + 1) {
+                        cands.push(((c1, c2), n1 * n2));
+                    }
+                }
+                self.pick_bindings(&cands, n, curated, 22)
+                    .into_iter()
+                    .map(|(c1, c2)| {
+                        BiParams::Q22(snb_bi::bi22::Params {
+                            country1: self.country_name(c1),
+                            country2: self.country_name(c2),
+                        })
+                    })
+                    .collect()
+            }
+            23 => self
+                .pick_bindings(&self.countries(), n, curated, 23)
+                .into_iter()
+                .map(|c| BiParams::Q23(snb_bi::bi23::Params { country: self.country_name(c) }))
+                .collect(),
+            24 => self
+                .pick_bindings(&self.classes_with_messages(), n, curated, 24)
+                .into_iter()
+                .map(|c| {
+                    BiParams::Q24(snb_bi::bi24::Params {
+                        tag_class: s.tag_classes.name[c as usize].clone(),
+                    })
+                })
+                .collect(),
+            25 => self
+                .person_pairs(n)
+                .into_iter()
+                .map(|(a, b)| {
+                    BiParams::Q25(snb_bi::bi25::Params {
+                        person1_id: a,
+                        person2_id: b,
+                        start_date: Date::from_ymd(2010, 1, 1),
+                        end_date: Date::from_ymd(2012, 12, 31),
+                    })
+                })
+                .collect(),
+            other => panic!("BI query {other} does not exist"),
+        }
+    }
+
+    /// Curated person pairs at `knows` distance 2–4 (IC 13/14, BI 25).
+    pub fn person_pairs(&self, n: usize) -> Vec<(u64, u64)> {
+        let persons = self.curated_persons((n * 4).max(16));
+        let mut pairs = Vec::new();
+        let mut rng = Rng::derive(self.seed, 25, 4242);
+        let mut attempts = 0;
+        while pairs.len() < n && attempts < n * 50 && persons.len() >= 2 {
+            attempts += 1;
+            let a = persons[rng.index(persons.len())];
+            let b = persons[rng.index(persons.len())];
+            if a == b {
+                continue;
+            }
+            let d = snb_engine::traverse::shortest_path_len(self.store, a, b);
+            if (2..=4).contains(&d) {
+                let pair = (self.store.persons.id[a as usize], self.store.persons.id[b as usize]);
+                if !pairs.contains(&pair) {
+                    pairs.push(pair);
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Curated bindings for Interactive complex query `query` (1–14).
+    pub fn ic_params(&self, query: u8, n: usize) -> Vec<IcParams> {
+        let s = self.store;
+        let persons = self.curated_persons(n.max(4));
+        let pid = |i: usize| s.persons.id[persons[i % persons.len()] as usize];
+        let mut rng = Rng::derive(self.seed, query as u64, 31_337);
+        match query {
+            1 => {
+                // Common first names as the name parameter.
+                let mut freq: rustc_hash::FxHashMap<&str, u64> = rustc_hash::FxHashMap::default();
+                for name in &s.persons.first_name {
+                    *freq.entry(name).or_insert(0) += 1;
+                }
+                let cands: Vec<(String, u64)> =
+                    freq.into_iter().map(|(n, f)| (n.to_string(), f)).collect();
+                let names = curate(&cands, n);
+                names
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, first_name)| {
+                        IcParams::Q1(snb_interactive::ic01::Params {
+                            person_id: pid(i),
+                            first_name,
+                        })
+                    })
+                    .collect()
+            }
+            2 => (0..n)
+                .map(|i| {
+                    IcParams::Q2(snb_interactive::ic02::Params {
+                        person_id: pid(i),
+                        max_date: Date::from_ymd(2012, 1 + (i as u32 % 12), 1),
+                    })
+                })
+                .collect(),
+            3 => {
+                let countries = self.countries();
+                (0..n)
+                    .map(|i| {
+                        let c1 = countries[i % countries.len()].0;
+                        let c2 = countries[(i + 1) % countries.len()].0;
+                        IcParams::Q3(snb_interactive::ic03::Params {
+                            person_id: pid(i),
+                            country_x: self.country_name(c1),
+                            country_y: self.country_name(c2),
+                            start_date: Date::from_ymd(2010, 6, 1),
+                            duration_days: 365,
+                        })
+                    })
+                    .collect()
+            }
+            4 => (0..n)
+                .map(|i| {
+                    IcParams::Q4(snb_interactive::ic04::Params {
+                        person_id: pid(i),
+                        start_date: Date::from_ymd(2011, 1 + (i as u32 % 12), 1),
+                        duration_days: 90,
+                    })
+                })
+                .collect(),
+            5 => (0..n)
+                .map(|i| {
+                    IcParams::Q5(snb_interactive::ic05::Params {
+                        person_id: pid(i),
+                        min_date: Date::from_ymd(2011, 1 + (i as u32 % 12), 1),
+                    })
+                })
+                .collect(),
+            6 => {
+                let tags = self.tags_with_messages();
+                let picked = curate(&tags, n);
+                picked
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        IcParams::Q6(snb_interactive::ic06::Params {
+                            person_id: pid(i),
+                            tag_name: s.tags.name[t as usize].clone(),
+                        })
+                    })
+                    .collect()
+            }
+            7 => (0..n)
+                .map(|i| IcParams::Q7(snb_interactive::ic07::Params { person_id: pid(i) }))
+                .collect(),
+            8 => (0..n)
+                .map(|i| IcParams::Q8(snb_interactive::ic08::Params { person_id: pid(i) }))
+                .collect(),
+            9 => (0..n)
+                .map(|i| {
+                    IcParams::Q9(snb_interactive::ic09::Params {
+                        person_id: pid(i),
+                        max_date: Date::from_ymd(2012, 1 + (i as u32 % 12), 1),
+                    })
+                })
+                .collect(),
+            10 => (0..n)
+                .map(|i| {
+                    IcParams::Q10(snb_interactive::ic10::Params {
+                        person_id: pid(i),
+                        month: 1 + (rng.index(12) as u32),
+                    })
+                })
+                .collect(),
+            11 => {
+                let countries = self.countries();
+                (0..n)
+                    .map(|i| {
+                        IcParams::Q11(snb_interactive::ic11::Params {
+                            person_id: pid(i),
+                            country: self.country_name(countries[i % countries.len()].0),
+                            work_from_year: 2012,
+                        })
+                    })
+                    .collect()
+            }
+            12 => {
+                let classes = self.classes_with_messages();
+                (0..n)
+                    .map(|i| {
+                        IcParams::Q12(snb_interactive::ic12::Params {
+                            person_id: pid(i),
+                            tag_class_name: s.tag_classes.name
+                                [classes[i % classes.len()].0 as usize]
+                                .clone(),
+                        })
+                    })
+                    .collect()
+            }
+            13 => self
+                .person_pairs(n)
+                .into_iter()
+                .map(|(a, b)| {
+                    IcParams::Q13(snb_interactive::ic13::Params { person1_id: a, person2_id: b })
+                })
+                .collect(),
+            14 => self
+                .person_pairs(n)
+                .into_iter()
+                .map(|(a, b)| {
+                    IcParams::Q14(snb_interactive::ic14::Params { person1_id: a, person2_id: b })
+                })
+                .collect(),
+            other => panic!("IC query {other} does not exist"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_datagen::GeneratorConfig;
+    use snb_store::store_for_config;
+    use std::sync::OnceLock;
+
+    fn store() -> &'static Store {
+        static S: OnceLock<Store> = OnceLock::new();
+        S.get_or_init(|| {
+            let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+            c.persons = 150;
+            store_for_config(&c)
+        })
+    }
+
+    #[test]
+    fn all_bi_queries_produce_bindings() {
+        let s = store();
+        let gen = ParamGen::new(s, 1);
+        for q in 1..=25u8 {
+            let params = gen.bi_params(q, 5);
+            assert!(!params.is_empty(), "BI {q} has no bindings");
+            for p in &params {
+                assert_eq!(p.query(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn all_ic_queries_produce_bindings() {
+        let s = store();
+        let gen = ParamGen::new(s, 1);
+        for q in 1..=14u8 {
+            let params = gen.ic_params(q, 5);
+            assert!(!params.is_empty(), "IC {q} has no bindings");
+            for p in &params {
+                assert_eq!(p.query(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn bindings_are_runnable() {
+        let s = store();
+        let gen = ParamGen::new(s, 1);
+        for q in 1..=25u8 {
+            for p in gen.bi_params(q, 2) {
+                let _ = snb_bi::run(s, &p); // must not panic
+            }
+        }
+        for q in 1..=14u8 {
+            for p in gen.ic_params(q, 2) {
+                let _ = snb_interactive::run_complex(s, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn person_pairs_are_connected() {
+        let s = store();
+        let gen = ParamGen::new(s, 1);
+        let pairs = gen.person_pairs(5);
+        assert!(!pairs.is_empty());
+        for (a, b) in pairs {
+            let ai = s.person(a).unwrap();
+            let bi = s.person(b).unwrap();
+            let d = snb_engine::traverse::shortest_path_len(s, ai, bi);
+            assert!((2..=4).contains(&d));
+        }
+    }
+
+    #[test]
+    fn curated_and_random_differ_in_spread() {
+        // Factor spread of curated person-rooted bindings must be no
+        // larger than the random control's (stage-2 guarantee).
+        let s = store();
+        let gen = ParamGen::new(s, 1);
+        let factor_of = |p: &BiParams| -> u64 {
+            match p {
+                BiParams::Q6(x) => {
+                    let t = s.tag_named(&x.tag).unwrap();
+                    s.tag_message.degree(t) as u64
+                }
+                _ => 0,
+            }
+        };
+        let curated: Vec<u64> = gen.bi_params(6, 8).iter().map(factor_of).collect();
+        let random: Vec<u64> = gen.bi_params_random(6, 8).iter().map(factor_of).collect();
+        let spread = |v: &[u64]| v.iter().max().unwrap() - v.iter().min().unwrap();
+        assert!(spread(&curated) <= spread(&random).max(1));
+    }
+
+    #[test]
+    fn deterministic_bindings() {
+        let s = store();
+        let a = ParamGen::new(s, 9).bi_params(12, 4);
+        let b = ParamGen::new(s, 9).bi_params(12, 4);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

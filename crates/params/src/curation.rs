@@ -1,0 +1,96 @@
+//! The two-stage Parameter Curation procedure (spec §3.3).
+//!
+//! Stage 1 collects *factor counts* — cheap proxies for each candidate
+//! binding's intermediate-result size (number of friends, messages per
+//! tag, persons per country, …) — as a side effect of having the loaded
+//! store. Stage 2 greedily selects the bindings whose factors are most
+//! similar: the window of the sorted factor array with the smallest
+//! spread. This yields bindings satisfying the spec's properties:
+//!
+//! * **P1** bounded runtime variance,
+//! * **P2** stable runtime distribution across streams,
+//! * **P3** a common optimal plan (similar cardinalities everywhere).
+
+/// Selects the `n` candidates whose factor counts are most similar: the
+/// minimum-spread window of the factor-sorted candidates. Deterministic:
+/// ties prefer the window closest to the median.
+pub fn curate<T: Clone>(candidates: &[(T, u64)], n: usize) -> Vec<T> {
+    if candidates.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let n = n.min(candidates.len());
+    let mut sorted: Vec<(T, u64)> = candidates.to_vec();
+    sorted.sort_by_key(|&(_, f)| f);
+    let mut best_start = 0usize;
+    let mut best_spread = u64::MAX;
+    let mid = (sorted.len() - n) / 2;
+    let mut best_mid_dist = usize::MAX;
+    for start in 0..=sorted.len() - n {
+        let spread = sorted[start + n - 1].1 - sorted[start].1;
+        let mid_dist = start.abs_diff(mid);
+        if spread < best_spread || (spread == best_spread && mid_dist < best_mid_dist) {
+            best_spread = spread;
+            best_start = start;
+            best_mid_dist = mid_dist;
+        }
+    }
+    sorted[best_start..best_start + n].iter().map(|(t, _)| t.clone()).collect()
+}
+
+/// Population variance of a factor slice (used by tests/experiments to
+/// verify P1).
+pub fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_tightest_window() {
+        let cands: Vec<(char, u64)> =
+            vec![('a', 1), ('b', 100), ('c', 101), ('d', 102), ('e', 500)];
+        let picked = curate(&cands, 3);
+        assert_eq!(picked, vec!['b', 'c', 'd']);
+    }
+
+    #[test]
+    fn n_larger_than_candidates_returns_all() {
+        let cands = vec![(1, 5u64), (2, 6)];
+        assert_eq!(curate(&cands, 10).len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cands: Vec<(i32, u64)> = vec![];
+        assert!(curate(&cands, 3).is_empty());
+        assert!(curate(&[(1, 1)], 0).is_empty());
+    }
+
+    #[test]
+    fn curated_variance_never_exceeds_population() {
+        use snb_core::rng::Rng;
+        let mut rng = Rng::new(17);
+        for _ in 0..30 {
+            let cands: Vec<(usize, u64)> =
+                (0..200).map(|i| (i, rng.next_bounded(10_000))).collect();
+            let picked_ids = curate(&cands, 20);
+            let by_id: std::collections::HashMap<usize, u64> = cands.iter().copied().collect();
+            let picked: Vec<f64> =
+                picked_ids.iter().map(|i| by_id[i] as f64).collect();
+            let all: Vec<f64> = cands.iter().map(|&(_, f)| f as f64).collect();
+            assert!(variance(&picked) <= variance(&all) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cands: Vec<(usize, u64)> = (0..50).map(|i| (i, (i as u64 * 37) % 100)).collect();
+        assert_eq!(curate(&cands, 7), curate(&cands, 7));
+    }
+}

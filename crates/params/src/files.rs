@@ -1,0 +1,266 @@
+//! Substitution-parameter files (spec §2.3.4.4 / §3.3).
+//!
+//! Bindings are serialized one JSON object per line into
+//! `substitution_parameters/bi_<q>_param.txt` and
+//! `substitution_parameters/interactive_<q>_param.txt`, mirroring the
+//! official Datagen layout ("Every line of a parameter file is a
+//! JSON-formatted collection of key-value pairs").
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use snb_bi::BiParams;
+use snb_core::SnbResult;
+use snb_interactive::IcParams;
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_line(pairs: &[(&str, String)]) -> String {
+    let body: Vec<String> = pairs.iter().map(|(k, v)| format!("{}: {v}", json_str(k))).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Renders one BI binding as a JSON line.
+pub fn bi_binding_json(p: &BiParams) -> String {
+    match p {
+        BiParams::Q1(x) => json_line(&[("date", json_str(&x.date.to_string()))]),
+        BiParams::Q2(x) => json_line(&[
+            ("startDate", json_str(&x.start_date.to_string())),
+            ("endDate", json_str(&x.end_date.to_string())),
+            ("country1", json_str(&x.country1)),
+            ("country2", json_str(&x.country2)),
+        ]),
+        BiParams::Q3(x) => {
+            json_line(&[("year", x.year.to_string()), ("month", x.month.to_string())])
+        }
+        BiParams::Q4(x) => json_line(&[
+            ("tagClass", json_str(&x.tag_class)),
+            ("country", json_str(&x.country)),
+        ]),
+        BiParams::Q5(x) => json_line(&[("country", json_str(&x.country))]),
+        BiParams::Q6(x) => json_line(&[("tag", json_str(&x.tag))]),
+        BiParams::Q7(x) => json_line(&[("tag", json_str(&x.tag))]),
+        BiParams::Q8(x) => json_line(&[("tag", json_str(&x.tag))]),
+        BiParams::Q9(x) => json_line(&[
+            ("tagClass1", json_str(&x.tag_class1)),
+            ("tagClass2", json_str(&x.tag_class2)),
+            ("threshold", x.threshold.to_string()),
+        ]),
+        BiParams::Q10(x) => json_line(&[
+            ("tag", json_str(&x.tag)),
+            ("date", json_str(&x.date.to_string())),
+        ]),
+        BiParams::Q11(x) => json_line(&[
+            ("country", json_str(&x.country)),
+            (
+                "blacklist",
+                format!(
+                    "[{}]",
+                    x.blacklist.iter().map(|w| json_str(w)).collect::<Vec<_>>().join(", ")
+                ),
+            ),
+        ]),
+        BiParams::Q12(x) => json_line(&[
+            ("date", json_str(&x.date.to_string())),
+            ("likeThreshold", x.like_threshold.to_string()),
+        ]),
+        BiParams::Q13(x) => json_line(&[("country", json_str(&x.country))]),
+        BiParams::Q14(x) => json_line(&[
+            ("begin", json_str(&x.begin.to_string())),
+            ("end", json_str(&x.end.to_string())),
+        ]),
+        BiParams::Q15(x) => json_line(&[("country", json_str(&x.country))]),
+        BiParams::Q16(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("country", json_str(&x.country)),
+            ("tagClass", json_str(&x.tag_class)),
+            ("minPathDistance", x.min_path_distance.to_string()),
+            ("maxPathDistance", x.max_path_distance.to_string()),
+        ]),
+        BiParams::Q17(x) => json_line(&[("country", json_str(&x.country))]),
+        BiParams::Q18(x) => json_line(&[
+            ("date", json_str(&x.date.to_string())),
+            ("lengthThreshold", x.length_threshold.to_string()),
+            (
+                "languages",
+                format!(
+                    "[{}]",
+                    x.languages.iter().map(|l| json_str(l)).collect::<Vec<_>>().join(", ")
+                ),
+            ),
+        ]),
+        BiParams::Q19(x) => json_line(&[
+            ("date", json_str(&x.date.to_string())),
+            ("tagClass1", json_str(&x.tag_class1)),
+            ("tagClass2", json_str(&x.tag_class2)),
+        ]),
+        BiParams::Q20(x) => json_line(&[(
+            "tagClasses",
+            format!(
+                "[{}]",
+                x.tag_classes.iter().map(|c| json_str(c)).collect::<Vec<_>>().join(", ")
+            ),
+        )]),
+        BiParams::Q21(x) => json_line(&[
+            ("country", json_str(&x.country)),
+            ("endDate", json_str(&x.end_date.to_string())),
+        ]),
+        BiParams::Q22(x) => json_line(&[
+            ("country1", json_str(&x.country1)),
+            ("country2", json_str(&x.country2)),
+        ]),
+        BiParams::Q23(x) => json_line(&[("country", json_str(&x.country))]),
+        BiParams::Q24(x) => json_line(&[("tagClass", json_str(&x.tag_class))]),
+        BiParams::Q25(x) => json_line(&[
+            ("person1Id", x.person1_id.to_string()),
+            ("person2Id", x.person2_id.to_string()),
+            ("startDate", json_str(&x.start_date.to_string())),
+            ("endDate", json_str(&x.end_date.to_string())),
+        ]),
+    }
+}
+
+/// Renders one IC binding as a JSON line (person id plus the query's
+/// distinguishing parameters).
+pub fn ic_binding_json(p: &IcParams) -> String {
+    match p {
+        IcParams::Q1(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("firstName", json_str(&x.first_name)),
+        ]),
+        IcParams::Q2(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("maxDate", json_str(&x.max_date.to_string())),
+        ]),
+        IcParams::Q3(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("countryXName", json_str(&x.country_x)),
+            ("countryYName", json_str(&x.country_y)),
+            ("startDate", json_str(&x.start_date.to_string())),
+            ("durationDays", x.duration_days.to_string()),
+        ]),
+        IcParams::Q4(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("startDate", json_str(&x.start_date.to_string())),
+            ("durationDays", x.duration_days.to_string()),
+        ]),
+        IcParams::Q5(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("minDate", json_str(&x.min_date.to_string())),
+        ]),
+        IcParams::Q6(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("tagName", json_str(&x.tag_name)),
+        ]),
+        IcParams::Q7(x) => json_line(&[("personId", x.person_id.to_string())]),
+        IcParams::Q8(x) => json_line(&[("personId", x.person_id.to_string())]),
+        IcParams::Q9(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("maxDate", json_str(&x.max_date.to_string())),
+        ]),
+        IcParams::Q10(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("month", x.month.to_string()),
+        ]),
+        IcParams::Q11(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("countryName", json_str(&x.country)),
+            ("workFromYear", x.work_from_year.to_string()),
+        ]),
+        IcParams::Q12(x) => json_line(&[
+            ("personId", x.person_id.to_string()),
+            ("tagClassName", json_str(&x.tag_class_name)),
+        ]),
+        IcParams::Q13(x) => json_line(&[
+            ("person1Id", x.person1_id.to_string()),
+            ("person2Id", x.person2_id.to_string()),
+        ]),
+        IcParams::Q14(x) => json_line(&[
+            ("person1Id", x.person1_id.to_string()),
+            ("person2Id", x.person2_id.to_string()),
+        ]),
+    }
+}
+
+/// Writes the substitution-parameter directory for a store: one file
+/// per query template.
+pub fn write_substitution_files(
+    gen: &crate::ParamGen<'_>,
+    per_query: usize,
+    root: &Path,
+) -> SnbResult<Vec<String>> {
+    let dir = root.join("substitution_parameters");
+    fs::create_dir_all(&dir)?;
+    let mut written = Vec::new();
+    for q in 1..=25u8 {
+        let name = format!("bi_{q}_param.txt");
+        let mut f = std::io::BufWriter::new(fs::File::create(dir.join(&name))?);
+        for p in gen.bi_params(q, per_query) {
+            writeln!(f, "{}", bi_binding_json(&p))?;
+        }
+        written.push(name);
+    }
+    for q in 1..=14u8 {
+        let name = format!("interactive_{q}_param.txt");
+        let mut f = std::io::BufWriter::new(fs::File::create(dir.join(&name))?);
+        for p in gen.ic_params(q, per_query) {
+            writeln!(f, "{}", ic_binding_json(&p))?;
+        }
+        written.push(name);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamGen;
+    use snb_datagen::GeneratorConfig;
+    use snb_store::store_for_config;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("back\\slash"), "\"back\\\\slash\"");
+    }
+
+    #[test]
+    fn writes_39_files_with_json_lines() {
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 100;
+        let s = store_for_config(&c);
+        let gen = ParamGen::new(&s, c.seed);
+        let dir = std::env::temp_dir().join(format!("snb_params_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let files = write_substitution_files(&gen, 3, &dir).unwrap();
+        assert_eq!(files.len(), 39);
+        for f in &files {
+            let content =
+                fs::read_to_string(dir.join("substitution_parameters").join(f)).unwrap();
+            assert!(!content.is_empty(), "{f} empty");
+            for line in content.lines() {
+                assert!(line.starts_with('{') && line.ends_with('}'), "{f}: {line}");
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,248 @@
+//! Struct-of-arrays column groups for every entity type.
+//!
+//! Entities are addressed by dense `u32` indices assigned at load time;
+//! raw 64-bit ids are kept in an `id` column and a hash index maps them
+//! back (id→index lookups use `FxHashMap`, per the perf guidance for
+//! integer keys). `NONE` marks absent optional references.
+
+use snb_core::datetime::{Date, DateTime};
+use snb_core::model::{Gender, MessageKind, OrganisationKind, PlaceKind};
+
+/// Dense entity index.
+pub type Ix = u32;
+
+/// Sentinel for absent optional references.
+pub const NONE: Ix = u32::MAX;
+
+/// Person columns (spec Table 2.5).
+#[derive(Default)]
+pub struct PersonCols {
+    /// Raw ids.
+    pub id: Vec<u64>,
+    /// First names.
+    pub first_name: Vec<String>,
+    /// Surnames.
+    pub last_name: Vec<String>,
+    /// Genders.
+    pub gender: Vec<Gender>,
+    /// Birthdays.
+    pub birthday: Vec<Date>,
+    /// Join dates.
+    pub creation_date: Vec<DateTime>,
+    /// Registration IPs.
+    pub location_ip: Vec<String>,
+    /// Browser names (resolved strings, returned verbatim by queries).
+    pub browser: Vec<String>,
+    /// Home city (place index).
+    pub city: Vec<Ix>,
+    /// Email addresses (multi-valued).
+    pub emails: Vec<Vec<String>>,
+    /// Spoken languages (multi-valued).
+    pub speaks: Vec<Vec<String>>,
+}
+
+impl PersonCols {
+    /// Number of persons.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when no persons are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+}
+
+/// Forum columns (spec Table 2.2 + moderator).
+#[derive(Default)]
+pub struct ForumCols {
+    /// Raw ids.
+    pub id: Vec<u64>,
+    /// Titles ("Wall of …" / "Album …" / "Group for …").
+    pub title: Vec<String>,
+    /// Creation timestamps.
+    pub creation_date: Vec<DateTime>,
+    /// Moderator (person index).
+    pub moderator: Vec<Ix>,
+}
+
+impl ForumCols {
+    /// Number of forums.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when no forums are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+}
+
+/// Message columns (Posts and Comments share the table; `kind`
+/// discriminates — spec Tables 2.3 / 2.7).
+#[derive(Default)]
+pub struct MessageCols {
+    /// Raw ids.
+    pub id: Vec<u64>,
+    /// Post or Comment.
+    pub kind: Vec<MessageKind>,
+    /// Creation timestamps.
+    pub creation_date: Vec<DateTime>,
+    /// Author (person index).
+    pub creator: Vec<Ix>,
+    /// Country the message was issued from (place index).
+    pub country: Vec<Ix>,
+    /// Browser names.
+    pub browser: Vec<String>,
+    /// Origin IPs.
+    pub location_ip: Vec<String>,
+    /// Content (empty iff image post).
+    pub content: Vec<String>,
+    /// Content length.
+    pub length: Vec<u32>,
+    /// Image file name (empty string when absent).
+    pub image_file: Vec<String>,
+    /// Language (Posts; empty string when absent).
+    pub language: Vec<String>,
+    /// Containing forum (Posts; `NONE` for comments).
+    pub forum: Vec<Ix>,
+    /// Replied-to message (Comments; `NONE` for posts).
+    pub reply_of: Vec<Ix>,
+    /// Root post of the thread (self for posts).
+    pub root_post: Vec<Ix>,
+}
+
+impl MessageCols {
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when no messages are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    /// Whether message `m` is a Post.
+    pub fn is_post(&self, m: Ix) -> bool {
+        self.kind[m as usize] == MessageKind::Post
+    }
+}
+
+/// Place columns.
+#[derive(Default)]
+pub struct PlaceCols {
+    /// Raw ids.
+    pub id: Vec<u64>,
+    /// Names.
+    pub name: Vec<String>,
+    /// City / country / continent.
+    pub kind: Vec<PlaceKind>,
+    /// `isPartOf` parent (`NONE` for continents).
+    pub part_of: Vec<Ix>,
+}
+
+impl PlaceCols {
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when no places are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+}
+
+/// Tag columns.
+#[derive(Default)]
+pub struct TagCols {
+    /// Raw ids.
+    pub id: Vec<u64>,
+    /// Names.
+    pub name: Vec<String>,
+    /// `hasType` tag class (index).
+    pub class: Vec<Ix>,
+}
+
+impl TagCols {
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when no tags are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+}
+
+/// TagClass columns.
+#[derive(Default)]
+pub struct TagClassCols {
+    /// Raw ids.
+    pub id: Vec<u64>,
+    /// Names.
+    pub name: Vec<String>,
+    /// `isSubclassOf` parent (`NONE` for the root).
+    pub parent: Vec<Ix>,
+}
+
+impl TagClassCols {
+    /// Number of tag classes.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when no tag classes are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+}
+
+/// Organisation columns.
+#[derive(Default)]
+pub struct OrganisationCols {
+    /// Raw ids.
+    pub id: Vec<u64>,
+    /// Names.
+    pub name: Vec<String>,
+    /// University or company.
+    pub kind: Vec<OrganisationKind>,
+    /// Location (city for universities, country for companies).
+    pub place: Vec<Ix>,
+}
+
+impl OrganisationCols {
+    /// Number of organisations.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when no organisations are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_sentinel_is_max() {
+        assert_eq!(NONE, u32::MAX);
+    }
+
+    #[test]
+    fn message_kind_helper() {
+        let mut m = MessageCols::default();
+        m.id.push(1);
+        m.kind.push(MessageKind::Post);
+        m.id.push(2);
+        m.kind.push(MessageKind::Comment);
+        assert!(m.is_post(0));
+        assert!(!m.is_post(1));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,578 @@
+//! Delete operations (DEL 1–8).
+//!
+//! The v0.3.x spec withholds deletes ("update streams … only contain
+//! inserts. Delete operations are being designed and will be released
+//! later", §2.3.4.3); the operation set below reproduces the eight
+//! deletes the later official workload introduced, with full cascade
+//! semantics:
+//!
+//! | op | deletes | cascades to |
+//! |----|---------|-------------|
+//! | DEL 1 | Person | their knows/likes/memberships/interests, messages they created (with reply subtrees), forums they moderate (with contents) |
+//! | DEL 2 | like → Post | the edge only |
+//! | DEL 3 | like → Comment | the edge only |
+//! | DEL 4 | Forum | memberships, contained posts (with reply subtrees) |
+//! | DEL 5 | membership | the edge only |
+//! | DEL 6 | Post | its reply subtree, likes, tags |
+//! | DEL 7 | Comment | its reply subtree, likes, tags |
+//! | DEL 8 | friendship | the edge only |
+//!
+//! Deletes are **batch-applied**: tombstones are collected with their
+//! transitive closure, then the store is rebuilt without the victims.
+//! This trades per-operation latency for zero read-path overhead — the
+//! CSR hot loops never test tombstones — which suits the BI usage
+//! pattern (bulk refresh between analytical sessions). The insert
+//! overflow path (IU 1–8) remains the low-latency write mechanism.
+
+use rustc_hash::FxHashSet;
+
+use snb_core::SnbResult;
+
+use crate::adj::Adj;
+use crate::columns::{Ix, NONE};
+use crate::store::Store;
+
+/// One delete operation, addressed by raw ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeleteOp {
+    /// DEL 1 — delete a Person and everything they own.
+    Person(u64),
+    /// DEL 2 / DEL 3 — delete a like edge `(person, message)`.
+    Like(u64, u64),
+    /// DEL 4 — delete a Forum and its contents.
+    Forum(u64),
+    /// DEL 5 — delete a membership edge `(person, forum)`.
+    Membership(u64, u64),
+    /// DEL 6 / DEL 7 — delete a Message and its reply subtree.
+    Message(u64),
+    /// DEL 8 — delete a friendship edge.
+    Knows(u64, u64),
+}
+
+/// Counts of entities removed by a batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeleteStats {
+    /// Persons removed.
+    pub persons: usize,
+    /// Forums removed.
+    pub forums: usize,
+    /// Messages removed (including cascaded reply subtrees).
+    pub messages: usize,
+    /// Like edges removed (cascades included).
+    pub likes: usize,
+    /// Membership edges removed (cascades included).
+    pub memberships: usize,
+    /// Knows edges removed (cascades included; undirected count).
+    pub knows: usize,
+}
+
+/// The tombstone sets a batch expands to.
+#[derive(Default)]
+struct Victims {
+    persons: FxHashSet<Ix>,
+    forums: FxHashSet<Ix>,
+    messages: FxHashSet<Ix>,
+    likes: FxHashSet<(Ix, Ix)>,
+    memberships: FxHashSet<(Ix, Ix)>,
+    knows: FxHashSet<(Ix, Ix)>, // normalised (min, max)
+}
+
+impl Store {
+    /// Applies a batch of delete operations with full cascades and
+    /// rebuilds the store in place. Returns what was removed. Unknown
+    /// ids error without mutating anything.
+    pub fn apply_deletes(&mut self, ops: &[DeleteOp]) -> SnbResult<DeleteStats> {
+        let mut v = Victims::default();
+        // Seed the tombstones from the explicit operations.
+        for op in ops {
+            match *op {
+                DeleteOp::Person(id) => {
+                    v.persons.insert(self.person(id)?);
+                }
+                DeleteOp::Like(p, m) => {
+                    v.likes.insert((self.person(p)?, self.message(m)?));
+                }
+                DeleteOp::Forum(id) => {
+                    v.forums.insert(self.forum(id)?);
+                }
+                DeleteOp::Membership(p, f) => {
+                    v.memberships.insert((self.person(p)?, self.forum(f)?));
+                }
+                DeleteOp::Message(id) => {
+                    v.messages.insert(self.message(id)?);
+                }
+                DeleteOp::Knows(a, b) => {
+                    let (a, b) = (self.person(a)?, self.person(b)?);
+                    v.knows.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+        self.expand_cascades(&mut v);
+        let stats = DeleteStats {
+            persons: v.persons.len(),
+            forums: v.forums.len(),
+            messages: v.messages.len(),
+            likes: v.likes.len(),
+            memberships: v.memberships.len(),
+            knows: v.knows.len(),
+        };
+        self.rebuild_without(&v);
+        Ok(stats)
+    }
+
+    /// Expands seeds to their transitive closure.
+    fn expand_cascades(&self, v: &mut Victims) {
+        // Person → their moderated forums.
+        for &p in v.persons.clone().iter() {
+            for f in self.person_moderates.targets_of(p) {
+                v.forums.insert(f);
+            }
+        }
+        // Forum → contained posts.
+        for &f in v.forums.clone().iter() {
+            for post in self.forum_posts.targets_of(f) {
+                v.messages.insert(post);
+            }
+        }
+        // Person → created messages.
+        for &p in v.persons.clone().iter() {
+            for m in self.person_messages.targets_of(p) {
+                v.messages.insert(m);
+            }
+        }
+        // Message → reply subtree (iterate to fixpoint via DFS).
+        let mut stack: Vec<Ix> = v.messages.iter().copied().collect();
+        while let Some(m) = stack.pop() {
+            for r in self.message_replies.targets_of(m) {
+                if v.messages.insert(r) {
+                    stack.push(r);
+                }
+            }
+        }
+        // Edges incident to deleted nodes.
+        for &p in &v.persons {
+            for (q, _) in self.knows.neighbors(p) {
+                v.knows.insert((p.min(q), p.max(q)));
+            }
+            for (m, _) in self.person_likes.neighbors(p) {
+                v.likes.insert((p, m));
+            }
+            for (f, _) in self.member_forum.neighbors(p) {
+                v.memberships.insert((p, f));
+            }
+        }
+        for &m in &v.messages {
+            for (p, _) in self.message_likes.neighbors(m) {
+                v.likes.insert((p, m));
+            }
+        }
+        for &f in &v.forums {
+            for (p, _) in self.forum_member.neighbors(f) {
+                v.memberships.insert((p, f));
+            }
+        }
+    }
+
+    /// Rebuilds every column and adjacency without the victims.
+    #[allow(clippy::too_many_lines)]
+    fn rebuild_without(&mut self, v: &Victims) {
+        // Old-index → new-index maps (NONE = deleted).
+        let person_map = remap(self.persons.len(), &v.persons);
+        let forum_map = remap(self.forums.len(), &v.forums);
+        let message_map = remap(self.messages.len(), &v.messages);
+
+        // --- person columns ---
+        let keep_p = |i: usize| person_map[i] != NONE;
+        filter_in_place(&mut self.persons.id, keep_p);
+        filter_in_place(&mut self.persons.first_name, keep_p);
+        filter_in_place(&mut self.persons.last_name, keep_p);
+        filter_in_place(&mut self.persons.gender, keep_p);
+        filter_in_place(&mut self.persons.birthday, keep_p);
+        filter_in_place(&mut self.persons.creation_date, keep_p);
+        filter_in_place(&mut self.persons.location_ip, keep_p);
+        filter_in_place(&mut self.persons.browser, keep_p);
+        filter_in_place(&mut self.persons.city, keep_p);
+        filter_in_place(&mut self.persons.emails, keep_p);
+        filter_in_place(&mut self.persons.speaks, keep_p);
+
+        // --- forum columns ---
+        let keep_f = |i: usize| forum_map[i] != NONE;
+        filter_in_place(&mut self.forums.id, keep_f);
+        filter_in_place(&mut self.forums.title, keep_f);
+        filter_in_place(&mut self.forums.creation_date, keep_f);
+        filter_in_place(&mut self.forums.moderator, keep_f);
+        for m in &mut self.forums.moderator {
+            *m = person_map[*m as usize];
+        }
+
+        // --- message columns ---
+        let keep_m = |i: usize| message_map[i] != NONE;
+        filter_in_place(&mut self.messages.id, keep_m);
+        filter_in_place(&mut self.messages.kind, keep_m);
+        filter_in_place(&mut self.messages.creation_date, keep_m);
+        filter_in_place(&mut self.messages.creator, keep_m);
+        filter_in_place(&mut self.messages.country, keep_m);
+        filter_in_place(&mut self.messages.browser, keep_m);
+        filter_in_place(&mut self.messages.location_ip, keep_m);
+        filter_in_place(&mut self.messages.content, keep_m);
+        filter_in_place(&mut self.messages.length, keep_m);
+        filter_in_place(&mut self.messages.image_file, keep_m);
+        filter_in_place(&mut self.messages.language, keep_m);
+        filter_in_place(&mut self.messages.forum, keep_m);
+        filter_in_place(&mut self.messages.reply_of, keep_m);
+        filter_in_place(&mut self.messages.root_post, keep_m);
+        for c in &mut self.messages.creator {
+            *c = person_map[*c as usize];
+        }
+        for f in &mut self.messages.forum {
+            if *f != NONE {
+                *f = forum_map[*f as usize];
+            }
+        }
+        for r in &mut self.messages.reply_of {
+            if *r != NONE {
+                *r = message_map[*r as usize];
+            }
+        }
+        for r in &mut self.messages.root_post {
+            *r = message_map[*r as usize];
+        }
+
+        // --- id maps ---
+        self.person_ix = self.persons.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
+        self.forum_ix = self.forums.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
+        self.message_ix =
+            self.messages.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
+
+        let np = self.persons.len();
+        let nf = self.forums.len();
+        let nm = self.messages.len();
+        let nt = self.tags.len();
+
+        // --- adjacency rebuilds ---
+        let knows_edges = collect_edges(&self.knows, |a, b, _| {
+            person_map[a as usize] != NONE
+                && person_map[b as usize] != NONE
+                && !v.knows.contains(&(a.min(b), a.max(b)))
+        });
+        self.knows = Adj::from_edges(
+            np,
+            &knows_edges
+                .iter()
+                .map(|&(a, b, d)| (person_map[a as usize], person_map[b as usize], d))
+                .collect::<Vec<_>>(),
+        );
+
+        let like_edges = collect_edges(&self.person_likes, |p, m, _| {
+            person_map[p as usize] != NONE
+                && message_map[m as usize] != NONE
+                && !v.likes.contains(&(p, m))
+        });
+        let mapped: Vec<_> = like_edges
+            .iter()
+            .map(|&(p, m, d)| (person_map[p as usize], message_map[m as usize], d))
+            .collect();
+        self.person_likes = Adj::from_edges(np, &mapped);
+        let rev: Vec<_> = mapped.iter().map(|&(p, m, d)| (m, p, d)).collect();
+        self.message_likes = Adj::from_edges(nm, &rev);
+
+        let member_edges = collect_edges(&self.forum_member, |f, p, _| {
+            forum_map[f as usize] != NONE
+                && person_map[p as usize] != NONE
+                && !v.memberships.contains(&(p, f))
+        });
+        let mapped: Vec<_> = member_edges
+            .iter()
+            .map(|&(f, p, d)| (forum_map[f as usize], person_map[p as usize], d))
+            .collect();
+        self.forum_member = Adj::from_edges(nf, &mapped);
+        let rev: Vec<_> = mapped.iter().map(|&(f, p, d)| (p, f, d)).collect();
+        self.member_forum = Adj::from_edges(np, &rev);
+
+        let interest_edges = collect_edges(&self.person_interest, |p, _, _| {
+            person_map[p as usize] != NONE
+        });
+        let mapped: Vec<_> = interest_edges
+            .iter()
+            .map(|&(p, t, d)| (person_map[p as usize], t, d))
+            .collect();
+        self.person_interest = Adj::from_edges(np, &mapped);
+        let rev: Vec<_> = mapped.iter().map(|&(p, t, d)| (t, p, d)).collect();
+        self.interest_person = Adj::from_edges(nt, &rev);
+
+        let study = collect_edges(&self.person_study, |p, _, _| person_map[p as usize] != NONE);
+        self.person_study = Adj::from_edges(
+            np,
+            &study.iter().map(|&(p, o, y)| (person_map[p as usize], o, y)).collect::<Vec<_>>(),
+        );
+        let work = collect_edges(&self.person_work, |p, _, _| person_map[p as usize] != NONE);
+        self.person_work = Adj::from_edges(
+            np,
+            &work.iter().map(|&(p, o, y)| (person_map[p as usize], o, y)).collect::<Vec<_>>(),
+        );
+
+        let tag_edges = collect_edges(&self.message_tag, |m, _, _| message_map[m as usize] != NONE);
+        let mapped: Vec<_> =
+            tag_edges.iter().map(|&(m, t, d)| (message_map[m as usize], t, d)).collect();
+        self.message_tag = Adj::from_edges(nm, &mapped);
+        let rev: Vec<_> = mapped.iter().map(|&(m, t, d)| (t, m, d)).collect();
+        self.tag_message = Adj::from_edges(nt, &rev);
+
+        let forum_tag = collect_edges(&self.forum_tag, |f, _, _| forum_map[f as usize] != NONE);
+        let mapped: Vec<_> =
+            forum_tag.iter().map(|&(f, t, d)| (forum_map[f as usize], t, d)).collect();
+        self.forum_tag = Adj::from_edges(nf, &mapped);
+        let rev: Vec<_> = mapped.iter().map(|&(f, t, d)| (t, f, d)).collect();
+        self.tag_forum = Adj::from_edges(nt, &rev);
+
+        // Derived adjacency from the rewritten columns.
+        let mut creator_edges = Vec::with_capacity(nm);
+        let mut forum_posts = Vec::new();
+        let mut replies = Vec::new();
+        for m in 0..nm {
+            creator_edges.push((self.messages.creator[m], m as Ix, ()));
+            if self.messages.is_post(m as Ix) {
+                forum_posts.push((self.messages.forum[m], m as Ix, ()));
+            }
+            let parent = self.messages.reply_of[m];
+            if parent != NONE {
+                replies.push((parent, m as Ix, ()));
+            }
+        }
+        self.person_messages = Adj::from_edges(np, &creator_edges);
+        self.forum_posts = Adj::from_edges(nf, &forum_posts);
+        self.message_replies = Adj::from_edges(nm, &replies);
+
+        let mut moderates = Vec::with_capacity(nf);
+        for f in 0..nf {
+            moderates.push((self.forums.moderator[f], f as Ix, ()));
+        }
+        self.person_moderates = Adj::from_edges(np, &moderates);
+
+        let mut city_person = Vec::with_capacity(np);
+        for p in 0..np {
+            city_person.push((self.persons.city[p], p as Ix, ()));
+        }
+        self.city_person = Adj::from_edges(self.places.len(), &city_person);
+    }
+}
+
+/// Old→new dense-index map with `NONE` for victims.
+fn remap(len: usize, victims: &FxHashSet<Ix>) -> Vec<Ix> {
+    let mut map = vec![NONE; len];
+    let mut next = 0;
+    for (i, slot) in map.iter_mut().enumerate() {
+        if !victims.contains(&(i as Ix)) {
+            *slot = next;
+            next += 1;
+        }
+    }
+    map
+}
+
+/// Keeps only elements whose index passes `keep`.
+fn filter_in_place<T>(items: &mut Vec<T>, keep: impl Fn(usize) -> bool) {
+    let mut i = 0;
+    items.retain(|_| {
+        let k = keep(i);
+        i += 1;
+        k
+    });
+}
+
+/// Collects all `(source, target, payload)` edges passing `keep` (in
+/// source-major order; sources whose halves are dropped by `keep` just
+/// produce no edges).
+fn collect_edges<P: Copy>(
+    adj: &Adj<P>,
+    keep: impl Fn(Ix, Ix, P) -> bool,
+) -> Vec<(Ix, Ix, P)> {
+    let mut out = Vec::with_capacity(adj.edge_count());
+    for u in 0..adj.sources() as Ix {
+        for (t, p) in adj.neighbors(u) {
+            if keep(u, t, p) {
+                out.push((u, t, p));
+            }
+        }
+    }
+    out
+}
+
+/// Convenience constructor validating that the ids exist is done inside
+/// [`Store::apply_deletes`]; this free function only documents intent.
+pub fn delete_person(id: u64) -> DeleteOp {
+    DeleteOp::Person(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::store_for_config;
+    use snb_datagen::GeneratorConfig;
+
+    fn store() -> Store {
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 100;
+        store_for_config(&c)
+    }
+
+    #[test]
+    fn delete_knows_edge_only() {
+        let mut s = store();
+        let a = (0..s.persons.len() as Ix).find(|&p| s.knows.degree(p) > 0).unwrap();
+        let b = s.knows.targets_of(a).next().unwrap();
+        let (aid, bid) = (s.persons.id[a as usize], s.persons.id[b as usize]);
+        let persons_before = s.persons.len();
+        let knows_before = s.knows.edge_count();
+        let stats = s.apply_deletes(&[DeleteOp::Knows(aid, bid)]).unwrap();
+        assert_eq!(stats.knows, 1);
+        assert_eq!(stats.persons, 0);
+        assert_eq!(s.persons.len(), persons_before);
+        assert_eq!(s.knows.edge_count(), knows_before - 2);
+        let (a2, b2) = (s.person(aid).unwrap(), s.person(bid).unwrap());
+        assert!(!s.knows.contains(a2, b2));
+        s.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_message_cascades_subtree_and_likes() {
+        let mut s = store();
+        // A post with replies.
+        let post = (0..s.messages.len() as Ix)
+            .filter(|&m| s.messages.is_post(m))
+            .max_by_key(|&m| s.message_replies.degree(m))
+            .unwrap();
+        assert!(s.message_replies.degree(post) > 0, "need a replied post");
+        let post_id = s.messages.id[post as usize];
+        // Collect the reply subtree (inclusive).
+        let subtree: Vec<Ix> = {
+            let mut out = vec![post];
+            let mut stack = vec![post];
+            while let Some(m) = stack.pop() {
+                for r in s.message_replies.targets_of(m) {
+                    out.push(r);
+                    stack.push(r);
+                }
+            }
+            out
+        };
+        let messages_before = s.messages.len();
+        let stats = s.apply_deletes(&[DeleteOp::Message(post_id)]).unwrap();
+        assert_eq!(stats.messages, subtree.len());
+        assert_eq!(s.messages.len(), messages_before - subtree.len());
+        assert!(s.message(post_id).is_err());
+        s.validate_invariants().unwrap();
+        // No dangling reply_of / root_post.
+        for m in 0..s.messages.len() {
+            assert_ne!(s.messages.root_post[m], NONE);
+            let r = s.messages.reply_of[m];
+            if r != NONE {
+                assert!((r as usize) < s.messages.len());
+            }
+        }
+    }
+
+    #[test]
+    fn delete_person_cascades_everything_they_own() {
+        let mut s = store();
+        let p = (0..s.persons.len() as Ix).max_by_key(|&p| s.knows.degree(p)).unwrap();
+        let pid = s.persons.id[p as usize];
+        let stats = s.apply_deletes(&[DeleteOp::Person(pid)]).unwrap();
+        assert_eq!(stats.persons, 1);
+        assert!(stats.forums >= 1, "wall must cascade");
+        assert!(s.person(pid).is_err());
+        s.validate_invariants().unwrap();
+        // Nothing in the store references the victim: creators, likers,
+        // members, moderators are all remapped survivors.
+        for m in 0..s.messages.len() {
+            assert!((s.messages.creator[m] as usize) < s.persons.len());
+        }
+        for f in 0..s.forums.len() {
+            assert!((s.forums.moderator[f] as usize) < s.persons.len());
+        }
+        // Reverse indexes agree with the rewritten columns.
+        for p2 in 0..s.persons.len() as Ix {
+            for m in s.person_messages.targets_of(p2) {
+                assert_eq!(s.messages.creator[m as usize], p2);
+            }
+        }
+    }
+
+    #[test]
+    fn delete_forum_cascades_posts() {
+        let mut s = store();
+        let f = (0..s.forums.len() as Ix).max_by_key(|&f| s.forum_posts.degree(f)).unwrap();
+        let posts = s.forum_posts.degree(f);
+        assert!(posts > 0);
+        let fid = s.forums.id[f as usize];
+        let stats = s.apply_deletes(&[DeleteOp::Forum(fid)]).unwrap();
+        assert_eq!(stats.forums, 1);
+        assert!(stats.messages >= posts, "posts (and replies) cascade");
+        assert!(s.forum(fid).is_err());
+        s.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_like_and_membership_edges() {
+        let mut s = store();
+        let (p, m) = {
+            let p = (0..s.persons.len() as Ix).find(|&p| s.person_likes.degree(p) > 0).unwrap();
+            let (m, _) = s.person_likes.neighbors(p).next().unwrap();
+            (p, m)
+        };
+        let (pid, mid) = (s.persons.id[p as usize], s.messages.id[m as usize]);
+        let likes_before = s.person_likes.edge_count();
+        s.apply_deletes(&[DeleteOp::Like(pid, mid)]).unwrap();
+        assert_eq!(s.person_likes.edge_count(), likes_before - 1);
+
+        let (p, f) = {
+            let p = (0..s.persons.len() as Ix).find(|&p| s.member_forum.degree(p) > 0).unwrap();
+            let (f, _) = s.member_forum.neighbors(p).next().unwrap();
+            (p, f)
+        };
+        let (pid, fid) = (s.persons.id[p as usize], s.forums.id[f as usize]);
+        let members_before = s.forum_member.edge_count();
+        s.apply_deletes(&[DeleteOp::Membership(pid, fid)]).unwrap();
+        assert_eq!(s.forum_member.edge_count(), members_before - 1);
+        s.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn unknown_ids_error_without_mutation() {
+        let mut s = store();
+        let persons = s.persons.len();
+        let messages = s.messages.len();
+        assert!(s.apply_deletes(&[DeleteOp::Person(987_654_321)]).is_err());
+        assert!(s.apply_deletes(&[DeleteOp::Message(987_654_321)]).is_err());
+        assert_eq!(s.persons.len(), persons);
+        assert_eq!(s.messages.len(), messages);
+    }
+
+    #[test]
+    fn insert_after_delete_works() {
+        let mut s = store();
+        let victim = s.persons.id[10];
+        s.apply_deletes(&[DeleteOp::Person(victim)]).unwrap();
+        // Reuse the freed id: a fresh person may take it.
+        let city = s.places.id[s.persons.city[0] as usize];
+        s.insert_person(crate::insert::PersonInsert {
+            id: victim,
+            first_name: "Reborn".into(),
+            last_name: "User".into(),
+            gender: snb_core::model::Gender::Female,
+            birthday: snb_core::Date::from_ymd(1991, 2, 3),
+            creation_date: snb_core::DateTime(1_000_000),
+            location_ip: "8.8.8.8".into(),
+            browser_used: "Safari".into(),
+            city_id: city,
+            speaks: vec!["en".into()],
+            emails: vec![],
+            tag_ids: vec![0],
+            study_at: vec![],
+            work_at: vec![],
+        })
+        .unwrap();
+        assert_eq!(s.persons.first_name[s.person(victim).unwrap() as usize], "Reborn");
+        s.validate_invariants().unwrap();
+    }
+}

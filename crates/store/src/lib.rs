@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # snb-store
+//!
+//! The System Under Test of this reproduction: an in-memory columnar
+//! property-graph store purpose-built for the SNB schema.
+//!
+//! * [`columns`] — struct-of-arrays attribute storage per entity type,
+//!   dense `u32` indices, raw-id hash indexes;
+//! * [`adj`] — CSR adjacency (forward + reverse) for every relation,
+//!   with an insert overflow so the Interactive workload's IU 1–8 don't
+//!   rebuild anything on the write path;
+//! * [`build`] — bulk load from the generator's in-memory output (with
+//!   optional bulk/stream split);
+//! * [`load`] — bulk load from a CsvBasic dataset directory;
+//! * [`insert`] — the IU 1–8 write operations and update-stream replay.
+
+pub mod adj;
+pub mod build;
+pub mod columns;
+pub mod delete;
+pub mod insert;
+pub mod load;
+mod store;
+
+pub use adj::Adj;
+pub use build::{build_store, bulk_store_and_stream, store_for_config, StoreStats};
+pub use columns::{Ix, NONE};
+pub use delete::{DeleteOp, DeleteStats};
+pub use insert::{CommentInsert, ForumInsert, PersonInsert, PostInsert};
+pub use store::Store;

@@ -1,0 +1,490 @@
+//! Bulk-loading a [`Store`] from a CsvBasic dataset directory
+//! (spec §6.1.3: "The test sponsor must provide all the necessary
+//! documentation and scripts to load the dataset into the database").
+//!
+//! Reads the `social_network/{static,dynamic}` layout written by
+//! [`snb_datagen::serializer`] with the [`CsvBasic`] variant
+//! (spec Table 2.13) and reconstructs the full store, including reverse
+//! adjacency and secondary indexes.
+//!
+//! [`CsvBasic`]: snb_datagen::serializer::CsvVariant::Basic
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use snb_core::datetime::{Date, DateTime};
+use snb_core::model::{Gender, MessageKind, OrganisationKind, PlaceKind};
+use snb_core::{SnbError, SnbResult};
+
+use crate::adj::Adj;
+use crate::columns::{Ix, NONE};
+use crate::store::Store;
+
+/// Reads one pipe-separated CSV file, skipping the header, and calls
+/// `f` for each record's fields.
+fn read_csv(
+    dir: &Path,
+    name: &str,
+    mut f: impl FnMut(&[&str]) -> SnbResult<()>,
+) -> SnbResult<()> {
+    let path = dir.join(name);
+    let reader = BufReader::new(File::open(&path).map_err(|e| {
+        SnbError::parse(path.display().to_string(), format!("cannot open: {e}"))
+    })?);
+    let mut lines = reader.lines();
+    let _header = lines.next();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        f(&fields).map_err(|e| {
+            SnbError::parse(format!("{}:{}", path.display(), lineno + 2), e.to_string())
+        })?;
+    }
+    Ok(())
+}
+
+fn parse_u64(s: &str) -> SnbResult<u64> {
+    s.parse().map_err(|_| SnbError::parse("u64", s))
+}
+
+fn parse_i32(s: &str) -> SnbResult<i32> {
+    s.parse().map_err(|_| SnbError::parse("i32", s))
+}
+
+fn parse_datetime(s: &str) -> SnbResult<DateTime> {
+    DateTime::parse(s).ok_or_else(|| SnbError::parse("DateTime", s))
+}
+
+fn parse_date(s: &str) -> SnbResult<Date> {
+    Date::parse(s).ok_or_else(|| SnbError::parse("Date", s))
+}
+
+/// Loads a CsvBasic dataset rooted at `root` (the directory containing
+/// `social_network/`).
+#[allow(clippy::too_many_lines)]
+pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
+    let base = root.join("social_network");
+    let st = base.join("static");
+    let dy = base.join("dynamic");
+    let mut s = Store::default();
+
+    // --- static: places ---
+    read_csv(&st, "place_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.places.len() as Ix;
+        s.place_ix.insert(id, ix);
+        s.places.id.push(id);
+        s.places.name.push(f[1].to_string());
+        s.places.kind.push(match f[3] {
+            "city" => PlaceKind::City,
+            "country" => PlaceKind::Country,
+            "continent" => PlaceKind::Continent,
+            other => return Err(SnbError::parse("place type", other)),
+        });
+        s.places.part_of.push(NONE);
+        s.place_by_name.insert(f[1].to_string(), ix);
+        Ok(())
+    })?;
+    read_csv(&st, "place_isPartOf_place_0_0.csv", |f| {
+        let child = s.place_ix[&parse_u64(f[0])?];
+        let parent = s.place_ix[&parse_u64(f[1])?];
+        s.places.part_of[child as usize] = parent;
+        Ok(())
+    })?;
+    let mut place_children = Vec::new();
+    for (pid, &parent) in s.places.part_of.iter().enumerate() {
+        if parent != NONE {
+            place_children.push((parent, pid as Ix, ()));
+        }
+    }
+    s.place_children = Adj::from_edges(s.places.len(), &place_children);
+
+    // --- static: tag classes ---
+    read_csv(&st, "tagclass_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.tag_classes.len() as Ix;
+        s.tag_class_ix.insert(id, ix);
+        s.tag_classes.id.push(id);
+        s.tag_classes.name.push(f[1].to_string());
+        s.tag_classes.parent.push(NONE);
+        s.tag_class_by_name.insert(f[1].to_string(), ix);
+        Ok(())
+    })?;
+    read_csv(&st, "tagclass_isSubclassOf_tagclass_0_0.csv", |f| {
+        let child = s.tag_class_ix[&parse_u64(f[0])?];
+        let parent = s.tag_class_ix[&parse_u64(f[1])?];
+        s.tag_classes.parent[child as usize] = parent;
+        Ok(())
+    })?;
+    let mut class_children = Vec::new();
+    for (ci, &parent) in s.tag_classes.parent.iter().enumerate() {
+        if parent != NONE {
+            class_children.push((parent, ci as Ix, ()));
+        }
+    }
+    s.tagclass_children = Adj::from_edges(s.tag_classes.len(), &class_children);
+
+    // --- static: tags ---
+    read_csv(&st, "tag_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.tags.len() as Ix;
+        s.tag_ix.insert(id, ix);
+        s.tags.id.push(id);
+        s.tags.name.push(f[1].to_string());
+        s.tags.class.push(NONE);
+        s.tag_by_name.insert(f[1].to_string(), ix);
+        Ok(())
+    })?;
+    read_csv(&st, "tag_hasType_tagclass_0_0.csv", |f| {
+        let tag = s.tag_ix[&parse_u64(f[0])?];
+        let class = s.tag_class_ix[&parse_u64(f[1])?];
+        s.tags.class[tag as usize] = class;
+        Ok(())
+    })?;
+    let mut class_tags = Vec::new();
+    for (ti, &class) in s.tags.class.iter().enumerate() {
+        if class != NONE {
+            class_tags.push((class, ti as Ix, ()));
+        }
+    }
+    s.tagclass_tags = Adj::from_edges(s.tag_classes.len(), &class_tags);
+
+    // --- static: organisations ---
+    read_csv(&st, "organisation_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.organisations.len() as Ix;
+        s.org_ix.insert(id, ix);
+        s.organisations.id.push(id);
+        s.organisations.kind.push(match f[1] {
+            "university" => OrganisationKind::University,
+            "company" => OrganisationKind::Company,
+            other => return Err(SnbError::parse("organisation type", other)),
+        });
+        s.organisations.name.push(f[2].to_string());
+        s.organisations.place.push(NONE);
+        Ok(())
+    })?;
+    read_csv(&st, "organisation_isLocatedIn_place_0_0.csv", |f| {
+        let org = s.org_ix[&parse_u64(f[0])?];
+        let place = s.place_ix[&parse_u64(f[1])?];
+        s.organisations.place[org as usize] = place;
+        Ok(())
+    })?;
+
+    // --- dynamic: persons ---
+    read_csv(&dy, "person_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.persons.len() as Ix;
+        s.person_ix.insert(id, ix);
+        s.persons.id.push(id);
+        s.persons.first_name.push(f[1].to_string());
+        s.persons.last_name.push(f[2].to_string());
+        s.persons.gender.push(if f[3] == "male" { Gender::Male } else { Gender::Female });
+        s.persons.birthday.push(parse_date(f[4])?);
+        s.persons.creation_date.push(parse_datetime(f[5])?);
+        s.persons.location_ip.push(f[6].to_string());
+        s.persons.browser.push(f[7].to_string());
+        s.persons.city.push(NONE);
+        s.persons.emails.push(Vec::new());
+        s.persons.speaks.push(Vec::new());
+        Ok(())
+    })?;
+    let np = s.persons.len();
+    read_csv(&dy, "person_isLocatedIn_place_0_0.csv", |f| {
+        let p = s.person_ix[&parse_u64(f[0])?];
+        s.persons.city[p as usize] = s.place_ix[&parse_u64(f[1])?];
+        Ok(())
+    })?;
+    read_csv(&dy, "person_email_emailaddress_0_0.csv", |f| {
+        let p = s.person_ix[&parse_u64(f[0])?];
+        s.persons.emails[p as usize].push(f[1].to_string());
+        Ok(())
+    })?;
+    read_csv(&dy, "person_speaks_language_0_0.csv", |f| {
+        let p = s.person_ix[&parse_u64(f[0])?];
+        s.persons.speaks[p as usize].push(f[1].to_string());
+        Ok(())
+    })?;
+    let mut city_person = Vec::new();
+    for (p, &city) in s.persons.city.iter().enumerate() {
+        city_person.push((city, p as Ix, ()));
+    }
+    s.city_person = Adj::from_edges(s.places.len(), &city_person);
+
+    let mut interest = Vec::new();
+    read_csv(&dy, "person_hasInterest_tag_0_0.csv", |f| {
+        interest.push((s.person_ix[&parse_u64(f[0])?], s.tag_ix[&parse_u64(f[1])?], ()));
+        Ok(())
+    })?;
+    let (pi, ip) = crate::adj::forward_reverse(np, s.tags.len(), &interest);
+    s.person_interest = pi;
+    s.interest_person = ip;
+
+    let mut study = Vec::new();
+    read_csv(&dy, "person_studyAt_organisation_0_0.csv", |f| {
+        study.push((s.person_ix[&parse_u64(f[0])?], s.org_ix[&parse_u64(f[1])?], parse_i32(f[2])?));
+        Ok(())
+    })?;
+    s.person_study = Adj::from_edges(np, &study);
+    let mut work = Vec::new();
+    read_csv(&dy, "person_workAt_organisation_0_0.csv", |f| {
+        work.push((s.person_ix[&parse_u64(f[0])?], s.org_ix[&parse_u64(f[1])?], parse_i32(f[2])?));
+        Ok(())
+    })?;
+    s.person_work = Adj::from_edges(np, &work);
+
+    let mut knows = Vec::new();
+    read_csv(&dy, "person_knows_person_0_0.csv", |f| {
+        let a = s.person_ix[&parse_u64(f[0])?];
+        let b = s.person_ix[&parse_u64(f[1])?];
+        let d = parse_datetime(f[2])?;
+        knows.push((a, b, d));
+        knows.push((b, a, d));
+        Ok(())
+    })?;
+    s.knows = Adj::from_edges(np, &knows);
+
+    // --- dynamic: forums ---
+    read_csv(&dy, "forum_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.forums.len() as Ix;
+        s.forum_ix.insert(id, ix);
+        s.forums.id.push(id);
+        s.forums.title.push(f[1].to_string());
+        s.forums.creation_date.push(parse_datetime(f[2])?);
+        s.forums.moderator.push(NONE);
+        Ok(())
+    })?;
+    let nf = s.forums.len();
+    read_csv(&dy, "forum_hasModerator_person_0_0.csv", |f| {
+        let forum = s.forum_ix[&parse_u64(f[0])?];
+        s.forums.moderator[forum as usize] = s.person_ix[&parse_u64(f[1])?];
+        Ok(())
+    })?;
+    let mut moderates = Vec::new();
+    for (f, &m) in s.forums.moderator.iter().enumerate() {
+        moderates.push((m, f as Ix, ()));
+    }
+    s.person_moderates = Adj::from_edges(np, &moderates);
+
+    let mut members = Vec::new();
+    read_csv(&dy, "forum_hasMember_person_0_0.csv", |f| {
+        members.push((
+            s.forum_ix[&parse_u64(f[0])?],
+            s.person_ix[&parse_u64(f[1])?],
+            parse_datetime(f[2])?,
+        ));
+        Ok(())
+    })?;
+    s.forum_member = Adj::from_edges(nf, &members);
+    let rev: Vec<_> = members.iter().map(|&(f, p, d)| (p, f, d)).collect();
+    s.member_forum = Adj::from_edges(np, &rev);
+
+    let mut forum_tags = Vec::new();
+    read_csv(&dy, "forum_hasTag_tag_0_0.csv", |f| {
+        forum_tags.push((s.forum_ix[&parse_u64(f[0])?], s.tag_ix[&parse_u64(f[1])?], ()));
+        Ok(())
+    })?;
+    let (ft, tf) = crate::adj::forward_reverse(nf, s.tags.len(), &forum_tags);
+    s.forum_tag = ft;
+    s.tag_forum = tf;
+
+    // --- dynamic: posts then comments (posts first so reply targets of
+    // comment->post edges resolve) ---
+    read_csv(&dy, "post_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.messages.len() as Ix;
+        s.message_ix.insert(id, ix);
+        s.messages.id.push(id);
+        s.messages.kind.push(MessageKind::Post);
+        s.messages.image_file.push(f[1].to_string());
+        s.messages.creation_date.push(parse_datetime(f[2])?);
+        s.messages.location_ip.push(f[3].to_string());
+        s.messages.browser.push(f[4].to_string());
+        s.messages.language.push(f[5].to_string());
+        s.messages.content.push(f[6].to_string());
+        s.messages.length.push(parse_i32(f[7])? as u32);
+        s.messages.creator.push(NONE);
+        s.messages.country.push(NONE);
+        s.messages.forum.push(NONE);
+        s.messages.reply_of.push(NONE);
+        s.messages.root_post.push(ix);
+        Ok(())
+    })?;
+    read_csv(&dy, "comment_0_0.csv", |f| {
+        let id = parse_u64(f[0])?;
+        let ix = s.messages.len() as Ix;
+        s.message_ix.insert(id, ix);
+        s.messages.id.push(id);
+        s.messages.kind.push(MessageKind::Comment);
+        s.messages.creation_date.push(parse_datetime(f[1])?);
+        s.messages.location_ip.push(f[2].to_string());
+        s.messages.browser.push(f[3].to_string());
+        s.messages.content.push(f[4].to_string());
+        s.messages.length.push(parse_i32(f[5])? as u32);
+        s.messages.image_file.push(String::new());
+        s.messages.language.push(String::new());
+        s.messages.creator.push(NONE);
+        s.messages.country.push(NONE);
+        s.messages.forum.push(NONE);
+        s.messages.reply_of.push(NONE);
+        s.messages.root_post.push(NONE);
+        Ok(())
+    })?;
+    let nm = s.messages.len();
+
+    for (file, kind) in [
+        ("post_hasCreator_person_0_0.csv", MessageKind::Post),
+        ("comment_hasCreator_person_0_0.csv", MessageKind::Comment),
+    ] {
+        read_csv(&dy, file, |f| {
+            let m = s.message_ix[&parse_u64(f[0])?];
+            debug_assert_eq!(s.messages.kind[m as usize], kind);
+            s.messages.creator[m as usize] = s.person_ix[&parse_u64(f[1])?];
+            Ok(())
+        })?;
+    }
+    // CsvBasic writes post_isLocatedIn_place.csv (sic, spec Table 2.13
+    // omits the thread suffix for this one file; we emit the suffixed
+    // name for uniformity).
+    for file in ["post_isLocatedIn_place_0_0.csv", "comment_isLocatedIn_place_0_0.csv"] {
+        read_csv(&dy, file, |f| {
+            let m = s.message_ix[&parse_u64(f[0])?];
+            s.messages.country[m as usize] = s.place_ix[&parse_u64(f[1])?];
+            Ok(())
+        })?;
+    }
+    let mut forum_posts = Vec::new();
+    read_csv(&dy, "forum_containerOf_post_0_0.csv", |f| {
+        let forum = s.forum_ix[&parse_u64(f[0])?];
+        let post = s.message_ix[&parse_u64(f[1])?];
+        s.messages.forum[post as usize] = forum;
+        forum_posts.push((forum, post, ()));
+        Ok(())
+    })?;
+    s.forum_posts = Adj::from_edges(nf, &forum_posts);
+
+    let mut replies = Vec::new();
+    for file in ["comment_replyOf_post_0_0.csv", "comment_replyOf_comment_0_0.csv"] {
+        read_csv(&dy, file, |f| {
+            let c = s.message_ix[&parse_u64(f[0])?];
+            let parent = s.message_ix[&parse_u64(f[1])?];
+            s.messages.reply_of[c as usize] = parent;
+            replies.push((parent, c, ()));
+            Ok(())
+        })?;
+    }
+    s.message_replies = Adj::from_edges(nm, &replies);
+    // Resolve root posts by walking up (memoised by processing posts
+    // first: a comment's parent may itself still be unresolved, so walk).
+    for m in 0..nm as Ix {
+        if s.messages.root_post[m as usize] == NONE {
+            let mut chain = vec![m];
+            let mut cur = m;
+            while s.messages.root_post[cur as usize] == NONE {
+                cur = s.messages.reply_of[cur as usize];
+                chain.push(cur);
+            }
+            let root = s.messages.root_post[cur as usize];
+            for c in chain {
+                s.messages.root_post[c as usize] = root;
+            }
+        }
+    }
+
+    let mut msg_tags = Vec::new();
+    for file in ["post_hasTag_tag_0_0.csv", "comment_hasTag_tag_0_0.csv"] {
+        read_csv(&dy, file, |f| {
+            msg_tags.push((s.message_ix[&parse_u64(f[0])?], s.tag_ix[&parse_u64(f[1])?], ()));
+            Ok(())
+        })?;
+    }
+    let (mt, tm) = crate::adj::forward_reverse(nm, s.tags.len(), &msg_tags);
+    s.message_tag = mt;
+    s.tag_message = tm;
+
+    let mut creator_edges = Vec::new();
+    for (m, &c) in s.messages.creator.iter().enumerate() {
+        creator_edges.push((c, m as Ix, ()));
+    }
+    s.person_messages = Adj::from_edges(np, &creator_edges);
+
+    let mut likes = Vec::new();
+    for file in ["person_likes_post_0_0.csv", "person_likes_comment_0_0.csv"] {
+        read_csv(&dy, file, |f| {
+            likes.push((
+                s.person_ix[&parse_u64(f[0])?],
+                s.message_ix[&parse_u64(f[1])?],
+                parse_datetime(f[2])?,
+            ));
+            Ok(())
+        })?;
+    }
+    s.person_likes = Adj::from_edges(np, &likes);
+    let rev: Vec<_> = likes.iter().map(|&(p, m, d)| (m, p, d)).collect();
+    s.message_likes = Adj::from_edges(nm, &rev);
+
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_store;
+    use snb_core::scale::ScaleFactor;
+    use snb_datagen::dictionaries::StaticWorld;
+    use snb_datagen::serializer::{serialize, CsvVariant};
+    use snb_datagen::GeneratorConfig;
+
+    #[test]
+    fn csv_round_trip_is_isomorphic() {
+        let mut c = GeneratorConfig::for_scale(ScaleFactor::by_name("0.001").unwrap());
+        c.persons = 70;
+        let world = StaticWorld::build(c.seed);
+        let graph = snb_datagen::generate(&c);
+        let cut = c.stream_cut();
+        let direct = build_store(&graph, &world, Some(cut));
+
+        let dir = std::env::temp_dir().join(format!("snb_load_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        serialize(&graph, &world, CsvVariant::Basic, cut, &dir).unwrap();
+        let loaded = load_csv_basic(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(loaded.persons.len(), direct.persons.len());
+        assert_eq!(loaded.messages.len(), direct.messages.len());
+        assert_eq!(loaded.forums.len(), direct.forums.len());
+        assert_eq!(loaded.knows.edge_count(), direct.knows.edge_count());
+        assert_eq!(loaded.person_likes.edge_count(), direct.person_likes.edge_count());
+        assert_eq!(loaded.message_tag.edge_count(), direct.message_tag.edge_count());
+        loaded.validate_invariants().unwrap();
+
+        // Spot-check attribute fidelity by raw id.
+        for &pid in direct.persons.id.iter().take(20) {
+            let a = direct.person(pid).unwrap() as usize;
+            let b = loaded.person(pid).unwrap() as usize;
+            assert_eq!(direct.persons.first_name[a], loaded.persons.first_name[b]);
+            assert_eq!(direct.persons.birthday[a], loaded.persons.birthday[b]);
+            assert_eq!(direct.persons.creation_date[a], loaded.persons.creation_date[b]);
+            assert_eq!(
+                direct.places.id[direct.persons.city[a] as usize],
+                loaded.places.id[loaded.persons.city[b] as usize]
+            );
+        }
+        for &mid in direct.messages.id.iter().take(50) {
+            let a = direct.message(mid).unwrap() as usize;
+            let b = loaded.message(mid).unwrap() as usize;
+            assert_eq!(direct.messages.content[a], loaded.messages.content[b]);
+            assert_eq!(direct.messages.creation_date[a], loaded.messages.creation_date[b]);
+            assert_eq!(
+                direct.messages.id[direct.messages.root_post[a] as usize],
+                loaded.messages.id[loaded.messages.root_post[b] as usize]
+            );
+        }
+    }
+}

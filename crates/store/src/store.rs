@@ -1,0 +1,247 @@
+//! The columnar graph store: columns + CSR adjacency + id/name indexes.
+
+use rustc_hash::FxHashMap;
+use snb_core::datetime::DateTime;
+use snb_core::model::PlaceKind;
+use snb_core::{SnbError, SnbResult};
+
+use crate::adj::Adj;
+use crate::columns::{
+    ForumCols, Ix, MessageCols, OrganisationCols, PersonCols, PlaceCols, TagClassCols, TagCols,
+    NONE,
+};
+
+/// The System Under Test: an in-memory columnar property graph holding
+/// the full SNB schema with forward and reverse CSR adjacency for every
+/// relation the workloads traverse.
+#[derive(Default)]
+pub struct Store {
+    /// Person columns.
+    pub persons: PersonCols,
+    /// Forum columns.
+    pub forums: ForumCols,
+    /// Message columns (posts + comments).
+    pub messages: MessageCols,
+    /// Place columns.
+    pub places: PlaceCols,
+    /// Tag columns.
+    pub tags: TagCols,
+    /// TagClass columns.
+    pub tag_classes: TagClassCols,
+    /// Organisation columns.
+    pub organisations: OrganisationCols,
+
+    /// Raw person id → dense index.
+    pub person_ix: FxHashMap<u64, Ix>,
+    /// Raw forum id → dense index.
+    pub forum_ix: FxHashMap<u64, Ix>,
+    /// Raw message id → dense index.
+    pub message_ix: FxHashMap<u64, Ix>,
+    /// Raw place id → dense index.
+    pub place_ix: FxHashMap<u64, Ix>,
+    /// Raw tag id → dense index.
+    pub tag_ix: FxHashMap<u64, Ix>,
+    /// Raw tag-class id → dense index.
+    pub tag_class_ix: FxHashMap<u64, Ix>,
+    /// Raw organisation id → dense index.
+    pub org_ix: FxHashMap<u64, Ix>,
+
+    /// Symmetric `knows` adjacency with creation dates (each edge stored
+    /// in both directions).
+    pub knows: Adj<DateTime>,
+    /// Person → interest tags.
+    pub person_interest: Adj,
+    /// Tag → interested persons.
+    pub interest_person: Adj,
+    /// Person → university with class year.
+    pub person_study: Adj<i32>,
+    /// Person → companies with work-from year.
+    pub person_work: Adj<i32>,
+    /// Forum → members with join date.
+    pub forum_member: Adj<DateTime>,
+    /// Person → forums joined with join date.
+    pub member_forum: Adj<DateTime>,
+    /// Forum → topic tags.
+    pub forum_tag: Adj,
+    /// Tag → forums carrying it.
+    pub tag_forum: Adj,
+    /// Message → tags.
+    pub message_tag: Adj,
+    /// Tag → messages carrying it.
+    pub tag_message: Adj,
+    /// Person → created messages.
+    pub person_messages: Adj,
+    /// Forum → contained posts.
+    pub forum_posts: Adj,
+    /// Message → direct reply comments.
+    pub message_replies: Adj,
+    /// Person → liked messages with like date.
+    pub person_likes: Adj<DateTime>,
+    /// Message → likers with like date.
+    pub message_likes: Adj<DateTime>,
+    /// Place → child places (continent → countries, country → cities).
+    pub place_children: Adj,
+    /// City → resident persons.
+    pub city_person: Adj,
+    /// TagClass → direct subclasses.
+    pub tagclass_children: Adj,
+    /// TagClass → tags of exactly that class.
+    pub tagclass_tags: Adj,
+    /// Person → moderated forums.
+    pub person_moderates: Adj,
+
+    /// Place name → index.
+    pub place_by_name: FxHashMap<String, Ix>,
+    /// Tag name → index.
+    pub tag_by_name: FxHashMap<String, Ix>,
+    /// TagClass name → index.
+    pub tag_class_by_name: FxHashMap<String, Ix>,
+}
+
+impl Store {
+    /// Resolves a raw person id.
+    pub fn person(&self, id: u64) -> SnbResult<Ix> {
+        self.person_ix.get(&id).copied().ok_or(SnbError::UnknownId { entity: "Person", id })
+    }
+
+    /// Resolves a raw message id.
+    pub fn message(&self, id: u64) -> SnbResult<Ix> {
+        self.message_ix.get(&id).copied().ok_or(SnbError::UnknownId { entity: "Message", id })
+    }
+
+    /// Resolves a raw forum id.
+    pub fn forum(&self, id: u64) -> SnbResult<Ix> {
+        self.forum_ix.get(&id).copied().ok_or(SnbError::UnknownId { entity: "Forum", id })
+    }
+
+    /// Resolves a country by name.
+    pub fn country_by_name(&self, name: &str) -> SnbResult<Ix> {
+        self.place_by_name
+            .get(name)
+            .copied()
+            .filter(|&p| self.places.kind[p as usize] == PlaceKind::Country)
+            .ok_or_else(|| SnbError::Config(format!("unknown country {name:?}")))
+    }
+
+    /// Resolves a tag by name.
+    pub fn tag_named(&self, name: &str) -> SnbResult<Ix> {
+        self.tag_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SnbError::Config(format!("unknown tag {name:?}")))
+    }
+
+    /// Resolves a tag class by name.
+    pub fn tag_class_named(&self, name: &str) -> SnbResult<Ix> {
+        self.tag_class_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SnbError::Config(format!("unknown tag class {name:?}")))
+    }
+
+    /// The country of a person (home city's parent).
+    pub fn person_country(&self, p: Ix) -> Ix {
+        self.places.part_of[self.persons.city[p as usize] as usize]
+    }
+
+    /// The continent of a country.
+    pub fn country_continent(&self, country: Ix) -> Ix {
+        self.places.part_of[country as usize]
+    }
+
+    /// Iterates all persons located in `country` (via its cities).
+    pub fn persons_in_country(&self, country: Ix) -> impl Iterator<Item = Ix> + '_ {
+        self.place_children
+            .targets_of(country)
+            .flat_map(move |city| self.city_person.targets_of(city))
+    }
+
+    /// All tag classes in the subtree rooted at `class` (inclusive) —
+    /// the transitive `isSubclassOf` closure needed by BI 12/16/20 etc.
+    pub fn tagclass_subtree(&self, class: Ix) -> Vec<Ix> {
+        let mut out = vec![class];
+        let mut stack = vec![class];
+        while let Some(c) = stack.pop() {
+            for child in self.tagclass_children.targets_of(c) {
+                out.push(child);
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// Whether tag `t`'s class lies in the subtree rooted at `class`.
+    pub fn tag_in_class_subtree(&self, t: Ix, class: Ix) -> bool {
+        let mut c = self.tags.class[t as usize];
+        loop {
+            if c == class {
+                return true;
+            }
+            let parent = self.tag_classes.parent[c as usize];
+            if parent == NONE {
+                return false;
+            }
+            c = parent;
+        }
+    }
+
+    /// The forum a message's thread lives in (container of its root
+    /// post).
+    pub fn thread_forum(&self, m: Ix) -> Ix {
+        let root = self.messages.root_post[m as usize];
+        self.messages.forum[root as usize]
+    }
+
+    /// Rebuilds the hot CSRs after a batch of inserts (optional; queries
+    /// work on the overflow form too).
+    pub fn compact(&mut self) {
+        self.knows.compact();
+        self.person_messages.compact();
+        self.message_replies.compact();
+        self.message_likes.compact();
+        self.person_likes.compact();
+        self.forum_member.compact();
+        self.member_forum.compact();
+        self.message_tag.compact();
+        self.tag_message.compact();
+        self.forum_posts.compact();
+    }
+
+    /// Consistency check used by tests: every reverse edge must mirror a
+    /// forward edge and all column lengths must agree.
+    pub fn validate_invariants(&self) -> SnbResult<()> {
+        let n = self.persons.len();
+        let cols = [
+            self.persons.first_name.len(),
+            self.persons.last_name.len(),
+            self.persons.birthday.len(),
+            self.persons.creation_date.len(),
+            self.persons.city.len(),
+            self.persons.emails.len(),
+            self.persons.speaks.len(),
+        ];
+        if cols.iter().any(|&c| c != n) {
+            return Err(SnbError::Config(format!("person column lengths differ: {cols:?}")));
+        }
+        let m = self.messages.len();
+        if self.messages.creator.len() != m
+            || self.messages.reply_of.len() != m
+            || self.messages.root_post.len() != m
+        {
+            return Err(SnbError::Config("message column lengths differ".into()));
+        }
+        // knows symmetry.
+        for u in 0..n as Ix {
+            for (v, d) in self.knows.neighbors(u) {
+                if !self.knows.neighbors(v).any(|(w, d2)| w == u && d2 == d) {
+                    return Err(SnbError::Config(format!("knows edge {u}->{v} not mirrored")));
+                }
+            }
+        }
+        // Message likes mirror person likes.
+        if self.person_likes.edge_count() != self.message_likes.edge_count() {
+            return Err(SnbError::Config("likes forward/reverse counts differ".into()));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: generate a tiny social network, load the store, and run
+//! a BI query end-to-end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ldbc_snb::bi::bi12;
+use ldbc_snb::datagen::GeneratorConfig;
+use ldbc_snb::store::store_for_config;
+use snb_core::Date;
+
+fn main() {
+    // 1. Configure the generator: a named scale factor fixes the person
+    //    count; everything else (3 simulated years from 2010, seed) has
+    //    spec defaults.
+    let config = GeneratorConfig::for_scale_name("0.003").expect("known scale factor");
+    println!("generating {} persons (seed {}) ...", config.persons, config.seed);
+
+    // 2. Generate + bulk-load into the columnar store in one call.
+    let store = store_for_config(&config);
+    let stats = store.stats();
+    println!(
+        "loaded: {} nodes, {} edges ({} posts, {} comments, {} knows edges)",
+        stats.nodes, stats.edges, stats.posts, stats.comments, stats.knows
+    );
+
+    // 3. Run BI 12 ("Trending posts"): messages after a date with more
+    //    than a given number of likes.
+    let params = bi12::Params { date: Date::from_ymd(2011, 6, 1), like_threshold: 2 };
+    let rows = bi12::run(&store, &params);
+    println!("\nBI 12 — trending posts after {} with > {} likes:", params.date, params.like_threshold);
+    for r in rows.iter().take(10) {
+        println!(
+            "  {:>6}  {} {}  {} likes  ({})",
+            r.message_id, r.first_name, r.last_name, r.like_count, r.creation_date
+        );
+    }
+    println!("({} rows total)", rows.len());
+
+    // 4. Cross-validate against the independent naive engine — the
+    //    benchmark's validation mode.
+    assert_eq!(rows, bi12::run_naive(&store, &params));
+    println!("\nvalidation: optimized and naive engines agree ✓");
+}

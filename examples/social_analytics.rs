@@ -1,0 +1,72 @@
+//! A business-intelligence analyst session: the kind of questions the
+//! BI workload's intro motivates, answered over a generated network.
+//!
+//! ```text
+//! cargo run --release --example social_analytics [sf-name]
+//! ```
+
+use ldbc_snb::bi::{bi01, bi04, bi13, bi17, bi21};
+use ldbc_snb::datagen::GeneratorConfig;
+use ldbc_snb::store::store_for_config;
+use snb_core::Date;
+
+fn main() {
+    let sf = std::env::args().nth(1).unwrap_or_else(|| "0.003".into());
+    let config = GeneratorConfig::for_scale_name(&sf).expect("known scale factor");
+    let store = store_for_config(&config);
+    println!("analysing a network of {} persons\n", store.persons.len());
+
+    // Q: what does our content mix look like? (BI 1, posting summary)
+    let summary = bi01::run(&store, &bi01::Params { date: Date::from_ymd(2013, 1, 1) });
+    println!("content mix by year / kind / length (BI 1):");
+    for r in summary.iter().take(8) {
+        println!(
+            "  {} {:8} len-cat {}: {:6} messages ({:.1}% of total, avg {:.0} chars)",
+            r.year,
+            if r.is_comment { "comments" } else { "posts" },
+            r.length_category,
+            r.message_count,
+            r.percentage_of_messages * 100.0,
+            r.average_message_length,
+        );
+    }
+
+    // Q: which forums drive discussion about musicians in China? (BI 4)
+    let forums = bi04::run(
+        &store,
+        &bi04::Params { tag_class: "MusicalArtist".into(), country: "China".into() },
+    );
+    println!("\ntop music-talk forums moderated from China (BI 4):");
+    for r in forums.iter().take(5) {
+        println!("  {:5} posts  {}", r.post_count, r.forum_title);
+    }
+
+    // Q: what was trending month by month in India? (BI 13)
+    let trends = bi13::run(&store, &bi13::Params { country: "India".into() });
+    println!("\nmonthly tag trends in India (BI 13):");
+    for r in trends.iter().take(6) {
+        let tags: Vec<String> =
+            r.popular_tags.iter().take(3).map(|(t, c)| format!("{t} ({c})")).collect();
+        println!("  {}-{:02}: {}", r.year, r.month, tags.join(", "));
+    }
+
+    // Q: how tightly knit are national communities? (BI 17)
+    println!("\nfriendship triangles per country (BI 17):");
+    for country in ["China", "India", "United_States", "Germany"] {
+        let t = bi17::run(&store, &bi17::Params { country: country.into() });
+        println!("  {country}: {} triangles", t[0].count);
+    }
+
+    // Q: who signed up but never engages? (BI 21, zombies)
+    let zombies = bi21::run(
+        &store,
+        &bi21::Params { country: "China".into(), end_date: Date::from_ymd(2012, 6, 1) },
+    );
+    println!("\nzombie accounts in China (BI 21): {} found", zombies.len());
+    for z in zombies.iter().take(5) {
+        println!(
+            "  person {:>5}: score {:.2} ({} of {} likes from other zombies)",
+            z.zombie_id, z.zombie_score, z.zombie_like_count, z.total_like_count
+        );
+    }
+}

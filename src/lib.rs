@@ -1,0 +1,15 @@
+//! # ldbc-snb
+//!
+//! Umbrella crate for the Rust reproduction of the LDBC Social Network
+//! Benchmark (Business Intelligence workload). Re-exports every component
+//! crate; see `README.md` for the architecture overview and `DESIGN.md`
+//! for the system inventory and per-experiment index.
+
+pub use snb_bi as bi;
+pub use snb_core as core;
+pub use snb_datagen as datagen;
+pub use snb_driver as driver;
+pub use snb_engine as engine;
+pub use snb_interactive as interactive;
+pub use snb_params as params;
+pub use snb_store as store;

@@ -1,0 +1,100 @@
+//! Dataset-pipeline integration: serialize a generated network to the
+//! CsvBasic layout, bulk-load it back (§6.1.3), and verify the two
+//! stores are indistinguishable to the query workloads.
+
+use ldbc_snb::datagen::dictionaries::StaticWorld;
+use ldbc_snb::datagen::serializer::{serialize, CsvVariant};
+use ldbc_snb::datagen::{generate, GeneratorConfig};
+use ldbc_snb::params::ParamGen;
+use ldbc_snb::store::{build_store, load::load_csv_basic};
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("snb_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn csv_round_trip_preserves_all_query_results() {
+    let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+    c.persons = 90;
+    let world = StaticWorld::build(c.seed);
+    let graph = generate(&c);
+    let cut = c.stream_cut();
+    let direct = build_store(&graph, &world, Some(cut));
+
+    let dir = tempdir("roundtrip");
+    serialize(&graph, &world, CsvVariant::Basic, cut, &dir).unwrap();
+    let loaded = load_csv_basic(&dir).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let gen = ParamGen::new(&direct, c.seed);
+    for q in ldbc_snb::driver::ALL_BI_QUERIES {
+        for b in gen.bi_params(q, 2) {
+            assert_eq!(
+                ldbc_snb::bi::run(&direct, &b),
+                ldbc_snb::bi::run(&loaded, &b),
+                "BI {q} differs after CSV round trip"
+            );
+        }
+    }
+    for q in 1..=14u8 {
+        for b in gen.ic_params(q, 2) {
+            assert_eq!(
+                ldbc_snb::interactive::run_complex(&direct, &b),
+                ldbc_snb::interactive::run_complex(&loaded, &b),
+                "IC {q} differs after CSV round trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_serializer_variants_write_spec_file_counts() {
+    let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+    c.persons = 40;
+    let world = StaticWorld::build(c.seed);
+    let graph = generate(&c);
+    let cut = c.stream_cut();
+    let dir = tempdir("variants");
+    // Spec Tables 2.13-2.16 file counts.
+    for (variant, expected) in [
+        (CsvVariant::Basic, 33),
+        (CsvVariant::MergeForeign, 20),
+        (CsvVariant::Composite, 31),
+        (CsvVariant::CompositeMergeForeign, 18),
+    ] {
+        let files = serialize(&graph, &world, variant, cut, &dir).unwrap();
+        assert_eq!(files.len(), expected, "{variant:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn update_stream_files_parse_back_consistently() {
+    use ldbc_snb::datagen::stream::{build_update_streams, write_update_streams};
+    let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+    c.persons = 80;
+    let world = StaticWorld::build(c.seed);
+    let graph = generate(&c);
+    let events = build_update_streams(&graph, c.stream_cut());
+    let dir = tempdir("streams");
+    write_update_streams(&events, &world, &graph, &dir).unwrap();
+    let person =
+        std::fs::read_to_string(dir.join("social_network/updateStream_0_0_person.csv")).unwrap();
+    let forum =
+        std::fs::read_to_string(dir.join("social_network/updateStream_0_0_forum.csv")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let total_lines = person.lines().count() + forum.lines().count();
+    assert_eq!(total_lines, events.len());
+    // Each line: t|t_d|op|..., non-decreasing t within each file.
+    for content in [&person, &forum] {
+        let mut last = i64::MIN;
+        for line in content.lines() {
+            let t: i64 = line.split('|').next().unwrap().parse().unwrap();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

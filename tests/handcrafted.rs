@@ -1,0 +1,232 @@
+//! Exact-value tests on a hand-crafted subgraph: a controlled cast of
+//! persons, posts, comments and likes inserted through the IU path on
+//! top of an *empty* generated world, so query results are fully
+//! predictable (no generated noise).
+
+use ldbc_snb::bi::{bi06, bi12, bi14};
+use ldbc_snb::datagen::GeneratorConfig;
+use ldbc_snb::interactive::{ic07, ic08, short};
+use ldbc_snb::store::{store_for_config, CommentInsert, PersonInsert, PostInsert, Store};
+use snb_core::model::Gender;
+use snb_core::{Date, DateTime};
+
+/// An empty dynamic world: static entities only.
+fn empty_world() -> Store {
+    let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+    c.persons = 0;
+    store_for_config(&c)
+}
+
+fn add_person(s: &mut Store, id: u64, name: &str, t: i64) {
+    let city = s.places.id[s
+        .place_by_name
+        .get("Beijing")
+        .map(|&c| c as usize)
+        .expect("Beijing exists")];
+    s.insert_person(PersonInsert {
+        id,
+        first_name: name.into(),
+        last_name: "Fixture".into(),
+        gender: Gender::Female,
+        birthday: Date::from_ymd(1990, 3, 15),
+        creation_date: DateTime(t),
+        location_ip: "1.2.3.4".into(),
+        browser_used: "Firefox".into(),
+        city_id: city,
+        speaks: vec!["zh".into()],
+        emails: vec![format!("{name}@example.com")],
+        tag_ids: vec![0],
+        study_at: vec![],
+        work_at: vec![],
+    })
+    .unwrap();
+}
+
+fn add_wall(s: &mut Store, id: u64, moderator: u64, t: i64) {
+    s.insert_forum(ldbc_snb::store::ForumInsert {
+        id,
+        title: format!("Wall {id}"),
+        creation_date: DateTime(t),
+        moderator_person_id: moderator,
+        tag_ids: vec![0],
+    })
+    .unwrap();
+}
+
+fn add_post(s: &mut Store, id: u64, author: u64, forum: u64, t: i64, tags: Vec<u64>) {
+    let country = s.places.id[s.country_by_name("China").unwrap() as usize];
+    s.insert_post(PostInsert {
+        id,
+        image_file: String::new(),
+        creation_date: DateTime(t),
+        location_ip: "1.2.3.4".into(),
+        browser_used: "Firefox".into(),
+        language: "zh".into(),
+        content: format!("post {id}"),
+        length: 7,
+        author_person_id: author,
+        forum_id: forum,
+        country_id: country,
+        tag_ids: tags,
+    })
+    .unwrap();
+}
+
+fn add_comment(s: &mut Store, id: u64, author: u64, parent_post: i64, parent_comment: i64, t: i64) {
+    let country = s.places.id[s.country_by_name("China").unwrap() as usize];
+    s.insert_comment(CommentInsert {
+        id,
+        creation_date: DateTime(t),
+        location_ip: "1.2.3.4".into(),
+        browser_used: "Firefox".into(),
+        content: format!("comment {id}"),
+        length: 9,
+        author_person_id: author,
+        country_id: country,
+        reply_to_post_id: parent_post,
+        reply_to_comment_id: parent_comment,
+        tag_ids: vec![],
+    })
+    .unwrap();
+}
+
+/// The shared cast: Alice (1), Bob (2), Carol (3); Alice's wall (10);
+/// two posts by Alice (100 tagged #0, 101 tagged #1), one comment chain
+/// under 100 (200 by Bob, 201 by Carol replying to 200), likes on 100
+/// from Bob and Carol, like on 101 from Bob.
+fn fixture() -> Store {
+    let mut s = empty_world();
+    add_person(&mut s, 1, "Alice", 1_000);
+    add_person(&mut s, 2, "Bob", 1_000);
+    add_person(&mut s, 3, "Carol", 1_000);
+    s.insert_knows(1, 2, DateTime(2_000)).unwrap();
+    add_wall(&mut s, 10, 1, 2_000);
+    add_post(&mut s, 100, 1, 10, 10_000, vec![0]);
+    add_post(&mut s, 101, 1, 10, 20_000, vec![1]);
+    add_comment(&mut s, 200, 2, 100, -1, 11_000);
+    add_comment(&mut s, 201, 3, -1, 200, 12_000);
+    s.insert_like(2, 100, DateTime(13_000)).unwrap();
+    s.insert_like(3, 100, DateTime(14_000)).unwrap();
+    s.insert_like(2, 101, DateTime(21_000)).unwrap();
+    s
+}
+
+#[test]
+fn bi12_exact_rows() {
+    let s = fixture();
+    let rows =
+        bi12::run(&s, &bi12::Params { date: Date::from_ymd(1970, 1, 1), like_threshold: 1 });
+    // Only post 100 has > 1 like.
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].message_id, 100);
+    assert_eq!(rows[0].like_count, 2);
+    assert_eq!(rows[0].first_name, "Alice");
+    // Threshold 0: both posts and no comments (comments have 0 likes).
+    let rows =
+        bi12::run(&s, &bi12::Params { date: Date::from_ymd(1970, 1, 1), like_threshold: 0 });
+    assert_eq!(
+        rows.iter().map(|r| (r.message_id, r.like_count)).collect::<Vec<_>>(),
+        vec![(100, 2), (101, 1)]
+    );
+}
+
+#[test]
+fn bi06_exact_score() {
+    let s = fixture();
+    let tag0 = s.tags.name[0].clone();
+    let rows = bi06::run(&s, &bi06::Params { tag: tag0 });
+    // Alice's post 100 carries tag 0: 1 message, 1 direct reply, 2 likes
+    // → score 1 + 2*1 + 10*2 = 23.
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].person_id, 1);
+    assert_eq!(rows[0].message_count, 1);
+    assert_eq!(rows[0].reply_count, 1);
+    assert_eq!(rows[0].like_count, 2);
+    assert_eq!(rows[0].score, 23);
+}
+
+#[test]
+fn bi14_exact_thread_counts() {
+    let s = fixture();
+    let rows = bi14::run(
+        &s,
+        &bi14::Params { begin: Date::from_ymd(1970, 1, 1), end: Date::from_ymd(1970, 1, 2) },
+    );
+    // Alice initiated 2 threads; thread of 100 holds 3 messages, thread
+    // of 101 holds 1 → 4 total.
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].person_id, 1);
+    assert_eq!(rows[0].thread_count, 2);
+    assert_eq!(rows[0].message_count, 4);
+}
+
+#[test]
+fn ic07_recent_likers_exact() {
+    let s = fixture();
+    let rows = ic07::run(&s, &ic07::Params { person_id: 1 });
+    // Bob's latest like is on 101 at t=21000; Carol's on 100 at t=14000.
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].person_id, 2);
+    assert_eq!(rows[0].message_id, 101);
+    assert_eq!(rows[0].like_creation_date, DateTime(21_000));
+    assert!(!rows[0].is_new, "Bob is Alice's friend");
+    assert_eq!(rows[1].person_id, 3);
+    assert_eq!(rows[1].message_id, 100);
+    assert!(rows[1].is_new, "Carol is a stranger");
+    // Latency: like at 21000 on message created 20000 → 0 minutes
+    // (truncated), like at 14000 on 10000 → 0 minutes too; check the
+    // field is non-negative and consistent.
+    for r in &rows {
+        assert!(r.minutes_latency >= 0);
+    }
+}
+
+#[test]
+fn ic08_recent_replies_exact() {
+    let s = fixture();
+    let rows = ic08::run(&s, &ic08::Params { person_id: 1 });
+    // Only comment 200 replies directly to Alice's messages (201
+    // replies to Bob's comment).
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].comment_id, 200);
+    assert_eq!(rows[0].person_id, 2);
+    let bob_rows = ic08::run(&s, &ic08::Params { person_id: 2 });
+    assert_eq!(bob_rows.len(), 1);
+    assert_eq!(bob_rows[0].comment_id, 201);
+    assert_eq!(bob_rows[0].person_id, 3);
+}
+
+#[test]
+fn is2_thread_resolution_exact() {
+    let s = fixture();
+    // Carol's only message is comment 201; its root is post 100 by
+    // Alice.
+    let rows = short::is2::run(&s, &short::is2::Params { person_id: 3 });
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].message_id, 201);
+    assert_eq!(rows[0].original_post_id, 100);
+    assert_eq!(rows[0].original_post_author_id, 1);
+    assert_eq!(rows[0].original_post_author_first_name, "Alice");
+}
+
+#[test]
+fn is7_knows_flag_exact() {
+    let s = fixture();
+    let rows = short::is7::run(&s, &short::is7::Params { message_id: 100 });
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].reply_author_id, 2);
+    assert!(rows[0].reply_author_knows_original, "Bob knows Alice");
+    let rows = short::is7::run(&s, &short::is7::Params { message_id: 200 });
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].reply_author_id, 3);
+    assert!(!rows[0].reply_author_knows_original, "Carol does not know Bob");
+}
+
+#[test]
+fn empty_generated_world_is_sound() {
+    let s = empty_world();
+    assert_eq!(s.persons.len(), 0);
+    assert_eq!(s.messages.len(), 0);
+    assert!(!s.places.is_empty(), "static world present");
+    s.validate_invariants().unwrap();
+}

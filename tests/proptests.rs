@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, cross-crate.
+
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+use ldbc_snb::core::datetime::{civil_from_days, days_from_civil, Date};
+use ldbc_snb::engine::topk::{sort_truncate, TopK};
+use ldbc_snb::engine::traverse::floyd_warshall;
+use ldbc_snb::params::curate;
+use ldbc_snb::store::Adj;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Date round trip: any day number in a ±200-year window maps to a
+    /// civil date and back.
+    #[test]
+    fn date_round_trip(days in -73_000i32..73_000) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+        prop_assert!((1..=12u32).contains(&m));
+        prop_assert!((1..=31u32).contains(&d));
+    }
+
+    /// Adding one day always advances the civil date lexicographically.
+    #[test]
+    fn dates_are_monotone(days in -73_000i32..73_000) {
+        let a = Date(days).to_ymd();
+        let b = Date(days + 1).to_ymd();
+        prop_assert!(b > a);
+    }
+
+    /// Top-k agrees with sort-then-truncate for arbitrary inputs.
+    #[test]
+    fn topk_matches_sort_truncate(
+        items in prop::collection::vec((0u64..100, 0u64..1000), 0..200),
+        k in 0usize..25
+    ) {
+        let mut tk = TopK::new(k);
+        for &(key, v) in &items {
+            tk.push((key, v), v);
+        }
+        let expect = sort_truncate(
+            items.iter().map(|&(key, v)| ((key, v), v)).collect(),
+            k,
+        );
+        prop_assert_eq!(tk.into_sorted(), expect);
+    }
+
+    /// CSR adjacency reproduces an adjacency-list oracle, including
+    /// after overflow inserts and compaction.
+    #[test]
+    fn adjacency_matches_oracle(
+        base in prop::collection::vec((0u32..20, 0u32..20), 0..120),
+        inserts in prop::collection::vec((0u32..20, 0u32..20), 0..40)
+    ) {
+        let edges: Vec<(u32, u32, ())> = base.iter().map(|&(s, t)| (s, t, ())).collect();
+        let mut adj = Adj::from_edges(20, &edges);
+        let mut oracle: Vec<Vec<u32>> = vec![Vec::new(); 20];
+        for &(s, t) in &base {
+            oracle[s as usize].push(t);
+        }
+        for &(s, t) in &inserts {
+            adj.insert(s, t, ());
+            oracle[s as usize].push(t);
+        }
+        for u in 0..20u32 {
+            let got: Vec<u32> = adj.targets_of(u).collect();
+            prop_assert_eq!(&got, &oracle[u as usize], "vertex {}", u);
+            prop_assert_eq!(adj.degree(u), oracle[u as usize].len());
+        }
+        adj.compact();
+        for u in 0..20u32 {
+            let got: Vec<u32> = adj.targets_of(u).collect();
+            prop_assert_eq!(&got, &oracle[u as usize], "post-compact vertex {}", u);
+        }
+    }
+
+    /// Curation output is a subset with minimal factor spread compared
+    /// with any other window of the same size.
+    #[test]
+    fn curation_minimises_spread(
+        factors in prop::collection::vec(0u64..10_000, 1..80),
+        k in 1usize..12
+    ) {
+        let cands: Vec<(usize, u64)> = factors.iter().copied().enumerate().collect();
+        let picked = curate(&cands, k);
+        let n = k.min(cands.len());
+        prop_assert_eq!(picked.len(), n);
+        // Distinct indices within range.
+        let set: FxHashSet<usize> = picked.iter().copied().collect();
+        prop_assert_eq!(set.len(), n);
+        // Spread is minimal among sorted windows.
+        let mut sorted = factors.clone();
+        sorted.sort_unstable();
+        let best = sorted.windows(n).map(|w| w[n - 1] - w[0]).min().unwrap();
+        let mut picked_factors: Vec<u64> = picked.iter().map(|&i| factors[i]).collect();
+        picked_factors.sort_unstable();
+        let spread = picked_factors[n - 1] - picked_factors[0];
+        prop_assert_eq!(spread, best);
+    }
+}
+
+/// Shortest-path lengths from the engine's bidirectional BFS agree with
+/// Floyd–Warshall on random graphs expressed through a real store. The
+/// graph is built by inserting `knows` edges into a generated store
+/// whose own edges are removed by construction (fresh persons only).
+#[test]
+fn bfs_agrees_with_floyd_warshall_on_random_graphs() {
+    use ldbc_snb::core::rng::Rng;
+    use ldbc_snb::core::Date as CDate;
+    use ldbc_snb::core::DateTime;
+    use ldbc_snb::datagen::GeneratorConfig;
+    use ldbc_snb::store::{store_for_config, PersonInsert};
+
+    let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+    c.persons = 10;
+    let mut store = store_for_config(&c);
+    // Add an isolated cohort of fresh persons and wire random edges
+    // among them only.
+    let city = store.places.id[store.persons.city[0] as usize];
+    let base_ix = store.persons.len();
+    let n = 24usize;
+    for i in 0..n {
+        store
+            .insert_person(PersonInsert {
+                id: 1_000_000 + i as u64,
+                first_name: format!("P{i}"),
+                last_name: "Prop".into(),
+                gender: ldbc_snb::core::model::Gender::Male,
+                birthday: CDate::from_ymd(1990, 1, 1),
+                creation_date: DateTime(0),
+                location_ip: String::new(),
+                browser_used: "Firefox".into(),
+                city_id: city,
+                speaks: vec![],
+                emails: vec![],
+                tag_ids: vec![],
+                study_at: vec![],
+                work_at: vec![],
+            })
+            .unwrap();
+    }
+    let mut rng = Rng::new(12345);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.chance(0.12) {
+                edges.push((a, b));
+                store
+                    .insert_knows(1_000_000 + a as u64, 1_000_000 + b as u64, DateTime(1))
+                    .unwrap();
+            }
+        }
+    }
+    let oracle = floyd_warshall(n, &edges);
+    for (a, row) in oracle.iter().enumerate() {
+        for (b, &want) in row.iter().enumerate() {
+            let got = ldbc_snb::engine::traverse::shortest_path_len(
+                &store,
+                (base_ix + a) as u32,
+                (base_ix + b) as u32,
+            );
+            if want >= u32::MAX / 4 {
+                assert_eq!(got, -1, "{a}->{b}");
+            } else {
+                assert_eq!(got, want as i32, "{a}->{b}");
+            }
+        }
+    }
+}
