@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the benchmark sources in `crates/bench/benches` unchanged:
+//! `Criterion::default()` builder knobs, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurement is a plain wall-clock mean
+//! over a warm-up + timed loop — no statistics, plots, or comparisons,
+//! but the same shape of per-benchmark output lines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Top-level harness handle (configuration + reporting).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the timed-measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mean = run_benchmark(self, f);
+        report(&id, mean);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let mean = run_benchmark(self.c, f);
+        report(&id, mean);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, called in batches sized during warm-up.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let started = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.total += started.elapsed();
+            self.iters += self.iters_per_sample;
+        }
+    }
+}
+
+fn run_benchmark(c: &Criterion, mut f: impl FnMut(&mut Bencher)) -> Duration {
+    // Warm-up: find a batch size whose execution fits the budgets.
+    let mut probe = Bencher { iters_per_sample: 1, samples: 1, total: Duration::ZERO, iters: 0 };
+    let warm_started = Instant::now();
+    f(&mut probe);
+    let mut per_iter = probe.total.max(Duration::from_nanos(1)) / probe.iters.max(1) as u32;
+    while warm_started.elapsed() < c.warm_up_time {
+        let mut more = Bencher { iters_per_sample: 1, samples: 1, total: Duration::ZERO, iters: 0 };
+        f(&mut more);
+        per_iter = (per_iter + more.total.max(Duration::from_nanos(1))) / 2;
+    }
+    let budget_per_sample = c.measurement_time / c.sample_size as u32;
+    let iters_per_sample = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).max(1);
+
+    let mut b = Bencher {
+        iters_per_sample: iters_per_sample.min(u64::MAX as u128) as u64,
+        samples: c.sample_size,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.total / b.iters.min(u32::MAX as u64) as u32
+    }
+}
+
+fn report(id: &str, mean: Duration) {
+    println!("{id:<40} time: {mean:>12.3?}/iter");
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5));
+        let c2 = c.clone().warm_up_time(Duration::from_millis(1));
+        let _ = c2;
+        let mut ran = 0u64;
+        c.benchmark_group("g").bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+}

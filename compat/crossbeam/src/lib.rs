@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! Crossbeam's `Receiver` is `Sync` (any thread may drain it); the std
+//! receiver is not, so it sits behind a mutex here — adequate for the
+//! driver's single-consumer use and still correct for multi-consumer.
+
+/// Multi-producer channels with a shareable receiver.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (or the channel closes).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a bounded channel (shareable across
+    /// threads, unlike `std::sync::mpsc::Receiver`).
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.guard().recv().map_err(|_| RecvError)
+        }
+
+        /// Iterates messages until every sender is dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self.guard())
+        }
+
+        fn guard(&self) -> MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Blocking iterator over a [`Receiver`].
+    pub struct Iter<'a, T>(MutexGuard<'a, mpsc::Receiver<T>>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Mutex::new(rx)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_after_hangup_errors() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

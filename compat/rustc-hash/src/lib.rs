@@ -1,0 +1,105 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! The container this repo builds in has no access to crates.io, so the
+//! workspace vendors the tiny API surface it actually uses: the Fx
+//! multiply-rotate hasher and the `FxHashMap`/`FxHashSet` aliases. The
+//! algorithm below is the classic Firefox/rustc Fx hash (rotate, xor,
+//! multiply by a 64-bit seed); it is deterministic across runs and
+//! platforms of the same pointer width, which the benchmark's
+//! reproducibility story relies on.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<V> = HashSet<V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_usable() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m[&1], 10);
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("a"));
+        assert!(!s.insert("a"));
+        let h = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+}

@@ -22,10 +22,8 @@ fn main() {
         let span_s =
             (slice.last().unwrap().timestamp.0 - slice[0].timestamp.0).max(1) as f64 / 1000.0;
         let speedup = span_s / target_wall_s;
-        let driver_config = InteractiveConfig {
-            pacing: Pacing::Timed { speedup },
-            ..InteractiveConfig::default()
-        };
+        let driver_config =
+            InteractiveConfig { pacing: Pacing::Timed { speedup }, ..InteractiveConfig::default() };
         let started = std::time::Instant::now();
         let report =
             run_interactive(&mut store, &world, &slice, &driver_config).expect("run succeeds");

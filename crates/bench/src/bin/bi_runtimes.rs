@@ -1,37 +1,84 @@
 //! Experiment E5 — per-query BI runtimes (the shape of the BI paper's
 //! per-query runtime tables): mean / median / max latency and row
-//! volume for all 25 BI queries over curated parameter bindings.
+//! volume for all 25 BI queries over curated parameter bindings, swept
+//! over the intra-query thread count, plus the inter-query throughput
+//! sweep. Emits `BENCH_bi.json` with the raw numbers.
 
-use snb_driver::{power_test, Engine, ALL_BI_QUERIES};
+use snb_driver::{power_test_ctx, Engine, QueryStats, ALL_BI_QUERIES};
+use snb_engine::QueryContext;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+const BINDINGS_PER_QUERY: usize = 8;
 
 fn main() {
     let config = snb_bench::cli_config();
     let store = snb_bench::build_store_verbose(&config);
-    let stats = power_test(&store, &ALL_BI_QUERIES, 8, Engine::Optimized, config.seed);
-    let rows: Vec<Vec<String>> = stats
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("# {cores} hardware core(s) available to this process");
+    if cores < *THREAD_SWEEP.last().unwrap() {
+        println!(
+            "# WARNING: fewer cores than the widest sweep point — speedups \
+             are bounded by the hardware, not the engine"
+        );
+    }
+
+    // Intra-query thread sweep: one context per thread count, all 25
+    // queries through it. Results are bit-identical across the sweep
+    // (the determinism contract); only the latencies move.
+    let mut sweep: Vec<(usize, Vec<QueryStats>)> = Vec::new();
+    for threads in THREAD_SWEEP {
+        let ctx = QueryContext::new(threads);
+        let stats = power_test_ctx(
+            &store,
+            &ctx,
+            &ALL_BI_QUERIES,
+            BINDINGS_PER_QUERY,
+            Engine::Optimized,
+            config.seed,
+        );
+        sweep.push((threads, stats));
+    }
+
+    let base = &sweep[0].1;
+    let peak = &sweep.last().unwrap().1;
+    let rows: Vec<Vec<String>> = base
         .iter()
-        .map(|s| {
+        .zip(peak)
+        .map(|(s1, sn)| {
+            let speedup = s1.mean.as_secs_f64() / sn.mean.as_secs_f64().max(1e-9);
             vec![
-                format!("BI {}", s.query),
-                s.executions.to_string(),
-                snb_bench::fmt_duration(s.mean),
-                snb_bench::fmt_duration(s.p50),
-                snb_bench::fmt_duration(s.max),
-                format!("{:.2}", s.cv),
-                s.total_rows.to_string(),
+                format!("BI {}", s1.query),
+                s1.executions.to_string(),
+                snb_bench::fmt_duration(s1.mean),
+                snb_bench::fmt_duration(sn.mean),
+                format!("{speedup:.2}x"),
+                format!("{:.2}", s1.cv),
+                s1.total_rows.to_string(),
             ]
         })
         .collect();
+    let peak_threads = THREAD_SWEEP[THREAD_SWEEP.len() - 1];
     snb_bench::print_table(
-        &format!("E5: BI power test (optimized engine, {} persons)", config.persons),
-        &["query", "runs", "mean", "p50", "max", "cv", "rows"],
+        &format!(
+            "E5: BI power test (optimized engine, {} persons, {peak_threads}-thread sweep)",
+            config.persons
+        ),
+        &["query", "runs", "mean@1t", &format!("mean@{peak_threads}t"), "speedup", "cv", "rows"],
         &rows,
     );
 
-    let total: std::time::Duration = stats.iter().map(|s| s.mean * s.executions as u32).sum();
-    println!("\ntotal power-test work: {}", snb_bench::fmt_duration(total));
+    let total_1: std::time::Duration = base.iter().map(|s| s.mean * s.executions as u32).sum();
+    let total_n: std::time::Duration = peak.iter().map(|s| s.mean * s.executions as u32).sum();
+    println!(
+        "\ntotal power-test work: {} @1t, {} @{peak_threads}t ({:.2}x aggregate)",
+        snb_bench::fmt_duration(total_1),
+        snb_bench::fmt_duration(total_n),
+        total_1.as_secs_f64() / total_n.as_secs_f64().max(1e-9),
+    );
 
-    // Throughput sweep.
+    // Inter-query throughput sweep (streams, one single-threaded
+    // context each).
+    let mut throughput = Vec::new();
     let mut t_rows = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let r = snb_driver::throughput_test(&store, &ALL_BI_QUERIES, 4, threads, config.seed);
@@ -41,10 +88,68 @@ fn main() {
             snb_bench::fmt_duration(r.wall),
             format!("{:.1}", r.qps),
         ]);
+        throughput.push(r);
     }
     snb_bench::print_table(
-        "E5: BI throughput test (thread sweep)",
+        "E5: BI throughput test (stream sweep)",
         &["threads", "queries", "wall", "qps"],
         &t_rows,
     );
+
+    // Machine-readable dump for downstream tooling / CI trend lines.
+    let json = render_json(&config, cores, &sweep, &throughput);
+    let path = "BENCH_bi.json";
+    std::fs::write(path, json).expect("write BENCH_bi.json");
+    println!("\nwrote {path}");
+}
+
+/// Hand-rolled JSON (the container has no serde): every value is a
+/// number or a plain integer-keyed record, so escaping is not needed.
+fn render_json(
+    config: &snb_datagen::GeneratorConfig,
+    cores: usize,
+    sweep: &[(usize, Vec<QueryStats>)],
+    throughput: &[snb_driver::ThroughputReport],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"persons\": {},\n  \"seed\": {},\n", config.persons, config.seed));
+    out.push_str(&format!("  \"hardware_cores\": {cores},\n"));
+    out.push_str(&format!("  \"bindings_per_query\": {BINDINGS_PER_QUERY},\n"));
+    out.push_str("  \"power\": [\n");
+    let mut first = true;
+    for (threads, stats) in sweep {
+        for s in stats {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"query\": {}, \"threads\": {}, \"runs\": {}, \"mean_us\": {}, \
+                 \"p50_us\": {}, \"max_us\": {}, \"cv\": {:.4}, \"rows\": {}}}",
+                s.query,
+                threads,
+                s.executions,
+                s.mean.as_micros(),
+                s.p50.as_micros(),
+                s.max.as_micros(),
+                s.cv,
+                s.total_rows,
+            ));
+        }
+    }
+    out.push_str("\n  ],\n  \"throughput\": [\n");
+    for (i, r) in throughput.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"queries\": {}, \"wall_us\": {}, \"qps\": {:.2}}}",
+            r.threads,
+            r.queries_executed,
+            r.wall.as_micros(),
+            r.qps,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }

@@ -8,12 +8,7 @@ fn main() {
     for cp in CHOKE_POINTS {
         let bi: Vec<String> = cp.bi.iter().map(|q| q.to_string()).collect();
         let ic: Vec<String> = cp.ic.iter().map(|q| q.to_string()).collect();
-        rows.push(vec![
-            format!("CP-{}", cp.id),
-            cp.name.to_string(),
-            bi.join(","),
-            ic.join(","),
-        ]);
+        rows.push(vec![format!("CP-{}", cp.id), cp.name.to_string(), bi.join(","), ic.join(",")]);
     }
     snb_bench::print_table(
         "E7: choke-point coverage (spec Table A.1)",
@@ -24,10 +19,7 @@ fn main() {
     // Coverage summary per query.
     let mut bi_cov = Vec::new();
     for q in 1..=25u8 {
-        bi_cov.push(vec![
-            format!("BI {q}"),
-            snb_bi::meta::choke_points_of_bi(q).join(", "),
-        ]);
+        bi_cov.push(vec![format!("BI {q}"), snb_bi::meta::choke_points_of_bi(q).join(", ")]);
     }
     snb_bench::print_table("choke points per BI query", &["query", "choke points"], &bi_cov);
     let total: usize = CHOKE_POINTS.iter().map(|cp| cp.bi.len() + cp.ic.len()).sum();

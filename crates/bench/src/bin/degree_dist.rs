@@ -17,21 +17,12 @@ fn main() {
         degree[k.a.0 as usize] += 1;
         degree[k.b.0 as usize] += 1;
     }
-    let buckets = [
-        (0usize, 0usize),
-        (1, 2),
-        (3, 5),
-        (6, 10),
-        (11, 20),
-        (21, 40),
-        (41, 80),
-        (81, usize::MAX),
-    ];
+    let buckets =
+        [(0usize, 0usize), (1, 2), (3, 5), (6, 10), (11, 20), (21, 40), (41, 80), (81, usize::MAX)];
     let mut rows = Vec::new();
     for (lo, hi) in buckets {
         let count = degree.iter().filter(|&&d| d >= lo && d <= hi).count();
-        let label =
-            if hi == usize::MAX { format!("{lo}+") } else { format!("{lo}-{hi}") };
+        let label = if hi == usize::MAX { format!("{lo}+") } else { format!("{lo}-{hi}") };
         rows.push(vec![
             label,
             count.to_string(),

@@ -54,12 +54,33 @@ fn main() {
         let mean = started.elapsed() / reps;
         srows.push(vec![name.to_string(), snb_bench::fmt_duration(mean), rows.to_string()]);
     };
-    measure("IS 1", Box::new(|| short::is1::run(&store, &short::is1::Params { person_id: person }).len()));
-    measure("IS 2", Box::new(|| short::is2::run(&store, &short::is2::Params { person_id: person }).len()));
-    measure("IS 3", Box::new(|| short::is3::run(&store, &short::is3::Params { person_id: person }).len()));
-    measure("IS 4", Box::new(|| short::is4::run(&store, &short::is4::Params { message_id: message }).len()));
-    measure("IS 5", Box::new(|| short::is5::run(&store, &short::is5::Params { message_id: message }).len()));
-    measure("IS 6", Box::new(|| short::is6::run(&store, &short::is6::Params { message_id: message }).len()));
-    measure("IS 7", Box::new(|| short::is7::run(&store, &short::is7::Params { message_id: message }).len()));
+    measure(
+        "IS 1",
+        Box::new(|| short::is1::run(&store, &short::is1::Params { person_id: person }).len()),
+    );
+    measure(
+        "IS 2",
+        Box::new(|| short::is2::run(&store, &short::is2::Params { person_id: person }).len()),
+    );
+    measure(
+        "IS 3",
+        Box::new(|| short::is3::run(&store, &short::is3::Params { person_id: person }).len()),
+    );
+    measure(
+        "IS 4",
+        Box::new(|| short::is4::run(&store, &short::is4::Params { message_id: message }).len()),
+    );
+    measure(
+        "IS 5",
+        Box::new(|| short::is5::run(&store, &short::is5::Params { message_id: message }).len()),
+    );
+    measure(
+        "IS 6",
+        Box::new(|| short::is6::run(&store, &short::is6::Params { message_id: message }).len()),
+    );
+    measure(
+        "IS 7",
+        Box::new(|| short::is7::run(&store, &short::is7::Params { message_id: message }).len()),
+    );
     snb_bench::print_table("E10: short reads", &["query", "mean", "rows"], &srows);
 }

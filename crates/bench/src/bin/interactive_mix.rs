@@ -19,12 +19,8 @@ fn main() {
     let freqs = snb_driver::schedule::frequencies_for("1");
     let mut rows = Vec::new();
     for q in 1..=14u8 {
-        let achieved = report
-            .log
-            .records
-            .iter()
-            .filter(|r| r.operation == format!("IC {q}"))
-            .count();
+        let achieved =
+            report.log.records.iter().filter(|r| r.operation == format!("IC {q}")).count();
         let expected = events.len() / freqs[q as usize - 1] as usize;
         rows.push(vec![
             format!("IC {q}"),

@@ -48,8 +48,5 @@ fn main() {
         &["query", "curated cv (run 1)", "curated cv (run 2)", "random cv", "lower"],
         &rows,
     );
-    println!(
-        "\ncurated bindings had lower or equal variance on {wins}/{} queries",
-        queries.len()
-    );
+    println!("\ncurated bindings had lower or equal variance on {wins}/{} queries", queries.len());
 }

@@ -32,8 +32,16 @@ fn main() {
     snb_bench::print_table(
         "E1: measured scale statistics (this reproduction)",
         &[
-            "SF", "persons", "nodes", "edges", "nodes/person", "edges/node", "posts", "comments",
-            "knows", "likes",
+            "SF",
+            "persons",
+            "nodes",
+            "edges",
+            "nodes/person",
+            "edges/node",
+            "posts",
+            "comments",
+            "knows",
+            "likes",
         ],
         &rows,
     );

@@ -9,6 +9,7 @@
 use rustc_hash::FxHashMap;
 use snb_core::model::length_category;
 use snb_core::Date;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store};
 
 use crate::common::messages_before;
@@ -52,19 +53,37 @@ fn sort_rows(rows: &mut [Row]) {
 
 /// Optimized implementation: single scan, dense group key.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: parallel
+/// scan of the binary-searched date window, per-worker group maps
+/// merged in worker order (integer sums, so the merge is exact).
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let mut groups: FxHashMap<(i32, bool, u8), (u64, u64)> = FxHashMap::default();
-    let mut total = 0u64;
-    for m in messages_before(store, cutoff) {
-        let year = store.messages.creation_date[m as usize].year();
-        let is_comment = !store.messages.is_post(m);
-        let len = store.messages.length[m as usize];
-        let cat = length_category(len);
-        let e = groups.entry((year, is_comment, cat)).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += len as u64;
-        total += 1;
-    }
+    let window = messages_before(store, cutoff);
+    let total = window.len() as u64;
+    let groups = ctx.par_map_reduce(
+        window.len(),
+        FxHashMap::<(i32, bool, u8), (u64, u64)>::default,
+        |acc, range| {
+            for &m in &window[range] {
+                let year = store.messages.creation_date[m as usize].year();
+                let is_comment = !store.messages.is_post(m);
+                let len = store.messages.length[m as usize];
+                let e = acc.entry((year, is_comment, length_category(len))).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += len as u64;
+            }
+        },
+        |into, from| {
+            for (k, (c, s)) in from {
+                let e = into.entry(k).or_insert((0, 0));
+                e.0 += c;
+                e.1 += s;
+            }
+        },
+    );
     let mut rows: Vec<Row> = groups
         .into_iter()
         .map(|((year, is_comment, cat), (count, sum))| Row {
@@ -84,7 +103,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
 /// Naive reference: re-scans the message table once per group.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let matching: Vec<Ix> = messages_before(store, cutoff).collect();
+    let matching: Vec<Ix> = messages_before(store, cutoff).to_vec();
     let total = matching.len() as u64;
     let mut keys: Vec<(i32, bool, u8)> = matching
         .iter()

@@ -16,8 +16,10 @@ use rustc_hash::FxHashMap;
 use snb_core::model::Gender;
 use snb_core::Date;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
+
+use crate::common::{age_group, day_range_window, messages_in};
 
 /// Parameters of BI 2.
 #[derive(Clone, Debug)]
@@ -51,16 +53,6 @@ pub struct Row {
     pub message_count: u64,
 }
 
-/// Simulation-end anchor for the age-group calculation.
-const AGE_ANCHOR: (i32, u32, u32) = (2013, 1, 1);
-
-fn age_group(store: &Store, p: Ix) -> i32 {
-    let bday = store.persons.birthday[p as usize];
-    let anchor = Date::from_ymd(AGE_ANCHOR.0, AGE_ANCHOR.1, AGE_ANCHOR.2);
-    let years = (anchor.0 - bday.0) / 366; // floor of whole years (conservative)
-    years / 5
-}
-
 type Key = (Ix, u32, Gender, i32, Ix); // (country, month, gender, ageGroup, tag)
 
 fn sort_key(store: &Store, key: &Key, count: u64) -> impl Ord + Clone {
@@ -90,29 +82,42 @@ const LIMIT: usize = 100;
 /// Optimized implementation: message scan with person-side filters,
 /// hash aggregation, bounded top-k.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: parallel
+/// scan of the date-window run of the permutation index, per-worker
+/// count maps merged in worker order.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let c1 = store.country_by_name(&params.country1);
     let c2 = store.country_by_name(&params.country2);
     let (Ok(c1), Ok(c2)) = (c1, c2) else { return Vec::new() };
-    let lo = params.start_date.at_midnight();
-    let hi = params.end_date.plus_days(1).at_midnight(); // inclusive end day
-    let mut groups: FxHashMap<Key, u64> = FxHashMap::default();
-    for m in 0..store.messages.len() as Ix {
-        let t = store.messages.creation_date[m as usize];
-        if t < lo || t >= hi {
-            continue;
-        }
-        let p = store.messages.creator[m as usize];
-        let country = store.person_country(p);
-        if country != c1 && country != c2 {
-            continue;
-        }
-        let month = t.month();
-        let gender = store.persons.gender[p as usize];
-        let ag = age_group(store, p);
-        for tag in store.message_tag.targets_of(m) {
-            *groups.entry((country, month, gender, ag, tag)).or_insert(0) += 1;
-        }
-    }
+    let (lo, hi) = day_range_window(params.start_date, params.end_date);
+    let window = messages_in(store, lo, hi);
+    let groups = ctx.par_map_reduce(
+        window.len(),
+        FxHashMap::<Key, u64>::default,
+        |acc, range| {
+            for &m in &window[range] {
+                let p = store.messages.creator[m as usize];
+                let country = store.person_country(p);
+                if country != c1 && country != c2 {
+                    continue;
+                }
+                let month = store.messages.creation_date[m as usize].month();
+                let gender = store.persons.gender[p as usize];
+                let ag = age_group(store, p);
+                for tag in store.message_tag.targets_of(m) {
+                    *acc.entry((country, month, gender, ag, tag)).or_insert(0) += 1;
+                }
+            }
+        },
+        |into, from| {
+            for (k, c) in from {
+                *into.entry(k).or_insert(0) += c;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (key, count) in groups {
         if count > params.min_count {
@@ -129,8 +134,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     else {
         return Vec::new();
     };
-    let lo = params.start_date.at_midnight();
-    let hi = params.end_date.plus_days(1).at_midnight();
+    let (lo, hi) = day_range_window(params.start_date, params.end_date);
     let mut groups: FxHashMap<Key, u64> = FxHashMap::default();
     for p in 0..store.persons.len() as Ix {
         let country = store.person_country(p);
@@ -143,8 +147,13 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
                 continue;
             }
             for tag in store.message_tag.targets_of(m) {
-                let key =
-                    (country, t.month(), store.persons.gender[p as usize], age_group(store, p), tag);
+                let key = (
+                    country,
+                    t.month(),
+                    store.persons.gender[p as usize],
+                    age_group(store, p),
+                    tag,
+                );
                 *groups.entry(key).or_insert(0) += 1;
             }
         }
@@ -215,8 +224,7 @@ mod tests {
         for w in rows.windows(2) {
             assert!(
                 w[0].message_count > w[1].message_count
-                    || (w[0].message_count == w[1].message_count
-                        && w[0].tag_name <= w[1].tag_name)
+                    || (w[0].message_count == w[1].message_count && w[0].tag_name <= w[1].tag_name)
             );
         }
     }

@@ -5,10 +5,11 @@
 //! difference — "which topics spiked or collapsed".
 
 use rustc_hash::FxHashMap;
-use snb_core::Date;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
+
+use crate::common::{messages_in, month_window, next_month};
 
 /// Parameters of BI 3.
 #[derive(Clone, Copy, Debug)]
@@ -34,12 +35,6 @@ pub struct Row {
 
 const LIMIT: usize = 100;
 
-fn month_window(year: i32, month: u32) -> (snb_core::DateTime, snb_core::DateTime) {
-    let start = Date::from_ymd(year, month, 1);
-    let (ny, nm) = if month == 12 { (year + 1, 1) } else { (year, month + 1) };
-    (start.at_midnight(), Date::from_ymd(ny, nm, 1).at_midnight())
-}
-
 fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, String) {
     (std::cmp::Reverse(row.diff), row.tag_name.clone())
 }
@@ -47,26 +42,41 @@ fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, String) {
 /// Optimized implementation: per-tag counters over a single scan of the
 /// two month windows.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the two
+/// month windows are contiguous runs of the date permutation index,
+/// each counted with a parallel scan.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let (m1_lo, m1_hi) = month_window(params.year, params.month);
-    let (ny, nm) =
-        if params.month == 12 { (params.year + 1, 1) } else { (params.year, params.month + 1) };
+    let (ny, nm) = next_month(params.year, params.month);
     let (m2_lo, m2_hi) = month_window(ny, nm);
     let mut counts: FxHashMap<Ix, (u64, u64)> = FxHashMap::default();
-    for m in 0..store.messages.len() as Ix {
-        let t = store.messages.creation_date[m as usize];
-        let slot = if t >= m1_lo && t < m1_hi {
-            0
-        } else if t >= m2_lo && t < m2_hi {
-            1
-        } else {
-            continue;
-        };
-        for tag in store.message_tag.targets_of(m) {
+    for (slot, (lo, hi)) in [(0usize, (m1_lo, m1_hi)), (1, (m2_lo, m2_hi))] {
+        let window = messages_in(store, lo, hi);
+        let partial = ctx.par_map_reduce(
+            window.len(),
+            FxHashMap::<Ix, u64>::default,
+            |acc, range| {
+                for &m in &window[range] {
+                    for tag in store.message_tag.targets_of(m) {
+                        *acc.entry(tag).or_insert(0) += 1;
+                    }
+                }
+            },
+            |into, from| {
+                for (k, c) in from {
+                    *into.entry(k).or_insert(0) += c;
+                }
+            },
+        );
+        for (tag, c) in partial {
             let e = counts.entry(tag).or_insert((0, 0));
             if slot == 0 {
-                e.0 += 1;
+                e.0 += c;
             } else {
-                e.1 += 1;
+                e.1 += c;
             }
         }
     }

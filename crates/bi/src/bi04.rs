@@ -6,7 +6,7 @@
 //! the posts carrying such tags.
 
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag_of_class;
@@ -46,34 +46,42 @@ fn sort_key(row: &Row) -> Key {
 /// Optimized implementation: iterate forums moderated from the country,
 /// count matching posts via the forum→posts CSR.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: parallel
+/// forum scan with per-worker bounded top-k heaps merged in worker
+/// order (the sort key is total, so the merge is order-insensitive).
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let (Ok(class), Ok(country)) =
         (store.tag_class_named(&params.tag_class), store.country_by_name(&params.country))
     else {
         return Vec::new();
     };
-    let mut tk = TopK::new(LIMIT);
-    for f in 0..store.forums.len() as Ix {
-        let moderator = store.forums.moderator[f as usize];
-        if store.person_country(moderator) != country {
-            continue;
+    let tk = ctx.par_topk(store.forums.len(), LIMIT, |tk, range| {
+        for f in range.start as Ix..range.end as Ix {
+            let moderator = store.forums.moderator[f as usize];
+            if store.person_country(moderator) != country {
+                continue;
+            }
+            let count = store
+                .forum_posts
+                .targets_of(f)
+                .filter(|&post| has_tag_of_class(store, post, class))
+                .count() as u64;
+            if count == 0 {
+                continue;
+            }
+            let row = Row {
+                forum_id: store.forums.id[f as usize],
+                forum_title: store.forums.title[f as usize].clone(),
+                forum_creation_date: store.forums.creation_date[f as usize],
+                moderator_id: store.persons.id[moderator as usize],
+                post_count: count,
+            };
+            tk.push(sort_key(&row), row);
         }
-        let count = store
-            .forum_posts
-            .targets_of(f)
-            .filter(|&post| has_tag_of_class(store, post, class))
-            .count() as u64;
-        if count == 0 {
-            continue;
-        }
-        let row = Row {
-            forum_id: store.forums.id[f as usize],
-            forum_title: store.forums.title[f as usize].clone(),
-            forum_creation_date: store.forums.creation_date[f as usize],
-            moderator_id: store.persons.id[moderator as usize],
-            post_count: count,
-        };
-        tk.push(sort_key(&row), row);
-    }
+    });
     tk.into_sorted()
 }
 
@@ -159,9 +167,9 @@ mod tests {
     #[test]
     fn unknown_inputs_yield_empty() {
         let s = testutil::store();
-        assert!(run(s, &Params { tag_class: "NoClass".into(), country: "China".into() })
-            .is_empty());
-        assert!(run(s, &Params { tag_class: "Person".into(), country: "Nowhere".into() })
-            .is_empty());
+        assert!(run(s, &Params { tag_class: "NoClass".into(), country: "China".into() }).is_empty());
+        assert!(
+            run(s, &Params { tag_class: "Person".into(), country: "Nowhere".into() }).is_empty()
+        );
     }
 }

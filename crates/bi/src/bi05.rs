@@ -7,7 +7,7 @@
 
 use rustc_hash::{FxHashMap, FxHashSet};
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 /// Parameters of BI 5.
@@ -35,19 +35,21 @@ pub struct Row {
 const FORUM_LIMIT: usize = 100;
 const LIMIT: usize = 100;
 
-fn popular_forums(store: &Store, country: Ix) -> FxHashSet<Ix> {
-    let mut tk: TopK<(std::cmp::Reverse<u64>, u64), Ix> = TopK::new(FORUM_LIMIT);
-    for f in 0..store.forums.len() as Ix {
-        let members_in_country = store
-            .forum_member
-            .targets_of(f)
-            .filter(|&p| store.person_country(p) == country)
-            .count() as u64;
-        if members_in_country == 0 {
-            continue;
-        }
-        tk.push((std::cmp::Reverse(members_in_country), store.forums.id[f as usize]), f);
-    }
+fn popular_forums(store: &Store, ctx: &QueryContext, country: Ix) -> FxHashSet<Ix> {
+    let tk: TopK<(std::cmp::Reverse<u64>, u64), Ix> =
+        ctx.par_topk(store.forums.len(), FORUM_LIMIT, |tk, range| {
+            for f in range.start as Ix..range.end as Ix {
+                let members_in_country = store
+                    .forum_member
+                    .targets_of(f)
+                    .filter(|&p| store.person_country(p) == country)
+                    .count() as u64;
+                if members_in_country == 0 {
+                    continue;
+                }
+                tk.push((std::cmp::Reverse(members_in_country), store.forums.id[f as usize]), f);
+            }
+        });
     tk.into_sorted().into_iter().collect()
 }
 
@@ -67,8 +69,15 @@ fn to_row(store: &Store, p: Ix, count: u64) -> Row {
 
 /// Optimized implementation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// forum-popularity scan runs as a parallel top-k; the per-member post
+/// counting stays sequential (it touches only the ~100 popular forums).
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
-    let forums = popular_forums(store, country);
+    let forums = popular_forums(store, ctx, country);
     // Members of popular forums.
     let mut members: FxHashSet<Ix> = FxHashSet::default();
     for &f in &forums {
@@ -96,7 +105,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
 /// Naive reference: per-member scan of all their messages.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
-    let forums = popular_forums(store, country);
+    let forums = popular_forums(store, &QueryContext::single_threaded(), country);
     let mut members: Vec<Ix> = Vec::new();
     for p in 0..store.persons.len() as Ix {
         if store.member_forum.targets_of(p).any(|f| forums.contains(&f)) {

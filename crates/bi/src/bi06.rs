@@ -8,7 +8,7 @@
 
 use rustc_hash::FxHashMap;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag;
@@ -53,15 +53,35 @@ fn make_row(store: &Store, p: Ix, msgs: u64, replies: u64, likes: u64) -> Row {
 
 /// Optimized implementation: start from the tag's reverse message index.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the tag's
+/// message list is materialized once and scanned in parallel morsels.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(tag) = store.tag_named(&params.tag) else { return Vec::new() };
-    let mut acc: FxHashMap<Ix, (u64, u64, u64)> = FxHashMap::default();
-    for m in store.tag_message.targets_of(tag) {
-        let p = store.messages.creator[m as usize];
-        let e = acc.entry(p).or_insert((0, 0, 0));
-        e.0 += 1;
-        e.1 += store.message_replies.degree(m) as u64;
-        e.2 += store.message_likes.degree(m) as u64;
-    }
+    let tagged: Vec<Ix> = store.tag_message.targets_of(tag).collect();
+    let acc = ctx.par_map_reduce(
+        tagged.len(),
+        FxHashMap::<Ix, (u64, u64, u64)>::default,
+        |acc, range| {
+            for &m in &tagged[range] {
+                let p = store.messages.creator[m as usize];
+                let e = acc.entry(p).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += store.message_replies.degree(m) as u64;
+                e.2 += store.message_likes.degree(m) as u64;
+            }
+        },
+        |into, from| {
+            for (k, (m, r, l)) in from {
+                let e = into.entry(k).or_insert((0, 0, 0));
+                e.0 += m;
+                e.1 += r;
+                e.2 += l;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (p, (msgs, replies, likes)) in acc {
         let row = make_row(store, p, msgs, replies, likes);
@@ -102,9 +122,7 @@ mod tests {
     use crate::common::testutil;
 
     fn busiest_tag(s: &Store) -> String {
-        let t = (0..s.tags.len() as Ix)
-            .max_by_key(|&t| s.tag_message.degree(t))
-            .unwrap();
+        let t = (0..s.tags.len() as Ix).max_by_key(|&t| s.tag_message.degree(t)).unwrap();
         s.tags.name[t as usize].clone()
     }
 

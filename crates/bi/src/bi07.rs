@@ -8,7 +8,7 @@
 
 use rustc_hash::FxHashMap;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag;
@@ -42,20 +42,39 @@ fn popularity(store: &Store, p: Ix) -> u64 {
 
 /// Optimized implementation: reverse tag index + memoised popularity.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: parallel
+/// morsels over the tag's message list, each worker memoising liker
+/// popularity in its own cache.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(tag) = store.tag_named(&params.tag) else { return Vec::new() };
-    let mut pop_cache: FxHashMap<Ix, u64> = FxHashMap::default();
-    let mut scores: FxHashMap<Ix, u64> = FxHashMap::default();
-    for m in store.tag_message.targets_of(tag) {
-        let author = store.messages.creator[m as usize];
-        let mut sum = 0u64;
-        for liker in store.message_likes.targets_of(m) {
-            let pop = *pop_cache.entry(liker).or_insert_with(|| popularity(store, liker));
-            sum += pop;
-        }
-        // Ensure authors of tagged messages appear even with zero likes.
-        *scores.entry(author).or_insert(0) += sum;
-    }
+    let tagged: Vec<Ix> = store.tag_message.targets_of(tag).collect();
+    let scores = ctx.par_map_reduce(
+        tagged.len(),
+        || (FxHashMap::<Ix, u64>::default(), FxHashMap::<Ix, u64>::default()),
+        |(scores, pop_cache), range| {
+            for &m in &tagged[range] {
+                let author = store.messages.creator[m as usize];
+                let mut sum = 0u64;
+                for liker in store.message_likes.targets_of(m) {
+                    let pop = *pop_cache.entry(liker).or_insert_with(|| popularity(store, liker));
+                    sum += pop;
+                }
+                // Ensure authors of tagged messages appear even with
+                // zero likes.
+                *scores.entry(author).or_insert(0) += sum;
+            }
+        },
+        |(into, _), (from, _)| {
+            for (k, s) in from {
+                *into.entry(k).or_insert(0) += s;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
+    let scores = scores.0;
     for (p, score) in scores {
         let row = Row { person_id: store.persons.id[p as usize], authority_score: score };
         tk.push(sort_key(&row), row);

@@ -7,7 +7,7 @@
 
 use rustc_hash::FxHashMap;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag;
@@ -37,18 +37,36 @@ fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, String) {
 /// Optimized implementation: walk the tag's messages, then their direct
 /// replies.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: parallel
+/// morsels over the tag's message list; per-worker tag counters merged
+/// in worker order.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(tag) = store.tag_named(&params.tag) else { return Vec::new() };
-    let mut counts: FxHashMap<Ix, u64> = FxHashMap::default();
-    for m in store.tag_message.targets_of(tag) {
-        for reply in store.message_replies.targets_of(m) {
-            if has_tag(store, reply, tag) {
-                continue;
+    let tagged: Vec<Ix> = store.tag_message.targets_of(tag).collect();
+    let counts = ctx.par_map_reduce(
+        tagged.len(),
+        FxHashMap::<Ix, u64>::default,
+        |acc, range| {
+            for &m in &tagged[range] {
+                for reply in store.message_replies.targets_of(m) {
+                    if has_tag(store, reply, tag) {
+                        continue;
+                    }
+                    for t in store.message_tag.targets_of(reply) {
+                        *acc.entry(t).or_insert(0) += 1;
+                    }
+                }
             }
-            for t in store.message_tag.targets_of(reply) {
-                *counts.entry(t).or_insert(0) += 1;
+        },
+        |into, from| {
+            for (k, c) in from {
+                *into.entry(k).or_insert(0) += c;
             }
-        }
-    }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (t, count) in counts {
         let row = Row { related_tag_name: store.tags.name[t as usize].clone(), count };
@@ -115,8 +133,7 @@ mod tests {
         for w in rows.windows(2) {
             assert!(
                 w[0].count > w[1].count
-                    || (w[0].count == w[1].count
-                        && w[0].related_tag_name <= w[1].related_tag_name)
+                    || (w[0].count == w[1].count && w[0].related_tag_name <= w[1].related_tag_name)
             );
         }
     }

@@ -8,7 +8,7 @@
 //! sort order used here is `count1` desc, `count2` desc, forum id asc.
 
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag_of_class;
@@ -59,33 +59,38 @@ fn count_forum(store: &Store, f: Ix, c1: Ix, c2: Ix) -> (u64, u64) {
 
 /// Optimized implementation: forum scan with early member-count filter.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(c1), Ok(c2)) = (
-        store.tag_class_named(&params.tag_class1),
-        store.tag_class_named(&params.tag_class2),
-    ) else {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: parallel
+/// forum scan with per-worker bounded top-k heaps.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
+    let (Ok(c1), Ok(c2)) =
+        (store.tag_class_named(&params.tag_class1), store.tag_class_named(&params.tag_class2))
+    else {
         return Vec::new();
     };
-    let mut tk = TopK::new(LIMIT);
-    for f in 0..store.forums.len() as Ix {
-        if (store.forum_member.degree(f) as u64) <= params.threshold {
-            continue;
+    let tk = ctx.par_topk(store.forums.len(), LIMIT, |tk, range| {
+        for f in range.start as Ix..range.end as Ix {
+            if (store.forum_member.degree(f) as u64) <= params.threshold {
+                continue;
+            }
+            let (n1, n2) = count_forum(store, f, c1, c2);
+            if n1 == 0 || n2 == 0 {
+                continue;
+            }
+            let row = Row { forum_id: store.forums.id[f as usize], count1: n1, count2: n2 };
+            tk.push(sort_key(&row), row);
         }
-        let (n1, n2) = count_forum(store, f, c1, c2);
-        if n1 == 0 || n2 == 0 {
-            continue;
-        }
-        let row = Row { forum_id: store.forums.id[f as usize], count1: n1, count2: n2 };
-        tk.push(sort_key(&row), row);
-    }
+    });
     tk.into_sorted()
 }
 
 /// Naive reference: post-major aggregation, member filter applied last.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(c1), Ok(c2)) = (
-        store.tag_class_named(&params.tag_class1),
-        store.tag_class_named(&params.tag_class2),
-    ) else {
+    let (Ok(c1), Ok(c2)) =
+        (store.tag_class_named(&params.tag_class1), store.tag_class_named(&params.tag_class2))
+    else {
         return Vec::new();
     };
     let mut counts: rustc_hash::FxHashMap<Ix, (u64, u64)> = rustc_hash::FxHashMap::default();
@@ -160,8 +165,10 @@ mod tests {
         let s = testutil::store();
         let rows = run(s, &params());
         for w in rows.windows(2) {
-            let ka = (std::cmp::Reverse(w[0].count1), std::cmp::Reverse(w[0].count2), w[0].forum_id);
-            let kb = (std::cmp::Reverse(w[1].count1), std::cmp::Reverse(w[1].count2), w[1].forum_id);
+            let ka =
+                (std::cmp::Reverse(w[0].count1), std::cmp::Reverse(w[0].count2), w[0].forum_id);
+            let kb =
+                (std::cmp::Reverse(w[1].count1), std::cmp::Reverse(w[1].count2), w[1].forum_id);
             assert!(ka < kb);
         }
     }

@@ -9,7 +9,7 @@
 use rustc_hash::FxHashMap;
 use snb_core::Date;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag;
@@ -58,20 +58,29 @@ fn scores_via_tag_index(store: &Store, tag: Ix, cutoff: snb_core::DateTime) -> V
 
 /// Optimized implementation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the own
+/// scores are materialized once from the tag index, then the person
+/// scan (summing friends' scores over `knows`) runs as a parallel
+/// top-k.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(tag) = store.tag_named(&params.tag) else { return Vec::new() };
     let cutoff = params.date.at_midnight();
     let scores = scores_via_tag_index(store, tag, cutoff);
-    let mut tk = TopK::new(LIMIT);
-    for p in 0..store.persons.len() as Ix {
-        let own = scores[p as usize];
-        let friends: u64 = store.knows.targets_of(p).map(|f| scores[f as usize]).sum();
-        if own == 0 && friends == 0 {
-            continue;
+    let tk = ctx.par_topk(store.persons.len(), LIMIT, |tk, range| {
+        for p in range.start as Ix..range.end as Ix {
+            let own = scores[p as usize];
+            let friends: u64 = store.knows.targets_of(p).map(|f| scores[f as usize]).sum();
+            if own == 0 && friends == 0 {
+                continue;
+            }
+            let row =
+                Row { person_id: store.persons.id[p as usize], score: own, friends_score: friends };
+            tk.push(sort_key(&row), row);
         }
-        let row =
-            Row { person_id: store.persons.id[p as usize], score: own, friends_score: friends };
-        tk.push(sort_key(&row), row);
-    }
+    });
     tk.into_sorted()
 }
 

@@ -7,7 +7,7 @@
 
 use rustc_hash::{FxHashMap, FxHashSet};
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store, NONE};
 
 /// Parameters of BI 11.
@@ -56,34 +56,56 @@ fn qualifies(store: &Store, c: Ix, blacklist: &[String]) -> bool {
     !blacklist.iter().any(|w| content.contains(w.as_str()))
 }
 
-fn aggregate(store: &Store, country: Ix, blacklist: &[String]) -> FxHashMap<(Ix, Ix), (u64, u64)> {
-    let mut groups: FxHashMap<(Ix, Ix), (u64, u64)> = FxHashMap::default();
-    for c in 0..store.messages.len() as Ix {
-        if store.messages.reply_of[c as usize] == NONE {
-            continue;
-        }
-        let p = store.messages.creator[c as usize];
-        if store.person_country(p) != country {
-            continue;
-        }
-        if !qualifies(store, c, blacklist) {
-            continue;
-        }
-        let likes = store.message_likes.degree(c) as u64;
-        for t in store.message_tag.targets_of(c) {
-            let e = groups.entry((p, t)).or_insert((0, 0));
-            e.0 += likes;
-            e.1 += 1;
-        }
-    }
-    groups
+fn aggregate(
+    store: &Store,
+    ctx: &QueryContext,
+    country: Ix,
+    blacklist: &[String],
+) -> FxHashMap<(Ix, Ix), (u64, u64)> {
+    ctx.par_map_reduce(
+        store.messages.len(),
+        FxHashMap::<(Ix, Ix), (u64, u64)>::default,
+        |acc, range| {
+            for c in range.start as Ix..range.end as Ix {
+                if store.messages.reply_of[c as usize] == NONE {
+                    continue;
+                }
+                let p = store.messages.creator[c as usize];
+                if store.person_country(p) != country {
+                    continue;
+                }
+                if !qualifies(store, c, blacklist) {
+                    continue;
+                }
+                let likes = store.message_likes.degree(c) as u64;
+                for t in store.message_tag.targets_of(c) {
+                    let e = acc.entry((p, t)).or_insert((0, 0));
+                    e.0 += likes;
+                    e.1 += 1;
+                }
+            }
+        },
+        |into, from| {
+            for (k, (l, r)) in from {
+                let e = into.entry(k).or_insert((0, 0));
+                e.0 += l;
+                e.1 += r;
+            }
+        },
+    )
 }
 
 /// Optimized implementation: comment scan with cheap filters first
 /// (CP-4.2 boolean reordering: country test before tag-set building).
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// comment scan runs as parallel morsels over the message block.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
-    let groups = aggregate(store, country, &params.blacklist);
+    let groups = aggregate(store, ctx, country, &params.blacklist);
     let mut tk = TopK::new(LIMIT);
     for ((p, t), (likes, replies)) in groups {
         let row = Row {

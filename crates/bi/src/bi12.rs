@@ -4,8 +4,10 @@
 //! received more than `like_threshold` likes.
 
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store};
+
+use crate::common::messages_after;
 
 /// Parameters of BI 12.
 #[derive(Clone, Copy, Debug)]
@@ -51,22 +53,28 @@ fn to_row(store: &Store, m: Ix, likes: u64) -> Row {
 /// Optimized implementation: date filter first, degree lookup, top-k
 /// pruning on the like count.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the date
+/// filter becomes a binary-searched suffix of the permutation index,
+/// scanned as a parallel top-k with per-worker CP-1.3 pruning.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let mut tk = TopK::new(LIMIT);
-    for m in 0..store.messages.len() as Ix {
-        if store.messages.creation_date[m as usize] <= cutoff {
-            continue;
+    let window = messages_after(store, cutoff);
+    let tk = ctx.par_topk(window.len(), LIMIT, |tk, range| {
+        for &m in &window[range] {
+            let likes = store.message_likes.degree(m) as u64;
+            if likes <= params.like_threshold {
+                continue;
+            }
+            let key = (std::cmp::Reverse(likes), store.messages.id[m as usize]);
+            if !tk.would_accept(&key) {
+                continue; // CP-1.3: skip row construction entirely
+            }
+            tk.push(key, to_row(store, m, likes));
         }
-        let likes = store.message_likes.degree(m) as u64;
-        if likes <= params.like_threshold {
-            continue;
-        }
-        let key = (std::cmp::Reverse(likes), store.messages.id[m as usize]);
-        if !tk.would_accept(&key) {
-            continue; // CP-1.3: skip row construction entirely
-        }
-        tk.push(key, to_row(store, m, likes));
-    }
+    });
     tk.into_sorted()
 }
 

@@ -7,7 +7,7 @@
 
 use rustc_hash::FxHashMap;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 /// Parameters of BI 13.
@@ -47,18 +47,38 @@ fn top_tags(store: &Store, counts: FxHashMap<Ix, u64>) -> Vec<(String, u64)> {
 
 /// Optimized implementation: single scan over messages of the country.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// country filter runs as parallel morsels over the message block,
+/// merging per-worker nested (month → tag → count) maps.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
-    let mut groups: FxHashMap<(i32, u32), FxHashMap<Ix, u64>> = FxHashMap::default();
-    for m in 0..store.messages.len() as Ix {
-        if store.messages.country[m as usize] != country {
-            continue;
-        }
-        let (y, mo) = store.messages.creation_date[m as usize].year_month();
-        let g = groups.entry((y, mo)).or_default();
-        for t in store.message_tag.targets_of(m) {
-            *g.entry(t).or_insert(0) += 1;
-        }
-    }
+    let groups = ctx.par_map_reduce(
+        store.messages.len(),
+        FxHashMap::<(i32, u32), FxHashMap<Ix, u64>>::default,
+        |acc, range| {
+            for m in range.start as Ix..range.end as Ix {
+                if store.messages.country[m as usize] != country {
+                    continue;
+                }
+                let (y, mo) = store.messages.creation_date[m as usize].year_month();
+                let g = acc.entry((y, mo)).or_default();
+                for t in store.message_tag.targets_of(m) {
+                    *g.entry(t).or_insert(0) += 1;
+                }
+            }
+        },
+        |into, from| {
+            for (k, counts) in from {
+                let g = into.entry(k).or_default();
+                for (t, c) in counts {
+                    *g.entry(t).or_insert(0) += c;
+                }
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for ((year, month), counts) in groups {
         let row = Row { year, month, popular_tags: top_tags(store, counts) };
@@ -73,10 +93,8 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let in_country: Vec<Ix> = (0..store.messages.len() as Ix)
         .filter(|&m| store.messages.country[m as usize] == country)
         .collect();
-    let mut keys: Vec<(i32, u32)> = in_country
-        .iter()
-        .map(|&m| store.messages.creation_date[m as usize].year_month())
-        .collect();
+    let mut keys: Vec<(i32, u32)> =
+        in_country.iter().map(|&m| store.messages.creation_date[m as usize].year_month()).collect();
     keys.sort_unstable();
     keys.dedup();
     let mut items = Vec::new();
@@ -91,10 +109,8 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
             }
         }
         // Sort-truncate top five.
-        let mut pairs: Vec<(String, u64)> = counts
-            .into_iter()
-            .map(|(t, c)| (store.tags.name[t as usize].clone(), c))
-            .collect();
+        let mut pairs: Vec<(String, u64)> =
+            counts.into_iter().map(|(t, c)| (store.tags.name[t as usize].clone(), c)).collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         pairs.truncate(TAGS_PER_GROUP);
         let row = Row { year, month, popular_tags: pairs };
@@ -135,9 +151,7 @@ mod tests {
         let s = testutil::store();
         let rows = run(s, &Params { country: "India".into() });
         for w in rows.windows(2) {
-            assert!(
-                w[0].year > w[1].year || (w[0].year == w[1].year && w[0].month < w[1].month)
-            );
+            assert!(w[0].year > w[1].year || (w[0].year == w[1].year && w[0].month < w[1].month));
         }
     }
 

@@ -7,10 +7,10 @@
 use rustc_hash::FxHashMap;
 use snb_core::Date;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
-use crate::common::thread_size;
+use crate::common::{day_range_window, messages_in, thread_size};
 
 /// Parameters of BI 14.
 #[derive(Clone, Copy, Debug)]
@@ -45,23 +45,43 @@ fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, u64) {
 /// Optimized implementation: post scan + recursive thread counting via
 /// the reply CSR.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    let lo = params.begin.at_midnight();
-    let hi = params.end.plus_days(1).at_midnight();
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// windowed post scan is a contiguous run of the date permutation
+/// index, processed in parallel morsels (thread counting recurses from
+/// each root post independently).
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
+    let (lo, hi) = day_range_window(params.begin, params.end);
     let in_window = |m: Ix| {
         let t = store.messages.creation_date[m as usize];
         t >= lo && t < hi
     };
-    let mut acc: FxHashMap<Ix, (u64, u64)> = FxHashMap::default();
-    for post in 0..store.messages.len() as Ix {
-        if !store.messages.is_post(post) || !in_window(post) {
-            continue;
-        }
-        let creator = store.messages.creator[post as usize];
-        let msgs = thread_size(store, post, in_window);
-        let e = acc.entry(creator).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += msgs;
-    }
+    let window = messages_in(store, lo, hi);
+    let acc = ctx.par_map_reduce(
+        window.len(),
+        FxHashMap::<Ix, (u64, u64)>::default,
+        |acc, range| {
+            for &post in &window[range] {
+                if !store.messages.is_post(post) {
+                    continue;
+                }
+                let creator = store.messages.creator[post as usize];
+                let msgs = thread_size(store, post, in_window);
+                let e = acc.entry(creator).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += msgs;
+            }
+        },
+        |into, from| {
+            for (k, (t, m)) in from {
+                let e = into.entry(k).or_insert((0, 0));
+                e.0 += t;
+                e.1 += m;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (p, (threads, msgs)) in acc {
         let row = Row {

@@ -5,6 +5,7 @@
 //! Return the residents whose same-country friend count equals it.
 
 use snb_engine::topk::sort_truncate;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store};
 
 use crate::common::persons_of_country;
@@ -33,13 +34,23 @@ fn in_country_degree(store: &Store, p: Ix, country: Ix) -> u64 {
 
 /// Optimized implementation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// per-resident friend counting runs as an order-preserving parallel
+/// scan (`par_scan` stitches morsel outputs back in resident order).
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
     let residents = persons_of_country(store, country);
     if residents.is_empty() {
         return Vec::new();
     }
-    let counts: Vec<u64> =
-        residents.iter().map(|&p| in_country_degree(store, p, country)).collect();
+    let counts: Vec<u64> = ctx.par_scan(residents.len(), |out, range| {
+        for &p in &residents[range] {
+            out.push(in_country_degree(store, p, country));
+        }
+    });
     let normal = counts.iter().sum::<u64>() / residents.len() as u64;
     let mut rows: Vec<Row> = residents
         .iter()

@@ -14,7 +14,7 @@
 use rustc_hash::FxHashMap;
 use snb_engine::topk::sort_truncate;
 use snb_engine::traverse::trail_reachable;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag_of_class;
@@ -80,6 +80,13 @@ fn collect_rows(
 /// Optimized implementation: trail search bounded by the distance band,
 /// then person-major aggregation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the trail
+/// search stays sequential (its frontier is inherently ordered); the
+/// per-expert message aggregation fans out as parallel morsels.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let (Ok(start), Ok(country), Ok(class)) = (
         store.person(params.person_id),
         store.country_by_name(&params.country),
@@ -89,7 +96,22 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     };
     let reachable =
         trail_reachable(store, start, params.min_path_distance, params.max_path_distance);
-    let groups = collect_rows(store, reachable.into_iter().filter(|&p| p != start), country, class);
+    let experts: Vec<Ix> = reachable.into_iter().filter(|&p| p != start).collect();
+    let groups = ctx.par_map_reduce(
+        experts.len(),
+        FxHashMap::<(Ix, Ix), u64>::default,
+        |acc, range| {
+            let morsel = collect_rows(store, experts[range].iter().copied(), country, class);
+            for (k, c) in morsel {
+                *acc.entry(k).or_insert(0) += c;
+            }
+        },
+        |into, from| {
+            for (k, c) in from {
+                *into.entry(k).or_insert(0) += c;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for ((p, t), count) in groups {
         let row = Row {

@@ -5,6 +5,7 @@
 //! other).
 
 use rustc_hash::FxHashSet;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store};
 
 /// Parameters of BI 17.
@@ -24,24 +25,37 @@ pub struct Row {
 /// Optimized implementation: order-based triangle counting (each
 /// triangle found exactly once via `a < b < c`), neighbour set probes.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// members are apexes of independent triangle counts, so the scan
+/// parallelizes as a plain integer map-reduce.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
     let members: Vec<Ix> = store.persons_in_country(country).collect();
     let member_set: FxHashSet<Ix> = members.iter().copied().collect();
-    let mut count = 0u64;
-    for &a in &members {
-        let nbrs_a: FxHashSet<Ix> = store
-            .knows
-            .targets_of(a)
-            .filter(|&b| b > a && member_set.contains(&b))
-            .collect();
-        for &b in &nbrs_a {
-            for c in store.knows.targets_of(b) {
-                if c > b && nbrs_a.contains(&c) {
-                    count += 1;
+    let count = ctx.par_map_reduce(
+        members.len(),
+        || 0u64,
+        |count, range| {
+            for &a in &members[range] {
+                let nbrs_a: FxHashSet<Ix> = store
+                    .knows
+                    .targets_of(a)
+                    .filter(|&b| b > a && member_set.contains(&b))
+                    .collect();
+                for &b in &nbrs_a {
+                    for c in store.knows.targets_of(b) {
+                        if c > b && nbrs_a.contains(&c) {
+                            *count += 1;
+                        }
+                    }
                 }
             }
-        }
-    }
+        },
+        |into, from| *into += from,
+    );
     vec![Row { count }]
 }
 

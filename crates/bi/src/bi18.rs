@@ -12,10 +12,10 @@
 use rustc_hash::FxHashMap;
 use snb_core::Date;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
-use crate::common::thread_language;
+use crate::common::{messages_after, thread_language};
 
 /// Parameters of BI 18.
 #[derive(Clone, Debug)]
@@ -61,13 +61,31 @@ fn histogram(per_person: &[u64]) -> FxHashMap<u64, u64> {
 /// Optimized implementation: message scan accumulating per-creator,
 /// then the second-level aggregation (CP-8.2 subsequent aggregation).
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the date
+/// filter becomes a binary-searched suffix of the permutation index;
+/// workers accumulate dense per-person counters merged element-wise.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let mut per_person = vec![0u64; store.persons.len()];
-    for m in 0..store.messages.len() as Ix {
-        if qualifies(store, m, cutoff, params) {
-            per_person[store.messages.creator[m as usize] as usize] += 1;
-        }
-    }
+    let window = messages_after(store, cutoff);
+    let per_person = ctx.par_map_reduce(
+        window.len(),
+        || vec![0u64; store.persons.len()],
+        |acc, range| {
+            for &m in &window[range] {
+                if qualifies(store, m, cutoff, params) {
+                    acc[store.messages.creator[m as usize] as usize] += 1;
+                }
+            }
+        },
+        |into, from| {
+            for (i, c) in from.into_iter().enumerate() {
+                into[i] += c;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (count, persons) in histogram(&per_person) {
         let row = Row { message_count: count, person_count: persons };

@@ -11,7 +11,7 @@
 use rustc_hash::{FxHashMap, FxHashSet};
 use snb_core::Date;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store, NONE};
 
 /// Parameters of BI 19.
@@ -69,34 +69,52 @@ fn class_members(store: &Store, c1: Ix, c2: Ix) -> Vec<bool> {
 
 /// Optimized implementation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(c1), Ok(c2)) = (
-        store.tag_class_named(&params.tag_class1),
-        store.tag_class_named(&params.tag_class2),
-    ) else {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// stranger-candidate bitmap is built once, then the comment scan runs
+/// as parallel morsels merging (stranger set, interaction count) pairs.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
+    let (Ok(c1), Ok(c2)) =
+        (store.tag_class_named(&params.tag_class1), store.tag_class_named(&params.tag_class2))
+    else {
         return Vec::new();
     };
     let candidate_stranger = class_members(store, c1, c2);
-    let mut acc: FxHashMap<Ix, (FxHashSet<Ix>, u64)> = FxHashMap::default();
-    for c in 0..store.messages.len() as Ix {
-        let parent = store.messages.reply_of[c as usize];
-        if parent == NONE {
-            continue;
-        }
-        let replier = store.messages.creator[c as usize];
-        if store.persons.birthday[replier as usize] <= params.date {
-            continue;
-        }
-        let author = store.messages.creator[parent as usize];
-        if author == replier || !candidate_stranger[author as usize] {
-            continue;
-        }
-        if store.knows.contains(replier, author) {
-            continue;
-        }
-        let e = acc.entry(replier).or_default();
-        e.0.insert(author);
-        e.1 += 1;
-    }
+    let acc = ctx.par_map_reduce(
+        store.messages.len(),
+        FxHashMap::<Ix, (FxHashSet<Ix>, u64)>::default,
+        |acc, range| {
+            for c in range.start as Ix..range.end as Ix {
+                let parent = store.messages.reply_of[c as usize];
+                if parent == NONE {
+                    continue;
+                }
+                let replier = store.messages.creator[c as usize];
+                if store.persons.birthday[replier as usize] <= params.date {
+                    continue;
+                }
+                let author = store.messages.creator[parent as usize];
+                if author == replier || !candidate_stranger[author as usize] {
+                    continue;
+                }
+                if store.knows.contains(replier, author) {
+                    continue;
+                }
+                let e = acc.entry(replier).or_default();
+                e.0.insert(author);
+                e.1 += 1;
+            }
+        },
+        |into, from| {
+            for (k, (strangers, n)) in from {
+                let e = into.entry(k).or_default();
+                e.0.extend(strangers);
+                e.1 += n;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (p, (strangers, interactions)) in acc {
         let row = Row {
@@ -111,10 +129,9 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
 
 /// Naive reference: person-major with per-pair stranger re-testing.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(c1), Ok(c2)) = (
-        store.tag_class_named(&params.tag_class1),
-        store.tag_class_named(&params.tag_class2),
-    ) else {
+    let (Ok(c1), Ok(c2)) =
+        (store.tag_class_named(&params.tag_class1), store.tag_class_named(&params.tag_class2))
+    else {
         return Vec::new();
     };
     let is_stranger_candidate = |p: Ix| {

@@ -6,7 +6,7 @@
 
 use rustc_hash::FxHashSet;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag_in_class_subtree;
@@ -36,15 +36,31 @@ fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, String) {
 /// Optimized implementation: expand each class to its subtree's tags,
 /// union their reverse message lists.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// subtree's tags fan out as morsels whose per-worker message sets are
+/// unioned at the merge (set union is order-insensitive).
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let mut tk = TopK::new(LIMIT);
     for name in &params.tag_classes {
         let Ok(class) = store.tag_class_named(name) else { continue };
-        let mut messages: FxHashSet<Ix> = FxHashSet::default();
-        for c in store.tagclass_subtree(class) {
-            for t in store.tagclass_tags.targets_of(c) {
-                messages.extend(store.tag_message.targets_of(t));
-            }
-        }
+        let tags: Vec<Ix> = store
+            .tagclass_subtree(class)
+            .into_iter()
+            .flat_map(|c| store.tagclass_tags.targets_of(c))
+            .collect();
+        let messages = ctx.par_map_reduce(
+            tags.len(),
+            FxHashSet::<Ix>::default,
+            |acc, range| {
+                for &t in &tags[range] {
+                    acc.extend(store.tag_message.targets_of(t));
+                }
+            },
+            |into, from| into.extend(from),
+        );
         let row = Row { tag_class_name: name.clone(), message_count: messages.len() as u64 };
         tk.push(sort_key(&row), row);
     }
@@ -94,8 +110,7 @@ mod tests {
         // The Person class subtree includes MusicalArtist, so its count
         // must be at least the leaf count.
         let person = run(s, &Params { tag_classes: vec!["Person".into()] })[0].message_count;
-        let artist =
-            run(s, &Params { tag_classes: vec!["MusicalArtist".into()] })[0].message_count;
+        let artist = run(s, &Params { tag_classes: vec!["MusicalArtist".into()] })[0].message_count;
         assert!(person >= artist);
         assert!(person > 0);
     }

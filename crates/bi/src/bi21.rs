@@ -10,7 +10,7 @@
 use snb_core::datetime::spanned_months;
 use snb_core::Date;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 /// Parameters of BI 21.
@@ -69,58 +69,68 @@ fn is_zombie(store: &Store, p: Ix, end: snb_core::DateTime) -> bool {
     messages < months
 }
 
-fn build_rows(store: &Store, country: Ix, end: snb_core::DateTime) -> Vec<Row> {
+fn build_rows(store: &Store, ctx: &QueryContext, country: Ix, end: snb_core::DateTime) -> Vec<Row> {
     // Zombie flags for the whole population (likers can be zombies from
-    // any country).
-    let zombie: Vec<bool> =
-        (0..store.persons.len() as Ix).map(|p| is_zombie(store, p, end)).collect();
-    let mut rows = Vec::new();
-    for p in store.persons_in_country(country) {
-        if !zombie[p as usize] {
-            continue;
+    // any country); order-preserving parallel scan over the person ids.
+    let zombie: Vec<bool> = ctx.par_scan(store.persons.len(), |out, range| {
+        for p in range.start as Ix..range.end as Ix {
+            out.push(is_zombie(store, p, end));
         }
-        let mut total = 0u64;
-        let mut from_zombies = 0u64;
-        for m in store.person_messages.targets_of(p) {
-            for liker in store.message_likes.targets_of(m) {
-                if store.persons.creation_date[liker as usize] >= end {
-                    continue;
-                }
-                total += 1;
-                if zombie[liker as usize] {
-                    from_zombies += 1;
+    });
+    let residents: Vec<Ix> =
+        store.persons_in_country(country).filter(|&p| zombie[p as usize]).collect();
+    // One row per zombie resident; `par_scan` stitches morsels back in
+    // resident order, so the output order matches the sequential loop.
+    ctx.par_scan(residents.len(), |out, range| {
+        for &p in &residents[range] {
+            let mut total = 0u64;
+            let mut from_zombies = 0u64;
+            for m in store.person_messages.targets_of(p) {
+                for liker in store.message_likes.targets_of(m) {
+                    if store.persons.creation_date[liker as usize] >= end {
+                        continue;
+                    }
+                    total += 1;
+                    if zombie[liker as usize] {
+                        from_zombies += 1;
+                    }
                 }
             }
+            let score = if total == 0 { 0.0 } else { from_zombies as f64 / total as f64 };
+            out.push(Row {
+                zombie_id: store.persons.id[p as usize],
+                zombie_like_count: from_zombies,
+                total_like_count: total,
+                zombie_score: score,
+            });
         }
-        let score = if total == 0 { 0.0 } else { from_zombies as f64 / total as f64 };
-        rows.push(Row {
-            zombie_id: store.persons.id[p as usize],
-            zombie_like_count: from_zombies,
-            total_like_count: total,
-            zombie_score: score,
-        });
-    }
-    rows
+    })
 }
 
 /// Optimized implementation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
     let end = params.end_date.at_midnight();
     let mut tk = TopK::new(LIMIT);
-    for row in build_rows(store, country, end) {
+    for row in build_rows(store, ctx, country, end) {
         tk.push(sort_key(&row), row);
     }
     tk.into_sorted()
 }
 
-/// Naive reference: identical row construction, full sort (zombie
-/// classification itself is cross-checked in unit tests).
+/// Naive reference: identical row construction (single-threaded), full
+/// sort (zombie classification itself is cross-checked in unit tests).
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
     let end = params.end_date.at_midnight();
+    let ctx = QueryContext::single_threaded();
     let items: Vec<_> =
-        build_rows(store, country, end).into_iter().map(|r| (sort_key(&r), r)).collect();
+        build_rows(store, &ctx, country, end).into_iter().map(|r| (sort_key(&r), r)).collect();
     sort_truncate(items, LIMIT)
 }
 
@@ -159,8 +169,7 @@ mod tests {
         let end = params().end_date.at_midnight();
         for r in run(s, &params()) {
             let p = s.person(r.zombie_id).unwrap();
-            let months =
-                spanned_months(s.persons.creation_date[p as usize], end).max(1) as u64;
+            let months = spanned_months(s.persons.creation_date[p as usize], end).max(1) as u64;
             let msgs = s
                 .person_messages
                 .targets_of(p)
@@ -177,8 +186,7 @@ mod tests {
         for w in rows.windows(2) {
             assert!(
                 w[0].zombie_score > w[1].zombie_score
-                    || (w[0].zombie_score == w[1].zombie_score
-                        && w[0].zombie_id < w[1].zombie_id)
+                    || (w[0].zombie_score == w[1].zombie_score && w[0].zombie_id < w[1].zombie_id)
             );
         }
     }

@@ -13,7 +13,7 @@
 
 use rustc_hash::FxHashMap;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store, NONE};
 
 /// Parameters of BI 22.
@@ -51,36 +51,52 @@ fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, u64, u64) {
 /// starting from the country populations (CP-2.1: the country filter is
 /// far more selective than scanning every message/like/edge). The two
 /// countries must be distinct; equal countries yield no pairs.
-fn pair_scores(store: &Store, c1: Ix, c2: Ix) -> FxHashMap<(Ix, Ix), u64> {
+fn pair_scores(store: &Store, ctx: &QueryContext, c1: Ix, c2: Ix) -> FxHashMap<(Ix, Ix), u64> {
     let mut scores: FxHashMap<(Ix, Ix), u64> = FxHashMap::default();
     if c1 == c2 {
         return scores;
     }
-    // Outbound actions of each side toward the other; the key is always
-    // (country1 person, country2 person).
-    for (home, other, swapped) in [(c1, c2, false), (c2, c1, true)] {
-        for a in store.persons_in_country(home) {
-            let add = |b: Ix, w: u64, scores: &mut FxHashMap<(Ix, Ix), u64>| {
-                let key = if swapped { (b, a) } else { (a, b) };
-                *scores.entry(key).or_insert(0) += w;
-            };
-            for c in store.person_messages.targets_of(a) {
-                let parent = store.messages.reply_of[c as usize];
-                if parent == NONE {
-                    continue;
-                }
-                let b = store.messages.creator[parent as usize];
-                if store.person_country(b) == other {
-                    add(b, W_REPLY, &mut scores);
-                }
-            }
-            for (m, _) in store.person_likes.neighbors(a) {
-                let b = store.messages.creator[m as usize];
-                if store.person_country(b) == other {
-                    add(b, W_LIKE, &mut scores);
-                }
-            }
+    let merge_into = |into: &mut FxHashMap<(Ix, Ix), u64>, from: FxHashMap<(Ix, Ix), u64>| {
+        for (k, w) in from {
+            *into.entry(k).or_insert(0) += w;
         }
+    };
+    // Outbound actions of each side toward the other; the key is always
+    // (country1 person, country2 person). Each side's residents fan out
+    // as morsels; per-pair weights are additive, so the merge order is
+    // immaterial to the result.
+    for (home, other, swapped) in [(c1, c2, false), (c2, c1, true)] {
+        let residents: Vec<Ix> = store.persons_in_country(home).collect();
+        let partial = ctx.par_map_reduce(
+            residents.len(),
+            FxHashMap::<(Ix, Ix), u64>::default,
+            |acc, range| {
+                for &a in &residents[range] {
+                    let add = |b: Ix, w: u64, acc: &mut FxHashMap<(Ix, Ix), u64>| {
+                        let key = if swapped { (b, a) } else { (a, b) };
+                        *acc.entry(key).or_insert(0) += w;
+                    };
+                    for c in store.person_messages.targets_of(a) {
+                        let parent = store.messages.reply_of[c as usize];
+                        if parent == NONE {
+                            continue;
+                        }
+                        let b = store.messages.creator[parent as usize];
+                        if store.person_country(b) == other {
+                            add(b, W_REPLY, acc);
+                        }
+                    }
+                    for (m, _) in store.person_likes.neighbors(a) {
+                        let b = store.messages.creator[m as usize];
+                        if store.person_country(b) == other {
+                            add(b, W_LIKE, acc);
+                        }
+                    }
+                }
+            },
+            merge_into,
+        );
+        merge_into(&mut scores, partial);
     }
     // Friendships: iterate only country1's residents.
     for a in store.persons_in_country(c1) {
@@ -98,7 +114,8 @@ fn rows_from_scores(store: &Store, scores: FxHashMap<(Ix, Ix), u64>) -> Vec<Row>
     let mut best: FxHashMap<Ix, Row> = FxHashMap::default();
     let mut entries: Vec<((Ix, Ix), u64)> = scores.into_iter().collect();
     // Deterministic iteration for tie handling: lowest ids win ties.
-    entries.sort_by_key(|&((a, b), _)| (store.persons.id[a as usize], store.persons.id[b as usize]));
+    entries
+        .sort_by_key(|&((a, b), _)| (store.persons.id[a as usize], store.persons.id[b as usize]));
     for ((a, b), score) in entries {
         let city = store.persons.city[a as usize];
         let row = Row {
@@ -119,13 +136,18 @@ fn rows_from_scores(store: &Store, scores: FxHashMap<(Ix, Ix), u64>) -> Vec<Row>
 
 /// Optimized implementation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let (Ok(c1), Ok(c2)) =
         (store.country_by_name(&params.country1), store.country_by_name(&params.country2))
     else {
         return Vec::new();
     };
     let mut tk = TopK::new(LIMIT);
-    for row in rows_from_scores(store, pair_scores(store, c1, c2)) {
+    for row in rows_from_scores(store, pair_scores(store, ctx, c1, c2)) {
         tk.push(sort_key(&row), row);
     }
     tk.into_sorted()

@@ -5,7 +5,7 @@
 
 use rustc_hash::FxHashMap;
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 /// Parameters of BI 23.
@@ -39,18 +39,36 @@ fn sort_key(row: &Row) -> Key {
 /// their messages (CP-2.1 join ordering: the country filter is far more
 /// selective than the message scan).
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the home
+/// country's residents fan out as morsels; group counts are additive so
+/// the deterministic merge order reproduces the sequential totals.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(home) = store.country_by_name(&params.country) else { return Vec::new() };
-    let mut groups: FxHashMap<(Ix, u32), u64> = FxHashMap::default();
-    for p in store.persons_in_country(home) {
-        for m in store.person_messages.targets_of(p) {
-            let dest = store.messages.country[m as usize];
-            if dest == home {
-                continue;
+    let residents: Vec<Ix> = store.persons_in_country(home).collect();
+    let groups = ctx.par_map_reduce(
+        residents.len(),
+        FxHashMap::<(Ix, u32), u64>::default,
+        |acc, range| {
+            for &p in &residents[range] {
+                for m in store.person_messages.targets_of(p) {
+                    let dest = store.messages.country[m as usize];
+                    if dest == home {
+                        continue;
+                    }
+                    let month = store.messages.creation_date[m as usize].month();
+                    *acc.entry((dest, month)).or_insert(0) += 1;
+                }
             }
-            let month = store.messages.creation_date[m as usize].month();
-            *groups.entry((dest, month)).or_insert(0) += 1;
-        }
-    }
+        },
+        |into, from| {
+            for (k, c) in from {
+                *into.entry(k).or_insert(0) += c;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for ((dest, month), count) in groups {
         let row = Row {

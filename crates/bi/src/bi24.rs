@@ -7,7 +7,7 @@
 
 use rustc_hash::{FxHashMap, FxHashSet};
 use snb_engine::topk::sort_truncate;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::has_tag_of_class;
@@ -61,19 +61,39 @@ fn group_rows(store: &Store, groups: FxHashMap<(i32, u32, Ix), (u64, u64)>) -> V
 /// Optimized implementation: start from the class's tags via the
 /// reverse index, dedup messages, then group.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context: the
+/// deduped message set fans out as morsels; counts are additive so the
+/// merge order is immaterial.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(class) = store.tag_class_named(&params.tag_class) else { return Vec::new() };
     let mut seen: FxHashSet<Ix> = FxHashSet::default();
     for t in store.tagclass_tags.targets_of(class) {
         seen.extend(store.tag_message.targets_of(t));
     }
-    let mut groups: FxHashMap<(i32, u32, Ix), (u64, u64)> = FxHashMap::default();
-    for m in seen {
-        let (y, mo) = store.messages.creation_date[m as usize].year_month();
-        let continent = store.country_continent(store.messages.country[m as usize]);
-        let e = groups.entry((y, mo, continent)).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += store.message_likes.degree(m) as u64;
-    }
+    let messages: Vec<Ix> = seen.into_iter().collect();
+    let groups = ctx.par_map_reduce(
+        messages.len(),
+        FxHashMap::<(i32, u32, Ix), (u64, u64)>::default,
+        |acc, range| {
+            for &m in &messages[range] {
+                let (y, mo) = store.messages.creation_date[m as usize].year_month();
+                let continent = store.country_continent(store.messages.country[m as usize]);
+                let e = acc.entry((y, mo, continent)).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += store.message_likes.degree(m) as u64;
+            }
+        },
+        |into, from| {
+            for (k, (msgs, likes)) in from {
+                let e = into.entry(k).or_insert((0, 0));
+                e.0 += msgs;
+                e.1 += likes;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (key, row) in group_rows(store, groups) {
         tk.push(key, row);

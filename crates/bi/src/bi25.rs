@@ -9,6 +9,7 @@
 
 use snb_core::Date;
 use snb_engine::traverse::all_shortest_paths;
+use snb_engine::QueryContext;
 use snb_store::{Ix, Store, NONE};
 
 /// Parameters of BI 25.
@@ -59,26 +60,25 @@ fn pair_weight(store: &Store, a: Ix, b: Ix, lo: snb_core::DateTime, hi: snb_core
 }
 
 /// Shared core: enumerate shortest paths, weight them, sort by weight
-/// descending (ties by path sequence ascending for determinism).
-fn paths_with_weights(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id))
-    else {
+/// descending (ties by path sequence ascending for determinism). Each
+/// path's weight is computed wholly inside one morsel, so the per-path
+/// f64 summation order matches the sequential evaluation exactly.
+fn paths_with_weights(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
+    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
     let lo = params.start_date.at_midnight();
     let hi = params.end_date.plus_days(1).at_midnight();
     let paths = all_shortest_paths(store, a, b);
-    let mut rows: Vec<Row> = paths
-        .into_iter()
-        .map(|path| {
-            let weight: f64 =
-                path.windows(2).map(|w| pair_weight(store, w[0], w[1], lo, hi)).sum();
-            Row {
+    let mut rows: Vec<Row> = ctx.par_scan(paths.len(), |out, range| {
+        for path in &paths[range] {
+            let weight: f64 = path.windows(2).map(|w| pair_weight(store, w[0], w[1], lo, hi)).sum();
+            out.push(Row {
                 person_ids_in_path: path.iter().map(|&p| store.persons.id[p as usize]).collect(),
                 path_weight: weight,
-            }
-        })
-        .collect();
+            });
+        }
+    });
     rows.sort_by(|x, y| {
         y.path_weight
             .partial_cmp(&x.path_weight)
@@ -90,14 +90,18 @@ fn paths_with_weights(store: &Store, params: &Params) -> Vec<Row> {
 
 /// Optimized implementation.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    paths_with_weights(store, params)
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Optimized implementation on an explicit execution context.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
+    paths_with_weights(store, ctx, params)
 }
 
 /// Naive reference: recomputes each pair weight through a full message
 /// scan instead of the creator index.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id))
-    else {
+    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
     let lo = params.start_date.at_midnight();
@@ -113,8 +117,10 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
                     if parent == NONE {
                         continue;
                     }
-                    let (cc, pc) =
-                        (store.messages.creator[c as usize], store.messages.creator[parent as usize]);
+                    let (cc, pc) = (
+                        store.messages.creator[c as usize],
+                        store.messages.creator[parent as usize],
+                    );
                     if !((cc == w[0] && pc == w[1]) || (cc == w[1] && pc == w[0])) {
                         continue;
                     }

@@ -1,6 +1,9 @@
 //! Helpers shared across the BI query implementations.
 
+use std::borrow::Cow;
+
 use snb_core::datetime::DateTime;
+use snb_core::Date;
 use snb_store::{Ix, Store, NONE};
 
 /// The language of a message per BI 18: a Post's own `language`
@@ -33,14 +36,85 @@ pub fn has_tag_in_class_subtree(store: &Store, m: Ix, class: Ix) -> bool {
     store.message_tag.targets_of(m).any(|t| store.tag_in_class_subtree(t, class))
 }
 
-/// All message indices created strictly before `t`.
-pub fn messages_before(store: &Store, t: DateTime) -> impl Iterator<Item = Ix> + '_ {
-    (0..store.messages.len() as Ix).filter(move |&m| store.messages.creation_date[m as usize] < t)
+/// All message indices created strictly before `t` — a binary-searched
+/// prefix of the store's date permutation index when it is fresh, or a
+/// linear-scan fallback after streamed inserts. The slice form is what
+/// the parallel primitives chunk over.
+pub fn messages_before(store: &Store, t: DateTime) -> Cow<'_, [Ix]> {
+    match store.messages_created_before(t) {
+        Some(window) => Cow::Borrowed(window),
+        None => Cow::Owned(
+            (0..store.messages.len() as Ix)
+                .filter(|&m| store.messages.creation_date[m as usize] < t)
+                .collect(),
+        ),
+    }
 }
 
-/// All message indices created strictly after `t`.
-pub fn messages_after(store: &Store, t: DateTime) -> impl Iterator<Item = Ix> + '_ {
-    (0..store.messages.len() as Ix).filter(move |&m| store.messages.creation_date[m as usize] > t)
+/// All message indices created strictly after `t` (same index-or-scan
+/// contract as [`messages_before`]).
+pub fn messages_after(store: &Store, t: DateTime) -> Cow<'_, [Ix]> {
+    match store.messages_created_after(t) {
+        Some(window) => Cow::Borrowed(window),
+        None => Cow::Owned(
+            (0..store.messages.len() as Ix)
+                .filter(|&m| store.messages.creation_date[m as usize] > t)
+                .collect(),
+        ),
+    }
+}
+
+/// All message indices created in the half-open window `[lo, hi)`
+/// (same index-or-scan contract as [`messages_before`]).
+pub fn messages_in(store: &Store, lo: DateTime, hi: DateTime) -> Cow<'_, [Ix]> {
+    match store.messages_created_in(lo, hi) {
+        Some(window) => Cow::Borrowed(window),
+        None => Cow::Owned(
+            (0..store.messages.len() as Ix)
+                .filter(|&m| {
+                    let t = store.messages.creation_date[m as usize];
+                    t >= lo && t < hi
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Half-open `[lo, hi)` timestamp window covering the *inclusive* day
+/// range `[start, end]` — the convention every dated BI parameter pair
+/// uses.
+pub fn day_range_window(start: Date, end: Date) -> (DateTime, DateTime) {
+    (start.at_midnight(), end.plus_days(1).at_midnight())
+}
+
+/// Half-open `[lo, hi)` timestamp window covering the calendar month
+/// `year-month`.
+pub fn month_window(year: i32, month: u32) -> (DateTime, DateTime) {
+    let start = Date::from_ymd(year, month, 1);
+    let (ny, nm) = next_month(year, month);
+    (start.at_midnight(), Date::from_ymd(ny, nm, 1).at_midnight())
+}
+
+/// The calendar month following `(year, month)`, handling the December
+/// rollover.
+pub fn next_month(year: i32, month: u32) -> (i32, u32) {
+    if month == 12 {
+        (year + 1, 1)
+    } else {
+        (year, month + 1)
+    }
+}
+
+/// Simulation-end anchor for the BI 2 age-group calculation.
+pub const AGE_ANCHOR: (i32, u32, u32) = (2013, 1, 1);
+
+/// Age group per BI 2: floor of whole years between the birthday and
+/// the simulation end (2013-01-01), in 5-year buckets.
+pub fn age_group(store: &Store, p: Ix) -> i32 {
+    let bday = store.persons.birthday[p as usize];
+    let anchor = Date::from_ymd(AGE_ANCHOR.0, AGE_ANCHOR.1, AGE_ANCHOR.2);
+    let years = (anchor.0 - bday.0) / 366; // floor of whole years (conservative)
+    years / 5
 }
 
 /// All persons located in `country` (any of its cities), as a vector.
@@ -128,11 +202,28 @@ mod tests {
     fn messages_before_after_partition() {
         let s = store();
         let t = testutil::mid_date().at_midnight();
-        let before = messages_before(s, t).count();
-        let after = messages_after(s, t).count();
+        let before = messages_before(s, t).len();
+        let after = messages_after(s, t).len();
         let at = (0..s.messages.len() as Ix)
             .filter(|&m| s.messages.creation_date[m as usize] == t)
             .count();
         assert_eq!(before + after + at, s.messages.len());
+    }
+
+    #[test]
+    fn window_helpers_are_half_open() {
+        let (lo, hi) = day_range_window(Date::from_ymd(2011, 3, 1), Date::from_ymd(2011, 3, 31));
+        assert_eq!((lo, hi), month_window(2011, 3));
+        assert_eq!(next_month(2011, 12), (2012, 1));
+        assert_eq!(next_month(2011, 1), (2011, 2));
+        let s = store();
+        let in_window = messages_before(s, hi).len() - messages_before(s, lo).len();
+        let scanned = (0..s.messages.len())
+            .filter(|&m| {
+                let t = s.messages.creation_date[m];
+                t >= lo && t < hi
+            })
+            .count();
+        assert_eq!(in_window, scanned);
     }
 }

@@ -46,6 +46,7 @@ pub mod bi25;
 pub mod common;
 pub mod meta;
 
+use snb_engine::QueryContext;
 use snb_store::Store;
 
 /// A parameter binding for any BI query — the uniform currency between
@@ -160,34 +161,42 @@ fn summarize<T: std::fmt::Debug>(rows: &[T]) -> QuerySummary {
     QuerySummary { rows: rows.len(), fingerprint: hash }
 }
 
-/// Runs a BI query through the optimized engine.
+/// Runs a BI query through the optimized engine on the process-global
+/// execution context.
 pub fn run(store: &Store, params: &BiParams) -> QuerySummary {
+    run_with(store, QueryContext::global(), params)
+}
+
+/// Runs a BI query through the optimized engine on an explicit
+/// execution context — the entry point used by the driver, which
+/// constructs one context per benchmark stream.
+pub fn run_with(store: &Store, ctx: &QueryContext, params: &BiParams) -> QuerySummary {
     match params {
-        BiParams::Q1(p) => summarize(&bi01::run(store, p)),
-        BiParams::Q2(p) => summarize(&bi02::run(store, p)),
-        BiParams::Q3(p) => summarize(&bi03::run(store, p)),
-        BiParams::Q4(p) => summarize(&bi04::run(store, p)),
-        BiParams::Q5(p) => summarize(&bi05::run(store, p)),
-        BiParams::Q6(p) => summarize(&bi06::run(store, p)),
-        BiParams::Q7(p) => summarize(&bi07::run(store, p)),
-        BiParams::Q8(p) => summarize(&bi08::run(store, p)),
-        BiParams::Q9(p) => summarize(&bi09::run(store, p)),
-        BiParams::Q10(p) => summarize(&bi10::run(store, p)),
-        BiParams::Q11(p) => summarize(&bi11::run(store, p)),
-        BiParams::Q12(p) => summarize(&bi12::run(store, p)),
-        BiParams::Q13(p) => summarize(&bi13::run(store, p)),
-        BiParams::Q14(p) => summarize(&bi14::run(store, p)),
-        BiParams::Q15(p) => summarize(&bi15::run(store, p)),
-        BiParams::Q16(p) => summarize(&bi16::run(store, p)),
-        BiParams::Q17(p) => summarize(&bi17::run(store, p)),
-        BiParams::Q18(p) => summarize(&bi18::run(store, p)),
-        BiParams::Q19(p) => summarize(&bi19::run(store, p)),
-        BiParams::Q20(p) => summarize(&bi20::run(store, p)),
-        BiParams::Q21(p) => summarize(&bi21::run(store, p)),
-        BiParams::Q22(p) => summarize(&bi22::run(store, p)),
-        BiParams::Q23(p) => summarize(&bi23::run(store, p)),
-        BiParams::Q24(p) => summarize(&bi24::run(store, p)),
-        BiParams::Q25(p) => summarize(&bi25::run(store, p)),
+        BiParams::Q1(p) => summarize(&bi01::run_ctx(store, ctx, p)),
+        BiParams::Q2(p) => summarize(&bi02::run_ctx(store, ctx, p)),
+        BiParams::Q3(p) => summarize(&bi03::run_ctx(store, ctx, p)),
+        BiParams::Q4(p) => summarize(&bi04::run_ctx(store, ctx, p)),
+        BiParams::Q5(p) => summarize(&bi05::run_ctx(store, ctx, p)),
+        BiParams::Q6(p) => summarize(&bi06::run_ctx(store, ctx, p)),
+        BiParams::Q7(p) => summarize(&bi07::run_ctx(store, ctx, p)),
+        BiParams::Q8(p) => summarize(&bi08::run_ctx(store, ctx, p)),
+        BiParams::Q9(p) => summarize(&bi09::run_ctx(store, ctx, p)),
+        BiParams::Q10(p) => summarize(&bi10::run_ctx(store, ctx, p)),
+        BiParams::Q11(p) => summarize(&bi11::run_ctx(store, ctx, p)),
+        BiParams::Q12(p) => summarize(&bi12::run_ctx(store, ctx, p)),
+        BiParams::Q13(p) => summarize(&bi13::run_ctx(store, ctx, p)),
+        BiParams::Q14(p) => summarize(&bi14::run_ctx(store, ctx, p)),
+        BiParams::Q15(p) => summarize(&bi15::run_ctx(store, ctx, p)),
+        BiParams::Q16(p) => summarize(&bi16::run_ctx(store, ctx, p)),
+        BiParams::Q17(p) => summarize(&bi17::run_ctx(store, ctx, p)),
+        BiParams::Q18(p) => summarize(&bi18::run_ctx(store, ctx, p)),
+        BiParams::Q19(p) => summarize(&bi19::run_ctx(store, ctx, p)),
+        BiParams::Q20(p) => summarize(&bi20::run_ctx(store, ctx, p)),
+        BiParams::Q21(p) => summarize(&bi21::run_ctx(store, ctx, p)),
+        BiParams::Q22(p) => summarize(&bi22::run_ctx(store, ctx, p)),
+        BiParams::Q23(p) => summarize(&bi23::run_ctx(store, ctx, p)),
+        BiParams::Q24(p) => summarize(&bi24::run_ctx(store, ctx, p)),
+        BiParams::Q25(p) => summarize(&bi25::run_ctx(store, ctx, p)),
     }
 }
 
@@ -225,7 +234,17 @@ pub fn run_naive(store: &Store, params: &BiParams) -> QuerySummary {
 /// Validation mode (spec §6.2): runs both engines and errors on any
 /// mismatch.
 pub fn validate(store: &Store, params: &BiParams) -> snb_core::SnbResult<QuerySummary> {
-    let optimized = run(store, params);
+    validate_with(store, QueryContext::global(), params)
+}
+
+/// Validation mode on an explicit execution context: the optimized
+/// engine runs on `ctx`, the naive oracle stays single-threaded.
+pub fn validate_with(
+    store: &Store,
+    ctx: &QueryContext,
+    params: &BiParams,
+) -> snb_core::SnbResult<QuerySummary> {
+    let optimized = run_with(store, ctx, params);
     let naive = run_naive(store, params);
     if optimized != naive {
         return Err(snb_core::SnbError::Validation {

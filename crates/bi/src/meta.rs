@@ -27,7 +27,12 @@ pub const CHOKE_POINTS: &[ChokePoint] = &[
         ic: &[9],
     },
     ChokePoint { id: "1.3", name: "Top-k pushdown", bi: &[2, 4, 5, 9, 16, 19, 22], ic: &[11] },
-    ChokePoint { id: "1.4", name: "Low cardinality group-by", bi: &[8, 18, 20, 22, 23, 24], ic: &[] },
+    ChokePoint {
+        id: "1.4",
+        name: "Low cardinality group-by",
+        bi: &[8, 18, 20, 22, 23, 24],
+        ic: &[],
+    },
     ChokePoint {
         id: "2.1",
         name: "Rich join order optimization",
@@ -110,7 +115,12 @@ pub const CHOKE_POINTS: &[ChokePoint] = &[
     },
     // CP-8.2's list is an image in the source; reconstructed from the
     // per-query CP lines available in the text.
-    ChokePoint { id: "8.2", name: "Complex aggregations", bi: &[18, 21], ic: &[1, 3, 4, 5, 12, 14] },
+    ChokePoint {
+        id: "8.2",
+        name: "Complex aggregations",
+        bi: &[18, 21],
+        ic: &[1, 3, 4, 5, 12, 14],
+    },
     ChokePoint {
         id: "8.3",
         name: "Ranking-style queries",
@@ -176,19 +186,10 @@ mod tests {
             (12, &["1.2", "2.2", "3.1", "6.1", "8.5"]),
             (13, &["1.2", "2.2", "2.3", "3.2", "6.1", "8.3", "8.5"]),
             (14, &["1.2", "2.2", "2.3", "3.2", "7.2", "7.3", "7.4", "8.1", "8.5"]),
-            (
-                16,
-                &["1.2", "1.3", "2.3", "2.4", "3.3", "5.3", "7.1", "7.2", "7.3", "8.1", "8.6"],
-            ),
-            (
-                18,
-                &["1.1", "1.2", "1.4", "3.2", "4.2", "4.3", "8.1", "8.2", "8.3", "8.4", "8.5"],
-            ),
+            (16, &["1.2", "1.3", "2.3", "2.4", "3.3", "5.3", "7.1", "7.2", "7.3", "8.1", "8.6"]),
+            (18, &["1.1", "1.2", "1.4", "3.2", "4.2", "4.3", "8.1", "8.2", "8.3", "8.4", "8.5"]),
             (20, &["1.4", "2.1", "6.1", "8.1"]),
-            (
-                21,
-                &["1.2", "2.1", "2.3", "2.4", "3.2", "3.3", "5.1", "5.3", "8.2", "8.4", "8.5"],
-            ),
+            (21, &["1.2", "2.1", "2.3", "2.4", "3.2", "3.3", "5.1", "5.3", "8.2", "8.4", "8.5"]),
         ];
         for (q, expect) in cases {
             let got = choke_points_of_bi(*q);

@@ -192,7 +192,10 @@ impl DateTime {
             return None;
         }
         Some(date.at_midnight().plus_millis(
-            h as i64 * MILLIS_PER_HOUR + mi as i64 * MILLIS_PER_MINUTE + sec as i64 * 1000 + ms as i64,
+            h as i64 * MILLIS_PER_HOUR
+                + mi as i64 * MILLIS_PER_MINUTE
+                + sec as i64 * 1000
+                + ms as i64,
         ))
     }
 }

@@ -211,10 +211,7 @@ mod tests {
             let n = 30_000;
             let sum: usize = (0..n).map(|_| d.sample(&mut rng)).sum();
             let mean = sum as f64 / n as f64;
-            assert!(
-                (mean - target).abs() / target < 0.08,
-                "target {target} realised {mean}"
-            );
+            assert!((mean - target).abs() / target < 0.08, "target {target} realised {mean}");
         }
     }
 

@@ -17,9 +17,7 @@
 
 use rustc_hash::FxHashMap;
 use snb_core::datetime::{DateTime, MILLIS_PER_DAY, MILLIS_PER_HOUR};
-use snb_core::model::{
-    ForumId, ForumKind, MessageId, MessageKind, PersonId, TagId,
-};
+use snb_core::model::{ForumId, ForumKind, MessageId, MessageKind, PersonId, TagId};
 use snb_core::rng::Rng;
 
 use crate::dictionaries::{StaticWorld, COUNTRIES, FILLER_WORDS, TAGS};
@@ -45,9 +43,8 @@ pub struct Flashmob {
 
 /// Generates the flashmob event list for a run.
 pub fn generate_flashmobs(config: &GeneratorConfig, world: &StaticWorld) -> Vec<Flashmob> {
-    let count = ((config.persons as f64 / 100.0) * config.flashmob_per_100_persons)
-        .ceil()
-        .max(1.0) as usize;
+    let count = ((config.persons as f64 / 100.0) * config.flashmob_per_100_persons).ceil().max(1.0)
+        as usize;
     let mut rng = Rng::derive(config.seed, 0, TAG_FLASHMOB);
     let start = config.start.at_midnight().0;
     let end = config.end.at_midnight().0 - MILLIS_PER_DAY;
@@ -207,8 +204,7 @@ fn generate_walls(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
         let forum_id = state.alloc_forum();
         let creation =
             state.clamp(person_created.0 + rng.range_i64(0, MILLIS_PER_HOUR), person_created.0);
-        let mut tags: Vec<TagId> =
-            graph.persons[pi].interests.iter().copied().take(3).collect();
+        let mut tags: Vec<TagId> = graph.persons[pi].interests.iter().copied().take(3).collect();
         tags.dedup();
         let forum = RawForum {
             id: forum_id,
@@ -352,8 +348,8 @@ fn generate_groups(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
         let mut members: Vec<(PersonId, DateTime)> = vec![(moderator_id, creation)];
         for ci in chosen {
             let pix = candidates[ci] as usize;
-            let join = state
-                .uniform_after(&mut rng, creation.0.max(graph.persons[pix].creation_date.0));
+            let join =
+                state.uniform_after(&mut rng, creation.0.max(graph.persons[pix].creation_date.0));
             members.push((graph.persons[pix].id, join));
         }
         for &(person_m, join_date) in &members {
@@ -388,21 +384,20 @@ fn make_post(
     let lo = not_before.0.max(forum.creation_date.0).max(author_rec.creation_date.0);
 
     // Flashmob or uniform background (spec: both kinds of activity)?
-    let (creation, flash_tag) = if !image
-        && !state.flashmobs.is_empty()
-        && rng.chance(state.config.flashmob_post_fraction)
-    {
-        let ev = state.flashmobs[state.flashmob_weights.sample(rng)];
-        if ev.time.0 >= lo {
-            // Cluster within ±36h of the event peak.
-            let jitter = rng.range_i64(-36 * MILLIS_PER_HOUR, 36 * MILLIS_PER_HOUR);
-            (state.clamp(ev.time.0 + jitter, lo), Some(ev.tag))
+    let (creation, flash_tag) =
+        if !image && !state.flashmobs.is_empty() && rng.chance(state.config.flashmob_post_fraction)
+        {
+            let ev = state.flashmobs[state.flashmob_weights.sample(rng)];
+            if ev.time.0 >= lo {
+                // Cluster within ±36h of the event peak.
+                let jitter = rng.range_i64(-36 * MILLIS_PER_HOUR, 36 * MILLIS_PER_HOUR);
+                (state.clamp(ev.time.0 + jitter, lo), Some(ev.tag))
+            } else {
+                (state.uniform_after(rng, lo), None)
+            }
         } else {
             (state.uniform_after(rng, lo), None)
-        }
-    } else {
-        (state.uniform_after(rng, lo), None)
-    };
+        };
 
     let mut tags = enrich_tags(state.world, &forum.tags, rng, 3);
     if let Some(ft) = flash_tag {
@@ -739,7 +734,8 @@ mod tests {
         idx.sort_by_key(|&i| degree[i]);
         let q = g.persons.len() / 4;
         let low: f64 = idx[..q].iter().map(|&i| msgs[i] as f64).sum::<f64>() / q as f64;
-        let high: f64 = idx[idx.len() - q..].iter().map(|&i| msgs[i] as f64).sum::<f64>() / q as f64;
+        let high: f64 =
+            idx[idx.len() - q..].iter().map(|&i| msgs[i] as f64).sum::<f64>() / q as f64;
         assert!(high > low * 1.5, "high-degree activity {high} vs low {low}");
     }
 }

@@ -57,75 +57,419 @@ pub struct CountrySpec {
 /// All countries. Population weights approximate real relative sizes so
 /// person-per-country skew matches the official generator's shape.
 pub const COUNTRIES: &[CountrySpec] = &[
-    CountrySpec { name: "China", continent: 0, population: 1370.0, ip_prefix: 1, languages: &["zh"], cities: &["Beijing", "Shanghai", "Guangzhou", "Shenzhen", "Chengdu", "Wuhan"] },
-    CountrySpec { name: "India", continent: 0, population: 1250.0, ip_prefix: 2, languages: &["hi", "en"], cities: &["Mumbai", "Delhi", "Bangalore", "Chennai", "Kolkata", "Hyderabad"] },
-    CountrySpec { name: "United_States", continent: 3, population: 320.0, ip_prefix: 3, languages: &["en"], cities: &["New_York", "Los_Angeles", "Chicago", "Houston", "Phoenix", "Seattle"] },
-    CountrySpec { name: "Indonesia", continent: 0, population: 255.0, ip_prefix: 4, languages: &["id"], cities: &["Jakarta", "Surabaya", "Bandung", "Medan"] },
-    CountrySpec { name: "Brazil", continent: 4, population: 205.0, ip_prefix: 5, languages: &["pt"], cities: &["Sao_Paulo", "Rio_de_Janeiro", "Brasilia", "Salvador"] },
-    CountrySpec { name: "Pakistan", continent: 0, population: 190.0, ip_prefix: 6, languages: &["ur", "en"], cities: &["Karachi", "Lahore", "Faisalabad"] },
-    CountrySpec { name: "Nigeria", continent: 2, population: 180.0, ip_prefix: 7, languages: &["en"], cities: &["Lagos", "Kano", "Ibadan"] },
-    CountrySpec { name: "Bangladesh", continent: 0, population: 160.0, ip_prefix: 8, languages: &["bn"], cities: &["Dhaka", "Chittagong", "Khulna"] },
-    CountrySpec { name: "Russia", continent: 1, population: 145.0, ip_prefix: 9, languages: &["ru"], cities: &["Moscow", "Saint_Petersburg", "Novosibirsk", "Yekaterinburg"] },
-    CountrySpec { name: "Japan", continent: 0, population: 127.0, ip_prefix: 10, languages: &["ja"], cities: &["Tokyo", "Osaka", "Nagoya", "Sapporo"] },
-    CountrySpec { name: "Mexico", continent: 3, population: 120.0, ip_prefix: 11, languages: &["es"], cities: &["Mexico_City", "Guadalajara", "Monterrey"] },
-    CountrySpec { name: "Philippines", continent: 0, population: 100.0, ip_prefix: 12, languages: &["tl", "en"], cities: &["Manila", "Davao", "Cebu"] },
-    CountrySpec { name: "Vietnam", continent: 0, population: 92.0, ip_prefix: 13, languages: &["vi"], cities: &["Ho_Chi_Minh_City", "Hanoi", "Da_Nang"] },
-    CountrySpec { name: "Egypt", continent: 2, population: 90.0, ip_prefix: 14, languages: &["ar"], cities: &["Cairo", "Alexandria", "Giza"] },
-    CountrySpec { name: "Germany", continent: 1, population: 81.0, ip_prefix: 15, languages: &["de", "en"], cities: &["Berlin", "Hamburg", "Munich", "Cologne"] },
-    CountrySpec { name: "Turkey", continent: 0, population: 78.0, ip_prefix: 16, languages: &["tr"], cities: &["Istanbul", "Ankara", "Izmir"] },
-    CountrySpec { name: "France", continent: 1, population: 66.0, ip_prefix: 17, languages: &["fr"], cities: &["Paris", "Marseille", "Lyon", "Toulouse"] },
-    CountrySpec { name: "United_Kingdom", continent: 1, population: 65.0, ip_prefix: 18, languages: &["en"], cities: &["London", "Birmingham", "Manchester", "Glasgow"] },
-    CountrySpec { name: "Italy", continent: 1, population: 60.0, ip_prefix: 19, languages: &["it"], cities: &["Rome", "Milan", "Naples", "Turin"] },
-    CountrySpec { name: "South_Africa", continent: 2, population: 55.0, ip_prefix: 20, languages: &["en", "af"], cities: &["Johannesburg", "Cape_Town", "Durban"] },
-    CountrySpec { name: "South_Korea", continent: 0, population: 51.0, ip_prefix: 21, languages: &["ko"], cities: &["Seoul", "Busan", "Incheon"] },
-    CountrySpec { name: "Colombia", continent: 4, population: 48.0, ip_prefix: 22, languages: &["es"], cities: &["Bogota", "Medellin", "Cali"] },
-    CountrySpec { name: "Spain", continent: 1, population: 46.0, ip_prefix: 23, languages: &["es"], cities: &["Madrid", "Barcelona", "Valencia"] },
-    CountrySpec { name: "Argentina", continent: 4, population: 43.0, ip_prefix: 24, languages: &["es"], cities: &["Buenos_Aires", "Cordoba", "Rosario"] },
-    CountrySpec { name: "Kenya", continent: 2, population: 46.0, ip_prefix: 25, languages: &["sw", "en"], cities: &["Nairobi", "Mombasa"] },
-    CountrySpec { name: "Canada", continent: 3, population: 36.0, ip_prefix: 26, languages: &["en", "fr"], cities: &["Toronto", "Montreal", "Vancouver"] },
-    CountrySpec { name: "Poland", continent: 1, population: 38.0, ip_prefix: 27, languages: &["pl"], cities: &["Warsaw", "Krakow", "Wroclaw"] },
-    CountrySpec { name: "Australia", continent: 5, population: 24.0, ip_prefix: 28, languages: &["en"], cities: &["Sydney", "Melbourne", "Brisbane", "Perth"] },
-    CountrySpec { name: "Netherlands", continent: 1, population: 17.0, ip_prefix: 29, languages: &["nl", "en"], cities: &["Amsterdam", "Rotterdam", "The_Hague"] },
-    CountrySpec { name: "Hungary", continent: 1, population: 10.0, ip_prefix: 30, languages: &["hu", "en"], cities: &["Budapest", "Debrecen", "Szeged"] },
-    CountrySpec { name: "Sweden", continent: 1, population: 10.0, ip_prefix: 31, languages: &["sv", "en"], cities: &["Stockholm", "Gothenburg", "Malmo"] },
-    CountrySpec { name: "New_Zealand", continent: 5, population: 4.7, ip_prefix: 32, languages: &["en"], cities: &["Auckland", "Wellington", "Christchurch"] },
+    CountrySpec {
+        name: "China",
+        continent: 0,
+        population: 1370.0,
+        ip_prefix: 1,
+        languages: &["zh"],
+        cities: &["Beijing", "Shanghai", "Guangzhou", "Shenzhen", "Chengdu", "Wuhan"],
+    },
+    CountrySpec {
+        name: "India",
+        continent: 0,
+        population: 1250.0,
+        ip_prefix: 2,
+        languages: &["hi", "en"],
+        cities: &["Mumbai", "Delhi", "Bangalore", "Chennai", "Kolkata", "Hyderabad"],
+    },
+    CountrySpec {
+        name: "United_States",
+        continent: 3,
+        population: 320.0,
+        ip_prefix: 3,
+        languages: &["en"],
+        cities: &["New_York", "Los_Angeles", "Chicago", "Houston", "Phoenix", "Seattle"],
+    },
+    CountrySpec {
+        name: "Indonesia",
+        continent: 0,
+        population: 255.0,
+        ip_prefix: 4,
+        languages: &["id"],
+        cities: &["Jakarta", "Surabaya", "Bandung", "Medan"],
+    },
+    CountrySpec {
+        name: "Brazil",
+        continent: 4,
+        population: 205.0,
+        ip_prefix: 5,
+        languages: &["pt"],
+        cities: &["Sao_Paulo", "Rio_de_Janeiro", "Brasilia", "Salvador"],
+    },
+    CountrySpec {
+        name: "Pakistan",
+        continent: 0,
+        population: 190.0,
+        ip_prefix: 6,
+        languages: &["ur", "en"],
+        cities: &["Karachi", "Lahore", "Faisalabad"],
+    },
+    CountrySpec {
+        name: "Nigeria",
+        continent: 2,
+        population: 180.0,
+        ip_prefix: 7,
+        languages: &["en"],
+        cities: &["Lagos", "Kano", "Ibadan"],
+    },
+    CountrySpec {
+        name: "Bangladesh",
+        continent: 0,
+        population: 160.0,
+        ip_prefix: 8,
+        languages: &["bn"],
+        cities: &["Dhaka", "Chittagong", "Khulna"],
+    },
+    CountrySpec {
+        name: "Russia",
+        continent: 1,
+        population: 145.0,
+        ip_prefix: 9,
+        languages: &["ru"],
+        cities: &["Moscow", "Saint_Petersburg", "Novosibirsk", "Yekaterinburg"],
+    },
+    CountrySpec {
+        name: "Japan",
+        continent: 0,
+        population: 127.0,
+        ip_prefix: 10,
+        languages: &["ja"],
+        cities: &["Tokyo", "Osaka", "Nagoya", "Sapporo"],
+    },
+    CountrySpec {
+        name: "Mexico",
+        continent: 3,
+        population: 120.0,
+        ip_prefix: 11,
+        languages: &["es"],
+        cities: &["Mexico_City", "Guadalajara", "Monterrey"],
+    },
+    CountrySpec {
+        name: "Philippines",
+        continent: 0,
+        population: 100.0,
+        ip_prefix: 12,
+        languages: &["tl", "en"],
+        cities: &["Manila", "Davao", "Cebu"],
+    },
+    CountrySpec {
+        name: "Vietnam",
+        continent: 0,
+        population: 92.0,
+        ip_prefix: 13,
+        languages: &["vi"],
+        cities: &["Ho_Chi_Minh_City", "Hanoi", "Da_Nang"],
+    },
+    CountrySpec {
+        name: "Egypt",
+        continent: 2,
+        population: 90.0,
+        ip_prefix: 14,
+        languages: &["ar"],
+        cities: &["Cairo", "Alexandria", "Giza"],
+    },
+    CountrySpec {
+        name: "Germany",
+        continent: 1,
+        population: 81.0,
+        ip_prefix: 15,
+        languages: &["de", "en"],
+        cities: &["Berlin", "Hamburg", "Munich", "Cologne"],
+    },
+    CountrySpec {
+        name: "Turkey",
+        continent: 0,
+        population: 78.0,
+        ip_prefix: 16,
+        languages: &["tr"],
+        cities: &["Istanbul", "Ankara", "Izmir"],
+    },
+    CountrySpec {
+        name: "France",
+        continent: 1,
+        population: 66.0,
+        ip_prefix: 17,
+        languages: &["fr"],
+        cities: &["Paris", "Marseille", "Lyon", "Toulouse"],
+    },
+    CountrySpec {
+        name: "United_Kingdom",
+        continent: 1,
+        population: 65.0,
+        ip_prefix: 18,
+        languages: &["en"],
+        cities: &["London", "Birmingham", "Manchester", "Glasgow"],
+    },
+    CountrySpec {
+        name: "Italy",
+        continent: 1,
+        population: 60.0,
+        ip_prefix: 19,
+        languages: &["it"],
+        cities: &["Rome", "Milan", "Naples", "Turin"],
+    },
+    CountrySpec {
+        name: "South_Africa",
+        continent: 2,
+        population: 55.0,
+        ip_prefix: 20,
+        languages: &["en", "af"],
+        cities: &["Johannesburg", "Cape_Town", "Durban"],
+    },
+    CountrySpec {
+        name: "South_Korea",
+        continent: 0,
+        population: 51.0,
+        ip_prefix: 21,
+        languages: &["ko"],
+        cities: &["Seoul", "Busan", "Incheon"],
+    },
+    CountrySpec {
+        name: "Colombia",
+        continent: 4,
+        population: 48.0,
+        ip_prefix: 22,
+        languages: &["es"],
+        cities: &["Bogota", "Medellin", "Cali"],
+    },
+    CountrySpec {
+        name: "Spain",
+        continent: 1,
+        population: 46.0,
+        ip_prefix: 23,
+        languages: &["es"],
+        cities: &["Madrid", "Barcelona", "Valencia"],
+    },
+    CountrySpec {
+        name: "Argentina",
+        continent: 4,
+        population: 43.0,
+        ip_prefix: 24,
+        languages: &["es"],
+        cities: &["Buenos_Aires", "Cordoba", "Rosario"],
+    },
+    CountrySpec {
+        name: "Kenya",
+        continent: 2,
+        population: 46.0,
+        ip_prefix: 25,
+        languages: &["sw", "en"],
+        cities: &["Nairobi", "Mombasa"],
+    },
+    CountrySpec {
+        name: "Canada",
+        continent: 3,
+        population: 36.0,
+        ip_prefix: 26,
+        languages: &["en", "fr"],
+        cities: &["Toronto", "Montreal", "Vancouver"],
+    },
+    CountrySpec {
+        name: "Poland",
+        continent: 1,
+        population: 38.0,
+        ip_prefix: 27,
+        languages: &["pl"],
+        cities: &["Warsaw", "Krakow", "Wroclaw"],
+    },
+    CountrySpec {
+        name: "Australia",
+        continent: 5,
+        population: 24.0,
+        ip_prefix: 28,
+        languages: &["en"],
+        cities: &["Sydney", "Melbourne", "Brisbane", "Perth"],
+    },
+    CountrySpec {
+        name: "Netherlands",
+        continent: 1,
+        population: 17.0,
+        ip_prefix: 29,
+        languages: &["nl", "en"],
+        cities: &["Amsterdam", "Rotterdam", "The_Hague"],
+    },
+    CountrySpec {
+        name: "Hungary",
+        continent: 1,
+        population: 10.0,
+        ip_prefix: 30,
+        languages: &["hu", "en"],
+        cities: &["Budapest", "Debrecen", "Szeged"],
+    },
+    CountrySpec {
+        name: "Sweden",
+        continent: 1,
+        population: 10.0,
+        ip_prefix: 31,
+        languages: &["sv", "en"],
+        cities: &["Stockholm", "Gothenburg", "Malmo"],
+    },
+    CountrySpec {
+        name: "New_Zealand",
+        continent: 5,
+        population: 4.7,
+        ip_prefix: 32,
+        languages: &["en"],
+        cities: &["Auckland", "Wellington", "Christchurch"],
+    },
 ];
 
 /// Male first-name pool (global dictionary `D`; countries permute it).
 pub const MALE_NAMES: &[&str] = &[
-    "Jan", "Wei", "Arjun", "Carlos", "Dmitri", "Hiro", "Ahmed", "John", "Pierre", "Hans",
-    "Luca", "Pavel", "Kenji", "Rahul", "Miguel", "Omar", "David", "Peter", "Ivan", "Chen",
-    "Ali", "Jose", "Viktor", "Tomas", "Andre", "Sven", "Lars", "Marco", "Adam", "Samuel",
-    "Mehmet", "Otieno", "Kwame", "Santiago", "Mateo", "Akira", "Bao", "Duc", "Emil", "Felix",
-    "Gabor", "Henrik", "Igor", "Jakob", "Karl", "Leon", "Milan", "Nikola", "Oscar", "Piotr",
-    "Quang", "Ravi", "Stefan", "Tariq", "Umar", "Vlad", "Walter", "Xavier", "Yusuf", "Zoltan",
+    "Jan", "Wei", "Arjun", "Carlos", "Dmitri", "Hiro", "Ahmed", "John", "Pierre", "Hans", "Luca",
+    "Pavel", "Kenji", "Rahul", "Miguel", "Omar", "David", "Peter", "Ivan", "Chen", "Ali", "Jose",
+    "Viktor", "Tomas", "Andre", "Sven", "Lars", "Marco", "Adam", "Samuel", "Mehmet", "Otieno",
+    "Kwame", "Santiago", "Mateo", "Akira", "Bao", "Duc", "Emil", "Felix", "Gabor", "Henrik",
+    "Igor", "Jakob", "Karl", "Leon", "Milan", "Nikola", "Oscar", "Piotr", "Quang", "Ravi",
+    "Stefan", "Tariq", "Umar", "Vlad", "Walter", "Xavier", "Yusuf", "Zoltan",
 ];
 
 /// Female first-name pool.
 pub const FEMALE_NAMES: &[&str] = &[
-    "Maria", "Mei", "Priya", "Ana", "Olga", "Yuki", "Fatima", "Jane", "Claire", "Greta",
-    "Sofia", "Elena", "Sakura", "Anita", "Lucia", "Layla", "Sarah", "Petra", "Irina", "Lin",
-    "Aisha", "Carmen", "Vera", "Eva", "Amelie", "Astrid", "Ingrid", "Giulia", "Hannah", "Ruth",
-    "Elif", "Wanjiru", "Abena", "Valentina", "Camila", "Hana", "Linh", "Thi", "Emma", "Frida",
-    "Eszter", "Helga", "Katya", "Johanna", "Karin", "Lea", "Milena", "Nadia", "Oksana", "Paula",
-    "Quyen", "Rani", "Stella", "Tara", "Umay", "Viola", "Wilma", "Xenia", "Yasmin", "Zsofia",
+    "Maria",
+    "Mei",
+    "Priya",
+    "Ana",
+    "Olga",
+    "Yuki",
+    "Fatima",
+    "Jane",
+    "Claire",
+    "Greta",
+    "Sofia",
+    "Elena",
+    "Sakura",
+    "Anita",
+    "Lucia",
+    "Layla",
+    "Sarah",
+    "Petra",
+    "Irina",
+    "Lin",
+    "Aisha",
+    "Carmen",
+    "Vera",
+    "Eva",
+    "Amelie",
+    "Astrid",
+    "Ingrid",
+    "Giulia",
+    "Hannah",
+    "Ruth",
+    "Elif",
+    "Wanjiru",
+    "Abena",
+    "Valentina",
+    "Camila",
+    "Hana",
+    "Linh",
+    "Thi",
+    "Emma",
+    "Frida",
+    "Eszter",
+    "Helga",
+    "Katya",
+    "Johanna",
+    "Karin",
+    "Lea",
+    "Milena",
+    "Nadia",
+    "Oksana",
+    "Paula",
+    "Quyen",
+    "Rani",
+    "Stella",
+    "Tara",
+    "Umay",
+    "Viola",
+    "Wilma",
+    "Xenia",
+    "Yasmin",
+    "Zsofia",
 ];
 
 /// Surname pool.
 pub const SURNAMES: &[&str] = &[
-    "Smith", "Wang", "Kumar", "Garcia", "Ivanov", "Sato", "Hassan", "Brown", "Martin", "Muller",
-    "Rossi", "Petrov", "Tanaka", "Sharma", "Lopez", "Ahmed", "Jones", "Novak", "Kowalski", "Li",
-    "Khan", "Fernandez", "Sokolov", "Svoboda", "Dubois", "Larsson", "Hansen", "Ferrari", "Nagy", "Cohen",
-    "Yilmaz", "Mwangi", "Mensah", "Silva", "Santos", "Yamamoto", "Nguyen", "Tran", "Weber", "Fischer",
-    "Kovacs", "Andersson", "Volkov", "Schmidt", "Becker", "Novotny", "Horvat", "Popescu", "Olsen", "Wozniak",
-    "Pham", "Patel", "Stefanov", "Demir", "Rashid", "Orlov", "Keller", "Moreau", "Osman", "Szabo",
+    "Smith",
+    "Wang",
+    "Kumar",
+    "Garcia",
+    "Ivanov",
+    "Sato",
+    "Hassan",
+    "Brown",
+    "Martin",
+    "Muller",
+    "Rossi",
+    "Petrov",
+    "Tanaka",
+    "Sharma",
+    "Lopez",
+    "Ahmed",
+    "Jones",
+    "Novak",
+    "Kowalski",
+    "Li",
+    "Khan",
+    "Fernandez",
+    "Sokolov",
+    "Svoboda",
+    "Dubois",
+    "Larsson",
+    "Hansen",
+    "Ferrari",
+    "Nagy",
+    "Cohen",
+    "Yilmaz",
+    "Mwangi",
+    "Mensah",
+    "Silva",
+    "Santos",
+    "Yamamoto",
+    "Nguyen",
+    "Tran",
+    "Weber",
+    "Fischer",
+    "Kovacs",
+    "Andersson",
+    "Volkov",
+    "Schmidt",
+    "Becker",
+    "Novotny",
+    "Horvat",
+    "Popescu",
+    "Olsen",
+    "Wozniak",
+    "Pham",
+    "Patel",
+    "Stefanov",
+    "Demir",
+    "Rashid",
+    "Orlov",
+    "Keller",
+    "Moreau",
+    "Osman",
+    "Szabo",
 ];
 
 /// Company-name stems; each country gets a slice of companies named
 /// `<stem>_<country>` (spec resource "Companies by Country").
 pub const COMPANY_STEMS: &[&str] = &[
-    "Airlines", "Telecom", "Motors", "Energy", "Software", "Logistics", "Foods", "Pharma",
-    "Textiles", "Mining", "Construction", "Media", "Insurance", "Shipping",
+    "Airlines",
+    "Telecom",
+    "Motors",
+    "Energy",
+    "Software",
+    "Logistics",
+    "Foods",
+    "Pharma",
+    "Textiles",
+    "Mining",
+    "Construction",
+    "Media",
+    "Insurance",
+    "Shipping",
 ];
 
 /// University-name patterns; cities get `University_of_<city>` and
@@ -180,42 +524,143 @@ pub const TAG_CLASSES: &[(&str, usize)] = &[
 
 /// Tags: `(name, class index into TAG_CLASSES)` (spec "Tags by Country").
 pub const TAGS: &[(&str, usize)] = &[
-    ("Wolfgang_Amadeus_Mozart", 4), ("Ludwig_van_Beethoven", 4), ("Johann_Sebastian_Bach", 4),
-    ("Elvis_Presley", 4), ("David_Bowie", 4), ("Bob_Dylan", 4), ("Frank_Sinatra", 4),
-    ("Aretha_Franklin", 4), ("Miles_Davis", 4), ("Louis_Armstrong", 4), ("Johnny_Cash", 4),
-    ("Freddie_Mercury", 4), ("Michael_Jackson", 4), ("Madonna", 4), ("Prince", 4),
-    ("William_Shakespeare", 5), ("Leo_Tolstoy", 5), ("Charles_Dickens", 5), ("Jane_Austen", 5),
-    ("Mark_Twain", 5), ("Franz_Kafka", 5), ("Pablo_Neruda", 5), ("Rabindranath_Tagore", 5),
-    ("Haruki_Murakami", 5), ("Gabriel_Garcia_Marquez", 5), ("Chinua_Achebe", 5),
-    ("Mahatma_Gandhi", 6), ("Abraham_Lincoln", 7), ("Winston_Churchill", 7),
-    ("Nelson_Mandela", 7), ("Napoleon_Bonaparte", 8), ("Julius_Caesar", 8),
-    ("Augustus", 8), ("Genghis_Khan", 8), ("Cleopatra", 8), ("Queen_Victoria", 8),
-    ("George_Washington", 7), ("Simon_Bolivar", 6), ("Kwame_Nkrumah", 6), ("Sun_Yat-sen", 6),
-    ("Muhammad_Ali", 9), ("Pele", 9), ("Diego_Maradona", 9), ("Usain_Bolt", 9),
-    ("Serena_Williams", 9), ("Roger_Federer", 9), ("Sachin_Tendulkar", 9),
-    ("Albert_Einstein", 10), ("Isaac_Newton", 10), ("Marie_Curie", 10), ("Charles_Darwin", 10),
-    ("Nikola_Tesla", 10), ("Alan_Turing", 10), ("Galileo_Galilei", 10), ("Ada_Lovelace", 10),
-    ("The_Beatles", 12), ("The_Rolling_Stones", 12), ("Queen_(band)", 12), ("Pink_Floyd", 12),
-    ("Led_Zeppelin", 12), ("ABBA", 12), ("U2", 12), ("Radiohead", 12), ("Nirvana", 12),
-    ("IBM", 13), ("General_Motors", 13), ("Toyota", 13), ("Siemens", 13), ("Samsung", 13),
-    ("Abbey_Road", 16), ("The_Dark_Side_of_the_Moon", 16), ("Thriller_(album)", 16),
-    ("Imagine_(song)", 17), ("Hey_Jude", 17), ("Bohemian_Rhapsody", 17),
-    ("War_and_Peace", 19), ("Don_Quixote", 19), ("Moby-Dick", 19), ("Hamlet", 19),
-    ("The_Odyssey", 19), ("One_Hundred_Years_of_Solitude", 19), ("Pride_and_Prejudice", 19),
-    ("Casablanca_(film)", 20), ("Citizen_Kane", 20), ("Seven_Samurai", 20),
-    ("The_Godfather", 20), ("Metropolis_(film)", 20),
-    ("Roman_Empire", 22), ("Ottoman_Empire", 22), ("British_Empire", 22), ("Han_Dynasty", 22),
-    ("Athens", 23), ("Alexandria", 23), ("Kyoto", 23), ("Timbuktu", 23),
-    ("Olympic_Games", 25), ("FIFA_World_Cup", 25), ("Tour_de_France", 25), ("Wimbledon", 25),
-    ("World_War_I", 26), ("World_War_II", 26), ("Battle_of_Waterloo", 26),
-    ("American_Civil_War", 26), ("Hundred_Years_War", 26),
+    ("Wolfgang_Amadeus_Mozart", 4),
+    ("Ludwig_van_Beethoven", 4),
+    ("Johann_Sebastian_Bach", 4),
+    ("Elvis_Presley", 4),
+    ("David_Bowie", 4),
+    ("Bob_Dylan", 4),
+    ("Frank_Sinatra", 4),
+    ("Aretha_Franklin", 4),
+    ("Miles_Davis", 4),
+    ("Louis_Armstrong", 4),
+    ("Johnny_Cash", 4),
+    ("Freddie_Mercury", 4),
+    ("Michael_Jackson", 4),
+    ("Madonna", 4),
+    ("Prince", 4),
+    ("William_Shakespeare", 5),
+    ("Leo_Tolstoy", 5),
+    ("Charles_Dickens", 5),
+    ("Jane_Austen", 5),
+    ("Mark_Twain", 5),
+    ("Franz_Kafka", 5),
+    ("Pablo_Neruda", 5),
+    ("Rabindranath_Tagore", 5),
+    ("Haruki_Murakami", 5),
+    ("Gabriel_Garcia_Marquez", 5),
+    ("Chinua_Achebe", 5),
+    ("Mahatma_Gandhi", 6),
+    ("Abraham_Lincoln", 7),
+    ("Winston_Churchill", 7),
+    ("Nelson_Mandela", 7),
+    ("Napoleon_Bonaparte", 8),
+    ("Julius_Caesar", 8),
+    ("Augustus", 8),
+    ("Genghis_Khan", 8),
+    ("Cleopatra", 8),
+    ("Queen_Victoria", 8),
+    ("George_Washington", 7),
+    ("Simon_Bolivar", 6),
+    ("Kwame_Nkrumah", 6),
+    ("Sun_Yat-sen", 6),
+    ("Muhammad_Ali", 9),
+    ("Pele", 9),
+    ("Diego_Maradona", 9),
+    ("Usain_Bolt", 9),
+    ("Serena_Williams", 9),
+    ("Roger_Federer", 9),
+    ("Sachin_Tendulkar", 9),
+    ("Albert_Einstein", 10),
+    ("Isaac_Newton", 10),
+    ("Marie_Curie", 10),
+    ("Charles_Darwin", 10),
+    ("Nikola_Tesla", 10),
+    ("Alan_Turing", 10),
+    ("Galileo_Galilei", 10),
+    ("Ada_Lovelace", 10),
+    ("The_Beatles", 12),
+    ("The_Rolling_Stones", 12),
+    ("Queen_(band)", 12),
+    ("Pink_Floyd", 12),
+    ("Led_Zeppelin", 12),
+    ("ABBA", 12),
+    ("U2", 12),
+    ("Radiohead", 12),
+    ("Nirvana", 12),
+    ("IBM", 13),
+    ("General_Motors", 13),
+    ("Toyota", 13),
+    ("Siemens", 13),
+    ("Samsung", 13),
+    ("Abbey_Road", 16),
+    ("The_Dark_Side_of_the_Moon", 16),
+    ("Thriller_(album)", 16),
+    ("Imagine_(song)", 17),
+    ("Hey_Jude", 17),
+    ("Bohemian_Rhapsody", 17),
+    ("War_and_Peace", 19),
+    ("Don_Quixote", 19),
+    ("Moby-Dick", 19),
+    ("Hamlet", 19),
+    ("The_Odyssey", 19),
+    ("One_Hundred_Years_of_Solitude", 19),
+    ("Pride_and_Prejudice", 19),
+    ("Casablanca_(film)", 20),
+    ("Citizen_Kane", 20),
+    ("Seven_Samurai", 20),
+    ("The_Godfather", 20),
+    ("Metropolis_(film)", 20),
+    ("Roman_Empire", 22),
+    ("Ottoman_Empire", 22),
+    ("British_Empire", 22),
+    ("Han_Dynasty", 22),
+    ("Athens", 23),
+    ("Alexandria", 23),
+    ("Kyoto", 23),
+    ("Timbuktu", 23),
+    ("Olympic_Games", 25),
+    ("FIFA_World_Cup", 25),
+    ("Tour_de_France", 25),
+    ("Wimbledon", 25),
+    ("World_War_I", 26),
+    ("World_War_II", 26),
+    ("Battle_of_Waterloo", 26),
+    ("American_Civil_War", 26),
+    ("Hundred_Years_War", 26),
 ];
 
 /// Filler vocabulary for message text (spec resource "Tag Text").
 pub const FILLER_WORDS: &[&str] = &[
-    "about", "maybe", "great", "photo", "from", "with", "really", "think", "good", "time",
-    "world", "today", "history", "music", "love", "found", "right", "interesting", "new",
-    "amazing", "thanks", "agree", "read", "heard", "seen", "best", "ever", "wonder", "true",
+    "about",
+    "maybe",
+    "great",
+    "photo",
+    "from",
+    "with",
+    "really",
+    "think",
+    "good",
+    "time",
+    "world",
+    "today",
+    "history",
+    "music",
+    "love",
+    "found",
+    "right",
+    "interesting",
+    "new",
+    "amazing",
+    "thanks",
+    "agree",
+    "read",
+    "heard",
+    "seen",
+    "best",
+    "ever",
+    "wonder",
+    "true",
 ];
 
 /// A resolved static world: places, tag classes, tags, organisations —
@@ -345,9 +790,8 @@ impl StaticWorld {
         let country_sampler = snb_core::dist::CumulativeTable::new(
             &COUNTRIES.iter().map(|c| c.population).collect::<Vec<_>>(),
         );
-        let browser_sampler = snb_core::dist::CumulativeTable::new(
-            &BROWSERS.iter().map(|b| b.1).collect::<Vec<_>>(),
-        );
+        let browser_sampler =
+            snb_core::dist::CumulativeTable::new(&BROWSERS.iter().map(|b| b.1).collect::<Vec<_>>());
 
         // Per-country ranking permutations (the ranking function R).
         let perm = |tag: u64, ci: usize, n: usize| -> Vec<u16> {
@@ -360,8 +804,7 @@ impl StaticWorld {
             (0..COUNTRIES.len()).map(|ci| perm(101, ci, MALE_NAMES.len())).collect();
         let female_name_ranks =
             (0..COUNTRIES.len()).map(|ci| perm(102, ci, FEMALE_NAMES.len())).collect();
-        let surname_ranks =
-            (0..COUNTRIES.len()).map(|ci| perm(103, ci, SURNAMES.len())).collect();
+        let surname_ranks = (0..COUNTRIES.len()).map(|ci| perm(103, ci, SURNAMES.len())).collect();
         let tag_ranks = (0..COUNTRIES.len()).map(|ci| perm(104, ci, TAGS.len())).collect();
 
         // Tag matrix: tags of the same class are strongly correlated;

@@ -168,7 +168,13 @@ impl RawGraph {
     }
 
     /// Total node count including static entities (for experiment E1).
-    pub fn node_count(&self, static_places: usize, static_tags: usize, static_tag_classes: usize, static_orgs: usize) -> u64 {
+    pub fn node_count(
+        &self,
+        static_places: usize,
+        static_tags: usize,
+        static_tag_classes: usize,
+        static_orgs: usize,
+    ) -> u64 {
         (self.persons.len()
             + self.forums.len()
             + self.messages.len()

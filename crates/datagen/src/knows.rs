@@ -34,10 +34,8 @@ pub fn generate_knows(config: &GeneratorConfig, persons: &[RawPerson]) -> Vec<Ra
     if n < 2 {
         return Vec::new();
     }
-    let degree_dist = FacebookDegree::new(
-        config.mean_knows_degree,
-        config.max_knows_degree.min(n - 1).max(1),
-    );
+    let degree_dist =
+        FacebookDegree::new(config.mean_knows_degree, config.max_knows_degree.min(n - 1).max(1));
 
     // Target degree per person (Facebook-like), split across dimensions.
     let mut budgets: Vec<[u32; 3]> = Vec::with_capacity(n);
@@ -118,14 +116,14 @@ fn top_up(
         let lo = persons[pi].creation_date.0.max(persons[qi].creation_date.0);
         let hi = config.end.at_midnight().0 - MILLIS_PER_DAY;
         let creation_date = DateTime(if lo >= hi {
-                lo
-            } else {
-                // Front-biased: friendships tend to form soon after the
-                // later person joins, keeping ~90% of edges before the
-                // bulk/stream cut.
-                let u = rng.next_f64();
-                lo + ((hi - lo) as f64 * u * u * u) as i64
-            });
+            lo
+        } else {
+            // Front-biased: friendships tend to form soon after the
+            // later person joins, keeping ~90% of edges before the
+            // bulk/stream cut.
+            let u = rng.next_f64();
+            lo + ((hi - lo) as f64 * u * u * u) as i64
+        });
         edges.push(RawKnows { a, b, creation_date, dimension });
         // Drop exhausted persons; remove the higher index first so the
         // lower one stays valid (lo_ix < hi_ix always, since i != j).
@@ -314,10 +312,8 @@ mod tests {
         let edges = generate_knows(&c, &p);
         let n = p.len();
         let adj = adjacency(n, &edges);
-        let mut sets: Vec<std::collections::HashSet<usize>> = adj
-            .iter()
-            .map(|v| v.iter().copied().collect())
-            .collect();
+        let mut sets: Vec<std::collections::HashSet<usize>> =
+            adj.iter().map(|v| v.iter().copied().collect()).collect();
         for s in &mut sets {
             s.shrink_to_fit();
         }

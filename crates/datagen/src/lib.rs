@@ -114,10 +114,8 @@ impl GeneratorConfig {
 /// choice, see [`serializer`]).
 pub fn generate(config: &GeneratorConfig) -> RawGraph {
     let world = dictionaries::StaticWorld::build(config.seed);
-    let mut graph = RawGraph {
-        persons: person::generate_persons(config, &world),
-        ..RawGraph::default()
-    };
+    let mut graph =
+        RawGraph { persons: person::generate_persons(config, &world), ..RawGraph::default() };
     graph.knows = knows::generate_knows(config, &graph.persons);
     activity::generate_activity(config, &world, &mut graph);
     graph

@@ -7,7 +7,9 @@ use snb_core::datetime::{Date, DateTime, MILLIS_PER_DAY};
 use snb_core::model::{Gender, OrganisationId, PersonId, TagId};
 use snb_core::rng::Rng;
 
-use crate::dictionaries::{StaticWorld, COUNTRIES, EMAIL_PROVIDERS, FEMALE_NAMES, MALE_NAMES, SURNAMES};
+use crate::dictionaries::{
+    StaticWorld, COUNTRIES, EMAIL_PROVIDERS, FEMALE_NAMES, MALE_NAMES, SURNAMES,
+};
 use crate::graph::RawPerson;
 use crate::GeneratorConfig;
 
@@ -112,8 +114,7 @@ fn generate_person(config: &GeneratorConfig, world: &StaticWorld, i: u64) -> Raw
     let job_count = rng.geometric(0.55).min(2) as usize;
     let mut work_at = Vec::with_capacity(job_count);
     for _ in 0..job_count {
-        let work_country =
-            if rng.chance(0.9) { country } else { rng.index(COUNTRIES.len()) };
+        let work_country = if rng.chance(0.9) { country } else { rng.index(COUNTRIES.len()) };
         if world.companies_by_country[work_country].is_empty() {
             continue;
         }

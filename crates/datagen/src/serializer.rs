@@ -123,11 +123,8 @@ fn write_static(
         track("static", "organisation_0_0.csv");
     } else {
         let mut f = Csv::create(dir, "organisation_0_0.csv", "id|type|name|url")?;
-        let mut loc = Csv::create(
-            dir,
-            "organisation_isLocatedIn_place_0_0.csv",
-            "Organisation.id|Place.id",
-        )?;
+        let mut loc =
+            Csv::create(dir, "organisation_isLocatedIn_place_0_0.csv", "Organisation.id|Place.id")?;
         for (i, u) in world.universities.iter().enumerate() {
             f.row(&[
                 &i.to_string(),
@@ -153,11 +150,8 @@ fn write_static(
 
     // place_0_0.csv (+ isPartOf)
     {
-        let header = if variant.merge_foreign() {
-            "id|name|url|type|isPartOf"
-        } else {
-            "id|name|url|type"
-        };
+        let header =
+            if variant.merge_foreign() { "id|name|url|type|isPartOf" } else { "id|name|url|type" };
         let mut f = Csv::create(dir, "place_0_0.csv", header)?;
         let mut part = if variant.merge_foreign() {
             None
@@ -201,8 +195,7 @@ fn write_static(
 
     // tag_0_0.csv (+ hasType)
     {
-        let header =
-            if variant.merge_foreign() { "id|name|url|hasType" } else { "id|name|url" };
+        let header = if variant.merge_foreign() { "id|name|url|hasType" } else { "id|name|url" };
         let mut f = Csv::create(dir, "tag_0_0.csv", header)?;
         let mut ht = if variant.merge_foreign() {
             None
@@ -226,11 +219,8 @@ fn write_static(
 
     // tagclass_0_0.csv (+ isSubclassOf)
     {
-        let header = if variant.merge_foreign() {
-            "id|name|url|isSubclassOf"
-        } else {
-            "id|name|url"
-        };
+        let header =
+            if variant.merge_foreign() { "id|name|url|isSubclassOf" } else { "id|name|url" };
         let mut f = Csv::create(dir, "tagclass_0_0.csv", header)?;
         let mut sub = if variant.merge_foreign() {
             None
@@ -275,8 +265,7 @@ fn write_dynamic(
     // --- person files ---
     {
         let mut header =
-            "id|firstName|lastName|gender|birthday|creationDate|locationIP|browserUsed"
-                .to_string();
+            "id|firstName|lastName|gender|birthday|creationDate|locationIP|browserUsed".to_string();
         if variant.merge_foreign() {
             header.push_str("|place");
         }
@@ -297,8 +286,7 @@ fn write_dynamic(
                 Some(Csv::create(dir, "person_email_emailaddress_0_0.csv", "Person.id|email")?),
             )
         };
-        let mut interest =
-            Csv::create(dir, "person_hasInterest_tag_0_0.csv", "Person.id|Tag.id")?;
+        let mut interest = Csv::create(dir, "person_hasInterest_tag_0_0.csv", "Person.id|Tag.id")?;
         let mut study = Csv::create(
             dir,
             "person_studyAt_organisation_0_0.csv",
@@ -370,11 +358,8 @@ fn write_dynamic(
 
     // person_knows_person
     {
-        let mut f = Csv::create(
-            dir,
-            "person_knows_person_0_0.csv",
-            "Person.id|Person.id|creationDate",
-        )?;
+        let mut f =
+            Csv::create(dir, "person_knows_person_0_0.csv", "Person.id|Person.id|creationDate")?;
         for k in graph.knows.iter().filter(|k| in_bulk(k.creation_date)) {
             f.row(&[&k.a.0.to_string(), &k.b.0.to_string(), &k.creation_date.to_string()])?;
         }
@@ -394,16 +379,18 @@ fn write_dynamic(
         } else {
             Some(Csv::create(dir, "forum_hasModerator_person_0_0.csv", "Forum.id|Person.id")?)
         };
-        let mut member = Csv::create(
-            dir,
-            "forum_hasMember_person_0_0.csv",
-            "Forum.id|Person.id|joinDate",
-        )?;
+        let mut member =
+            Csv::create(dir, "forum_hasMember_person_0_0.csv", "Forum.id|Person.id|joinDate")?;
         let mut ftag = Csv::create(dir, "forum_hasTag_tag_0_0.csv", "Forum.id|Tag.id")?;
         for fo in graph.forums.iter().filter(|f| in_bulk(f.creation_date)) {
             let id = fo.id.0.to_string();
             if variant.merge_foreign() {
-                f.row(&[&id, &fo.title, &fo.creation_date.to_string(), &fo.moderator.0.to_string()])?;
+                f.row(&[
+                    &id,
+                    &fo.title,
+                    &fo.creation_date.to_string(),
+                    &fo.moderator.0.to_string(),
+                ])?;
             } else {
                 f.row(&[&id, &fo.title, &fo.creation_date.to_string()])?;
                 moderator.as_mut().unwrap().row(&[&id, &fo.moderator.0.to_string()])?;
@@ -451,10 +438,8 @@ fn write_dynamic(
             .filter(|m| m.kind == MessageKind::Post && in_bulk(m.creation_date))
         {
             let id = m.id.0.to_string();
-            let lang = m
-                .language
-                .map(|l| world.languages[l as usize].to_string())
-                .unwrap_or_default();
+            let lang =
+                m.language.map(|l| world.languages[l as usize].to_string()).unwrap_or_default();
             let image = m.image_file.clone().unwrap_or_default();
             let mut fields: Vec<String> = vec![
                 id.clone(),
@@ -502,33 +487,22 @@ fn write_dynamic(
             header.push_str("|creator|place|replyOfPost|replyOfComment");
         }
         let mut f = Csv::create(dir, "comment_0_0.csv", &header)?;
-        let (mut creator, mut located, mut reply_post, mut reply_comment) =
-            if variant.merge_foreign() {
-                (None, None, None, None)
-            } else {
-                (
-                    Some(Csv::create(
-                        dir,
-                        "comment_hasCreator_person_0_0.csv",
-                        "Comment.id|Person.id",
-                    )?),
-                    Some(Csv::create(
-                        dir,
-                        "comment_isLocatedIn_place_0_0.csv",
-                        "Comment.id|Place.id",
-                    )?),
-                    Some(Csv::create(
-                        dir,
-                        "comment_replyOf_post_0_0.csv",
-                        "Comment.id|Post.id",
-                    )?),
-                    Some(Csv::create(
-                        dir,
-                        "comment_replyOf_comment_0_0.csv",
-                        "Comment.id|Comment.id",
-                    )?),
-                )
-            };
+        let (mut creator, mut located, mut reply_post, mut reply_comment) = if variant
+            .merge_foreign()
+        {
+            (None, None, None, None)
+        } else {
+            (
+                Some(Csv::create(
+                    dir,
+                    "comment_hasCreator_person_0_0.csv",
+                    "Comment.id|Person.id",
+                )?),
+                Some(Csv::create(dir, "comment_isLocatedIn_place_0_0.csv", "Comment.id|Place.id")?),
+                Some(Csv::create(dir, "comment_replyOf_post_0_0.csv", "Comment.id|Post.id")?),
+                Some(Csv::create(dir, "comment_replyOf_comment_0_0.csv", "Comment.id|Comment.id")?),
+            )
+        };
         let mut ctag = Csv::create(dir, "comment_hasTag_tag_0_0.csv", "Comment.id|Tag.id")?;
         for m in graph
             .messages
@@ -588,22 +562,13 @@ fn write_dynamic(
 
     // --- likes ---
     {
-        let mut post_likes = Csv::create(
-            dir,
-            "person_likes_post_0_0.csv",
-            "Person.id|Post.id|creationDate",
-        )?;
-        let mut comment_likes = Csv::create(
-            dir,
-            "person_likes_comment_0_0.csv",
-            "Person.id|Comment.id|creationDate",
-        )?;
+        let mut post_likes =
+            Csv::create(dir, "person_likes_post_0_0.csv", "Person.id|Post.id|creationDate")?;
+        let mut comment_likes =
+            Csv::create(dir, "person_likes_comment_0_0.csv", "Person.id|Comment.id|creationDate")?;
         for l in graph.likes.iter().filter(|l| in_bulk(l.creation_date)) {
-            let row = [
-                l.person.0.to_string(),
-                l.message.0.to_string(),
-                l.creation_date.to_string(),
-            ];
+            let row =
+                [l.person.0.to_string(), l.message.0.to_string(), l.creation_date.to_string()];
             let refs: Vec<&str> = row.iter().map(|s| s.as_str()).collect();
             match graph.messages[l.message.0 as usize].kind {
                 MessageKind::Post => post_likes.row(&refs)?,
@@ -668,14 +633,8 @@ mod tests {
         let dir = tmpdir("comp");
         let files = serialize(&g, &w, CsvVariant::Composite, c.stream_cut(), &dir).unwrap();
         assert_eq!(files.len(), 31, "files: {files:?}");
-        let files = serialize(
-            &g,
-            &w,
-            CsvVariant::CompositeMergeForeign,
-            c.stream_cut(),
-            &dir,
-        )
-        .unwrap();
+        let files =
+            serialize(&g, &w, CsvVariant::CompositeMergeForeign, c.stream_cut(), &dir).unwrap();
         assert_eq!(files.len(), 18, "files: {files:?}");
         let _ = fs::remove_dir_all(&dir);
     }

@@ -174,10 +174,7 @@ pub fn write_update_streams(
                 let langs: Vec<&str> =
                     p.languages.iter().map(|&l| world.languages[l as usize]).collect();
                 let tag_ids: Vec<String> = p.interests.iter().map(|t| t.0.to_string()).collect();
-                let study = p
-                    .study_at
-                    .map(|(o, y)| format!("{},{y}", o.0))
-                    .unwrap_or_default();
+                let study = p.study_at.map(|(o, y)| format!("{},{y}", o.0)).unwrap_or_default();
                 let work: Vec<String> =
                     p.work_at.iter().map(|(o, y)| format!("{},{y}", o.0)).collect();
                 writeln!(
@@ -219,10 +216,8 @@ pub fn write_update_streams(
             }
             UpdateEvent::AddPost(m) => {
                 let tags: Vec<String> = m.tags.iter().map(|t| t.0.to_string()).collect();
-                let lang = m
-                    .language
-                    .map(|l| world.languages[l as usize].to_string())
-                    .unwrap_or_default();
+                let lang =
+                    m.language.map(|l| world.languages[l as usize].to_string()).unwrap_or_default();
                 writeln!(
                     forum_w,
                     "{prefix}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
@@ -243,13 +238,9 @@ pub fn write_update_streams(
             UpdateEvent::AddComment(m) => {
                 let tags: Vec<String> = m.tags.iter().map(|t| t.0.to_string()).collect();
                 let parent = m.reply_of.expect("comment has parent");
-                let parent_is_post =
-                    graph.messages[parent.0 as usize].kind == MessageKind::Post;
-                let (reply_post, reply_comment) = if parent_is_post {
-                    (parent.0 as i64, -1)
-                } else {
-                    (-1, parent.0 as i64)
-                };
+                let parent_is_post = graph.messages[parent.0 as usize].kind == MessageKind::Post;
+                let (reply_post, reply_comment) =
+                    if parent_is_post { (parent.0 as i64, -1) } else { (-1, parent.0 as i64) };
                 writeln!(
                     forum_w,
                     "{prefix}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
@@ -323,9 +314,7 @@ mod tests {
         assert_eq!(streamed_persons + bulk_persons, g.persons.len());
         let streamed_msgs = events
             .iter()
-            .filter(|e| {
-                matches!(e.event, UpdateEvent::AddPost(_) | UpdateEvent::AddComment(_))
-            })
+            .filter(|e| matches!(e.event, UpdateEvent::AddPost(_) | UpdateEvent::AddComment(_)))
             .count();
         let bulk_msgs = g.messages.iter().filter(|m| m.creation_date < cut).count();
         assert_eq!(streamed_msgs + bulk_msgs, g.messages.len());
@@ -341,8 +330,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         write_update_streams(&events, &w, &g, &dir).unwrap();
         let forum =
-            std::fs::read_to_string(dir.join("social_network/updateStream_0_0_forum.csv"))
-                .unwrap();
+            std::fs::read_to_string(dir.join("social_network/updateStream_0_0_forum.csv")).unwrap();
         for line in forum.lines().take(50) {
             let fields: Vec<&str> = line.split('|').collect();
             assert!(fields.len() >= 4);

@@ -87,7 +87,11 @@ fn write_static(world: &StaticWorld, base: &Path) -> SnbResult<()> {
             )?;
         } else if kind == "City" {
             if let Some(ci) = world.country_of_city(snb_core::model::PlaceId(pid as u64)) {
-                writeln!(w, "sn:place{pid} snvoc:isPartOf sn:place{} .", world.country_place[ci].0)?;
+                writeln!(
+                    w,
+                    "sn:place{pid} snvoc:isPartOf sn:place{} .",
+                    world.country_place[ci].0
+                )?;
             }
         }
     }
@@ -266,15 +270,11 @@ mod tests {
             // Every statement line ends in ';' or '.' — a crude
             // well-formedness check that catches missing terminators.
             for line in content.lines().filter(|l| !l.is_empty() && !l.starts_with('@')) {
-                assert!(
-                    line.ends_with(';') || line.ends_with('.'),
-                    "unterminated line: {line}"
-                );
+                assert!(line.ends_with(';') || line.ends_with('.'), "unterminated line: {line}");
             }
         }
         // The dynamic file mentions all bulk persons.
-        let dynamic =
-            fs::read_to_string(dir.join("social_network/0_ldbc_socialnet.ttl")).unwrap();
+        let dynamic = fs::read_to_string(dir.join("social_network/0_ldbc_socialnet.ttl")).unwrap();
         let cut = c.stream_cut();
         for p in graph.persons.iter().filter(|p| p.creation_date < cut) {
             assert!(dynamic.contains(&format!("sn:pers{} rdf:type", p.id.0)));

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use snb_bi::BiParams;
 use snb_core::SnbResult;
+use snb_engine::QueryContext;
 use snb_params::ParamGen;
 use snb_store::Store;
 
@@ -73,9 +74,22 @@ fn stats_for(query: u8, lats: &[Duration], rows: usize) -> QueryStats {
 }
 
 /// Runs the power test over queries `queries` with `bindings_per_query`
-/// curated bindings each.
+/// curated bindings each, on a context sized from `SNB_THREADS`.
 pub fn power_test(
     store: &Store,
+    queries: &[u8],
+    bindings_per_query: usize,
+    engine: Engine,
+    seed: u64,
+) -> Vec<QueryStats> {
+    power_test_ctx(store, &QueryContext::from_env(), queries, bindings_per_query, engine, seed)
+}
+
+/// Runs the power test on an explicit execution context: the power
+/// stream is sequential, so one context serves every query in it.
+pub fn power_test_ctx(
+    store: &Store,
+    ctx: &QueryContext,
     queries: &[u8],
     bindings_per_query: usize,
     engine: Engine,
@@ -90,7 +104,7 @@ pub fn power_test(
         for b in &bindings {
             let started = Instant::now();
             let summary = match engine {
-                Engine::Optimized => snb_bi::run(store, b),
+                Engine::Optimized => snb_bi::run_with(store, ctx, b),
                 Engine::Naive => snb_bi::run_naive(store, b),
             };
             lats.push(started.elapsed());
@@ -104,11 +118,12 @@ pub fn power_test(
 /// Runs `bindings` (pre-generated) and returns their latencies — used
 /// by experiment E4 to compare curated against random bindings.
 pub fn run_bindings(store: &Store, bindings: &[BiParams]) -> Vec<Duration> {
+    let ctx = QueryContext::from_env();
     bindings
         .iter()
         .map(|b| {
             let started = Instant::now();
-            let _ = snb_bi::run(store, b);
+            let _ = snb_bi::run_with(store, &ctx, b);
             started.elapsed()
         })
         .collect()
@@ -146,13 +161,19 @@ pub fn throughput_test(
     let executed = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
+            scope.spawn(|| {
+                // One context per stream: the streams already saturate
+                // the cores, so each query runs single-threaded inside
+                // its stream (no oversubscription).
+                let ctx = QueryContext::single_threaded();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let _ = snb_bi::run_with(store, &ctx, &work[i]);
+                    executed.fetch_add(1, Ordering::Relaxed);
                 }
-                let _ = snb_bi::run(store, &work[i]);
-                executed.fetch_add(1, Ordering::Relaxed);
             });
         }
     });
@@ -175,10 +196,11 @@ pub fn validate_all(
     seed: u64,
 ) -> SnbResult<usize> {
     let gen = ParamGen::new(store, seed);
+    let ctx = QueryContext::from_env();
     let mut validated = 0;
     for &q in queries {
         for b in gen.bi_params(q, bindings_per_query) {
-            snb_bi::validate(store, &b)?;
+            snb_bi::validate_with(store, &ctx, &b)?;
             validated += 1;
         }
     }
@@ -186,9 +208,8 @@ pub fn validate_all(
 }
 
 /// All 25 BI query numbers.
-pub const ALL_BI_QUERIES: [u8; 25] = [
-    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
-];
+pub const ALL_BI_QUERIES: [u8; 25] =
+    [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25];
 
 #[cfg(test)]
 mod tests {
@@ -232,11 +253,8 @@ mod tests {
 
     #[test]
     fn stats_math() {
-        let lats = [
-            Duration::from_micros(100),
-            Duration::from_micros(200),
-            Duration::from_micros(300),
-        ];
+        let lats =
+            [Duration::from_micros(100), Duration::from_micros(200), Duration::from_micros(300)];
         let s = stats_for(9, &lats, 5);
         assert_eq!(s.mean, Duration::from_micros(200));
         assert_eq!(s.p50, Duration::from_micros(200));

@@ -67,13 +67,21 @@ pub fn run_concurrent(
             let done = &done;
             let reads = &reads;
             scope.spawn(move || {
+                // One execution context per reader stream; intra-query
+                // parallelism stays off so the reader threads themselves
+                // are the unit of concurrency.
+                let ctx = snb_engine::QueryContext::single_threaded();
                 let mut i = r; // offset so readers hit different bindings
                 while !done.load(Ordering::Acquire) {
                     if bindings.is_empty() {
                         break;
                     }
                     let guard = lock.read();
-                    let _ = snb_interactive::run_complex(&guard, &bindings[i % bindings.len()]);
+                    let _ = snb_interactive::run_complex_with(
+                        &guard,
+                        &ctx,
+                        &bindings[i % bindings.len()],
+                    );
                     drop(guard);
                     reads.fetch_add(1, Ordering::Relaxed);
                     i += reader_threads;
@@ -88,9 +96,7 @@ pub fn run_concurrent(
             scope.spawn(move || {
                 while !done.load(Ordering::Acquire) {
                     let guard = lock.read();
-                    guard
-                        .validate_invariants()
-                        .expect("reader observed a half-applied update");
+                    guard.validate_invariants().expect("reader observed a half-applied update");
                     drop(guard);
                     checks.fetch_add(1, Ordering::Relaxed);
                     std::thread::yield_now();
@@ -149,8 +155,7 @@ mod tests {
             let gen = ParamGen::new(&store, c.seed);
             (1..=14u8).flat_map(|q| gen.ic_params(q, 1)).collect()
         };
-        let (concurrent, report) =
-            run_concurrent(store, &world, &events, &bindings, 3).unwrap();
+        let (concurrent, report) = run_concurrent(store, &world, &events, &bindings, 3).unwrap();
         assert_eq!(report.updates_applied, events.len());
         assert!(report.reads_executed > 0, "readers never ran");
         assert!(report.consistency_checks > 0, "checker never ran");

@@ -49,9 +49,9 @@ impl SystemDetails {
         let memory_mib = std::fs::read_to_string("/proc/meminfo")
             .ok()
             .and_then(|m| {
-                m.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
-                    l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok())
-                })
+                m.lines()
+                    .find(|l| l.starts_with("MemTotal"))
+                    .and_then(|l| l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok()))
             })
             .map(|kb| kb / 1024)
             .unwrap_or(0);

@@ -215,11 +215,7 @@ fn run_short_sequence(
             return 0;
         }
         let pid = person_pool[rng.index(person_pool.len())];
-        for (name, runner) in [
-            ("IS 1", 1u8),
-            ("IS 2", 2),
-            ("IS 3", 3),
-        ] {
+        for (name, runner) in [("IS 1", 1u8), ("IS 2", 2), ("IS 3", 3)] {
             let actual = wall_start.elapsed();
             let started = Instant::now();
             let rows = match runner {
@@ -292,13 +288,8 @@ mod tests {
     #[test]
     fn full_speed_run_executes_everything() {
         let (mut store, world, events) = setup();
-        let report = run_interactive(
-            &mut store,
-            &world,
-            &events,
-            &InteractiveConfig::default(),
-        )
-        .unwrap();
+        let report =
+            run_interactive(&mut store, &world, &events, &InteractiveConfig::default()).unwrap();
         assert_eq!(report.updates_applied, events.len());
         assert!(report.complex_reads > 0, "no complex reads scheduled");
         assert!(report.short_reads > 0, "no short reads chained");
@@ -324,9 +315,7 @@ mod tests {
         };
         let report = run_interactive(&mut store, &world, &slice, &config).unwrap();
         assert!(report.log.passes_audit(), "run missed its schedule");
-        assert!(
-            report.log.on_schedule_fraction(std::time::Duration::from_secs(1)) > 0.99
-        );
+        assert!(report.log.on_schedule_fraction(std::time::Duration::from_secs(1)) > 0.99);
     }
 
     #[test]

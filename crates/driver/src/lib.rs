@@ -22,7 +22,10 @@ pub mod interactive;
 pub mod log;
 pub mod schedule;
 
-pub use bi::{power_test, throughput_test, validate_all, Engine, QueryStats, ALL_BI_QUERIES};
+pub use bi::{
+    power_test, power_test_ctx, throughput_test, validate_all, Engine, QueryStats,
+    ThroughputReport, ALL_BI_QUERIES,
+};
 pub use concurrent::{run_concurrent, ConcurrentReport};
 pub use interactive::{run_interactive, InteractiveConfig, InteractiveReport, Pacing};
 pub use log::{LogRecord, ResultsLog};

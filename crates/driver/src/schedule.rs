@@ -104,10 +104,8 @@ mod tests {
         let updates = ops.iter().filter(|o| matches!(o.kind, OpKind::Update(_))).count();
         assert_eq!(updates, 10_000);
         for q in 1..=14u8 {
-            let count = ops
-                .iter()
-                .filter(|o| matches!(o.kind, OpKind::Complex(qq, _) if qq == q))
-                .count();
+            let count =
+                ops.iter().filter(|o| matches!(o.kind, OpKind::Complex(qq, _) if qq == q)).count();
             let expect = 10_000 / freq[q as usize - 1] as usize;
             assert_eq!(count, expect, "IC {q}");
         }

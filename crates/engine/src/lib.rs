@@ -5,6 +5,10 @@
 //! The query-execution toolkit the workload implementations are built
 //! from:
 //!
+//! * [`exec`] — the morsel-driven parallel execution layer:
+//!   [`QueryContext`] with deterministic `par_scan`/`par_map_reduce`/
+//!   `par_topk` primitives (CP-1.x/CP-3.x scan and aggregation
+//!   parallelism, bit-identical results for any thread count);
 //! * [`topk`] — bounded top-k with the spec's composite tie-breaking
 //!   keys and a pruning hook for choke point CP-1.3;
 //! * [`group`] — `FxHashMap`-backed aggregation helpers (CP-1.2/1.4);
@@ -17,8 +21,10 @@
 //! query is a hand-written physical plan, the way a vendor would
 //! implement the benchmark natively.
 
+pub mod exec;
 pub mod group;
 pub mod topk;
 pub mod traverse;
 
+pub use exec::QueryContext;
 pub use topk::TopK;

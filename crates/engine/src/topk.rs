@@ -185,16 +185,12 @@ mod tests {
         for trial in 0..50 {
             let n = rng.index(200) + 1;
             let k = rng.index(20) + 1;
-            let items: Vec<(u64, u64)> =
-                (0..n).map(|i| (rng.next_bounded(50), i as u64)).collect();
+            let items: Vec<(u64, u64)> = (0..n).map(|i| (rng.next_bounded(50), i as u64)).collect();
             let mut tk = TopK::new(k);
             for &(key, v) in &items {
                 tk.push((key, v), v);
             }
-            let expect = sort_truncate(
-                items.iter().map(|&(key, v)| ((key, v), v)).collect(),
-                k,
-            );
+            let expect = sort_truncate(items.iter().map(|&(key, v)| ((key, v), v)).collect(), k);
             assert_eq!(tk.into_sorted(), expect, "trial {trial} n={n} k={k}");
         }
     }

@@ -101,8 +101,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
         if store.persons.first_name[p as usize] != params.first_name {
             continue;
         }
-        let key =
-            (d, store.persons.last_name[p as usize].clone(), store.persons.id[p as usize]);
+        let key = (d, store.persons.last_name[p as usize].clone(), store.persons.id[p as usize]);
         if !tk.would_accept(&key) {
             continue;
         }
@@ -110,7 +109,6 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     }
     tk.into_sorted()
 }
-
 
 /// Naive reference: tests every person's name, then recomputes their
 /// distance with a from-scratch shortest-path search (no shared BFS).
@@ -156,11 +154,7 @@ mod tests {
             assert_eq!(s.persons.first_name[p as usize], name);
             assert!((1..=3).contains(&r.distance));
             assert_ne!(r.friend_id, hub_person());
-            let d = snb_engine::traverse::shortest_path_len(
-                s,
-                s.person(hub_person()).unwrap(),
-                p,
-            );
+            let d = snb_engine::traverse::shortest_path_len(s, s.person(hub_person()).unwrap(), p);
             assert_eq!(d, r.distance as i32, "distance disagrees with BFS");
         }
     }
@@ -181,8 +175,7 @@ mod tests {
     fn unknown_person_or_name_empty() {
         let s = store();
         assert!(run(s, &Params { person_id: 9_999_999, first_name: "X".into() }).is_empty());
-        assert!(run(s, &Params { person_id: hub_person(), first_name: "Zzzz".into() })
-            .is_empty());
+        assert!(run(s, &Params { person_id: hub_person(), first_name: "Zzzz".into() }).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! that day). Sort: creation date descending, message id ascending;
 //! limit 20.
 
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::{content_or_image, friends};
@@ -39,22 +39,31 @@ const LIMIT: usize = 20;
 
 /// Runs IC 2.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Runs IC 2 on an explicit execution context: friends fan out as
+/// morsels with per-worker bounded heaps; the (date desc, id asc) key
+/// is total, so the merged top-20 is thread-count independent.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(start) = store.person(params.person_id) else { return Vec::new() };
     let cutoff = params.max_date.at_midnight();
-    let mut tk = TopK::new(LIMIT);
-    for f in friends(store, start) {
-        for m in store.person_messages.targets_of(f) {
-            let t = store.messages.creation_date[m as usize];
-            if t >= cutoff {
-                continue;
+    let friends = friends(store, start);
+    let tk: TopK<_, Row> = ctx.par_topk(friends.len(), LIMIT, |tk, range| {
+        for &f in &friends[range] {
+            for m in store.person_messages.targets_of(f) {
+                let t = store.messages.creation_date[m as usize];
+                if t >= cutoff {
+                    continue;
+                }
+                let key = (std::cmp::Reverse(t), store.messages.id[m as usize]);
+                if !tk.would_accept(&key) {
+                    continue;
+                }
+                tk.push(key, to_row(store, f, m));
             }
-            let key = (std::cmp::Reverse(t), store.messages.id[m as usize]);
-            if !tk.would_accept(&key) {
-                continue;
-            }
-            tk.push(key, to_row(store, f, m));
         }
-    }
+    });
     tk.into_sorted()
 }
 
@@ -68,7 +77,6 @@ fn to_row(store: &Store, f: Ix, m: Ix) -> Row {
         message_creation_date: store.messages.creation_date[m as usize],
     }
 }
-
 
 /// Naive reference: full message-table scan with a friend-set test.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {

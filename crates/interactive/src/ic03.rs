@@ -6,7 +6,7 @@
 //! `[start_date, start_date + duration_days)`. Sort: xCount desc, id
 //! asc; limit 20.
 
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::Store;
 
 use crate::common::friends_within_2;
@@ -47,6 +47,13 @@ const LIMIT: usize = 20;
 
 /// Runs IC 3.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Runs IC 3 on an explicit execution context: each circle member's
+/// message-window count is independent, so the circle fans out as
+/// morsels with per-worker bounded heaps.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let (Ok(start), Ok(cx), Ok(cy)) = (
         store.person(params.person_id),
         store.country_by_name(&params.country_x),
@@ -56,42 +63,43 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     };
     let lo = params.start_date.at_midnight();
     let hi = params.start_date.plus_days(params.duration_days as i32).at_midnight();
-    let mut tk = TopK::new(LIMIT);
-    for p in friends_within_2(store, start) {
-        let home = store.person_country(p);
-        if home == cx || home == cy {
-            continue; // only foreigners to both countries
-        }
-        let mut x = 0u64;
-        let mut y = 0u64;
-        for m in store.person_messages.targets_of(p) {
-            let t = store.messages.creation_date[m as usize];
-            if t < lo || t >= hi {
+    let circle = friends_within_2(store, start);
+    let tk: TopK<_, Row> = ctx.par_topk(circle.len(), LIMIT, |tk, range| {
+        for &p in &circle[range] {
+            let home = store.person_country(p);
+            if home == cx || home == cy {
+                continue; // only foreigners to both countries
+            }
+            let mut x = 0u64;
+            let mut y = 0u64;
+            for m in store.person_messages.targets_of(p) {
+                let t = store.messages.creation_date[m as usize];
+                if t < lo || t >= hi {
+                    continue;
+                }
+                let c = store.messages.country[m as usize];
+                if c == cx {
+                    x += 1;
+                } else if c == cy {
+                    y += 1;
+                }
+            }
+            if x == 0 || y == 0 {
                 continue;
             }
-            let c = store.messages.country[m as usize];
-            if c == cx {
-                x += 1;
-            } else if c == cy {
-                y += 1;
-            }
+            let row = Row {
+                person_id: store.persons.id[p as usize],
+                person_first_name: store.persons.first_name[p as usize].clone(),
+                person_last_name: store.persons.last_name[p as usize].clone(),
+                x_count: x,
+                y_count: y,
+                count: x + y,
+            };
+            tk.push((std::cmp::Reverse(x), row.person_id), row);
         }
-        if x == 0 || y == 0 {
-            continue;
-        }
-        let row = Row {
-            person_id: store.persons.id[p as usize],
-            person_first_name: store.persons.first_name[p as usize].clone(),
-            person_last_name: store.persons.last_name[p as usize].clone(),
-            x_count: x,
-            y_count: y,
-            count: x + y,
-        };
-        tk.push((std::cmp::Reverse(x), row.person_id), row);
-    }
+    });
     tk.into_sorted()
 }
-
 
 /// Naive reference: distance recomputed per person, counts via full
 /// message scan.

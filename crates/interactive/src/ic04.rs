@@ -66,7 +66,6 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     tk.into_sorted()
 }
 
-
 /// Naive reference: full post scan (no per-friend adjacency).
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let Ok(start) = store.person(params.person_id) else { return Vec::new() };
@@ -76,8 +75,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let mut in_window: FxHashMap<Ix, u64> = FxHashMap::default();
     let mut before: FxHashSet<Ix> = FxHashSet::default();
     for m in 0..store.messages.len() as Ix {
-        if !store.messages.is_post(m) || !friend_set.contains(&store.messages.creator[m as usize])
-        {
+        if !store.messages.is_post(m) || !friend_set.contains(&store.messages.creator[m as usize]) {
             continue;
         }
         let t = store.messages.creation_date[m as usize];

@@ -58,7 +58,6 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     tk.into_sorted()
 }
 
-
 /// Naive reference: forum-major scan of memberships and a full post
 /// scan per forum.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
@@ -113,8 +112,10 @@ mod tests {
     #[test]
     fn later_min_date_never_grows_forums() {
         let s = store();
-        let early = run(s, &Params { person_id: hub_person(), min_date: Date::from_ymd(2010, 1, 1) });
-        let late = run(s, &Params { person_id: hub_person(), min_date: Date::from_ymd(2012, 10, 1) });
+        let early =
+            run(s, &Params { person_id: hub_person(), min_date: Date::from_ymd(2010, 1, 1) });
+        let late =
+            run(s, &Params { person_id: hub_person(), min_date: Date::from_ymd(2012, 10, 1) });
         // The qualifying membership set shrinks with a later date; at
         // full result materialisation (< limit) the forum count shrinks
         // too. With a limit both are capped, so compare only when under.

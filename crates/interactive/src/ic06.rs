@@ -6,7 +6,7 @@
 //! the supplied extraction; semantics follow the official definition.)
 
 use rustc_hash::FxHashMap;
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::{Ix, Store};
 
 use crate::common::friends_within_2;
@@ -33,23 +33,42 @@ const LIMIT: usize = 10;
 
 /// Runs IC 6.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(start), Ok(tag)) =
-        (store.person(params.person_id), store.tag_named(&params.tag_name))
+    run_ctx(store, QueryContext::global(), params)
+}
+
+/// Runs IC 6 on an explicit execution context: the tag's message list
+/// fans out as morsels; co-occurrence counts are additive, so the merge
+/// order is immaterial.
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
+    let (Ok(start), Ok(tag)) = (store.person(params.person_id), store.tag_named(&params.tag_name))
     else {
         return Vec::new();
     };
     let circle: rustc_hash::FxHashSet<Ix> = friends_within_2(store, start).into_iter().collect();
-    let mut counts: FxHashMap<Ix, u64> = FxHashMap::default();
-    for m in store.tag_message.targets_of(tag) {
-        if !store.messages.is_post(m) || !circle.contains(&store.messages.creator[m as usize]) {
-            continue;
-        }
-        for t in store.message_tag.targets_of(m) {
-            if t != tag {
-                *counts.entry(t).or_insert(0) += 1;
+    let tagged: Vec<Ix> = store.tag_message.targets_of(tag).collect();
+    let counts = ctx.par_map_reduce(
+        tagged.len(),
+        FxHashMap::<Ix, u64>::default,
+        |acc, range| {
+            for &m in &tagged[range] {
+                if !store.messages.is_post(m)
+                    || !circle.contains(&store.messages.creator[m as usize])
+                {
+                    continue;
+                }
+                for t in store.message_tag.targets_of(m) {
+                    if t != tag {
+                        *acc.entry(t).or_insert(0) += 1;
+                    }
+                }
             }
-        }
-    }
+        },
+        |into, from| {
+            for (k, c) in from {
+                *into.entry(k).or_insert(0) += c;
+            }
+        },
+    );
     let mut tk = TopK::new(LIMIT);
     for (t, count) in counts {
         let row = Row { tag_name: store.tags.name[t as usize].clone(), post_count: count };
@@ -58,11 +77,9 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     tk.into_sorted()
 }
 
-
 /// Naive reference: full post scan with per-post tag membership tests.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(start), Ok(tag)) =
-        (store.person(params.person_id), store.tag_named(&params.tag_name))
+    let (Ok(start), Ok(tag)) = (store.person(params.person_id), store.tag_named(&params.tag_name))
     else {
         return Vec::new();
     };
@@ -116,8 +133,7 @@ mod tests {
         let tag_name = busy_tag(s);
         let tag = s.tag_named(&tag_name).unwrap();
         let start = s.person(hub_person()).unwrap();
-        let circle: rustc_hash::FxHashSet<Ix> =
-            friends_within_2(s, start).into_iter().collect();
+        let circle: rustc_hash::FxHashSet<Ix> = friends_within_2(s, start).into_iter().collect();
         for r in run(s, &Params { person_id: hub_person(), tag_name: tag_name.clone() }) {
             let other = s.tag_named(&r.tag_name).unwrap();
             let recount = (0..s.messages.len() as Ix)

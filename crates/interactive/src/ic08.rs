@@ -62,7 +62,6 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     tk.into_sorted()
 }
 
-
 /// Naive reference: full comment scan testing the parent's creator.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     use snb_store::{Ix, NONE};
@@ -96,10 +95,7 @@ mod tests {
     fn replied_person(s: &Store) -> u64 {
         let p = (0..s.persons.len() as Ix)
             .max_by_key(|&p| {
-                s.person_messages
-                    .targets_of(p)
-                    .map(|m| s.message_replies.degree(m))
-                    .sum::<usize>()
+                s.person_messages.targets_of(p).map(|m| s.message_replies.degree(m)).sum::<usize>()
             })
             .unwrap();
         s.persons.id[p as usize]

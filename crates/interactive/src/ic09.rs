@@ -3,7 +3,7 @@
 //! Messages created before a given date by persons within two hops of
 //! the start person. Sort: creation desc, id asc; limit 20.
 
-use snb_engine::TopK;
+use snb_engine::{QueryContext, TopK};
 use snb_store::Store;
 
 use crate::common::{content_or_image, friends_within_2};
@@ -38,35 +38,43 @@ const LIMIT: usize = 20;
 
 /// Runs IC 9.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    let Ok(start) = store.person(params.person_id) else { return Vec::new() };
-    let cutoff = params.max_date.at_midnight();
-    let mut tk = TopK::new(LIMIT);
-    for p in friends_within_2(store, start) {
-        for m in store.person_messages.targets_of(p) {
-            let t = store.messages.creation_date[m as usize];
-            if t >= cutoff {
-                continue;
-            }
-            let key = (std::cmp::Reverse(t), store.messages.id[m as usize]);
-            if !tk.would_accept(&key) {
-                continue;
-            }
-            tk.push(
-                key,
-                Row {
-                    person_id: store.persons.id[p as usize],
-                    person_first_name: store.persons.first_name[p as usize].clone(),
-                    person_last_name: store.persons.last_name[p as usize].clone(),
-                    message_id: store.messages.id[m as usize],
-                    message_content: content_or_image(store, m),
-                    message_creation_date: t,
-                },
-            );
-        }
-    }
-    tk.into_sorted()
+    run_ctx(store, QueryContext::global(), params)
 }
 
+/// Runs IC 9 on an explicit execution context: the two-hop circle fans
+/// out as morsels with per-worker bounded heaps (total sort key, so the
+/// merged top-20 is thread-count independent).
+pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
+    let Ok(start) = store.person(params.person_id) else { return Vec::new() };
+    let cutoff = params.max_date.at_midnight();
+    let circle = friends_within_2(store, start);
+    let tk: TopK<_, Row> = ctx.par_topk(circle.len(), LIMIT, |tk, range| {
+        for &p in &circle[range] {
+            for m in store.person_messages.targets_of(p) {
+                let t = store.messages.creation_date[m as usize];
+                if t >= cutoff {
+                    continue;
+                }
+                let key = (std::cmp::Reverse(t), store.messages.id[m as usize]);
+                if !tk.would_accept(&key) {
+                    continue;
+                }
+                tk.push(
+                    key,
+                    Row {
+                        person_id: store.persons.id[p as usize],
+                        person_first_name: store.persons.first_name[p as usize].clone(),
+                        person_last_name: store.persons.last_name[p as usize].clone(),
+                        message_id: store.messages.id[m as usize],
+                        message_content: content_or_image(store, m),
+                        message_creation_date: t,
+                    },
+                );
+            }
+        }
+    });
+    tk.into_sorted()
+}
 
 /// Naive reference: full message scan with per-author distance
 /// recomputation.

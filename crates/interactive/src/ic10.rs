@@ -84,7 +84,6 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     tk.into_sorted()
 }
 
-
 /// Naive reference: per-person distance recomputation and message scan.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let Ok(start) = store.person(params.person_id) else { return Vec::new() };

@@ -65,14 +65,12 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
                 organization_name: store.organisations.name[org as usize].clone(),
                 organization_work_from_year: from,
             };
-            let key =
-                (from, row.person_id, std::cmp::Reverse(row.organization_name.clone()));
+            let key = (from, row.person_id, std::cmp::Reverse(row.organization_name.clone()));
             tk.push(key, row);
         }
     }
     tk.into_sorted()
 }
-
 
 /// Naive reference: per-person distance recomputation.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {

@@ -81,7 +81,6 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     tk.into_sorted()
 }
 
-
 /// Naive reference: full comment scan with subtree test per tag.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let (Ok(start), Ok(class)) =

@@ -24,19 +24,16 @@ pub struct Row {
 
 /// Runs IC 13.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id))
-    else {
+    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
     vec![Row { shortest_path_length: shortest_path_len(store, a, b) }]
 }
 
-
 /// Naive reference: plain single-direction layered BFS (the optimized
 /// engine uses bidirectional search).
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id))
-    else {
+    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
     if a == b {
@@ -110,10 +107,7 @@ mod tests {
     fn optimized_matches_naive() {
         let s = store();
         for (a, b) in [(0usize, 50usize), (3, 90), (7, 7)] {
-            let p = Params {
-                person1_id: s.persons.id[a],
-                person2_id: s.persons.id[b],
-            };
+            let p = Params { person1_id: s.persons.id[a], person2_id: s.persons.id[b] };
             assert_eq!(run(s, &p), run_naive(s, &p), "{a}->{b}");
         }
     }

@@ -42,8 +42,7 @@ fn pair_weight(store: &Store, a: Ix, b: Ix) -> f64 {
 
 /// Runs IC 14.
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id))
-    else {
+    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
     let mut rows: Vec<Row> = all_shortest_paths(store, a, b)
@@ -62,12 +61,10 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     rows
 }
 
-
 /// Naive reference: pair weights recomputed through a full message
 /// scan per path edge.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
-    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id))
-    else {
+    let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
     let scan_weight = |x: Ix, y: Ix| -> f64 {

@@ -28,6 +28,7 @@ pub mod ic14;
 pub mod short;
 pub mod updates;
 
+use snb_engine::QueryContext;
 use snb_store::Store;
 
 pub use updates::Update;
@@ -91,16 +92,23 @@ impl IcParams {
 /// Runs a complex read, returning its row count (the driver's
 /// type-erased result).
 pub fn run_complex(store: &Store, params: &IcParams) -> usize {
+    run_complex_with(store, QueryContext::global(), params)
+}
+
+/// Runs a complex read on an explicit execution context. The scan-heavy
+/// queries (IC 2, 3, 6, 9) parallelize over it; the point lookups stay
+/// sequential regardless of the context's thread count.
+pub fn run_complex_with(store: &Store, ctx: &QueryContext, params: &IcParams) -> usize {
     match params {
         IcParams::Q1(p) => ic01::run(store, p).len(),
-        IcParams::Q2(p) => ic02::run(store, p).len(),
-        IcParams::Q3(p) => ic03::run(store, p).len(),
+        IcParams::Q2(p) => ic02::run_ctx(store, ctx, p).len(),
+        IcParams::Q3(p) => ic03::run_ctx(store, ctx, p).len(),
         IcParams::Q4(p) => ic04::run(store, p).len(),
         IcParams::Q5(p) => ic05::run(store, p).len(),
-        IcParams::Q6(p) => ic06::run(store, p).len(),
+        IcParams::Q6(p) => ic06::run_ctx(store, ctx, p).len(),
         IcParams::Q7(p) => ic07::run(store, p).len(),
         IcParams::Q8(p) => ic08::run(store, p).len(),
-        IcParams::Q9(p) => ic09::run(store, p).len(),
+        IcParams::Q9(p) => ic09::run_ctx(store, ctx, p).len(),
         IcParams::Q10(p) => ic10::run(store, p).len(),
         IcParams::Q11(p) => ic11::run(store, p).len(),
         IcParams::Q12(p) => ic12::run(store, p).len(),

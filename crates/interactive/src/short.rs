@@ -314,8 +314,8 @@ pub mod is7 {
             .targets_of(m)
             .map(|c| {
                 let author = store.messages.creator[c as usize];
-                let knows = author != original_author
-                    && store.knows.contains(author, original_author);
+                let knows =
+                    author != original_author && store.knows.contains(author, original_author);
                 Row {
                     comment_id: store.messages.id[c as usize],
                     comment_content: store.messages.content[c as usize].clone(),
@@ -356,9 +356,7 @@ mod tests {
     #[test]
     fn is2_recent_messages_sorted_desc() {
         let s = store();
-        let p = (0..s.persons.len() as Ix)
-            .max_by_key(|&p| s.person_messages.degree(p))
-            .unwrap();
+        let p = (0..s.persons.len() as Ix).max_by_key(|&p| s.person_messages.degree(p)).unwrap();
         let rows = is2::run(s, &is2::Params { person_id: s.persons.id[p as usize] });
         assert!(!rows.is_empty());
         assert!(rows.len() <= 10);
@@ -397,18 +395,14 @@ mod tests {
         assert_eq!(content.len(), 1);
         let creator = is5::run(s, &is5::Params { message_id: mid });
         assert_eq!(creator.len(), 1);
-        assert_eq!(
-            creator[0].person_id,
-            s.persons.id[s.messages.creator[7] as usize]
-        );
+        assert_eq!(creator[0].person_id, s.persons.id[s.messages.creator[7] as usize]);
     }
 
     #[test]
     fn is6_resolves_thread_forum_for_comments() {
         let s = store();
-        let comment = (0..s.messages.len() as Ix)
-            .find(|&m| !s.messages.is_post(m))
-            .expect("some comment");
+        let comment =
+            (0..s.messages.len() as Ix).find(|&m| !s.messages.is_post(m)).expect("some comment");
         let rows = is6::run(s, &is6::Params { message_id: s.messages.id[comment as usize] });
         assert_eq!(rows.len(), 1);
         let root = s.messages.root_post[comment as usize];

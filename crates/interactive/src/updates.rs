@@ -154,13 +154,16 @@ mod tests {
         })
         .apply(&mut s)
         .unwrap();
-        let rows =
-            crate::short::is4::run(&s, &crate::short::is4::Params { message_id: 7_000_000 });
+        let rows = crate::short::is4::run(&s, &crate::short::is4::Params { message_id: 7_000_000 });
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].message_content, "fresh post");
-        Update::AddLikePost { person_id: s.persons.id[1], post_id: 7_000_000, creation_date: DateTime(6_000) }
-            .apply(&mut s)
-            .unwrap();
+        Update::AddLikePost {
+            person_id: s.persons.id[1],
+            post_id: 7_000_000,
+            creation_date: DateTime(6_000),
+        }
+        .apply(&mut s)
+        .unwrap();
         let m = s.message(7_000_000).unwrap();
         assert_eq!(s.message_likes.degree(m), 1);
     }

@@ -29,11 +29,8 @@ impl<'a> ParamGen<'a> {
         let person_factor = (0..store.persons.len() as Ix)
             .map(|p| {
                 let deg = store.knows.degree(p) as u64;
-                let friend_msgs: u64 = store
-                    .knows
-                    .targets_of(p)
-                    .map(|f| store.person_messages.degree(f) as u64)
-                    .sum();
+                let friend_msgs: u64 =
+                    store.knows.targets_of(p).map(|f| store.person_messages.degree(f) as u64).sum();
                 deg * 4 + friend_msgs
             })
             .collect();
@@ -98,13 +95,9 @@ impl<'a> ParamGen<'a> {
             for month in 1..=12 {
                 let d = Date::from_ymd(year, month, 1);
                 let cutoff = d.at_midnight();
-                let before = self
-                    .store
-                    .messages
-                    .creation_date
-                    .iter()
-                    .filter(|&&t| t < cutoff)
-                    .count() as u64;
+                let before =
+                    self.store.messages.creation_date.iter().filter(|&&t| t < cutoff).count()
+                        as u64;
                 if before > 0 {
                     dates.push((d, before));
                 }
@@ -127,14 +120,18 @@ impl<'a> ParamGen<'a> {
         self.bi_params_inner(query, n, false)
     }
 
-    fn pick_bindings<T: Clone>(&self, cands: &[(T, u64)], n: usize, curated: bool, tag: u64) -> Vec<T> {
+    fn pick_bindings<T: Clone>(
+        &self,
+        cands: &[(T, u64)],
+        n: usize,
+        curated: bool,
+        tag: u64,
+    ) -> Vec<T> {
         if curated {
             curate(cands, n)
         } else {
             let mut rng = Rng::derive(self.seed, tag, 7777);
-            (0..n.min(cands.len()))
-                .map(|_| cands[rng.index(cands.len())].0.clone())
-                .collect()
+            (0..n.min(cands.len())).map(|_| cands[rng.index(cands.len())].0.clone()).collect()
         }
     }
 
@@ -260,9 +257,7 @@ impl<'a> ParamGen<'a> {
             12 => self
                 .pick_bindings(&self.date_candidates(), n, curated, 12)
                 .into_iter()
-                .map(|date| {
-                    BiParams::Q12(snb_bi::bi12::Params { date, like_threshold: 1 })
-                })
+                .map(|date| BiParams::Q12(snb_bi::bi12::Params { date, like_threshold: 1 }))
                 .collect(),
             13 => self
                 .pick_bindings(&self.countries(), n, curated, 13)

@@ -81,8 +81,7 @@ mod tests {
                 (0..200).map(|i| (i, rng.next_bounded(10_000))).collect();
             let picked_ids = curate(&cands, 20);
             let by_id: std::collections::HashMap<usize, u64> = cands.iter().copied().collect();
-            let picked: Vec<f64> =
-                picked_ids.iter().map(|i| by_id[i] as f64).collect();
+            let picked: Vec<f64> = picked_ids.iter().map(|i| by_id[i] as f64).collect();
             let all: Vec<f64> = cands.iter().map(|&(_, f)| f as f64).collect();
             assert!(variance(&picked) <= variance(&all) + 1e-9);
         }

@@ -50,10 +50,9 @@ pub fn bi_binding_json(p: &BiParams) -> String {
         BiParams::Q3(x) => {
             json_line(&[("year", x.year.to_string()), ("month", x.month.to_string())])
         }
-        BiParams::Q4(x) => json_line(&[
-            ("tagClass", json_str(&x.tag_class)),
-            ("country", json_str(&x.country)),
-        ]),
+        BiParams::Q4(x) => {
+            json_line(&[("tagClass", json_str(&x.tag_class)), ("country", json_str(&x.country))])
+        }
         BiParams::Q5(x) => json_line(&[("country", json_str(&x.country))]),
         BiParams::Q6(x) => json_line(&[("tag", json_str(&x.tag))]),
         BiParams::Q7(x) => json_line(&[("tag", json_str(&x.tag))]),
@@ -63,10 +62,9 @@ pub fn bi_binding_json(p: &BiParams) -> String {
             ("tagClass2", json_str(&x.tag_class2)),
             ("threshold", x.threshold.to_string()),
         ]),
-        BiParams::Q10(x) => json_line(&[
-            ("tag", json_str(&x.tag)),
-            ("date", json_str(&x.date.to_string())),
-        ]),
+        BiParams::Q10(x) => {
+            json_line(&[("tag", json_str(&x.tag)), ("date", json_str(&x.date.to_string()))])
+        }
         BiParams::Q11(x) => json_line(&[
             ("country", json_str(&x.country)),
             (
@@ -122,10 +120,9 @@ pub fn bi_binding_json(p: &BiParams) -> String {
             ("country", json_str(&x.country)),
             ("endDate", json_str(&x.end_date.to_string())),
         ]),
-        BiParams::Q22(x) => json_line(&[
-            ("country1", json_str(&x.country1)),
-            ("country2", json_str(&x.country2)),
-        ]),
+        BiParams::Q22(x) => {
+            json_line(&[("country1", json_str(&x.country1)), ("country2", json_str(&x.country2))])
+        }
         BiParams::Q23(x) => json_line(&[("country", json_str(&x.country))]),
         BiParams::Q24(x) => json_line(&[("tagClass", json_str(&x.tag_class))]),
         BiParams::Q25(x) => json_line(&[
@@ -165,20 +162,18 @@ pub fn ic_binding_json(p: &IcParams) -> String {
             ("personId", x.person_id.to_string()),
             ("minDate", json_str(&x.min_date.to_string())),
         ]),
-        IcParams::Q6(x) => json_line(&[
-            ("personId", x.person_id.to_string()),
-            ("tagName", json_str(&x.tag_name)),
-        ]),
+        IcParams::Q6(x) => {
+            json_line(&[("personId", x.person_id.to_string()), ("tagName", json_str(&x.tag_name))])
+        }
         IcParams::Q7(x) => json_line(&[("personId", x.person_id.to_string())]),
         IcParams::Q8(x) => json_line(&[("personId", x.person_id.to_string())]),
         IcParams::Q9(x) => json_line(&[
             ("personId", x.person_id.to_string()),
             ("maxDate", json_str(&x.max_date.to_string())),
         ]),
-        IcParams::Q10(x) => json_line(&[
-            ("personId", x.person_id.to_string()),
-            ("month", x.month.to_string()),
-        ]),
+        IcParams::Q10(x) => {
+            json_line(&[("personId", x.person_id.to_string()), ("month", x.month.to_string())])
+        }
         IcParams::Q11(x) => json_line(&[
             ("personId", x.person_id.to_string()),
             ("countryName", json_str(&x.country)),
@@ -254,8 +249,7 @@ mod tests {
         let files = write_substitution_files(&gen, 3, &dir).unwrap();
         assert_eq!(files.len(), 39);
         for f in &files {
-            let content =
-                fs::read_to_string(dir.join("substitution_parameters").join(f)).unwrap();
+            let content = fs::read_to_string(dir.join("substitution_parameters").join(f)).unwrap();
             assert!(!content.is_empty(), "{f} empty");
             for line in content.lines() {
                 assert!(line.starts_with('{') && line.ends_with('}'), "{f}: {line}");

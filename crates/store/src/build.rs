@@ -129,9 +129,9 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
         s.messages.content.push(m.content.clone());
         s.messages.length.push(m.length);
         s.messages.image_file.push(m.image_file.clone().unwrap_or_default());
-        s.messages.language.push(
-            m.language.map(|l| world.languages[l as usize].to_string()).unwrap_or_default(),
-        );
+        s.messages
+            .language
+            .push(m.language.map(|l| world.languages[l as usize].to_string()).unwrap_or_default());
         s.messages.forum.push(match m.forum {
             Some(f) => s.forum_ix[&f.0],
             None => NONE,
@@ -181,6 +181,7 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
     let rev: Vec<(u32, u32, DateTime)> = like_edges.iter().map(|&(p, m, d)| (m, p, d)).collect();
     s.message_likes = Adj::from_edges(nm, &rev);
 
+    s.rebuild_date_index();
     s
 }
 
@@ -399,10 +400,7 @@ mod tests {
         for m in 0..s.messages.len() as Ix {
             let parent = s.messages.reply_of[m as usize];
             if parent != NONE {
-                assert!(
-                    s.message_replies.targets_of(parent).any(|r| r == m),
-                    "reply edge missing"
-                );
+                assert!(s.message_replies.targets_of(parent).any(|r| r == m), "reply edge missing");
             }
         }
         for m in 0..s.messages.len() as Ix {
@@ -472,6 +470,40 @@ mod tests {
             }
         }
         assert_eq!(via_helper, s.persons.len());
+    }
+
+    #[test]
+    fn date_index_windows_match_scans() {
+        let mut s = store_for_config(&config(80));
+        assert!(s.date_index_fresh());
+        // Probe a handful of cut points, including both extremes.
+        let mut cuts = s.messages.creation_date.to_vec();
+        cuts.sort_unstable();
+        for &t in
+            [cuts[0], cuts[cuts.len() / 3], cuts[cuts.len() / 2], *cuts.last().unwrap()].iter()
+        {
+            let before = s.messages_created_before(t).unwrap();
+            let after = s.messages_created_after(t).unwrap();
+            let scan_before: Vec<Ix> = (0..s.messages.len() as Ix)
+                .filter(|&m| s.messages.creation_date[m as usize] < t)
+                .collect();
+            let mut sorted = before.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, scan_before);
+            let at = (0..s.messages.len()).filter(|&m| s.messages.creation_date[m] == t).count();
+            assert_eq!(before.len() + at + after.len(), s.messages.len());
+        }
+        // Staleness: truncate the index and confirm the accessors bail.
+        s.message_by_date.pop();
+        assert!(!s.date_index_fresh());
+        assert!(s.messages_created_before(cuts[0]).is_none());
+        s.rebuild_date_index();
+        assert!(s.date_index_fresh());
+        // Chunk surface tiles the column blocks exactly.
+        let total: usize = s.message_chunks(1000).map(|r| r.len()).sum();
+        assert_eq!(total, s.messages.len());
+        let total: usize = s.vertex_chunks(7).map(|r| r.len()).sum();
+        assert_eq!(total, s.persons.len());
     }
 
     #[test]

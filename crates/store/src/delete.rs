@@ -289,13 +289,10 @@ impl Store {
         let rev: Vec<_> = mapped.iter().map(|&(f, p, d)| (p, f, d)).collect();
         self.member_forum = Adj::from_edges(np, &rev);
 
-        let interest_edges = collect_edges(&self.person_interest, |p, _, _| {
-            person_map[p as usize] != NONE
-        });
-        let mapped: Vec<_> = interest_edges
-            .iter()
-            .map(|&(p, t, d)| (person_map[p as usize], t, d))
-            .collect();
+        let interest_edges =
+            collect_edges(&self.person_interest, |p, _, _| person_map[p as usize] != NONE);
+        let mapped: Vec<_> =
+            interest_edges.iter().map(|&(p, t, d)| (person_map[p as usize], t, d)).collect();
         self.person_interest = Adj::from_edges(np, &mapped);
         let rev: Vec<_> = mapped.iter().map(|&(p, t, d)| (t, p, d)).collect();
         self.interest_person = Adj::from_edges(nt, &rev);
@@ -354,6 +351,8 @@ impl Store {
             city_person.push((self.persons.city[p], p as Ix, ()));
         }
         self.city_person = Adj::from_edges(self.places.len(), &city_person);
+
+        self.rebuild_date_index();
     }
 }
 
@@ -383,10 +382,7 @@ fn filter_in_place<T>(items: &mut Vec<T>, keep: impl Fn(usize) -> bool) {
 /// Collects all `(source, target, payload)` edges passing `keep` (in
 /// source-major order; sources whose halves are dropped by `keep` just
 /// produce no edges).
-fn collect_edges<P: Copy>(
-    adj: &Adj<P>,
-    keep: impl Fn(Ix, Ix, P) -> bool,
-) -> Vec<(Ix, Ix, P)> {
+fn collect_edges<P: Copy>(adj: &Adj<P>, keep: impl Fn(Ix, Ix, P) -> bool) -> Vec<(Ix, Ix, P)> {
     let mut out = Vec::with_capacity(adj.edge_count());
     for u in 0..adj.sources() as Ix {
         for (t, p) in adj.neighbors(u) {

@@ -154,19 +154,22 @@ impl Store {
         self.person_moderates.grow_sources(n);
         self.city_person.insert(city, ix, ());
         for t in p.tag_ids {
-            let tix =
-                *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
+            let tix = *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
             self.person_interest.insert(ix, tix, ());
             self.interest_person.insert(tix, ix, ());
         }
         for (org, year) in p.study_at {
-            let o =
-                *self.org_ix.get(&org).ok_or(SnbError::UnknownId { entity: "Organisation", id: org })?;
+            let o = *self
+                .org_ix
+                .get(&org)
+                .ok_or(SnbError::UnknownId { entity: "Organisation", id: org })?;
             self.person_study.insert(ix, o, year);
         }
         for (org, from) in p.work_at {
-            let o =
-                *self.org_ix.get(&org).ok_or(SnbError::UnknownId { entity: "Organisation", id: org })?;
+            let o = *self
+                .org_ix
+                .get(&org)
+                .ok_or(SnbError::UnknownId { entity: "Organisation", id: org })?;
             self.person_work.insert(ix, o, from);
         }
         Ok(ix)
@@ -199,8 +202,7 @@ impl Store {
         self.forum_posts.grow_sources(n);
         self.person_moderates.insert(moderator, ix, ());
         for t in f.tag_ids {
-            let tix =
-                *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
+            let tix = *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
             self.forum_tag.insert(ix, tix, ());
             self.tag_forum.insert(tix, ix, ());
         }
@@ -245,8 +247,7 @@ impl Store {
         self.messages.root_post[ix as usize] = ix;
         self.forum_posts.insert(forum, ix, ());
         for t in post.tag_ids {
-            let tix =
-                *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
+            let tix = *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
             self.message_tag.insert(ix, tix, ());
             self.tag_message.insert(tix, ix, ());
         }
@@ -287,8 +288,7 @@ impl Store {
         self.messages.root_post[ix as usize] = self.messages.root_post[parent as usize];
         self.message_replies.insert(parent, ix, ());
         for t in c.tag_ids {
-            let tix =
-                *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
+            let tix = *self.tag_ix.get(&t).ok_or(SnbError::UnknownId { entity: "Tag", id: t })?;
             self.message_tag.insert(ix, tix, ());
             self.tag_message.insert(tix, ix, ());
         }

@@ -23,15 +23,12 @@ use crate::store::Store;
 
 /// Reads one pipe-separated CSV file, skipping the header, and calls
 /// `f` for each record's fields.
-fn read_csv(
-    dir: &Path,
-    name: &str,
-    mut f: impl FnMut(&[&str]) -> SnbResult<()>,
-) -> SnbResult<()> {
+fn read_csv(dir: &Path, name: &str, mut f: impl FnMut(&[&str]) -> SnbResult<()>) -> SnbResult<()> {
     let path = dir.join(name);
-    let reader = BufReader::new(File::open(&path).map_err(|e| {
-        SnbError::parse(path.display().to_string(), format!("cannot open: {e}"))
-    })?);
+    let reader =
+        BufReader::new(File::open(&path).map_err(|e| {
+            SnbError::parse(path.display().to_string(), format!("cannot open: {e}"))
+        })?);
     let mut lines = reader.lines();
     let _header = lines.next();
     for (lineno, line) in lines.enumerate() {
@@ -428,6 +425,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
     let rev: Vec<_> = likes.iter().map(|&(p, m, d)| (m, p, d)).collect();
     s.message_likes = Adj::from_edges(nm, &rev);
 
+    s.rebuild_date_index();
     Ok(s)
 }
 

@@ -1,5 +1,7 @@
 //! The columnar graph store: columns + CSR adjacency + id/name indexes.
 
+use std::ops::Range;
+
 use rustc_hash::FxHashMap;
 use snb_core::datetime::DateTime;
 use snb_core::model::PlaceKind;
@@ -89,6 +91,13 @@ pub struct Store {
     pub tagclass_tags: Adj,
     /// Person → moderated forums.
     pub person_moderates: Adj,
+
+    /// Message indices permuted into ascending `(creation_date, ix)`
+    /// order. Built by the bulk loader and rebuilt by [`Store::compact`]
+    /// and after deletes; streamed inserts leave it stale (shorter than
+    /// `messages`), in which case the windowed accessors return `None`
+    /// and callers fall back to a full scan.
+    pub message_by_date: Vec<Ix>,
 
     /// Place name → index.
     pub place_by_name: FxHashMap<String, Ix>,
@@ -192,9 +201,76 @@ impl Store {
         self.messages.forum[root as usize]
     }
 
+    /// Rebuilds the `(creation_date, ix)` message permutation index.
+    pub fn rebuild_date_index(&mut self) {
+        let dates = &self.messages.creation_date;
+        let mut perm: Vec<Ix> = (0..self.messages.len() as Ix).collect();
+        perm.sort_unstable_by_key(|&m| (dates[m as usize], m));
+        self.message_by_date = perm;
+    }
+
+    /// Whether the date permutation index covers every message (it goes
+    /// stale when streamed inserts append messages without a rebuild).
+    pub fn date_index_fresh(&self) -> bool {
+        self.message_by_date.len() == self.messages.len()
+    }
+
+    /// Message indices created strictly before `t`, as a binary-searched
+    /// prefix of the date permutation index (ascending `(creation_date,
+    /// ix)` order). `None` when the index is stale.
+    pub fn messages_created_before(&self, t: DateTime) -> Option<&[Ix]> {
+        if !self.date_index_fresh() {
+            return None;
+        }
+        let cut =
+            self.message_by_date.partition_point(|&m| self.messages.creation_date[m as usize] < t);
+        Some(&self.message_by_date[..cut])
+    }
+
+    /// Message indices created in the half-open timestamp window
+    /// `[lo, hi)`, as a binary-searched contiguous run of the date
+    /// permutation index. `None` when the index is stale.
+    pub fn messages_created_in(&self, lo: DateTime, hi: DateTime) -> Option<&[Ix]> {
+        if !self.date_index_fresh() {
+            return None;
+        }
+        if hi <= lo {
+            return Some(&self.message_by_date[0..0]);
+        }
+        let a =
+            self.message_by_date.partition_point(|&m| self.messages.creation_date[m as usize] < lo);
+        let b =
+            self.message_by_date.partition_point(|&m| self.messages.creation_date[m as usize] < hi);
+        Some(&self.message_by_date[a..b])
+    }
+
+    /// Message indices created strictly after `t`, as a binary-searched
+    /// suffix of the date permutation index. `None` when the index is
+    /// stale.
+    pub fn messages_created_after(&self, t: DateTime) -> Option<&[Ix]> {
+        if !self.date_index_fresh() {
+            return None;
+        }
+        let cut =
+            self.message_by_date.partition_point(|&m| self.messages.creation_date[m as usize] <= t);
+        Some(&self.message_by_date[cut..])
+    }
+
+    /// Morsel ranges covering the message column block — the scan
+    /// surface the parallel execution primitives consume.
+    pub fn message_chunks(&self, morsel: usize) -> impl Iterator<Item = Range<usize>> {
+        chunks(self.messages.len(), morsel)
+    }
+
+    /// Morsel ranges covering the person column block.
+    pub fn vertex_chunks(&self, morsel: usize) -> impl Iterator<Item = Range<usize>> {
+        chunks(self.persons.len(), morsel)
+    }
+
     /// Rebuilds the hot CSRs after a batch of inserts (optional; queries
     /// work on the overflow form too).
     pub fn compact(&mut self) {
+        self.rebuild_date_index();
         self.knows.compact();
         self.person_messages.compact();
         self.message_replies.compact();
@@ -242,6 +318,33 @@ impl Store {
         if self.person_likes.edge_count() != self.message_likes.edge_count() {
             return Err(SnbError::Config("likes forward/reverse counts differ".into()));
         }
+        // Date permutation index: when fresh it must be a permutation in
+        // ascending (creation_date, ix) order.
+        if self.date_index_fresh() {
+            let mut seen = vec![false; m];
+            for w in self.message_by_date.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                let ka = (self.messages.creation_date[a], w[0]);
+                let kb = (self.messages.creation_date[b], w[1]);
+                if ka >= kb {
+                    return Err(SnbError::Config("date index out of order".into()));
+                }
+            }
+            for &ix in &self.message_by_date {
+                seen[ix as usize] = true;
+            }
+            if seen.iter().any(|&s| !s) {
+                return Err(SnbError::Config("date index is not a permutation".into()));
+            }
+        }
         Ok(())
     }
+}
+
+/// Morsel ranges `[0, n)` split into `size`-sized pieces (last one
+/// short). Mirrors `snb_engine::exec::chunk_ranges`, re-implemented
+/// here because the store sits below the engine in the crate graph.
+fn chunks(n: usize, size: usize) -> impl Iterator<Item = Range<usize>> {
+    let size = size.max(1);
+    (0..n).step_by(size).map(move |lo| lo..(lo + size).min(n))
 }

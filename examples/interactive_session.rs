@@ -32,8 +32,7 @@ fn main() {
 
     // Profile + friends before the replay.
     let profile = &short::is1::run(&store, &short::is1::Params { person_id: hub_id })[0];
-    let friends_before =
-        short::is3::run(&store, &short::is3::Params { person_id: hub_id }).len();
+    let friends_before = short::is3::run(&store, &short::is3::Params { person_id: hub_id }).len();
     println!(
         "\nIS 1: {} {} (born {}), {} friends before replay",
         profile.first_name, profile.last_name, profile.birthday, friends_before
@@ -50,8 +49,7 @@ fn main() {
         println!("  IU {op}: {count} events");
     }
 
-    let friends_after =
-        short::is3::run(&store, &short::is3::Params { person_id: hub_id }).len();
+    let friends_after = short::is3::run(&store, &short::is3::Params { person_id: hub_id }).len();
     println!("\nIS 3: {friends_before} -> {friends_after} friends after replay");
 
     // Complex reads over the final state.
@@ -62,7 +60,10 @@ fn main() {
     println!("\nIC 2 — latest friend messages:");
     for r in feed.iter().take(5) {
         let preview: String = r.message_content.chars().take(40).collect();
-        println!("  [{}] {} {}: {preview}", r.message_creation_date, r.person_first_name, r.person_last_name);
+        println!(
+            "  [{}] {} {}: {preview}",
+            r.message_creation_date, r.person_first_name, r.person_last_name
+        );
     }
 
     let other = store.persons.id[(hub as usize + store.persons.len() / 2) % store.persons.len()];

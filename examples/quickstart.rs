@@ -29,7 +29,10 @@ fn main() {
     //    than a given number of likes.
     let params = bi12::Params { date: Date::from_ymd(2011, 6, 1), like_threshold: 2 };
     let rows = bi12::run(&store, &params);
-    println!("\nBI 12 — trending posts after {} with > {} likes:", params.date, params.like_threshold);
+    println!(
+        "\nBI 12 — trending posts after {} with > {} likes:",
+        params.date, params.like_threshold
+    );
     for r in rows.iter().take(10) {
         println!(
             "  {:>6}  {} {}  {} likes  ({})",

@@ -40,6 +40,54 @@ fn full_pipeline_is_a_pure_function_of_the_seed() {
 }
 
 #[test]
+fn every_bi_query_is_thread_count_invariant() {
+    // The morsel-driven execution contract: results are bit-identical
+    // for any thread count, because morsel assignment is static
+    // round-robin and partials merge in deterministic worker order.
+    use ldbc_snb::engine::QueryContext;
+    let s = store_for_config(&config(7));
+    let gen = ParamGen::new(&s, 7);
+    let contexts = [QueryContext::new(1), QueryContext::new(2), QueryContext::new(4)];
+    for q in ldbc_snb::driver::ALL_BI_QUERIES {
+        for b in gen.bi_params(q, 2) {
+            let baseline = ldbc_snb::bi::run_with(&s, &contexts[0], &b);
+            for ctx in &contexts[1..] {
+                assert_eq!(
+                    baseline,
+                    ldbc_snb::bi::run_with(&s, ctx, &b),
+                    "BI {q} differs at {} threads",
+                    ctx.threads()
+                );
+            }
+            // And the parallel result still matches the single-threaded
+            // naive oracle.
+            assert_eq!(baseline, ldbc_snb::bi::run_naive(&s, &b), "BI {q} vs naive");
+        }
+    }
+}
+
+#[test]
+fn scan_heavy_interactive_queries_are_thread_count_invariant() {
+    use ldbc_snb::engine::QueryContext;
+    let s = store_for_config(&config(7));
+    let gen = ParamGen::new(&s, 7);
+    let contexts = [QueryContext::new(1), QueryContext::new(2), QueryContext::new(4)];
+    for q in [2u8, 3, 6, 9] {
+        for b in gen.ic_params(q, 3) {
+            let baseline = ldbc_snb::interactive::run_complex_with(&s, &contexts[0], &b);
+            for ctx in &contexts[1..] {
+                assert_eq!(
+                    baseline,
+                    ldbc_snb::interactive::run_complex_with(&s, ctx, &b),
+                    "IC {q} differs at {} threads",
+                    ctx.threads()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn different_seeds_give_different_networks() {
     let s1 = store_for_config(&config(1));
     let s2 = store_for_config(&config(2));

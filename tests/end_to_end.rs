@@ -95,10 +95,7 @@ fn interactive_driver_full_run_is_consistent() {
     // instances.
     let ic1 = report.log.records.iter().filter(|r| r.operation == "IC 1").count();
     let expected = events.len() / 26;
-    assert!(
-        ic1.abs_diff(expected) <= 1,
-        "IC 1 instances {ic1} vs expected {expected}"
-    );
+    assert!(ic1.abs_diff(expected) <= 1, "IC 1 instances {ic1} vs expected {expected}");
 }
 
 #[test]
@@ -124,8 +121,7 @@ fn validate_all_ic_queries_dual_engine() {
     let mut validated = 0;
     for q in 1..=14u8 {
         for b in gen.ic_params(q, 3) {
-            ldbc_snb::interactive::validate_complex(&store, &b)
-                .unwrap_or_else(|e| panic!("{e}"));
+            ldbc_snb::interactive::validate_complex(&store, &b).unwrap_or_else(|e| panic!("{e}"));
             validated += 1;
         }
     }

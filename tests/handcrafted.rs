@@ -18,11 +18,8 @@ fn empty_world() -> Store {
 }
 
 fn add_person(s: &mut Store, id: u64, name: &str, t: i64) {
-    let city = s.places.id[s
-        .place_by_name
-        .get("Beijing")
-        .map(|&c| c as usize)
-        .expect("Beijing exists")];
+    let city =
+        s.places.id[s.place_by_name.get("Beijing").map(|&c| c as usize).expect("Beijing exists")];
     s.insert_person(PersonInsert {
         id,
         first_name: name.into(),
@@ -114,16 +111,14 @@ fn fixture() -> Store {
 #[test]
 fn bi12_exact_rows() {
     let s = fixture();
-    let rows =
-        bi12::run(&s, &bi12::Params { date: Date::from_ymd(1970, 1, 1), like_threshold: 1 });
+    let rows = bi12::run(&s, &bi12::Params { date: Date::from_ymd(1970, 1, 1), like_threshold: 1 });
     // Only post 100 has > 1 like.
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].message_id, 100);
     assert_eq!(rows[0].like_count, 2);
     assert_eq!(rows[0].first_name, "Alice");
     // Threshold 0: both posts and no comments (comments have 0 likes).
-    let rows =
-        bi12::run(&s, &bi12::Params { date: Date::from_ymd(1970, 1, 1), like_threshold: 0 });
+    let rows = bi12::run(&s, &bi12::Params { date: Date::from_ymd(1970, 1, 1), like_threshold: 0 });
     assert_eq!(
         rows.iter().map(|r| (r.message_id, r.like_count)).collect::<Vec<_>>(),
         vec![(100, 2), (101, 1)]

@@ -100,6 +100,39 @@ proptest! {
         let spread = picked_factors[n - 1] - picked_factors[0];
         prop_assert_eq!(spread, best);
     }
+
+    /// `par_map_reduce` equals the sequential fold for any input length,
+    /// thread count, and morsel size (the determinism contract of the
+    /// morsel-driven execution layer).
+    #[test]
+    fn par_map_reduce_equals_sequential_fold(
+        values in prop::collection::vec(0u64..1_000, 0..300),
+        threads in 1usize..6,
+        morsel in 1usize..50
+    ) {
+        use ldbc_snb::engine::QueryContext;
+        let ctx = QueryContext::new(threads).with_morsel(morsel);
+        let got = ctx.par_map_reduce(
+            values.len(),
+            || 0u64,
+            |acc, range| {
+                for &v in &values[range] {
+                    *acc += v;
+                }
+            },
+            |into, from| *into += from,
+        );
+        let want: u64 = values.iter().sum();
+        prop_assert_eq!(got, want);
+
+        // Order-preserving variant: par_scan stitches morsels back into
+        // the sequential order.
+        let scanned: Vec<u64> = ctx.par_scan(values.len(), |out, range| {
+            out.extend(values[range].iter().map(|v| v * 2));
+        });
+        let expect: Vec<u64> = values.iter().map(|v| v * 2).collect();
+        prop_assert_eq!(scanned, expect);
+    }
 }
 
 /// Shortest-path lengths from the engine's bidirectional BFS agree with

@@ -70,8 +70,7 @@ fn validation_holds_even_on_degenerate_worlds() {
         let gen = ParamGen::new(&s, n);
         for q in ldbc_snb::driver::ALL_BI_QUERIES {
             for b in gen.bi_params(q, 1) {
-                ldbc_snb::bi::validate(&s, &b)
-                    .unwrap_or_else(|e| panic!("n={n}: {e}"));
+                ldbc_snb::bi::validate(&s, &b).unwrap_or_else(|e| panic!("n={n}: {e}"));
             }
         }
     }
@@ -81,8 +80,7 @@ fn validation_holds_even_on_degenerate_worlds() {
 fn deleting_everything_leaves_a_queryable_store() {
     use ldbc_snb::store::DeleteOp;
     let mut s = tiny(6);
-    let victims: Vec<DeleteOp> =
-        s.persons.id.clone().into_iter().map(DeleteOp::Person).collect();
+    let victims: Vec<DeleteOp> = s.persons.id.clone().into_iter().map(DeleteOp::Person).collect();
     s.apply_deletes(&victims).unwrap();
     assert_eq!(s.persons.len(), 0);
     assert_eq!(s.messages.len(), 0);
@@ -90,11 +88,8 @@ fn deleting_everything_leaves_a_queryable_store() {
     s.validate_invariants().unwrap();
     // Queries on the empty world return empty results, not panics.
     assert!(bi01::run(&s, &bi01::Params { date: Date::from_ymd(2013, 1, 1) }).is_empty());
-    assert!(bi12::run(
-        &s,
-        &bi12::Params { date: Date::from_ymd(2010, 1, 1), like_threshold: 0 }
-    )
-    .is_empty());
+    assert!(bi12::run(&s, &bi12::Params { date: Date::from_ymd(2010, 1, 1), like_threshold: 0 })
+        .is_empty());
     let t = bi17::run(&s, &bi17::Params { country: "China".into() });
     assert_eq!(t[0].count, 0);
 }
