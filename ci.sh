@@ -15,4 +15,27 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bi_runtimes profile smoke-run"
+SMOKE_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$SMOKE_JSON"' EXIT
+SNB_BENCH_OUT="$SMOKE_JSON" \
+  cargo run -q --release -p snb-bench --bin bi_runtimes -- 0.001 --profile \
+  > /dev/null
+# Schema check: the emitted JSON must carry every operator-counter field
+# for all 25 queries at every sweep point (25 queries x 3 thread counts).
+for key in min_us mean_us p50_us max_us morsels rows_scanned index_hits \
+           index_fallbacks fallback_rows topk_offered topk_pruned \
+           prune_rate edges_traversed; do
+  count="$(grep -o "\"$key\":" "$SMOKE_JSON" | wc -l)"
+  if [ "$count" -ne 75 ]; then
+    echo "BENCH_bi.json schema check failed: key '$key' appears $count times, want 75" >&2
+    exit 1
+  fi
+done
+# A fresh bulk-loaded store must never take the linear-scan fallback.
+if grep -qE '"index_fallbacks": [1-9]' "$SMOKE_JSON"; then
+  echo "BENCH_bi.json reports stale-index fallbacks on a fresh store" >&2
+  exit 1
+fi
+
 echo "CI OK"

@@ -83,13 +83,34 @@ fn bench_traversals(c: &mut Criterion) {
     let far = (hub + store.persons.len() as u32 / 2) % store.persons.len() as u32;
     let mut group = c.benchmark_group("traverse");
     group.bench_function("khop2", |b| {
-        b.iter(|| black_box(khop_neighborhood(&store, black_box(hub), 2)))
+        b.iter(|| {
+            black_box(khop_neighborhood(
+                &store,
+                snb_engine::QueryMetrics::sink(),
+                black_box(hub),
+                2,
+            ))
+        })
     });
     group.bench_function("khop3", |b| {
-        b.iter(|| black_box(khop_neighborhood(&store, black_box(hub), 3)))
+        b.iter(|| {
+            black_box(khop_neighborhood(
+                &store,
+                snb_engine::QueryMetrics::sink(),
+                black_box(hub),
+                3,
+            ))
+        })
     });
     group.bench_function("shortest_path", |b| {
-        b.iter(|| black_box(shortest_path_len(&store, black_box(hub), black_box(far))))
+        b.iter(|| {
+            black_box(shortest_path_len(
+                &store,
+                snb_engine::QueryMetrics::sink(),
+                black_box(hub),
+                black_box(far),
+            ))
+        })
     });
     group.finish();
 }

@@ -1,8 +1,14 @@
 //! Experiment E5 — per-query BI runtimes (the shape of the BI paper's
-//! per-query runtime tables): mean / median / max latency and row
+//! per-query runtime tables): min / mean / median / max latency and row
 //! volume for all 25 BI queries over curated parameter bindings, swept
 //! over the intra-query thread count, plus the inter-query throughput
-//! sweep. Emits `BENCH_bi.json` with the raw numbers.
+//! sweep. Emits `BENCH_bi.json` (path overridable via the
+//! `SNB_BENCH_OUT` env var) with the raw numbers and per-query operator
+//! counters.
+//!
+//! Pass `--profile` for the EXPLAIN-ANALYZE-shaped per-query operator
+//! breakdown (morsels, index hits vs. fallbacks, top-k prune rate, CSR
+//! edges, worker skew); profiling also enables per-worker busy timing.
 
 use snb_driver::{power_test_ctx, Engine, QueryStats, ALL_BI_QUERIES};
 use snb_engine::QueryContext;
@@ -11,6 +17,7 @@ const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 const BINDINGS_PER_QUERY: usize = 8;
 
 fn main() {
+    let profile_mode = snb_bench::cli_flag("--profile");
     let config = snb_bench::cli_config();
     let store = snb_bench::build_store_verbose(&config);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -27,7 +34,7 @@ fn main() {
     // (the determinism contract); only the latencies move.
     let mut sweep: Vec<(usize, Vec<QueryStats>)> = Vec::new();
     for threads in THREAD_SWEEP {
-        let ctx = QueryContext::new(threads);
+        let ctx = QueryContext::new(threads).with_profiling(profile_mode);
         let stats = power_test_ctx(
             &store,
             &ctx,
@@ -49,6 +56,7 @@ fn main() {
             vec![
                 format!("BI {}", s1.query),
                 s1.executions.to_string(),
+                snb_bench::fmt_duration(s1.min),
                 snb_bench::fmt_duration(s1.mean),
                 snb_bench::fmt_duration(sn.mean),
                 format!("{speedup:.2}x"),
@@ -63,9 +71,22 @@ fn main() {
             "E5: BI power test (optimized engine, {} persons, {peak_threads}-thread sweep)",
             config.persons
         ),
-        &["query", "runs", "mean@1t", &format!("mean@{peak_threads}t"), "speedup", "cv", "rows"],
+        &[
+            "query",
+            "runs",
+            "min@1t",
+            "mean@1t",
+            &format!("mean@{peak_threads}t"),
+            "speedup",
+            "cv",
+            "rows",
+        ],
         &rows,
     );
+
+    if profile_mode {
+        print_profile_breakdown(base, peak, peak_threads);
+    }
 
     let total_1: std::time::Duration = base.iter().map(|s| s.mean * s.executions as u32).sum();
     let total_n: std::time::Duration = peak.iter().map(|s| s.mean * s.executions as u32).sum();
@@ -98,9 +119,50 @@ fn main() {
 
     // Machine-readable dump for downstream tooling / CI trend lines.
     let json = render_json(&config, cores, &sweep, &throughput);
-    let path = "BENCH_bi.json";
-    std::fs::write(path, json).expect("write BENCH_bi.json");
+    let path = std::env::var("SNB_BENCH_OUT").unwrap_or_else(|_| "BENCH_bi.json".into());
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\nwrote {path}");
+}
+
+/// The `--profile` operator breakdown — one row per query, counters
+/// accumulated over the measured executions of the 1-thread run plus
+/// the worker skew observed at the widest sweep point.
+fn print_profile_breakdown(base: &[QueryStats], peak: &[QueryStats], peak_threads: usize) {
+    let rows: Vec<Vec<String>> = base
+        .iter()
+        .zip(peak)
+        .map(|(s1, sn)| {
+            let p = &s1.profile;
+            vec![
+                format!("BI {}", s1.query),
+                p.par_calls.to_string(),
+                p.morsels.to_string(),
+                p.rows_scanned.to_string(),
+                format!("{}/{}", p.index_hits, p.index_fallbacks),
+                p.index_rows.to_string(),
+                p.topk_offered.to_string(),
+                format!("{:.1}%", p.prune_rate() * 100.0),
+                p.edges_traversed.to_string(),
+                format!("{:.2}", sn.profile.worker_skew()),
+            ]
+        })
+        .collect();
+    snb_bench::print_table(
+        &format!("E5: operator breakdown (counters @1t, skew @{peak_threads}t)"),
+        &[
+            "query",
+            "par calls",
+            "morsels",
+            "rows scanned",
+            "idx hit/fb",
+            "idx rows",
+            "topk offers",
+            "pruned",
+            "edges",
+            "skew",
+        ],
+        &rows,
+    );
 }
 
 /// Hand-rolled JSON (the container has no serde): every value is a
@@ -123,17 +185,31 @@ fn render_json(
                 out.push_str(",\n");
             }
             first = false;
+            let p = &s.profile;
             out.push_str(&format!(
-                "    {{\"query\": {}, \"threads\": {}, \"runs\": {}, \"mean_us\": {}, \
-                 \"p50_us\": {}, \"max_us\": {}, \"cv\": {:.4}, \"rows\": {}}}",
+                "    {{\"query\": {}, \"threads\": {}, \"runs\": {}, \"min_us\": {}, \
+                 \"mean_us\": {}, \"p50_us\": {}, \"max_us\": {}, \"cv\": {:.4}, \
+                 \"rows\": {}, \"morsels\": {}, \"rows_scanned\": {}, \"index_hits\": {}, \
+                 \"index_fallbacks\": {}, \"fallback_rows\": {}, \"topk_offered\": {}, \
+                 \"topk_pruned\": {}, \"prune_rate\": {:.4}, \"edges_traversed\": {}}}",
                 s.query,
                 threads,
                 s.executions,
+                s.min.as_micros(),
                 s.mean.as_micros(),
                 s.p50.as_micros(),
                 s.max.as_micros(),
                 s.cv,
                 s.total_rows,
+                p.morsels,
+                p.rows_scanned,
+                p.index_hits,
+                p.index_fallbacks,
+                p.fallback_rows,
+                p.topk_offered,
+                p.topk_pruned,
+                p.prune_rate(),
+                p.edges_traversed,
             ));
         }
     }

@@ -16,9 +16,11 @@
 use snb_datagen::GeneratorConfig;
 use snb_store::{store_for_config, Store};
 
-/// Parses `[sf-name] [seed]` from argv with defaults.
+/// Parses `[sf-name] [seed]` from argv with defaults. `--`-prefixed
+/// flags (see [`cli_flag`]) are skipped, so positionals and flags can
+/// mix in any order.
 pub fn cli_config() -> GeneratorConfig {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
     let sf = args.first().map(String::as_str).unwrap_or("0.003");
     let mut config = GeneratorConfig::for_scale_name(sf)
         .unwrap_or_else(|| panic!("unknown scale factor {sf:?}; try 0.001/0.003/0.01/0.03/0.1"));
@@ -26,6 +28,11 @@ pub fn cli_config() -> GeneratorConfig {
         config.seed = seed.parse().expect("seed must be an integer");
     }
     config
+}
+
+/// Whether boolean flag `name` (e.g. `"--profile"`) appears in argv.
+pub fn cli_flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
 }
 
 /// Builds the store for a config, printing progress.

@@ -61,7 +61,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
 /// merged in worker order (integer sums, so the merge is exact).
 pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let window = messages_before(store, cutoff);
+    let window = messages_before(store, ctx.metrics(), cutoff);
     let total = window.len() as u64;
     let groups = ctx.par_map_reduce(
         window.len(),
@@ -103,7 +103,8 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
 /// Naive reference: re-scans the message table once per group.
 pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let matching: Vec<Ix> = messages_before(store, cutoff).to_vec();
+    let matching: Vec<Ix> =
+        messages_before(store, snb_engine::QueryMetrics::sink(), cutoff).to_vec();
     let total = matching.len() as u64;
     let mut keys: Vec<(i32, bool, u8)> = matching
         .iter()

@@ -93,7 +93,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let c2 = store.country_by_name(&params.country2);
     let (Ok(c1), Ok(c2)) = (c1, c2) else { return Vec::new() };
     let (lo, hi) = day_range_window(params.start_date, params.end_date);
-    let window = messages_in(store, lo, hi);
+    let window = messages_in(store, ctx.metrics(), lo, hi);
     let groups = ctx.par_map_reduce(
         window.len(),
         FxHashMap::<Key, u64>::default,
@@ -124,6 +124,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
             tk.push(sort_key(store, &key, count), to_row(store, key, count));
         }
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

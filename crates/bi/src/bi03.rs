@@ -54,7 +54,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let (m2_lo, m2_hi) = month_window(ny, nm);
     let mut counts: FxHashMap<Ix, (u64, u64)> = FxHashMap::default();
     for (slot, (lo, hi)) in [(0usize, (m1_lo, m1_hi)), (1, (m2_lo, m2_hi))] {
-        let window = messages_in(store, lo, hi);
+        let window = messages_in(store, ctx.metrics(), lo, hi);
         let partial = ctx.par_map_reduce(
             window.len(),
             FxHashMap::<Ix, u64>::default,
@@ -90,6 +90,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         };
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

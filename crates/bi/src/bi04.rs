@@ -82,6 +82,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
             tk.push(sort_key(&row), row);
         }
     });
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

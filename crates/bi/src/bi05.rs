@@ -50,6 +50,7 @@ fn popular_forums(store: &Store, ctx: &QueryContext, country: Ix) -> FxHashSet<I
                 tk.push((std::cmp::Reverse(members_in_country), store.forums.id[f as usize]), f);
             }
         });
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted().into_iter().collect()
 }
 
@@ -99,6 +100,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         let row = to_row(store, p, count);
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

@@ -61,7 +61,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
 /// scanned as a parallel top-k with per-worker CP-1.3 pruning.
 pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let window = messages_after(store, cutoff);
+    let window = messages_after(store, ctx.metrics(), cutoff);
     let tk = ctx.par_topk(window.len(), LIMIT, |tk, range| {
         for &m in &window[range] {
             let likes = store.message_likes.degree(m) as u64;
@@ -75,6 +75,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
             tk.push(key, to_row(store, m, likes));
         }
     });
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

@@ -84,6 +84,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         let row = Row { year, month, popular_tags: top_tags(store, counts) };
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

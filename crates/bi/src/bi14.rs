@@ -58,7 +58,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         let t = store.messages.creation_date[m as usize];
         t >= lo && t < hi
     };
-    let window = messages_in(store, lo, hi);
+    let window = messages_in(store, ctx.metrics(), lo, hi);
     let acc = ctx.par_map_reduce(
         window.len(),
         FxHashMap::<Ix, (u64, u64)>::default,
@@ -93,6 +93,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         };
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

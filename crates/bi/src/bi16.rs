@@ -94,8 +94,13 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     ) else {
         return Vec::new();
     };
-    let reachable =
-        trail_reachable(store, start, params.min_path_distance, params.max_path_distance);
+    let reachable = trail_reachable(
+        store,
+        ctx.metrics(),
+        start,
+        params.min_path_distance,
+        params.max_path_distance,
+    );
     let experts: Vec<Ix> = reachable.into_iter().filter(|&p| p != start).collect();
     let groups = ctx.par_map_reduce(
         experts.len(),
@@ -121,6 +126,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         };
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 
@@ -135,8 +141,13 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     ) else {
         return Vec::new();
     };
-    let reachable =
-        trail_reachable(store, start, params.min_path_distance, params.max_path_distance);
+    let reachable = trail_reachable(
+        store,
+        snb_engine::QueryMetrics::sink(),
+        start,
+        params.min_path_distance,
+        params.max_path_distance,
+    );
     let groups = collect_rows(store, reachable.into_iter().filter(|&p| p != start), country, class);
     let items: Vec<_> = groups
         .into_iter()
@@ -205,8 +216,10 @@ mod tests {
         let s = testutil::store();
         let p = params(s);
         let start = s.person(p.person_id).unwrap();
-        let narrow = snb_engine::traverse::trail_reachable(s, start, 1, 1);
-        let wide = snb_engine::traverse::trail_reachable(s, start, 1, 3);
+        let narrow =
+            snb_engine::traverse::trail_reachable(s, snb_engine::QueryMetrics::sink(), start, 1, 1);
+        let wide =
+            snb_engine::traverse::trail_reachable(s, snb_engine::QueryMetrics::sink(), start, 1, 3);
         assert!(narrow.is_subset(&wide));
         assert!(wide.len() >= narrow.len());
     }

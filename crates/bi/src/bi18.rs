@@ -69,7 +69,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
 /// workers accumulate dense per-person counters merged element-wise.
 pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let cutoff = params.date.at_midnight();
-    let window = messages_after(store, cutoff);
+    let window = messages_after(store, ctx.metrics(), cutoff);
     let per_person = ctx.par_map_reduce(
         window.len(),
         || vec![0u64; store.persons.len()],
@@ -91,6 +91,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         let row = Row { message_count: count, person_count: persons };
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

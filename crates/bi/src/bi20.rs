@@ -64,6 +64,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
         let row = Row { tag_class_name: name.clone(), message_count: messages.len() as u64 };
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

@@ -150,6 +150,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     for row in rows_from_scores(store, pair_scores(store, ctx, c1, c2)) {
         tk.push(sort_key(&row), row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

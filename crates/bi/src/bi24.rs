@@ -98,6 +98,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     for (key, row) in group_rows(store, groups) {
         tk.push(key, row);
     }
+    ctx.metrics().note_topk(&tk);
     tk.into_sorted()
 }
 

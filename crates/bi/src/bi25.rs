@@ -69,7 +69,7 @@ fn paths_with_weights(store: &Store, ctx: &QueryContext, params: &Params) -> Vec
     };
     let lo = params.start_date.at_midnight();
     let hi = params.end_date.plus_days(1).at_midnight();
-    let paths = all_shortest_paths(store, a, b);
+    let paths = all_shortest_paths(store, ctx.metrics(), a, b);
     let mut rows: Vec<Row> = ctx.par_scan(paths.len(), |out, range| {
         for path in &paths[range] {
             let weight: f64 = path.windows(2).map(|w| pair_weight(store, w[0], w[1], lo, hi)).sum();
@@ -106,7 +106,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     };
     let lo = params.start_date.at_midnight();
     let hi = params.end_date.plus_days(1).at_midnight();
-    let paths = all_shortest_paths(store, a, b);
+    let paths = all_shortest_paths(store, snb_engine::QueryMetrics::sink(), a, b);
     let mut rows: Vec<Row> = paths
         .into_iter()
         .map(|path| {
@@ -157,7 +157,7 @@ mod tests {
         // Find two persons at distance 2-3 for an interesting path set.
         for a in 0..s.persons.len() as Ix {
             for b in (a + 1..s.persons.len() as Ix).rev() {
-                let d = shortest_path_len(s, a, b);
+                let d = shortest_path_len(s, snb_engine::QueryMetrics::sink(), a, b);
                 if (2..=3).contains(&d) {
                     return (s.persons.id[a as usize], s.persons.id[b as usize]);
                 }

@@ -4,6 +4,7 @@ use std::borrow::Cow;
 
 use snb_core::datetime::DateTime;
 use snb_core::Date;
+use snb_engine::QueryMetrics;
 use snb_store::{Ix, Store, NONE};
 
 /// The language of a message per BI 18: a Post's own `language`
@@ -40,43 +41,71 @@ pub fn has_tag_in_class_subtree(store: &Store, m: Ix, class: Ix) -> bool {
 /// prefix of the store's date permutation index when it is fresh, or a
 /// linear-scan fallback after streamed inserts. The slice form is what
 /// the parallel primitives chunk over.
-pub fn messages_before(store: &Store, t: DateTime) -> Cow<'_, [Ix]> {
+///
+/// The chosen access path is recorded on `metrics`: an index hit with
+/// the window size, or a fallback with the full message count scanned.
+/// Callers without a query context pass [`QueryMetrics::sink`].
+pub fn messages_before<'s>(store: &'s Store, metrics: &QueryMetrics, t: DateTime) -> Cow<'s, [Ix]> {
     match store.messages_created_before(t) {
-        Some(window) => Cow::Borrowed(window),
-        None => Cow::Owned(
-            (0..store.messages.len() as Ix)
-                .filter(|&m| store.messages.creation_date[m as usize] < t)
-                .collect(),
-        ),
+        Some(window) => {
+            metrics.note_index_hit(window.len() as u64);
+            Cow::Borrowed(window)
+        }
+        None => {
+            metrics.note_index_fallback(store.messages.len() as u64);
+            Cow::Owned(
+                (0..store.messages.len() as Ix)
+                    .filter(|&m| store.messages.creation_date[m as usize] < t)
+                    .collect(),
+            )
+        }
     }
 }
 
 /// All message indices created strictly after `t` (same index-or-scan
-/// contract as [`messages_before`]).
-pub fn messages_after(store: &Store, t: DateTime) -> Cow<'_, [Ix]> {
+/// contract and metrics recording as [`messages_before`]).
+pub fn messages_after<'s>(store: &'s Store, metrics: &QueryMetrics, t: DateTime) -> Cow<'s, [Ix]> {
     match store.messages_created_after(t) {
-        Some(window) => Cow::Borrowed(window),
-        None => Cow::Owned(
-            (0..store.messages.len() as Ix)
-                .filter(|&m| store.messages.creation_date[m as usize] > t)
-                .collect(),
-        ),
+        Some(window) => {
+            metrics.note_index_hit(window.len() as u64);
+            Cow::Borrowed(window)
+        }
+        None => {
+            metrics.note_index_fallback(store.messages.len() as u64);
+            Cow::Owned(
+                (0..store.messages.len() as Ix)
+                    .filter(|&m| store.messages.creation_date[m as usize] > t)
+                    .collect(),
+            )
+        }
     }
 }
 
 /// All message indices created in the half-open window `[lo, hi)`
-/// (same index-or-scan contract as [`messages_before`]).
-pub fn messages_in(store: &Store, lo: DateTime, hi: DateTime) -> Cow<'_, [Ix]> {
+/// (same index-or-scan contract and metrics recording as
+/// [`messages_before`]).
+pub fn messages_in<'s>(
+    store: &'s Store,
+    metrics: &QueryMetrics,
+    lo: DateTime,
+    hi: DateTime,
+) -> Cow<'s, [Ix]> {
     match store.messages_created_in(lo, hi) {
-        Some(window) => Cow::Borrowed(window),
-        None => Cow::Owned(
-            (0..store.messages.len() as Ix)
-                .filter(|&m| {
-                    let t = store.messages.creation_date[m as usize];
-                    t >= lo && t < hi
-                })
-                .collect(),
-        ),
+        Some(window) => {
+            metrics.note_index_hit(window.len() as u64);
+            Cow::Borrowed(window)
+        }
+        None => {
+            metrics.note_index_fallback(store.messages.len() as u64);
+            Cow::Owned(
+                (0..store.messages.len() as Ix)
+                    .filter(|&m| {
+                        let t = store.messages.creation_date[m as usize];
+                        t >= lo && t < hi
+                    })
+                    .collect(),
+            )
+        }
     }
 }
 
@@ -108,13 +137,23 @@ pub fn next_month(year: i32, month: u32) -> (i32, u32) {
 /// Simulation-end anchor for the BI 2 age-group calculation.
 pub const AGE_ANCHOR: (i32, u32, u32) = (2013, 1, 1);
 
+/// Whole calendar years between `bday` and the simulation-end anchor
+/// (2013-01-01): the calendar year difference, minus one when the
+/// birthday has not yet occurred by the anchor date. A leap-day
+/// birthday (Feb 29) counts as passed on Mar 1 of common years.
+pub fn age_years(bday: Date) -> i32 {
+    let (by, bm, bd) = bday.to_ymd();
+    let mut years = AGE_ANCHOR.0 - by;
+    if (AGE_ANCHOR.1, AGE_ANCHOR.2) < (bm, bd) {
+        years -= 1;
+    }
+    years
+}
+
 /// Age group per BI 2: floor of whole years between the birthday and
 /// the simulation end (2013-01-01), in 5-year buckets.
 pub fn age_group(store: &Store, p: Ix) -> i32 {
-    let bday = store.persons.birthday[p as usize];
-    let anchor = Date::from_ymd(AGE_ANCHOR.0, AGE_ANCHOR.1, AGE_ANCHOR.2);
-    let years = (anchor.0 - bday.0) / 366; // floor of whole years (conservative)
-    years / 5
+    age_years(store.persons.birthday[p as usize]) / 5
 }
 
 /// All persons located in `country` (any of its cities), as a vector.
@@ -202,8 +241,9 @@ mod tests {
     fn messages_before_after_partition() {
         let s = store();
         let t = testutil::mid_date().at_midnight();
-        let before = messages_before(s, t).len();
-        let after = messages_after(s, t).len();
+        let m = QueryMetrics::sink();
+        let before = messages_before(s, m, t).len();
+        let after = messages_after(s, m, t).len();
         let at = (0..s.messages.len() as Ix)
             .filter(|&m| s.messages.creation_date[m as usize] == t)
             .count();
@@ -217,7 +257,8 @@ mod tests {
         assert_eq!(next_month(2011, 12), (2012, 1));
         assert_eq!(next_month(2011, 1), (2011, 2));
         let s = store();
-        let in_window = messages_before(s, hi).len() - messages_before(s, lo).len();
+        let m = QueryMetrics::sink();
+        let in_window = messages_before(s, m, hi).len() - messages_before(s, m, lo).len();
         let scanned = (0..s.messages.len())
             .filter(|&m| {
                 let t = s.messages.creation_date[m];
@@ -225,5 +266,41 @@ mod tests {
             })
             .count();
         assert_eq!(in_window, scanned);
+    }
+
+    #[test]
+    fn age_years_exact_at_year_boundaries() {
+        // The regression the old `(anchor - bday) / 366` floor missed:
+        // a 1990-01-01 birthday is a 8401-day span and exactly 23 whole
+        // years by 2013-01-01 (the old code said 22).
+        assert_eq!(age_years(Date::from_ymd(1990, 1, 1)), 23);
+        // Birthday one day after the anchor's month/day: not yet passed.
+        assert_eq!(age_years(Date::from_ymd(1990, 1, 2)), 22);
+        // Day before the anchor within the prior year: passed.
+        assert_eq!(age_years(Date::from_ymd(1989, 12, 31)), 23);
+        // Anchor-day birthday counts the full year.
+        assert_eq!(age_years(Date::from_ymd(2013, 1, 1)), 0);
+        assert_eq!(age_years(Date::from_ymd(2012, 12, 31)), 0);
+    }
+
+    #[test]
+    fn age_years_leap_day_birthday() {
+        // Feb 29 birthdays: by the 2013-01-01 anchor the 2012-02-29
+        // birthday has passed, so 1988-02-29 is exactly 24.
+        assert_eq!(age_years(Date::from_ymd(1988, 2, 29)), 24);
+        assert_eq!(age_years(Date::from_ymd(2012, 2, 29)), 0);
+    }
+
+    #[test]
+    fn age_group_buckets_at_boundaries() {
+        // 25 years (1988-01-01) lands in group 5; one day later the age
+        // is 24 and the group drops to 4.
+        assert_eq!(age_years(Date::from_ymd(1988, 1, 1)) / 5, 5);
+        assert_eq!(age_years(Date::from_ymd(1988, 1, 2)) / 5, 4);
+        // Every stored person gets a non-negative group.
+        let s = store();
+        for p in 0..s.persons.len() as Ix {
+            assert!(age_group(s, p) >= 0);
+        }
     }
 }

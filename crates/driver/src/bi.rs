@@ -14,9 +14,14 @@ use std::time::{Duration, Instant};
 
 use snb_bi::BiParams;
 use snb_core::SnbResult;
-use snb_engine::QueryContext;
+use snb_engine::{QueryContext, QueryProfile};
 use snb_params::ParamGen;
 use snb_store::Store;
+
+/// Timed iterations per binding discarded before measurement starts —
+/// they warm caches and the allocator so µs-scale medians are not
+/// dominated by first-touch noise.
+pub const WARMUP_RUNS: usize = 2;
 
 /// Which engine a run exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +41,9 @@ pub struct QueryStats {
     pub executions: usize,
     /// Mean latency.
     pub mean: Duration,
+    /// Minimum latency — the most noise-resistant point statistic for
+    /// µs-scale queries.
+    pub min: Duration,
     /// Median latency.
     pub p50: Duration,
     /// Maximum latency.
@@ -45,9 +53,14 @@ pub struct QueryStats {
     pub cv: f64,
     /// Total rows returned.
     pub total_rows: usize,
+    /// Operator counters accumulated over the measured executions
+    /// (warmup iterations excluded).
+    pub profile: QueryProfile,
 }
 
-fn stats_for(query: u8, lats: &[Duration], rows: usize) -> QueryStats {
+/// Computes the per-query statistics from measured latencies; exposed
+/// for the bench binaries that roll their own measurement loops.
+pub fn stats_for(query: u8, lats: &[Duration], rows: usize, profile: QueryProfile) -> QueryStats {
     let mut sorted: Vec<Duration> = lats.to_vec();
     sorted.sort_unstable();
     let n = sorted.len().max(1);
@@ -66,10 +79,12 @@ fn stats_for(query: u8, lats: &[Duration], rows: usize) -> QueryStats {
         query,
         executions: sorted.len(),
         mean,
+        min: sorted.first().copied().unwrap_or_default(),
         p50: sorted.get(n / 2).copied().unwrap_or_default(),
         max: sorted.last().copied().unwrap_or_default(),
         cv: if mean_s > 0.0 { var.sqrt() / mean_s } else { 0.0 },
         total_rows: rows,
+        profile,
     }
 }
 
@@ -99,6 +114,19 @@ pub fn power_test_ctx(
     let mut out = Vec::new();
     for &q in queries {
         let bindings = gen.bi_params(q, bindings_per_query);
+        // Discarded warmup: first-touch cache and allocator effects
+        // land here, not in the measured latencies.
+        if let Some(first) = bindings.first() {
+            for _ in 0..WARMUP_RUNS {
+                let _ = match engine {
+                    Engine::Optimized => snb_bi::run_with(store, ctx, first),
+                    Engine::Naive => snb_bi::run_naive(store, first),
+                };
+            }
+        }
+        // Counters restart after warmup so the profile covers exactly
+        // the measured executions.
+        ctx.metrics().reset();
         let mut lats = Vec::with_capacity(bindings.len());
         let mut rows = 0usize;
         for b in &bindings {
@@ -110,7 +138,7 @@ pub fn power_test_ctx(
             lats.push(started.elapsed());
             rows += summary.rows;
         }
-        out.push(stats_for(q, &lats, rows));
+        out.push(stats_for(q, &lats, rows, ctx.metrics().snapshot()));
     }
     out
 }
@@ -255,11 +283,84 @@ mod tests {
     fn stats_math() {
         let lats =
             [Duration::from_micros(100), Duration::from_micros(200), Duration::from_micros(300)];
-        let s = stats_for(9, &lats, 5);
+        let s = stats_for(9, &lats, 5, QueryProfile::default());
         assert_eq!(s.mean, Duration::from_micros(200));
+        assert_eq!(s.min, Duration::from_micros(100));
         assert_eq!(s.p50, Duration::from_micros(200));
         assert_eq!(s.max, Duration::from_micros(300));
         assert!(s.cv > 0.0);
         assert_eq!(s.total_rows, 5);
+        assert_eq!(s.profile, QueryProfile::default());
+    }
+
+    #[test]
+    fn power_run_on_fresh_store_never_hits_fallback() {
+        // The steady-state contract: over a freshly-loaded store the
+        // date index is fresh, so no query execution may fall back to
+        // the O(n) linear scan — the fallback counter must stay zero.
+        let ctx = QueryContext::new(1);
+        let stats = power_test_ctx(store(), &ctx, &ALL_BI_QUERIES, 2, Engine::Optimized, 7);
+        assert_eq!(stats.len(), 25);
+        for s in &stats {
+            assert_eq!(
+                s.profile.index_fallbacks, 0,
+                "BI {} paid {} linear-scan fallback(s)",
+                s.query, s.profile.index_fallbacks
+            );
+            assert_eq!(s.profile.fallback_rows, 0, "BI {}", s.query);
+        }
+        // The window-driven queries must actually exercise the index.
+        let hits: u64 = stats.iter().map(|s| s.profile.index_hits).sum();
+        assert!(hits > 0, "no query recorded a date-index hit");
+    }
+
+    #[test]
+    fn power_run_after_streamed_inserts_never_hits_fallback() {
+        // The stale-index bug this PR fixes: streamed inserts used to
+        // leave the date index stale, silently turning every window
+        // read into an O(n) scan. With incremental maintenance plus
+        // batch-boundary rebuilds, a post-stream power run must stay on
+        // the index path.
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 120;
+        let (mut s, events) = snb_store::bulk_store_and_stream(&c);
+        let world = snb_datagen::dictionaries::StaticWorld::build(c.seed);
+        for e in &events {
+            s.apply_event(e, &world).unwrap();
+        }
+        assert!(s.date_index_fresh(), "stream left the index stale");
+        let ctx = QueryContext::new(1);
+        let stats = power_test_ctx(&s, &ctx, &[1, 2, 3, 12, 14, 18], 2, Engine::Optimized, 7);
+        for st in &stats {
+            assert_eq!(st.profile.index_fallbacks, 0, "BI {} fell back to scan", st.query);
+        }
+    }
+
+    #[test]
+    fn profiles_record_operator_work() {
+        let ctx = QueryContext::new(1);
+        let stats = power_test_ctx(store(), &ctx, &[2, 4, 13], 2, Engine::Optimized, 7);
+        for s in &stats {
+            assert!(s.profile.par_calls > 0, "BI {} recorded no parallel calls", s.query);
+            assert!(s.profile.rows_scanned > 0, "BI {} scanned no rows", s.query);
+            assert!(s.profile.topk_offered > 0, "BI {} offered nothing to top-k", s.query);
+        }
+    }
+
+    #[test]
+    fn profile_counters_deterministic_across_repeats() {
+        // Morsel/row/index counters are pure functions of the data and
+        // morsel size; two identical power runs must agree exactly.
+        let ctx = QueryContext::new(1);
+        let a = power_test_ctx(store(), &ctx, &[1, 2, 16], 2, Engine::Optimized, 7);
+        let b = power_test_ctx(store(), &ctx, &[1, 2, 16], 2, Engine::Optimized, 7);
+        for (x, y) in a.iter().zip(&b) {
+            let mut xp = x.profile.clone();
+            let mut yp = y.profile.clone();
+            // Busy times are wall-clock, not logical; compare the rest.
+            xp.worker_busy_ns = Vec::new();
+            yp.worker_busy_ns = Vec::new();
+            assert_eq!(xp, yp, "BI {} profile diverged between runs", x.query);
+        }
     }
 }

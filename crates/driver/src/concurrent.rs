@@ -117,6 +117,12 @@ pub fn run_concurrent(
             for e in rx.iter() {
                 let mut guard = lock.write();
                 guard.apply_event(e, world)?;
+                // Repair the date index before releasing the write
+                // lock so concurrent readers never see a stale index
+                // (and never fall back to the O(n) scan path).
+                if !guard.date_index_fresh() {
+                    guard.rebuild_date_index();
+                }
                 drop(guard);
                 applied += 1;
             }

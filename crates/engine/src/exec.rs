@@ -34,10 +34,12 @@
 //! regions still spread across workers because consecutive morsels land
 //! on different workers.
 
+use crate::metrics::QueryMetrics;
 use crate::topk::TopK;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Default morsel size: big enough to amortise dispatch, small enough
 /// to balance skew (64k messages split into ~16 morsels per worker at
@@ -58,7 +60,9 @@ pub const THREADS_ENV: &str = "SNB_THREADS";
 pub struct QueryContext {
     threads: usize,
     morsel: usize,
+    profiling: bool,
     pool: Option<Arc<Pool>>,
+    metrics: Arc<QueryMetrics>,
 }
 
 impl std::fmt::Debug for QueryContext {
@@ -66,6 +70,7 @@ impl std::fmt::Debug for QueryContext {
         f.debug_struct("QueryContext")
             .field("threads", &self.threads)
             .field("morsel", &self.morsel)
+            .field("profiling", &self.profiling)
             .finish()
     }
 }
@@ -75,12 +80,24 @@ impl QueryContext {
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 { available_cores() } else { threads };
         let pool = (threads > 1).then(|| Arc::new(Pool::start(threads - 1)));
-        QueryContext { threads, morsel: DEFAULT_MORSEL, pool }
+        QueryContext {
+            threads,
+            morsel: DEFAULT_MORSEL,
+            profiling: false,
+            pool,
+            metrics: Arc::new(QueryMetrics::new(threads)),
+        }
     }
 
     /// Context that always runs inline on the calling thread.
     pub fn single_threaded() -> Self {
-        QueryContext { threads: 1, morsel: DEFAULT_MORSEL, pool: None }
+        QueryContext {
+            threads: 1,
+            morsel: DEFAULT_MORSEL,
+            profiling: false,
+            pool: None,
+            metrics: Arc::new(QueryMetrics::new(1)),
+        }
     }
 
     /// Context configured from `SNB_THREADS` (unset/`0` = all cores).
@@ -103,6 +120,26 @@ impl QueryContext {
     pub fn with_morsel(mut self, morsel: usize) -> Self {
         self.morsel = morsel.max(1);
         self
+    }
+
+    /// Enables profiling: per-worker busy times are measured around
+    /// every dispatched worker share. The always-on operator counters
+    /// are unaffected — this gates only the timed instrumentation, so
+    /// benchmark runs with profiling off pay no `Instant` reads.
+    pub fn with_profiling(mut self, profiling: bool) -> Self {
+        self.profiling = profiling;
+        self
+    }
+
+    /// Whether profiling (timed instrumentation) is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// The operator-metrics counter set shared by every clone of this
+    /// context (one per driver stream).
+    pub fn metrics(&self) -> &QueryMetrics {
+        &self.metrics
     }
 
     /// Worker count this context fans out to.
@@ -143,10 +180,15 @@ impl QueryContext {
         M: Fn(&mut A, A),
     {
         let workers = self.workers_for(n);
+        self.metrics.note_par_call(n.div_ceil(self.morsel) as u64, n as u64);
         if workers == 1 {
             let mut acc = identity();
             if n > 0 {
+                let started = self.profiling.then(Instant::now);
                 fold(&mut acc, 0..n);
+                if let Some(t0) = started {
+                    self.metrics.add_worker_busy(0, t0.elapsed());
+                }
             }
             return acc;
         }
@@ -169,10 +211,15 @@ impl QueryContext {
         F: Fn(&mut Vec<T>, Range<usize>) + Sync,
     {
         let workers = self.workers_for(n);
+        self.metrics.note_par_call(n.div_ceil(self.morsel) as u64, n as u64);
         if workers == 1 {
             let mut out = Vec::new();
             if n > 0 {
+                let started = self.profiling.then(Instant::now);
                 emit(&mut out, 0..n);
+                if let Some(t0) = started {
+                    self.metrics.add_worker_busy(0, t0.elapsed());
+                }
             }
             return out;
         }
@@ -213,11 +260,7 @@ impl QueryContext {
             n,
             || TopK::new(k),
             |tk, range| fill(tk, range),
-            |acc, partial| {
-                for (key, value) in partial.into_sorted_entries() {
-                    acc.push(key, value);
-                }
-            },
+            |acc, partial| acc.merge_from(partial),
         )
     }
 
@@ -231,8 +274,11 @@ impl QueryContext {
         F: Fn(&mut A, Range<usize>) + Sync,
     {
         let morsel = self.morsel;
+        let profiling = self.profiling;
+        let metrics = &self.metrics;
         let partials: Vec<Mutex<Option<A>>> = (0..workers).map(|_| Mutex::new(None)).collect();
         let task = |w: usize| {
+            let started = profiling.then(Instant::now);
             let mut acc = identity();
             let mut c = w;
             while c * morsel < n {
@@ -242,6 +288,9 @@ impl QueryContext {
                 c += workers;
             }
             *partials[w].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(acc);
+            if let Some(t0) = started {
+                metrics.add_worker_busy(w, t0.elapsed());
+            }
         };
         match &self.pool {
             Some(pool) if workers > 1 => pool.dispatch(workers, &task),

@@ -12,6 +12,9 @@
 //! * [`topk`] — bounded top-k with the spec's composite tie-breaking
 //!   keys and a pruning hook for choke point CP-1.3;
 //! * [`group`] — `FxHashMap`-backed aggregation helpers (CP-1.2/1.4);
+//! * [`metrics`] — per-query operator counters ([`QueryMetrics`]) and
+//!   their immutable snapshot ([`QueryProfile`]), the repo's
+//!   EXPLAIN-ANALYZE-shaped observability layer;
 //! * [`traverse`] — BFS k-hop neighbourhoods, bidirectional shortest
 //!   path, all-shortest-paths enumeration, and the trail semantics of
 //!   BI 16 (CP-7.x).
@@ -23,8 +26,10 @@
 
 pub mod exec;
 pub mod group;
+pub mod metrics;
 pub mod topk;
 pub mod traverse;
 
 pub use exec::QueryContext;
+pub use metrics::{QueryMetrics, QueryProfile};
 pub use topk::TopK;

@@ -11,6 +11,7 @@
 //! Keys are "smaller is better": encode descending orders with
 //! [`std::cmp::Reverse`] inside the key tuple.
 
+use std::cell::Cell;
 use std::collections::BinaryHeap;
 
 struct Entry<K: Ord, T> {
@@ -37,16 +38,27 @@ impl<K: Ord, T> Ord for Entry<K, T> {
 }
 
 /// Keeps the `k` smallest-keyed items seen.
+///
+/// The collector also counts its own operator work for the metrics
+/// layer: candidates offered via [`TopK::push`] and candidates pruned
+/// by [`TopK::would_accept`] (the CP-1.3 hook). Queries fold these into
+/// their context with `ctx.metrics().note_topk(&tk)` once the final
+/// collector is assembled; merging partial collectors carries their
+/// counters along.
 pub struct TopK<K: Ord, T> {
     k: usize,
     heap: BinaryHeap<Entry<K, T>>,
     seq: u64,
+    offered: u64,
+    /// `Cell` because `would_accept` observes through `&self`; the
+    /// collector is single-owner per worker, never shared.
+    pruned: Cell<u64>,
 }
 
 impl<K: Ord + Clone, T> TopK<K, T> {
     /// Creates a collector for the best `k` items.
     pub fn new(k: usize) -> Self {
-        TopK { k, heap: BinaryHeap::with_capacity(k + 1), seq: 0 }
+        TopK { k, heap: BinaryHeap::with_capacity(k + 1), seq: 0, offered: 0, pruned: Cell::new(0) }
     }
 
     /// Number of items currently held.
@@ -63,14 +75,17 @@ impl<K: Ord + Clone, T> TopK<K, T> {
     /// the CP-1.3 pruning hook: callers can skip building expensive row
     /// payloads when this is false.
     pub fn would_accept(&self, key: &K) -> bool {
-        if self.k == 0 {
-            return false;
+        let accept = if self.k == 0 {
+            false
+        } else if self.heap.len() < self.k {
+            true
+        } else {
+            key < &self.heap.peek().expect("heap non-empty").key
+        };
+        if !accept {
+            self.pruned.set(self.pruned.get() + 1);
         }
-        if self.heap.len() < self.k {
-            return true;
-        }
-        let worst = &self.heap.peek().expect("heap non-empty").key;
-        key < worst
+        accept
     }
 
     /// The current k-th (worst kept) key, if the collector is full.
@@ -84,6 +99,14 @@ impl<K: Ord + Clone, T> TopK<K, T> {
 
     /// Offers an item; keeps it only if it beats the current top-k.
     pub fn push(&mut self, key: K, value: T) {
+        self.offered += 1;
+        self.push_unrecorded(key, value);
+    }
+
+    /// The push path without the offer counter — used when merging
+    /// partial collectors, whose entries were already counted when the
+    /// owning worker first offered them.
+    fn push_unrecorded(&mut self, key: K, value: T) {
         if self.k == 0 {
             return;
         }
@@ -94,6 +117,29 @@ impl<K: Ord + Clone, T> TopK<K, T> {
             self.heap.pop();
             self.heap.push(Entry { key, seq: self.seq, value });
             self.seq += 1;
+        }
+    }
+
+    /// Candidates offered via [`TopK::push`] (including through merged
+    /// partial collectors).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Candidates rejected by [`TopK::would_accept`] (including through
+    /// merged partial collectors).
+    pub fn pruned(&self) -> u64 {
+        self.pruned.get()
+    }
+
+    /// Absorbs another collector: its kept entries compete for this
+    /// collector's top-k, and its offer/prune counters are carried
+    /// over. The deterministic merge step of `par_topk`.
+    pub fn merge_from(&mut self, other: TopK<K, T>) {
+        self.offered += other.offered;
+        self.pruned.set(self.pruned.get() + other.pruned.get());
+        for (key, value) in other.into_sorted_entries() {
+            self.push_unrecorded(key, value);
         }
     }
 
@@ -176,6 +222,23 @@ mod tests {
         tk.push(1, "a");
         assert_eq!(tk.len(), 2);
         assert_eq!(tk.into_sorted(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn operator_counters_track_offers_prunes_and_merges() {
+        let mut tk = TopK::new(2);
+        tk.push(10, "a");
+        tk.push(20, "b");
+        assert!(!tk.would_accept(&30)); // pruned
+        assert!(tk.would_accept(&5)); // not pruned
+        assert_eq!((tk.offered(), tk.pruned()), (2, 1));
+        let mut other = TopK::new(1);
+        other.push(1, "c");
+        assert!(!other.would_accept(&50));
+        tk.merge_from(other);
+        // Merge carries counters but does not re-count the moved entry.
+        assert_eq!((tk.offered(), tk.pruned()), (3, 2));
+        assert_eq!(tk.into_sorted(), vec!["c", "a"]);
     }
 
     #[test]

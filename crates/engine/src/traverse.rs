@@ -2,21 +2,32 @@
 //! k-hop neighbourhoods, bidirectional shortest-path length, all
 //! shortest paths, and trail-constrained reachability (BI 16).
 
+use crate::metrics::QueryMetrics;
 use rustc_hash::{FxHashMap, FxHashSet};
 use snb_store::{Ix, Store};
 
 /// Friends within exactly `1..=max_hops` hops of `start`, excluding
 /// `start` itself. Returns `(person, distance)` pairs with the minimal
 /// distance (the "friends and friends of friends" pattern of IC 1/3/9).
-pub fn khop_neighborhood(store: &Store, start: Ix, max_hops: u32) -> Vec<(Ix, u32)> {
+///
+/// CSR edges walked are recorded once on `metrics` (callers without a
+/// query context pass [`QueryMetrics::sink`]).
+pub fn khop_neighborhood(
+    store: &Store,
+    metrics: &QueryMetrics,
+    start: Ix,
+    max_hops: u32,
+) -> Vec<(Ix, u32)> {
     let mut dist: FxHashMap<Ix, u32> = FxHashMap::default();
     dist.insert(start, 0);
     let mut frontier = vec![start];
     let mut out = Vec::new();
+    let mut edges = 0u64;
     for d in 1..=max_hops {
         let mut next = Vec::new();
         for &u in &frontier {
             for v in store.knows.targets_of(u) {
+                edges += 1;
                 if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                     e.insert(d);
                     next.push(v);
@@ -29,15 +40,21 @@ pub fn khop_neighborhood(store: &Store, start: Ix, max_hops: u32) -> Vec<(Ix, u3
             break;
         }
     }
+    metrics.note_edges(edges);
     out
 }
 
 /// Shortest-path length between two persons over `knows`, or `-1` when
 /// unreachable, `0` when `a == b` (IC 13 semantics). Bidirectional BFS.
-pub fn shortest_path_len(store: &Store, a: Ix, b: Ix) -> i32 {
+pub fn shortest_path_len(store: &Store, metrics: &QueryMetrics, a: Ix, b: Ix) -> i32 {
     if a == b {
         return 0;
     }
+    let mut edges = 0u64;
+    let record = |edges: u64, result: i32| {
+        metrics.note_edges(edges);
+        result
+    };
     let mut dist_a: FxHashMap<Ix, u32> = FxHashMap::default();
     let mut dist_b: FxHashMap<Ix, u32> = FxHashMap::default();
     dist_a.insert(a, 0);
@@ -48,7 +65,7 @@ pub fn shortest_path_len(store: &Store, a: Ix, b: Ix) -> i32 {
     let mut depth_b = 0u32;
     loop {
         if frontier_a.is_empty() || frontier_b.is_empty() {
-            return -1;
+            return record(edges, -1);
         }
         // Expand the smaller frontier.
         let expand_a = frontier_a.len() <= frontier_b.len();
@@ -62,6 +79,7 @@ pub fn shortest_path_len(store: &Store, a: Ix, b: Ix) -> i32 {
         let mut best: Option<u32> = None;
         for &u in frontier.iter() {
             for v in store.knows.targets_of(u) {
+                edges += 1;
                 if dist.contains_key(&v) {
                     continue;
                 }
@@ -74,7 +92,7 @@ pub fn shortest_path_len(store: &Store, a: Ix, b: Ix) -> i32 {
             }
         }
         if let Some(b) = best {
-            return b as i32;
+            return record(edges, b as i32);
         }
         *frontier = next;
     }
@@ -83,10 +101,11 @@ pub fn shortest_path_len(store: &Store, a: Ix, b: Ix) -> i32 {
 /// All shortest paths between two persons over `knows` (IC 14 / BI 25).
 /// Returns the list of paths, each a person-index sequence from `a` to
 /// `b`; empty when unreachable. `a == b` yields the single trivial path.
-pub fn all_shortest_paths(store: &Store, a: Ix, b: Ix) -> Vec<Vec<Ix>> {
+pub fn all_shortest_paths(store: &Store, metrics: &QueryMetrics, a: Ix, b: Ix) -> Vec<Vec<Ix>> {
     if a == b {
         return vec![vec![a]];
     }
+    let mut edges = 0u64;
     // Forward BFS recording parents on shortest paths.
     let mut dist: FxHashMap<Ix, u32> = FxHashMap::default();
     let mut parents: FxHashMap<Ix, Vec<Ix>> = FxHashMap::default();
@@ -104,6 +123,7 @@ pub fn all_shortest_paths(store: &Store, a: Ix, b: Ix) -> Vec<Vec<Ix>> {
         let mut next = Vec::new();
         for &u in &frontier {
             for v in store.knows.targets_of(u) {
+                edges += 1;
                 match dist.get(&v) {
                     None => {
                         dist.insert(v, d);
@@ -122,6 +142,7 @@ pub fn all_shortest_paths(store: &Store, a: Ix, b: Ix) -> Vec<Vec<Ix>> {
         }
         frontier = next;
     }
+    metrics.note_edges(edges);
     if found_at.is_none() {
         return Vec::new();
     }
@@ -157,6 +178,7 @@ pub fn all_shortest_paths(store: &Store, a: Ix, b: Ix) -> Vec<Vec<Ix>> {
 /// both a shorter *and* an in-range trail is included).
 pub fn trail_reachable(
     store: &Store,
+    metrics: &QueryMetrics,
     start: Ix,
     min_distance: u32,
     max_distance: u32,
@@ -168,6 +190,7 @@ pub fn trail_reachable(
         ((lo as u64) << 32) | hi as u64
     };
     let mut used: FxHashSet<u64> = FxHashSet::default();
+    let mut edges = 0u64;
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         store: &Store,
@@ -178,6 +201,7 @@ pub fn trail_reachable(
         used: &mut FxHashSet<u64>,
         out: &mut FxHashSet<Ix>,
         edge_key: &impl Fn(Ix, Ix) -> u64,
+        edges: &mut u64,
     ) {
         if depth >= min {
             out.insert(u);
@@ -186,15 +210,17 @@ pub fn trail_reachable(
             return;
         }
         let nbrs: Vec<Ix> = store.knows.targets_of(u).collect();
+        *edges += nbrs.len() as u64;
         for v in nbrs {
             let k = edge_key(u, v);
             if used.insert(k) {
-                dfs(store, v, depth + 1, min, max, used, out, edge_key);
+                dfs(store, v, depth + 1, min, max, used, out, edge_key, edges);
                 used.remove(&k);
             }
         }
     }
-    dfs(store, start, 0, min_distance, max_distance, &mut used, &mut out, &edge_key);
+    dfs(store, start, 0, min_distance, max_distance, &mut used, &mut out, &edge_key, &mut edges);
+    metrics.note_edges(edges);
     if min_distance > 0 {
         out.remove(&start);
     }
@@ -242,7 +268,7 @@ mod tests {
     #[test]
     fn khop_excludes_start_and_has_min_distances() {
         let s = store();
-        let hood = khop_neighborhood(&s, 0, 2);
+        let hood = khop_neighborhood(&s, QueryMetrics::sink(), 0, 2);
         assert!(hood.iter().all(|&(p, _)| p != 0));
         // Distance-1 entries must be direct friends.
         let friends: FxHashSet<Ix> = s.knows.targets_of(0).collect();
@@ -270,7 +296,7 @@ mod tests {
         let oracle = floyd_warshall(n, &edges);
         for a in (0..n).step_by(17) {
             for b in (0..n).step_by(13) {
-                let got = shortest_path_len(&s, a as Ix, b as Ix);
+                let got = shortest_path_len(&s, QueryMetrics::sink(), a as Ix, b as Ix);
                 let want = oracle[a][b];
                 if want >= u32::MAX / 4 {
                     assert_eq!(got, -1, "{a}->{b}");
@@ -288,8 +314,8 @@ mod tests {
         let mut checked = 0;
         for a in (0..n).step_by(11) {
             for b in (0..n).step_by(23) {
-                let len = shortest_path_len(&s, a, b);
-                let paths = all_shortest_paths(&s, a, b);
+                let len = shortest_path_len(&s, QueryMetrics::sink(), a, b);
+                let paths = all_shortest_paths(&s, QueryMetrics::sink(), a, b);
                 if len < 0 {
                     assert!(paths.is_empty());
                     continue;
@@ -318,8 +344,8 @@ mod tests {
         // Any person whose shortest distance lies in [min,max] is
         // reachable by a trail of that length.
         let s = store();
-        let hood = khop_neighborhood(&s, 3, 3);
-        let trails = trail_reachable(&s, 3, 2, 3);
+        let hood = khop_neighborhood(&s, QueryMetrics::sink(), 3, 3);
+        let trails = trail_reachable(&s, QueryMetrics::sink(), 3, 2, 3);
         for &(p, d) in &hood {
             if d >= 2 {
                 assert!(trails.contains(&p), "person {p} at distance {d} missing");
@@ -331,7 +357,7 @@ mod tests {
     #[test]
     fn trail_zero_min_includes_start() {
         let s = store();
-        let trails = trail_reachable(&s, 0, 0, 2);
+        let trails = trail_reachable(&s, QueryMetrics::sink(), 0, 0, 2);
         assert!(trails.contains(&0));
     }
 }

@@ -9,7 +9,10 @@ pub fn friends(store: &Store, p: Ix) -> Vec<Ix> {
 
 /// Friends and friends-of-friends (distance 1..=2), excluding `p`.
 pub fn friends_within_2(store: &Store, p: Ix) -> Vec<Ix> {
-    snb_engine::traverse::khop_neighborhood(store, p, 2).into_iter().map(|(q, _)| q).collect()
+    snb_engine::traverse::khop_neighborhood(store, snb_engine::QueryMetrics::sink(), p, 2)
+        .into_iter()
+        .map(|(q, _)| q)
+        .collect()
 }
 
 /// The message's display content: `content`, or `imageFile` for image

@@ -97,7 +97,7 @@ fn to_row(store: &Store, p: Ix, distance: u32) -> Row {
 pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     let Ok(start) = store.person(params.person_id) else { return Vec::new() };
     let mut tk = TopK::new(LIMIT);
-    for (p, d) in khop_neighborhood(store, start, 3) {
+    for (p, d) in khop_neighborhood(store, snb_engine::QueryMetrics::sink(), start, 3) {
         if store.persons.first_name[p as usize] != params.first_name {
             continue;
         }
@@ -119,7 +119,12 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         if p == start || store.persons.first_name[p as usize] != params.first_name {
             continue;
         }
-        let d = snb_engine::traverse::shortest_path_len(store, start, p);
+        let d = snb_engine::traverse::shortest_path_len(
+            store,
+            snb_engine::QueryMetrics::sink(),
+            start,
+            p,
+        );
         if !(1..=3).contains(&d) {
             continue;
         }
@@ -154,7 +159,12 @@ mod tests {
             assert_eq!(s.persons.first_name[p as usize], name);
             assert!((1..=3).contains(&r.distance));
             assert_ne!(r.friend_id, hub_person());
-            let d = snb_engine::traverse::shortest_path_len(s, s.person(hub_person()).unwrap(), p);
+            let d = snb_engine::traverse::shortest_path_len(
+                s,
+                snb_engine::QueryMetrics::sink(),
+                s.person(hub_person()).unwrap(),
+                p,
+            );
             assert_eq!(d, r.distance as i32, "distance disagrees with BFS");
         }
     }

@@ -91,7 +91,12 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         if p == start {
             continue;
         }
-        let d = snb_engine::traverse::shortest_path_len(store, start, p);
+        let d = snb_engine::traverse::shortest_path_len(
+            store,
+            snb_engine::QueryMetrics::sink(),
+            start,
+            p,
+        );
         if !(1..=2).contains(&d) {
             continue;
         }
@@ -140,7 +145,12 @@ mod tests {
         let start = s.person(hub_person()).unwrap();
         for r in run(s, &params()) {
             let author = s.person(r.person_id).unwrap();
-            let d = snb_engine::traverse::shortest_path_len(s, start, author);
+            let d = snb_engine::traverse::shortest_path_len(
+                s,
+                snb_engine::QueryMetrics::sink(),
+                start,
+                author,
+            );
             assert!((1..=2).contains(&d), "author at distance {d}");
         }
     }

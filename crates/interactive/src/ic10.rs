@@ -54,7 +54,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     let Ok(start) = store.person(params.person_id) else { return Vec::new() };
     let interests: FxHashSet<Ix> = store.person_interest.targets_of(start).collect();
     let mut tk = TopK::new(LIMIT);
-    for (p, d) in khop_neighborhood(store, start, 2) {
+    for (p, d) in khop_neighborhood(store, snb_engine::QueryMetrics::sink(), start, 2) {
         if d != 2 || !birthday_matches(store.persons.birthday[p as usize], params.month) {
             continue;
         }
@@ -91,7 +91,12 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let mut items = Vec::new();
     for p in 0..store.persons.len() as Ix {
         if p == start
-            || snb_engine::traverse::shortest_path_len(store, start, p) != 2
+            || snb_engine::traverse::shortest_path_len(
+                store,
+                snb_engine::QueryMetrics::sink(),
+                start,
+                p,
+            ) != 2
             || !birthday_matches(store.persons.birthday[p as usize], params.month)
         {
             continue;
@@ -147,7 +152,15 @@ mod tests {
         for month in 1..=12 {
             for r in run(s, &Params { person_id: hub_person(), month }) {
                 let p = s.person(r.person_id).unwrap();
-                assert_eq!(snb_engine::traverse::shortest_path_len(s, start, p), 2);
+                assert_eq!(
+                    snb_engine::traverse::shortest_path_len(
+                        s,
+                        snb_engine::QueryMetrics::sink(),
+                        start,
+                        p
+                    ),
+                    2
+                );
                 assert!(birthday_matches(s.persons.birthday[p as usize], month));
             }
         }

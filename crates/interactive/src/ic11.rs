@@ -85,7 +85,12 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         if p == start {
             continue;
         }
-        let d = snb_engine::traverse::shortest_path_len(store, start, p);
+        let d = snb_engine::traverse::shortest_path_len(
+            store,
+            snb_engine::QueryMetrics::sink(),
+            start,
+            p,
+        );
         if !(1..=2).contains(&d) {
             continue;
         }

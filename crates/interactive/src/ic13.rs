@@ -27,7 +27,9 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
-    vec![Row { shortest_path_length: shortest_path_len(store, a, b) }]
+    vec![Row {
+        shortest_path_length: shortest_path_len(store, snb_engine::QueryMetrics::sink(), a, b),
+    }]
 }
 
 /// Naive reference: plain single-direction layered BFS (the optimized

@@ -45,7 +45,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     let (Ok(a), Ok(b)) = (store.person(params.person1_id), store.person(params.person2_id)) else {
         return Vec::new();
     };
-    let mut rows: Vec<Row> = all_shortest_paths(store, a, b)
+    let mut rows: Vec<Row> = all_shortest_paths(store, snb_engine::QueryMetrics::sink(), a, b)
         .into_iter()
         .map(|path| Row {
             path_weight: path.windows(2).map(|w| pair_weight(store, w[0], w[1])).sum(),
@@ -82,7 +82,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         }
         weight
     };
-    let mut rows: Vec<Row> = all_shortest_paths(store, a, b)
+    let mut rows: Vec<Row> = all_shortest_paths(store, snb_engine::QueryMetrics::sink(), a, b)
         .into_iter()
         .map(|path| Row {
             path_weight: path.windows(2).map(|w| scan_weight(w[0], w[1])).sum(),
@@ -107,7 +107,7 @@ mod tests {
     fn pair_at_distance(s: &Store, d: i32) -> Option<(u64, u64)> {
         for a in 0..s.persons.len() as Ix {
             for b in a + 1..s.persons.len() as Ix {
-                if shortest_path_len(s, a, b) == d {
+                if shortest_path_len(s, snb_engine::QueryMetrics::sink(), a, b) == d {
                     return Some((s.persons.id[a as usize], s.persons.id[b as usize]));
                 }
             }

@@ -418,7 +418,12 @@ impl<'a> ParamGen<'a> {
             if a == b {
                 continue;
             }
-            let d = snb_engine::traverse::shortest_path_len(self.store, a, b);
+            let d = snb_engine::traverse::shortest_path_len(
+                self.store,
+                snb_engine::QueryMetrics::sink(),
+                a,
+                b,
+            );
             if (2..=4).contains(&d) {
                 let pair = (self.store.persons.id[a as usize], self.store.persons.id[b as usize]);
                 if !pairs.contains(&pair) {
@@ -644,7 +649,12 @@ mod tests {
         for (a, b) in pairs {
             let ai = s.person(a).unwrap();
             let bi = s.person(b).unwrap();
-            let d = snb_engine::traverse::shortest_path_len(s, ai, bi);
+            let d = snb_engine::traverse::shortest_path_len(
+                s,
+                snb_engine::QueryMetrics::sink(),
+                ai,
+                bi,
+            );
             assert!((2..=4).contains(&d));
         }
     }

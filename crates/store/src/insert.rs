@@ -342,6 +342,22 @@ impl Store {
         self.message_replies.grow_sources(n);
         self.message_likes.grow_sources(n);
         self.person_messages.insert(creator, ix, ());
+        // Keep the date permutation index fresh when the insert arrives
+        // in `(creation_date, ix)` order — true for the time-ordered
+        // update stream — so steady-state reads never hit the O(n)
+        // linear-scan fallback. Out-of-order inserts leave the index
+        // stale for the driver's batch-boundary rebuild to repair.
+        if self.message_by_date.len() == ix as usize {
+            let in_order = match self.message_by_date.last() {
+                None => true,
+                Some(&prev) => {
+                    (self.messages.creation_date[prev as usize], prev) < (creation_date, ix)
+                }
+            };
+            if in_order {
+                self.message_by_date.push(ix);
+            }
+        }
         ix
     }
 
@@ -576,5 +592,53 @@ mod tests {
         bulk.compact();
         assert_eq!(bulk.knows.edge_count(), full.knows.edge_count());
         bulk.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn time_ordered_stream_keeps_date_index_fresh() {
+        // The update stream arrives in timestamp order, so the O(1)
+        // incremental append in `push_message_row` (plus the rebuild in
+        // the delete path) must keep the date permutation index fresh
+        // after every single event — no read may ever pay the O(n)
+        // linear-scan fallback during steady-state streaming.
+        let c = config(100);
+        let (mut bulk, events) = bulk_store_and_stream(&c);
+        let world = snb_datagen::dictionaries::StaticWorld::build(c.seed);
+        assert!(bulk.date_index_fresh());
+        for (i, e) in events.iter().enumerate() {
+            bulk.apply_event(e, &world).unwrap();
+            assert!(bulk.date_index_fresh(), "index went stale after event {i}");
+        }
+        bulk.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_insert_leaves_index_stale() {
+        // An insert dated before the newest stored message cannot be
+        // appended to the permutation in place; the index goes stale
+        // and the driver's batch-boundary rebuild repairs it.
+        let mut s = store_for_config(&config(40));
+        let post = (0..s.messages.len() as Ix).find(|&m| s.messages.is_post(m)).unwrap();
+        let post_id = s.messages.id[post as usize];
+        let country = s.places.id[s.messages.country[post as usize] as usize];
+        assert!(s.date_index_fresh());
+        s.insert_comment(CommentInsert {
+            id: 6_000_000,
+            creation_date: DateTime(0),
+            location_ip: "9.9.9.9".into(),
+            browser_used: "Opera".into(),
+            content: "late arrival".into(),
+            length: 12,
+            author_person_id: s.persons.id[0],
+            country_id: country,
+            reply_to_post_id: post_id as i64,
+            reply_to_comment_id: -1,
+            tag_ids: vec![],
+        })
+        .unwrap();
+        assert!(!s.date_index_fresh());
+        s.rebuild_date_index();
+        assert!(s.date_index_fresh());
+        s.validate_invariants().unwrap();
     }
 }

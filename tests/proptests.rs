@@ -133,6 +133,74 @@ proptest! {
         let expect: Vec<u64> = values.iter().map(|v| v * 2).collect();
         prop_assert_eq!(scanned, expect);
     }
+
+    /// The stale-index linear-scan fallback and the fresh date index
+    /// select the same message sets for arbitrary windows (the fallback
+    /// returns ascending message order, the index date order — compare
+    /// as sorted sets). Also pins that the access-path counters tell
+    /// the two paths apart.
+    #[test]
+    fn stale_fallback_agrees_with_fresh_index(
+        lo_day in 0u32..2000,
+        len_days in 0u32..400
+    ) {
+        use ldbc_snb::bi::common::{messages_after, messages_before, messages_in};
+        use ldbc_snb::core::Date as CDate;
+        use ldbc_snb::engine::QueryMetrics;
+
+        let fresh = window_test_store(false);
+        let stale = window_test_store(true);
+        let lo = CDate::from_ymd(2010, 1, 1).plus_days(lo_day as i32).at_midnight();
+        let hi = CDate::from_ymd(2010, 1, 1).plus_days((lo_day + len_days) as i32).at_midnight();
+
+        let fresh_metrics = QueryMetrics::new(1);
+        let stale_metrics = QueryMetrics::new(1);
+        let sort = |mut v: Vec<u32>| { v.sort_unstable(); v };
+        let via_index = sort(messages_in(fresh, &fresh_metrics, lo, hi).to_vec());
+        let via_scan = sort(messages_in(stale, &stale_metrics, lo, hi).to_vec());
+        prop_assert_eq!(&via_index, &via_scan);
+        prop_assert_eq!(
+            sort(messages_before(fresh, &fresh_metrics, lo).to_vec()),
+            sort(messages_before(stale, &stale_metrics, lo).to_vec())
+        );
+        prop_assert_eq!(
+            sort(messages_after(fresh, &fresh_metrics, hi).to_vec()),
+            sort(messages_after(stale, &stale_metrics, hi).to_vec())
+        );
+        let fresh_profile = fresh_metrics.snapshot();
+        let stale_profile = stale_metrics.snapshot();
+        prop_assert_eq!(fresh_profile.index_hits, 3);
+        prop_assert_eq!(fresh_profile.index_fallbacks, 0);
+        prop_assert_eq!(stale_profile.index_hits, 0);
+        prop_assert_eq!(stale_profile.index_fallbacks, 3);
+    }
+}
+
+/// Shared stores for the window proptest: built once per process (the
+/// generator is deterministic). The stale variant has the tail of its
+/// date permutation index popped, forcing every window read down the
+/// linear-scan fallback path.
+fn window_test_store(stale: bool) -> &'static ldbc_snb::store::Store {
+    use ldbc_snb::datagen::GeneratorConfig;
+    use ldbc_snb::store::{store_for_config, Store};
+    use std::sync::OnceLock;
+    static FRESH: OnceLock<Store> = OnceLock::new();
+    static STALE: OnceLock<Store> = OnceLock::new();
+    let build = || {
+        let mut c = GeneratorConfig::for_scale_name("0.001").unwrap();
+        c.persons = 100;
+        store_for_config(&c)
+    };
+    if stale {
+        STALE.get_or_init(|| {
+            let mut s = build();
+            s.message_by_date.pop();
+            assert!(!s.date_index_fresh());
+            s
+        })
+    } else {
+        FRESH.get_or_init(build)
+    }
 }
 
 /// Shortest-path lengths from the engine's bidirectional BFS agree with
@@ -192,6 +260,7 @@ fn bfs_agrees_with_floyd_warshall_on_random_graphs() {
         for (b, &want) in row.iter().enumerate() {
             let got = ldbc_snb::engine::traverse::shortest_path_len(
                 &store,
+                ldbc_snb::engine::QueryMetrics::sink(),
                 (base_ix + a) as u32,
                 (base_ix + b) as u32,
             );
