@@ -17,7 +17,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> bi_runtimes profile smoke-run"
 SMOKE_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$SMOKE_JSON"' EXIT
+SERVICE_JSON="$(mktemp /tmp/service_smoke.XXXXXX.json)"
+SERVER_OUT="$(mktemp /tmp/server_smoke.XXXXXX.out)"
+ACCESS_LOG="$(mktemp /tmp/server_smoke.XXXXXX.jsonl)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -f "$SMOKE_JSON" "$SERVICE_JSON" "$SERVER_OUT" "$ACCESS_LOG"
+}
+trap cleanup EXIT
 SNB_BENCH_OUT="$SMOKE_JSON" \
   cargo run -q --release -p snb-bench --bin bi_runtimes -- 0.001 --profile \
   > /dev/null
@@ -37,5 +45,58 @@ if grep -qE '"index_fallbacks": [1-9]' "$SMOKE_JSON"; then
   echo "BENCH_bi.json reports stale-index fallbacks on a fresh store" >&2
   exit 1
 fi
+# PR 3: the JSON must carry the run-metadata block.
+grep -q '"meta": {"git_commit":' "$SMOKE_JSON" || {
+  echo "BENCH_bi.json is missing the meta block" >&2; exit 1; }
+
+echo "==> service_load in-process smoke (oracle verification)"
+# Closed-loop drive with per-request result verification against the
+# in-process power-run oracle; a nonzero exit means protocol errors or
+# a fingerprint divergence.
+SNB_SERVICE_OUT="$SERVICE_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 \
+  --clients 4 --duration 2s > /dev/null
+
+echo "==> snb-server smoke (overload shed, deadline miss, graceful shutdown)"
+# Ephemeral port, one worker, an undersized queue: the overload burst
+# must shed (not buffer without bound) and the microsecond-deadline
+# burst must answer DeadlineExceeded (not hang).
+SNB_ACCESS_LOG="$ACCESS_LOG" \
+  cargo run -q --release -p snb-server --bin snb-server -- 0.001 \
+  --port 0 --workers 1 --queue-cap 8 > "$SERVER_OUT" 2>/dev/null &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 240); do
+  ADDR="$(grep -o '127\.0\.0\.1:[0-9]*' "$SERVER_OUT" | head -1 || true)"
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "snb-server exited before listening" >&2; exit 1
+  fi
+  sleep 0.5
+done
+[ -n "$ADDR" ] || { echo "snb-server never started listening" >&2; exit 1; }
+SNB_SERVICE_OUT="$SERVICE_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 \
+  --clients 4 --duration 2s --connect "$ADDR" --exercise-edges > /dev/null
+# Schema + edge-case assertions on BENCH_service.json.
+for key in meta config latency_us throughput outcomes p50 p95 p99 \
+           offered_qps achieved_qps burst_shed burst_deadline_missed; do
+  grep -q "\"$key\":" "$SERVICE_JSON" || {
+    echo "BENCH_service.json is missing key '$key'" >&2; exit 1; }
+done
+shed="$(grep -o '"burst_shed": [0-9]*' "$SERVICE_JSON" | grep -o '[0-9]*$')"
+missed="$(grep -o '"burst_deadline_missed": [0-9]*' "$SERVICE_JSON" | grep -o '[0-9]*$')"
+[ "$shed" -ge 1 ] || { echo "overload burst shed nothing (shed=$shed)" >&2; exit 1; }
+[ "$missed" -ge 1 ] || { echo "deadline burst missed nothing (missed=$missed)" >&2; exit 1; }
+# Graceful drain-then-shutdown: SIGTERM must produce a clean exit and a
+# flushed access log.
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "snb-server did not exit cleanly on SIGTERM" >&2; exit 1
+fi
+SERVER_PID=""
+[ -s "$ACCESS_LOG" ] || { echo "access log was not flushed on shutdown" >&2; exit 1; }
+grep -q '"outcome": "ok"' "$ACCESS_LOG" || {
+  echo "access log has no served requests" >&2; exit 1; }
 
 echo "CI OK"

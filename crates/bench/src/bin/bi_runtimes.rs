@@ -108,12 +108,14 @@ fn main() {
             r.queries_executed.to_string(),
             snb_bench::fmt_duration(r.wall),
             format!("{:.1}", r.qps),
+            snb_bench::fmt_duration(r.mean_queue_wait),
+            snb_bench::fmt_duration(r.mean_exec),
         ]);
         throughput.push(r);
     }
     snb_bench::print_table(
         "E5: BI throughput test (stream sweep)",
-        &["threads", "queries", "wall", "qps"],
+        &["threads", "queries", "wall", "qps", "mean wait", "mean exec"],
         &t_rows,
     );
 
@@ -174,6 +176,7 @@ fn render_json(
     throughput: &[snb_driver::ThroughputReport],
 ) -> String {
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"meta\": {},\n", snb_bench::meta_json(config)));
     out.push_str(&format!("  \"persons\": {},\n  \"seed\": {},\n", config.persons, config.seed));
     out.push_str(&format!("  \"hardware_cores\": {cores},\n"));
     out.push_str(&format!("  \"bindings_per_query\": {BINDINGS_PER_QUERY},\n"));
@@ -219,11 +222,17 @@ fn render_json(
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"queries\": {}, \"wall_us\": {}, \"qps\": {:.2}}}",
+            "    {{\"threads\": {}, \"queries\": {}, \"wall_us\": {}, \"qps\": {:.2}, \
+             \"mean_queue_wait_us\": {}, \"mean_exec_us\": {}, \"total_queue_wait_us\": {}, \
+             \"total_exec_us\": {}}}",
             r.threads,
             r.queries_executed,
             r.wall.as_micros(),
             r.qps,
+            r.mean_queue_wait.as_micros(),
+            r.mean_exec.as_micros(),
+            r.total_queue_wait.as_micros(),
+            r.total_exec.as_micros(),
         ));
     }
     out.push_str("\n  ]\n}\n");

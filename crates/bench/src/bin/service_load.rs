@@ -1,0 +1,598 @@
+//! Experiment E12 — service-layer load generation against `snb-server`.
+//!
+//! Drives the query service with curated BI bindings in closed-loop
+//! (each client issues its next request when the previous one answers)
+//! or open-loop (`--open --rate R`: requests fire on a fixed schedule
+//! regardless of completions, so queueing is visible as latency)
+//! mode, and emits `BENCH_service.json` with the latency distribution,
+//! offered vs achieved throughput, and the shed / deadline-miss
+//! counters from the server's admission control.
+//!
+//! ```text
+//! service_load [SF] [SEED] [--clients N] [--duration 10s]
+//!              [--open --rate QPS] [--deadline-us N]
+//!              [--workers N] [--queue-cap N] [--profile]
+//!              [--queries 2,12,18] [--bindings N]
+//!              [--tcp | --connect HOST:PORT]
+//!              [--updates] [--exercise-edges] [--out PATH]
+//! ```
+//!
+//! Default transport is in-process (deterministic); `--tcp` drives the
+//! same in-process server over loopback TCP; `--connect` targets an
+//! externally started `snb-server`. Without `--updates`, every `ok`
+//! response is verified against an in-process power-run oracle (same
+//! store, same bindings, single-threaded context) — any fingerprint
+//! divergence is a hard failure. `--updates` replays the update stream
+//! (inserts plus interleaved like-deletes) through the server's write
+//! path while clients read. `--exercise-edges` appends two bursts after
+//! the measured window: a pipelined overload burst that must shed, and
+//! a tiny-deadline burst that must miss deadlines.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use snb_bi::{BiParams, QuerySummary};
+use snb_datagen::GeneratorConfig;
+use snb_engine::QueryContext;
+use snb_params::ParamGen;
+use snb_server::proto::{self, Request};
+use snb_server::{ErrorKind, Response, Server, ServerConfig, ServiceParams, ServiceReport};
+use snb_store::DeleteOp;
+
+#[derive(Clone)]
+struct Args {
+    config: GeneratorConfig,
+    clients: usize,
+    duration: Duration,
+    open: bool,
+    rate: f64,
+    deadline_us: u64,
+    queries: Vec<u8>,
+    bindings_per_query: usize,
+    tcp: bool,
+    connect: Option<String>,
+    updates: bool,
+    exercise_edges: bool,
+    server: ServerConfig,
+    out: String,
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let t = s.trim();
+    if let Some(ms) = t.strip_suffix("ms") {
+        return ms.parse::<u64>().map(Duration::from_millis).map_err(|e| e.to_string());
+    }
+    let secs = t.strip_suffix('s').unwrap_or(t);
+    secs.parse::<f64>().map(Duration::from_secs_f64).map_err(|e| e.to_string())
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut args = Args {
+        config: GeneratorConfig::for_scale_name("0.01").unwrap(),
+        clients: 8,
+        duration: Duration::from_secs(10),
+        open: false,
+        rate: 0.0,
+        deadline_us: 0,
+        queries: (1..=25).collect(),
+        bindings_per_query: 4,
+        tcp: false,
+        connect: None,
+        updates: false,
+        exercise_edges: false,
+        server: ServerConfig { threads_per_worker: 1, ..ServerConfig::default() },
+        out: std::env::var("SNB_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into()),
+    };
+    let mut argv = std::env::args().skip(1);
+    let need = |name: &str, v: Option<String>| v.ok_or_else(|| format!("{name} needs a value"));
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--clients" => {
+                args.clients =
+                    need("--clients", argv.next())?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--duration" => args.duration = parse_duration(&need("--duration", argv.next())?)?,
+            "--open" => args.open = true,
+            "--rate" => {
+                args.rate = need("--rate", argv.next())?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--deadline-us" => {
+                args.deadline_us =
+                    need("--deadline-us", argv.next())?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--queries" => {
+                args.queries = need("--queries", argv.next())?
+                    .split(',')
+                    .map(|q| q.trim().parse::<u8>().map_err(|e| format!("--queries: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.queries.iter().any(|&q| q == 0 || q > 25) {
+                    return Err("--queries entries must be in 1..=25".into());
+                }
+            }
+            "--bindings" => {
+                args.bindings_per_query =
+                    need("--bindings", argv.next())?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tcp" => args.tcp = true,
+            "--connect" => args.connect = Some(need("--connect", argv.next())?),
+            "--updates" => args.updates = true,
+            "--exercise-edges" => args.exercise_edges = true,
+            "--workers" => {
+                args.server.workers =
+                    need("--workers", argv.next())?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--queue-cap" => {
+                args.server.queue_capacity =
+                    need("--queue-cap", argv.next())?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--profile" => args.server.profiling = true,
+            "--out" => args.out = need("--out", argv.next())?,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => positionals.push(other.to_string()),
+        }
+    }
+    if let Some(sf) = positionals.first() {
+        args.config = GeneratorConfig::for_scale_name(sf)
+            .ok_or_else(|| format!("unknown scale factor {sf:?}"))?;
+    }
+    if let Some(seed) = positionals.get(1) {
+        args.config.seed = seed.parse().map_err(|e| format!("seed: {e}"))?;
+    }
+    if args.open && args.rate <= 0.0 {
+        return Err("--open requires --rate QPS".into());
+    }
+    if args.connect.is_some() && (args.updates || args.tcp) {
+        return Err("--connect is exclusive with --tcp/--updates (no server handle)".into());
+    }
+    Ok(args)
+}
+
+/// One client's transport to the service.
+enum Transport {
+    InProc(snb_server::InProcClient),
+    Tcp(TcpStream),
+}
+
+impl Transport {
+    fn call(
+        &mut self,
+        id: u64,
+        params: ServiceParams,
+        deadline_us: u64,
+    ) -> Result<Response, String> {
+        match self {
+            Transport::InProc(c) => Ok(c.call(params, deadline_us)),
+            Transport::Tcp(stream) => {
+                let req = Request { id, deadline_us, params };
+                proto::write_frame(stream, &proto::encode_request(&req))
+                    .map_err(|e| format!("write: {e}"))?;
+                let payload = proto::read_frame(stream).map_err(|e| format!("read: {e}"))?;
+                let resp = proto::decode_response(&payload)
+                    .map_err(|e| format!("decode: {}", e.detail))?;
+                if resp.id != id {
+                    return Err(format!("correlation mismatch: sent {id}, got {}", resp.id));
+                }
+                Ok(resp)
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct ClientStats {
+    latencies_us: Vec<u64>,
+    issued: u64,
+    ok: u64,
+    overloaded: u64,
+    deadline_exceeded: u64,
+    shutting_down: u64,
+    bad_request: u64,
+    internal: u64,
+    protocol_errors: u64,
+    verify_failures: u64,
+}
+
+impl ClientStats {
+    fn absorb(&mut self, other: ClientStats) {
+        self.latencies_us.extend(other.latencies_us);
+        self.issued += other.issued;
+        self.ok += other.ok;
+        self.overloaded += other.overloaded;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.shutting_down += other.shutting_down;
+        self.bad_request += other.bad_request;
+        self.internal += other.internal;
+        self.protocol_errors += other.protocol_errors;
+        self.verify_failures += other.verify_failures;
+    }
+
+    fn note(&mut self, resp: &Response, latency_us: u64, oracle: Option<&QuerySummary>) {
+        match &resp.body {
+            Ok(ok) => {
+                self.ok += 1;
+                self.latencies_us.push(latency_us);
+                if let Some(want) = oracle {
+                    if ok.rows as usize != want.rows || ok.fingerprint != want.fingerprint {
+                        self.verify_failures += 1;
+                        eprintln!(
+                            "VERIFY FAILURE: rows {} fp {:#x}, oracle rows {} fp {:#x}",
+                            ok.rows, ok.fingerprint, want.rows, want.fingerprint
+                        );
+                    }
+                }
+            }
+            Err(e) => match e.kind {
+                ErrorKind::Overloaded => self.overloaded += 1,
+                ErrorKind::DeadlineExceeded => self.deadline_exceeded += 1,
+                ErrorKind::ShuttingDown => self.shutting_down += 1,
+                ErrorKind::BadRequest => self.bad_request += 1,
+                ErrorKind::Internal => self.internal += 1,
+            },
+        }
+    }
+}
+
+/// Deterministic per-client binding order (splitmix-style).
+struct BindingPicker {
+    state: u64,
+    len: usize,
+}
+
+impl BindingPicker {
+    fn new(seed: u64, client: usize, len: usize) -> Self {
+        BindingPicker { state: seed ^ ((client as u64 + 1) * 0x9E37_79B9_7F4A_7C15), len }
+    }
+
+    fn next(&mut self) -> usize {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.state >> 33) as usize) % self.len
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("service_load: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Build the dataset once: the store feeds the server, the stream
+    // feeds the optional update replay, and the bindings + oracle are
+    // derived before the server takes ownership.
+    eprintln!("# building store: {} persons (seed {}) ...", args.config.persons, args.config.seed);
+    let (store, stream) = snb_store::bulk_store_and_stream(&args.config);
+    let pool: Vec<(u8, BiParams)> = {
+        let gen = ParamGen::new(&store, args.config.seed);
+        args.queries
+            .iter()
+            .flat_map(|&q| {
+                gen.bi_params(q, args.bindings_per_query).into_iter().map(move |p| (q, p))
+            })
+            .collect()
+    };
+    assert!(!pool.is_empty(), "no bindings generated");
+
+    // Oracle: one in-process single-threaded run per binding. Skipped
+    // under --updates (the store moves) and --connect (remote store).
+    let oracle: Option<Vec<QuerySummary>> = if args.updates || args.connect.is_some() {
+        None
+    } else {
+        eprintln!("# computing power-run oracle for {} bindings ...", pool.len());
+        let ctx = QueryContext::single_threaded();
+        Some(pool.iter().map(|(_, p)| snb_bi::run_with(&store, &ctx, p)).collect())
+    };
+
+    // Start (or connect to) the service.
+    let mut server: Option<Server> = None;
+    let mut tcp_addr: Option<std::net::SocketAddr> = None;
+    if args.connect.is_none() {
+        let mut s = Server::start(store, args.server.clone());
+        if args.tcp || args.exercise_edges {
+            tcp_addr = Some(s.listen("127.0.0.1:0").expect("bind loopback"));
+        }
+        server = Some(s);
+    } else {
+        drop(store);
+    }
+
+    let make_transport = |client: usize| -> Transport {
+        if let Some(addr) = &args.connect {
+            let stream = TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("client {client}: connect {addr}: {e}"));
+            let _ = stream.set_nodelay(true);
+            Transport::Tcp(stream)
+        } else if args.tcp {
+            let stream = TcpStream::connect(tcp_addr.unwrap()).expect("connect loopback");
+            let _ = stream.set_nodelay(true);
+            Transport::Tcp(stream)
+        } else {
+            Transport::InProc(server.as_ref().unwrap().client())
+        }
+    };
+
+    // Optional concurrent update replay through the server write path:
+    // inserts in stream order, plus a like-delete for every other
+    // previously applied like (no later event depends on a like, so
+    // deletes never orphan subsequent inserts).
+    let stop_writer = Arc::new(AtomicU64::new(0));
+    let writer_handle = if args.updates {
+        let writer = server.as_ref().unwrap().writer();
+        let world = snb_datagen::dictionaries::StaticWorld::build(args.config.seed);
+        let stop = Arc::clone(&stop_writer);
+        let pace = args.duration.div_f64((stream.len().max(1)) as f64);
+        Some(std::thread::spawn(move || {
+            let mut pending_likes: Vec<DeleteOp> = Vec::new();
+            for (i, event) in stream.iter().enumerate() {
+                if stop.load(Ordering::Acquire) != 0 {
+                    break;
+                }
+                if let snb_datagen::stream::UpdateEvent::AddLikePost(like) = &event.event {
+                    if i % 2 == 0 {
+                        pending_likes.push(DeleteOp::Like(like.person.0, like.message.0));
+                    }
+                }
+                writer.apply_update(event, &world).expect("update apply");
+                if pending_likes.len() >= 32 {
+                    writer.apply_deletes(&pending_likes).expect("delete apply");
+                    pending_likes.clear();
+                }
+                if pace > Duration::ZERO {
+                    std::thread::sleep(pace.min(Duration::from_millis(2)));
+                }
+            }
+            if !pending_likes.is_empty() {
+                writer.apply_deletes(&pending_likes).expect("delete apply");
+            }
+            writer.validate_invariants().expect("store invariants after replay");
+        }))
+    } else {
+        None
+    };
+
+    // The measured window.
+    eprintln!(
+        "# driving {} client(s) for {:?} ({} loop) ...",
+        args.clients,
+        args.duration,
+        if args.open { "open" } else { "closed" }
+    );
+    let started = Instant::now();
+    let end = started + args.duration;
+    let handles: Vec<std::thread::JoinHandle<ClientStats>> = (0..args.clients)
+        .map(|client| {
+            let mut transport = make_transport(client);
+            let pool = pool.clone();
+            let oracle = oracle.clone();
+            let args = args.clone();
+            std::thread::spawn(move || {
+                let mut stats = ClientStats::default();
+                let mut picker = BindingPicker::new(args.config.seed, client, pool.len());
+                let mut next_id: u64 = (client as u64) << 32;
+                // Open loop: this client's share of the offered rate.
+                let interarrival = if args.open {
+                    Duration::from_secs_f64(args.clients as f64 / args.rate)
+                } else {
+                    Duration::ZERO
+                };
+                let mut next_fire = Instant::now();
+                loop {
+                    let now = Instant::now();
+                    if now >= end {
+                        break;
+                    }
+                    if args.open {
+                        if next_fire > now {
+                            std::thread::sleep(next_fire - now);
+                        }
+                        next_fire += interarrival;
+                        if Instant::now() >= end {
+                            break;
+                        }
+                    }
+                    let bidx = picker.next();
+                    let (_, params) = &pool[bidx];
+                    next_id += 1;
+                    stats.issued += 1;
+                    let t0 = Instant::now();
+                    match transport.call(
+                        next_id,
+                        ServiceParams::Bi(params.clone()),
+                        args.deadline_us,
+                    ) {
+                        Ok(resp) => {
+                            let latency_us = t0.elapsed().as_micros() as u64;
+                            stats.note(&resp, latency_us, oracle.as_ref().map(|o| &o[bidx]));
+                        }
+                        Err(detail) => {
+                            stats.protocol_errors += 1;
+                            eprintln!("client {client}: protocol error: {detail}");
+                        }
+                    }
+                }
+                stats
+            })
+        })
+        .collect();
+
+    let mut total = ClientStats::default();
+    for h in handles {
+        total.absorb(h.join().expect("client thread"));
+    }
+    let wall = started.elapsed();
+    stop_writer.store(1, Ordering::Release);
+    if let Some(h) = writer_handle {
+        h.join().expect("writer thread");
+    }
+
+    // Edge-case bursts (after the measured window, so they do not
+    // pollute the latency distribution).
+    let mut burst_shed = 0u64;
+    let mut burst_deadline_missed = 0u64;
+    if args.exercise_edges {
+        let addr = tcp_addr
+            .map(|a| a.to_string())
+            .or_else(|| args.connect.clone())
+            .expect("edge bursts need a TCP endpoint");
+        let (shed, missed) = exercise_edges(&addr, &pool);
+        burst_shed = shed;
+        burst_deadline_missed = missed;
+        eprintln!("# edge bursts: {burst_shed} shed, {burst_deadline_missed} deadline-missed");
+    }
+
+    // Shut the server down (drain) and collect its side of the story.
+    let server_report: Option<ServiceReport> = server.map(|s| s.shutdown());
+
+    total.latencies_us.sort_unstable();
+    let lat = &total.latencies_us;
+    let mean_us = if lat.is_empty() { 0 } else { lat.iter().sum::<u64>() / lat.len() as u64 };
+    let offered_qps = total.issued as f64 / wall.as_secs_f64();
+    let achieved_qps = total.ok as f64 / wall.as_secs_f64();
+
+    snb_bench::print_table(
+        "E12: service load",
+        &["clients", "issued", "ok", "shed", "deadline", "p50", "p95", "p99", "achieved qps"],
+        &[vec![
+            args.clients.to_string(),
+            total.issued.to_string(),
+            total.ok.to_string(),
+            total.overloaded.to_string(),
+            total.deadline_exceeded.to_string(),
+            snb_bench::fmt_duration(Duration::from_micros(percentile(lat, 0.50))),
+            snb_bench::fmt_duration(Duration::from_micros(percentile(lat, 0.95))),
+            snb_bench::fmt_duration(Duration::from_micros(percentile(lat, 0.99))),
+            format!("{achieved_qps:.1}"),
+        ]],
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"meta\": {},\n", snb_bench::meta_json(&args.config)));
+    out.push_str(&format!(
+        "  \"config\": {{\"clients\": {}, \"duration_us\": {}, \"mode\": \"{}\", \
+         \"rate_qps\": {:.2}, \"deadline_us\": {}, \"transport\": \"{}\", \"workers\": {}, \
+         \"queue_capacity\": {}, \"updates\": {}, \"bindings\": {}}},\n",
+        args.clients,
+        args.duration.as_micros(),
+        if args.open { "open" } else { "closed" },
+        args.rate,
+        args.deadline_us,
+        if args.connect.is_some() {
+            "connect"
+        } else if args.tcp {
+            "tcp"
+        } else {
+            "inproc"
+        },
+        args.server.workers,
+        args.server.queue_capacity,
+        args.updates,
+        pool.len(),
+    ));
+    out.push_str(&format!(
+        "  \"latency_us\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \
+         \"p99\": {}, \"max\": {}}},\n",
+        lat.len(),
+        mean_us,
+        percentile(lat, 0.50),
+        percentile(lat, 0.95),
+        percentile(lat, 0.99),
+        lat.last().copied().unwrap_or(0),
+    ));
+    out.push_str(&format!(
+        "  \"throughput\": {{\"offered\": {}, \"offered_qps\": {:.2}, \"achieved_qps\": {:.2}, \
+         \"wall_us\": {}}},\n",
+        total.issued,
+        offered_qps,
+        achieved_qps,
+        wall.as_micros(),
+    ));
+    out.push_str(&format!(
+        "  \"outcomes\": {{\"ok\": {}, \"shed\": {}, \"deadline_missed\": {}, \
+         \"shutting_down\": {}, \"bad_request\": {}, \"internal\": {}, \
+         \"protocol_errors\": {}, \"verify_failures\": {}, \"burst_shed\": {}, \
+         \"burst_deadline_missed\": {}}}",
+        total.ok,
+        total.overloaded + burst_shed,
+        total.deadline_exceeded + burst_deadline_missed,
+        total.shutting_down,
+        total.bad_request,
+        total.internal,
+        total.protocol_errors,
+        total.verify_failures,
+        burst_shed,
+        burst_deadline_missed,
+    ));
+    if let Some(r) = &server_report {
+        out.push_str(&format!(
+            ",\n  \"server\": {{\"served\": {}, \"shed\": {}, \"deadline_missed\": {}, \
+             \"rejected_shutdown\": {}, \"bad_requests\": {}, \"internal_errors\": {}, \
+             \"updates_applied\": {}, \"deletes_applied\": {}, \"log_records\": {}}}",
+            r.served,
+            r.shed,
+            r.deadline_missed,
+            r.rejected_shutdown,
+            r.bad_requests,
+            r.internal_errors,
+            r.updates_applied,
+            r.deletes_applied,
+            r.log_records,
+        ));
+    }
+    out.push_str("\n}\n");
+    std::fs::write(&args.out, out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+
+    if total.protocol_errors > 0 || total.verify_failures > 0 {
+        eprintln!(
+            "service_load: FAILED ({} protocol errors, {} verify failures)",
+            total.protocol_errors, total.verify_failures
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The two overload edges, exercised via a pipelined TCP connection:
+/// a burst far larger than the queue must shed (not buffer without
+/// bound), and a burst of microsecond deadlines must miss (not hang).
+fn exercise_edges(addr: &str, pool: &[(u8, BiParams)]) -> (u64, u64) {
+    let count_kind = |responses: &[Response], kind: ErrorKind| {
+        responses.iter().filter(|r| matches!(&r.body, Err(e) if e.kind == kind)).count() as u64
+    };
+    let pipelined_burst = |n: usize, deadline_us: u64| -> Vec<Response> {
+        let mut conn = TcpStream::connect(addr).expect("edge burst connect");
+        let _ = conn.set_nodelay(true);
+        for i in 0..n {
+            let (_, params) = &pool[i % pool.len()];
+            let req = Request {
+                id: i as u64 + 1,
+                deadline_us,
+                params: ServiceParams::Bi(params.clone()),
+            };
+            proto::write_frame(&mut conn, &proto::encode_request(&req)).expect("burst write");
+        }
+        (0..n)
+            .map(|_| {
+                let payload = proto::read_frame(&mut conn).expect("burst read");
+                proto::decode_response(&payload).expect("burst decode")
+            })
+            .collect()
+    };
+
+    let overload = pipelined_burst(512, 0);
+    let shed = count_kind(&overload, ErrorKind::Overloaded);
+    let deadline = pipelined_burst(64, 1);
+    let missed = count_kind(&deadline, ErrorKind::DeadlineExceeded);
+    (shed, missed)
+}

@@ -79,6 +79,51 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Environment knobs recorded in benchmark metadata (the ones that
+/// change what a benchmark run measures).
+pub const META_ENV_KEYS: [&str; 4] =
+    ["SNB_THREADS", "SNB_BENCH_OUT", "SNB_SERVICE_OUT", "SNB_ACCESS_LOG"];
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the run-metadata JSON object embedded in `BENCH_bi.json`
+/// and `BENCH_service.json`: git commit, scale, seed, hardware core
+/// count, the resolved `SNB_THREADS` value, and every set `SNB_*`
+/// knob — enough to tell two result files apart without provenance
+/// guesswork.
+pub fn meta_json(config: &GeneratorConfig) -> String {
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads_resolved = std::env::var("SNB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(cores);
+    let env_entries: Vec<String> = META_ENV_KEYS
+        .iter()
+        .filter_map(|key| {
+            std::env::var(key).ok().map(|v| format!("\"{key}\": \"{}\"", json_escape(&v)))
+        })
+        .collect();
+    format!(
+        "{{\"git_commit\": \"{}\", \"scale_persons\": {}, \"datagen_seed\": {}, \
+         \"hardware_cores\": {cores}, \"threads_resolved\": {threads_resolved}, \
+         \"env\": {{{}}}}}",
+        json_escape(&git_commit),
+        config.persons,
+        config.seed,
+        env_entries.join(", "),
+    )
+}
+
 /// Formats a `Duration` in adaptive units.
 pub fn fmt_duration(d: std::time::Duration) -> String {
     let us = d.as_micros();
@@ -94,6 +139,30 @@ pub fn fmt_duration(d: std::time::Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn meta_json_is_wellformed_and_complete() {
+        let config = GeneratorConfig::for_scale_name("0.001").unwrap();
+        let meta = meta_json(&config);
+        assert!(meta.starts_with('{') && meta.ends_with('}'));
+        for key in [
+            "git_commit",
+            "scale_persons",
+            "datagen_seed",
+            "hardware_cores",
+            "threads_resolved",
+            "env",
+        ] {
+            assert!(meta.contains(&format!("\"{key}\":")), "meta missing {key}: {meta}");
+        }
+        assert!(meta.contains(&format!("\"scale_persons\": {}", config.persons)));
+    }
+
+    #[test]
+    fn json_escaping_for_meta_values() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
 
     #[test]
     fn duration_formatting() {

@@ -46,10 +46,20 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     if residents.is_empty() {
         return Vec::new();
     }
+    let metrics = ctx.metrics();
     let counts: Vec<u64> = ctx.par_scan(residents.len(), |out, range| {
+        let mut edges = 0u64;
         for &p in &residents[range] {
-            out.push(in_country_degree(store, p, country));
+            let mut degree = 0u64;
+            for f in store.knows.targets_of(p) {
+                edges += 1;
+                if store.person_country(f) == country {
+                    degree += 1;
+                }
+            }
+            out.push(degree);
         }
+        metrics.note_edges(edges);
     });
     let normal = counts.iter().sum::<u64>() / residents.len() as u64;
     let mut rows: Vec<Row> = residents

@@ -35,24 +35,30 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let Ok(country) = store.country_by_name(&params.country) else { return Vec::new() };
     let members: Vec<Ix> = store.persons_in_country(country).collect();
     let member_set: FxHashSet<Ix> = members.iter().copied().collect();
+    let metrics = ctx.metrics();
     let count = ctx.par_map_reduce(
         members.len(),
         || 0u64,
         |count, range| {
+            let mut edges = 0u64;
             for &a in &members[range] {
-                let nbrs_a: FxHashSet<Ix> = store
-                    .knows
-                    .targets_of(a)
-                    .filter(|&b| b > a && member_set.contains(&b))
-                    .collect();
+                let mut nbrs_a: FxHashSet<Ix> = FxHashSet::default();
+                for b in store.knows.targets_of(a) {
+                    edges += 1;
+                    if b > a && member_set.contains(&b) {
+                        nbrs_a.insert(b);
+                    }
+                }
                 for &b in &nbrs_a {
                     for c in store.knows.targets_of(b) {
+                        edges += 1;
                         if c > b && nbrs_a.contains(&c) {
                             *count += 1;
                         }
                     }
                 }
             }
+            metrics.note_edges(edges);
         },
         |into, from| *into += from,
     );

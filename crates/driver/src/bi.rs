@@ -9,7 +9,7 @@
 //! * **Validation mode** (spec §6.2) — every binding executed through
 //!   both engines, failing on the first mismatch.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use snb_bi::BiParams;
@@ -168,6 +168,15 @@ pub struct ThroughputReport {
     pub wall: Duration,
     /// Queries per second.
     pub qps: f64,
+    /// Sum of per-query queue waits (the whole batch is enqueued at
+    /// test start, so an item's wait runs from start to its dequeue).
+    pub total_queue_wait: Duration,
+    /// Sum of pure per-query execution times (dequeue to completion).
+    pub total_exec: Duration,
+    /// Mean queue wait per executed query.
+    pub mean_queue_wait: Duration,
+    /// Mean execution time per executed query.
+    pub mean_exec: Duration,
 }
 
 /// Runs the throughput test: `threads` workers drain a shared queue of
@@ -187,6 +196,8 @@ pub fn throughput_test(
     let cursor = AtomicUsize::new(0);
     let started = Instant::now();
     let executed = AtomicUsize::new(0);
+    let queue_wait_ns = AtomicU64::new(0);
+    let exec_ns = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             scope.spawn(|| {
@@ -194,24 +205,38 @@ pub fn throughput_test(
                 // the cores, so each query runs single-threaded inside
                 // its stream (no oversubscription).
                 let ctx = QueryContext::single_threaded();
+                let mut wait = 0u64;
+                let mut exec = 0u64;
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= work.len() {
                         break;
                     }
+                    let dequeued = Instant::now();
+                    wait += dequeued.duration_since(started).as_nanos() as u64;
                     let _ = snb_bi::run_with(store, &ctx, &work[i]);
+                    exec += dequeued.elapsed().as_nanos() as u64;
                     executed.fetch_add(1, Ordering::Relaxed);
                 }
+                queue_wait_ns.fetch_add(wait, Ordering::Relaxed);
+                exec_ns.fetch_add(exec, Ordering::Relaxed);
             });
         }
     });
     let wall = started.elapsed();
     let queries_executed = executed.load(Ordering::Relaxed);
+    let total_queue_wait = Duration::from_nanos(queue_wait_ns.load(Ordering::Relaxed));
+    let total_exec = Duration::from_nanos(exec_ns.load(Ordering::Relaxed));
+    let per_query = |d: Duration| d / queries_executed.max(1) as u32;
     ThroughputReport {
         threads,
         queries_executed,
         wall,
         qps: queries_executed as f64 / wall.as_secs_f64().max(1e-9),
+        mean_queue_wait: per_query(total_queue_wait),
+        mean_exec: per_query(total_exec),
+        total_queue_wait,
+        total_exec,
     }
 }
 
@@ -277,6 +302,20 @@ mod tests {
         let r4 = throughput_test(store(), &[1, 3, 12], 4, 4, 7);
         assert_eq!(r1.queries_executed, r4.queries_executed);
         assert!(r1.qps > 0.0 && r4.qps > 0.0);
+    }
+
+    #[test]
+    fn throughput_splits_queue_wait_from_exec() {
+        let r = throughput_test(store(), &[1, 3, 12], 4, 2, 7);
+        assert!(r.queries_executed > 0);
+        // Execution happened, and the decomposition is internally
+        // consistent: totals are the per-query means times the count,
+        // and a single stream's busy time never exceeds the wall clock
+        // times the stream count.
+        assert!(r.total_exec > Duration::ZERO);
+        assert_eq!(r.mean_exec, r.total_exec / r.queries_executed as u32);
+        assert_eq!(r.mean_queue_wait, r.total_queue_wait / r.queries_executed as u32);
+        assert!(r.total_exec <= r.wall * r.threads as u32);
     }
 
     #[test]
@@ -348,12 +387,29 @@ mod tests {
     }
 
     #[test]
+    fn neighborhood_queries_record_edge_work() {
+        // BI 15 and 17 are pure `knows`-neighbourhood scans; their
+        // profiles must carry the traversed-edge counts (the two
+        // queries the per-query instrumentation initially skipped).
+        let ctx = QueryContext::new(1);
+        let stats = power_test_ctx(store(), &ctx, &[15, 17], 2, Engine::Optimized, 7);
+        for s in &stats {
+            assert!(
+                s.profile.edges_traversed > 0,
+                "BI {} traversed no edges: {:?}",
+                s.query,
+                s.profile
+            );
+        }
+    }
+
+    #[test]
     fn profile_counters_deterministic_across_repeats() {
         // Morsel/row/index counters are pure functions of the data and
         // morsel size; two identical power runs must agree exactly.
         let ctx = QueryContext::new(1);
-        let a = power_test_ctx(store(), &ctx, &[1, 2, 16], 2, Engine::Optimized, 7);
-        let b = power_test_ctx(store(), &ctx, &[1, 2, 16], 2, Engine::Optimized, 7);
+        let a = power_test_ctx(store(), &ctx, &[1, 2, 15, 16, 17], 2, Engine::Optimized, 7);
+        let b = power_test_ctx(store(), &ctx, &[1, 2, 15, 16, 17], 2, Engine::Optimized, 7);
         for (x, y) in a.iter().zip(&b) {
             let mut xp = x.profile.clone();
             let mut yp = y.profile.clone();

@@ -1,0 +1,141 @@
+//! `snb-server` — serve the SNB BI + interactive read workloads over
+//! the length-prefixed binary protocol on localhost TCP.
+//!
+//! ```text
+//! snb-server [SF] [SEED] [--port N] [--workers N] [--queue-cap N]
+//!            [--deadline-ms N] [--profile]
+//! ```
+//!
+//! Positional arguments mirror the bench binaries: scale-factor name
+//! (default `0.01`) and datagen seed. `--port 0` (the default) binds an
+//! ephemeral port; the bound address is printed as
+//! `listening on 127.0.0.1:PORT` so harnesses can scrape it. SIGTERM or
+//! SIGINT triggers graceful drain-then-shutdown: in-flight requests
+//! finish, new ones are rejected `shutting_down`, the access log is
+//! flushed (to `$SNB_ACCESS_LOG` when set), and the process exits 0.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use snb_datagen::GeneratorConfig;
+use snb_server::{Server, ServerConfig};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Args {
+    config: GeneratorConfig,
+    port: u16,
+    server: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut port = 0u16;
+    let mut server = ServerConfig::default();
+    let mut argv = std::env::args().skip(1);
+    let parse = |name: &str, v: Option<String>| -> Result<u64, String> {
+        v.ok_or_else(|| format!("{name} needs a value"))?
+            .parse::<u64>()
+            .map_err(|e| format!("{name}: {e}"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--port" => port = parse("--port", argv.next())? as u16,
+            "--workers" => server.workers = parse("--workers", argv.next())?.max(1) as usize,
+            "--queue-cap" => {
+                server.queue_capacity = parse("--queue-cap", argv.next())? as usize;
+            }
+            "--deadline-ms" => {
+                server.default_deadline =
+                    Some(Duration::from_millis(parse("--deadline-ms", argv.next())?));
+            }
+            "--profile" => server.profiling = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => positionals.push(other.to_string()),
+        }
+    }
+    let sf = positionals.first().map(String::as_str).unwrap_or("0.01");
+    let mut config = GeneratorConfig::for_scale_name(sf)
+        .ok_or_else(|| format!("unknown scale factor {sf:?}; try 0.001/0.003/0.01/0.03/0.1"))?;
+    if let Some(seed) = positionals.get(1) {
+        config.seed = seed.parse().map_err(|e| format!("seed: {e}"))?;
+    }
+    Ok(Args { config, port, server })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("snb-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    install_signal_handlers();
+
+    eprintln!("# building store: {} persons (seed {}) ...", args.config.persons, args.config.seed);
+    let started = std::time::Instant::now();
+    let store = snb_store::store_for_config(&args.config);
+    eprintln!("# store ready in {:.2?}", started.elapsed());
+
+    let mut server = Server::start(store, args.server.clone());
+    let addr = match server.listen(&format!("127.0.0.1:{}", args.port)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("snb-server: bind failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    // The harness contract: exactly this line, on stdout, flushed.
+    println!("listening on {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "# serving with {} workers, queue capacity {}, profiling {}",
+        args.server.workers, args.server.queue_capacity, args.server.profiling
+    );
+
+    while !SHUTDOWN.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("# signal received, draining ...");
+    let log = server.log_handle();
+    let report = server.shutdown();
+    if let Ok(path) = std::env::var("SNB_ACCESS_LOG") {
+        match log.flush_to(&path) {
+            Ok(()) => eprintln!("# access log flushed to {path}"),
+            Err(e) => eprintln!("# access log flush to {path} failed: {e}"),
+        }
+    }
+    eprintln!(
+        "# shutdown complete: served {}, shed {}, deadline_missed {}, \
+         rejected_shutdown {}, bad_requests {}, internal_errors {}, log_records {}",
+        report.served,
+        report.shed,
+        report.deadline_missed,
+        report.rejected_shutdown,
+        report.bad_requests,
+        report.internal_errors,
+        report.log_records,
+    );
+    std::process::exit(0);
+}

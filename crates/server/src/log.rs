@@ -1,0 +1,183 @@
+//! Structured per-request access log.
+//!
+//! Every request that reaches the server produces exactly one record —
+//! including the ones that never execute (sheds, deadline misses,
+//! shutdown rejections, undecodable frames) — so the log is a complete
+//! account of offered load, not just of served load. Records carry the
+//! query identity, the binding hash (joinable against the parameter
+//! files), the queue-wait / execution split, the outcome from the
+//! service error taxonomy, and (when the server runs with profiling
+//! on) the per-request operator profile from
+//! [`snb_engine::QueryProfile`] — the same counters `--profile` power
+//! runs report, now per served request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use snb_engine::QueryProfile;
+
+/// One access-log record.
+#[derive(Clone, Debug)]
+pub struct AccessRecord {
+    /// Monotone sequence number (admission order within the server).
+    pub seq: u64,
+    /// Workload tag: `"BI"` or `"IC"` (empty for undecodable frames).
+    pub workload: &'static str,
+    /// Query number within the workload (0 for undecodable frames).
+    pub query: u8,
+    /// FNV-1a hash of the parameter binding.
+    pub binding_hash: u64,
+    /// Time spent in the admission queue, microseconds.
+    pub queue_us: u64,
+    /// Pure execution time, microseconds (0 when not executed).
+    pub exec_us: u64,
+    /// Outcome name: `"ok"` or an [`ErrorKind`](crate::proto::ErrorKind)
+    /// name.
+    pub outcome: &'static str,
+    /// Result rows (0 when not executed).
+    pub rows: u64,
+    /// Result fingerprint (0 for IC reads and non-executions).
+    pub fingerprint: u64,
+    /// Operator counters for this request, when profiling was on.
+    pub profile: Option<QueryProfile>,
+}
+
+impl AccessRecord {
+    /// Renders the record as one JSON object (hand-rolled; every field
+    /// is numeric or a fixed identifier, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\": {}, \"workload\": \"{}\", \"query\": {}, \"binding_hash\": {}, \
+             \"queue_us\": {}, \"exec_us\": {}, \"outcome\": \"{}\", \"rows\": {}, \
+             \"fingerprint\": {}",
+            self.seq,
+            self.workload,
+            self.query,
+            self.binding_hash,
+            self.queue_us,
+            self.exec_us,
+            self.outcome,
+            self.rows,
+            self.fingerprint,
+        );
+        if let Some(p) = &self.profile {
+            s.push_str(&format!(
+                ", \"rows_scanned\": {}, \"index_hits\": {}, \"index_fallbacks\": {}, \
+                 \"topk_offered\": {}, \"topk_pruned\": {}, \"edges_traversed\": {}",
+                p.rows_scanned,
+                p.index_hits,
+                p.index_fallbacks,
+                p.topk_offered,
+                p.topk_pruned,
+                p.edges_traversed,
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Append-only in-memory access log shared by transports and workers.
+#[derive(Default)]
+pub struct AccessLog {
+    seq: AtomicU64,
+    records: Mutex<Vec<AccessRecord>>,
+}
+
+impl AccessLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AccessLog::default()
+    }
+
+    /// Claims the next sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends one record.
+    pub fn push(&self, record: AccessRecord) {
+        self.records.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(record);
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all records in admission order.
+    pub fn snapshot(&self) -> Vec<AccessRecord> {
+        let mut v: Vec<AccessRecord> =
+            self.records.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+
+    /// Renders the whole log as JSON Lines.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.snapshot() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the log as JSON Lines to `path`.
+    pub fn flush_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, outcome: &'static str) -> AccessRecord {
+        AccessRecord {
+            seq,
+            workload: "BI",
+            query: 4,
+            binding_hash: 0x1234,
+            queue_us: 10,
+            exec_us: 250,
+            outcome,
+            rows: 20,
+            fingerprint: 99,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn records_render_and_sort_by_seq() {
+        let log = AccessLog::new();
+        assert!(log.is_empty());
+        let s0 = log.next_seq();
+        let s1 = log.next_seq();
+        assert_eq!((s0, s1), (0, 1));
+        log.push(record(s1, "ok"));
+        log.push(record(s0, "overloaded"));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[0].outcome, "overloaded");
+        let jsonl = log.render_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().next().unwrap().contains("\"outcome\": \"overloaded\""));
+    }
+
+    #[test]
+    fn profiled_record_includes_counters() {
+        let mut r = record(0, "ok");
+        r.profile = Some(QueryProfile { rows_scanned: 77, index_hits: 3, ..Default::default() });
+        let json = r.to_json();
+        assert!(json.contains("\"rows_scanned\": 77"));
+        assert!(json.contains("\"index_hits\": 3"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -1,0 +1,936 @@
+//! The wire protocol: length-prefixed binary frames over any byte
+//! stream (TCP in production, `Vec<u8>` buffers in tests).
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload. Requests carry a client-chosen correlation id, an optional
+//! relative deadline, and a fully self-describing parameter binding for
+//! one of the 25 BI or 14 Interactive complex queries — the server
+//! never needs out-of-band context to execute a request, so any client
+//! that speaks the codec can drive it. Responses echo the correlation
+//! id with either an execution summary (row count, result fingerprint,
+//! queue wait, execution time, optional operator profile) or a typed
+//! error from the service taxonomy ([`ErrorKind`]).
+//!
+//! The codec is hand-rolled (the container has no serde): integers are
+//! little-endian, strings are `u16` length + UTF-8 bytes, string lists
+//! are `u16` count + strings. [`encode_params`]/[`decode_params`] are
+//! exact inverses for every binding the parameter generator can
+//! produce, which the round-trip tests pin down.
+
+use snb_bi::BiParams;
+use snb_core::Date;
+use snb_engine::QueryProfile;
+use snb_interactive::IcParams;
+
+/// Protocol version byte leading every request and response payload.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on a sane frame payload; anything larger is treated as a
+/// protocol error rather than an allocation request.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// A parameter binding for either workload — the unit of work a client
+/// submits.
+#[derive(Clone, Debug)]
+pub enum ServiceParams {
+    /// A Business Intelligence query (BI 1–25).
+    Bi(BiParams),
+    /// An Interactive complex read (IC 1–14).
+    Ic(IcParams),
+}
+
+impl ServiceParams {
+    /// Workload tag + query number, e.g. `("BI", 4)`.
+    pub fn label(&self) -> (&'static str, u8) {
+        match self {
+            ServiceParams::Bi(p) => ("BI", p.query()),
+            ServiceParams::Ic(p) => ("IC", p.query()),
+        }
+    }
+
+    /// A stable FNV-1a hash of the binding (over its `Debug` form) —
+    /// the access-log key tying latency records back to bindings.
+    pub fn binding_hash(&self) -> u64 {
+        let s = format!("{self:?}");
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// One client request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Relative deadline in microseconds from server admission; `0`
+    /// means "no deadline" (the server default applies).
+    pub deadline_us: u64,
+    /// The query binding to execute.
+    pub params: ServiceParams,
+}
+
+/// The service error taxonomy — every non-OK outcome a request can
+/// have, as a closed set so clients can switch on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded,
+    /// The request's deadline passed before a worker picked it up; it
+    /// was not executed.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// The request frame failed to decode.
+    BadRequest,
+    /// The query itself failed (store-level error).
+    Internal,
+}
+
+impl ErrorKind {
+    fn code(self) -> u8 {
+        match self {
+            ErrorKind::Overloaded => 1,
+            ErrorKind::DeadlineExceeded => 2,
+            ErrorKind::ShuttingDown => 3,
+            ErrorKind::BadRequest => 4,
+            ErrorKind::Internal => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<ErrorKind> {
+        match code {
+            1 => Some(ErrorKind::Overloaded),
+            2 => Some(ErrorKind::DeadlineExceeded),
+            3 => Some(ErrorKind::ShuttingDown),
+            4 => Some(ErrorKind::BadRequest),
+            5 => Some(ErrorKind::Internal),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name used in logs and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A successful execution summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OkBody {
+    /// Result row count.
+    pub rows: u64,
+    /// Order-sensitive result fingerprint (0 for Interactive reads,
+    /// which report row counts only).
+    pub fingerprint: u64,
+    /// Time the request spent queued before a worker picked it up.
+    pub queue_us: u64,
+    /// Pure execution time.
+    pub exec_us: u64,
+    /// Operator counters for this request (present when the server runs
+    /// with per-request profiling enabled).
+    pub profile: Option<QueryProfile>,
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Correlation id copied from the request.
+    pub id: u64,
+    /// Execution summary or typed error.
+    pub body: Result<OkBody, ErrorBody>,
+}
+
+/// The error arm of a response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Which taxonomy entry this is.
+    pub kind: ErrorKind,
+    /// Queue wait observed before the outcome (meaningful for
+    /// `DeadlineExceeded`; 0 for sheds, which are never queued).
+    pub queue_us: u64,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A decode failure (malformed frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The correlation id, when enough of the frame was readable to
+    /// recover it — lets the server send a typed `BadRequest` back.
+    pub id: Option<u64>,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.detail)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive put/get helpers.
+// ---------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    put_u16(buf, bytes.len().min(u16::MAX as usize) as u16);
+    buf.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+}
+
+fn put_strs(buf: &mut Vec<u8>, ss: &[String]) {
+    put_u16(buf, ss.len().min(u16::MAX as usize) as u16);
+    for s in ss {
+        put_str(buf, s);
+    }
+}
+
+fn put_date(buf: &mut Vec<u8>, d: Date) {
+    put_i32(buf, d.0);
+}
+
+/// A bounds-checked read cursor over a frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Correlation id once parsed, for error attribution.
+    id: Option<u64>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0, id: None }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> DecodeError {
+        DecodeError { id: self.id, detail: detail.into() }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(self.err(format!(
+                "truncated frame: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    fn strings(&mut self) -> Result<Vec<String>, DecodeError> {
+        let n = self.u16()? as usize;
+        (0..n).map(|_| self.string()).collect()
+    }
+
+    fn date(&mut self) -> Result<Date, DecodeError> {
+        Ok(Date(self.i32()?))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(
+                self.err(format!("{} trailing bytes after payload", self.buf.len() - self.pos))
+            );
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binding codec.
+// ---------------------------------------------------------------------
+
+const WORKLOAD_BI: u8 = 0;
+const WORKLOAD_IC: u8 = 1;
+
+/// Serialises a binding (workload byte + query byte + fields).
+pub fn encode_params(buf: &mut Vec<u8>, params: &ServiceParams) {
+    match params {
+        ServiceParams::Bi(p) => {
+            put_u8(buf, WORKLOAD_BI);
+            put_u8(buf, p.query());
+            encode_bi(buf, p);
+        }
+        ServiceParams::Ic(p) => {
+            put_u8(buf, WORKLOAD_IC);
+            put_u8(buf, p.query());
+            encode_ic(buf, p);
+        }
+    }
+}
+
+fn encode_bi(buf: &mut Vec<u8>, p: &BiParams) {
+    use snb_bi::*;
+    match p {
+        BiParams::Q1(q) => put_date(buf, q.date),
+        BiParams::Q2(q) => {
+            put_date(buf, q.start_date);
+            put_date(buf, q.end_date);
+            put_str(buf, &q.country1);
+            put_str(buf, &q.country2);
+            put_u64(buf, q.min_count);
+        }
+        BiParams::Q3(q) => {
+            put_i32(buf, q.year);
+            put_u32(buf, q.month);
+        }
+        BiParams::Q4(q) => {
+            put_str(buf, &q.tag_class);
+            put_str(buf, &q.country);
+        }
+        BiParams::Q5(q) => put_str(buf, &q.country),
+        BiParams::Q6(q) => put_str(buf, &q.tag),
+        BiParams::Q7(q) => put_str(buf, &q.tag),
+        BiParams::Q8(q) => put_str(buf, &q.tag),
+        BiParams::Q9(q) => {
+            put_str(buf, &q.tag_class1);
+            put_str(buf, &q.tag_class2);
+            put_u64(buf, q.threshold);
+        }
+        BiParams::Q10(q) => {
+            put_str(buf, &q.tag);
+            put_date(buf, q.date);
+        }
+        BiParams::Q11(q) => {
+            put_str(buf, &q.country);
+            put_strs(buf, &q.blacklist);
+        }
+        BiParams::Q12(q) => {
+            put_date(buf, q.date);
+            put_u64(buf, q.like_threshold);
+        }
+        BiParams::Q13(q) => put_str(buf, &q.country),
+        BiParams::Q14(q) => {
+            put_date(buf, q.begin);
+            put_date(buf, q.end);
+        }
+        BiParams::Q15(q) => put_str(buf, &q.country),
+        BiParams::Q16(q) => {
+            put_u64(buf, q.person_id);
+            put_str(buf, &q.country);
+            put_str(buf, &q.tag_class);
+            put_u32(buf, q.min_path_distance);
+            put_u32(buf, q.max_path_distance);
+        }
+        BiParams::Q17(q) => put_str(buf, &q.country),
+        BiParams::Q18(q) => {
+            put_date(buf, q.date);
+            put_u32(buf, q.length_threshold);
+            put_strs(buf, &q.languages);
+        }
+        BiParams::Q19(q) => {
+            put_date(buf, q.date);
+            put_str(buf, &q.tag_class1);
+            put_str(buf, &q.tag_class2);
+        }
+        BiParams::Q20(q) => put_strs(buf, &q.tag_classes),
+        BiParams::Q21(q) => {
+            put_str(buf, &q.country);
+            put_date(buf, q.end_date);
+        }
+        BiParams::Q22(q) => {
+            put_str(buf, &q.country1);
+            put_str(buf, &q.country2);
+        }
+        BiParams::Q23(q) => put_str(buf, &q.country),
+        BiParams::Q24(q) => put_str(buf, &q.tag_class),
+        BiParams::Q25(q) => {
+            put_u64(buf, q.person1_id);
+            put_u64(buf, q.person2_id);
+            put_date(buf, q.start_date);
+            put_date(buf, q.end_date);
+        }
+    }
+}
+
+fn encode_ic(buf: &mut Vec<u8>, p: &IcParams) {
+    use snb_interactive::*;
+    match p {
+        IcParams::Q1(q) => {
+            put_u64(buf, q.person_id);
+            put_str(buf, &q.first_name);
+        }
+        IcParams::Q2(q) => {
+            put_u64(buf, q.person_id);
+            put_date(buf, q.max_date);
+        }
+        IcParams::Q3(q) => {
+            put_u64(buf, q.person_id);
+            put_str(buf, &q.country_x);
+            put_str(buf, &q.country_y);
+            put_date(buf, q.start_date);
+            put_u32(buf, q.duration_days);
+        }
+        IcParams::Q4(q) => {
+            put_u64(buf, q.person_id);
+            put_date(buf, q.start_date);
+            put_u32(buf, q.duration_days);
+        }
+        IcParams::Q5(q) => {
+            put_u64(buf, q.person_id);
+            put_date(buf, q.min_date);
+        }
+        IcParams::Q6(q) => {
+            put_u64(buf, q.person_id);
+            put_str(buf, &q.tag_name);
+        }
+        IcParams::Q7(q) => put_u64(buf, q.person_id),
+        IcParams::Q8(q) => put_u64(buf, q.person_id),
+        IcParams::Q9(q) => {
+            put_u64(buf, q.person_id);
+            put_date(buf, q.max_date);
+        }
+        IcParams::Q10(q) => {
+            put_u64(buf, q.person_id);
+            put_u32(buf, q.month);
+        }
+        IcParams::Q11(q) => {
+            put_u64(buf, q.person_id);
+            put_str(buf, &q.country);
+            put_i32(buf, q.work_from_year);
+        }
+        IcParams::Q12(q) => {
+            put_u64(buf, q.person_id);
+            put_str(buf, &q.tag_class_name);
+        }
+        IcParams::Q13(q) => {
+            put_u64(buf, q.person1_id);
+            put_u64(buf, q.person2_id);
+        }
+        IcParams::Q14(q) => {
+            put_u64(buf, q.person1_id);
+            put_u64(buf, q.person2_id);
+        }
+    }
+}
+
+fn decode_bi(r: &mut Reader<'_>, query: u8) -> Result<BiParams, DecodeError> {
+    use snb_bi::*;
+    Ok(match query {
+        1 => BiParams::Q1(bi01::Params { date: r.date()? }),
+        2 => BiParams::Q2(bi02::Params {
+            start_date: r.date()?,
+            end_date: r.date()?,
+            country1: r.string()?,
+            country2: r.string()?,
+            min_count: r.u64()?,
+        }),
+        3 => BiParams::Q3(bi03::Params { year: r.i32()?, month: r.u32()? }),
+        4 => BiParams::Q4(bi04::Params { tag_class: r.string()?, country: r.string()? }),
+        5 => BiParams::Q5(bi05::Params { country: r.string()? }),
+        6 => BiParams::Q6(bi06::Params { tag: r.string()? }),
+        7 => BiParams::Q7(bi07::Params { tag: r.string()? }),
+        8 => BiParams::Q8(bi08::Params { tag: r.string()? }),
+        9 => BiParams::Q9(bi09::Params {
+            tag_class1: r.string()?,
+            tag_class2: r.string()?,
+            threshold: r.u64()?,
+        }),
+        10 => BiParams::Q10(bi10::Params { tag: r.string()?, date: r.date()? }),
+        11 => BiParams::Q11(bi11::Params { country: r.string()?, blacklist: r.strings()? }),
+        12 => BiParams::Q12(bi12::Params { date: r.date()?, like_threshold: r.u64()? }),
+        13 => BiParams::Q13(bi13::Params { country: r.string()? }),
+        14 => BiParams::Q14(bi14::Params { begin: r.date()?, end: r.date()? }),
+        15 => BiParams::Q15(bi15::Params { country: r.string()? }),
+        16 => BiParams::Q16(bi16::Params {
+            person_id: r.u64()?,
+            country: r.string()?,
+            tag_class: r.string()?,
+            min_path_distance: r.u32()?,
+            max_path_distance: r.u32()?,
+        }),
+        17 => BiParams::Q17(bi17::Params { country: r.string()? }),
+        18 => BiParams::Q18(bi18::Params {
+            date: r.date()?,
+            length_threshold: r.u32()?,
+            languages: r.strings()?,
+        }),
+        19 => BiParams::Q19(bi19::Params {
+            date: r.date()?,
+            tag_class1: r.string()?,
+            tag_class2: r.string()?,
+        }),
+        20 => BiParams::Q20(bi20::Params { tag_classes: r.strings()? }),
+        21 => BiParams::Q21(bi21::Params { country: r.string()?, end_date: r.date()? }),
+        22 => BiParams::Q22(bi22::Params { country1: r.string()?, country2: r.string()? }),
+        23 => BiParams::Q23(bi23::Params { country: r.string()? }),
+        24 => BiParams::Q24(bi24::Params { tag_class: r.string()? }),
+        25 => BiParams::Q25(bi25::Params {
+            person1_id: r.u64()?,
+            person2_id: r.u64()?,
+            start_date: r.date()?,
+            end_date: r.date()?,
+        }),
+        other => return Err(r.err(format!("unknown BI query {other}"))),
+    })
+}
+
+fn decode_ic(r: &mut Reader<'_>, query: u8) -> Result<IcParams, DecodeError> {
+    use snb_interactive::*;
+    Ok(match query {
+        1 => IcParams::Q1(ic01::Params { person_id: r.u64()?, first_name: r.string()? }),
+        2 => IcParams::Q2(ic02::Params { person_id: r.u64()?, max_date: r.date()? }),
+        3 => IcParams::Q3(ic03::Params {
+            person_id: r.u64()?,
+            country_x: r.string()?,
+            country_y: r.string()?,
+            start_date: r.date()?,
+            duration_days: r.u32()?,
+        }),
+        4 => IcParams::Q4(ic04::Params {
+            person_id: r.u64()?,
+            start_date: r.date()?,
+            duration_days: r.u32()?,
+        }),
+        5 => IcParams::Q5(ic05::Params { person_id: r.u64()?, min_date: r.date()? }),
+        6 => IcParams::Q6(ic06::Params { person_id: r.u64()?, tag_name: r.string()? }),
+        7 => IcParams::Q7(ic07::Params { person_id: r.u64()? }),
+        8 => IcParams::Q8(ic08::Params { person_id: r.u64()? }),
+        9 => IcParams::Q9(ic09::Params { person_id: r.u64()?, max_date: r.date()? }),
+        10 => IcParams::Q10(ic10::Params { person_id: r.u64()?, month: r.u32()? }),
+        11 => IcParams::Q11(ic11::Params {
+            person_id: r.u64()?,
+            country: r.string()?,
+            work_from_year: r.i32()?,
+        }),
+        12 => IcParams::Q12(ic12::Params { person_id: r.u64()?, tag_class_name: r.string()? }),
+        13 => IcParams::Q13(ic13::Params { person1_id: r.u64()?, person2_id: r.u64()? }),
+        14 => IcParams::Q14(ic14::Params { person1_id: r.u64()?, person2_id: r.u64()? }),
+        other => return Err(r.err(format!("unknown IC query {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Request / response payloads.
+// ---------------------------------------------------------------------
+
+/// Serialises a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u8(&mut buf, PROTO_VERSION);
+    put_u64(&mut buf, req.id);
+    put_u64(&mut buf, req.deadline_us);
+    encode_params(&mut buf, &req.params);
+    buf
+}
+
+/// Parses a request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != PROTO_VERSION {
+        return Err(r.err(format!("unsupported protocol version {version}")));
+    }
+    let id = r.u64()?;
+    r.id = Some(id);
+    let deadline_us = r.u64()?;
+    let workload = r.u8()?;
+    let query = r.u8()?;
+    let params = match workload {
+        WORKLOAD_BI => ServiceParams::Bi(decode_bi(&mut r, query)?),
+        WORKLOAD_IC => ServiceParams::Ic(decode_ic(&mut r, query)?),
+        other => return Err(r.err(format!("unknown workload tag {other}"))),
+    };
+    r.finish()?;
+    Ok(Request { id, deadline_us, params })
+}
+
+const STATUS_OK: u8 = 0;
+
+fn encode_profile(buf: &mut Vec<u8>, profile: &Option<QueryProfile>) {
+    match profile {
+        None => put_u8(buf, 0),
+        Some(p) => {
+            put_u8(buf, 1);
+            for v in [
+                p.par_calls,
+                p.morsels,
+                p.rows_scanned,
+                p.index_hits,
+                p.index_rows,
+                p.index_fallbacks,
+                p.fallback_rows,
+                p.topk_offered,
+                p.topk_pruned,
+                p.edges_traversed,
+            ] {
+                put_u64(buf, v);
+            }
+        }
+    }
+}
+
+fn decode_profile(r: &mut Reader<'_>) -> Result<Option<QueryProfile>, DecodeError> {
+    if r.u8()? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(QueryProfile {
+        par_calls: r.u64()?,
+        morsels: r.u64()?,
+        rows_scanned: r.u64()?,
+        index_hits: r.u64()?,
+        index_rows: r.u64()?,
+        index_fallbacks: r.u64()?,
+        fallback_rows: r.u64()?,
+        topk_offered: r.u64()?,
+        topk_pruned: r.u64()?,
+        edges_traversed: r.u64()?,
+        worker_busy_ns: Vec::new(),
+    }))
+}
+
+/// Serialises a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u8(&mut buf, PROTO_VERSION);
+    put_u64(&mut buf, resp.id);
+    match &resp.body {
+        Ok(ok) => {
+            put_u8(&mut buf, STATUS_OK);
+            put_u64(&mut buf, ok.rows);
+            put_u64(&mut buf, ok.fingerprint);
+            put_u64(&mut buf, ok.queue_us);
+            put_u64(&mut buf, ok.exec_us);
+            encode_profile(&mut buf, &ok.profile);
+        }
+        Err(e) => {
+            put_u8(&mut buf, e.kind.code());
+            put_u64(&mut buf, e.queue_us);
+            put_str(&mut buf, &e.detail);
+        }
+    }
+    buf
+}
+
+/// Parses a response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != PROTO_VERSION {
+        return Err(r.err(format!("unsupported protocol version {version}")));
+    }
+    let id = r.u64()?;
+    r.id = Some(id);
+    let status = r.u8()?;
+    let body = if status == STATUS_OK {
+        Ok(OkBody {
+            rows: r.u64()?,
+            fingerprint: r.u64()?,
+            queue_us: r.u64()?,
+            exec_us: r.u64()?,
+            profile: decode_profile(&mut r)?,
+        })
+    } else {
+        let kind = ErrorKind::from_code(status)
+            .ok_or_else(|| r.err(format!("unknown status code {status}")))?;
+        Err(ErrorBody { kind, queue_us: r.u64()?, detail: r.string()? })
+    };
+    r.finish()?;
+    Ok(Response { id, body })
+}
+
+// ---------------------------------------------------------------------
+// Framing over byte streams.
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Extracts the next complete frame from `buf`, draining its bytes.
+/// Returns `Ok(None)` when the buffer does not yet hold a full frame,
+/// and an error for oversized length prefixes (protocol violation).
+pub fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, DecodeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(DecodeError {
+            id: None,
+            detail: format!("frame length {len} exceeds maximum {MAX_FRAME}"),
+        });
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = buf[4..total].to_vec();
+    buf.drain(..total);
+    Ok(Some(payload))
+}
+
+/// Reads one length-prefixed frame from a blocking reader.
+pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds maximum {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snb_bi::{bi02, bi11, bi16, bi18, bi20, bi25};
+    use snb_interactive::{ic03, ic11};
+
+    fn sample_bindings() -> Vec<ServiceParams> {
+        vec![
+            ServiceParams::Bi(BiParams::Q2(bi02::Params {
+                start_date: Date::from_ymd(2011, 3, 1),
+                end_date: Date::from_ymd(2011, 5, 1),
+                country1: "China".into(),
+                country2: "India".into(),
+                min_count: 100,
+            })),
+            ServiceParams::Bi(BiParams::Q11(bi11::Params {
+                country: "Germany".into(),
+                blacklist: vec!["also".into(), "belongs".into()],
+            })),
+            ServiceParams::Bi(BiParams::Q16(bi16::Params {
+                person_id: 42,
+                country: "Sweden".into(),
+                tag_class: "MusicalArtist".into(),
+                min_path_distance: 1,
+                max_path_distance: 3,
+            })),
+            ServiceParams::Bi(BiParams::Q18(bi18::Params {
+                date: Date::from_ymd(2012, 7, 1),
+                length_threshold: 100,
+                languages: vec!["en".into()],
+            })),
+            ServiceParams::Bi(BiParams::Q20(bi20::Params { tag_classes: vec![] })),
+            ServiceParams::Bi(BiParams::Q25(bi25::Params {
+                person1_id: 7,
+                person2_id: 11,
+                start_date: Date::from_ymd(2010, 1, 1),
+                end_date: Date::from_ymd(2012, 12, 31),
+            })),
+            ServiceParams::Ic(IcParams::Q3(ic03::Params {
+                person_id: 9,
+                country_x: "Spain".into(),
+                country_y: "France".into(),
+                start_date: Date::from_ymd(2011, 6, 1),
+                duration_days: 30,
+            })),
+            ServiceParams::Ic(IcParams::Q11(ic11::Params {
+                person_id: 3,
+                country: "Japan".into(),
+                work_from_year: 2009,
+            })),
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip_preserves_bindings() {
+        for (i, params) in sample_bindings().into_iter().enumerate() {
+            let req = Request { id: i as u64 + 100, deadline_us: 5_000, params };
+            let bytes = encode_request(&req);
+            let back = decode_request(&bytes).unwrap();
+            assert_eq!(back.id, req.id);
+            assert_eq!(back.deadline_us, req.deadline_us);
+            assert_eq!(format!("{:?}", back.params), format!("{:?}", req.params));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_arms() {
+        let cases = vec![
+            Response {
+                id: 1,
+                body: Ok(OkBody {
+                    rows: 20,
+                    fingerprint: 0xdead_beef,
+                    queue_us: 12,
+                    exec_us: 345,
+                    profile: None,
+                }),
+            },
+            Response {
+                id: 2,
+                body: Ok(OkBody {
+                    rows: 3,
+                    fingerprint: 7,
+                    queue_us: 1,
+                    exec_us: 2,
+                    profile: Some(QueryProfile {
+                        par_calls: 4,
+                        morsels: 8,
+                        rows_scanned: 100,
+                        topk_offered: 10,
+                        ..Default::default()
+                    }),
+                }),
+            },
+            Response {
+                id: 3,
+                body: Err(ErrorBody {
+                    kind: ErrorKind::Overloaded,
+                    queue_us: 0,
+                    detail: "queue full (cap 4)".into(),
+                }),
+            },
+            Response {
+                id: 4,
+                body: Err(ErrorBody {
+                    kind: ErrorKind::DeadlineExceeded,
+                    queue_us: 950,
+                    detail: "deadline 500us, waited 950us".into(),
+                }),
+            },
+        ];
+        for resp in cases {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn bad_frames_are_typed_errors_not_panics() {
+        // Truncated request still recovers the correlation id.
+        let req = Request {
+            id: 77,
+            deadline_us: 0,
+            params: ServiceParams::Bi(BiParams::Q5(snb_bi::bi05::Params {
+                country: "China".into(),
+            })),
+        };
+        let mut bytes = encode_request(&req);
+        bytes.truncate(bytes.len() - 2);
+        let err = decode_request(&bytes).unwrap_err();
+        assert_eq!(err.id, Some(77));
+
+        // Unknown query number.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, PROTO_VERSION);
+        put_u64(&mut buf, 5);
+        put_u64(&mut buf, 0);
+        put_u8(&mut buf, WORKLOAD_BI);
+        put_u8(&mut buf, 99);
+        assert!(decode_request(&buf).is_err());
+
+        // Bad version.
+        let mut buf = encode_request(&req);
+        buf[0] = 9;
+        assert!(decode_request(&buf).is_err());
+
+        // Trailing garbage.
+        let mut buf = encode_request(&req);
+        buf.push(0);
+        assert!(decode_request(&buf).is_err());
+    }
+
+    #[test]
+    fn frame_buffer_reassembly() {
+        let payload_a = encode_response(&Response { id: 1, body: Ok(OkBody::default()) });
+        let payload_b = encode_response(&Response {
+            id: 2,
+            body: Err(ErrorBody { kind: ErrorKind::ShuttingDown, queue_us: 0, detail: "".into() }),
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload_a).unwrap();
+        write_frame(&mut wire, &payload_b).unwrap();
+
+        // Feed the wire bytes one at a time; frames must pop out intact.
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        for b in wire {
+            buf.push(b);
+            while let Some(frame) = take_frame(&mut buf).unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], payload_a);
+        assert_eq!(got[1], payload_b);
+        assert!(buf.is_empty());
+
+        // Oversized length prefix is a protocol error.
+        let mut bad = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0; 8]);
+        assert!(take_frame(&mut bad).is_err());
+    }
+
+    #[test]
+    fn binding_hash_distinguishes_bindings() {
+        let hashes: Vec<u64> = sample_bindings().iter().map(ServiceParams::binding_hash).collect();
+        let mut uniq = hashes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), hashes.len(), "hash collision among sample bindings");
+        // Stable across calls.
+        for (p, h) in sample_bindings().iter().zip(&hashes) {
+            assert_eq!(p.binding_hash(), *h);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Bounded admission queue with explicit overload shedding.
+//!
+//! The service's backpressure policy is *reject, don't buffer*: the
+//! queue has a hard capacity, and a push against a full queue fails
+//! immediately with [`PushError::Full`] so the transport can answer
+//! `Overloaded` while the client's timeout budget is still intact.
+//! Unbounded buffering would instead convert overload into unbounded
+//! latency (and eventually memory exhaustion) — the failure mode the
+//! BI throughput test is designed to expose.
+//!
+//! Shutdown semantics implement the drain phase of graceful shutdown:
+//! [`AdmissionQueue::close`] refuses new work but lets consumers pop
+//! everything already admitted; [`AdmissionQueue::pop`] returns `None`
+//! only once the queue is both closed and empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused, carrying the rejected item back to the
+/// caller so it can respond to the client.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue was at capacity — the request is shed.
+    Full(T),
+    /// The queue was closed for shutdown — no new work is admitted.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: transports push, workers pop.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to admit an item without blocking.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed and
+    /// drained; `None` means "no more work will ever arrive".
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail with
+    /// [`PushError::Closed`]; pops drain the remaining items and then
+    /// return `None`. Wakes every blocked consumer.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_exactly_past_capacity() {
+        let q = AdmissionQueue::new(3);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(q.try_push(3).is_ok());
+        match q.try_push(4) {
+            Err(PushError::Full(v)) => assert_eq!(v, 4),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 3);
+        // A pop frees one slot exactly.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(5).is_ok());
+        match q.try_push(6) {
+            Err(PushError::Full(_)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = AdmissionQueue::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        match q.try_push("c") {
+            Err(PushError::Closed(v)) => assert_eq!(v, "c"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn mpmc_under_contention_loses_nothing() {
+        let q = Arc::new(AdmissionQueue::<usize>::new(64));
+        let total = 4_000usize;
+        let consumed: Vec<std::thread::JoinHandle<usize>> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sum = 0usize;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let mut pushed_sum = 0usize;
+        for i in 0..total {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => {
+                        pushed_sum += i;
+                        break;
+                    }
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        let got: usize = consumed.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(got, pushed_sum);
+    }
+}

@@ -1,0 +1,651 @@
+//! The query service: admission, execution, deadlines, shutdown.
+//!
+//! Life of a request:
+//!
+//! 1. a transport (TCP connection reader or in-process client) decodes
+//!    a [`Request`] and calls `admit`;
+//! 2. admission control either queues a [`Job`] (bounded queue) or
+//!    responds immediately — `Overloaded` when the queue is full,
+//!    `ShuttingDown` during drain, `BadRequest` for undecodable frames;
+//! 3. a worker pops the job, **checks the deadline at dequeue** (a
+//!    request whose deadline passed while queued is answered
+//!    `DeadlineExceeded` without touching the store — shedding work
+//!    the client has already given up on), takes the store read lock,
+//!    executes through its own [`QueryContext`], and writes the
+//!    response through the job's responder;
+//! 4. every path appends exactly one access-log record.
+//!
+//! Graceful shutdown ([`Server::shutdown`]): stop accepting (transport
+//! rejections + acceptor exit), close the queue, let workers drain the
+//! already-admitted jobs, join every thread, and hand back the final
+//! [`ServiceReport`] with the access log intact. Writes (update-stream
+//! replay) go through [`StoreWriter`], which takes the store's write
+//! lock per event and repairs the date index before releasing it, so
+//! concurrent readers never observe a stale index.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use snb_core::{SnbError, SnbResult};
+use snb_datagen::dictionaries::StaticWorld;
+use snb_datagen::stream::TimedEvent;
+use snb_engine::QueryContext;
+use snb_store::{DeleteOp, DeleteStats, Store};
+
+use crate::log::{AccessLog, AccessRecord};
+use crate::proto::{self, ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams};
+use crate::queue::{AdmissionQueue, PushError};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue. `0` means no
+    /// background workers: queued jobs run inline during `shutdown`
+    /// (deterministic unit-test mode).
+    pub workers: usize,
+    /// Admission-queue capacity; pushes beyond it are shed.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Attach a per-request operator profile to responses and log
+    /// records (the `--profile` seam).
+    pub profiling: bool,
+    /// Intra-query parallelism per worker (`QueryContext` width).
+    /// Defaults to 1: the workers themselves are the unit of
+    /// concurrency, matching the throughput-test design.
+    pub threads_per_worker: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_capacity: 1024,
+            default_deadline: None,
+            profiling: false,
+            threads_per_worker: 1,
+        }
+    }
+}
+
+/// Aggregate outcome counters, returned by [`Server::shutdown`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Requests executed to completion.
+    pub served: u64,
+    /// Requests shed by admission control (queue full).
+    pub shed: u64,
+    /// Requests whose deadline passed before execution.
+    pub deadline_missed: u64,
+    /// Requests rejected because the server was draining.
+    pub rejected_shutdown: u64,
+    /// Frames that failed to decode.
+    pub bad_requests: u64,
+    /// Requests that failed during execution.
+    pub internal_errors: u64,
+    /// Update events applied through [`StoreWriter`].
+    pub updates_applied: u64,
+    /// Delete operations applied through [`StoreWriter`].
+    pub deletes_applied: u64,
+    /// Total access-log records (one per request that reached the
+    /// server).
+    pub log_records: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    deadline_missed: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    bad_requests: AtomicU64,
+    internal_errors: AtomicU64,
+    updates_applied: AtomicU64,
+    deletes_applied: AtomicU64,
+}
+
+/// Where a job's response goes.
+enum Responder {
+    /// Write a response frame to the connection's shared write half.
+    Tcp(Arc<Mutex<TcpStream>>),
+    /// Hand the response to a waiting in-process caller.
+    InProc(crossbeam::channel::Sender<Response>),
+}
+
+impl Responder {
+    fn send(&self, resp: Response) {
+        match self {
+            Responder::Tcp(stream) => {
+                let payload = proto::encode_response(&resp);
+                let mut guard = stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                // A write error means the client hung up; the request
+                // outcome is already logged, so drop it silently.
+                let _ = proto::write_frame(&mut *guard, &payload);
+            }
+            Responder::InProc(tx) => {
+                let _ = tx.send(resp);
+            }
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    request: Request,
+    seq: u64,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    responder: Responder,
+}
+
+struct ServerInner {
+    store: Arc<RwLock<Store>>,
+    queue: AdmissionQueue<Job>,
+    log: AccessLog,
+    accepting: AtomicBool,
+    config: ServerConfig,
+    counters: Counters,
+}
+
+impl ServerInner {
+    fn reject(&self, seq: u64, request: &Request, kind: ErrorKind, responder: &Responder) {
+        let (workload, query) = request.params.label();
+        match kind {
+            ErrorKind::Overloaded => self.counters.shed.fetch_add(1, Ordering::Relaxed),
+            ErrorKind::ShuttingDown => {
+                self.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed)
+            }
+            _ => 0,
+        };
+        self.log.push(AccessRecord {
+            seq,
+            workload,
+            query,
+            binding_hash: request.params.binding_hash(),
+            queue_us: 0,
+            exec_us: 0,
+            outcome: kind.name(),
+            rows: 0,
+            fingerprint: 0,
+            profile: None,
+        });
+        let detail = match kind {
+            ErrorKind::Overloaded => {
+                format!("admission queue full (capacity {})", self.queue.capacity())
+            }
+            ErrorKind::ShuttingDown => "server is draining for shutdown".to_string(),
+            other => other.name().to_string(),
+        };
+        responder
+            .send(Response { id: request.id, body: Err(ErrorBody { kind, queue_us: 0, detail }) });
+    }
+
+    /// Admission control: queue the request or answer immediately.
+    fn admit(&self, request: Request, responder: Responder) {
+        let seq = self.log.next_seq();
+        if !self.accepting.load(Ordering::Acquire) {
+            self.reject(seq, &request, ErrorKind::ShuttingDown, &responder);
+            return;
+        }
+        let admitted = Instant::now();
+        let deadline = if request.deadline_us > 0 {
+            Some(admitted + Duration::from_micros(request.deadline_us))
+        } else {
+            self.config.default_deadline.map(|d| admitted + d)
+        };
+        let job = Job { request, seq, admitted, deadline, responder };
+        match self.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(job)) => {
+                self.reject(job.seq, &job.request, ErrorKind::Overloaded, &job.responder)
+            }
+            Err(PushError::Closed(job)) => {
+                self.reject(job.seq, &job.request, ErrorKind::ShuttingDown, &job.responder)
+            }
+        }
+    }
+
+    /// Handles one undecodable frame.
+    fn admit_garbage(&self, id: Option<u64>, detail: String, responder: Responder) {
+        let seq = self.log.next_seq();
+        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.log.push(AccessRecord {
+            seq,
+            workload: "",
+            query: 0,
+            binding_hash: 0,
+            queue_us: 0,
+            exec_us: 0,
+            outcome: ErrorKind::BadRequest.name(),
+            rows: 0,
+            fingerprint: 0,
+            profile: None,
+        });
+        responder.send(Response {
+            id: id.unwrap_or(u64::MAX),
+            body: Err(ErrorBody { kind: ErrorKind::BadRequest, queue_us: 0, detail }),
+        });
+    }
+
+    /// Executes one dequeued job on `ctx` (deadline check first).
+    fn execute(&self, ctx: &QueryContext, job: Job) {
+        let queue_us = job.admitted.elapsed().as_micros() as u64;
+        let (workload, query) = job.request.params.label();
+        let binding_hash = job.request.params.binding_hash();
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                self.counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                self.log.push(AccessRecord {
+                    seq: job.seq,
+                    workload,
+                    query,
+                    binding_hash,
+                    queue_us,
+                    exec_us: 0,
+                    outcome: ErrorKind::DeadlineExceeded.name(),
+                    rows: 0,
+                    fingerprint: 0,
+                    profile: None,
+                });
+                job.responder.send(Response {
+                    id: job.request.id,
+                    body: Err(ErrorBody {
+                        kind: ErrorKind::DeadlineExceeded,
+                        queue_us,
+                        detail: format!(
+                            "deadline passed after {queue_us}us in queue; not executed"
+                        ),
+                    }),
+                });
+                return;
+            }
+        }
+        ctx.metrics().reset();
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let guard = self.store.read();
+            match &job.request.params {
+                ServiceParams::Bi(p) => {
+                    let s = snb_bi::run_with(&guard, ctx, p);
+                    (s.rows as u64, s.fingerprint)
+                }
+                ServiceParams::Ic(p) => {
+                    (snb_interactive::run_complex_with(&guard, ctx, p) as u64, 0)
+                }
+            }
+        }));
+        let exec_us = started.elapsed().as_micros() as u64;
+        match outcome {
+            Ok((rows, fingerprint)) => {
+                let profile = self.config.profiling.then(|| ctx.metrics().snapshot());
+                self.counters.served.fetch_add(1, Ordering::Relaxed);
+                self.log.push(AccessRecord {
+                    seq: job.seq,
+                    workload,
+                    query,
+                    binding_hash,
+                    queue_us,
+                    exec_us,
+                    outcome: "ok",
+                    rows,
+                    fingerprint,
+                    profile: profile.clone(),
+                });
+                job.responder.send(Response {
+                    id: job.request.id,
+                    body: Ok(OkBody { rows, fingerprint, queue_us, exec_us, profile }),
+                });
+            }
+            Err(_) => {
+                self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                self.log.push(AccessRecord {
+                    seq: job.seq,
+                    workload,
+                    query,
+                    binding_hash,
+                    queue_us,
+                    exec_us,
+                    outcome: ErrorKind::Internal.name(),
+                    rows: 0,
+                    fingerprint: 0,
+                    profile: None,
+                });
+                job.responder.send(Response {
+                    id: job.request.id,
+                    body: Err(ErrorBody {
+                        kind: ErrorKind::Internal,
+                        queue_us,
+                        detail: format!("{workload} {query} panicked during execution"),
+                    }),
+                });
+            }
+        }
+    }
+
+    fn worker_context(&self) -> QueryContext {
+        let ctx = if self.config.threads_per_worker <= 1 {
+            QueryContext::single_threaded()
+        } else {
+            QueryContext::new(self.config.threads_per_worker)
+        };
+        ctx.with_profiling(self.config.profiling)
+    }
+
+    fn report(&self) -> ServiceReport {
+        ServiceReport {
+            served: self.counters.served.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            deadline_missed: self.counters.deadline_missed.load(Ordering::Relaxed),
+            rejected_shutdown: self.counters.rejected_shutdown.load(Ordering::Relaxed),
+            bad_requests: self.counters.bad_requests.load(Ordering::Relaxed),
+            internal_errors: self.counters.internal_errors.load(Ordering::Relaxed),
+            updates_applied: self.counters.updates_applied.load(Ordering::Relaxed),
+            deletes_applied: self.counters.deletes_applied.load(Ordering::Relaxed),
+            log_records: self.log.len() as u64,
+        }
+    }
+}
+
+/// The running query service.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Starts the service over an exclusively-owned store.
+    pub fn start(store: Store, config: ServerConfig) -> Server {
+        Server::start_shared(Arc::new(RwLock::new(store)), config)
+    }
+
+    /// Starts the service over a shared store (the handle other threads
+    /// use for concurrent update replay).
+    pub fn start_shared(store: Arc<RwLock<Store>>, config: ServerConfig) -> Server {
+        let inner = Arc::new(ServerInner {
+            store,
+            queue: AdmissionQueue::new(config.queue_capacity),
+            log: AccessLog::new(),
+            accepting: AtomicBool::new(true),
+            config,
+            counters: Counters::default(),
+        });
+        let workers = (0..inner.config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    let ctx = inner.worker_context();
+                    while let Some(job) = inner.queue.pop() {
+                        inner.execute(&ctx, job);
+                    }
+                })
+            })
+            .collect();
+        Server {
+            inner,
+            workers,
+            acceptor: None,
+            connections: Arc::new(Mutex::new(Vec::new())),
+            local_addr: None,
+        }
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections; returns the bound address.
+    pub fn listen(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        self.local_addr = Some(local);
+        let inner = Arc::clone(&self.inner);
+        let connections = Arc::clone(&self.connections);
+        self.acceptor = Some(std::thread::spawn(move || {
+            while inner.accepting.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let inner = Arc::clone(&inner);
+                        let handle = std::thread::spawn(move || connection_loop(&inner, stream));
+                        connections
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(handle);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+        Ok(local)
+    }
+
+    /// The bound TCP address, when listening.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// An in-process client handle (deterministic test transport).
+    pub fn client(&self) -> InProcClient {
+        InProcClient { inner: Arc::clone(&self.inner), next_id: AtomicU64::new(1) }
+    }
+
+    /// A write handle for concurrent update replay.
+    pub fn writer(&self) -> StoreWriter {
+        StoreWriter { inner: Arc::clone(&self.inner) }
+    }
+
+    /// The shared store (read access for oracles and stats).
+    pub fn store(&self) -> Arc<RwLock<Store>> {
+        Arc::clone(&self.inner.store)
+    }
+
+    /// The access log.
+    pub fn access_log(&self) -> &AccessLog {
+        &self.inner.log
+    }
+
+    /// A handle to the access log that stays valid after
+    /// [`Server::shutdown`] consumes the server — the binary uses it to
+    /// flush the final log (drained records included) to disk.
+    pub fn log_handle(&self) -> LogHandle {
+        LogHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Point-in-time counter snapshot (the final one comes from
+    /// [`Server::shutdown`]).
+    pub fn report_now(&self) -> ServiceReport {
+        self.inner.report()
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Graceful drain-then-shutdown: stop accepting, finish every
+    /// admitted job, join all threads, return the final report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.inner.accepting.store(false, Ordering::Release);
+        self.inner.queue.close();
+        // No background workers (test mode): drain inline so admitted
+        // jobs still complete before the report is cut.
+        if self.workers.is_empty() {
+            let ctx = self.inner.worker_context();
+            while let Some(job) = self.inner.queue.pop() {
+                self.inner.execute(&ctx, job);
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let handles: Vec<_> = std::mem::take(
+            &mut *self.connections.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        self.inner.report()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Belt-and-braces for servers dropped without `shutdown()`:
+        // unblock workers so their threads exit instead of leaking.
+        self.inner.accepting.store(false, Ordering::Release);
+        self.inner.queue.close();
+    }
+}
+
+/// Reads frames off one TCP connection and admits them. The read half
+/// uses a timeout poll so the thread notices shutdown; the write half
+/// is shared (behind a mutex) with the workers answering this
+/// connection's requests, so responses may interleave in completion
+/// order — clients match on the correlation id.
+fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match proto::take_frame(&mut buf) {
+                Ok(Some(payload)) => match proto::decode_request(&payload) {
+                    Ok(request) => inner.admit(request, Responder::Tcp(Arc::clone(&writer))),
+                    Err(e) => {
+                        inner.admit_garbage(e.id, e.detail, Responder::Tcp(Arc::clone(&writer)))
+                    }
+                },
+                Ok(None) => break,
+                // Unrecoverable framing violation: drop the connection.
+                Err(_) => return,
+            }
+        }
+        match reader.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if !inner.accepting.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Owner-independent view of the server's access log (outlives
+/// [`Server::shutdown`]).
+pub struct LogHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl LogHandle {
+    /// The underlying access log.
+    pub fn log(&self) -> &AccessLog {
+        &self.inner.log
+    }
+
+    /// Writes the log as JSON Lines to `path`.
+    pub fn flush_to(&self, path: &str) -> std::io::Result<()> {
+        self.inner.log.flush_to(path)
+    }
+}
+
+/// Deterministic in-process transport: submits through the same
+/// admission path as TCP, blocks for the response.
+pub struct InProcClient {
+    inner: Arc<ServerInner>,
+    next_id: AtomicU64,
+}
+
+impl InProcClient {
+    /// Executes one request; `deadline_us = 0` means "server default".
+    pub fn call(&self, params: ServiceParams, deadline_us: u64) -> Response {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.inner.admit(Request { id, deadline_us, params }, Responder::InProc(tx));
+        rx.recv().unwrap_or(Response {
+            id,
+            body: Err(ErrorBody {
+                kind: ErrorKind::ShuttingDown,
+                queue_us: 0,
+                detail: "server terminated before responding".into(),
+            }),
+        })
+    }
+}
+
+/// Write handle: applies update-stream events and delete operations
+/// with the same lock discipline as the driver's concurrent harness —
+/// one atomic write section per event, date index repaired before the
+/// lock drops so readers never take the linear-scan fallback.
+pub struct StoreWriter {
+    inner: Arc<ServerInner>,
+}
+
+impl StoreWriter {
+    /// Applies one insert event (IU 1–8).
+    pub fn apply_update(&self, event: &TimedEvent, world: &StaticWorld) -> SnbResult<()> {
+        let mut guard = self.inner.store.write();
+        guard.apply_event(event, world)?;
+        if !guard.date_index_fresh() {
+            guard.rebuild_date_index();
+        }
+        drop(guard);
+        self.inner.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Applies a batch of delete operations (DEL 1–8).
+    pub fn apply_deletes(&self, ops: &[DeleteOp]) -> SnbResult<DeleteStats> {
+        let mut guard = self.inner.store.write();
+        let stats = guard.apply_deletes(ops)?;
+        if !guard.date_index_fresh() {
+            guard.rebuild_date_index();
+        }
+        drop(guard);
+        self.inner.counters.deletes_applied.fetch_add(ops.len() as u64, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// Validates store invariants under the read lock (the
+    /// serializability probe of the concurrent harness).
+    pub fn validate_invariants(&self) -> SnbResult<()> {
+        self.inner.store.read().validate_invariants()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.inner.config.workers)
+            .field("queue_capacity", &self.inner.config.queue_capacity)
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+/// Convenience constructor for errors the binary reports.
+pub fn config_error(detail: impl Into<String>) -> SnbError {
+    SnbError::Config(detail.into())
+}

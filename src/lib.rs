@@ -12,4 +12,5 @@ pub use snb_driver as driver;
 pub use snb_engine as engine;
 pub use snb_interactive as interactive;
 pub use snb_params as params;
+pub use snb_server as server;
 pub use snb_store as store;
