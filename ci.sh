@@ -99,4 +99,28 @@ SERVER_PID=""
 grep -q '"outcome": "ok"' "$ACCESS_LOG" || {
   echo "access log has no served requests" >&2; exit 1; }
 
+echo "==> chaos recovery smoke (WAL + SIGKILL + dedupe + oracle equality)"
+# Gate on the WAL checksum/truncation unit tests before paying for the
+# full chaos run — a broken record format makes the rest meaningless.
+cargo test -q --release -p snb-server --lib wal:: > /dev/null
+# The harness spawns snb-server itself (ephemeral port, temp WAL dir),
+# SIGKILLs it at three injected fault points, restarts it, resubmits
+# unacked batches, and verifies the recovered store against an
+# acked-batches oracle over all 25 BI queries. Nonzero exit = lost ack,
+# duplicate application, or result divergence.
+CHAOS_JSON="$(mktemp /tmp/chaos_smoke.XXXXXX.json)"
+SNB_SERVICE_OUT="$CHAOS_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 --chaos \
+  --server-bin target/release/snb-server > /dev/null
+for key in chaos phases dedupes lost_acks queries_verified mismatches; do
+  grep -q "\"$key\":" "$CHAOS_JSON" || {
+    echo "chaos JSON is missing key '$key'" >&2; rm -f "$CHAOS_JSON"; exit 1; }
+done
+grep -q '"lost_acks": 0' "$CHAOS_JSON" || {
+  echo "chaos run lost an acknowledged batch" >&2; rm -f "$CHAOS_JSON"; exit 1; }
+grep -q '"mismatches": 0' "$CHAOS_JSON" || {
+  echo "recovered store diverges from the acked-batches oracle" >&2
+  rm -f "$CHAOS_JSON"; exit 1; }
+rm -f "$CHAOS_JSON"
+
 echo "CI OK"

@@ -1,0 +1,422 @@
+//! `--chaos`: the crash-recovery experiment.
+//!
+//! Spawns a real `snb-server` process with a WAL, drives sequenced
+//! write batches at it, and SIGKILLs it at three injected fault points:
+//!
+//! 1. `wal.append.short_write` — the append tears mid-record. Recovery
+//!    must truncate the torn tail; the batch was never durable, so the
+//!    resubmission applies it for the first time (`ok`).
+//! 2. `wal.append.post_append` — the record is durable (synced) but the
+//!    server dies before applying/acking. Recovery must replay it; the
+//!    resubmission is acknowledged `deduped` with zero rows.
+//! 3. `writer.apply.panic` — the apply panics mid-batch after the
+//!    append. The server answers `store_poisoned` (typed, no hang),
+//!    refuses further traffic, and after restart the WAL'd batch is
+//!    replayed; the resubmission dedupes.
+//!
+//! After the last restart the harness quiesces and proves the recovered
+//! store answers **all 25 BI queries** with the same row counts and
+//! fingerprints as an in-process oracle that applied exactly the
+//! acknowledged batches once each. Any lost ack (a batch the server
+//! confirmed but the recovered store is missing) or duplicate
+//! application (a dedupe that re-applied) shows up as a fingerprint
+//! divergence or a non-zero `rows` on a dedupe ack — both are hard
+//! failures.
+//!
+//! Every stall fault here is "sleep forever"; the harness detects the
+//! missing ack with a read timeout and delivers the actual SIGKILL via
+//! `Child::kill`, so the process dies exactly at the armed point with
+//! no destructors run.
+
+use std::io::BufRead;
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use snb_datagen::dictionaries::StaticWorld;
+use snb_datagen::stream::UpdateEvent;
+use snb_datagen::GeneratorConfig;
+use snb_engine::QueryContext;
+use snb_params::ParamGen;
+use snb_server::proto::{self, Request};
+use snb_server::{ErrorKind, Response, ServiceParams, WriteBatch, WriteOps};
+use snb_store::DeleteOp;
+
+use crate::Args;
+
+/// How long a client waits for an ack before declaring the server
+/// stalled at a fault point and SIGKILLing it. The injected stalls
+/// sleep for 600 s, so this cleanly separates "stalled" from "slow".
+const ACK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Sequenced batches carved from a real update stream: chunks of
+/// inserts in stream order, with a like-delete batch interleaved after
+/// any chunk that produced likes (both write families hit the WAL).
+fn carve_stream(stream: &[snb_datagen::stream::TimedEvent], chunks: usize) -> Vec<WriteOps> {
+    let mut out = Vec::new();
+    let mut likes = Vec::new();
+    for chunk in stream.chunks(20).take(chunks) {
+        for ev in chunk {
+            if let UpdateEvent::AddLikePost(l) = &ev.event {
+                likes.push(DeleteOp::Like(l.person.0, l.message.0));
+            }
+        }
+        out.push(WriteOps::Updates(chunk.to_vec()));
+        if !likes.is_empty() {
+            out.push(WriteOps::Deletes(std::mem::take(&mut likes)));
+        }
+    }
+    out
+}
+
+/// [`carve_stream`] over a freshly generated stream for `config`.
+pub fn carve_batches(config: &GeneratorConfig, chunks: usize) -> Vec<WriteOps> {
+    let (_, stream) = snb_store::bulk_store_and_stream(config);
+    carve_stream(&stream, chunks)
+}
+
+/// Parsed `recovered seq=...` startup line.
+#[derive(Clone, Copy, Debug, Default)]
+struct Recovery {
+    seq: u64,
+    snapshot_entries: u64,
+    wal_entries: u64,
+    truncated_bytes: u64,
+}
+
+struct ChaosServer {
+    child: Child,
+    addr: String,
+    recovery: Recovery,
+}
+
+impl ChaosServer {
+    fn spawn(args: &Args, bin: &str, wal_dir: &std::path::Path, faults: Option<&str>) -> Self {
+        let mut cmd = Command::new(bin);
+        cmd.arg(&args.scale)
+            .arg(args.config.seed.to_string())
+            .args(["--port", "0", "--workers", "2", "--snapshot-every", "5"])
+            .arg("--wal-dir")
+            .arg(wal_dir)
+            .env_remove("SNB_FAULTS")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(spec) = faults {
+            cmd.env("SNB_FAULTS", spec).env("SNB_FAULT_SEED", "42");
+        }
+        let mut child = cmd.spawn().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut recovery = Recovery::default();
+        let mut addr = None;
+        for line in std::io::BufReader::new(stdout).lines() {
+            let line = line.expect("server stdout");
+            if let Some(rest) = line.strip_prefix("recovered ") {
+                for field in rest.split_whitespace() {
+                    let (key, value) = field.split_once('=').unwrap_or((field, "0"));
+                    let value: u64 = value.parse().unwrap_or(0);
+                    match key {
+                        "seq" => recovery.seq = value,
+                        "snapshot_entries" => recovery.snapshot_entries = value,
+                        "wal_entries" => recovery.wal_entries = value,
+                        "truncated_bytes" => recovery.truncated_bytes = value,
+                        _ => {}
+                    }
+                }
+            } else if let Some(a) = line.strip_prefix("listening on ") {
+                addr = Some(a.trim().to_string());
+                break;
+            }
+        }
+        let addr = addr.expect("server exited before printing its address");
+        ChaosServer { child, addr, recovery }
+    }
+
+    fn connect(&self) -> TcpStream {
+        for _ in 0..100 {
+            if let Ok(s) = TcpStream::connect(&self.addr) {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(ACK_TIMEOUT));
+                return s;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("could not connect to {}", self.addr);
+    }
+
+    /// SIGKILL — no drain, no destructors; the crash we are testing.
+    fn sigkill(mut self) {
+        self.child.kill().expect("SIGKILL server");
+        self.child.wait().expect("reap server");
+    }
+
+    /// Graceful stop (SIGTERM, drain, exit 0) for the final teardown.
+    #[cfg(unix)]
+    fn terminate(mut self) {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        unsafe {
+            kill(self.child.id() as i32, 15);
+        }
+        let _ = self.child.wait();
+    }
+
+    #[cfg(not(unix))]
+    fn terminate(self) {
+        self.sigkill();
+    }
+}
+
+fn call(stream: &mut TcpStream, id: u64, params: ServiceParams) -> Result<Response, String> {
+    let req = Request { id, deadline_us: 0, params };
+    proto::write_frame(stream, &proto::encode_request(&req)).map_err(|e| format!("write: {e}"))?;
+    let payload = proto::read_frame(stream).map_err(|e| format!("read: {e}"))?;
+    proto::decode_response(&payload).map_err(|e| format!("decode: {}", e.detail))
+}
+
+/// Submits batch `seq`; `Ok((flavor, rows))` where flavor is `"ok"`
+/// or `"deduped"` (rows must be 0 for the latter), `Err` when the ack
+/// never arrived (stall → timeout) or came back as a typed error.
+fn submit(stream: &mut TcpStream, seq: u64, ops: &WriteOps) -> Result<(&'static str, u64), String> {
+    let params = ServiceParams::Write(WriteBatch { seq, ops: ops.clone() });
+    let resp = call(stream, seq, params)?;
+    match resp.body {
+        // The ack contract: `rows` is the number of operations applied
+        // by *this* call — zero exactly when the batch was already
+        // applied and the server merely re-acknowledged it.
+        Ok(ok) if ok.rows == 0 => Ok(("deduped", 0)),
+        Ok(ok) => Ok(("ok", ok.rows)),
+        Err(e) => Err(format!("{}: {}", e.kind.name(), e.detail)),
+    }
+}
+
+struct PhaseOutcome {
+    name: &'static str,
+    killed_at_seq: u64,
+    recovered_seq: u64,
+    truncated_bytes: u64,
+    resubmit_flavor: &'static str,
+}
+
+pub fn run(args: &Args) {
+    let bin = args.server_bin.clone().unwrap_or_else(|| {
+        let exe = std::env::current_exe().expect("current_exe");
+        exe.parent().expect("target dir").join("snb-server").display().to_string()
+    });
+    assert!(
+        std::path::Path::new(&bin).exists(),
+        "snb-server binary not found at {bin} (build it or pass --server-bin)"
+    );
+    let wal_dir = std::env::temp_dir().join(format!("snb_chaos_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    eprintln!("# chaos: carving write batches (scale {}, seed {})", args.scale, args.config.seed);
+    let (base_store, stream) = snb_store::bulk_store_and_stream(&args.config);
+    let batches = carve_stream(&stream, 12);
+    // A read binding for probing the degraded server; generated against
+    // the bulk image (only the error kind matters, not the result).
+    let probe = ParamGen::new(&base_store, args.config.seed)
+        .bi_params(1, 1)
+        .pop()
+        .expect("one BI 1 binding");
+    let total = batches.len() as u64;
+    assert!(total >= 8, "need at least 8 batches for the three phases, got {total}");
+    let mut ack_flavor: Vec<Option<&'static str>> = vec![None; batches.len()];
+    let mut dedupes = 0u64;
+    let mut phases: Vec<PhaseOutcome> = Vec::new();
+    let seq_ops = |seq: u64| &batches[(seq - 1) as usize];
+
+    // ---- Phase 1: torn append. The 3rd WAL append writes 8 bytes and
+    // stalls; seqs 1-2 are acked, seq 3 is neither durable nor applied.
+    eprintln!("# chaos phase 1: SIGKILL at wal.append.short_write (seq 3)");
+    let server = ChaosServer::spawn(
+        args,
+        &bin,
+        &wal_dir,
+        Some("wal.append.short_write=short:8,stall:600000@h3"),
+    );
+    assert_eq!(server.recovery.seq, 0, "fresh directory recovers to the bulk image");
+    let mut conn = server.connect();
+    for seq in 1..=2u64 {
+        let (flavor, _) = submit(&mut conn, seq, seq_ops(seq)).expect("pre-fault ack");
+        assert_eq!(flavor, "ok");
+        ack_flavor[seq as usize - 1] = Some("ok");
+    }
+    let stalled = submit(&mut conn, 3, seq_ops(3));
+    assert!(stalled.is_err(), "seq 3 must stall at the torn append, got {stalled:?}");
+    server.sigkill();
+
+    // ---- Phase 2: restart, verify truncation, resubmit seq 3 (first
+    // apply), then die after a durable append of seq 4 (pre-apply).
+    eprintln!("# chaos phase 2: recover; SIGKILL at wal.append.post_append (seq 4)");
+    let server =
+        ChaosServer::spawn(args, &bin, &wal_dir, Some("wal.append.post_append=stall:600000@h2"));
+    // (effects in one clause are comma-separated; `@h2` because the
+    // resubmitted seq 3 consumes this fresh process's first append.)
+    assert_eq!(server.recovery.seq, 2, "torn seq 3 must not be replayed");
+    assert!(server.recovery.truncated_bytes > 0, "the torn tail must be truncated");
+    let mut conn = server.connect();
+    let (flavor, rows) = submit(&mut conn, 3, seq_ops(3)).expect("resubmit seq 3");
+    assert_eq!((flavor, rows > 0), ("ok", true), "seq 3 was never durable: first apply");
+    ack_flavor[2] = Some("ok");
+    phases.push(PhaseOutcome {
+        name: "wal.append.short_write",
+        killed_at_seq: 3,
+        recovered_seq: server.recovery.seq,
+        truncated_bytes: server.recovery.truncated_bytes,
+        resubmit_flavor: flavor,
+    });
+    let stalled = submit(&mut conn, 4, seq_ops(4));
+    assert!(stalled.is_err(), "seq 4 must stall after the durable append, got {stalled:?}");
+    server.sigkill();
+
+    // ---- Phase 3: restart, seq 4 must have been replayed from the
+    // WAL; its resubmission dedupes. Then seq 5 panics mid-apply: the
+    // server answers store_poisoned (typed, no hang) and refuses reads.
+    eprintln!("# chaos phase 3: recover; SIGKILL after writer.apply.panic (seq 5)");
+    let server = ChaosServer::spawn(args, &bin, &wal_dir, Some("writer.apply.panic=panic@h1"));
+    assert_eq!(server.recovery.seq, 4, "durable seq 4 must be replayed, not lost");
+    assert_eq!(server.recovery.truncated_bytes, 0, "seq 4's append was clean");
+    let mut conn = server.connect();
+    let (flavor, rows) = submit(&mut conn, 4, seq_ops(4)).expect("resubmit seq 4");
+    assert_eq!((flavor, rows), ("deduped", 0), "durable+replayed seq 4 must dedupe");
+    ack_flavor[3] = Some("deduped");
+    dedupes += 1;
+    phases.push(PhaseOutcome {
+        name: "wal.append.post_append",
+        killed_at_seq: 4,
+        recovered_seq: server.recovery.seq,
+        truncated_bytes: server.recovery.truncated_bytes,
+        resubmit_flavor: flavor,
+    });
+    let poisoned = submit(&mut conn, 5, seq_ops(5));
+    match &poisoned {
+        Err(detail) if detail.starts_with("store_poisoned") => {}
+        other => panic!("seq 5 must be refused store_poisoned, got {other:?}"),
+    }
+    // The degraded store refuses reads too — with a typed error, not a
+    // hang or a poisoned-lock panic cascade.
+    let read =
+        call(&mut conn, 9_999, ServiceParams::Bi(probe.clone())).expect("probe read answers");
+    match read.body {
+        Err(e) if e.kind == ErrorKind::StorePoisoned => {}
+        other => panic!("degraded server must refuse reads store_poisoned, got {other:?}"),
+    }
+    server.sigkill();
+
+    // ---- Phase 4: final recovery. Seq 5 was WAL-appended before the
+    // injected panic, so replay (which sees no fault) applies it; the
+    // resubmission dedupes. Drain the rest of the schedule normally.
+    eprintln!("# chaos phase 4: recover; drain remaining batches");
+    let server = ChaosServer::spawn(args, &bin, &wal_dir, None);
+    assert_eq!(server.recovery.seq, 5, "seq 5 was durable before the panic: replayed");
+    let mut conn = server.connect();
+    let (flavor, rows) = submit(&mut conn, 5, seq_ops(5)).expect("resubmit seq 5");
+    assert_eq!((flavor, rows), ("deduped", 0), "replayed seq 5 must dedupe");
+    ack_flavor[4] = Some("deduped");
+    dedupes += 1;
+    phases.push(PhaseOutcome {
+        name: "writer.apply.panic",
+        killed_at_seq: 5,
+        recovered_seq: server.recovery.seq,
+        truncated_bytes: server.recovery.truncated_bytes,
+        resubmit_flavor: flavor,
+    });
+    for seq in 6..=total {
+        let (flavor, _) = submit(&mut conn, seq, seq_ops(seq)).expect("drain ack");
+        assert_eq!(flavor, "ok");
+        ack_flavor[seq as usize - 1] = Some("ok");
+    }
+    let lost_acks = ack_flavor.iter().filter(|f| f.is_none()).count() as u64;
+    assert_eq!(lost_acks, 0, "every batch must end acknowledged");
+
+    // ---- Oracle: a quiesced in-process store that applied exactly the
+    // acknowledged batches once each, compared over all 25 BI queries.
+    eprintln!("# chaos: building acked-batches oracle and verifying 25 BI queries");
+    let mut oracle = base_store;
+    let world = StaticWorld::build(args.config.seed);
+    for ops in &batches {
+        match ops {
+            WriteOps::Updates(events) => {
+                for ev in events {
+                    oracle.apply_event(ev, &world).expect("oracle apply");
+                }
+            }
+            WriteOps::Deletes(dels) => {
+                oracle.apply_deletes(dels).expect("oracle delete");
+            }
+        }
+    }
+    if !oracle.date_index_fresh() {
+        oracle.rebuild_date_index();
+    }
+    oracle.validate_invariants().expect("oracle invariants");
+
+    let gen = ParamGen::new(&oracle, args.config.seed);
+    let ctx = QueryContext::single_threaded();
+    let mut verified = 0u64;
+    let mut mismatches = 0u64;
+    for q in 1..=25u8 {
+        for params in gen.bi_params(q, 2) {
+            let want = snb_bi::run_with(&oracle, &ctx, &params);
+            let resp =
+                call(&mut conn, 10_000 + verified, ServiceParams::Bi(params)).expect("verify read");
+            verified += 1;
+            match resp.body {
+                Ok(ok) if ok.rows == want.rows as u64 && ok.fingerprint == want.fingerprint => {}
+                Ok(ok) => {
+                    mismatches += 1;
+                    eprintln!(
+                        "CHAOS VERIFY FAILURE: BI {q}: rows {} fp {:#x}, oracle rows {} fp {:#x}",
+                        ok.rows, ok.fingerprint, want.rows, want.fingerprint
+                    );
+                }
+                Err(e) => {
+                    mismatches += 1;
+                    eprintln!("CHAOS VERIFY FAILURE: BI {q}: {}: {}", e.kind.name(), e.detail);
+                }
+            }
+        }
+    }
+    server.terminate();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    assert_eq!(mismatches, 0, "recovered store diverges from the acked-batches oracle");
+
+    // ---- Report.
+    snb_bench::print_table(
+        "E13: chaos recovery",
+        &["batches", "kills", "dedupes", "queries verified", "mismatches"],
+        &[vec![
+            total.to_string(),
+            phases.len().to_string(),
+            dedupes.to_string(),
+            verified.to_string(),
+            mismatches.to_string(),
+        ]],
+    );
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"meta\": {},\n", snb_bench::meta_json(&args.config)));
+    out.push_str("  \"chaos\": {\n");
+    out.push_str(&format!("    \"batches\": {total},\n    \"phases\": [\n"));
+    for (i, p) in phases.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"fault\": \"{}\", \"killed_at_seq\": {}, \"recovered_seq\": {}, \
+             \"truncated_bytes\": {}, \"resubmit\": \"{}\"}}{}\n",
+            p.name,
+            p.killed_at_seq,
+            p.recovered_seq,
+            p.truncated_bytes,
+            p.resubmit_flavor,
+            if i + 1 < phases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"dedupes\": {dedupes}, \"lost_acks\": {lost_acks}, \
+         \"queries_verified\": {verified}, \"mismatches\": {mismatches}\n"
+    ));
+    out.push_str("  }\n}\n");
+    std::fs::write(&args.out, out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("wrote {}", args.out);
+    eprintln!("# chaos: PASS ({total} batches, 3 kills, {dedupes} dedupes, {verified} queries)");
+}

@@ -14,7 +14,9 @@
 //!              [--workers N] [--queue-cap N] [--profile]
 //!              [--queries 2,12,18] [--bindings N]
 //!              [--tcp | --connect HOST:PORT]
-//!              [--updates] [--exercise-edges] [--out PATH]
+//!              [--updates] [--exercise-edges] [--retries N]
+//!              [--wal-bench] [--chaos [--server-bin PATH]]
+//!              [--out PATH]
 //! ```
 //!
 //! Default transport is in-process (deterministic); `--tcp` drives the
@@ -27,6 +29,19 @@
 //! path while clients read. `--exercise-edges` appends two bursts after
 //! the measured window: a pipelined overload burst that must shed, and
 //! a tiny-deadline burst that must miss deadlines.
+//!
+//! `--retries N` arms capped-exponential-backoff/full-jitter retries
+//! (N attempts total) on transient rejections (`overloaded`,
+//! `shutting_down`). `--wal-bench` measures write-batch ack latency
+//! through the durable write path with `fsync_every` 1 vs 64 and adds a
+//! `"wal"` block to the JSON. `--chaos` runs the crash-recovery
+//! experiment instead of the load window: it spawns `snb-server`
+//! (`--server-bin`, default: next to this binary) with a WAL, SIGKILLs
+//! it at three injected fault points (torn append, durable-but-unacked
+//! append, mid-apply panic), restarts it, resubmits every unacked batch
+//! (the server dedupes by sequence number), and finally proves the
+//! recovered store answers all 25 BI queries identically to an oracle
+//! that applied exactly the acknowledged batches once each.
 
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,12 +53,18 @@ use snb_datagen::GeneratorConfig;
 use snb_engine::QueryContext;
 use snb_params::ParamGen;
 use snb_server::proto::{self, Request};
-use snb_server::{ErrorKind, Response, Server, ServerConfig, ServiceParams, ServiceReport};
+use snb_server::{
+    ErrorKind, Response, RetryPolicy, Server, ServerConfig, ServiceParams, ServiceReport,
+};
 use snb_store::DeleteOp;
+
+mod chaos;
+mod wal_bench;
 
 #[derive(Clone)]
 struct Args {
     config: GeneratorConfig,
+    scale: String,
     clients: usize,
     duration: Duration,
     open: bool,
@@ -55,6 +76,10 @@ struct Args {
     connect: Option<String>,
     updates: bool,
     exercise_edges: bool,
+    retries: u32,
+    wal_bench: bool,
+    chaos: bool,
+    server_bin: Option<String>,
     server: ServerConfig,
     out: String,
 }
@@ -72,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
     let mut positionals: Vec<String> = Vec::new();
     let mut args = Args {
         config: GeneratorConfig::for_scale_name("0.01").unwrap(),
+        scale: "0.01".into(),
         clients: 8,
         duration: Duration::from_secs(10),
         open: false,
@@ -83,6 +109,10 @@ fn parse_args() -> Result<Args, String> {
         connect: None,
         updates: false,
         exercise_edges: false,
+        retries: 0,
+        wal_bench: false,
+        chaos: false,
+        server_bin: None,
         server: ServerConfig { threads_per_worker: 1, ..ServerConfig::default() },
         out: std::env::var("SNB_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into()),
     };
@@ -120,6 +150,13 @@ fn parse_args() -> Result<Args, String> {
             "--connect" => args.connect = Some(need("--connect", argv.next())?),
             "--updates" => args.updates = true,
             "--exercise-edges" => args.exercise_edges = true,
+            "--retries" => {
+                args.retries =
+                    need("--retries", argv.next())?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--wal-bench" => args.wal_bench = true,
+            "--chaos" => args.chaos = true,
+            "--server-bin" => args.server_bin = Some(need("--server-bin", argv.next())?),
             "--workers" => {
                 args.server.workers =
                     need("--workers", argv.next())?.parse().map_err(|e| format!("{e}"))?
@@ -137,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
     if let Some(sf) = positionals.first() {
         args.config = GeneratorConfig::for_scale_name(sf)
             .ok_or_else(|| format!("unknown scale factor {sf:?}"))?;
+        args.scale = sf.clone();
     }
     if let Some(seed) = positionals.get(1) {
         args.config.seed = seed.parse().map_err(|e| format!("seed: {e}"))?;
@@ -179,6 +217,29 @@ impl Transport {
             }
         }
     }
+
+    /// [`Transport::call`] with capped-exponential-backoff/full-jitter
+    /// retries on transient rejections. Works uniformly over both
+    /// transports; the request is re-sent verbatim (reads are
+    /// idempotent, writes are deduplicated by sequence number).
+    fn call_with_retries(
+        &mut self,
+        id: u64,
+        params: ServiceParams,
+        deadline_us: u64,
+        policy: RetryPolicy,
+    ) -> Result<Response, String> {
+        let mut backoff = snb_server::retry::Backoff::new(policy);
+        loop {
+            let resp = self.call(id, params.clone(), deadline_us)?;
+            match &resp.body {
+                Err(e) if snb_server::retry::retryable(e.kind) && backoff.attempts_left() => {
+                    std::thread::sleep(backoff.next_delay());
+                }
+                _ => return Ok(resp),
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -191,6 +252,7 @@ struct ClientStats {
     shutting_down: u64,
     bad_request: u64,
     internal: u64,
+    store_poisoned: u64,
     protocol_errors: u64,
     verify_failures: u64,
 }
@@ -205,6 +267,7 @@ impl ClientStats {
         self.shutting_down += other.shutting_down;
         self.bad_request += other.bad_request;
         self.internal += other.internal;
+        self.store_poisoned += other.store_poisoned;
         self.protocol_errors += other.protocol_errors;
         self.verify_failures += other.verify_failures;
     }
@@ -230,6 +293,7 @@ impl ClientStats {
                 ErrorKind::ShuttingDown => self.shutting_down += 1,
                 ErrorKind::BadRequest => self.bad_request += 1,
                 ErrorKind::Internal => self.internal += 1,
+                ErrorKind::StorePoisoned => self.store_poisoned += 1,
             },
         }
     }
@@ -243,7 +307,7 @@ struct BindingPicker {
 
 impl BindingPicker {
     fn new(seed: u64, client: usize, len: usize) -> Self {
-        BindingPicker { state: seed ^ ((client as u64 + 1) * 0x9E37_79B9_7F4A_7C15), len }
+        BindingPicker { state: seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15), len }
     }
 
     fn next(&mut self) -> usize {
@@ -268,6 +332,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.chaos {
+        chaos::run(&args);
+        return;
+    }
 
     // Build the dataset once: the store feeds the server, the stream
     // feeds the optional update replay, and the bindings + oracle are
@@ -407,11 +476,21 @@ fn main() {
                     next_id += 1;
                     stats.issued += 1;
                     let t0 = Instant::now();
-                    match transport.call(
-                        next_id,
-                        ServiceParams::Bi(params.clone()),
-                        args.deadline_us,
-                    ) {
+                    let call = if args.retries > 1 {
+                        transport.call_with_retries(
+                            next_id,
+                            ServiceParams::Bi(params.clone()),
+                            args.deadline_us,
+                            RetryPolicy {
+                                max_attempts: args.retries,
+                                seed: args.config.seed ^ (client as u64),
+                                ..RetryPolicy::default()
+                            },
+                        )
+                    } else {
+                        transport.call(next_id, ServiceParams::Bi(params.clone()), args.deadline_us)
+                    };
+                    match call {
                         Ok(resp) => {
                             let latency_us = t0.elapsed().as_micros() as u64;
                             stats.note(&resp, latency_us, oracle.as_ref().map(|o| &o[bidx]));
@@ -521,14 +600,15 @@ fn main() {
     out.push_str(&format!(
         "  \"outcomes\": {{\"ok\": {}, \"shed\": {}, \"deadline_missed\": {}, \
          \"shutting_down\": {}, \"bad_request\": {}, \"internal\": {}, \
-         \"protocol_errors\": {}, \"verify_failures\": {}, \"burst_shed\": {}, \
-         \"burst_deadline_missed\": {}}}",
+         \"store_poisoned\": {}, \"protocol_errors\": {}, \"verify_failures\": {}, \
+         \"burst_shed\": {}, \"burst_deadline_missed\": {}}}",
         total.ok,
         total.overloaded + burst_shed,
         total.deadline_exceeded + burst_deadline_missed,
         total.shutting_down,
         total.bad_request,
         total.internal,
+        total.store_poisoned,
         total.protocol_errors,
         total.verify_failures,
         burst_shed,
@@ -538,7 +618,9 @@ fn main() {
         out.push_str(&format!(
             ",\n  \"server\": {{\"served\": {}, \"shed\": {}, \"deadline_missed\": {}, \
              \"rejected_shutdown\": {}, \"bad_requests\": {}, \"internal_errors\": {}, \
-             \"updates_applied\": {}, \"deletes_applied\": {}, \"log_records\": {}}}",
+             \"updates_applied\": {}, \"deletes_applied\": {}, \"log_records\": {}, \
+             \"batches_applied\": {}, \"batches_deduped\": {}, \"poisoned_rejects\": {}, \
+             \"conn_stalled\": {}}}",
             r.served,
             r.shed,
             r.deadline_missed,
@@ -548,7 +630,16 @@ fn main() {
             r.updates_applied,
             r.deletes_applied,
             r.log_records,
+            r.batches_applied,
+            r.batches_deduped,
+            r.poisoned_rejects,
+            r.conn_stalled,
         ));
+    }
+    if args.wal_bench {
+        eprintln!("# measuring WAL ack-latency overhead ...");
+        out.push_str(",\n");
+        out.push_str(&wal_bench::run(&args));
     }
     out.push_str("\n}\n");
     std::fs::write(&args.out, out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));

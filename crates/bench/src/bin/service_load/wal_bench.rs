@@ -1,0 +1,71 @@
+//! `--wal-bench`: write-batch ack latency through the durable write
+//! path, with and without fsync batching.
+//!
+//! Two in-process durable servers are stood up over fresh WAL
+//! directories, one with `fsync_every = 1` (every ack waits for the
+//! disk) and one with `fsync_every = 64` (the flush is amortised; the
+//! record is still `write(2)`-complete before the ack). The same
+//! deterministic batch schedule is replayed through both and the ack
+//! latency distributions land in the JSON as the `"wal"` block.
+
+use std::time::Instant;
+
+use snb_server::{Server, ServiceParams, WalOptions, WriteBatch};
+
+use crate::{percentile, Args};
+
+fn bench_one(args: &Args, fsync_every: u64) -> (Vec<u64>, u64) {
+    let dir =
+        std::env::temp_dir().join(format!("snb_walbench_{}_{}", fsync_every, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = WalOptions { fsync_every, snapshot_every: 0 };
+    let recovered = snb_server::recover(&dir, &args.config, &args.scale, options)
+        .expect("wal-bench recovery on a fresh directory");
+    let (store, durability, _) = recovered.into_durability();
+    let server = Server::start_durable(store, args.server.clone(), durability);
+    let client = server.client();
+
+    let batches = crate::chaos::carve_batches(&args.config, 64);
+    let mut latencies_us = Vec::with_capacity(batches.len());
+    for (i, ops) in batches.into_iter().enumerate() {
+        let t0 = Instant::now();
+        let resp = client.call(ServiceParams::Write(WriteBatch { seq: i as u64 + 1, ops }), 0);
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        assert!(
+            resp.body.is_ok(),
+            "wal-bench batch {} rejected: {:?}",
+            i + 1,
+            resp.body.err().map(|e| e.detail)
+        );
+    }
+    let report = server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    latencies_us.sort_unstable();
+    (latencies_us, report.batches_applied)
+}
+
+fn stats_json(lat: &[u64]) -> String {
+    let mean = if lat.is_empty() { 0 } else { lat.iter().sum::<u64>() / lat.len() as u64 };
+    format!(
+        "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        lat.len(),
+        mean,
+        percentile(lat, 0.50),
+        percentile(lat, 0.99),
+        lat.last().copied().unwrap_or(0),
+    )
+}
+
+/// Runs both configurations and renders the `"wal"` JSON block
+/// (no surrounding braces; the caller owns the document).
+pub fn run(args: &Args) -> String {
+    let (every_ack, applied_1) = bench_one(args, 1);
+    let (batched, applied_64) = bench_one(args, 64);
+    assert_eq!(applied_1, applied_64, "both runs must apply the same schedule");
+    format!(
+        "  \"wal\": {{\"batches\": {}, \"fsync_every_1\": {}, \"fsync_every_64\": {}}}",
+        applied_1,
+        stats_json(&every_ack),
+        stats_json(&batched),
+    )
+}

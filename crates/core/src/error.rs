@@ -34,6 +34,13 @@ pub enum SnbError {
         /// The two summaries that differed.
         detail: String,
     },
+    /// The in-memory store may hold a half-applied write (a mutation
+    /// panicked mid-batch); all access is refused until the process
+    /// restarts and recovers a consistent image from its log.
+    Poisoned {
+        /// What the store was doing when it was poisoned.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SnbError {
@@ -49,6 +56,9 @@ impl fmt::Display for SnbError {
             SnbError::Config(msg) => write!(f, "configuration error: {msg}"),
             SnbError::Validation { query, detail } => {
                 write!(f, "validation failure in {query}: {detail}")
+            }
+            SnbError::Poisoned { detail } => {
+                write!(f, "store poisoned: {detail}")
             }
         }
     }

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! snb-server [SF] [SEED] [--port N] [--workers N] [--queue-cap N]
-//!            [--deadline-ms N] [--profile]
+//!            [--deadline-ms N] [--profile] [--wal-dir PATH]
+//!            [--fsync-every N] [--snapshot-every N] [--conn-timeout-ms N]
 //! ```
 //!
 //! Positional arguments mirror the bench binaries: scale-factor name
@@ -13,12 +14,19 @@
 //! SIGINT triggers graceful drain-then-shutdown: in-flight requests
 //! finish, new ones are rejected `shutting_down`, the access log is
 //! flushed (to `$SNB_ACCESS_LOG` when set), and the process exits 0.
+//!
+//! `--wal-dir` enables the write workload: the directory is recovered
+//! (snapshot + WAL tail, torn records truncated) before the listener
+//! opens, and every acknowledged batch is WAL-appended first. The
+//! recovery summary is printed as `recovered seq=N ...` on stdout so
+//! chaos harnesses can assert on it. Fault injection arms from
+//! `$SNB_FAULTS` / `$SNB_FAULT_SEED` (see `snb_fault`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use snb_datagen::GeneratorConfig;
-use snb_server::{Server, ServerConfig};
+use snb_server::{Server, ServerConfig, WalOptions};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
@@ -43,14 +51,19 @@ fn install_signal_handlers() {}
 
 struct Args {
     config: GeneratorConfig,
+    scale: String,
     port: u16,
     server: ServerConfig,
+    wal_dir: Option<std::path::PathBuf>,
+    wal: WalOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut positionals: Vec<String> = Vec::new();
     let mut port = 0u16;
     let mut server = ServerConfig::default();
+    let mut wal_dir = None;
+    let mut wal = WalOptions::default();
     let mut argv = std::env::args().skip(1);
     let parse = |name: &str, v: Option<String>| -> Result<u64, String> {
         v.ok_or_else(|| format!("{name} needs a value"))?
@@ -68,6 +81,17 @@ fn parse_args() -> Result<Args, String> {
                 server.default_deadline =
                     Some(Duration::from_millis(parse("--deadline-ms", argv.next())?));
             }
+            "--conn-timeout-ms" => {
+                let ms = parse("--conn-timeout-ms", argv.next())?;
+                server.conn_read_timeout =
+                    if ms == 0 { None } else { Some(Duration::from_millis(ms)) };
+            }
+            "--wal-dir" => {
+                wal_dir =
+                    Some(std::path::PathBuf::from(argv.next().ok_or("--wal-dir needs a value")?));
+            }
+            "--fsync-every" => wal.fsync_every = parse("--fsync-every", argv.next())?.max(1),
+            "--snapshot-every" => wal.snapshot_every = parse("--snapshot-every", argv.next())?,
             "--profile" => server.profiling = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positionals.push(other.to_string()),
@@ -79,7 +103,7 @@ fn parse_args() -> Result<Args, String> {
     if let Some(seed) = positionals.get(1) {
         config.seed = seed.parse().map_err(|e| format!("seed: {e}"))?;
     }
-    Ok(Args { config, port, server })
+    Ok(Args { config, scale: sf.to_string(), port, server, wal_dir, wal })
 }
 
 fn main() {
@@ -92,12 +116,38 @@ fn main() {
     };
     install_signal_handlers();
 
+    match snb_fault::arm_from_env() {
+        Ok(0) => {}
+        Ok(n) => eprintln!("# fault injection: {n} point(s) armed from $SNB_FAULTS"),
+        Err(e) => {
+            eprintln!("snb-server: bad $SNB_FAULTS: {e}");
+            std::process::exit(2);
+        }
+    }
+
     eprintln!("# building store: {} persons (seed {}) ...", args.config.persons, args.config.seed);
     let started = std::time::Instant::now();
-    let store = snb_store::store_for_config(&args.config);
-    eprintln!("# store ready in {:.2?}", started.elapsed());
-
-    let mut server = Server::start(store, args.server.clone());
+    let mut server = if let Some(dir) = &args.wal_dir {
+        let recovered = match snb_server::recover(dir, &args.config, &args.scale, args.wal) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("snb-server: recovery failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        let (store, durability, report) = recovered.into_durability();
+        eprintln!("# store ready in {:.2?}", started.elapsed());
+        // Harness contract: one recovery summary line on stdout.
+        println!(
+            "recovered seq={} snapshot_entries={} wal_entries={} truncated_bytes={}",
+            report.last_seq, report.snapshot_entries, report.wal_entries, report.truncated_bytes
+        );
+        Server::start_durable(store, args.server.clone(), durability)
+    } else {
+        let store = snb_store::store_for_config(&args.config);
+        eprintln!("# store ready in {:.2?}", started.elapsed());
+        Server::start(store, args.server.clone())
+    };
     let addr = match server.listen(&format!("127.0.0.1:{}", args.port)) {
         Ok(a) => a,
         Err(e) => {
@@ -128,7 +178,8 @@ fn main() {
     }
     eprintln!(
         "# shutdown complete: served {}, shed {}, deadline_missed {}, \
-         rejected_shutdown {}, bad_requests {}, internal_errors {}, log_records {}",
+         rejected_shutdown {}, bad_requests {}, internal_errors {}, log_records {}, \
+         batches_applied {}, batches_deduped {}, poisoned_rejects {}, conn_stalled {}",
         report.served,
         report.shed,
         report.deadline_missed,
@@ -136,6 +187,10 @@ fn main() {
         report.bad_requests,
         report.internal_errors,
         report.log_records,
+        report.batches_applied,
+        report.batches_deduped,
+        report.poisoned_rejects,
+        report.conn_stalled,
     );
     std::process::exit(0);
 }

@@ -25,15 +25,24 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod log;
 pub mod proto;
 pub mod queue;
+pub mod retry;
 pub mod server;
+pub mod wal;
 
 pub use log::{AccessLog, AccessRecord};
-pub use proto::{ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams};
+pub use proto::{
+    ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams, WriteBatch, WriteOps,
+};
 pub use queue::{AdmissionQueue, PushError};
-pub use server::{InProcClient, LogHandle, Server, ServerConfig, ServiceReport, StoreWriter};
+pub use retry::RetryPolicy;
+pub use server::{
+    Durability, InProcClient, LogHandle, Server, ServerConfig, ServiceReport, StoreWriter,
+};
+pub use wal::{recover, Recovered, RecoveryReport, Wal, WalOptions};
 
 #[cfg(test)]
 mod tests {
@@ -107,8 +116,7 @@ mod tests {
                 workers: 0,
                 queue_capacity: 3,
                 default_deadline: None,
-                profiling: false,
-                threads_per_worker: 1,
+                ..ServerConfig::default()
             },
         );
         let (tx, rx) = std::sync::mpsc::channel();

@@ -37,21 +37,80 @@ pub enum ServiceParams {
     Bi(BiParams),
     /// An Interactive complex read (IC 1–14).
     Ic(IcParams),
+    /// A sequenced update/delete batch for the write path.
+    Write(WriteBatch),
+}
+
+/// One sequenced write batch. Sequence numbers are assigned by the
+/// client, start at 1, and must be contiguous: the server applies
+/// `last_applied + 1`, acknowledges (without re-applying) anything at or
+/// below `last_applied`, and rejects gaps — which makes blind
+/// re-submission after a lost ack safe (exactly-once apply, at-least-once
+/// delivery).
+#[derive(Clone, Debug)]
+pub struct WriteBatch {
+    /// Client-assigned contiguous batch sequence number (1-based).
+    pub seq: u64,
+    /// The operations to apply atomically with respect to acks.
+    pub ops: WriteOps,
+}
+
+/// The payload of a write batch.
+#[derive(Clone, Debug)]
+pub enum WriteOps {
+    /// Insert events (IU 1–8) in stream order.
+    Updates(Vec<snb_datagen::stream::TimedEvent>),
+    /// A delete batch (DEL 1–8 flavours, cascades applied store-side).
+    Deletes(Vec<snb_store::DeleteOp>),
+}
+
+impl WriteOps {
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            WriteOps::Updates(v) => v.len(),
+            WriteOps::Deletes(v) => v.len(),
+        }
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The wire tag occupying the query-number slot (1 = updates,
+    /// 2 = deletes).
+    pub(crate) fn query_tag(&self) -> u8 {
+        match self {
+            WriteOps::Updates(_) => 1,
+            WriteOps::Deletes(_) => 2,
+        }
+    }
 }
 
 impl ServiceParams {
-    /// Workload tag + query number, e.g. `("BI", 4)`.
+    /// Workload tag + query number, e.g. `("BI", 4)`. Write batches
+    /// report the op-family in place of a query number (1 = updates,
+    /// 2 = deletes).
     pub fn label(&self) -> (&'static str, u8) {
         match self {
             ServiceParams::Bi(p) => ("BI", p.query()),
             ServiceParams::Ic(p) => ("IC", p.query()),
+            ServiceParams::Write(b) => {
+                ("WR", if matches!(b.ops, WriteOps::Updates(_)) { 1 } else { 2 })
+            }
         }
     }
 
     /// A stable FNV-1a hash of the binding (over its `Debug` form) —
-    /// the access-log key tying latency records back to bindings.
+    /// the access-log key tying latency records back to bindings. Write
+    /// batches hash to their sequence number: the identity that matters
+    /// for dedupe tracing, and far cheaper than formatting the payload.
     pub fn binding_hash(&self) -> u64 {
-        let s = format!("{self:?}");
+        let s = match self {
+            ServiceParams::Write(b) => return b.seq,
+            other => format!("{other:?}"),
+        };
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         for b in s.bytes() {
             hash ^= b as u64;
@@ -88,6 +147,10 @@ pub enum ErrorKind {
     BadRequest,
     /// The query itself failed (store-level error).
     Internal,
+    /// A write panicked mid-apply and the store may hold a half-applied
+    /// batch; all requests are refused until the operator restarts the
+    /// server, which recovers a consistent image from the WAL.
+    StorePoisoned,
 }
 
 impl ErrorKind {
@@ -98,6 +161,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => 3,
             ErrorKind::BadRequest => 4,
             ErrorKind::Internal => 5,
+            ErrorKind::StorePoisoned => 6,
         }
     }
 
@@ -108,6 +172,7 @@ impl ErrorKind {
             3 => Some(ErrorKind::ShuttingDown),
             4 => Some(ErrorKind::BadRequest),
             5 => Some(ErrorKind::Internal),
+            6 => Some(ErrorKind::StorePoisoned),
             _ => None,
         }
     }
@@ -120,6 +185,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::Internal => "internal",
+            ErrorKind::StorePoisoned => "store_poisoned",
         }
     }
 }
@@ -182,45 +248,49 @@ impl std::fmt::Display for DecodeError {
 // Primitive put/get helpers.
 // ---------------------------------------------------------------------
 
-fn put_u8(buf: &mut Vec<u8>, v: u8) {
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 
-fn put_u16(buf: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i32(buf: &mut Vec<u8>, v: i32) {
+pub(crate) fn put_i32(buf: &mut Vec<u8>, v: i32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     put_u16(buf, bytes.len().min(u16::MAX as usize) as u16);
     buf.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
 }
 
-fn put_strs(buf: &mut Vec<u8>, ss: &[String]) {
+pub(crate) fn put_strs(buf: &mut Vec<u8>, ss: &[String]) {
     put_u16(buf, ss.len().min(u16::MAX as usize) as u16);
     for s in ss {
         put_str(buf, s);
     }
 }
 
-fn put_date(buf: &mut Vec<u8>, d: Date) {
+pub(crate) fn put_date(buf: &mut Vec<u8>, d: Date) {
     put_i32(buf, d.0);
 }
 
 /// A bounds-checked read cursor over a frame payload.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
     /// Correlation id once parsed, for error attribution.
@@ -228,15 +298,15 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0, id: None }
     }
 
-    fn err(&self, detail: impl Into<String>) -> DecodeError {
+    pub(crate) fn err(&self, detail: impl Into<String>) -> DecodeError {
         DecodeError { id: self.id, detail: detail.into() }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
             return Err(self.err(format!(
                 "truncated frame: need {n} bytes at offset {}, have {}",
@@ -249,42 +319,50 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, DecodeError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, DecodeError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
-    fn u32(&mut self) -> Result<u32, DecodeError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn i32(&mut self) -> Result<i32, DecodeError> {
+    pub(crate) fn i32(&mut self) -> Result<i32, DecodeError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn string(&mut self) -> Result<String, DecodeError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, DecodeError> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8 in string"))
     }
 
-    fn strings(&mut self) -> Result<Vec<String>, DecodeError> {
+    pub(crate) fn strings(&mut self) -> Result<Vec<String>, DecodeError> {
         let n = self.u16()? as usize;
         (0..n).map(|_| self.string()).collect()
     }
 
-    fn date(&mut self) -> Result<Date, DecodeError> {
+    pub(crate) fn date(&mut self) -> Result<Date, DecodeError> {
         Ok(Date(self.i32()?))
     }
 
-    fn finish(&self) -> Result<(), DecodeError> {
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn finish(&self) -> Result<(), DecodeError> {
         if self.pos != self.buf.len() {
             return Err(
                 self.err(format!("{} trailing bytes after payload", self.buf.len() - self.pos))
@@ -300,6 +378,7 @@ impl<'a> Reader<'a> {
 
 const WORKLOAD_BI: u8 = 0;
 const WORKLOAD_IC: u8 = 1;
+const WORKLOAD_WR: u8 = 2;
 
 /// Serialises a binding (workload byte + query byte + fields).
 pub fn encode_params(buf: &mut Vec<u8>, params: &ServiceParams) {
@@ -313,6 +392,12 @@ pub fn encode_params(buf: &mut Vec<u8>, params: &ServiceParams) {
             put_u8(buf, WORKLOAD_IC);
             put_u8(buf, p.query());
             encode_ic(buf, p);
+        }
+        ServiceParams::Write(b) => {
+            put_u8(buf, WORKLOAD_WR);
+            put_u8(buf, b.ops.query_tag());
+            put_u64(buf, b.seq);
+            crate::events::encode_write_ops(buf, &b.ops);
         }
     }
 }
@@ -587,6 +672,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     let params = match workload {
         WORKLOAD_BI => ServiceParams::Bi(decode_bi(&mut r, query)?),
         WORKLOAD_IC => ServiceParams::Ic(decode_ic(&mut r, query)?),
+        WORKLOAD_WR => {
+            let seq = r.u64()?;
+            let ops = crate::events::decode_write_ops(&mut r, query)?;
+            ServiceParams::Write(WriteBatch { seq, ops })
+        }
         other => return Err(r.err(format!("unknown workload tag {other}"))),
     };
     r.finish()?;
@@ -888,6 +978,46 @@ mod tests {
         let mut buf = encode_request(&req);
         buf.push(0);
         assert!(decode_request(&buf).is_err());
+
+        // A write-batch frame truncated at *every* byte boundary:
+        // typed error each time, never a panic or an over-read.
+        let write = Request {
+            id: 13,
+            deadline_us: 0,
+            params: ServiceParams::Write(WriteBatch {
+                seq: 4,
+                ops: WriteOps::Deletes(vec![
+                    snb_store::DeleteOp::Like(7, 9),
+                    snb_store::DeleteOp::Forum(3),
+                ]),
+            }),
+        };
+        let bytes = encode_request(&write);
+        assert!(decode_request(&bytes).is_ok());
+        for cut in 0..bytes.len() {
+            assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+
+        // Frame layer: an oversized length prefix is refused before any
+        // allocation, a zero-length frame yields an empty payload that
+        // decodes to a typed error, and a mid-frame disconnect (length
+        // promises more bytes than arrive) is an I/O error, not a hang.
+        let mut oversized = Vec::new();
+        put_u32(&mut oversized, MAX_FRAME + 1);
+        let err = read_frame(&mut std::io::Cursor::new(&oversized)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let mut zero = Vec::new();
+        put_u32(&mut zero, 0);
+        let payload = read_frame(&mut std::io::Cursor::new(&zero)).expect("empty frame reads");
+        assert!(payload.is_empty());
+        assert!(decode_request(&payload).is_err(), "empty payload is a typed decode error");
+
+        let mut torn = Vec::new();
+        put_u32(&mut torn, 64);
+        torn.extend_from_slice(&[1, 2, 3]);
+        let err = read_frame(&mut std::io::Cursor::new(&torn)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Client-side resilience: capped exponential backoff with full jitter.
+//!
+//! The policy follows the standard full-jitter scheme: attempt `k`
+//! sleeps `uniform(0, min(cap, base·2^k))`, drawn from a seeded
+//! splitmix64 stream so a benchmark run's retry schedule is
+//! reproducible. Retryable outcomes are the transient taxonomy entries —
+//! `overloaded` (admission shed; pressure passes) and `shutting_down` /
+//! lost-connection (the chaos harness restarts the server). Permanent
+//! outcomes (`bad_request`, `internal`, `store_poisoned`) are returned
+//! immediately: retrying them without operator action is wasted load.
+
+use std::time::Duration;
+
+use crate::proto::{ErrorKind, Response, ServiceParams};
+use crate::server::InProcClient;
+
+/// Capped exponential backoff + full jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries (first attempt included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff base; attempt `k`'s ceiling is `base * 2^k`.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(200),
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A stateful jitter stream over one policy.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// Starts a fresh stream (attempt counter at 0).
+    pub fn new(policy: RetryPolicy) -> Backoff {
+        Backoff { rng: policy.seed, policy, attempt: 0 }
+    }
+
+    /// Whether another attempt is allowed.
+    pub fn attempts_left(&self) -> bool {
+        self.attempt + 1 < self.policy.max_attempts
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next sleep: full jitter under the capped exponential
+    /// ceiling. Advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(30);
+        let ceiling = self
+            .policy
+            .cap
+            .min(self.policy.base.saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX)));
+        self.attempt += 1;
+        let nanos = ceiling.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(splitmix64(&mut self.rng) % nanos)
+    }
+}
+
+/// Whether this error kind is worth retrying from a client.
+pub fn retryable(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Overloaded | ErrorKind::ShuttingDown)
+}
+
+impl InProcClient {
+    /// Like [`InProcClient::call`], but retries transient rejections
+    /// (`overloaded`, `shutting_down`) with capped exponential backoff
+    /// and full jitter. Returns the last response when attempts run
+    /// out.
+    pub fn call_with_retries(
+        &self,
+        params: ServiceParams,
+        deadline_us: u64,
+        policy: RetryPolicy,
+    ) -> Response {
+        let mut backoff = Backoff::new(policy);
+        loop {
+            let resp = self.call(params.clone(), deadline_us);
+            match &resp.body {
+                Err(e) if retryable(e.kind) && backoff.attempts_left() => {
+                    std::thread::sleep(backoff.next_delay());
+                }
+                _ => return resp,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_capped_jittered_and_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(64),
+            seed: 9,
+        };
+        let run = |policy| {
+            let mut b = Backoff::new(policy);
+            (0..9).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        let a = run(policy);
+        let b = run(policy);
+        assert_eq!(a, b, "same seed, same schedule");
+        for (k, d) in a.iter().enumerate() {
+            let ceiling = policy.cap.min(policy.base * 2u32.pow(k as u32));
+            assert!(*d < ceiling, "attempt {k}: {d:?} under ceiling {ceiling:?}");
+        }
+        // Jitter: the schedule is not a constant sequence.
+        assert!(a.iter().any(|d| *d != a[0]), "no jitter at all: {a:?}");
+        // Later ceilings allow longer sleeps than the first could.
+        assert!(
+            a.iter().any(|d| *d >= policy.base),
+            "every delay under base — ceiling never grew: {a:?}"
+        );
+    }
+
+    #[test]
+    fn attempts_budget_is_respected() {
+        let mut b = Backoff::new(RetryPolicy { max_attempts: 3, ..RetryPolicy::default() });
+        assert!(b.attempts_left());
+        b.next_delay();
+        assert!(b.attempts_left());
+        b.next_delay();
+        assert!(!b.attempts_left(), "3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn taxonomy_split_between_transient_and_permanent() {
+        assert!(retryable(ErrorKind::Overloaded));
+        assert!(retryable(ErrorKind::ShuttingDown));
+        assert!(!retryable(ErrorKind::BadRequest));
+        assert!(!retryable(ErrorKind::Internal));
+        assert!(!retryable(ErrorKind::StorePoisoned));
+        assert!(!retryable(ErrorKind::DeadlineExceeded));
+    }
+}

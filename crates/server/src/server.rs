@@ -38,8 +38,11 @@ use snb_engine::QueryContext;
 use snb_store::{DeleteOp, DeleteStats, Store};
 
 use crate::log::{AccessLog, AccessRecord};
-use crate::proto::{self, ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams};
+use crate::proto::{
+    self, ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams, WriteBatch, WriteOps,
+};
 use crate::queue::{AdmissionQueue, PushError};
+use crate::wal::Wal;
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -59,6 +62,12 @@ pub struct ServerConfig {
     /// Defaults to 1: the workers themselves are the unit of
     /// concurrency, matching the throughput-test design.
     pub threads_per_worker: usize,
+    /// Close a TCP connection that makes no read progress for this long
+    /// (slowloris protection: a half-open or stalled client must not pin
+    /// a thread-per-connection handler forever). `None` disables the
+    /// idle check. Stalled closes are logged with outcome
+    /// `conn_stalled`.
+    pub conn_read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +78,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             profiling: false,
             threads_per_worker: 1,
+            conn_read_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -92,6 +102,18 @@ pub struct ServiceReport {
     pub updates_applied: u64,
     /// Delete operations applied through [`StoreWriter`].
     pub deletes_applied: u64,
+    /// Sequenced write batches applied through the durable write path.
+    pub batches_applied: u64,
+    /// Write batches acknowledged without re-applying (sequence number
+    /// at or below the last applied one — a client retry of a batch
+    /// whose ack was lost).
+    pub batches_deduped: u64,
+    /// Requests refused because the store was poisoned by a mid-apply
+    /// panic (recovery = restart and replay the WAL).
+    pub poisoned_rejects: u64,
+    /// TCP connections closed for making no read progress within the
+    /// configured timeout.
+    pub conn_stalled: u64,
     /// Total access-log records (one per request that reached the
     /// server).
     pub log_records: u64,
@@ -107,6 +129,10 @@ struct Counters {
     internal_errors: AtomicU64,
     updates_applied: AtomicU64,
     deletes_applied: AtomicU64,
+    batches_applied: AtomicU64,
+    batches_deduped: AtomicU64,
+    poisoned_rejects: AtomicU64,
+    conn_stalled: AtomicU64,
 }
 
 /// Where a job's response goes.
@@ -143,6 +169,26 @@ struct Job {
     responder: Responder,
 }
 
+/// The durable-write machinery a server starts with when it owns a WAL:
+/// typically built from [`crate::wal::Recovered`] via
+/// [`Recovered::into_durability`](crate::wal::Recovered).
+pub struct Durability {
+    /// Open append handle (post-recovery).
+    pub wal: Wal,
+    /// Seeded dictionaries needed by `apply_event`.
+    pub world: StaticWorld,
+    /// Highest batch sequence number already applied (recovered);
+    /// deduplication resumes from here.
+    pub last_seq: u64,
+}
+
+/// Serialized under one mutex so WAL append, store apply, and sequence
+/// accounting are atomic with respect to other write batches.
+struct DurableState {
+    wal: Wal,
+    world: StaticWorld,
+}
+
 struct ServerInner {
     store: Arc<RwLock<Store>>,
     queue: AdmissionQueue<Job>,
@@ -150,6 +196,12 @@ struct ServerInner {
     accepting: AtomicBool,
     config: ServerConfig,
     counters: Counters,
+    durable: Option<Mutex<DurableState>>,
+    last_applied_seq: AtomicU64,
+    /// Set when a write panicked mid-apply: the store may hold a
+    /// half-applied batch, so every request is refused with
+    /// `store_poisoned` until restart-and-recovery.
+    degraded: AtomicBool,
 }
 
 impl ServerInner {
@@ -159,6 +211,9 @@ impl ServerInner {
             ErrorKind::Overloaded => self.counters.shed.fetch_add(1, Ordering::Relaxed),
             ErrorKind::ShuttingDown => {
                 self.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed)
+            }
+            ErrorKind::StorePoisoned => {
+                self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed)
             }
             _ => 0,
         };
@@ -179,6 +234,9 @@ impl ServerInner {
                 format!("admission queue full (capacity {})", self.queue.capacity())
             }
             ErrorKind::ShuttingDown => "server is draining for shutdown".to_string(),
+            ErrorKind::StorePoisoned => {
+                "store poisoned by a mid-apply panic; restart to recover from the WAL".to_string()
+            }
             other => other.name().to_string(),
         };
         responder
@@ -186,10 +244,21 @@ impl ServerInner {
     }
 
     /// Admission control: queue the request or answer immediately.
+    /// Write batches never enter the read queue — they are applied on
+    /// the submitting thread (batches serialize on the durability lock
+    /// anyway, and the WAL fsync must not stall query workers).
     fn admit(&self, request: Request, responder: Responder) {
+        if matches!(request.params, ServiceParams::Write(_)) {
+            self.admit_write(request, responder);
+            return;
+        }
         let seq = self.log.next_seq();
         if !self.accepting.load(Ordering::Acquire) {
             self.reject(seq, &request, ErrorKind::ShuttingDown, &responder);
+            return;
+        }
+        if self.degraded.load(Ordering::Acquire) {
+            self.reject(seq, &request, ErrorKind::StorePoisoned, &responder);
             return;
         }
         let admitted = Instant::now();
@@ -232,11 +301,198 @@ impl ServerInner {
         });
     }
 
+    /// Handles one sequenced write batch on the submitting thread and
+    /// answers it (ack ⇔ the batch is durable and applied, or was
+    /// already applied and is being re-acknowledged).
+    fn admit_write(&self, request: Request, responder: Responder) {
+        let seq = self.log.next_seq();
+        let (workload, query) = request.params.label();
+        let binding_hash = request.params.binding_hash();
+        let ServiceParams::Write(batch) = &request.params else {
+            unreachable!("admit_write is only called for Write params");
+        };
+        let started = Instant::now();
+        let result = self.submit_batch(batch);
+        let exec_us = started.elapsed().as_micros() as u64;
+        let (outcome, rows, fingerprint) = match &result {
+            Ok((outcome, ok)) => (*outcome, ok.rows, ok.fingerprint),
+            Err(e) => (e.kind.name(), 0, 0),
+        };
+        self.log.push(AccessRecord {
+            seq,
+            workload,
+            query,
+            binding_hash,
+            queue_us: 0,
+            exec_us,
+            outcome,
+            rows,
+            fingerprint,
+            profile: None,
+        });
+        let body = match result {
+            Ok((_, mut ok)) => {
+                ok.exec_us = exec_us;
+                Ok(ok)
+            }
+            Err(e) => Err(e),
+        };
+        responder.send(Response { id: request.id, body });
+    }
+
+    /// The durable write path: dedupe check → WAL append (flushed) →
+    /// apply under the store write lock → bump the applied sequence →
+    /// maybe rotate the snapshot. Returns the log outcome label with
+    /// the ack body.
+    ///
+    /// The ack body encodes the contract: `fingerprint` is the highest
+    /// applied sequence number after this call, and `rows` is the
+    /// number of operations applied *by this call* — `0` for a dedupe
+    /// re-ack, so a client can tell first-apply from replay.
+    fn submit_batch(&self, batch: &WriteBatch) -> Result<(&'static str, OkBody), ErrorBody> {
+        let err = |kind: ErrorKind, detail: String| ErrorBody { kind, queue_us: 0, detail };
+        if self.degraded.load(Ordering::Acquire) {
+            self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(err(
+                ErrorKind::StorePoisoned,
+                "store poisoned by a mid-apply panic; restart to recover from the WAL".into(),
+            ));
+        }
+        if !self.accepting.load(Ordering::Acquire) {
+            self.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(err(ErrorKind::ShuttingDown, "server is draining for shutdown".into()));
+        }
+        let Some(durable) = &self.durable else {
+            self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(err(
+                ErrorKind::BadRequest,
+                "server has no write-ahead log (start with --wal-dir)".into(),
+            ));
+        };
+        let mut state = durable.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let last = self.last_applied_seq.load(Ordering::Acquire);
+        if batch.seq <= last {
+            // Already durable and applied; the ack was lost somewhere.
+            // Re-acknowledge without touching the store.
+            self.counters.batches_deduped.fetch_add(1, Ordering::Relaxed);
+            return Ok(("deduped", OkBody { rows: 0, fingerprint: last, ..OkBody::default() }));
+        }
+        if batch.seq != last + 1 {
+            self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(err(
+                ErrorKind::BadRequest,
+                format!("sequence gap: got batch {}, expected {}", batch.seq, last + 1),
+            ));
+        }
+        if let Err(e) = state.wal.append(batch.seq, &batch.ops) {
+            // Not durable ⇒ not applied, not acknowledged. The store is
+            // still consistent; the client retries after restart.
+            self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(err(ErrorKind::Internal, format!("WAL append failed: {e}")));
+        }
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut guard = self.store.write();
+            let r = match &batch.ops {
+                WriteOps::Updates(events) => {
+                    let mut n = 0u64;
+                    let mut result = Ok(());
+                    for ev in events {
+                        if let Some(fault) = snb_fault::check("writer.apply.panic") {
+                            fault.trip("writer.apply.panic");
+                        }
+                        if let Err(e) = guard.apply_event(ev, &state.world) {
+                            result = Err(e);
+                            break;
+                        }
+                        n += 1;
+                    }
+                    result.map(|()| (n, 0u64))
+                }
+                WriteOps::Deletes(dels) => {
+                    if let Some(fault) = snb_fault::check("writer.apply.panic") {
+                        fault.trip("writer.apply.panic");
+                    }
+                    guard.apply_deletes(dels).map(|_| (0u64, dels.len() as u64))
+                }
+            };
+            if !guard.date_index_fresh() {
+                guard.rebuild_date_index();
+            }
+            r
+        }));
+        match applied {
+            Ok(Ok((updates, deletes))) => {
+                self.counters.updates_applied.fetch_add(updates, Ordering::Relaxed);
+                self.counters.deletes_applied.fetch_add(deletes, Ordering::Relaxed);
+                self.counters.batches_applied.fetch_add(1, Ordering::Relaxed);
+                self.last_applied_seq.store(batch.seq, Ordering::Release);
+                // Rotation failure is not fatal: the live WAL keeps
+                // growing and recovery still replays everything.
+                if state.wal.maybe_snapshot().is_err() {
+                    self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok((
+                    "ok",
+                    OkBody {
+                        rows: batch.ops.len() as u64,
+                        fingerprint: batch.seq,
+                        ..OkBody::default()
+                    },
+                ))
+            }
+            Ok(Err(apply_err)) => {
+                // A semantic failure part-way through a batch (e.g. an
+                // unknown id on the third event) leaves earlier events
+                // applied but unacknowledged — same hazard as a panic.
+                self.degraded.store(true, Ordering::Release);
+                self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
+                Err(err(
+                    ErrorKind::StorePoisoned,
+                    format!("apply failed mid-batch ({apply_err}); restart to recover"),
+                ))
+            }
+            Err(_) => {
+                self.degraded.store(true, Ordering::Release);
+                self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
+                Err(err(
+                    ErrorKind::StorePoisoned,
+                    format!("panic while applying batch {}; restart to recover", batch.seq),
+                ))
+            }
+        }
+    }
+
     /// Executes one dequeued job on `ctx` (deadline check first).
     fn execute(&self, ctx: &QueryContext, job: Job) {
         let queue_us = job.admitted.elapsed().as_micros() as u64;
         let (workload, query) = job.request.params.label();
         let binding_hash = job.request.params.binding_hash();
+        // A poisoning write may have landed while this job was queued.
+        if self.degraded.load(Ordering::Acquire) {
+            self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
+            self.log.push(AccessRecord {
+                seq: job.seq,
+                workload,
+                query,
+                binding_hash,
+                queue_us,
+                exec_us: 0,
+                outcome: ErrorKind::StorePoisoned.name(),
+                rows: 0,
+                fingerprint: 0,
+                profile: None,
+            });
+            job.responder.send(Response {
+                id: job.request.id,
+                body: Err(ErrorBody {
+                    kind: ErrorKind::StorePoisoned,
+                    queue_us,
+                    detail: "store poisoned by a mid-apply panic; restart to recover from the WAL"
+                        .into(),
+                }),
+            });
+            return;
+        }
         if let Some(deadline) = job.deadline {
             if Instant::now() > deadline {
                 self.counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
@@ -277,6 +533,9 @@ impl ServerInner {
                 ServiceParams::Ic(p) => {
                     (snb_interactive::run_complex_with(&guard, ctx, p) as u64, 0)
                 }
+                // Write batches are applied at admission, never queued;
+                // the unwind turns a slipped-through one into `internal`.
+                ServiceParams::Write(_) => unreachable!("write batches bypass the read queue"),
             }
         }));
         let exec_us = started.elapsed().as_micros() as u64;
@@ -346,6 +605,10 @@ impl ServerInner {
             internal_errors: self.counters.internal_errors.load(Ordering::Relaxed),
             updates_applied: self.counters.updates_applied.load(Ordering::Relaxed),
             deletes_applied: self.counters.deletes_applied.load(Ordering::Relaxed),
+            batches_applied: self.counters.batches_applied.load(Ordering::Relaxed),
+            batches_deduped: self.counters.batches_deduped.load(Ordering::Relaxed),
+            poisoned_rejects: self.counters.poisoned_rejects.load(Ordering::Relaxed),
+            conn_stalled: self.counters.conn_stalled.load(Ordering::Relaxed),
             log_records: self.log.len() as u64,
         }
     }
@@ -369,6 +632,28 @@ impl Server {
     /// Starts the service over a shared store (the handle other threads
     /// use for concurrent update replay).
     pub fn start_shared(store: Arc<RwLock<Store>>, config: ServerConfig) -> Server {
+        Server::start_shared_durable(store, config, None)
+    }
+
+    /// Starts the service with a write-ahead log: sequenced write
+    /// batches submitted through the protocol's `Write` workload are
+    /// appended + flushed before apply and ack, and deduplicated against
+    /// `durability.last_seq` (the recovered high-water mark).
+    pub fn start_durable(store: Store, config: ServerConfig, durability: Durability) -> Server {
+        Server::start_shared_durable(Arc::new(RwLock::new(store)), config, Some(durability))
+    }
+
+    /// The general constructor behind [`Server::start`],
+    /// [`Server::start_shared`] and [`Server::start_durable`].
+    pub fn start_shared_durable(
+        store: Arc<RwLock<Store>>,
+        config: ServerConfig,
+        durability: Option<Durability>,
+    ) -> Server {
+        let (durable, last_seq) = match durability {
+            None => (None, 0),
+            Some(d) => (Some(Mutex::new(DurableState { wal: d.wal, world: d.world })), d.last_seq),
+        };
         let inner = Arc::new(ServerInner {
             store,
             queue: AdmissionQueue::new(config.queue_capacity),
@@ -376,6 +661,9 @@ impl Server {
             accepting: AtomicBool::new(true),
             config,
             counters: Counters::default(),
+            durable,
+            last_applied_seq: AtomicU64::new(last_seq),
+            degraded: AtomicBool::new(false),
         });
         let workers = (0..inner.config.workers)
             .map(|_| {
@@ -470,6 +758,18 @@ impl Server {
         self.inner.queue.len()
     }
 
+    /// Highest write-batch sequence number applied (0 when the server
+    /// has no durable write path or nothing was submitted).
+    pub fn last_applied_seq(&self) -> u64 {
+        self.inner.last_applied_seq.load(Ordering::Acquire)
+    }
+
+    /// Whether a mid-apply panic has poisoned the store (every request
+    /// is refused until restart-and-recovery).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Acquire)
+    }
+
     /// Graceful drain-then-shutdown: stop accepting, finish every
     /// admitted job, join all threads, return the final report.
     pub fn shutdown(mut self) -> ServiceReport {
@@ -495,6 +795,12 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        // Seal the WAL: any fsync-batched tail becomes durable before
+        // the process exits.
+        if let Some(durable) = &self.inner.durable {
+            let mut state = durable.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = state.wal.sync();
+        }
         self.inner.report()
     }
 }
@@ -516,6 +822,10 @@ impl Drop for Server {
 fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    // A stalled peer must not pin the shared write half either: a full
+    // socket buffer on a dead client fails the write instead of
+    // blocking a worker forever.
+    let _ = stream.set_write_timeout(inner.config.conn_read_timeout);
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
@@ -523,6 +833,7 @@ fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
     let mut reader = stream;
     let mut buf: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 16 * 1024];
+    let mut last_progress = Instant::now();
     loop {
         loop {
             match proto::take_frame(&mut buf) {
@@ -537,15 +848,43 @@ fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
                 Err(_) => return,
             }
         }
+        if let Some(fault) = snb_fault::check("conn.read.stall") {
+            // Simulates a handler wedged in the read path (the hazard
+            // the idle deadline exists for).
+            fault.trip("conn.read.stall");
+        }
         match reader.read(&mut tmp) {
             Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&tmp[..n]);
+                last_progress = Instant::now();
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if !inner.accepting.load(Ordering::Acquire) {
                     return;
+                }
+                if let Some(limit) = inner.config.conn_read_timeout {
+                    if last_progress.elapsed() > limit {
+                        // Slowloris / half-open peer: close with a typed
+                        // outcome instead of pinning this thread.
+                        inner.counters.conn_stalled.fetch_add(1, Ordering::Relaxed);
+                        inner.log.push(AccessRecord {
+                            seq: inner.log.next_seq(),
+                            workload: "",
+                            query: 0,
+                            binding_hash: 0,
+                            queue_us: limit.as_micros() as u64,
+                            exec_us: 0,
+                            outcome: "conn_stalled",
+                            rows: 0,
+                            fingerprint: 0,
+                            profile: None,
+                        });
+                        return;
+                    }
                 }
             }
             Err(_) => return,
@@ -604,28 +943,81 @@ pub struct StoreWriter {
 }
 
 impl StoreWriter {
-    /// Applies one insert event (IU 1–8).
-    pub fn apply_update(&self, event: &TimedEvent, world: &StaticWorld) -> SnbResult<()> {
-        let mut guard = self.inner.store.write();
-        guard.apply_event(event, world)?;
-        if !guard.date_index_fresh() {
-            guard.rebuild_date_index();
+    /// Refuses writes once the store is poisoned, so a half-applied
+    /// batch cannot be compounded.
+    fn check_degraded(&self, doing: &str) -> SnbResult<()> {
+        if self.inner.degraded.load(Ordering::Acquire) {
+            return Err(SnbError::Poisoned { detail: format!("refusing {doing}") });
         }
-        drop(guard);
-        self.inner.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Applies a batch of delete operations (DEL 1–8).
-    pub fn apply_deletes(&self, ops: &[DeleteOp]) -> SnbResult<DeleteStats> {
-        let mut guard = self.inner.store.write();
-        let stats = guard.apply_deletes(ops)?;
-        if !guard.date_index_fresh() {
-            guard.rebuild_date_index();
+    /// Applies one insert event (IU 1–8). A panic inside the apply
+    /// (including an injected `writer.apply.panic` fault) is caught
+    /// here: the store's `RwLock` never poisons (parking_lot), but the
+    /// half-mutated state behind it is the real hazard, so the writer
+    /// marks the store degraded and returns a typed
+    /// [`SnbError::Poisoned`] instead of letting every later reader
+    /// panic on inconsistent columns. Recovery is restart-and-replay
+    /// from the WAL.
+    pub fn apply_update(&self, event: &TimedEvent, world: &StaticWorld) -> SnbResult<()> {
+        self.check_degraded("an update on a poisoned store")?;
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut guard = self.inner.store.write();
+            if let Some(fault) = snb_fault::check("writer.apply.panic") {
+                fault.trip("writer.apply.panic");
+            }
+            let r = guard.apply_event(event, world);
+            if !guard.date_index_fresh() {
+                guard.rebuild_date_index();
+            }
+            r
+        }));
+        match applied {
+            Ok(Ok(())) => {
+                self.inner.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => {
+                self.inner.degraded.store(true, Ordering::Release);
+                self.inner.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
+                Err(SnbError::Poisoned {
+                    detail: "panic while applying an update event; restart to recover".into(),
+                })
+            }
         }
-        drop(guard);
-        self.inner.counters.deletes_applied.fetch_add(ops.len() as u64, Ordering::Relaxed);
-        Ok(stats)
+    }
+
+    /// Applies a batch of delete operations (DEL 1–8), with the same
+    /// panic-to-poisoned conversion as [`StoreWriter::apply_update`].
+    pub fn apply_deletes(&self, ops: &[DeleteOp]) -> SnbResult<DeleteStats> {
+        self.check_degraded("a delete batch on a poisoned store")?;
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut guard = self.inner.store.write();
+            if let Some(fault) = snb_fault::check("writer.apply.panic") {
+                fault.trip("writer.apply.panic");
+            }
+            let r = guard.apply_deletes(ops);
+            if !guard.date_index_fresh() {
+                guard.rebuild_date_index();
+            }
+            r
+        }));
+        match applied {
+            Ok(Ok(stats)) => {
+                self.inner.counters.deletes_applied.fetch_add(ops.len() as u64, Ordering::Relaxed);
+                Ok(stats)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => {
+                self.inner.degraded.store(true, Ordering::Release);
+                self.inner.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
+                Err(SnbError::Poisoned {
+                    detail: "panic while applying a delete batch; restart to recover".into(),
+                })
+            }
+        }
     }
 
     /// Validates store invariants under the read lock (the

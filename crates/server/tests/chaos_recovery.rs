@@ -1,0 +1,236 @@
+//! Crash-recovery integration tests: the same three fault windows the
+//! `service_load --chaos` harness SIGKILLs through, exercised in-process
+//! with error-flavored faults (no child processes, so they run under
+//! plain `cargo test`), plus the stalled-connection hardening.
+//!
+//! The invariant under test everywhere: an acknowledged batch survives
+//! recovery exactly once, an unacknowledged batch is either absent
+//! (never durable → resubmission applies it) or replayed (durable →
+//! resubmission dedupes), and every failure is a typed error — no
+//! hangs, no poisoned-lock panic cascades.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use snb_bi::BiParams;
+use snb_datagen::stream::UpdateEvent;
+use snb_datagen::GeneratorConfig;
+use snb_server::{
+    recover, ErrorKind, OkBody, Server, ServerConfig, ServiceParams, WalOptions, WriteBatch,
+    WriteOps,
+};
+use snb_store::DeleteOp;
+
+const SCALE: &str = "0.001";
+
+/// The fault registry is process-global; tests that arm it serialize.
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn config() -> GeneratorConfig {
+    GeneratorConfig::for_scale_name(SCALE).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("snb_chaosit_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sequenced batches carved from the real update stream (inserts in
+/// stream order plus interleaved like-deletes).
+fn batches(n: usize) -> Vec<WriteOps> {
+    let (_, stream) = snb_store::bulk_store_and_stream(&config());
+    let mut out = Vec::new();
+    let mut likes = Vec::new();
+    for chunk in stream.chunks(20).take(n) {
+        for ev in chunk {
+            if let UpdateEvent::AddLikePost(l) = &ev.event {
+                likes.push(DeleteOp::Like(l.person.0, l.message.0));
+            }
+        }
+        out.push(WriteOps::Updates(chunk.to_vec()));
+        if !likes.is_empty() {
+            out.push(WriteOps::Deletes(std::mem::take(&mut likes)));
+        }
+    }
+    out
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig { workers: 2, threads_per_worker: 1, ..ServerConfig::default() }
+}
+
+fn start(dir: &std::path::Path) -> Server {
+    let recovered =
+        recover(dir, &config(), SCALE, WalOptions::default()).expect("recovery succeeds");
+    let (store, durability, _) = recovered.into_durability();
+    Server::start_durable(store, server_config(), durability)
+}
+
+fn submit(server: &Server, seq: u64, ops: &WriteOps) -> Result<OkBody, (ErrorKind, String)> {
+    let resp = server.client().call(ServiceParams::Write(WriteBatch { seq, ops: ops.clone() }), 0);
+    match resp.body {
+        Ok(ok) => Ok(ok),
+        Err(e) => Err((e.kind, e.detail)),
+    }
+}
+
+fn probe_read(server: &Server) -> Result<OkBody, (ErrorKind, String)> {
+    let params = BiParams::Q5(snb_bi::bi05::Params { country: "China".into() });
+    let resp = server.client().call(ServiceParams::Bi(params), 0);
+    match resp.body {
+        Ok(ok) => Ok(ok),
+        Err(e) => Err((e.kind, e.detail)),
+    }
+}
+
+#[test]
+fn torn_append_is_refused_then_truncated_on_recovery() {
+    let _g = fault_lock();
+    snb_fault::disarm_all();
+    let dir = tmp_dir("torn");
+    let batches = batches(4);
+
+    let server = start(&dir);
+    for seq in 1..=2u64 {
+        let ok = submit(&server, seq, &batches[seq as usize - 1]).expect("pre-fault ack");
+        assert!(ok.rows > 0);
+        assert_eq!(ok.fingerprint, seq);
+    }
+
+    // The third append tears after 8 bytes: not durable, not applied.
+    snb_fault::arm_from_spec("wal.append.short_write=short:8@h1", 7).unwrap();
+    let (kind, detail) = submit(&server, 3, &batches[2]).expect_err("torn append must fail");
+    assert_eq!(kind, ErrorKind::Internal, "typed internal error, got {detail:?}");
+
+    // The torn tail makes the log unusable until restart: later batches
+    // are refused instead of being appended after garbage.
+    let (kind, _) = submit(&server, 3, &batches[2]).expect_err("broken WAL refuses appends");
+    assert_eq!(kind, ErrorKind::Internal);
+    snb_fault::disarm_all();
+    server.shutdown();
+
+    // Recovery truncates the torn record and keeps the two good ones;
+    // the resubmission then applies for the first time.
+    let report = recover(&dir, &config(), SCALE, WalOptions::default()).unwrap().report;
+    assert_eq!(report.last_seq, 2, "torn seq 3 must not replay");
+    assert!(report.truncated_bytes > 0, "the torn tail must be cut");
+
+    let server = start(&dir);
+    let ok = submit(&server, 3, &batches[2]).expect("resubmission applies");
+    assert!(ok.rows > 0, "seq 3 was never durable: this is a first apply, not a dedupe");
+    let ok = submit(&server, 4, &batches[3]).expect("stream continues");
+    assert_eq!(ok.fingerprint, 4);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_unacked_batch_replays_and_dedupes() {
+    let _g = fault_lock();
+    snb_fault::disarm_all();
+    let dir = tmp_dir("durable_unacked");
+    let batches = batches(3);
+
+    let server = start(&dir);
+    submit(&server, 1, &batches[0]).expect("first ack");
+
+    // Seq 2's record reaches the disk, but the ack window is torn: the
+    // client sees an error for a batch that IS durable.
+    snb_fault::arm_from_spec("wal.append.post_append=err@h1", 7).unwrap();
+    let (kind, detail) = submit(&server, 2, &batches[1]).expect_err("ack must be lost");
+    assert_eq!(kind, ErrorKind::Internal);
+    assert!(detail.contains("durable"), "detail names the window: {detail}");
+    // A still-running process must not append seq 2 twice.
+    let (kind, _) = submit(&server, 2, &batches[1]).expect_err("ambiguous log refuses appends");
+    assert_eq!(kind, ErrorKind::Internal);
+    snb_fault::disarm_all();
+    server.shutdown();
+
+    // Recovery replays the durable batch; the client's retry dedupes.
+    let report = recover(&dir, &config(), SCALE, WalOptions::default()).unwrap().report;
+    assert_eq!(report.last_seq, 2, "durable seq 2 must replay");
+
+    let server = start(&dir);
+    let ok = submit(&server, 2, &batches[1]).expect("retry is re-acknowledged");
+    assert_eq!((ok.rows, ok.fingerprint), (0, 2), "dedupe: zero rows, fingerprint = last seq");
+    let ok = submit(&server, 3, &batches[2]).expect("stream continues");
+    assert!(ok.rows > 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_apply_panic_poisons_store_until_recovery() {
+    let _g = fault_lock();
+    snb_fault::disarm_all();
+    let dir = tmp_dir("poison");
+    let batches = batches(3);
+
+    let server = start(&dir);
+    submit(&server, 1, &batches[0]).expect("first ack");
+    probe_read(&server).expect("healthy store answers reads");
+
+    // Seq 2 panics mid-apply, after the WAL append: the store may hold
+    // half a batch, so everything is refused with a typed error.
+    snb_fault::arm_from_spec("writer.apply.panic=panic@h1", 7).unwrap();
+    let (kind, _) = submit(&server, 2, &batches[1]).expect_err("apply panic must be caught");
+    assert_eq!(kind, ErrorKind::StorePoisoned);
+    snb_fault::disarm_all();
+
+    let (kind, detail) = probe_read(&server).expect_err("degraded store refuses reads");
+    assert_eq!(kind, ErrorKind::StorePoisoned, "typed refusal, got {detail:?}");
+    let (kind, _) = submit(&server, 3, &batches[2]).expect_err("degraded store refuses writes");
+    assert_eq!(kind, ErrorKind::StorePoisoned);
+    let report = server.shutdown();
+    assert!(report.poisoned_rejects >= 2, "refusals are counted");
+
+    // The batch was durable before the panic; restart replays it (the
+    // fault is gone — it modeled a transient crash, not bad data) and
+    // the retry dedupes. The recovered store passes its invariants and
+    // answers reads again.
+    let report = recover(&dir, &config(), SCALE, WalOptions::default()).unwrap().report;
+    assert_eq!(report.last_seq, 2, "WAL'd seq 2 replays cleanly");
+
+    let server = start(&dir);
+    let ok = submit(&server, 2, &batches[1]).expect("retry dedupes");
+    assert_eq!((ok.rows, ok.fingerprint), (0, 2));
+    let ok = submit(&server, 3, &batches[2]).expect("stream continues");
+    assert!(ok.rows > 0);
+    probe_read(&server).expect("recovered store answers reads");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_connection_is_closed_with_typed_outcome() {
+    // No faults armed: this is plain timeout hardening (a slowloris
+    // client holding a half-frame open must not pin a connection
+    // thread forever).
+    use std::io::{Read, Write};
+
+    let store = snb_store::store_for_config(&config());
+    let mut server = Server::start(
+        store,
+        ServerConfig { conn_read_timeout: Some(Duration::from_millis(150)), ..server_config() },
+    );
+    let addr = server.listen("127.0.0.1:0").expect("bind loopback");
+
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    conn.write_all(&[7, 0]).expect("half a length prefix");
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 16];
+    let n = conn.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "the server must close the stalled connection, not answer it");
+
+    let log = server.log_handle();
+    let report = server.shutdown();
+    assert_eq!(report.conn_stalled, 1, "the stall is counted");
+    assert!(
+        log.log().snapshot().iter().any(|r| r.outcome == "conn_stalled"),
+        "the stall lands in the access log with a typed outcome"
+    );
+}
