@@ -20,10 +20,13 @@ SMOKE_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 SERVICE_JSON="$(mktemp /tmp/service_smoke.XXXXXX.json)"
 SERVER_OUT="$(mktemp /tmp/server_smoke.XXXXXX.out)"
 ACCESS_LOG="$(mktemp /tmp/server_smoke.XXXXXX.jsonl)"
+STALL_OUT="$(mktemp /tmp/stall_smoke.XXXXXX.out)"
+STALL_LOG="$(mktemp /tmp/stall_smoke.XXXXXX.jsonl)"
 SERVER_PID=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
-  rm -f "$SMOKE_JSON" "$SERVICE_JSON" "$SERVER_OUT" "$ACCESS_LOG"
+  rm -f "$SMOKE_JSON" "$SERVICE_JSON" "$SERVER_OUT" "$ACCESS_LOG" \
+        "$STALL_OUT" "$STALL_LOG"
 }
 trap cleanup EXIT
 SNB_BENCH_OUT="$SMOKE_JSON" \
@@ -49,13 +52,36 @@ fi
 grep -q '"meta": {"git_commit":' "$SMOKE_JSON" || {
   echo "BENCH_bi.json is missing the meta block" >&2; exit 1; }
 
-echo "==> service_load in-process smoke (oracle verification)"
+echo "==> partition-sweep determinism (store shards 1/2/4)"
+# bi_runtimes sweeps the partition count over the SNB_PARTITIONS values
+# {1, 2, 4} and embeds one folded fingerprint per point — sharding must
+# be invisible in the results, so exactly one distinct value may appear.
+for p in 1 2 4; do
+  grep -q "\"partitions\": $p," "$SMOKE_JSON" || {
+    echo "BENCH_bi.json partition_sweep is missing partitions=$p" >&2; exit 1; }
+done
+distinct="$(grep -o '"fingerprint": "0x[0-9a-f]*"' "$SMOKE_JSON" | sort -u | wc -l)"
+if [ "$distinct" -ne 1 ]; then
+  echo "partition sweep fingerprints diverge ($distinct distinct values)" >&2
+  exit 1
+fi
+# Run metadata must record the resolved partition knob.
+grep -q '"partitions_resolved":' "$SMOKE_JSON" || {
+  echo "BENCH_bi.json meta is missing partitions_resolved" >&2; exit 1; }
+
+echo "==> service_load in-process smoke (oracle verification, 2 shards)"
 # Closed-loop drive with per-request result verification against the
 # in-process power-run oracle; a nonzero exit means protocol errors or
-# a fingerprint divergence.
-SNB_SERVICE_OUT="$SERVICE_JSON" \
+# a fingerprint divergence. SNB_PARTITIONS=2 serves from a two-shard
+# PartitionedStore while the oracle is unpartitioned — any divergence
+# introduced by sharding fails the run.
+SNB_SERVICE_OUT="$SERVICE_JSON" SNB_PARTITIONS=2 \
   cargo run -q --release -p snb-bench --bin service_load -- 0.001 \
   --clients 4 --duration 2s > /dev/null
+grep -q '"partitions": 2' "$SERVICE_JSON" || {
+  echo "BENCH_service.json config is missing the partition count" >&2; exit 1; }
+grep -q '"partitions_resolved": 2' "$SERVICE_JSON" || {
+  echo "BENCH_service.json meta is missing partitions_resolved" >&2; exit 1; }
 
 echo "==> snb-server smoke (overload shed, deadline miss, graceful shutdown)"
 # Ephemeral port, one worker, an undersized queue: the overload burst
@@ -122,5 +148,37 @@ grep -q '"mismatches": 0' "$CHAOS_JSON" || {
   echo "recovered store diverges from the acked-batches oracle" >&2
   rm -f "$CHAOS_JSON"; exit 1; }
 rm -f "$CHAOS_JSON"
+
+echo "==> read-path chaos (conn.read.stall -> typed conn_stalled outcome)"
+# A connection goes quiet while the armed stall wedges its handler in
+# the read path; the idle deadline must trip and the close must land in
+# the access log with the typed conn_stalled outcome (not a hang, not a
+# silent drop).
+SNB_ACCESS_LOG="$STALL_LOG" SNB_FAULTS='conn.read.stall=stall:800@h1' \
+  cargo run -q --release -p snb-server --bin snb-server -- 0.001 \
+  --port 0 --workers 1 --conn-timeout-ms 300 > "$STALL_OUT" 2>/dev/null &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 240); do
+  ADDR="$(grep -o '127\.0\.0\.1:[0-9]*' "$STALL_OUT" | head -1 || true)"
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "snb-server (stall stage) exited before listening" >&2; exit 1
+  fi
+  sleep 0.5
+done
+[ -n "$ADDR" ] || { echo "snb-server (stall stage) never listened" >&2; exit 1; }
+PORT="${ADDR##*:}"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+sleep 2
+exec 3<&- 3>&-
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "snb-server (stall stage) did not exit cleanly on SIGTERM" >&2; exit 1
+fi
+SERVER_PID=""
+grep -q '"outcome": "conn_stalled"' "$STALL_LOG" || {
+  echo "access log has no conn_stalled outcome for the stalled connection" >&2
+  exit 1; }
 
 echo "CI OK"

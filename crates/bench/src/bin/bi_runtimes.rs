@@ -16,6 +16,19 @@ use snb_engine::QueryContext;
 const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 const BINDINGS_PER_QUERY: usize = 8;
 
+/// Store partition counts swept by the determinism check — the same
+/// values the `SNB_PARTITIONS` knob accepts in CI.
+const PARTITION_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// One point of the partition sweep: every query over the same
+/// bindings, results folded into an order-sensitive fingerprint.
+struct PartitionPoint {
+    partitions: usize,
+    fingerprint: u64,
+    rows: usize,
+    wall: std::time::Duration,
+}
+
 fn main() {
     let profile_mode = snb_bench::cli_flag("--profile");
     let config = snb_bench::cli_config();
@@ -119,8 +132,37 @@ fn main() {
         &t_rows,
     );
 
+    // Partition sweep: sharded morsel plans must be invisible in the
+    // results — every partition count folds to the same fingerprint
+    // (CI greps this block and asserts exactly one distinct value).
+    let partition_points = partition_sweep(&store, config.seed);
+    let p_rows: Vec<Vec<String>> = partition_points
+        .iter()
+        .map(|p| {
+            vec![
+                p.partitions.to_string(),
+                format!("{:#018x}", p.fingerprint),
+                p.rows.to_string(),
+                snb_bench::fmt_duration(p.wall),
+            ]
+        })
+        .collect();
+    snb_bench::print_table(
+        "E14: partition sweep (2 threads, all 25 queries)",
+        &["partitions", "fingerprint", "rows", "wall"],
+        &p_rows,
+    );
+    for p in &partition_points[1..] {
+        assert_eq!(
+            (p.fingerprint, p.rows),
+            (partition_points[0].fingerprint, partition_points[0].rows),
+            "partition count {} changed the results",
+            p.partitions
+        );
+    }
+
     // Machine-readable dump for downstream tooling / CI trend lines.
-    let json = render_json(&config, cores, &sweep, &throughput);
+    let json = render_json(&config, cores, &sweep, &throughput, &partition_points);
     let path = std::env::var("SNB_BENCH_OUT").unwrap_or_else(|_| "BENCH_bi.json".into());
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\nwrote {path}");
@@ -167,6 +209,32 @@ fn print_profile_breakdown(base: &[QueryStats], peak: &[QueryStats], peak_thread
     );
 }
 
+/// Runs the determinism sweep over [`PARTITION_SWEEP`]: the same
+/// curated bindings for all 25 queries through a 2-thread context per
+/// partition count, results folded into one order-sensitive
+/// fingerprint (rotate-xor, so a swapped pair of summaries cannot
+/// cancel out the way plain xor would).
+fn partition_sweep(store: &snb_store::Store, seed: u64) -> Vec<PartitionPoint> {
+    let gen = snb_params::ParamGen::new(store, seed);
+    let bindings: Vec<snb_bi::BiParams> =
+        ALL_BI_QUERIES.iter().flat_map(|&q| gen.bi_params(q, 2)).collect();
+    PARTITION_SWEEP
+        .iter()
+        .map(|&partitions| {
+            let ctx = QueryContext::new(2).with_partitions(partitions);
+            let started = std::time::Instant::now();
+            let mut fingerprint = 0u64;
+            let mut rows = 0usize;
+            for b in &bindings {
+                let s = snb_bi::run_with(store, &ctx, b);
+                fingerprint = fingerprint.rotate_left(7) ^ s.fingerprint;
+                rows += s.rows;
+            }
+            PartitionPoint { partitions, fingerprint, rows, wall: started.elapsed() }
+        })
+        .collect()
+}
+
 /// Hand-rolled JSON (the container has no serde): every value is a
 /// number or a plain integer-keyed record, so escaping is not needed.
 fn render_json(
@@ -174,6 +242,7 @@ fn render_json(
     cores: usize,
     sweep: &[(usize, Vec<QueryStats>)],
     throughput: &[snb_driver::ThroughputReport],
+    partition_points: &[PartitionPoint],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"meta\": {},\n", snb_bench::meta_json(config)));
@@ -233,6 +302,20 @@ fn render_json(
             r.mean_exec.as_micros(),
             r.total_queue_wait.as_micros(),
             r.total_exec.as_micros(),
+        ));
+    }
+    out.push_str("\n  ],\n  \"partition_sweep\": [\n");
+    for (i, p) in partition_points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"partitions\": {}, \"threads\": 2, \"fingerprint\": \"{:#018x}\", \
+             \"rows\": {}, \"wall_us\": {}}}",
+            p.partitions,
+            p.fingerprint,
+            p.rows,
+            p.wall.as_micros(),
         ));
     }
     out.push_str("\n  ]\n}\n");

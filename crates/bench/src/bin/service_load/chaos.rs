@@ -95,7 +95,7 @@ impl ChaosServer {
         let mut cmd = Command::new(bin);
         cmd.arg(&args.scale)
             .arg(args.config.seed.to_string())
-            .args(["--port", "0", "--workers", "2", "--snapshot-every", "5"])
+            .args(["--port", "0", "--workers", "2", "--snapshot-every", "5", "--partitions", "2"])
             .arg("--wal-dir")
             .arg(wal_dir)
             .env_remove("SNB_FAULTS")

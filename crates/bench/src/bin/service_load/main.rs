@@ -11,7 +11,7 @@
 //! ```text
 //! service_load [SF] [SEED] [--clients N] [--duration 10s]
 //!              [--open --rate QPS] [--deadline-us N]
-//!              [--workers N] [--queue-cap N] [--profile]
+//!              [--workers N] [--queue-cap N] [--partitions N] [--profile]
 //!              [--queries 2,12,18] [--bindings N]
 //!              [--tcp | --connect HOST:PORT]
 //!              [--updates] [--exercise-edges] [--retries N]
@@ -165,6 +165,12 @@ fn parse_args() -> Result<Args, String> {
                 args.server.queue_capacity =
                     need("--queue-cap", argv.next())?.parse().map_err(|e| format!("{e}"))?
             }
+            "--partitions" => {
+                args.server.partitions = need("--partitions", argv.next())?
+                    .parse::<usize>()
+                    .map_err(|e| format!("{e}"))?
+                    .max(1)
+            }
             "--profile" => args.server.profiling = true,
             "--out" => args.out = need("--out", argv.next())?,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
@@ -184,6 +190,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.connect.is_some() && (args.updates || args.tcp) {
         return Err("--connect is exclusive with --tcp/--updates (no server handle)".into());
+    }
+    // `--partitions` defaults to `$SNB_PARTITIONS` like the bench and
+    // server binaries.
+    if args.server.partitions <= 1 {
+        args.server.partitions = snb_bench::partitions_resolved();
     }
     Ok(args)
 }
@@ -561,7 +572,7 @@ fn main() {
     out.push_str(&format!(
         "  \"config\": {{\"clients\": {}, \"duration_us\": {}, \"mode\": \"{}\", \
          \"rate_qps\": {:.2}, \"deadline_us\": {}, \"transport\": \"{}\", \"workers\": {}, \
-         \"queue_capacity\": {}, \"updates\": {}, \"bindings\": {}}},\n",
+         \"queue_capacity\": {}, \"partitions\": {}, \"updates\": {}, \"bindings\": {}}},\n",
         args.clients,
         args.duration.as_micros(),
         if args.open { "open" } else { "closed" },
@@ -576,6 +587,7 @@ fn main() {
         },
         args.server.workers,
         args.server.queue_capacity,
+        args.server.partitions,
         args.updates,
         pool.len(),
     ));

@@ -1,24 +1,42 @@
 //! `--wal-bench`: write-batch ack latency through the durable write
 //! path, with and without fsync batching.
 //!
-//! Two in-process durable servers are stood up over fresh WAL
-//! directories, one with `fsync_every = 1` (every ack waits for the
-//! disk) and one with `fsync_every = 64` (the flush is amortised; the
-//! record is still `write(2)`-complete before the ack). The same
-//! deterministic batch schedule is replayed through both and the ack
-//! latency distributions land in the JSON as the `"wal"` block.
+//! Three in-process durable servers are stood up over fresh WAL
+//! directories: one with `fsync_every = 1` (every ack waits for the
+//! disk), one with `fsync_every = 64` (the flush is amortised; the
+//! record is still `write(2)`-complete before the ack), and one in
+//! group-commit mode (concurrent clients, acks released only after the
+//! covering flush, many acks sharing one `fsync(2)`). The same
+//! deterministic batch schedule is replayed through all three and the
+//! ack latency distributions, per-run fsync counts, and the
+//! group-commit throughput delta land in the JSON as the `"wal"`
+//! block.
 
 use std::time::Instant;
 
-use snb_server::{Server, ServiceParams, WalOptions, WriteBatch};
+use snb_server::{Server, ServerConfig, ServiceParams, WalOptions, WriteBatch, WriteOps};
 
 use crate::{percentile, Args};
 
-fn bench_one(args: &Args, fsync_every: u64) -> (Vec<u64>, u64) {
+/// Clients driving the group-commit run concurrently. Each owns the
+/// sequence numbers `i % GROUP_CLIENTS == t` and retries on the
+/// server's typed `sequence gap` rejection until its predecessor
+/// lands, so the global sequence stays contiguous without a
+/// coordinator.
+const GROUP_CLIENTS: usize = 4;
+
+struct BenchRun {
+    latencies_us: Vec<u64>,
+    applied: u64,
+    wall_us: u64,
+    fsyncs: u64,
+}
+
+fn bench_one(args: &Args, fsync_every: u64) -> BenchRun {
     let dir =
         std::env::temp_dir().join(format!("snb_walbench_{}_{}", fsync_every, std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let options = WalOptions { fsync_every, snapshot_every: 0 };
+    let options = WalOptions { fsync_every, snapshot_every: 0, ..WalOptions::default() };
     let recovered = snb_server::recover(&dir, &args.config, &args.scale, options)
         .expect("wal-bench recovery on a fresh directory");
     let (store, durability, _) = recovered.into_durability();
@@ -27,6 +45,7 @@ fn bench_one(args: &Args, fsync_every: u64) -> (Vec<u64>, u64) {
 
     let batches = crate::chaos::carve_batches(&args.config, 64);
     let mut latencies_us = Vec::with_capacity(batches.len());
+    let started = Instant::now();
     for (i, ops) in batches.into_iter().enumerate() {
         let t0 = Instant::now();
         let resp = client.call(ServiceParams::Write(WriteBatch { seq: i as u64 + 1, ops }), 0);
@@ -38,34 +57,109 @@ fn bench_one(args: &Args, fsync_every: u64) -> (Vec<u64>, u64) {
             resp.body.err().map(|e| e.detail)
         );
     }
+    let wall_us = started.elapsed().as_micros() as u64;
+    let fsyncs = server.wal_syncs();
     let report = server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     latencies_us.sort_unstable();
-    (latencies_us, report.batches_applied)
+    BenchRun { latencies_us, applied: report.batches_applied, wall_us, fsyncs }
 }
 
-fn stats_json(lat: &[u64]) -> String {
+/// Group-commit run: the same schedule, pushed by [`GROUP_CLIENTS`]
+/// concurrent clients through a two-segment WAL. Acks block on the
+/// covering flush (flusher election inside the server), so one fsync
+/// releases every waiter it covers — the fsync count, not the ack
+/// count, is what the disk sees.
+fn bench_group(args: &Args) -> BenchRun {
+    let dir = std::env::temp_dir().join(format!("snb_walbench_group_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options =
+        WalOptions { fsync_every: 32, snapshot_every: 0, partitions: 2, group_commit: true };
+    let recovered = snb_server::recover(&dir, &args.config, &args.scale, options)
+        .expect("wal-bench group-commit recovery on a fresh directory");
+    let (store, durability, _) = recovered.into_durability();
+    let server_config = ServerConfig { partitions: 2, ..args.server.clone() };
+    let server = Server::start_durable(store, server_config, durability);
+
+    let batches = crate::chaos::carve_batches(&args.config, 64);
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..GROUP_CLIENTS {
+            let mine: Vec<(u64, WriteOps)> = batches
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % GROUP_CLIENTS == t)
+                .map(|(i, ops)| (i as u64 + 1, ops.clone()))
+                .collect();
+            let client = server.client();
+            handles.push(scope.spawn(move || {
+                let mut lat = Vec::with_capacity(mine.len());
+                for (seq, ops) in mine {
+                    let t0 = Instant::now();
+                    loop {
+                        let resp = client
+                            .call(ServiceParams::Write(WriteBatch { seq, ops: ops.clone() }), 0);
+                        match resp.body {
+                            Ok(_) => break,
+                            Err(e) if e.detail.contains("sequence gap") => {
+                                std::thread::yield_now();
+                            }
+                            Err(e) => {
+                                panic!("wal-bench group batch {seq} rejected: {}", e.detail)
+                            }
+                        }
+                    }
+                    lat.push(t0.elapsed().as_micros() as u64);
+                }
+                lat
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().expect("group-commit client")).collect()
+    });
+    let wall_us = started.elapsed().as_micros() as u64;
+    let fsyncs = server.wal_syncs();
+    let report = server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    latencies_us.sort_unstable();
+    BenchRun { latencies_us, applied: report.batches_applied, wall_us, fsyncs }
+}
+
+fn run_json(run: &BenchRun) -> String {
+    let lat = &run.latencies_us;
     let mean = if lat.is_empty() { 0 } else { lat.iter().sum::<u64>() / lat.len() as u64 };
     format!(
-        "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+         \"wall_us\": {}, \"fsyncs\": {}}}",
         lat.len(),
         mean,
         percentile(lat, 0.50),
         percentile(lat, 0.99),
         lat.last().copied().unwrap_or(0),
+        run.wall_us,
+        run.fsyncs,
     )
 }
 
-/// Runs both configurations and renders the `"wal"` JSON block
+/// Runs all three configurations and renders the `"wal"` JSON block
 /// (no surrounding braces; the caller owns the document).
 pub fn run(args: &Args) -> String {
-    let (every_ack, applied_1) = bench_one(args, 1);
-    let (batched, applied_64) = bench_one(args, 64);
-    assert_eq!(applied_1, applied_64, "both runs must apply the same schedule");
+    let every_ack = bench_one(args, 1);
+    let batched = bench_one(args, 64);
+    let group = bench_group(args);
+    assert_eq!(every_ack.applied, batched.applied, "both runs must apply the same schedule");
+    assert_eq!(every_ack.applied, group.applied, "group-commit run must apply the same schedule");
+    let qps = |r: &BenchRun| r.applied as f64 / (r.wall_us.max(1) as f64 / 1e6);
+    let acks_per_fsync = group.applied as f64 / group.fsyncs.max(1) as f64;
     format!(
-        "  \"wal\": {{\"batches\": {}, \"fsync_every_1\": {}, \"fsync_every_64\": {}}}",
-        applied_1,
-        stats_json(&every_ack),
-        stats_json(&batched),
+        "  \"wal\": {{\"batches\": {}, \"fsync_every_1\": {}, \"fsync_every_64\": {}, \
+         \"group_commit\": {}, \"group_clients\": {GROUP_CLIENTS}, \
+         \"group_acks_per_fsync\": {:.2}, \"group_throughput_delta\": {:.2}}}",
+        every_ack.applied,
+        run_json(&every_ack),
+        run_json(&batched),
+        run_json(&group),
+        acks_per_fsync,
+        qps(&group) / qps(&every_ack).max(1e-9),
     )
 }

@@ -81,18 +81,28 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 
 /// Environment knobs recorded in benchmark metadata (the ones that
 /// change what a benchmark run measures).
-pub const META_ENV_KEYS: [&str; 4] =
-    ["SNB_THREADS", "SNB_BENCH_OUT", "SNB_SERVICE_OUT", "SNB_ACCESS_LOG"];
+pub const META_ENV_KEYS: [&str; 5] =
+    ["SNB_THREADS", "SNB_PARTITIONS", "SNB_BENCH_OUT", "SNB_SERVICE_OUT", "SNB_ACCESS_LOG"];
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The partition count the `SNB_PARTITIONS` knob resolves to (unset or
+/// invalid → 1, the unpartitioned layout).
+pub fn partitions_resolved() -> usize {
+    std::env::var("SNB_PARTITIONS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&p| p > 0)
+        .unwrap_or(1)
+}
+
 /// Renders the run-metadata JSON object embedded in `BENCH_bi.json`
 /// and `BENCH_service.json`: git commit, scale, seed, hardware core
-/// count, the resolved `SNB_THREADS` value, and every set `SNB_*`
-/// knob — enough to tell two result files apart without provenance
-/// guesswork.
+/// count, the resolved `SNB_THREADS` and `SNB_PARTITIONS` values, and
+/// every set `SNB_*` knob — enough to tell two result files apart
+/// without provenance guesswork.
 pub fn meta_json(config: &GeneratorConfig) -> String {
     let git_commit = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -116,10 +126,12 @@ pub fn meta_json(config: &GeneratorConfig) -> String {
     format!(
         "{{\"git_commit\": \"{}\", \"scale_persons\": {}, \"datagen_seed\": {}, \
          \"hardware_cores\": {cores}, \"threads_resolved\": {threads_resolved}, \
+         \"partitions_resolved\": {}, \
          \"env\": {{{}}}}}",
         json_escape(&git_commit),
         config.persons,
         config.seed,
+        partitions_resolved(),
         env_entries.join(", "),
     )
 }
@@ -151,6 +163,7 @@ mod tests {
             "datagen_seed",
             "hardware_cores",
             "threads_resolved",
+            "partitions_resolved",
             "env",
         ] {
             assert!(meta.contains(&format!("\"{key}\":")), "meta missing {key}: {meta}");

@@ -404,6 +404,46 @@ mod tests {
     }
 
     #[test]
+    fn partition_thread_matrix_matches_naive_oracle() {
+        // The tentpole determinism contract: every (partitions,
+        // threads) point of the {1,2,4}² matrix agrees byte-for-byte
+        // (rows + fingerprint) with the naive single-threaded oracle.
+        let s = store();
+        let gen = ParamGen::new(s, 7);
+        let bindings: Vec<BiParams> =
+            ALL_BI_QUERIES.iter().flat_map(|&q| gen.bi_params(q, 2)).collect();
+        let oracle: Vec<_> = bindings.iter().map(|b| snb_bi::run_naive(s, b)).collect();
+        let ic_bindings: Vec<snb_interactive::IcParams> =
+            (1..=14u8).flat_map(|q| gen.ic_params(q, 2)).collect();
+        let ic_oracle: Vec<usize> = ic_bindings
+            .iter()
+            .map(|b| snb_interactive::validate_complex(s, b).expect("IC engines agree"))
+            .collect();
+        for partitions in [1usize, 2, 4] {
+            for threads in [1usize, 2, 4] {
+                let ctx = QueryContext::new(threads).with_partitions(partitions);
+                for (b, want) in bindings.iter().zip(&oracle) {
+                    let got = snb_bi::run_with(s, &ctx, b);
+                    assert_eq!(
+                        (got.rows, got.fingerprint),
+                        (want.rows, want.fingerprint),
+                        "{b:?} diverged at partitions={partitions} threads={threads}"
+                    );
+                }
+                for (b, &want) in ic_bindings.iter().zip(&ic_oracle) {
+                    let got = snb_interactive::run_complex_with(s, &ctx, b);
+                    assert_eq!(
+                        got,
+                        want,
+                        "IC {} diverged at partitions={partitions} threads={threads}",
+                        b.query()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn profile_counters_deterministic_across_repeats() {
         // Morsel/row/index counters are pure functions of the data and
         // morsel size; two identical power runs must agree exactly.

@@ -27,12 +27,18 @@
 //!   total (the spec's composite keys all end in a unique id or name
 //!   tie-breaker).
 //!
-//! Morsels are assigned **statically round-robin** (worker `w` takes
-//! morsels `w, w+T, w+2T, …`), not via a work-stealing counter: the
-//! assignment — and therefore each worker's partial — is a pure
-//! function of `(n, threads, morsel)`, never of thread timing. Skewed
-//! regions still spread across workers because consecutive morsels land
-//! on different workers.
+//! Morsels are **partition-aligned and contiguous**: `0..n` is first
+//! split into `partitions` contiguous spans (the scan-side view of the
+//! store's horizontal shards — `SNB_PARTITIONS`), each span is cut
+//! into morsels, and worker `w` takes the contiguous morsel run
+//! `[w·M/T, (w+1)·M/T)`. No morsel straddles a partition boundary, so
+//! a worker touches one dense locality region instead of striding the
+//! whole column (the NUMA-friendly replacement for the earlier
+//! round-robin assignment). The assignment — and therefore each
+//! worker's partial — is a pure function of `(n, threads, partitions,
+//! morsel)`, never of thread timing, and each worker's elements form
+//! one ascending contiguous range, so `par_scan`'s stitch is plain
+//! concatenation in worker order.
 
 use crate::metrics::QueryMetrics;
 use crate::topk::TopK;
@@ -49,6 +55,11 @@ pub const DEFAULT_MORSEL: usize = 4096;
 /// Environment variable overriding the worker count (`0` = all cores).
 pub const THREADS_ENV: &str = "SNB_THREADS";
 
+/// Environment variable setting the scan partition count (unset/`0` =
+/// `1`). Morsels never straddle a partition boundary; results are
+/// identical for any value.
+pub const PARTITIONS_ENV: &str = "SNB_PARTITIONS";
+
 /// Per-stream execution context: worker count + morsel size + the
 /// persistent worker pool.
 ///
@@ -59,6 +70,7 @@ pub const THREADS_ENV: &str = "SNB_THREADS";
 #[derive(Clone)]
 pub struct QueryContext {
     threads: usize,
+    partitions: usize,
     morsel: usize,
     profiling: bool,
     pool: Option<Arc<Pool>>,
@@ -69,6 +81,7 @@ impl std::fmt::Debug for QueryContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryContext")
             .field("threads", &self.threads)
+            .field("partitions", &self.partitions)
             .field("morsel", &self.morsel)
             .field("profiling", &self.profiling)
             .finish()
@@ -82,6 +95,7 @@ impl QueryContext {
         let pool = (threads > 1).then(|| Arc::new(Pool::start(threads - 1)));
         QueryContext {
             threads,
+            partitions: 1,
             morsel: DEFAULT_MORSEL,
             profiling: false,
             pool,
@@ -93,6 +107,7 @@ impl QueryContext {
     pub fn single_threaded() -> Self {
         QueryContext {
             threads: 1,
+            partitions: 1,
             morsel: DEFAULT_MORSEL,
             profiling: false,
             pool: None,
@@ -100,13 +115,18 @@ impl QueryContext {
         }
     }
 
-    /// Context configured from `SNB_THREADS` (unset/`0` = all cores).
+    /// Context configured from `SNB_THREADS` (unset/`0` = all cores)
+    /// and `SNB_PARTITIONS` (unset/`0` = one partition).
     pub fn from_env() -> Self {
         let threads = std::env::var(THREADS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(0);
-        QueryContext::new(threads)
+        let partitions = std::env::var(PARTITIONS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        QueryContext::new(threads).with_partitions(partitions)
     }
 
     /// The process-wide default context (first `from_env` wins), used by
@@ -120,6 +140,19 @@ impl QueryContext {
     pub fn with_morsel(mut self, morsel: usize) -> Self {
         self.morsel = morsel.max(1);
         self
+    }
+
+    /// Sets the scan partition count (`0` = `1`). Scans are split into
+    /// this many contiguous spans before morselisation; results are
+    /// identical for any value — only locality changes.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Scan partition count.
+    pub fn partitions(&self) -> usize {
+        self.partitions
     }
 
     /// Enables profiling: per-worker busy times are measured around
@@ -152,26 +185,47 @@ impl QueryContext {
         self.morsel
     }
 
-    /// The morsel ranges a scan over `n` elements is split into.
+    /// The morsel ranges a scan over `n` elements is split into:
+    /// `0..n` is cut into `partitions` contiguous spans, each span into
+    /// morsels, so no morsel straddles a partition boundary. With one
+    /// partition this is exactly [`chunk_ranges`]`(n, morsel)`.
     pub fn morsels(&self, n: usize) -> impl Iterator<Item = Range<usize>> + '_ {
-        chunk_ranges(n, self.morsel)
+        self.plan(n).into_iter()
     }
 
-    /// Number of workers actually used for `n` elements (never more
-    /// than one worker per morsel).
-    fn workers_for(&self, n: usize) -> usize {
-        self.threads.min(n.div_ceil(self.morsel)).max(1)
+    /// The partition-aligned morsel plan for `n` elements, ascending
+    /// and contiguous (`plan[i].end == plan[i+1].start`).
+    fn plan(&self, n: usize) -> Vec<Range<usize>> {
+        let parts = self.partitions;
+        let mut morsels = Vec::with_capacity(n.div_ceil(self.morsel) + parts);
+        for p in 0..parts {
+            let span_hi = (p + 1) * n / parts;
+            let mut lo = p * n / parts;
+            while lo < span_hi {
+                let hi = (lo + self.morsel).min(span_hi);
+                morsels.push(lo..hi);
+                lo = hi;
+            }
+        }
+        morsels
+    }
+
+    /// Number of workers actually used for a plan of `m` morsels
+    /// (never more than one worker per morsel).
+    fn workers_for(&self, m: usize) -> usize {
+        self.threads.min(m).max(1)
     }
 
     /// Morsel-parallel fold + deterministic merge.
     ///
-    /// Each worker folds its round-robin share of morsels into its own
-    /// accumulator (created by `identity`, reused across the worker's
-    /// morsels — the per-worker scratch arena); the calling thread then
-    /// merges the partials in ascending worker order. The result is
-    /// identical for every thread count iff `merge` is associative and
-    /// commutative in exact arithmetic — keep floats out of the
-    /// accumulator and finalise after the call.
+    /// Each worker folds its contiguous partition-aligned run of
+    /// morsels into its own accumulator (created by `identity`, reused
+    /// across the worker's morsels — the per-worker scratch arena); the
+    /// calling thread then merges the partials in ascending worker
+    /// order. The result is identical for every thread and partition
+    /// count iff `merge` is associative and commutative in exact
+    /// arithmetic — keep floats out of the accumulator and finalise
+    /// after the call.
     pub fn par_map_reduce<A, I, F, M>(&self, n: usize, identity: I, fold: F, merge: M) -> A
     where
         A: Send,
@@ -179,8 +233,9 @@ impl QueryContext {
         F: Fn(&mut A, Range<usize>) + Sync,
         M: Fn(&mut A, A),
     {
-        let workers = self.workers_for(n);
-        self.metrics.note_par_call(n.div_ceil(self.morsel) as u64, n as u64);
+        let plan = self.plan(n);
+        let workers = self.workers_for(plan.len());
+        self.metrics.note_par_call(plan.len() as u64, n as u64);
         if workers == 1 {
             let mut acc = identity();
             if n > 0 {
@@ -192,7 +247,7 @@ impl QueryContext {
             }
             return acc;
         }
-        let partials = self.run_partials(n, workers, &identity, &fold);
+        let partials = self.run_partials(&plan, workers, &identity, &fold);
         let mut partials = partials.into_iter();
         let mut acc = partials.next().expect("at least one worker");
         for p in partials {
@@ -202,16 +257,19 @@ impl QueryContext {
     }
 
     /// Order-preserving parallel scan: `emit` pushes the rows a morsel
-    /// produces; the outputs are stitched back in morsel order, so the
-    /// result equals the sequential scan **exactly**, for any thread
-    /// count — no merge-semantics caveat.
+    /// produces; each worker's morsel run is contiguous and ascending,
+    /// so its output Vec is already in scan order and the stitch is
+    /// plain concatenation in worker order. The result equals the
+    /// sequential scan **exactly**, for any thread and partition count
+    /// — no merge-semantics caveat.
     pub fn par_scan<T, F>(&self, n: usize, emit: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut Vec<T>, Range<usize>) + Sync,
     {
-        let workers = self.workers_for(n);
-        self.metrics.note_par_call(n.div_ceil(self.morsel) as u64, n as u64);
+        let plan = self.plan(n);
+        let workers = self.workers_for(plan.len());
+        self.metrics.note_par_call(plan.len() as u64, n as u64);
         if workers == 1 {
             let mut out = Vec::new();
             if n > 0 {
@@ -223,33 +281,19 @@ impl QueryContext {
             }
             return out;
         }
-        // Worker w visits morsels w, w+T, … ascending, producing one
-        // Vec per morsel; stitching walks morsel index c and pops from
-        // worker c % T at position c / T.
-        let per_worker =
-            self.run_partials(n, workers, &Vec::<Vec<T>>::new, &|acc: &mut Vec<Vec<T>>, range| {
-                let mut chunk = Vec::new();
-                emit(&mut chunk, range);
-                acc.push(chunk);
-            });
-        let mut out = Vec::with_capacity(per_worker.iter().flatten().map(Vec::len).sum());
-        let mut cursors: Vec<std::vec::IntoIter<Vec<T>>> =
-            per_worker.into_iter().map(Vec::into_iter).collect();
-        'stitch: loop {
-            for cursor in cursors.iter_mut() {
-                match cursor.next() {
-                    Some(chunk) => out.extend(chunk),
-                    None => break 'stitch,
-                }
-            }
+        let per_worker = self.run_partials(&plan, workers, &Vec::<T>::new, &emit);
+        let mut out = Vec::with_capacity(per_worker.iter().map(Vec::len).sum());
+        for part in per_worker {
+            out.extend(part);
         }
         out
     }
 
     /// Morsel-parallel top-k: each worker fills a bounded heap over its
     /// morsels; partial heaps merge in worker order. Deterministic for
-    /// any thread count iff the key is total (ends in a unique
-    /// tie-breaker), which the spec's composite sort keys guarantee.
+    /// any thread and partition count iff the key is total (ends in a
+    /// unique tie-breaker), which the spec's composite sort keys
+    /// guarantee.
     pub fn par_topk<K, T, F>(&self, n: usize, k: usize, fill: F) -> TopK<K, T>
     where
         K: Ord + Clone + Send,
@@ -264,28 +308,31 @@ impl QueryContext {
         )
     }
 
-    /// Fans `workers` round-robin morsel shares out over the pool (the
-    /// calling thread takes worker 0's share); returns the private
-    /// accumulators in worker order.
-    fn run_partials<A, I, F>(&self, n: usize, workers: usize, identity: &I, fold: &F) -> Vec<A>
+    /// Fans the morsel plan out over the pool in contiguous per-worker
+    /// runs — worker `w` folds morsels `[w·M/T, (w+1)·M/T)`, one dense
+    /// locality region per worker (the calling thread takes worker 0's
+    /// run); returns the private accumulators in worker order.
+    fn run_partials<A, I, F>(
+        &self,
+        plan: &[Range<usize>],
+        workers: usize,
+        identity: &I,
+        fold: &F,
+    ) -> Vec<A>
     where
         A: Send,
         I: Fn() -> A + Sync,
         F: Fn(&mut A, Range<usize>) + Sync,
     {
-        let morsel = self.morsel;
+        let m = plan.len();
         let profiling = self.profiling;
         let metrics = &self.metrics;
         let partials: Vec<Mutex<Option<A>>> = (0..workers).map(|_| Mutex::new(None)).collect();
         let task = |w: usize| {
             let started = profiling.then(Instant::now);
             let mut acc = identity();
-            let mut c = w;
-            while c * morsel < n {
-                let lo = c * morsel;
-                let hi = (lo + morsel).min(n);
-                fold(&mut acc, lo..hi);
-                c += workers;
+            for morsel in &plan[w * m / workers..(w + 1) * m / workers] {
+                fold(&mut acc, morsel.clone());
             }
             *partials[w].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(acc);
             if let Some(t0) = started {
@@ -607,6 +654,70 @@ mod tests {
         let ms: Vec<_> = c.morsels(25).collect();
         assert_eq!(ms, vec![0..10, 10..20, 20..25]);
         assert_eq!(chunk_ranges(0, 5).count(), 0);
+    }
+
+    #[test]
+    fn partition_matrix_is_deterministic() {
+        // The tentpole contract: every (partitions, threads) pair in
+        // {1,2,4}×{1,2,4} must yield results identical to sequential.
+        let n = 1003usize;
+        let seq_scan: Vec<usize> = (0..n).filter(|x| x % 5 == 0).collect();
+        let seq_sum: u64 = (0..n as u64).map(|x| x * x % 251).sum();
+        for parts in [1, 2, 4] {
+            for threads in [1, 2, 4] {
+                let c = ctx(threads).with_partitions(parts);
+                let scanned = c.par_scan(n, |out, range| {
+                    out.extend(range.filter(|x| x % 5 == 0));
+                });
+                assert_eq!(scanned, seq_scan, "scan parts={parts} threads={threads}");
+                let summed = c.par_map_reduce(
+                    n,
+                    || 0u64,
+                    |acc, range| *acc += range.map(|x| (x as u64) * (x as u64) % 251).sum::<u64>(),
+                    |acc, p| *acc += p,
+                );
+                assert_eq!(summed, seq_sum, "sum parts={parts} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsels_never_straddle_partition_boundaries() {
+        let c = QueryContext::new(2).with_morsel(10).with_partitions(3);
+        let ms: Vec<_> = c.morsels(25).collect();
+        // Spans are [0,8), [8,16), [16,25); each under the morsel size,
+        // so one morsel per span — and the plan covers 0..25 exactly.
+        assert_eq!(ms, vec![0..8, 8..16, 16..25]);
+        for parts in [1usize, 2, 3, 4, 7] {
+            for n in [0usize, 1, 5, 100, 1003] {
+                let c = QueryContext::new(1).with_morsel(16).with_partitions(parts);
+                let plan: Vec<_> = c.morsels(n).collect();
+                let mut expect_lo = 0;
+                for m in &plan {
+                    assert_eq!(m.start, expect_lo, "gap in plan n={n} parts={parts}");
+                    assert!(m.len() <= 16);
+                    // No morsel crosses a span boundary p*n/parts.
+                    for p in 1..parts {
+                        let b = p * n / parts;
+                        assert!(
+                            m.end <= b || m.start >= b,
+                            "morsel {m:?} straddles boundary {b} (n={n} parts={parts})"
+                        );
+                    }
+                    expect_lo = m.end;
+                }
+                assert_eq!(expect_lo, n, "plan must cover 0..{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_knob_defaults_and_clamps() {
+        assert_eq!(QueryContext::new(2).partitions(), 1);
+        assert_eq!(QueryContext::single_threaded().partitions(), 1);
+        assert_eq!(QueryContext::new(2).with_partitions(0).partitions(), 1);
+        assert_eq!(QueryContext::new(2).with_partitions(4).partitions(), 4);
+        assert_eq!(PARTITIONS_ENV, "SNB_PARTITIONS");
     }
 
     #[test]

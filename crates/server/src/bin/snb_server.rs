@@ -5,6 +5,7 @@
 //! snb-server [SF] [SEED] [--port N] [--workers N] [--queue-cap N]
 //!            [--deadline-ms N] [--profile] [--wal-dir PATH]
 //!            [--fsync-every N] [--snapshot-every N] [--conn-timeout-ms N]
+//!            [--partitions N] [--group-commit]
 //! ```
 //!
 //! Positional arguments mirror the bench binaries: scale-factor name
@@ -92,11 +93,28 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fsync-every" => wal.fsync_every = parse("--fsync-every", argv.next())?.max(1),
             "--snapshot-every" => wal.snapshot_every = parse("--snapshot-every", argv.next())?,
+            "--partitions" => {
+                server.partitions = parse("--partitions", argv.next())?.max(1) as usize;
+            }
+            "--group-commit" => wal.group_commit = true,
             "--profile" => server.profiling = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positionals.push(other.to_string()),
         }
     }
+    // The store sharding and the WAL segmenting share one knob:
+    // `--partitions`, defaulting to `$SNB_PARTITIONS` like the bench
+    // binaries.
+    if server.partitions <= 1 {
+        if let Some(parts) = std::env::var("SNB_PARTITIONS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|p| *p > 0)
+        {
+            server.partitions = parts;
+        }
+    }
+    wal.partitions = server.partitions.max(1);
     let sf = positionals.first().map(String::as_str).unwrap_or("0.01");
     let mut config = GeneratorConfig::for_scale_name(sf)
         .ok_or_else(|| format!("unknown scale factor {sf:?}; try 0.001/0.003/0.01/0.03/0.1"))?;
@@ -160,8 +178,11 @@ fn main() {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     eprintln!(
-        "# serving with {} workers, queue capacity {}, profiling {}",
-        args.server.workers, args.server.queue_capacity, args.server.profiling
+        "# serving with {} workers, queue capacity {}, partitions {}, profiling {}",
+        args.server.workers,
+        args.server.queue_capacity,
+        args.server.partitions,
+        args.server.profiling
     );
 
     while !SHUTDOWN.load(Ordering::Acquire) {

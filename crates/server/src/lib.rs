@@ -42,7 +42,7 @@ pub use retry::RetryPolicy;
 pub use server::{
     Durability, InProcClient, LogHandle, Server, ServerConfig, ServiceReport, StoreWriter,
 };
-pub use wal::{recover, Recovered, RecoveryReport, Wal, WalOptions};
+pub use wal::{recover, Recovered, RecoveryReport, SegmentedWal, Wal, WalOptions};
 
 #[cfg(test)]
 mod tests {

@@ -26,7 +26,7 @@
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
@@ -35,14 +35,21 @@ use snb_core::{SnbError, SnbResult};
 use snb_datagen::dictionaries::StaticWorld;
 use snb_datagen::stream::TimedEvent;
 use snb_engine::QueryContext;
-use snb_store::{DeleteOp, DeleteStats, Store};
+use snb_store::{DeleteOp, DeleteStats, PartitionedStore, Store};
 
 use crate::log::{AccessLog, AccessRecord};
 use crate::proto::{
     self, ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams, WriteBatch, WriteOps,
 };
 use crate::queue::{AdmissionQueue, PushError};
-use crate::wal::Wal;
+use crate::wal::SegmentedWal;
+
+/// Group-commit formation window: how long an ack-waiter parks before
+/// volunteering as the flusher. Long enough for the successor batch
+/// (whose client is typically already retrying a sequence-gap
+/// rejection) to append and join the fsync; short enough to bound the
+/// extra ack latency when the waiter turns out to be alone.
+const GROUP_COMMIT_WINDOW: Duration = Duration::from_micros(250);
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -68,6 +75,12 @@ pub struct ServerConfig {
     /// idle check. Stalled closes are logged with outcome
     /// `conn_stalled`.
     pub conn_read_timeout: Option<Duration>,
+    /// Horizontal partition count: the store is wrapped in a
+    /// [`PartitionedStore`] with this many shards, worker
+    /// `QueryContext`s emit partition-aligned morsels, and (when the
+    /// server owns a WAL opened with the same count) write batches are
+    /// routed to per-partition log segments. `0`/`1` = unpartitioned.
+    pub partitions: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +92,7 @@ impl Default for ServerConfig {
             profiling: false,
             threads_per_worker: 1,
             conn_read_timeout: Some(Duration::from_secs(30)),
+            partitions: 1,
         }
     }
 }
@@ -173,8 +187,8 @@ struct Job {
 /// typically built from [`crate::wal::Recovered`] via
 /// [`Recovered::into_durability`](crate::wal::Recovered).
 pub struct Durability {
-    /// Open append handle (post-recovery).
-    pub wal: Wal,
+    /// Open append handle (post-recovery), one segment per partition.
+    pub wal: SegmentedWal,
     /// Seeded dictionaries needed by `apply_event`.
     pub world: StaticWorld,
     /// Highest batch sequence number already applied (recovered);
@@ -185,12 +199,12 @@ pub struct Durability {
 /// Serialized under one mutex so WAL append, store apply, and sequence
 /// accounting are atomic with respect to other write batches.
 struct DurableState {
-    wal: Wal,
+    wal: SegmentedWal,
     world: StaticWorld,
 }
 
 struct ServerInner {
-    store: Arc<RwLock<Store>>,
+    store: Arc<RwLock<PartitionedStore>>,
     queue: AdmissionQueue<Job>,
     log: AccessLog,
     accepting: AtomicBool,
@@ -198,6 +212,14 @@ struct ServerInner {
     counters: Counters,
     durable: Option<Mutex<DurableState>>,
     last_applied_seq: AtomicU64,
+    /// Group-commit ack gate: the highest sequence number covered by a
+    /// completed flush. With `group_commit` on, a write's ack is held
+    /// until this reaches its sequence number — many submitters then
+    /// share one fsync without weakening "acknowledged ⇒ durable".
+    flushed_seq: AtomicU64,
+    /// Parking lot for ack-waiters ([`ServerInner::wait_for_flush`]).
+    flush_mutex: Mutex<()>,
+    flush_cv: Condvar,
     /// Set when a write panicked mid-apply: the store may hold a
     /// half-applied batch, so every request is refused with
     /// `store_poisoned` until restart-and-recovery.
@@ -370,10 +392,20 @@ impl ServerInner {
             ));
         };
         let mut state = durable.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let group = state.wal.options().group_commit;
         let last = self.last_applied_seq.load(Ordering::Acquire);
         if batch.seq <= last {
-            // Already durable and applied; the ack was lost somewhere.
-            // Re-acknowledge without touching the store.
+            // Already applied; the ack was lost somewhere. With group
+            // commit the covering flush may not have run yet — a re-ack
+            // must not get ahead of the durability the original ack
+            // would have waited for.
+            if group && self.flushed_seq.load(Ordering::Acquire) < batch.seq {
+                if let Err(e) = state.wal.sync_all() {
+                    self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(err(ErrorKind::Internal, format!("WAL flush failed: {e}")));
+                }
+                self.note_flushed(state.wal.last_seq());
+            }
             self.counters.batches_deduped.fetch_add(1, Ordering::Relaxed);
             return Ok(("deduped", OkBody { rows: 0, fingerprint: last, ..OkBody::default() }));
         }
@@ -426,10 +458,33 @@ impl ServerInner {
                 self.counters.deletes_applied.fetch_add(deletes, Ordering::Relaxed);
                 self.counters.batches_applied.fetch_add(1, Ordering::Relaxed);
                 self.last_applied_seq.store(batch.seq, Ordering::Release);
+                // Group commit: flush inline once the backlog reaches
+                // `fsync_every` (bounds how many unacked submitters can
+                // pile up); otherwise leave the flush to whichever
+                // waiter gets the lock first.
+                if group && state.wal.unsynced() >= state.wal.options().fsync_every.max(1) {
+                    if let Err(e) = state.wal.sync_all() {
+                        self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(err(ErrorKind::Internal, format!("WAL flush failed: {e}")));
+                    }
+                    self.note_flushed(state.wal.last_seq());
+                }
                 // Rotation failure is not fatal: the live WAL keeps
                 // growing and recovery still replays everything.
-                if state.wal.maybe_snapshot().is_err() {
-                    self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                match state.wal.maybe_snapshot() {
+                    Ok(rotated) => {
+                        if rotated && group {
+                            // Compaction sealed every segment first.
+                            self.note_flushed(state.wal.last_seq());
+                        }
+                    }
+                    Err(_) => {
+                        self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                drop(state);
+                if group {
+                    self.wait_for_flush(durable, batch.seq)?;
                 }
                 Ok((
                     "ok",
@@ -458,6 +513,78 @@ impl ServerInner {
                     ErrorKind::StorePoisoned,
                     format!("panic while applying batch {}; restart to recover", batch.seq),
                 ))
+            }
+        }
+    }
+
+    /// Records a completed flush covering everything appended up to
+    /// `seq` and wakes the ack-waiters.
+    fn note_flushed(&self, seq: u64) {
+        self.flushed_seq.fetch_max(seq, Ordering::AcqRel);
+        let _parked = self.flush_mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.flush_cv.notify_all();
+    }
+
+    /// Group-commit ack gate: blocks until a flush covers `my_seq`.
+    /// Whichever waiter finds the durability lock free runs
+    /// [`SegmentedWal::sync_all`] for everyone — one fsync releases
+    /// every waiter whose append it covers; waiters that find the lock
+    /// busy park briefly (an appender or flusher is making progress).
+    fn wait_for_flush(&self, durable: &Mutex<DurableState>, my_seq: u64) -> Result<(), ErrorBody> {
+        // Group-formation window (the commit-delay trade): park briefly
+        // before volunteering to flush, so the successor batch — whose
+        // client is usually already retrying its sequence-gap rejection
+        // — can append first and share the fsync. A flush completing
+        // during the window wakes every waiter early; checking
+        // `flushed_seq` under `flush_mutex` pairs with `note_flushed`
+        // taking it before notifying, so the wakeup cannot be missed.
+        if self.flushed_seq.load(Ordering::Acquire) < my_seq {
+            let parked = self.flush_mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if self.flushed_seq.load(Ordering::Acquire) < my_seq {
+                match self.flush_cv.wait_timeout(parked, GROUP_COMMIT_WINDOW) {
+                    Ok((guard, _timed_out)) => drop(guard),
+                    Err(poisoned) => drop(poisoned.into_inner()),
+                }
+            }
+        }
+        loop {
+            if self.flushed_seq.load(Ordering::Acquire) >= my_seq {
+                return Ok(());
+            }
+            match durable.try_lock() {
+                Ok(mut state) => {
+                    if self.flushed_seq.load(Ordering::Acquire) >= my_seq {
+                        return Ok(());
+                    }
+                    if let Err(e) = state.wal.sync_all() {
+                        self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(ErrorBody {
+                            kind: ErrorKind::Internal,
+                            queue_us: 0,
+                            detail: format!("WAL flush failed: {e}"),
+                        });
+                    }
+                    self.note_flushed(state.wal.last_seq());
+                    return Ok(());
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    drop(p);
+                    // A writer panicked holding the lock; the degraded
+                    // path owns recovery. Do not ack.
+                    return Err(ErrorBody {
+                        kind: ErrorKind::StorePoisoned,
+                        queue_us: 0,
+                        detail: "durability lock poisoned before the covering flush".into(),
+                    });
+                }
+                Err(TryLockError::WouldBlock) => {
+                    let parked =
+                        self.flush_mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    match self.flush_cv.wait_timeout(parked, Duration::from_micros(200)) {
+                        Ok((guard, _timed_out)) => drop(guard),
+                        Err(poisoned) => drop(poisoned.into_inner()),
+                    }
+                }
             }
         }
     }
@@ -592,7 +719,7 @@ impl ServerInner {
         } else {
             QueryContext::new(self.config.threads_per_worker)
         };
-        ctx.with_profiling(self.config.profiling)
+        ctx.with_partitions(self.config.partitions.max(1)).with_profiling(self.config.profiling)
     }
 
     fn report(&self) -> ServiceReport {
@@ -624,14 +751,16 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the service over an exclusively-owned store.
+    /// Starts the service over an exclusively-owned store, sharding it
+    /// into `config.partitions` partitions.
     pub fn start(store: Store, config: ServerConfig) -> Server {
-        Server::start_shared(Arc::new(RwLock::new(store)), config)
+        let parts = config.partitions.max(1);
+        Server::start_shared(Arc::new(RwLock::new(PartitionedStore::new(store, parts))), config)
     }
 
-    /// Starts the service over a shared store (the handle other threads
-    /// use for concurrent update replay).
-    pub fn start_shared(store: Arc<RwLock<Store>>, config: ServerConfig) -> Server {
+    /// Starts the service over a shared (already partitioned) store —
+    /// the handle other threads use for concurrent update replay.
+    pub fn start_shared(store: Arc<RwLock<PartitionedStore>>, config: ServerConfig) -> Server {
         Server::start_shared_durable(store, config, None)
     }
 
@@ -640,13 +769,18 @@ impl Server {
     /// appended + flushed before apply and ack, and deduplicated against
     /// `durability.last_seq` (the recovered high-water mark).
     pub fn start_durable(store: Store, config: ServerConfig, durability: Durability) -> Server {
-        Server::start_shared_durable(Arc::new(RwLock::new(store)), config, Some(durability))
+        let parts = config.partitions.max(1);
+        Server::start_shared_durable(
+            Arc::new(RwLock::new(PartitionedStore::new(store, parts))),
+            config,
+            Some(durability),
+        )
     }
 
     /// The general constructor behind [`Server::start`],
     /// [`Server::start_shared`] and [`Server::start_durable`].
     pub fn start_shared_durable(
-        store: Arc<RwLock<Store>>,
+        store: Arc<RwLock<PartitionedStore>>,
         config: ServerConfig,
         durability: Option<Durability>,
     ) -> Server {
@@ -663,6 +797,9 @@ impl Server {
             counters: Counters::default(),
             durable,
             last_applied_seq: AtomicU64::new(last_seq),
+            flushed_seq: AtomicU64::new(last_seq),
+            flush_mutex: Mutex::new(()),
+            flush_cv: Condvar::new(),
             degraded: AtomicBool::new(false),
         });
         let workers = (0..inner.config.workers)
@@ -731,8 +868,16 @@ impl Server {
     }
 
     /// The shared store (read access for oracles and stats).
-    pub fn store(&self) -> Arc<RwLock<Store>> {
+    pub fn store(&self) -> Arc<RwLock<PartitionedStore>> {
         Arc::clone(&self.inner.store)
+    }
+
+    /// `fsync(2)` calls issued by the WAL so far (0 without one) — the
+    /// group-commit sharing metric for `--wal-bench`.
+    pub fn wal_syncs(&self) -> u64 {
+        let Some(durable) = &self.inner.durable else { return 0 };
+        let state = durable.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.wal.syncs()
     }
 
     /// The access log.

@@ -11,6 +11,30 @@
 //! death but not power loss", which the service benchmark records as the
 //! cheap mode).
 //!
+//! ## Segments
+//!
+//! With `partitions = N > 1` the live log is split into per-partition
+//! **segments** `wal-0.log … wal-{N-1}.log`; a batch is routed to the
+//! segment of [`crate::events::route_key`]'s owning shard
+//! ([`snb_store::partition_of_raw`]). Sequence numbers stay globally
+//! contiguous across segments — the order of record *within* the whole
+//! log is the sequence number, not file position — so recovery scans
+//! every segment (truncating each torn tail independently), merges the
+//! entries by `seq`, and replays them in one monotonic pass: shards
+//! recover independently but converge to the identical store. The
+//! compaction snapshot stays a single file holding the seq-merged view
+//! of all segments. With `partitions = 1` the layout is byte-identical
+//! to the original single `wal.log`.
+//!
+//! ## Group commit
+//!
+//! `group_commit = true` defers every per-append fsync to an explicit
+//! [`SegmentedWal::sync_all`], which flushes only dirty segments. The
+//! server layers the ack protocol on top: an append's acknowledgement
+//! is released only once a covering flush has run, so many concurrent
+//! submitters share one fsync without weakening the "acknowledged ⇒
+//! durable" contract (the `--wal-bench` harness measures the delta).
+//!
 //! ## File format
 //!
 //! Both `wal.log` and `snapshot.log` start with an 8-byte magic, the
@@ -82,11 +106,29 @@ pub struct WalOptions {
     /// Compact the live WAL into the snapshot once it holds this many
     /// records. `0` disables rotation.
     pub snapshot_every: u64,
+    /// Number of per-partition WAL segments (`0`/`1` = the classic
+    /// single `wal.log`). Must match the directory's existing layout.
+    pub partitions: usize,
+    /// Defer per-append fsyncs to explicit [`SegmentedWal::sync_all`]
+    /// calls so the server can share one flush across many concurrent
+    /// acknowledgements. Off, appends sync per `fsync_every` exactly as
+    /// before.
+    pub group_commit: bool,
 }
 
 impl Default for WalOptions {
     fn default() -> Self {
-        WalOptions { fsync_every: 1, snapshot_every: 4096 }
+        WalOptions { fsync_every: 1, snapshot_every: 4096, partitions: 1, group_commit: false }
+    }
+}
+
+/// The live-log file name of segment `p` under `parts` partitions: the
+/// classic `wal.log` single-segment layout, or `wal-{p}.log`.
+fn segment_file(p: usize, parts: usize) -> String {
+    if parts <= 1 {
+        WAL_FILE.to_string()
+    } else {
+        format!("wal-{p}.log")
     }
 }
 
@@ -114,9 +156,11 @@ pub struct RecoveryReport {
     pub last_seq: u64,
 }
 
-/// An append-only write-ahead log rooted at a directory.
+/// An append-only write-ahead log rooted at a directory — one segment
+/// file. [`SegmentedWal`] composes several under a global sequence.
 pub struct Wal {
     dir: PathBuf,
+    file_name: String,
     file: File,
     options: WalOptions,
     scale: String,
@@ -171,7 +215,19 @@ fn check_header(
 /// the offset one past the last *valid* record — anything beyond it is a
 /// torn tail (incomplete length/checksum/payload, or a checksum
 /// mismatch) that the caller should truncate away.
-fn scan_records(bytes: &[u8], mut offset: usize, ctx: &str) -> SnbResult<(Vec<WalEntry>, usize)> {
+fn scan_records(bytes: &[u8], offset: usize, ctx: &str) -> SnbResult<(Vec<WalEntry>, usize)> {
+    let (located, valid_end) = scan_records_located(bytes, offset, ctx)?;
+    Ok((located.into_iter().map(|(_, e)| e).collect(), valid_end))
+}
+
+/// [`scan_records`], but each entry carries the byte offset its record
+/// starts at — recovery needs it to truncate a segment mid-file when a
+/// global sequence gap invalidates a suffix.
+fn scan_records_located(
+    bytes: &[u8],
+    mut offset: usize,
+    ctx: &str,
+) -> SnbResult<(Vec<(usize, WalEntry)>, usize)> {
     let mut entries = Vec::new();
     while offset < bytes.len() {
         if bytes.len() - offset < 12 {
@@ -199,7 +255,7 @@ fn scan_records(bytes: &[u8], mut offset: usize, ctx: &str) -> SnbResult<(Vec<Wa
         .map_err(|e| {
             parse_err(ctx, format!("checksummed record failed to decode: {}", e.detail))
         })?;
-        entries.push(entry);
+        entries.push((offset, entry));
         offset = end;
     }
     Ok((entries, offset))
@@ -229,8 +285,21 @@ impl Wal {
         last_seq: u64,
         live_entries: u64,
     ) -> SnbResult<Wal> {
+        Wal::open_segment(dir, WAL_FILE, scale, seed, options, last_seq, live_entries)
+    }
+
+    /// Opens one named segment file (see [`segment_file`]).
+    fn open_segment(
+        dir: &Path,
+        file_name: &str,
+        scale: &str,
+        seed: u64,
+        options: WalOptions,
+        last_seq: u64,
+        live_entries: u64,
+    ) -> SnbResult<Wal> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(WAL_FILE);
+        let path = dir.join(file_name);
         let fresh = !path.exists();
         let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
         if fresh {
@@ -246,6 +315,7 @@ impl Wal {
         }
         Ok(Wal {
             dir: dir.to_path_buf(),
+            file_name: file_name.to_string(),
             file,
             options,
             scale: scale.to_string(),
@@ -262,17 +332,18 @@ impl Wal {
         self.last_seq
     }
 
-    /// Appends one batch and makes it durable per the fsync policy.
-    /// Returns only after the bytes are at least `write(2)`-complete; an
-    /// error means nothing may be acknowledged and the log must be
-    /// considered torn until restart.
-    pub fn append(&mut self, seq: u64, ops: &WriteOps) -> SnbResult<()> {
+    fn path(&self) -> PathBuf {
+        self.dir.join(&self.file_name)
+    }
+
+    /// Writes one encoded record to the segment file, honouring the
+    /// short-write fault point. No fsync — the caller owns the policy.
+    fn write_record(&mut self, record: &[u8]) -> SnbResult<()> {
         if self.broken {
             return Err(SnbError::Io(std::io::Error::other(
                 "WAL has a torn tail from a failed append; restart to recover",
             )));
         }
-        let record = encode_record(seq, ops);
         if let Some(fault) = snb_fault::check("wal.append.short_write") {
             let n = fault.short_write.unwrap_or(0).min(record.len());
             self.file.write_all(&record[..n])?;
@@ -283,19 +354,49 @@ impl Wal {
                 "injected short write tore the WAL tail",
             )));
         }
-        if let Err(e) = self.file.write_all(&record) {
+        if let Err(e) = self.file.write_all(record) {
             // The record may be partially on disk: a torn tail. Refuse
             // further appends until restart-and-recover truncates it.
             self.broken = true;
             return Err(e.into());
         }
+        Ok(())
+    }
+
+    /// Flushes the segment file, marking the segment broken on failure.
+    fn sync_data(&mut self) -> SnbResult<()> {
+        if let Err(e) = self.file.sync_data() {
+            self.broken = true;
+            return Err(e.into());
+        }
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Truncates the segment back to a bare header (post-compaction).
+    fn reset_to_header(&mut self) -> SnbResult<()> {
+        // set_len + seek keeps the same append handle valid.
+        let mut header = Vec::new();
+        write_header(&mut header, WAL_MAGIC, &self.scale, self.seed);
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.sync_data()?;
+        self.live_entries = 0;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Appends one batch and makes it durable per the fsync policy.
+    /// Returns only after the bytes are at least `write(2)`-complete; an
+    /// error means nothing may be acknowledged and the log must be
+    /// considered torn until restart.
+    pub fn append(&mut self, seq: u64, ops: &WriteOps) -> SnbResult<()> {
+        let record = encode_record(seq, ops);
+        self.write_record(&record)?;
         self.appends_since_sync += 1;
         if self.appends_since_sync >= self.options.fsync_every {
-            if let Err(e) = self.file.sync_data() {
-                self.broken = true;
-                return Err(e.into());
-            }
-            self.appends_since_sync = 0;
+            self.sync_data()?;
         }
         if let Some(fault) = snb_fault::check("wal.append.post_append") {
             // The batch is durable but not yet applied or acknowledged —
@@ -345,7 +446,7 @@ impl Wal {
             let off = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
             combined.extend_from_slice(&bytes[off..]);
         }
-        let wal_path = self.dir.join(WAL_FILE);
+        let wal_path = self.path();
         let bytes = std::fs::read(&wal_path)?;
         let off = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &wal_path)?;
         combined.extend_from_slice(&bytes[off..]);
@@ -356,16 +457,257 @@ impl Wal {
         drop(tmp);
         std::fs::rename(&tmp_path, &snap_path)?;
 
-        // Reset the live WAL to a bare header. set_len + seek keeps the
-        // same append handle valid.
-        let mut header = Vec::new();
-        write_header(&mut header, WAL_MAGIC, &self.scale, self.seed);
-        self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&header)?;
-        self.file.sync_data()?;
+        self.reset_to_header()?;
+        Ok(true)
+    }
+}
+
+/// Refuses to open a directory whose existing segment files disagree
+/// with `parts` — reusing a log under a different partition count would
+/// silently orphan (and later clobber) the other layout's segments.
+fn guard_layout(dir: &Path, parts: usize) -> SnbResult<()> {
+    let expected: Vec<String> = (0..parts).map(|p| segment_file(p, parts)).collect();
+    let mut present = 0usize;
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        let looks_like_segment =
+            name == WAL_FILE || (name.starts_with("wal-") && name.ends_with(".log"));
+        if !looks_like_segment {
+            continue;
+        }
+        if !expected.contains(&name) {
+            return Err(parse_err(
+                &dir.display().to_string(),
+                format!(
+                    "segment file {name:?} does not belong to the {parts}-partition \
+                     layout; the directory was written under a different partition count"
+                ),
+            ));
+        }
+        present += 1;
+    }
+    // Opening creates every segment at once, so a proper subset of the
+    // expected files means a smaller layout wrote them (e.g. wal-0/wal-1
+    // reopened with 4 partitions would silently mis-route records).
+    if present > 0 && present < parts {
+        return Err(parse_err(
+            &dir.display().to_string(),
+            format!(
+                "directory holds {present} of {parts} expected segment files; \
+                 it was written under a different partition count"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// N per-partition [`Wal`] segments composed under one global sequence —
+/// the server's append handle. Each batch is routed to its owning
+/// shard's segment ([`crate::events::route_key`] hashed with
+/// [`snb_store::partition_of_raw`]); the fsync policy, the group-commit
+/// deferral, and snapshot compaction are global across segments. With
+/// `partitions <= 1` this is exactly the classic single-file [`Wal`].
+pub struct SegmentedWal {
+    dir: PathBuf,
+    scale: String,
+    seed: u64,
+    options: WalOptions,
+    segments: Vec<Wal>,
+    last_seq: u64,
+    live_entries: u64,
+    appends_since_sync: u64,
+    unsynced: u64,
+    syncs: u64,
+}
+
+impl SegmentedWal {
+    /// Opens (or creates) every segment under `dir` for appending.
+    /// `seg_live` carries recovery's per-segment live-record counts (a
+    /// missing entry means a fresh segment). Refuses a directory laid
+    /// out for a different partition count.
+    pub fn open(
+        dir: &Path,
+        scale: &str,
+        seed: u64,
+        options: WalOptions,
+        last_seq: u64,
+        seg_live: &[u64],
+    ) -> SnbResult<SegmentedWal> {
+        let parts = options.partitions.max(1);
+        std::fs::create_dir_all(dir)?;
+        guard_layout(dir, parts)?;
+        let mut segments = Vec::with_capacity(parts);
+        let mut live_entries = 0u64;
+        for p in 0..parts {
+            let live = seg_live.get(p).copied().unwrap_or(0);
+            live_entries += live;
+            segments.push(Wal::open_segment(
+                dir,
+                &segment_file(p, parts),
+                scale,
+                seed,
+                options,
+                last_seq,
+                live,
+            )?);
+        }
+        Ok(SegmentedWal {
+            dir: dir.to_path_buf(),
+            scale: scale.to_string(),
+            seed,
+            options,
+            segments,
+            last_seq,
+            live_entries,
+            appends_since_sync: 0,
+            unsynced: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Highest sequence number durably appended across all segments.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Number of per-partition segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The options the log was opened with.
+    pub fn options(&self) -> WalOptions {
+        self.options
+    }
+
+    /// Total `fsync(2)` calls issued for appended records (the
+    /// group-commit metric: appends ÷ syncs is the sharing factor).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Appends not yet covered by a flush (group-commit mode).
+    pub fn unsynced(&self) -> u64 {
+        self.unsynced
+    }
+
+    /// Whether any segment has a torn tail and the log refuses appends.
+    pub fn broken(&self) -> bool {
+        self.segments.iter().any(|s| s.broken)
+    }
+
+    /// Appends one batch to its owning shard's segment. In the default
+    /// mode the global fsync policy runs inline exactly as the
+    /// single-file [`Wal::append`] did; with `group_commit` the flush is
+    /// deferred to [`SegmentedWal::sync_all`] and the caller must not
+    /// acknowledge until a covering flush has run.
+    pub fn append(&mut self, seq: u64, ops: &WriteOps) -> SnbResult<()> {
+        if self.broken() {
+            return Err(SnbError::Io(std::io::Error::other(
+                "WAL has a torn tail from a failed append; restart to recover",
+            )));
+        }
+        let parts = self.segments.len();
+        let p = snb_store::partition_of_raw(crate::events::route_key(ops), parts);
+        let record = encode_record(seq, ops);
+        self.segments[p].write_record(&record)?;
+        self.segments[p].appends_since_sync += 1;
+        self.appends_since_sync += 1;
+        self.unsynced += 1;
+        if !self.options.group_commit && self.appends_since_sync >= self.options.fsync_every {
+            self.sync_all()?;
+        }
+        if let Some(fault) = snb_fault::check("wal.append.post_append") {
+            // Durable but not applied/acknowledged — see [`Wal::append`].
+            if fault.trip("wal.append.post_append") {
+                self.segments[p].broken = true;
+                return Err(SnbError::Io(std::io::Error::other(
+                    "injected post-append failure (batch is durable, ack lost)",
+                )));
+            }
+        }
+        let seg = &mut self.segments[p];
+        seg.live_entries += 1;
+        seg.last_seq = seq;
+        self.live_entries += 1;
+        self.last_seq = seq;
+        Ok(())
+    }
+
+    /// Flushes every *dirty* segment (one fsync per dirty file); clean
+    /// segments cost nothing. After it returns, every append so far is
+    /// durable and may be acknowledged.
+    pub fn sync_all(&mut self) -> SnbResult<()> {
+        for p in 0..self.segments.len() {
+            if self.segments[p].appends_since_sync > 0 {
+                self.segments[p].sync_data()?;
+                self.syncs += 1;
+            }
+        }
+        self.appends_since_sync = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Forces every segment to disk unconditionally (shutdown seal).
+    pub fn sync(&mut self) -> SnbResult<()> {
+        for seg in &mut self.segments {
+            seg.sync()?;
+        }
+        self.appends_since_sync = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Compacts all live segments into the single `snapshot.log` when
+    /// they jointly hold `snapshot_every` records. The combined snapshot
+    /// holds the **seq-merged** view of every segment — record order in
+    /// the snapshot is the global sequence order, not file position — so
+    /// replaying it is identical to replaying the segments themselves.
+    pub fn maybe_snapshot(&mut self) -> SnbResult<bool> {
+        if self.options.snapshot_every == 0 || self.live_entries < self.options.snapshot_every {
+            return Ok(false);
+        }
+        self.sync()?;
+        let snap_path = self.dir.join(SNAP_FILE);
+        let tmp_path = self.dir.join(SNAP_TMP);
+
+        let mut combined = Vec::new();
+        write_header(&mut combined, SNAP_MAGIC, &self.scale, self.seed);
+        if snap_path.exists() {
+            let bytes = std::fs::read(&snap_path)?;
+            let off = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
+            combined.extend_from_slice(&bytes[off..]);
+        }
+        let mut entries = Vec::new();
+        for seg in &self.segments {
+            let path = seg.path();
+            let bytes = std::fs::read(&path)?;
+            let off = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &path)?;
+            let ctx = path.display().to_string();
+            let (seg_entries, valid_end) = scan_records(&bytes, off, &ctx)?;
+            if valid_end != bytes.len() {
+                return Err(parse_err(&ctx, "live segment has a torn tail during compaction"));
+            }
+            entries.extend(seg_entries);
+        }
+        entries.sort_by_key(|e| e.seq);
+        for entry in &entries {
+            combined.extend_from_slice(&encode_record(entry.seq, &entry.ops));
+        }
+
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&combined)?;
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &snap_path)?;
+
+        for seg in &mut self.segments {
+            seg.reset_to_header()?;
+        }
         self.live_entries = 0;
         self.appends_since_sync = 0;
+        self.unsynced = 0;
         Ok(true)
     }
 }
@@ -379,8 +721,8 @@ pub struct Recovered {
     pub store: Store,
     /// Seeded dictionaries for applying further update events.
     pub world: StaticWorld,
-    /// Append handle continuing the recovered log.
-    pub wal: Wal,
+    /// Append handle continuing the recovered log (all segments open).
+    pub wal: SegmentedWal,
     /// What was replayed/truncated.
     pub report: RecoveryReport,
 }
@@ -399,10 +741,14 @@ impl Recovered {
 }
 
 /// Recovers the durable state under `dir`: rebuilds the deterministic
-/// bulk store for `config`, replays `snapshot.log` then the `wal.log`
-/// tail (verifying per-record checksums and truncating a torn tail),
-/// repairs the date index, and validates store invariants. Works on an
-/// empty or absent directory (fresh start, zero entries).
+/// bulk store for `config`, replays `snapshot.log` then the live WAL
+/// segments' entries **merged by sequence number** (verifying
+/// per-record checksums, truncating each segment's torn tail, and
+/// cutting any suffix past a global sequence gap — an acknowledged
+/// batch's covering flush syncs *all* dirty segments, so entries past a
+/// gap were never acknowledged and dropping them is correct). Repairs
+/// the date index and validates store invariants. Works on an empty or
+/// absent directory (fresh start, zero entries).
 pub fn recover(
     dir: &Path,
     config: &GeneratorConfig,
@@ -410,15 +756,16 @@ pub fn recover(
     options: WalOptions,
 ) -> SnbResult<Recovered> {
     std::fs::create_dir_all(dir)?;
+    guard_layout(dir, options.partitions.max(1))?;
     let (mut store, _) = snb_store::bulk_store_and_stream(config);
     let world = StaticWorld::build(config.seed);
     let mut report = RecoveryReport::default();
 
-    let mut apply = |store: &mut Store, entry: &WalEntry| -> SnbResult<()> {
+    let apply = |store: &mut Store, entry: &WalEntry, last_seq: &mut u64| -> SnbResult<()> {
         // Replay is monotonic by sequence number: a duplicate record
         // (an appended-but-unacked batch whose retry landed in a later
         // log segment) is applied once, never twice.
-        if entry.seq <= report.last_seq {
+        if entry.seq <= *last_seq {
             return Ok(());
         }
         match &entry.ops {
@@ -431,7 +778,7 @@ pub fn recover(
                 store.apply_deletes(dels)?;
             }
         }
-        report.last_seq = entry.seq;
+        *last_seq = entry.seq;
         Ok(())
     };
 
@@ -448,37 +795,85 @@ pub fn recover(
             return Err(parse_err(&ctx, "snapshot has a torn record (atomic write violated)"));
         }
         for entry in &entries {
-            apply(&mut store, entry)?;
+            apply(&mut store, entry, &mut report.last_seq)?;
         }
         report.snapshot_entries = entries.len() as u64;
     }
 
-    let wal_path = dir.join(WAL_FILE);
-    let mut live_entries = 0u64;
-    if wal_path.exists() {
-        let bytes = std::fs::read(&wal_path)?;
-        let off = check_header(&bytes, WAL_MAGIC, scale, config.seed, &wal_path)?;
-        let ctx = wal_path.display().to_string();
-        let (entries, valid_end) = scan_records(&bytes, off, &ctx)?;
+    // Scan every segment: truncate torn tails in place, remember each
+    // surviving entry's (segment, start offset) for the gap cut below.
+    let parts = options.partitions.max(1);
+    let mut located: Vec<(usize, usize, WalEntry)> = Vec::new();
+    for p in 0..parts {
+        let path = dir.join(segment_file(p, parts));
+        if !path.exists() {
+            continue;
+        }
+        let bytes = std::fs::read(&path)?;
+        let off = check_header(&bytes, WAL_MAGIC, scale, config.seed, &path)?;
+        let ctx = path.display().to_string();
+        let (entries, valid_end) = scan_records_located(&bytes, off, &ctx)?;
         if valid_end != bytes.len() {
-            report.truncated_bytes = (bytes.len() - valid_end) as u64;
-            let f = OpenOptions::new().write(true).open(&wal_path)?;
+            report.truncated_bytes += (bytes.len() - valid_end) as u64;
+            let f = OpenOptions::new().write(true).open(&path)?;
             f.set_len(valid_end as u64)?;
             f.sync_data()?;
         }
-        for entry in &entries {
-            apply(&mut store, entry)?;
-        }
-        report.wal_entries = entries.len() as u64;
-        live_entries = entries.len() as u64;
+        located.extend(entries.into_iter().map(|(start, e)| (p, start, e)));
     }
+    // Global order is the sequence number, not file position. The sort
+    // is stable, so a duplicate seq (append-then-retry) keeps file order
+    // within its segment and the monotonic `apply` drops the retry.
+    located.sort_by_key(|(_, _, e)| e.seq);
+
+    // A torn tail in one segment may orphan later, never-acknowledged
+    // sequence numbers in the others. Replay stops at the first gap; the
+    // orphaned suffix is cut from every segment so a retried batch can't
+    // coexist with its orphaned first appearance.
+    let mut keep = located.len();
+    let mut replay_last = report.last_seq;
+    for (i, (_, _, entry)) in located.iter().enumerate() {
+        if entry.seq <= replay_last {
+            continue; // duplicate: dedupe, not a gap
+        }
+        if entry.seq != replay_last + 1 {
+            keep = i;
+            break;
+        }
+        replay_last = entry.seq;
+    }
+    if keep < located.len() {
+        let mut cut_at: Vec<Option<u64>> = vec![None; parts];
+        for (p, start, _) in &located[keep..] {
+            let at = cut_at[*p].get_or_insert(*start as u64);
+            *at = (*at).min(*start as u64);
+        }
+        for (p, at) in cut_at.iter().enumerate() {
+            if let Some(at) = at {
+                let path = dir.join(segment_file(p, parts));
+                let len = std::fs::metadata(&path)?.len();
+                report.truncated_bytes += len - at;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(*at)?;
+                f.sync_data()?;
+            }
+        }
+        located.truncate(keep);
+    }
+
+    let mut seg_live = vec![0u64; parts];
+    for (p, _, entry) in &located {
+        apply(&mut store, entry, &mut report.last_seq)?;
+        seg_live[*p] += 1;
+    }
+    report.wal_entries = located.len() as u64;
 
     if !store.date_index_fresh() {
         store.rebuild_date_index();
     }
     store.validate_invariants()?;
 
-    let wal = Wal::open(dir, scale, config.seed, options, report.last_seq, live_entries)?;
+    let wal = SegmentedWal::open(dir, scale, config.seed, options, report.last_seq, &seg_live)?;
     Ok(Recovered { store, world, wal, report })
 }
 
@@ -624,7 +1019,7 @@ mod tests {
         let dir = tmp_dir("rotate");
         let cfg = config();
         let all = batches(6);
-        let opts = WalOptions { fsync_every: 1, snapshot_every: 2 };
+        let opts = WalOptions { fsync_every: 1, snapshot_every: 2, ..WalOptions::default() };
         let mut wal = Wal::open(&dir, SCALE, cfg.seed, opts, 0, 0).unwrap();
         let mut rotations = 0;
         for (i, ops) in all.iter().enumerate() {
@@ -683,6 +1078,193 @@ mod tests {
         assert_eq!(rec.report, RecoveryReport::default());
         let (bulk, _) = snb_store::bulk_store_and_stream(&cfg);
         assert_eq!(store_fingerprint(&rec.store), store_fingerprint(&bulk));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn seg_opts(partitions: usize) -> WalOptions {
+        WalOptions { partitions, ..WalOptions::default() }
+    }
+
+    #[test]
+    fn segmented_roundtrip_matches_single_segment_control() {
+        let cfg = config();
+        let all = batches(6);
+        let mut fingerprints = Vec::new();
+        for parts in [1usize, 2, 4] {
+            let dir = tmp_dir(&format!("seg{parts}"));
+            let mut wal =
+                SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[]).unwrap();
+            assert_eq!(wal.segment_count(), parts);
+            for (i, ops) in all.iter().enumerate() {
+                wal.append(i as u64 + 1, ops).unwrap();
+            }
+            drop(wal); // simulated crash
+            if parts > 1 {
+                let named: Vec<bool> =
+                    (0..parts).map(|p| dir.join(segment_file(p, parts)).exists()).collect();
+                assert!(named.iter().all(|e| *e), "every segment file exists: {named:?}");
+                assert!(!dir.join(WAL_FILE).exists(), "no stray single-segment file");
+            }
+            let rec = recover(&dir, &cfg, SCALE, seg_opts(parts)).unwrap();
+            assert_eq!(rec.report.last_seq, all.len() as u64);
+            assert_eq!(rec.report.wal_entries, all.len() as u64);
+            assert_eq!(rec.report.truncated_bytes, 0);
+            fingerprints.push(store_fingerprint(&rec.store));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "partition count changed recovered state: {fingerprints:?}"
+        );
+    }
+
+    #[test]
+    fn routing_spreads_batches_across_segments() {
+        let cfg = config();
+        let dir = tmp_dir("spread");
+        let parts = 2;
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[]).unwrap();
+        for (i, ops) in batches(8).iter().enumerate() {
+            wal.append(i as u64 + 1, ops).unwrap();
+        }
+        drop(wal);
+        let header = {
+            let mut h = Vec::new();
+            write_header(&mut h, WAL_MAGIC, SCALE, cfg.seed);
+            h.len() as u64
+        };
+        let grew: Vec<bool> = (0..parts)
+            .map(|p| std::fs::metadata(dir.join(segment_file(p, parts))).unwrap().len() > header)
+            .collect();
+        assert!(grew.iter().all(|g| *g), "a segment never received a batch: {grew:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_segment_cuts_the_orphaned_suffix_in_other_segments() {
+        let cfg = config();
+        let dir = tmp_dir("seggap");
+        let parts = 2;
+        let all = batches(8);
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[]).unwrap();
+        // Track which segment got each seq so we can tear a record that
+        // is *not* globally last.
+        let mut seq_seg = Vec::new();
+        let mut offsets: Vec<Vec<u64>> = (0..parts)
+            .map(|p| vec![std::fs::metadata(dir.join(segment_file(p, parts))).unwrap().len()])
+            .collect();
+        for (i, ops) in all.iter().enumerate() {
+            let p = snb_store::partition_of_raw(crate::events::route_key(ops), parts);
+            wal.append(i as u64 + 1, ops).unwrap();
+            seq_seg.push(p);
+            for (q, offs) in offsets.iter_mut().enumerate() {
+                offs.push(std::fs::metadata(dir.join(segment_file(q, parts))).unwrap().len());
+            }
+        }
+        drop(wal);
+        // Find a seq whose segment differs from the last batch's segment
+        // (so tearing it orphans later seqs in the other segment).
+        let last_seg = *seq_seg.last().unwrap();
+        let victim = seq_seg.iter().rposition(|p| *p != last_seg).unwrap();
+        let victim_seg = seq_seg[victim];
+        // Truncate the victim segment to just before the victim record.
+        let path = dir.join(segment_file(victim_seg, parts));
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(offsets[victim_seg][victim] + 3) // leave a torn stub
+            .unwrap();
+
+        let rec = recover(&dir, &cfg, SCALE, seg_opts(parts)).unwrap();
+        assert_eq!(rec.report.last_seq, victim as u64, "replay stops before the torn seq");
+        assert!(rec.report.truncated_bytes > 0);
+        assert!(
+            rec.report.wal_entries < all.len() as u64,
+            "orphaned post-gap entries must not replay"
+        );
+
+        // The cut is durable and gap-free: a second recovery is clean
+        // and byte-identical.
+        let rec2 = recover(&dir, &cfg, SCALE, seg_opts(parts)).unwrap();
+        assert_eq!(rec2.report.truncated_bytes, 0);
+        assert_eq!(rec2.report.last_seq, rec.report.last_seq);
+        assert_eq!(store_fingerprint(&rec2.store), store_fingerprint(&rec.store));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partition_count_mismatch_is_refused() {
+        let cfg = config();
+        let dir = tmp_dir("layout");
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(2), 0, &[]).unwrap();
+        wal.append(1, &batches(1)[0]).unwrap();
+        drop(wal);
+        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(1), 0, &[]).is_err());
+        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(4), 0, &[]).is_err());
+        assert!(recover(&dir, &cfg, SCALE, seg_opts(1)).is_err());
+        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(2), 0, &[]).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segmented_snapshot_compacts_in_sequence_order() {
+        let cfg = config();
+        let dir = tmp_dir("segrotate");
+        let parts = 2;
+        let all = batches(6);
+        let opts = WalOptions { snapshot_every: 2, ..seg_opts(parts) };
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[]).unwrap();
+        let mut rotations = 0;
+        for (i, ops) in all.iter().enumerate() {
+            wal.append(i as u64 + 1, ops).unwrap();
+            if wal.maybe_snapshot().unwrap() {
+                rotations += 1;
+            }
+        }
+        drop(wal);
+        assert!(rotations >= 1, "snapshot_every=2 never rotated");
+        assert!(dir.join(SNAP_FILE).exists());
+
+        let rec = recover(&dir, &cfg, SCALE, opts).unwrap();
+        assert_eq!(rec.report.last_seq, all.len() as u64);
+        assert_eq!(rec.report.snapshot_entries + rec.report.wal_entries, all.len() as u64);
+
+        // Same appends, no snapshots, single segment: identical state.
+        let dir2 = tmp_dir("segrotate_control");
+        let mut wal2 = SegmentedWal::open(&dir2, SCALE, cfg.seed, seg_opts(1), 0, &[]).unwrap();
+        for (i, ops) in all.iter().enumerate() {
+            wal2.append(i as u64 + 1, ops).unwrap();
+        }
+        drop(wal2);
+        let rec2 = recover(&dir2, &cfg, SCALE, seg_opts(1)).unwrap();
+        assert_eq!(store_fingerprint(&rec.store), store_fingerprint(&rec2.store));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn group_commit_defers_and_shares_fsyncs() {
+        let cfg = config();
+        let dir = tmp_dir("group");
+        let opts = WalOptions { group_commit: true, partitions: 2, ..WalOptions::default() };
+        let all = batches(6);
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[]).unwrap();
+        for (i, ops) in all.iter().enumerate() {
+            wal.append(i as u64 + 1, ops).unwrap();
+        }
+        assert_eq!(wal.syncs(), 0, "group commit must not fsync inside append");
+        assert_eq!(wal.unsynced(), all.len() as u64);
+        wal.sync_all().unwrap();
+        assert!(
+            wal.syncs() as usize <= 2,
+            "one shared flush costs at most one fsync per dirty segment, got {}",
+            wal.syncs()
+        );
+        assert_eq!(wal.unsynced(), 0);
+        drop(wal);
+        let rec = recover(&dir, &cfg, SCALE, opts).unwrap();
+        assert_eq!(rec.report.last_seq, all.len() as u64);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,7 +9,8 @@
 //! resubmission dedupes), and every failure is a typed error — no
 //! hangs, no poisoned-lock panic cascades.
 
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 use snb_bi::BiParams;
@@ -202,6 +203,134 @@ fn mid_apply_panic_poisons_store_until_recovery() {
     assert!(ok.rows > 0);
     probe_read(&server).expect("recovered store answers reads");
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_partition_wal_recovers_to_oracle_after_torn_append() {
+    let _g = fault_lock();
+    snb_fault::disarm_all();
+    let dir = tmp_dir("multi_part");
+    let batches = batches(8);
+    let opts = WalOptions { partitions: 2, ..WalOptions::default() };
+    let sc = ServerConfig { partitions: 2, ..server_config() };
+    let start2 = |dir: &std::path::Path| -> Server {
+        let recovered = recover(dir, &config(), SCALE, opts).expect("segmented recovery succeeds");
+        let (store, durability, _) = recovered.into_durability();
+        Server::start_durable(store, sc.clone(), durability)
+    };
+
+    let server = start2(&dir);
+    for seq in 1..=6u64 {
+        let ok = submit(&server, seq, &batches[seq as usize - 1]).expect("pre-fault ack");
+        assert_eq!(ok.fingerprint, seq);
+    }
+    // Seq 7 tears mid-record in whichever segment owns it: not durable,
+    // not applied, not acknowledged.
+    snb_fault::arm_from_spec("wal.append.short_write=short:8@h1", 7).unwrap();
+    let (kind, _) = submit(&server, 7, &batches[6]).expect_err("torn append must fail");
+    assert_eq!(kind, ErrorKind::Internal);
+    snb_fault::disarm_all();
+    server.shutdown();
+
+    // The log really spans two segments.
+    assert!(dir.join("wal-0.log").exists(), "segment 0 exists");
+    assert!(dir.join("wal-1.log").exists(), "segment 1 exists");
+
+    // Recovery over the segmented log equals a direct-apply oracle of
+    // exactly the acknowledged prefix: 0 lost acks, 0 duplicates.
+    let rec = recover(&dir, &config(), SCALE, opts).unwrap();
+    assert_eq!(rec.report.last_seq, 6, "exactly the acked prefix replays");
+    assert!(rec.report.truncated_bytes > 0, "the torn record was cut");
+
+    let cfg = config();
+    let world = snb_datagen::dictionaries::StaticWorld::build(cfg.seed);
+    let (mut oracle, _) = snb_store::bulk_store_and_stream(&cfg);
+    for ops in &batches[..6] {
+        match ops {
+            WriteOps::Updates(events) => {
+                for ev in events {
+                    oracle.apply_event(ev, &world).unwrap();
+                }
+            }
+            WriteOps::Deletes(dels) => {
+                oracle.apply_deletes(dels).unwrap();
+            }
+        }
+    }
+    if !oracle.date_index_fresh() {
+        oracle.rebuild_date_index();
+    }
+    let (r, o) = (rec.store.stats(), oracle.stats());
+    assert_eq!((r.nodes, r.edges), (o.nodes, o.edges), "recovered store equals the oracle");
+
+    // The lost batch resubmits as a first apply; the stream continues.
+    let server = start2(&dir);
+    let ok = submit(&server, 7, &batches[6]).expect("resubmission applies");
+    assert!(ok.rows > 0, "seq 7 was never durable: first apply, not a dedupe");
+    let ok = submit(&server, 8, &batches[7]).expect("stream continues");
+    assert_eq!(ok.fingerprint, 8);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn group_commit_concurrent_acks_are_durable() {
+    let _g = fault_lock();
+    snb_fault::disarm_all();
+    let dir = tmp_dir("group_commit");
+    let all = batches(8);
+    let n = all.len() as u64;
+    let opts =
+        WalOptions { group_commit: true, fsync_every: 4, partitions: 2, ..WalOptions::default() };
+    let recovered = recover(&dir, &config(), SCALE, opts).expect("fresh recovery");
+    let (store, durability, _) = recovered.into_durability();
+    let server =
+        Server::start_durable(store, ServerConfig { partitions: 2, ..server_config() }, durability);
+
+    // Four submitters own interleaved sequence numbers and retry on the
+    // gap rejection until their predecessor lands — every ack they see
+    // must be covered by a flush.
+    let acked = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let client = server.client();
+            let all = &all;
+            let acked = Arc::clone(&acked);
+            s.spawn(move || {
+                for (i, ops) in all.iter().enumerate() {
+                    if i % 4 != t {
+                        continue;
+                    }
+                    let seq = i as u64 + 1;
+                    loop {
+                        let resp = client
+                            .call(ServiceParams::Write(WriteBatch { seq, ops: ops.clone() }), 0);
+                        match resp.body {
+                            Ok(_) => {
+                                acked.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(e) if e.detail.contains("sequence gap") => {
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("unexpected write error: {e:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(acked.load(Ordering::Relaxed), n, "every batch acknowledged");
+    let syncs = server.wal_syncs();
+    assert!(syncs > 0, "acks require at least one covering flush");
+    let report = server.shutdown();
+    assert_eq!(report.batches_applied, n);
+
+    // Every acknowledged batch survives recovery exactly once.
+    let rec = recover(&dir, &config(), SCALE, opts).unwrap();
+    assert_eq!(rec.report.last_seq, n);
+    assert_eq!(rec.report.snapshot_entries + rec.report.wal_entries, n);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -13,7 +13,10 @@
 //! * [`build`] — bulk load from the generator's in-memory output (with
 //!   optional bulk/stream split);
 //! * [`load`] — bulk load from a CsvBasic dataset directory;
-//! * [`insert`] — the IU 1–8 write operations and update-stream replay.
+//! * [`insert`] — the IU 1–8 write operations and update-stream replay;
+//! * [`partition`] — horizontal hash shards behind the
+//!   [`PartitionedStore`] facade (ownership lists + per-shard date
+//!   indexes), preserving the monolithic read API and determinism.
 
 pub mod adj;
 pub mod build;
@@ -21,6 +24,7 @@ pub mod columns;
 pub mod delete;
 pub mod insert;
 pub mod load;
+pub mod partition;
 mod store;
 
 pub use adj::Adj;
@@ -28,4 +32,5 @@ pub use build::{build_store, bulk_store_and_stream, store_for_config, StoreStats
 pub use columns::{Ix, NONE};
 pub use delete::{DeleteOp, DeleteStats};
 pub use insert::{CommentInsert, ForumInsert, PersonInsert, PostInsert};
+pub use partition::{partition_of, partition_of_raw, PartitionLayout, PartitionedStore};
 pub use store::Store;

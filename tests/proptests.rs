@@ -174,6 +174,35 @@ proptest! {
         prop_assert_eq!(stale_profile.index_hits, 0);
         prop_assert_eq!(stale_profile.index_fallbacks, 3);
     }
+
+    /// Partition × thread matrix determinism: for any
+    /// (partition_count, thread_count) ∈ {1, 2, 4}² and any BI query,
+    /// the partition-aligned parallel engine returns byte-identical
+    /// results (rows and fingerprint) to the single-threaded naive
+    /// reference oracle — sharded morsel plans must be invisible.
+    #[test]
+    fn partitioned_execution_matches_naive_oracle(
+        p_idx in 0usize..3,
+        t_idx in 0usize..3,
+        q_idx in 0usize..25
+    ) {
+        use ldbc_snb::engine::QueryContext;
+        use ldbc_snb::params::ParamGen;
+        const SWEEP: [usize; 3] = [1, 2, 4];
+        let store = window_test_store(false);
+        let query = (q_idx + 1) as u8;
+        let gen = ParamGen::new(store, 7);
+        let ctx = QueryContext::new(SWEEP[t_idx]).with_partitions(SWEEP[p_idx]);
+        for b in gen.bi_params(query, 2) {
+            let got = ldbc_snb::bi::run_with(store, &ctx, &b);
+            let want = ldbc_snb::bi::run_naive(store, &b);
+            prop_assert_eq!(got.rows, want.rows, "BI {} rows under {:?}", query, (SWEEP[p_idx], SWEEP[t_idx]));
+            prop_assert_eq!(
+                got.fingerprint, want.fingerprint,
+                "BI {} fingerprint under {:?}", query, (SWEEP[p_idx], SWEEP[t_idx])
+            );
+        }
+    }
 }
 
 /// Shared stores for the window proptest: built once per process (the
