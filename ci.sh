@@ -83,6 +83,27 @@ grep -q '"partitions": 2' "$SERVICE_JSON" || {
 grep -q '"partitions_resolved": 2' "$SERVICE_JSON" || {
   echo "BENCH_service.json meta is missing partitions_resolved" >&2; exit 1; }
 
+echo "==> interference smoke (lock-free read path under concurrent writes)"
+# E15: a write-free baseline window, then the same read load while the
+# writer publishes store versions. The baseline must publish nothing
+# (asserted in-process), a version must be published in the write
+# window (ditto), and no snapshot reader may ever hit the retry safety
+# valve — reader_blocked > 0 means the read path regressed to blocking.
+INTERF_JSON="$(mktemp /tmp/interf_smoke.XXXXXX.json)"
+SNB_SERVICE_OUT="$INTERF_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 \
+  --interference --clients 2 --duration 1500ms > /dev/null
+for key in interference baseline with_writes read_p99_ratio \
+           versions_published peak_live_snapshots store_version; do
+  grep -q "\"$key\":" "$INTERF_JSON" || {
+    echo "interference JSON is missing key '$key'" >&2
+    rm -f "$INTERF_JSON"; exit 1; }
+done
+grep -q '"reader_blocked": 0' "$INTERF_JSON" || {
+  echo "a snapshot reader hit the blocked safety valve during interference" >&2
+  rm -f "$INTERF_JSON"; exit 1; }
+rm -f "$INTERF_JSON"
+
 echo "==> snb-server smoke (overload shed, deadline miss, graceful shutdown)"
 # Ephemeral port, one worker, an undersized queue: the overload burst
 # must shed (not buffer without bound) and the microsecond-deadline
@@ -124,6 +145,11 @@ SERVER_PID=""
 [ -s "$ACCESS_LOG" ] || { echo "access log was not flushed on shutdown" >&2; exit 1; }
 grep -q '"outcome": "ok"' "$ACCESS_LOG" || {
   echo "access log has no served requests" >&2; exit 1; }
+# Every record must carry the snapshot-read provenance fields.
+grep -q '"store_version":' "$ACCESS_LOG" || {
+  echo "access log records are missing store_version" >&2; exit 1; }
+grep -q '"snapshot_age_us":' "$ACCESS_LOG" || {
+  echo "access log records are missing snapshot_age_us" >&2; exit 1; }
 
 echo "==> chaos recovery smoke (WAL + SIGKILL + dedupe + oracle equality)"
 # Gate on the WAL checksum/truncation unit tests before paying for the

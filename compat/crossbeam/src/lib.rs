@@ -18,6 +18,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// Every sender has hung up and the buffer is drained.
+        Disconnected,
+    }
+
     /// The sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
 
@@ -42,6 +51,14 @@ pub mod channel {
         /// Blocks for the next message.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.guard().recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a buffered message without blocking, if any.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.guard().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
 
         /// Iterates messages until every sender is dropped.

@@ -16,7 +16,7 @@
 //!              [--tcp | --connect HOST:PORT]
 //!              [--updates] [--exercise-edges] [--retries N]
 //!              [--wal-bench] [--chaos [--server-bin PATH]]
-//!              [--out PATH]
+//!              [--interference] [--out PATH]
 //! ```
 //!
 //! Default transport is in-process (deterministic); `--tcp` drives the
@@ -42,6 +42,13 @@
 //! (the server dedupes by sequence number), and finally proves the
 //! recovered store answers all 25 BI queries identically to an oracle
 //! that applied exactly the acknowledged batches once each.
+//!
+//! `--interference` runs experiment E15 instead of the plain load
+//! window: two identical closed-loop read windows against the same
+//! server, first write-free (the baseline), then with a writer
+//! publishing store versions, and emits both latency curves plus the
+//! version-publish counters so the read-p99 cost of concurrent writes
+//! is measured, not assumed (see `interference.rs`).
 
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +66,7 @@ use snb_server::{
 use snb_store::DeleteOp;
 
 mod chaos;
+mod interference;
 mod wal_bench;
 
 #[derive(Clone)]
@@ -79,6 +87,7 @@ struct Args {
     retries: u32,
     wal_bench: bool,
     chaos: bool,
+    interference: bool,
     server_bin: Option<String>,
     server: ServerConfig,
     out: String,
@@ -112,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         retries: 0,
         wal_bench: false,
         chaos: false,
+        interference: false,
         server_bin: None,
         server: ServerConfig { threads_per_worker: 1, ..ServerConfig::default() },
         out: std::env::var("SNB_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into()),
@@ -156,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--wal-bench" => args.wal_bench = true,
             "--chaos" => args.chaos = true,
+            "--interference" => args.interference = true,
             "--server-bin" => args.server_bin = Some(need("--server-bin", argv.next())?),
             "--workers" => {
                 args.server.workers =
@@ -190,6 +201,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.connect.is_some() && (args.updates || args.tcp) {
         return Err("--connect is exclusive with --tcp/--updates (no server handle)".into());
+    }
+    if args.interference && (args.tcp || args.connect.is_some() || args.updates || args.open) {
+        return Err("--interference drives its own in-process windows (no --tcp/--connect/--updates/--open)".into());
     }
     // `--partitions` defaults to `$SNB_PARTITIONS` like the bench and
     // server binaries.
@@ -348,6 +362,10 @@ fn main() {
         chaos::run(&args);
         return;
     }
+    if args.interference {
+        interference::run(&args);
+        return;
+    }
 
     // Build the dataset once: the store feeds the server, the stream
     // feeds the optional update replay, and the bindings + oracle are
@@ -414,23 +432,29 @@ fn main() {
         let stop = Arc::clone(&stop_writer);
         let pace = args.duration.div_f64((stream.len().max(1)) as f64);
         Some(std::thread::spawn(move || {
+            // Batched replay: one published store version per chunk
+            // keeps the copy-on-write cost amortized while readers stay
+            // on their pinned snapshots throughout.
+            const CHUNK: usize = 48;
             let mut pending_likes: Vec<DeleteOp> = Vec::new();
-            for (i, event) in stream.iter().enumerate() {
+            'replay: for (c, chunk) in stream.chunks(CHUNK).enumerate() {
                 if stop.load(Ordering::Acquire) != 0 {
-                    break;
+                    break 'replay;
                 }
-                if let snb_datagen::stream::UpdateEvent::AddLikePost(like) = &event.event {
-                    if i % 2 == 0 {
-                        pending_likes.push(DeleteOp::Like(like.person.0, like.message.0));
+                for (i, event) in chunk.iter().enumerate() {
+                    if let snb_datagen::stream::UpdateEvent::AddLikePost(like) = &event.event {
+                        if (c * CHUNK + i).is_multiple_of(2) {
+                            pending_likes.push(DeleteOp::Like(like.person.0, like.message.0));
+                        }
                     }
                 }
-                writer.apply_update(event, &world).expect("update apply");
+                writer.apply_update_batch(chunk, &world).expect("update apply");
                 if pending_likes.len() >= 32 {
                     writer.apply_deletes(&pending_likes).expect("delete apply");
                     pending_likes.clear();
                 }
                 if pace > Duration::ZERO {
-                    std::thread::sleep(pace.min(Duration::from_millis(2)));
+                    std::thread::sleep((pace * CHUNK as u32).min(Duration::from_millis(20)));
                 }
             }
             if !pending_likes.is_empty() {
@@ -632,7 +656,8 @@ fn main() {
              \"rejected_shutdown\": {}, \"bad_requests\": {}, \"internal_errors\": {}, \
              \"updates_applied\": {}, \"deletes_applied\": {}, \"log_records\": {}, \
              \"batches_applied\": {}, \"batches_deduped\": {}, \"poisoned_rejects\": {}, \
-             \"conn_stalled\": {}}}",
+             \"conn_stalled\": {}, \"store_version\": {}, \"versions_published\": {}, \
+             \"peak_live_snapshots\": {}, \"reader_retries\": {}, \"reader_blocked\": {}}}",
             r.served,
             r.shed,
             r.deadline_missed,
@@ -646,6 +671,11 @@ fn main() {
             r.batches_deduped,
             r.poisoned_rejects,
             r.conn_stalled,
+            r.versions_published,
+            r.versions_published,
+            r.peak_live_snapshots,
+            r.reader_retries,
+            r.reader_blocked,
         ));
     }
     if args.wal_bench {

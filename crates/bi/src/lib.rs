@@ -167,6 +167,18 @@ pub fn run(store: &Store, params: &BiParams) -> QuerySummary {
     run_with(store, QueryContext::global(), params)
 }
 
+/// Runs a BI query against the store snapshot bound to `ctx` — the
+/// entry point for snapshot-published readers (the service tier and
+/// concurrent replay): the context, not the caller, names the store,
+/// so a bound request can never read anything but its pinned version.
+///
+/// Panics if the context has no bound snapshot; binding is the whole
+/// point of this entry.
+pub fn run_bound(ctx: &QueryContext, params: &BiParams) -> QuerySummary {
+    let snapshot = ctx.snapshot().expect("run_bound requires a snapshot-bound context").clone();
+    run_with(&snapshot, ctx, params)
+}
+
 /// Runs a BI query through the optimized engine on an explicit
 /// execution context — the entry point used by the driver, which
 /// constructs one context per benchmark stream.

@@ -2,30 +2,38 @@
 //!
 //! The spec's optional serializability check: updates may execute
 //! atomically while reads run concurrently, and an auditor verifies
-//! serializability. This module provides the concurrency harness:
+//! serializability. This module provides the concurrency harness,
+//! built on the store's snapshot-publication scheme
+//! ([`snb_store::StoreHandle`]) — there is no lock anywhere on the
+//! read path:
 //!
-//! * the store sits behind a [`parking_lot::RwLock`] — updates take the
-//!   write lock (each IU is one atomic critical section), reads take
-//!   the read lock and therefore always observe a transaction-
-//!   consistent snapshot;
-//! * a writer thread drains the update stream through a
-//!   [`crossbeam::channel`] while `n` reader threads execute complex
-//!   reads;
-//! * serializability evidence: periodic invariant checks under the
-//!   read lock must never observe a half-applied update, and the final
-//!   state must equal a serial replay of the same stream.
+//! * the writer drains the update stream in small batches, each batch
+//!   building the next immutable store version on a private
+//!   copy-on-write clone and publishing it atomically (one publish per
+//!   batch bounds the copy-on-write cost without weakening atomicity:
+//!   a version either contains a whole batch or none of it);
+//! * `n` reader threads pin the latest published version per read and
+//!   execute complex reads against it — they never block on the writer
+//!   and never observe a half-applied update *by construction*;
+//! * serializability evidence: periodic invariant checks on freshly
+//!   pinned snapshots must always pass, and the final published state
+//!   must equal a serial replay of the same stream.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
-use parking_lot::RwLock;
 
 use snb_core::SnbResult;
 use snb_datagen::dictionaries::StaticWorld;
 use snb_datagen::stream::TimedEvent;
 use snb_interactive::IcParams;
-use snb_store::Store;
+use snb_store::{PartitionedStore, Store, StoreHandle};
+
+/// Events per published version on the writer side: big enough to
+/// amortize the copy-on-write clone of the touched columns, small
+/// enough that readers see fresh data within microseconds.
+const WRITE_BATCH: usize = 32;
 
 /// Outcome of a concurrent run.
 #[derive(Debug)]
@@ -36,14 +44,21 @@ pub struct ConcurrentReport {
     pub reads_executed: usize,
     /// Consistency checks performed while the writer was active.
     pub consistency_checks: usize,
+    /// Store versions the writer published (≈ `updates_applied /
+    /// WRITE_BATCH`).
+    pub versions_published: u64,
+    /// Reader retry loops that hit the snapshot cell's safety valve —
+    /// zero in any healthy run (readers are lock-free).
+    pub readers_blocked: u64,
     /// Wall time of the whole run.
     pub wall: Duration,
 }
 
 /// Runs `reader_threads` complex-read loops concurrently with a writer
-/// that applies every event in `events`. Each reader cycles through
-/// `bindings`; a checker thread repeatedly validates store invariants
-/// under the read lock (the serializability probe). Returns once the
+/// that applies every event in `events` through snapshot publication.
+/// Each reader cycles through `bindings` on a freshly pinned snapshot
+/// per read; a checker thread repeatedly validates store invariants on
+/// pinned snapshots (the serializability probe). Returns once the
 /// stream is drained and all readers have stopped.
 pub fn run_concurrent(
     store: Store,
@@ -52,7 +67,7 @@ pub fn run_concurrent(
     bindings: &[IcParams],
     reader_threads: usize,
 ) -> SnbResult<(Store, ConcurrentReport)> {
-    let lock = RwLock::new(store);
+    let handle = StoreHandle::new(PartitionedStore::new(store, 1));
     let done = AtomicBool::new(false);
     let reads = AtomicUsize::new(0);
     let checks = AtomicUsize::new(0);
@@ -63,7 +78,7 @@ pub fn run_concurrent(
     std::thread::scope(|scope| {
         // Readers: cycle bindings until the writer finishes.
         for r in 0..reader_threads.max(1) {
-            let lock = &lock;
+            let handle = &handle;
             let done = &done;
             let reads = &reads;
             scope.spawn(move || {
@@ -76,34 +91,35 @@ pub fn run_concurrent(
                     if bindings.is_empty() {
                         break;
                     }
-                    let guard = lock.read();
-                    let _ = snb_interactive::run_complex_with(
-                        &guard,
-                        &ctx,
-                        &bindings[i % bindings.len()],
-                    );
-                    drop(guard);
+                    // Pin the latest published version — lock-free —
+                    // and run the whole read against it.
+                    let bound = ctx.clone().with_snapshot(handle.snapshot());
+                    let _ =
+                        snb_interactive::run_complex_bound(&bound, &bindings[i % bindings.len()]);
                     reads.fetch_add(1, Ordering::Relaxed);
                     i += reader_threads;
                 }
             });
         }
-        // Consistency checker: snapshot-level serializability probe.
+        // Consistency checker: snapshot-level serializability probe. A
+        // pinned version must *always* validate — the writer publishes
+        // only whole batches.
         {
-            let lock = &lock;
+            let handle = &handle;
             let done = &done;
             let checks = &checks;
             scope.spawn(move || {
                 while !done.load(Ordering::Acquire) {
-                    let guard = lock.read();
-                    guard.validate_invariants().expect("reader observed a half-applied update");
-                    drop(guard);
+                    handle
+                        .snapshot()
+                        .validate_invariants()
+                        .expect("reader observed a half-applied update");
                     checks.fetch_add(1, Ordering::Relaxed);
                     std::thread::yield_now();
                 }
             });
         }
-        // Feeder → writer: one atomic write-lock section per event.
+        // Feeder → writer: one published store version per event batch.
         let feeder = scope.spawn(move || {
             for e in events {
                 if tx.send(e).is_err() {
@@ -114,17 +130,31 @@ pub fn run_concurrent(
         });
         let writer = scope.spawn(|| {
             let mut applied = 0usize;
-            for e in rx.iter() {
-                let mut guard = lock.write();
-                guard.apply_event(e, world)?;
-                // Repair the date index before releasing the write
-                // lock so concurrent readers never see a stale index
-                // (and never fall back to the O(n) scan path).
-                if !guard.date_index_fresh() {
-                    guard.rebuild_date_index();
+            let mut batch: Vec<&TimedEvent> = Vec::with_capacity(WRITE_BATCH);
+            // Block for the first event of each batch, then greedily
+            // drain up to a full batch without blocking again.
+            while let Ok(first) = rx.recv() {
+                batch.push(first);
+                while batch.len() < WRITE_BATCH {
+                    match rx.try_recv() {
+                        Ok(e) => batch.push(e),
+                        Err(_) => break,
+                    }
                 }
-                drop(guard);
-                applied += 1;
+                handle.publish_with(|next| {
+                    for e in &batch {
+                        next.apply_event(e, world)?;
+                    }
+                    // Repair the date index before the version is
+                    // published so no reader ever sees a stale index
+                    // (and never falls back to the O(n) scan path).
+                    if !next.date_index_fresh() {
+                        next.rebuild_date_index();
+                    }
+                    Ok(())
+                })?;
+                applied += batch.len();
+                batch.clear();
             }
             Ok::<usize, snb_core::SnbError>(applied)
         });
@@ -135,13 +165,19 @@ pub fn run_concurrent(
     });
 
     let applied = writer_result?;
+    let stats = handle.stats();
     let report = ConcurrentReport {
         updates_applied: applied,
         reads_executed: reads.load(Ordering::Relaxed),
         consistency_checks: checks.load(Ordering::Relaxed),
+        versions_published: stats.version,
+        readers_blocked: stats.reader_blocked,
         wall: started.elapsed(),
     };
-    Ok((lock.into_inner(), report))
+    // The final published version is the run's result; an owned store
+    // comes out of a (cheap, copy-on-write) clone of it.
+    let final_store = handle.snapshot().store().clone();
+    Ok((final_store.into_store(), report))
 }
 
 #[cfg(test)]
@@ -165,6 +201,8 @@ mod tests {
         assert_eq!(report.updates_applied, events.len());
         assert!(report.reads_executed > 0, "readers never ran");
         assert!(report.consistency_checks > 0, "checker never ran");
+        assert!(report.versions_published > 0, "writer never published");
+        assert_eq!(report.readers_blocked, 0, "lock-free readers must not block");
 
         // Serial replay oracle.
         let (mut serial, events2) = bulk_store_and_stream(&c);

@@ -75,6 +75,10 @@ pub struct QueryContext {
     profiling: bool,
     pool: Option<Arc<Pool>>,
     metrics: Arc<QueryMetrics>,
+    /// The published store version this context is bound to, if any —
+    /// set per request by the service tier so the whole query runs
+    /// against one immutable snapshot (see `snb_store::snapshot`).
+    snapshot: Option<snb_store::StoreSnapshot>,
 }
 
 impl std::fmt::Debug for QueryContext {
@@ -100,6 +104,7 @@ impl QueryContext {
             profiling: false,
             pool,
             metrics: Arc::new(QueryMetrics::new(threads)),
+            snapshot: None,
         }
     }
 
@@ -112,6 +117,7 @@ impl QueryContext {
             profiling: false,
             pool: None,
             metrics: Arc::new(QueryMetrics::new(1)),
+            snapshot: None,
         }
     }
 
@@ -167,6 +173,26 @@ impl QueryContext {
     /// Whether profiling (timed instrumentation) is enabled.
     pub fn profiling(&self) -> bool {
         self.profiling
+    }
+
+    /// Binds this context to one published store version: queries run
+    /// through the bound context (`snb_bi::run_bound` and friends) read
+    /// that immutable snapshot, never a live store reference. Binding
+    /// is per clone — the pool and metrics stay shared.
+    pub fn with_snapshot(mut self, snapshot: snb_store::StoreSnapshot) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// The bound store snapshot, if any.
+    pub fn snapshot(&self) -> Option<&snb_store::StoreSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// The bound snapshot's published version counter, if bound —
+    /// stamped into access-log records by the service tier.
+    pub fn store_version(&self) -> Option<u64> {
+        self.snapshot.as_ref().map(|s| s.version())
     }
 
     /// The operator-metrics counter set shared by every clone of this

@@ -95,6 +95,14 @@ pub fn run_complex(store: &Store, params: &IcParams) -> usize {
     run_complex_with(store, QueryContext::global(), params)
 }
 
+/// Runs a complex read against the store snapshot bound to `ctx` (see
+/// `snb_bi::run_bound`). Panics if the context has no bound snapshot.
+pub fn run_complex_bound(ctx: &QueryContext, params: &IcParams) -> usize {
+    let snapshot =
+        ctx.snapshot().expect("run_complex_bound requires a snapshot-bound context").clone();
+    run_complex_with(&snapshot, ctx, params)
+}
+
 /// Runs a complex read on an explicit execution context. The scan-heavy
 /// queries (IC 2, 3, 6, 9) parallelize over it; the point lookups stay
 /// sequential regardless of the context's thread count.

@@ -38,6 +38,14 @@ pub struct AccessRecord {
     pub rows: u64,
     /// Result fingerprint (0 for IC reads and non-executions).
     pub fingerprint: u64,
+    /// The published store version the request read (for executed reads,
+    /// the snapshot pinned at admission; otherwise the version current
+    /// when the record was cut).
+    pub store_version: u64,
+    /// Age of the pinned snapshot when execution started, microseconds
+    /// (0 when not executed) — how far behind the publish frontier this
+    /// read was allowed to run.
+    pub snapshot_age_us: u64,
     /// Operator counters for this request, when profiling was on.
     pub profile: Option<QueryProfile>,
 }
@@ -49,7 +57,7 @@ impl AccessRecord {
         let mut s = format!(
             "{{\"seq\": {}, \"workload\": \"{}\", \"query\": {}, \"binding_hash\": {}, \
              \"queue_us\": {}, \"exec_us\": {}, \"outcome\": \"{}\", \"rows\": {}, \
-             \"fingerprint\": {}",
+             \"fingerprint\": {}, \"store_version\": {}, \"snapshot_age_us\": {}",
             self.seq,
             self.workload,
             self.query,
@@ -59,6 +67,8 @@ impl AccessRecord {
             self.outcome,
             self.rows,
             self.fingerprint,
+            self.store_version,
+            self.snapshot_age_us,
         );
         if let Some(p) = &self.profile {
             s.push_str(&format!(
@@ -149,6 +159,8 @@ mod tests {
             outcome,
             rows: 20,
             fingerprint: 99,
+            store_version: 7,
+            snapshot_age_us: 42,
             profile: None,
         }
     }
@@ -169,6 +181,8 @@ mod tests {
         let jsonl = log.render_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
         assert!(jsonl.lines().next().unwrap().contains("\"outcome\": \"overloaded\""));
+        assert!(jsonl.lines().next().unwrap().contains("\"store_version\": 7"));
+        assert!(jsonl.lines().next().unwrap().contains("\"snapshot_age_us\": 42"));
     }
 
     #[test]

@@ -10,18 +10,29 @@
 //! 3. a worker pops the job, **checks the deadline at dequeue** (a
 //!    request whose deadline passed while queued is answered
 //!    `DeadlineExceeded` without touching the store — shedding work
-//!    the client has already given up on), takes the store read lock,
-//!    executes through its own [`QueryContext`], and writes the
-//!    response through the job's responder;
-//! 4. every path appends exactly one access-log record.
+//!    the client has already given up on), binds its [`QueryContext`]
+//!    to the **store snapshot pinned at admission**, executes, and
+//!    writes the response through the job's responder;
+//! 4. every path appends exactly one access-log record (carrying the
+//!    `store_version` read and the snapshot's age at execution).
 //!
 //! Graceful shutdown ([`Server::shutdown`]): stop accepting (transport
 //! rejections + acceptor exit), close the queue, let workers drain the
 //! already-admitted jobs, join every thread, and hand back the final
-//! [`ServiceReport`] with the access log intact. Writes (update-stream
-//! replay) go through [`StoreWriter`], which takes the store's write
-//! lock per event and repairs the date index before releasing it, so
-//! concurrent readers never observe a stale index.
+//! [`ServiceReport`] with the access log intact.
+//!
+//! **Concurrency model** — there is no lock anywhere on the read path.
+//! The store lives behind a [`StoreHandle`]: writes (update-stream
+//! replay through [`StoreWriter`], durable batches through the WAL
+//! path) build the next immutable store version on a private
+//! copy-on-write clone and publish it with an atomic swap
+//! ([`StoreHandle::publish_with`]); reads pin the current version at
+//! admission and run the whole query against it, unaffected by — and
+//! never blocking — concurrent publishes. A failed or panicking apply
+//! discards the private clone, so mid-batch state is unpublishable;
+//! the server still degrades to `store_poisoned` in that case because
+//! the WAL holds a batch the published store does not (restart +
+//! recovery re-converges them).
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -29,13 +40,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
-
 use snb_core::{SnbError, SnbResult};
 use snb_datagen::dictionaries::StaticWorld;
 use snb_datagen::stream::TimedEvent;
 use snb_engine::QueryContext;
-use snb_store::{DeleteOp, DeleteStats, PartitionedStore, Store};
+use snb_store::{
+    DeleteOp, DeleteStats, PartitionedStore, SnapshotStats, Store, StoreHandle, StoreSnapshot,
+};
 
 use crate::log::{AccessLog, AccessRecord};
 use crate::proto::{
@@ -131,6 +142,18 @@ pub struct ServiceReport {
     /// Total access-log records (one per request that reached the
     /// server).
     pub log_records: u64,
+    /// Store versions published over the server's lifetime (0 = the
+    /// bulk-loaded base version was never superseded).
+    pub versions_published: u64,
+    /// High-water mark of store versions simultaneously alive
+    /// (publication ring + reader-pinned snapshots).
+    pub peak_live_snapshots: u64,
+    /// Snapshot-reader pin attempts that raced a publish and retried.
+    pub reader_retries: u64,
+    /// Snapshot-reader retry loops that hit the safety valve and
+    /// yielded — must be zero under any sane publish rate (asserted by
+    /// the interference CI stage).
+    pub reader_blocked: u64,
 }
 
 #[derive(Default)]
@@ -174,12 +197,15 @@ impl Responder {
     }
 }
 
-/// One admitted unit of work.
+/// One admitted unit of work, carrying the store version pinned at
+/// admission: whatever the writer publishes while this job is queued,
+/// the job reads the version that was current when it was admitted.
 struct Job {
     request: Request,
     seq: u64,
     admitted: Instant,
     deadline: Option<Instant>,
+    snapshot: StoreSnapshot,
     responder: Responder,
 }
 
@@ -204,7 +230,7 @@ struct DurableState {
 }
 
 struct ServerInner {
-    store: Arc<RwLock<PartitionedStore>>,
+    store: Arc<StoreHandle>,
     queue: AdmissionQueue<Job>,
     log: AccessLog,
     accepting: AtomicBool,
@@ -220,9 +246,12 @@ struct ServerInner {
     /// Parking lot for ack-waiters ([`ServerInner::wait_for_flush`]).
     flush_mutex: Mutex<()>,
     flush_cv: Condvar,
-    /// Set when a write panicked mid-apply: the store may hold a
-    /// half-applied batch, so every request is refused with
-    /// `store_poisoned` until restart-and-recovery.
+    /// Set when a write failed or panicked mid-apply. The *published*
+    /// store is still consistent (the failed version was discarded
+    /// unpublished), but the WAL and the store have diverged — an
+    /// appended batch was never applied — so every request is refused
+    /// with `store_poisoned` until restart-and-recovery re-converges
+    /// them.
     degraded: AtomicBool,
 }
 
@@ -249,6 +278,8 @@ impl ServerInner {
             outcome: kind.name(),
             rows: 0,
             fingerprint: 0,
+            store_version: self.store.version(),
+            snapshot_age_us: 0,
             profile: None,
         });
         let detail = match kind {
@@ -289,7 +320,10 @@ impl ServerInner {
         } else {
             self.config.default_deadline.map(|d| admitted + d)
         };
-        let job = Job { request, seq, admitted, deadline, responder };
+        // Pin the store version here, at admission: the job reads this
+        // version no matter how many publishes land while it queues.
+        let snapshot = self.store.snapshot();
+        let job = Job { request, seq, admitted, deadline, snapshot, responder };
         match self.queue.try_push(job) {
             Ok(()) => {}
             Err(PushError::Full(job)) => {
@@ -315,6 +349,8 @@ impl ServerInner {
             outcome: ErrorKind::BadRequest.name(),
             rows: 0,
             fingerprint: 0,
+            store_version: self.store.version(),
+            snapshot_age_us: 0,
             profile: None,
         });
         responder.send(Response {
@@ -350,6 +386,8 @@ impl ServerInner {
             outcome,
             rows,
             fingerprint,
+            store_version: self.store.version(),
+            snapshot_age_us: 0,
             profile: None,
         });
         let body = match result {
@@ -363,9 +401,9 @@ impl ServerInner {
     }
 
     /// The durable write path: dedupe check → WAL append (flushed) →
-    /// apply under the store write lock → bump the applied sequence →
-    /// maybe rotate the snapshot. Returns the log outcome label with
-    /// the ack body.
+    /// build + publish the next store version → bump the applied
+    /// sequence → maybe rotate the snapshot. Returns the log outcome
+    /// label with the ack body.
     ///
     /// The ack body encodes the contract: `fingerprint` is the highest
     /// applied sequence number after this call, and `rows` is the
@@ -422,35 +460,39 @@ impl ServerInner {
             self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
             return Err(err(ErrorKind::Internal, format!("WAL append failed: {e}")));
         }
+        // Build the next store version on a private copy-on-write clone
+        // and publish it atomically; an error or panic discards the
+        // clone, so readers can never observe the batch half-applied.
         let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut guard = self.store.write();
-            let r = match &batch.ops {
-                WriteOps::Updates(events) => {
-                    let mut n = 0u64;
-                    let mut result = Ok(());
-                    for ev in events {
+            self.store.publish_with(|next| {
+                let r = match &batch.ops {
+                    WriteOps::Updates(events) => {
+                        let mut n = 0u64;
+                        let mut result = Ok(());
+                        for ev in events {
+                            if let Some(fault) = snb_fault::check("writer.apply.panic") {
+                                fault.trip("writer.apply.panic");
+                            }
+                            if let Err(e) = next.apply_event(ev, &state.world) {
+                                result = Err(e);
+                                break;
+                            }
+                            n += 1;
+                        }
+                        result.map(|()| (n, 0u64))
+                    }
+                    WriteOps::Deletes(dels) => {
                         if let Some(fault) = snb_fault::check("writer.apply.panic") {
                             fault.trip("writer.apply.panic");
                         }
-                        if let Err(e) = guard.apply_event(ev, &state.world) {
-                            result = Err(e);
-                            break;
-                        }
-                        n += 1;
+                        next.apply_deletes(dels).map(|_| (0u64, dels.len() as u64))
                     }
-                    result.map(|()| (n, 0u64))
+                };
+                if !next.date_index_fresh() {
+                    next.rebuild_date_index();
                 }
-                WriteOps::Deletes(dels) => {
-                    if let Some(fault) = snb_fault::check("writer.apply.panic") {
-                        fault.trip("writer.apply.panic");
-                    }
-                    guard.apply_deletes(dels).map(|_| (0u64, dels.len() as u64))
-                }
-            };
-            if !guard.date_index_fresh() {
-                guard.rebuild_date_index();
-            }
-            r
+                r
+            })
         }));
         match applied {
             Ok(Ok((updates, deletes))) => {
@@ -497,8 +539,11 @@ impl ServerInner {
             }
             Ok(Err(apply_err)) => {
                 // A semantic failure part-way through a batch (e.g. an
-                // unknown id on the third event) leaves earlier events
-                // applied but unacknowledged — same hazard as a panic.
+                // unknown id on the third event) discarded the private
+                // clone — readers keep a consistent store — but the WAL
+                // now holds a batch the published store does not, so the
+                // server must refuse further work until restart-recovery
+                // re-converges them.
                 self.degraded.store(true, Ordering::Release);
                 self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
                 Err(err(
@@ -607,6 +652,8 @@ impl ServerInner {
                 outcome: ErrorKind::StorePoisoned.name(),
                 rows: 0,
                 fingerprint: 0,
+                store_version: job.snapshot.version(),
+                snapshot_age_us: 0,
                 profile: None,
             });
             job.responder.send(Response {
@@ -633,6 +680,8 @@ impl ServerInner {
                     outcome: ErrorKind::DeadlineExceeded.name(),
                     rows: 0,
                     fingerprint: 0,
+                    store_version: job.snapshot.version(),
+                    snapshot_age_us: 0,
                     profile: None,
                 });
                 job.responder.send(Response {
@@ -650,16 +699,19 @@ impl ServerInner {
         }
         ctx.metrics().reset();
         let started = Instant::now();
+        let store_version = job.snapshot.version();
+        let snapshot_age_us = job.snapshot.age().as_micros() as u64;
+        // Bind the worker's context to the version pinned at admission:
+        // the query reads that immutable snapshot — no lock, no
+        // interference from concurrent publishes.
+        let bound = ctx.clone().with_snapshot(job.snapshot.clone());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let guard = self.store.read();
             match &job.request.params {
                 ServiceParams::Bi(p) => {
-                    let s = snb_bi::run_with(&guard, ctx, p);
+                    let s = snb_bi::run_bound(&bound, p);
                     (s.rows as u64, s.fingerprint)
                 }
-                ServiceParams::Ic(p) => {
-                    (snb_interactive::run_complex_with(&guard, ctx, p) as u64, 0)
-                }
+                ServiceParams::Ic(p) => (snb_interactive::run_complex_bound(&bound, p) as u64, 0),
                 // Write batches are applied at admission, never queued;
                 // the unwind turns a slipped-through one into `internal`.
                 ServiceParams::Write(_) => unreachable!("write batches bypass the read queue"),
@@ -680,6 +732,8 @@ impl ServerInner {
                     outcome: "ok",
                     rows,
                     fingerprint,
+                    store_version,
+                    snapshot_age_us,
                     profile: profile.clone(),
                 });
                 job.responder.send(Response {
@@ -699,6 +753,8 @@ impl ServerInner {
                     outcome: ErrorKind::Internal.name(),
                     rows: 0,
                     fingerprint: 0,
+                    store_version,
+                    snapshot_age_us,
                     profile: None,
                 });
                 job.responder.send(Response {
@@ -723,6 +779,7 @@ impl ServerInner {
     }
 
     fn report(&self) -> ServiceReport {
+        let snap = self.store.stats();
         ServiceReport {
             served: self.counters.served.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
@@ -737,6 +794,10 @@ impl ServerInner {
             poisoned_rejects: self.counters.poisoned_rejects.load(Ordering::Relaxed),
             conn_stalled: self.counters.conn_stalled.load(Ordering::Relaxed),
             log_records: self.log.len() as u64,
+            versions_published: snap.version,
+            peak_live_snapshots: snap.peak_live_versions,
+            reader_retries: snap.reader_retries,
+            reader_blocked: snap.reader_blocked,
         }
     }
 }
@@ -755,12 +816,17 @@ impl Server {
     /// into `config.partitions` partitions.
     pub fn start(store: Store, config: ServerConfig) -> Server {
         let parts = config.partitions.max(1);
-        Server::start_shared(Arc::new(RwLock::new(PartitionedStore::new(store, parts))), config)
+        Server::start_shared(
+            Arc::new(StoreHandle::new(PartitionedStore::new(store, parts))),
+            config,
+        )
     }
 
-    /// Starts the service over a shared (already partitioned) store —
-    /// the handle other threads use for concurrent update replay.
-    pub fn start_shared(store: Arc<RwLock<PartitionedStore>>, config: ServerConfig) -> Server {
+    /// Starts the service over a shared snapshot-publication handle —
+    /// what other threads use for concurrent update replay and pinned
+    /// oracle reads. The handle exposes only publish/snapshot, so no
+    /// caller can bypass the writer or observe mid-batch state.
+    pub fn start_shared(store: Arc<StoreHandle>, config: ServerConfig) -> Server {
         Server::start_shared_durable(store, config, None)
     }
 
@@ -771,7 +837,7 @@ impl Server {
     pub fn start_durable(store: Store, config: ServerConfig, durability: Durability) -> Server {
         let parts = config.partitions.max(1);
         Server::start_shared_durable(
-            Arc::new(RwLock::new(PartitionedStore::new(store, parts))),
+            Arc::new(StoreHandle::new(PartitionedStore::new(store, parts))),
             config,
             Some(durability),
         )
@@ -780,7 +846,7 @@ impl Server {
     /// The general constructor behind [`Server::start`],
     /// [`Server::start_shared`] and [`Server::start_durable`].
     pub fn start_shared_durable(
-        store: Arc<RwLock<PartitionedStore>>,
+        store: Arc<StoreHandle>,
         config: ServerConfig,
         durability: Option<Durability>,
     ) -> Server {
@@ -867,9 +933,21 @@ impl Server {
         StoreWriter { inner: Arc::clone(&self.inner) }
     }
 
-    /// The shared store (read access for oracles and stats).
-    pub fn store(&self) -> Arc<RwLock<PartitionedStore>> {
+    /// The snapshot-publication handle (for oracles pinning versions
+    /// and for external writers sharing this server's store).
+    pub fn store_handle(&self) -> Arc<StoreHandle> {
         Arc::clone(&self.inner.store)
+    }
+
+    /// The latest published store version — a lock-free pin.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.inner.store.snapshot()
+    }
+
+    /// Snapshot-publication counters (versions published, live/peak
+    /// snapshot gauges, reader retry/blocked counts).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.inner.store.stats()
     }
 
     /// `fsync(2)` calls issued by the WAL so far (0 without one) — the
@@ -1026,6 +1104,8 @@ fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
                             outcome: "conn_stalled",
                             rows: 0,
                             fingerprint: 0,
+                            store_version: inner.store.version(),
+                            snapshot_age_us: 0,
                             profile: None,
                         });
                         return;
@@ -1079,17 +1159,18 @@ impl InProcClient {
     }
 }
 
-/// Write handle: applies update-stream events and delete operations
-/// with the same lock discipline as the driver's concurrent harness —
-/// one atomic write section per event, date index repaired before the
-/// lock drops so readers never take the linear-scan fallback.
+/// Write handle: applies update-stream events and delete operations by
+/// building and publishing new store versions — each successful call
+/// publishes exactly one version with the date index repaired, so
+/// readers admitted afterwards see it fresh and readers admitted
+/// before keep their pinned version untouched.
 pub struct StoreWriter {
     inner: Arc<ServerInner>,
 }
 
 impl StoreWriter {
-    /// Refuses writes once the store is poisoned, so a half-applied
-    /// batch cannot be compounded.
+    /// Refuses writes once the store is poisoned, so an unacknowledged
+    /// failed batch cannot be compounded.
     fn check_degraded(&self, doing: &str) -> SnbResult<()> {
         if self.inner.degraded.load(Ordering::Acquire) {
             return Err(SnbError::Poisoned { detail: format!("refusing {doing}") });
@@ -1097,78 +1178,80 @@ impl StoreWriter {
         Ok(())
     }
 
-    /// Applies one insert event (IU 1–8). A panic inside the apply
-    /// (including an injected `writer.apply.panic` fault) is caught
-    /// here: the store's `RwLock` never poisons (parking_lot), but the
-    /// half-mutated state behind it is the real hazard, so the writer
-    /// marks the store degraded and returns a typed
-    /// [`SnbError::Poisoned`] instead of letting every later reader
-    /// panic on inconsistent columns. Recovery is restart-and-replay
-    /// from the WAL.
+    /// Runs one publish attempt with the writer's panic-to-poisoned
+    /// conversion: a panic inside the apply (including an injected
+    /// `writer.apply.panic` fault) discards the private clone — the
+    /// *published* store stays consistent — but the write is lost
+    /// unacknowledged, so the server degrades and refuses requests
+    /// until restart-and-replay from the WAL re-converges state.
+    fn publish_guarded<R>(
+        &self,
+        doing: &'static str,
+        f: impl FnOnce(&mut PartitionedStore) -> SnbResult<R>,
+    ) -> SnbResult<R> {
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner.store.publish_with(|next| {
+                if let Some(fault) = snb_fault::check("writer.apply.panic") {
+                    fault.trip("writer.apply.panic");
+                }
+                let r = f(next)?;
+                if !next.date_index_fresh() {
+                    next.rebuild_date_index();
+                }
+                Ok(r)
+            })
+        }));
+        match applied {
+            Ok(r) => r,
+            Err(_) => {
+                self.inner.degraded.store(true, Ordering::Release);
+                self.inner.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
+                Err(SnbError::Poisoned {
+                    detail: format!("panic while applying {doing}; restart to recover"),
+                })
+            }
+        }
+    }
+
+    /// Applies one insert event (IU 1–8), publishing one store version.
     pub fn apply_update(&self, event: &TimedEvent, world: &StaticWorld) -> SnbResult<()> {
         self.check_degraded("an update on a poisoned store")?;
-        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut guard = self.inner.store.write();
-            if let Some(fault) = snb_fault::check("writer.apply.panic") {
-                fault.trip("writer.apply.panic");
-            }
-            let r = guard.apply_event(event, world);
-            if !guard.date_index_fresh() {
-                guard.rebuild_date_index();
-            }
-            r
-        }));
-        match applied {
-            Ok(Ok(())) => {
-                self.inner.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Ok(Err(e)) => Err(e),
-            Err(_) => {
-                self.inner.degraded.store(true, Ordering::Release);
-                self.inner.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
-                Err(SnbError::Poisoned {
-                    detail: "panic while applying an update event; restart to recover".into(),
-                })
-            }
-        }
+        self.publish_guarded("an update event", |next| next.apply_event(event, world))?;
+        self.inner.counters.updates_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    /// Applies a batch of delete operations (DEL 1–8), with the same
-    /// panic-to-poisoned conversion as [`StoreWriter::apply_update`].
+    /// Applies a slice of insert events as **one** published version —
+    /// the batched replay path: the copy-on-write cost of cloning the
+    /// touched columns is paid once per batch instead of once per
+    /// event. All-or-nothing: an error on any event publishes nothing.
+    pub fn apply_update_batch(&self, events: &[TimedEvent], world: &StaticWorld) -> SnbResult<u64> {
+        self.check_degraded("an update batch on a poisoned store")?;
+        let n = self.publish_guarded("an update batch", |next| {
+            let mut n = 0u64;
+            for ev in events {
+                next.apply_event(ev, world)?;
+                n += 1;
+            }
+            Ok(n)
+        })?;
+        self.inner.counters.updates_applied.fetch_add(n, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Applies a batch of delete operations (DEL 1–8), publishing one
+    /// store version.
     pub fn apply_deletes(&self, ops: &[DeleteOp]) -> SnbResult<DeleteStats> {
         self.check_degraded("a delete batch on a poisoned store")?;
-        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut guard = self.inner.store.write();
-            if let Some(fault) = snb_fault::check("writer.apply.panic") {
-                fault.trip("writer.apply.panic");
-            }
-            let r = guard.apply_deletes(ops);
-            if !guard.date_index_fresh() {
-                guard.rebuild_date_index();
-            }
-            r
-        }));
-        match applied {
-            Ok(Ok(stats)) => {
-                self.inner.counters.deletes_applied.fetch_add(ops.len() as u64, Ordering::Relaxed);
-                Ok(stats)
-            }
-            Ok(Err(e)) => Err(e),
-            Err(_) => {
-                self.inner.degraded.store(true, Ordering::Release);
-                self.inner.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
-                Err(SnbError::Poisoned {
-                    detail: "panic while applying a delete batch; restart to recover".into(),
-                })
-            }
-        }
+        let stats = self.publish_guarded("a delete batch", |next| next.apply_deletes(ops))?;
+        self.inner.counters.deletes_applied.fetch_add(ops.len() as u64, Ordering::Relaxed);
+        Ok(stats)
     }
 
-    /// Validates store invariants under the read lock (the
+    /// Validates store invariants on the latest published version (the
     /// serializability probe of the concurrent harness).
     pub fn validate_invariants(&self) -> SnbResult<()> {
-        self.inner.store.read().validate_invariants()
+        self.inner.store.snapshot().validate_invariants()
     }
 }
 

@@ -42,7 +42,6 @@ fn responses_match_quiesced_oracle_at_batch_boundaries() {
         ServerConfig { workers: 2, queue_capacity: 128, ..ServerConfig::default() },
     );
     let writer = server.writer();
-    let store_arc = server.store();
 
     // Chaos readers: hammer the probe queries through the service while
     // the writer mutates the store. Their results race with the writes,
@@ -87,10 +86,12 @@ fn responses_match_quiesced_oracle_at_batch_boundaries() {
         writer.validate_invariants().expect("invariants at batch boundary");
 
         // Writes quiesced (the writer is this thread): the service must
-        // now agree exactly with a direct run on the shared store.
+        // now agree exactly with a direct run on the latest published
+        // version — pinned lock-free, identical for every later read
+        // until the next publish.
         let expected: Vec<QuerySummary> = {
-            let guard = store_arc.read();
-            probes.iter().map(|p| snb_bi::run_with(&guard, &oracle_ctx, p)).collect()
+            let snap = server.snapshot();
+            probes.iter().map(|p| snb_bi::run_with(&snap, &oracle_ctx, p)).collect()
         };
         for (p, want) in probes.iter().zip(&expected) {
             let resp = client.call(ServiceParams::Bi(p.clone()), 0);

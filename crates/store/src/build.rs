@@ -61,11 +61,11 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
     }
     let nt = s.tags.len();
     let (pi, ip) = crate::adj::forward_reverse(np, nt, &interest_edges);
-    s.person_interest = pi;
-    s.interest_person = ip;
-    s.person_study = Adj::from_edges(np, &study_edges);
-    s.person_work = Adj::from_edges(np, &work_edges);
-    s.city_person = Adj::from_edges(s.places.len(), &city_edges);
+    *s.person_interest = pi;
+    *s.interest_person = ip;
+    *s.person_study = Adj::from_edges(np, &study_edges);
+    *s.person_work = Adj::from_edges(np, &work_edges);
+    *s.city_person = Adj::from_edges(s.places.len(), &city_edges);
 
     // knows (symmetric; store both directions).
     let mut knows_edges = Vec::new();
@@ -76,7 +76,7 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
         knows_edges.push((a, b, k.creation_date));
         knows_edges.push((b, a, k.creation_date));
     }
-    s.knows = Adj::from_edges(np, &knows_edges);
+    *s.knows = Adj::from_edges(np, &knows_edges);
 
     // --- forums ---
     let mut forum_tag_edges = Vec::new();
@@ -96,9 +96,9 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
     }
     let nf = s.forums.len();
     let (ft, tf) = crate::adj::forward_reverse(nf, nt, &forum_tag_edges);
-    s.forum_tag = ft;
-    s.tag_forum = tf;
-    s.person_moderates = Adj::from_edges(np, &moderates);
+    *s.forum_tag = ft;
+    *s.tag_forum = tf;
+    *s.person_moderates = Adj::from_edges(np, &moderates);
 
     // memberships
     let mut member_edges = Vec::new();
@@ -111,8 +111,8 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
     }
     let fm = Adj::from_edges(nf, &member_edges);
     let rev: Vec<(u32, u32, DateTime)> = member_edges.iter().map(|&(f, p, d)| (p, f, d)).collect();
-    s.forum_member = fm;
-    s.member_forum = Adj::from_edges(np, &rev);
+    *s.forum_member = fm;
+    *s.member_forum = Adj::from_edges(np, &rev);
 
     // --- messages ---
     // First pass: allocate indices for kept messages.
@@ -162,11 +162,11 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
         }
     }
     let (mt, tm) = crate::adj::forward_reverse(nm, nt, &tag_edges);
-    s.message_tag = mt;
-    s.tag_message = tm;
-    s.person_messages = Adj::from_edges(np, &creator_edges);
-    s.forum_posts = Adj::from_edges(nf, &forum_post_edges);
-    s.message_replies = Adj::from_edges(nm, &reply_edges);
+    *s.message_tag = mt;
+    *s.tag_message = tm;
+    *s.person_messages = Adj::from_edges(np, &creator_edges);
+    *s.forum_posts = Adj::from_edges(nf, &forum_post_edges);
+    *s.message_replies = Adj::from_edges(nm, &reply_edges);
 
     // --- likes ---
     let mut like_edges = Vec::new();
@@ -177,9 +177,9 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
         };
         like_edges.push((p, m, l.creation_date));
     }
-    s.person_likes = Adj::from_edges(np, &like_edges);
+    *s.person_likes = Adj::from_edges(np, &like_edges);
     let rev: Vec<(u32, u32, DateTime)> = like_edges.iter().map(|&(p, m, d)| (m, p, d)).collect();
-    s.message_likes = Adj::from_edges(nm, &rev);
+    *s.message_likes = Adj::from_edges(nm, &rev);
 
     s.rebuild_date_index();
     s
@@ -227,7 +227,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
             child_edges.push((parent, pid as Ix, ()));
         }
     }
-    s.place_children = Adj::from_edges(s.places.len(), &child_edges);
+    *s.place_children = Adj::from_edges(s.places.len(), &child_edges);
 
     // Tag classes.
     for (ci, &(name, parent)) in TAG_CLASSES.iter().enumerate() {
@@ -244,7 +244,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
             class_children.push((parent, ci as Ix, ()));
         }
     }
-    s.tagclass_children = Adj::from_edges(s.tag_classes.len(), &class_children);
+    *s.tagclass_children = Adj::from_edges(s.tag_classes.len(), &class_children);
 
     // Tags.
     let mut class_tag_edges = Vec::new();
@@ -257,7 +257,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
         s.tag_by_name.insert(name.to_string(), ix);
         class_tag_edges.push((class as Ix, ix, ()));
     }
-    s.tagclass_tags = Adj::from_edges(s.tag_classes.len(), &class_tag_edges);
+    *s.tagclass_tags = Adj::from_edges(s.tag_classes.len(), &class_tag_edges);
 
     // Organisations: universities first, then companies (the raw-id
     // convention shared with the serializer).

@@ -15,7 +15,7 @@ pub type Ix = u32;
 pub const NONE: Ix = u32::MAX;
 
 /// Person columns (spec Table 2.5).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct PersonCols {
     /// Raw ids.
     pub id: Vec<u64>,
@@ -54,7 +54,7 @@ impl PersonCols {
 }
 
 /// Forum columns (spec Table 2.2 + moderator).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ForumCols {
     /// Raw ids.
     pub id: Vec<u64>,
@@ -80,7 +80,7 @@ impl ForumCols {
 
 /// Message columns (Posts and Comments share the table; `kind`
 /// discriminates — spec Tables 2.3 / 2.7).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct MessageCols {
     /// Raw ids.
     pub id: Vec<u64>,
@@ -130,7 +130,7 @@ impl MessageCols {
 }
 
 /// Place columns.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct PlaceCols {
     /// Raw ids.
     pub id: Vec<u64>,
@@ -155,7 +155,7 @@ impl PlaceCols {
 }
 
 /// Tag columns.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct TagCols {
     /// Raw ids.
     pub id: Vec<u64>,
@@ -178,7 +178,7 @@ impl TagCols {
 }
 
 /// TagClass columns.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct TagClassCols {
     /// Raw ids.
     pub id: Vec<u64>,
@@ -201,7 +201,7 @@ impl TagClassCols {
 }
 
 /// Organisation columns.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct OrganisationCols {
     /// Raw ids.
     pub id: Vec<u64>,

@@ -239,9 +239,10 @@ impl Store {
         }
 
         // --- id maps ---
-        self.person_ix = self.persons.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
-        self.forum_ix = self.forums.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
-        self.message_ix =
+        *self.person_ix =
+            self.persons.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
+        *self.forum_ix = self.forums.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
+        *self.message_ix =
             self.messages.id.iter().enumerate().map(|(i, &id)| (id, i as Ix)).collect();
 
         let np = self.persons.len();
@@ -255,7 +256,7 @@ impl Store {
                 && person_map[b as usize] != NONE
                 && !v.knows.contains(&(a.min(b), a.max(b)))
         });
-        self.knows = Adj::from_edges(
+        *self.knows = Adj::from_edges(
             np,
             &knows_edges
                 .iter()
@@ -272,9 +273,9 @@ impl Store {
             .iter()
             .map(|&(p, m, d)| (person_map[p as usize], message_map[m as usize], d))
             .collect();
-        self.person_likes = Adj::from_edges(np, &mapped);
+        *self.person_likes = Adj::from_edges(np, &mapped);
         let rev: Vec<_> = mapped.iter().map(|&(p, m, d)| (m, p, d)).collect();
-        self.message_likes = Adj::from_edges(nm, &rev);
+        *self.message_likes = Adj::from_edges(nm, &rev);
 
         let member_edges = collect_edges(&self.forum_member, |f, p, _| {
             forum_map[f as usize] != NONE
@@ -285,25 +286,25 @@ impl Store {
             .iter()
             .map(|&(f, p, d)| (forum_map[f as usize], person_map[p as usize], d))
             .collect();
-        self.forum_member = Adj::from_edges(nf, &mapped);
+        *self.forum_member = Adj::from_edges(nf, &mapped);
         let rev: Vec<_> = mapped.iter().map(|&(f, p, d)| (p, f, d)).collect();
-        self.member_forum = Adj::from_edges(np, &rev);
+        *self.member_forum = Adj::from_edges(np, &rev);
 
         let interest_edges =
             collect_edges(&self.person_interest, |p, _, _| person_map[p as usize] != NONE);
         let mapped: Vec<_> =
             interest_edges.iter().map(|&(p, t, d)| (person_map[p as usize], t, d)).collect();
-        self.person_interest = Adj::from_edges(np, &mapped);
+        *self.person_interest = Adj::from_edges(np, &mapped);
         let rev: Vec<_> = mapped.iter().map(|&(p, t, d)| (t, p, d)).collect();
-        self.interest_person = Adj::from_edges(nt, &rev);
+        *self.interest_person = Adj::from_edges(nt, &rev);
 
         let study = collect_edges(&self.person_study, |p, _, _| person_map[p as usize] != NONE);
-        self.person_study = Adj::from_edges(
+        *self.person_study = Adj::from_edges(
             np,
             &study.iter().map(|&(p, o, y)| (person_map[p as usize], o, y)).collect::<Vec<_>>(),
         );
         let work = collect_edges(&self.person_work, |p, _, _| person_map[p as usize] != NONE);
-        self.person_work = Adj::from_edges(
+        *self.person_work = Adj::from_edges(
             np,
             &work.iter().map(|&(p, o, y)| (person_map[p as usize], o, y)).collect::<Vec<_>>(),
         );
@@ -311,16 +312,16 @@ impl Store {
         let tag_edges = collect_edges(&self.message_tag, |m, _, _| message_map[m as usize] != NONE);
         let mapped: Vec<_> =
             tag_edges.iter().map(|&(m, t, d)| (message_map[m as usize], t, d)).collect();
-        self.message_tag = Adj::from_edges(nm, &mapped);
+        *self.message_tag = Adj::from_edges(nm, &mapped);
         let rev: Vec<_> = mapped.iter().map(|&(m, t, d)| (t, m, d)).collect();
-        self.tag_message = Adj::from_edges(nt, &rev);
+        *self.tag_message = Adj::from_edges(nt, &rev);
 
         let forum_tag = collect_edges(&self.forum_tag, |f, _, _| forum_map[f as usize] != NONE);
         let mapped: Vec<_> =
             forum_tag.iter().map(|&(f, t, d)| (forum_map[f as usize], t, d)).collect();
-        self.forum_tag = Adj::from_edges(nf, &mapped);
+        *self.forum_tag = Adj::from_edges(nf, &mapped);
         let rev: Vec<_> = mapped.iter().map(|&(f, t, d)| (t, f, d)).collect();
-        self.tag_forum = Adj::from_edges(nt, &rev);
+        *self.tag_forum = Adj::from_edges(nt, &rev);
 
         // Derived adjacency from the rewritten columns.
         let mut creator_edges = Vec::with_capacity(nm);
@@ -336,21 +337,21 @@ impl Store {
                 replies.push((parent, m as Ix, ()));
             }
         }
-        self.person_messages = Adj::from_edges(np, &creator_edges);
-        self.forum_posts = Adj::from_edges(nf, &forum_posts);
-        self.message_replies = Adj::from_edges(nm, &replies);
+        *self.person_messages = Adj::from_edges(np, &creator_edges);
+        *self.forum_posts = Adj::from_edges(nf, &forum_posts);
+        *self.message_replies = Adj::from_edges(nm, &replies);
 
         let mut moderates = Vec::with_capacity(nf);
         for f in 0..nf {
             moderates.push((self.forums.moderator[f], f as Ix, ()));
         }
-        self.person_moderates = Adj::from_edges(np, &moderates);
+        *self.person_moderates = Adj::from_edges(np, &moderates);
 
         let mut city_person = Vec::with_capacity(np);
         for p in 0..np {
             city_person.push((self.persons.city[p], p as Ix, ()));
         }
-        self.city_person = Adj::from_edges(self.places.len(), &city_person);
+        *self.city_person = Adj::from_edges(self.places.len(), &city_person);
 
         self.rebuild_date_index();
     }

@@ -21,16 +21,20 @@
 pub mod adj;
 pub mod build;
 pub mod columns;
+pub mod cow;
 pub mod delete;
 pub mod insert;
 pub mod load;
 pub mod partition;
+pub mod snapshot;
 mod store;
 
 pub use adj::Adj;
 pub use build::{build_store, bulk_store_and_stream, store_for_config, StoreStats};
 pub use columns::{Ix, NONE};
+pub use cow::CowBox;
 pub use delete::{DeleteOp, DeleteStats};
 pub use insert::{CommentInsert, ForumInsert, PersonInsert, PostInsert};
 pub use partition::{partition_of, partition_of_raw, PartitionLayout, PartitionedStore};
+pub use snapshot::{SnapshotCell, SnapshotStats, StoreHandle, StoreSnapshot, StoreVersion};
 pub use store::Store;

@@ -98,7 +98,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
             place_children.push((parent, pid as Ix, ()));
         }
     }
-    s.place_children = Adj::from_edges(s.places.len(), &place_children);
+    *s.place_children = Adj::from_edges(s.places.len(), &place_children);
 
     // --- static: tag classes ---
     read_csv(&st, "tagclass_0_0.csv", |f| {
@@ -123,7 +123,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
             class_children.push((parent, ci as Ix, ()));
         }
     }
-    s.tagclass_children = Adj::from_edges(s.tag_classes.len(), &class_children);
+    *s.tagclass_children = Adj::from_edges(s.tag_classes.len(), &class_children);
 
     // --- static: tags ---
     read_csv(&st, "tag_0_0.csv", |f| {
@@ -148,7 +148,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
             class_tags.push((class, ti as Ix, ()));
         }
     }
-    s.tagclass_tags = Adj::from_edges(s.tag_classes.len(), &class_tags);
+    *s.tagclass_tags = Adj::from_edges(s.tag_classes.len(), &class_tags);
 
     // --- static: organisations ---
     read_csv(&st, "organisation_0_0.csv", |f| {
@@ -210,7 +210,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
     for (p, &city) in s.persons.city.iter().enumerate() {
         city_person.push((city, p as Ix, ()));
     }
-    s.city_person = Adj::from_edges(s.places.len(), &city_person);
+    *s.city_person = Adj::from_edges(s.places.len(), &city_person);
 
     let mut interest = Vec::new();
     read_csv(&dy, "person_hasInterest_tag_0_0.csv", |f| {
@@ -218,21 +218,21 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         Ok(())
     })?;
     let (pi, ip) = crate::adj::forward_reverse(np, s.tags.len(), &interest);
-    s.person_interest = pi;
-    s.interest_person = ip;
+    *s.person_interest = pi;
+    *s.interest_person = ip;
 
     let mut study = Vec::new();
     read_csv(&dy, "person_studyAt_organisation_0_0.csv", |f| {
         study.push((s.person_ix[&parse_u64(f[0])?], s.org_ix[&parse_u64(f[1])?], parse_i32(f[2])?));
         Ok(())
     })?;
-    s.person_study = Adj::from_edges(np, &study);
+    *s.person_study = Adj::from_edges(np, &study);
     let mut work = Vec::new();
     read_csv(&dy, "person_workAt_organisation_0_0.csv", |f| {
         work.push((s.person_ix[&parse_u64(f[0])?], s.org_ix[&parse_u64(f[1])?], parse_i32(f[2])?));
         Ok(())
     })?;
-    s.person_work = Adj::from_edges(np, &work);
+    *s.person_work = Adj::from_edges(np, &work);
 
     let mut knows = Vec::new();
     read_csv(&dy, "person_knows_person_0_0.csv", |f| {
@@ -243,7 +243,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         knows.push((b, a, d));
         Ok(())
     })?;
-    s.knows = Adj::from_edges(np, &knows);
+    *s.knows = Adj::from_edges(np, &knows);
 
     // --- dynamic: forums ---
     read_csv(&dy, "forum_0_0.csv", |f| {
@@ -266,7 +266,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
     for (f, &m) in s.forums.moderator.iter().enumerate() {
         moderates.push((m, f as Ix, ()));
     }
-    s.person_moderates = Adj::from_edges(np, &moderates);
+    *s.person_moderates = Adj::from_edges(np, &moderates);
 
     let mut members = Vec::new();
     read_csv(&dy, "forum_hasMember_person_0_0.csv", |f| {
@@ -277,9 +277,9 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         ));
         Ok(())
     })?;
-    s.forum_member = Adj::from_edges(nf, &members);
+    *s.forum_member = Adj::from_edges(nf, &members);
     let rev: Vec<_> = members.iter().map(|&(f, p, d)| (p, f, d)).collect();
-    s.member_forum = Adj::from_edges(np, &rev);
+    *s.member_forum = Adj::from_edges(np, &rev);
 
     let mut forum_tags = Vec::new();
     read_csv(&dy, "forum_hasTag_tag_0_0.csv", |f| {
@@ -287,8 +287,8 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         Ok(())
     })?;
     let (ft, tf) = crate::adj::forward_reverse(nf, s.tags.len(), &forum_tags);
-    s.forum_tag = ft;
-    s.tag_forum = tf;
+    *s.forum_tag = ft;
+    *s.tag_forum = tf;
 
     // --- dynamic: posts then comments (posts first so reply targets of
     // comment->post edges resolve) ---
@@ -363,7 +363,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         forum_posts.push((forum, post, ()));
         Ok(())
     })?;
-    s.forum_posts = Adj::from_edges(nf, &forum_posts);
+    *s.forum_posts = Adj::from_edges(nf, &forum_posts);
 
     let mut replies = Vec::new();
     for file in ["comment_replyOf_post_0_0.csv", "comment_replyOf_comment_0_0.csv"] {
@@ -375,7 +375,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
             Ok(())
         })?;
     }
-    s.message_replies = Adj::from_edges(nm, &replies);
+    *s.message_replies = Adj::from_edges(nm, &replies);
     // Resolve root posts by walking up (memoised by processing posts
     // first: a comment's parent may itself still be unresolved, so walk).
     for m in 0..nm as Ix {
@@ -401,14 +401,14 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         })?;
     }
     let (mt, tm) = crate::adj::forward_reverse(nm, s.tags.len(), &msg_tags);
-    s.message_tag = mt;
-    s.tag_message = tm;
+    *s.message_tag = mt;
+    *s.tag_message = tm;
 
     let mut creator_edges = Vec::new();
     for (m, &c) in s.messages.creator.iter().enumerate() {
         creator_edges.push((c, m as Ix, ()));
     }
-    s.person_messages = Adj::from_edges(np, &creator_edges);
+    *s.person_messages = Adj::from_edges(np, &creator_edges);
 
     let mut likes = Vec::new();
     for file in ["person_likes_post_0_0.csv", "person_likes_comment_0_0.csv"] {
@@ -421,9 +421,9 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
             Ok(())
         })?;
     }
-    s.person_likes = Adj::from_edges(np, &likes);
+    *s.person_likes = Adj::from_edges(np, &likes);
     let rev: Vec<_> = likes.iter().map(|&(p, m, d)| (m, p, d)).collect();
-    s.message_likes = Adj::from_edges(nm, &rev);
+    *s.message_likes = Adj::from_edges(nm, &rev);
 
     s.rebuild_date_index();
     Ok(s)

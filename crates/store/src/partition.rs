@@ -34,6 +34,7 @@ use snb_datagen::dictionaries::StaticWorld;
 use snb_datagen::stream::TimedEvent;
 
 use crate::columns::Ix;
+use crate::cow::CowBox;
 use crate::delete::{DeleteOp, DeleteStats};
 use crate::store::Store;
 
@@ -65,16 +66,20 @@ pub fn partition_of_raw(id: u64, parts: usize) -> usize {
 }
 
 /// The per-shard overlay: ownership lists plus per-shard date indexes.
+///
+/// Each shard's lists sit in their own [`CowBox`], so cloning a layout
+/// for the next store version shares every shard a write batch doesn't
+/// touch — copy-on-write is per *partition*, not per layout.
 #[derive(Clone, Debug, Default)]
 pub struct PartitionLayout {
     parts: usize,
     /// Dense person ids per owning shard, ascending.
-    person_shards: Vec<Vec<Ix>>,
+    person_shards: Vec<CowBox<Vec<Ix>>>,
     /// Dense message ids per owning shard, ascending.
-    message_shards: Vec<Vec<Ix>>,
+    message_shards: Vec<CowBox<Vec<Ix>>>,
     /// Per-shard message lists in ascending `(creation_date, ix)`
     /// order — the shard-local slice of the global date permutation.
-    date_shards: Vec<Vec<Ix>>,
+    date_shards: Vec<CowBox<Vec<Ix>>>,
     /// Messages covered by `date_shards`; behind `messages.len()` means
     /// the per-shard date lists are stale (mirrors the global index).
     date_indexed: usize,
@@ -85,9 +90,9 @@ impl PartitionLayout {
         let parts = parts.max(1);
         let mut layout = PartitionLayout {
             parts,
-            person_shards: vec![Vec::new(); parts],
-            message_shards: vec![Vec::new(); parts],
-            date_shards: vec![Vec::new(); parts],
+            person_shards: vec![CowBox::default(); parts],
+            message_shards: vec![CowBox::default(); parts],
+            date_shards: vec![CowBox::default(); parts],
             date_indexed: 0,
         };
         for p in 0..store.persons.len() as Ix {
@@ -142,6 +147,7 @@ impl PartitionLayout {
 /// mutation goes through [`apply_event`](PartitionedStore::apply_event)
 /// / [`apply_deletes`](PartitionedStore::apply_deletes) so the overlay
 /// can never silently go stale.
+#[derive(Clone)]
 pub struct PartitionedStore {
     store: Store,
     layout: PartitionLayout,
@@ -264,11 +270,11 @@ impl PartitionedStore {
     /// Extends the overlay for ids appended since the last sync.
     fn sync_appended(&mut self) {
         let parts = self.layout.parts;
-        let persons_known: usize = self.layout.person_shards.iter().map(Vec::len).sum();
+        let persons_known: usize = self.layout.person_shards.iter().map(|s| s.len()).sum();
         for p in persons_known as Ix..self.store.persons.len() as Ix {
             self.layout.person_shards[partition_of(p, parts)].push(p);
         }
-        let messages_known: usize = self.layout.message_shards.iter().map(Vec::len).sum();
+        let messages_known: usize = self.layout.message_shards.iter().map(|s| s.len()).sum();
         for m in messages_known as Ix..self.store.messages.len() as Ix {
             self.layout.message_shards[partition_of(m, parts)].push(m);
             // The shard date list extends iff the global index did: the
@@ -288,7 +294,7 @@ impl PartitionedStore {
     /// every dense id, agree with the ownership hash, and the per-shard
     /// date lists merge back to exactly the global permutation.
     pub fn validate_partition_invariants(&self) -> SnbResult<()> {
-        let check_cover = |shards: &[Vec<Ix>], n: usize, what: &str| -> SnbResult<()> {
+        let check_cover = |shards: &[CowBox<Vec<Ix>>], n: usize, what: &str| -> SnbResult<()> {
             let mut seen = vec![false; n];
             for (p, shard) in shards.iter().enumerate() {
                 for w in shard.windows(2) {
@@ -322,7 +328,7 @@ impl PartitionedStore {
             // MAX is exclusive in the window; cover any message created
             // exactly at DateTime(i64::MAX) via the full-permutation check.
             let global = &self.store.message_by_date;
-            if merged.len() == global.len() && merged != *global {
+            if merged.len() == global.len() && merged[..] != global[..] {
                 return Err(SnbError::Config("shard date merge != global permutation".into()));
             }
         }

@@ -12,99 +12,100 @@ use crate::columns::{
     ForumCols, Ix, MessageCols, OrganisationCols, PersonCols, PlaceCols, TagClassCols, TagCols,
     NONE,
 };
+use crate::cow::CowBox;
 
 /// The System Under Test: an in-memory columnar property graph holding
 /// the full SNB schema with forward and reverse CSR adjacency for every
 /// relation the workloads traverse.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Store {
     /// Person columns.
-    pub persons: PersonCols,
+    pub persons: CowBox<PersonCols>,
     /// Forum columns.
-    pub forums: ForumCols,
+    pub forums: CowBox<ForumCols>,
     /// Message columns (posts + comments).
-    pub messages: MessageCols,
+    pub messages: CowBox<MessageCols>,
     /// Place columns.
-    pub places: PlaceCols,
+    pub places: CowBox<PlaceCols>,
     /// Tag columns.
-    pub tags: TagCols,
+    pub tags: CowBox<TagCols>,
     /// TagClass columns.
-    pub tag_classes: TagClassCols,
+    pub tag_classes: CowBox<TagClassCols>,
     /// Organisation columns.
-    pub organisations: OrganisationCols,
+    pub organisations: CowBox<OrganisationCols>,
 
     /// Raw person id → dense index.
-    pub person_ix: FxHashMap<u64, Ix>,
+    pub person_ix: CowBox<FxHashMap<u64, Ix>>,
     /// Raw forum id → dense index.
-    pub forum_ix: FxHashMap<u64, Ix>,
+    pub forum_ix: CowBox<FxHashMap<u64, Ix>>,
     /// Raw message id → dense index.
-    pub message_ix: FxHashMap<u64, Ix>,
+    pub message_ix: CowBox<FxHashMap<u64, Ix>>,
     /// Raw place id → dense index.
-    pub place_ix: FxHashMap<u64, Ix>,
+    pub place_ix: CowBox<FxHashMap<u64, Ix>>,
     /// Raw tag id → dense index.
-    pub tag_ix: FxHashMap<u64, Ix>,
+    pub tag_ix: CowBox<FxHashMap<u64, Ix>>,
     /// Raw tag-class id → dense index.
-    pub tag_class_ix: FxHashMap<u64, Ix>,
+    pub tag_class_ix: CowBox<FxHashMap<u64, Ix>>,
     /// Raw organisation id → dense index.
-    pub org_ix: FxHashMap<u64, Ix>,
+    pub org_ix: CowBox<FxHashMap<u64, Ix>>,
 
     /// Symmetric `knows` adjacency with creation dates (each edge stored
     /// in both directions).
-    pub knows: Adj<DateTime>,
+    pub knows: CowBox<Adj<DateTime>>,
     /// Person → interest tags.
-    pub person_interest: Adj,
+    pub person_interest: CowBox<Adj>,
     /// Tag → interested persons.
-    pub interest_person: Adj,
+    pub interest_person: CowBox<Adj>,
     /// Person → university with class year.
-    pub person_study: Adj<i32>,
+    pub person_study: CowBox<Adj<i32>>,
     /// Person → companies with work-from year.
-    pub person_work: Adj<i32>,
+    pub person_work: CowBox<Adj<i32>>,
     /// Forum → members with join date.
-    pub forum_member: Adj<DateTime>,
+    pub forum_member: CowBox<Adj<DateTime>>,
     /// Person → forums joined with join date.
-    pub member_forum: Adj<DateTime>,
+    pub member_forum: CowBox<Adj<DateTime>>,
     /// Forum → topic tags.
-    pub forum_tag: Adj,
+    pub forum_tag: CowBox<Adj>,
     /// Tag → forums carrying it.
-    pub tag_forum: Adj,
+    pub tag_forum: CowBox<Adj>,
     /// Message → tags.
-    pub message_tag: Adj,
+    pub message_tag: CowBox<Adj>,
     /// Tag → messages carrying it.
-    pub tag_message: Adj,
+    pub tag_message: CowBox<Adj>,
     /// Person → created messages.
-    pub person_messages: Adj,
+    pub person_messages: CowBox<Adj>,
     /// Forum → contained posts.
-    pub forum_posts: Adj,
+    pub forum_posts: CowBox<Adj>,
     /// Message → direct reply comments.
-    pub message_replies: Adj,
+    pub message_replies: CowBox<Adj>,
     /// Person → liked messages with like date.
-    pub person_likes: Adj<DateTime>,
+    pub person_likes: CowBox<Adj<DateTime>>,
     /// Message → likers with like date.
-    pub message_likes: Adj<DateTime>,
+    pub message_likes: CowBox<Adj<DateTime>>,
     /// Place → child places (continent → countries, country → cities).
-    pub place_children: Adj,
+    pub place_children: CowBox<Adj>,
     /// City → resident persons.
-    pub city_person: Adj,
+    pub city_person: CowBox<Adj>,
     /// TagClass → direct subclasses.
-    pub tagclass_children: Adj,
+    pub tagclass_children: CowBox<Adj>,
     /// TagClass → tags of exactly that class.
-    pub tagclass_tags: Adj,
+    pub tagclass_tags: CowBox<Adj>,
     /// Person → moderated forums.
-    pub person_moderates: Adj,
+    pub person_moderates: CowBox<Adj>,
 
     /// Message indices permuted into ascending `(creation_date, ix)`
     /// order. Built by the bulk loader and rebuilt by [`Store::compact`]
     /// and after deletes; streamed inserts leave it stale (shorter than
     /// `messages`), in which case the windowed accessors return `None`
     /// and callers fall back to a full scan.
-    pub message_by_date: Vec<Ix>,
+    pub message_by_date: CowBox<Vec<Ix>>,
 
     /// Place name → index.
-    pub place_by_name: FxHashMap<String, Ix>,
+    pub place_by_name: CowBox<FxHashMap<String, Ix>>,
     /// Tag name → index.
-    pub tag_by_name: FxHashMap<String, Ix>,
+    pub tag_by_name: CowBox<FxHashMap<String, Ix>>,
     /// TagClass name → index.
-    pub tag_class_by_name: FxHashMap<String, Ix>,
+    pub tag_class_by_name: CowBox<FxHashMap<String, Ix>>,
 }
 
 impl Store {
@@ -206,7 +207,7 @@ impl Store {
         let dates = &self.messages.creation_date;
         let mut perm: Vec<Ix> = (0..self.messages.len() as Ix).collect();
         perm.sort_unstable_by_key(|&m| (dates[m as usize], m));
-        self.message_by_date = perm;
+        self.message_by_date.set(perm);
     }
 
     /// Whether the date permutation index covers every message (it goes
