@@ -207,4 +207,28 @@ grep -q '"outcome": "conn_stalled"' "$STALL_LOG" || {
   echo "access log has no conn_stalled outcome for the stalled connection" >&2
   exit 1; }
 
+echo "==> connection sweep smoke (reactor ladder + starvation gate)"
+# E16 on a small ladder: the reactor must hold every level's connections
+# concurrently open (conn_peak is asserted in-process), the per-level
+# JSON must carry the full latency/QPS/per-lane schema, and the BI-flood
+# phase must shed zero short reads — the sweep binary itself exits
+# nonzero if the starvation gate is violated. The read path must stay
+# lock-free throughout (reader_blocked == 0).
+SWEEP_JSON="$(mktemp /tmp/sweep_smoke.XXXXXX.json)"
+SNB_SERVICE_OUT="$SWEEP_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 \
+  --sweep --sweep-levels 1,8,64 --sweep-duration 500ms > /dev/null
+for key in sweep levels flood connections error_rate qps p50_us p90_us \
+           p99_us lanes short heavy write short_shed conn_peak; do
+  grep -q "\"$key\":" "$SWEEP_JSON" || {
+    echo "sweep JSON is missing key '$key'" >&2; rm -f "$SWEEP_JSON"; exit 1; }
+done
+grep -q '"short_shed": 0' "$SWEEP_JSON" || {
+  echo "short reads were shed during the BI-flood phase" >&2
+  rm -f "$SWEEP_JSON"; exit 1; }
+grep -q '"reader_blocked": 0' "$SWEEP_JSON" || {
+  echo "a snapshot reader hit the blocked safety valve during the sweep" >&2
+  rm -f "$SWEEP_JSON"; exit 1; }
+rm -f "$SWEEP_JSON"
+
 echo "CI OK"

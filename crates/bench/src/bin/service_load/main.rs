@@ -17,6 +17,7 @@
 //!              [--updates] [--exercise-edges] [--retries N]
 //!              [--wal-bench] [--chaos [--server-bin PATH]]
 //!              [--interference] [--out PATH]
+//!              [--sweep] [--sweep-levels 1,2,...,1024] [--sweep-duration 2s]
 //! ```
 //!
 //! Default transport is in-process (deterministic); `--tcp` drives the
@@ -49,6 +50,15 @@
 //! publishing store versions, and emits both latency curves plus the
 //! version-publish counters so the read-p99 cost of concurrent writes
 //! is measured, not assumed (see `interference.rs`).
+//!
+//! `--sweep` runs experiment E16 instead of the plain load window: a
+//! connection-count ladder (default 1 → 1024 concurrent TCP
+//! connections, one outstanding request each) against the
+//! reactor-backed server, with an 80/20 short-read/heavy-BI mix. Each
+//! level reports QPS, latency percentiles, error rate, and the
+//! per-lane served/shed breakdown; a final BI-flood phase pins the
+//! starvation guarantee (zero short-read sheds while the heavy lane is
+//! saturated). See `sweep.rs`.
 
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +77,7 @@ use snb_store::DeleteOp;
 
 mod chaos;
 mod interference;
+mod sweep;
 mod wal_bench;
 
 #[derive(Clone)]
@@ -88,6 +99,9 @@ struct Args {
     wal_bench: bool,
     chaos: bool,
     interference: bool,
+    sweep: bool,
+    sweep_levels: Vec<usize>,
+    sweep_duration: Duration,
     server_bin: Option<String>,
     server: ServerConfig,
     out: String,
@@ -122,6 +136,9 @@ fn parse_args() -> Result<Args, String> {
         wal_bench: false,
         chaos: false,
         interference: false,
+        sweep: false,
+        sweep_levels: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+        sweep_duration: Duration::from_secs(2),
         server_bin: None,
         server: ServerConfig { threads_per_worker: 1, ..ServerConfig::default() },
         out: std::env::var("SNB_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".into()),
@@ -167,6 +184,19 @@ fn parse_args() -> Result<Args, String> {
             "--wal-bench" => args.wal_bench = true,
             "--chaos" => args.chaos = true,
             "--interference" => args.interference = true,
+            "--sweep" => args.sweep = true,
+            "--sweep-levels" => {
+                args.sweep_levels = need("--sweep-levels", argv.next())?
+                    .split(',')
+                    .map(|l| l.trim().parse::<usize>().map_err(|e| format!("--sweep-levels: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.sweep_levels.is_empty() || args.sweep_levels.contains(&0) {
+                    return Err("--sweep-levels needs positive connection counts".into());
+                }
+            }
+            "--sweep-duration" => {
+                args.sweep_duration = parse_duration(&need("--sweep-duration", argv.next())?)?
+            }
             "--server-bin" => args.server_bin = Some(need("--server-bin", argv.next())?),
             "--workers" => {
                 args.server.workers =
@@ -204,6 +234,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.interference && (args.tcp || args.connect.is_some() || args.updates || args.open) {
         return Err("--interference drives its own in-process windows (no --tcp/--connect/--updates/--open)".into());
+    }
+    if args.sweep && (args.tcp || args.connect.is_some() || args.updates || args.open) {
+        return Err(
+            "--sweep drives its own TCP connection ladder (no --tcp/--connect/--updates/--open)"
+                .into(),
+        );
     }
     // `--partitions` defaults to `$SNB_PARTITIONS` like the bench and
     // server binaries.
@@ -274,6 +310,7 @@ struct ClientStats {
     ok: u64,
     overloaded: u64,
     deadline_exceeded: u64,
+    deadline_overrun: u64,
     shutting_down: u64,
     bad_request: u64,
     internal: u64,
@@ -289,6 +326,7 @@ impl ClientStats {
         self.ok += other.ok;
         self.overloaded += other.overloaded;
         self.deadline_exceeded += other.deadline_exceeded;
+        self.deadline_overrun += other.deadline_overrun;
         self.shutting_down += other.shutting_down;
         self.bad_request += other.bad_request;
         self.internal += other.internal;
@@ -315,6 +353,7 @@ impl ClientStats {
             Err(e) => match e.kind {
                 ErrorKind::Overloaded => self.overloaded += 1,
                 ErrorKind::DeadlineExceeded => self.deadline_exceeded += 1,
+                ErrorKind::DeadlineOverrun => self.deadline_overrun += 1,
                 ErrorKind::ShuttingDown => self.shutting_down += 1,
                 ErrorKind::BadRequest => self.bad_request += 1,
                 ErrorKind::Internal => self.internal += 1,
@@ -364,6 +403,10 @@ fn main() {
     }
     if args.interference {
         interference::run(&args);
+        return;
+    }
+    if args.sweep {
+        sweep::run(&args);
         return;
     }
 
@@ -635,12 +678,13 @@ fn main() {
     ));
     out.push_str(&format!(
         "  \"outcomes\": {{\"ok\": {}, \"shed\": {}, \"deadline_missed\": {}, \
-         \"shutting_down\": {}, \"bad_request\": {}, \"internal\": {}, \
+         \"deadline_overrun\": {}, \"shutting_down\": {}, \"bad_request\": {}, \"internal\": {}, \
          \"store_poisoned\": {}, \"protocol_errors\": {}, \"verify_failures\": {}, \
          \"burst_shed\": {}, \"burst_deadline_missed\": {}}}",
         total.ok,
         total.overloaded + burst_shed,
         total.deadline_exceeded + burst_deadline_missed,
+        total.deadline_overrun,
         total.shutting_down,
         total.bad_request,
         total.internal,
@@ -653,6 +697,8 @@ fn main() {
     if let Some(r) = &server_report {
         out.push_str(&format!(
             ",\n  \"server\": {{\"served\": {}, \"shed\": {}, \"deadline_missed\": {}, \
+             \"deadline_overrun\": {}, \"served_by_lane\": [{}, {}, {}], \
+             \"shed_by_lane\": [{}, {}, {}], \
              \"rejected_shutdown\": {}, \"bad_requests\": {}, \"internal_errors\": {}, \
              \"updates_applied\": {}, \"deletes_applied\": {}, \"log_records\": {}, \
              \"batches_applied\": {}, \"batches_deduped\": {}, \"poisoned_rejects\": {}, \
@@ -661,6 +707,13 @@ fn main() {
             r.served,
             r.shed,
             r.deadline_missed,
+            r.deadline_overrun,
+            r.served_by_lane[0],
+            r.served_by_lane[1],
+            r.served_by_lane[2],
+            r.shed_by_lane[0],
+            r.shed_by_lane[1],
+            r.shed_by_lane[2],
             r.rejected_shutdown,
             r.bad_requests,
             r.internal_errors,
@@ -726,6 +779,10 @@ fn exercise_edges(addr: &str, pool: &[(u8, BiParams)]) -> (u64, u64) {
     let overload = pipelined_burst(512, 0);
     let shed = count_kind(&overload, ErrorKind::Overloaded);
     let deadline = pipelined_burst(64, 1);
-    let missed = count_kind(&deadline, ErrorKind::DeadlineExceeded);
+    // A 1µs deadline either expires in the queue (`deadline_exceeded`)
+    // or — if the job is dequeued inside the window — is caught by the
+    // completion-time check (`deadline_overrun`). Both count as missed.
+    let missed = count_kind(&deadline, ErrorKind::DeadlineExceeded)
+        + count_kind(&deadline, ErrorKind::DeadlineOverrun);
     (shed, missed)
 }

@@ -2,11 +2,21 @@
 //! the length-prefixed binary protocol on localhost TCP.
 //!
 //! ```text
-//! snb-server [SF] [SEED] [--port N] [--workers N] [--queue-cap N]
-//!            [--deadline-ms N] [--profile] [--wal-dir PATH]
-//!            [--fsync-every N] [--snapshot-every N] [--conn-timeout-ms N]
-//!            [--partitions N] [--group-commit]
+//! snb-server [SF] [SEED] [--port N] [--workers N] [--write-workers N]
+//!            [--queue-cap N] [--short-cap N] [--heavy-cap N]
+//!            [--write-cap N] [--short-weight N] [--shed-oldest]
+//!            [--deadline-ms N] [--short-deadline-ms N] [--profile]
+//!            [--wal-dir PATH] [--fsync-every N] [--snapshot-every N]
+//!            [--conn-timeout-ms N] [--partitions N] [--group-commit]
 //! ```
+//!
+//! Admission is split into three priority lanes — IS/IC short reads,
+//! heavy BI reads, and writes. `--short-cap` / `--heavy-cap` /
+//! `--write-cap` bound each lane (0 = inherit `--queue-cap`),
+//! `--short-weight` sets how many short reads the scheduler prefers
+//! per heavy one, `--short-deadline-ms` gives short reads a tighter
+//! default deadline, and `--shed-oldest` makes the heavy lane evict
+//! its oldest queued request instead of rejecting the newcomer.
 //!
 //! Positional arguments mirror the bench binaries: scale-factor name
 //! (default `0.01`) and datagen seed. `--port 0` (the default) binds an
@@ -75,12 +85,32 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--port" => port = parse("--port", argv.next())? as u16,
             "--workers" => server.workers = parse("--workers", argv.next())?.max(1) as usize,
+            "--write-workers" => {
+                server.write_workers = parse("--write-workers", argv.next())?.max(1) as usize;
+            }
             "--queue-cap" => {
                 server.queue_capacity = parse("--queue-cap", argv.next())? as usize;
             }
+            "--short-cap" => {
+                server.lanes.short.capacity = parse("--short-cap", argv.next())? as usize;
+            }
+            "--heavy-cap" => {
+                server.lanes.heavy.capacity = parse("--heavy-cap", argv.next())? as usize;
+            }
+            "--write-cap" => {
+                server.lanes.write.capacity = parse("--write-cap", argv.next())? as usize;
+            }
+            "--short-weight" => {
+                server.lanes.short_weight = parse("--short-weight", argv.next())?;
+            }
+            "--shed-oldest" => server.lanes.heavy.shed = snb_server::ShedPolicy::DropOldest,
             "--deadline-ms" => {
                 server.default_deadline =
                     Some(Duration::from_millis(parse("--deadline-ms", argv.next())?));
+            }
+            "--short-deadline-ms" => {
+                server.lanes.short.deadline =
+                    Some(Duration::from_millis(parse("--short-deadline-ms", argv.next())?));
             }
             "--conn-timeout-ms" => {
                 let ms = parse("--conn-timeout-ms", argv.next())?;
@@ -197,6 +227,19 @@ fn main() {
             Err(e) => eprintln!("# access log flush to {path} failed: {e}"),
         }
     }
+    eprintln!(
+        "# lanes: served short={} heavy={} write={}, shed short={} heavy={} write={}, \
+         deadline_overrun {}, conn_accepted {}, conn_peak {}",
+        report.served_by_lane[0],
+        report.served_by_lane[1],
+        report.served_by_lane[2],
+        report.shed_by_lane[0],
+        report.shed_by_lane[1],
+        report.shed_by_lane[2],
+        report.deadline_overrun,
+        report.conn_accepted,
+        report.conn_peak,
+    );
     eprintln!(
         "# shutdown complete: served {}, shed {}, deadline_missed {}, \
          rejected_shutdown {}, bad_requests {}, internal_errors {}, log_records {}, \

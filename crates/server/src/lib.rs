@@ -9,11 +9,15 @@
 //! - [`proto`] — a length-prefixed binary wire protocol (version byte,
 //!   correlation ids, typed error taxonomy) with a hand-rolled codec
 //!   for every BI and IC parameter binding;
-//! - [`queue`] — a bounded admission queue whose overload policy is
-//!   *reject, don't buffer*;
-//! - [`server`] — the service core: admission, deadline-at-dequeue,
-//!   worker pool over [`snb_engine::QueryContext`], TCP + in-process
-//!   transports, graceful drain-then-shutdown, and a concurrent-write
+//! - [`queue`] — bounded per-lane admission queues (short reads, heavy
+//!   BI, writes) whose overload policy is *shed, don't buffer*, drained
+//!   by a weighted scheduler that keeps short reads progressing under a
+//!   BI flood;
+//! - [`server`] — the service core: lane-classified admission, deadline
+//!   checks at dequeue and at completion, worker pool over
+//!   [`snb_engine::QueryContext`], a readiness-driven epoll reactor for
+//!   TCP (thread-per-connection off Linux) plus the in-process
+//!   transport, graceful drain-then-shutdown, and a concurrent-write
 //!   path for update-stream replay;
 //! - [`log`] — the structured access log (query id, binding hash,
 //!   queue/exec split, outcome, optional per-request
@@ -29,18 +33,21 @@ pub mod events;
 pub mod log;
 pub mod proto;
 pub mod queue;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod retry;
 pub mod server;
 pub mod wal;
 
 pub use log::{AccessLog, AccessRecord};
 pub use proto::{
-    ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams, WriteBatch, WriteOps,
+    ErrorBody, ErrorKind, Lane, OkBody, Request, Response, ServiceParams, WriteBatch, WriteOps,
 };
-pub use queue::{AdmissionQueue, PushError};
+pub use queue::{Admitted, LaneQueues, PushError, ShedPolicy};
 pub use retry::RetryPolicy;
 pub use server::{
-    Durability, InProcClient, LogHandle, Server, ServerConfig, ServiceReport, StoreWriter,
+    Durability, InProcClient, LaneSettings, LanesConfig, LogHandle, Server, ServerConfig,
+    ServiceReport, StoreWriter,
 };
 pub use wal::{recover, Recovered, RecoveryReport, SegmentedWal, Wal, WalOptions};
 

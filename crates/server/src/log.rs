@@ -21,12 +21,17 @@ use snb_engine::QueryProfile;
 pub struct AccessRecord {
     /// Monotone sequence number (admission order within the server).
     pub seq: u64,
-    /// Workload tag: `"BI"` or `"IC"` (empty for undecodable frames).
+    /// Workload tag: `"BI"`, `"IC"`, `"IS"` or `"Write"` (empty for
+    /// undecodable frames).
     pub workload: &'static str,
     /// Query number within the workload (0 for undecodable frames).
     pub query: u8,
     /// FNV-1a hash of the parameter binding.
     pub binding_hash: u64,
+    /// Admission lane the request was classified into (`"short"`,
+    /// `"heavy"` or `"write"`; empty for undecodable frames and
+    /// connection-level records, which never reach a lane).
+    pub lane: &'static str,
     /// Time spent in the admission queue, microseconds.
     pub queue_us: u64,
     /// Pure execution time, microseconds (0 when not executed).
@@ -56,12 +61,13 @@ impl AccessRecord {
     pub fn to_json(&self) -> String {
         let mut s = format!(
             "{{\"seq\": {}, \"workload\": \"{}\", \"query\": {}, \"binding_hash\": {}, \
-             \"queue_us\": {}, \"exec_us\": {}, \"outcome\": \"{}\", \"rows\": {}, \
-             \"fingerprint\": {}, \"store_version\": {}, \"snapshot_age_us\": {}",
+             \"lane\": \"{}\", \"queue_us\": {}, \"exec_us\": {}, \"outcome\": \"{}\", \
+             \"rows\": {}, \"fingerprint\": {}, \"store_version\": {}, \"snapshot_age_us\": {}",
             self.seq,
             self.workload,
             self.query,
             self.binding_hash,
+            self.lane,
             self.queue_us,
             self.exec_us,
             self.outcome,
@@ -154,6 +160,7 @@ mod tests {
             workload: "BI",
             query: 4,
             binding_hash: 0x1234,
+            lane: "heavy",
             queue_us: 10,
             exec_us: 250,
             outcome,
@@ -181,6 +188,7 @@ mod tests {
         let jsonl = log.render_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
         assert!(jsonl.lines().next().unwrap().contains("\"outcome\": \"overloaded\""));
+        assert!(jsonl.lines().next().unwrap().contains("\"lane\": \"heavy\""));
         assert!(jsonl.lines().next().unwrap().contains("\"store_version\": 7"));
         assert!(jsonl.lines().next().unwrap().contains("\"snapshot_age_us\": 42"));
     }

@@ -20,7 +20,7 @@
 use snb_bi::BiParams;
 use snb_core::Date;
 use snb_engine::QueryProfile;
-use snb_interactive::IcParams;
+use snb_interactive::{IcParams, IsParams};
 
 /// Protocol version byte leading every request and response payload.
 pub const PROTO_VERSION: u8 = 1;
@@ -37,8 +37,51 @@ pub enum ServiceParams {
     Bi(BiParams),
     /// An Interactive complex read (IC 1–14).
     Ic(IcParams),
+    /// An Interactive short read (IS 1–7): single-entity lookups and
+    /// one-hop expansions — the latency-critical traffic class.
+    Is(IsParams),
     /// A sequenced update/delete batch for the write path.
     Write(WriteBatch),
+}
+
+/// The admission lane a request is classified into. Each lane has its
+/// own bounded queue, capacity, default deadline, and shed policy
+/// (see [`crate::queue::LaneQueues`]); the read lanes are drained by a
+/// weighted scheduler that guarantees short-read progress while heavy
+/// analytical queries flood the service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// IS/IC short reads: sublinear point lookups and bounded
+    /// traversals that must stay fast under analytical load.
+    Short,
+    /// Heavy BI analytical reads (BI 1–25).
+    Heavy,
+    /// Sequenced durable write batches.
+    Write,
+}
+
+impl Lane {
+    /// Stable lower-case name used in logs, error details, and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Short => "short",
+            Lane::Heavy => "heavy",
+            Lane::Write => "write",
+        }
+    }
+
+    /// Lane index into per-lane arrays (`short = 0`, `heavy = 1`,
+    /// `write = 2`).
+    pub fn index(self) -> usize {
+        match self {
+            Lane::Short => 0,
+            Lane::Heavy => 1,
+            Lane::Write => 2,
+        }
+    }
+
+    /// All lanes, in index order.
+    pub const ALL: [Lane; 3] = [Lane::Short, Lane::Heavy, Lane::Write];
 }
 
 /// One sequenced write batch. Sequence numbers are assigned by the
@@ -96,9 +139,23 @@ impl ServiceParams {
         match self {
             ServiceParams::Bi(p) => ("BI", p.query()),
             ServiceParams::Ic(p) => ("IC", p.query()),
+            ServiceParams::Is(p) => ("IS", p.query()),
             ServiceParams::Write(b) => {
                 ("WR", if matches!(b.ops, WriteOps::Updates(_)) { 1 } else { 2 })
             }
+        }
+    }
+
+    /// The admission lane this binding is classified into: IS and IC
+    /// reads ride the short lane, BI analytics the heavy lane, write
+    /// batches the write lane. Classification is static — it depends
+    /// only on the workload family, so a client can predict the lane
+    /// (and its shed policy) from the request alone.
+    pub fn lane(&self) -> Lane {
+        match self {
+            ServiceParams::Is(_) | ServiceParams::Ic(_) => Lane::Short,
+            ServiceParams::Bi(_) => Lane::Heavy,
+            ServiceParams::Write(_) => Lane::Write,
         }
     }
 
@@ -151,6 +208,12 @@ pub enum ErrorKind {
     /// batch; all requests are refused until the operator restarts the
     /// server, which recovers a consistent image from the WAL.
     StorePoisoned,
+    /// The request started inside its budget but overran the deadline
+    /// mid-execution: the work was done (and is reflected in exec
+    /// time), but the result arrived too late to be useful. Terminal —
+    /// retrying a spent deadline only burns more of the caller's
+    /// budget.
+    DeadlineOverrun,
 }
 
 impl ErrorKind {
@@ -162,6 +225,7 @@ impl ErrorKind {
             ErrorKind::BadRequest => 4,
             ErrorKind::Internal => 5,
             ErrorKind::StorePoisoned => 6,
+            ErrorKind::DeadlineOverrun => 7,
         }
     }
 
@@ -173,6 +237,7 @@ impl ErrorKind {
             4 => Some(ErrorKind::BadRequest),
             5 => Some(ErrorKind::Internal),
             6 => Some(ErrorKind::StorePoisoned),
+            7 => Some(ErrorKind::DeadlineOverrun),
             _ => None,
         }
     }
@@ -186,6 +251,7 @@ impl ErrorKind {
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::Internal => "internal",
             ErrorKind::StorePoisoned => "store_poisoned",
+            ErrorKind::DeadlineOverrun => "deadline_overrun",
         }
     }
 }
@@ -379,6 +445,7 @@ impl<'a> Reader<'a> {
 const WORKLOAD_BI: u8 = 0;
 const WORKLOAD_IC: u8 = 1;
 const WORKLOAD_WR: u8 = 2;
+const WORKLOAD_IS: u8 = 3;
 
 /// Serialises a binding (workload byte + query byte + fields).
 pub fn encode_params(buf: &mut Vec<u8>, params: &ServiceParams) {
@@ -392,6 +459,11 @@ pub fn encode_params(buf: &mut Vec<u8>, params: &ServiceParams) {
             put_u8(buf, WORKLOAD_IC);
             put_u8(buf, p.query());
             encode_ic(buf, p);
+        }
+        ServiceParams::Is(p) => {
+            put_u8(buf, WORKLOAD_IS);
+            put_u8(buf, p.query());
+            put_u64(buf, p.key());
         }
         ServiceParams::Write(b) => {
             put_u8(buf, WORKLOAD_WR);
@@ -672,6 +744,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     let params = match workload {
         WORKLOAD_BI => ServiceParams::Bi(decode_bi(&mut r, query)?),
         WORKLOAD_IC => ServiceParams::Ic(decode_ic(&mut r, query)?),
+        WORKLOAD_IS => {
+            let id = r.u64()?;
+            ServiceParams::Is(
+                IsParams::from_parts(query, id)
+                    .ok_or_else(|| r.err(format!("unknown IS query {query}")))?,
+            )
+        }
         WORKLOAD_WR => {
             let seq = r.u64()?;
             let ops = crate::events::decode_write_ops(&mut r, query)?;
@@ -878,6 +957,8 @@ mod tests {
                 country: "Japan".into(),
                 work_from_year: 2009,
             })),
+            ServiceParams::Is(IsParams::from_parts(1, 42).unwrap()),
+            ServiceParams::Is(IsParams::from_parts(7, 0xdead_beef).unwrap()),
         ]
     }
 
@@ -936,6 +1017,14 @@ mod tests {
                     kind: ErrorKind::DeadlineExceeded,
                     queue_us: 950,
                     detail: "deadline 500us, waited 950us".into(),
+                }),
+            },
+            Response {
+                id: 5,
+                body: Err(ErrorBody {
+                    kind: ErrorKind::DeadlineOverrun,
+                    queue_us: 12,
+                    detail: "deadline 500us, finished at 820us (exec 780us)".into(),
                 }),
             },
         ];
@@ -1049,6 +1138,28 @@ mod tests {
         let mut bad = (MAX_FRAME + 1).to_le_bytes().to_vec();
         bad.extend_from_slice(&[0; 8]);
         assert!(take_frame(&mut bad).is_err());
+    }
+
+    #[test]
+    fn lane_classification_is_static_per_workload() {
+        for params in sample_bindings() {
+            let want = match params {
+                ServiceParams::Bi(_) => Lane::Heavy,
+                ServiceParams::Ic(_) | ServiceParams::Is(_) => Lane::Short,
+                ServiceParams::Write(_) => Lane::Write,
+            };
+            assert_eq!(params.lane(), want, "lane for {:?}", params.label());
+        }
+        let write = ServiceParams::Write(WriteBatch {
+            seq: 1,
+            ops: WriteOps::Deletes(vec![snb_store::DeleteOp::Forum(3)]),
+        });
+        assert_eq!(write.lane(), Lane::Write);
+        // Names and indices are stable — logs and JSON key on them.
+        assert_eq!(Lane::ALL.map(Lane::name), ["short", "heavy", "write"]);
+        for (i, lane) in Lane::ALL.iter().enumerate() {
+            assert_eq!(lane.index(), i);
+        }
     }
 
     #[test]

@@ -1,106 +1,237 @@
-//! Bounded admission queue with explicit overload shedding.
+//! Priority-lane admission with explicit overload shedding.
 //!
-//! The service's backpressure policy is *reject, don't buffer*: the
-//! queue has a hard capacity, and a push against a full queue fails
-//! immediately with [`PushError::Full`] so the transport can answer
-//! `Overloaded` while the client's timeout budget is still intact.
-//! Unbounded buffering would instead convert overload into unbounded
-//! latency (and eventually memory exhaustion) — the failure mode the
-//! BI throughput test is designed to expose.
+//! The service's backpressure policy is *reject, don't buffer*: every
+//! lane has a hard capacity, and a push against a full lane fails
+//! immediately so the transport can answer `Overloaded` while the
+//! client's timeout budget is still intact. Unbounded buffering would
+//! instead convert overload into unbounded latency (and eventually
+//! memory exhaustion) — the failure mode the BI throughput test is
+//! designed to expose.
+//!
+//! PR 7 splits the single FIFO into three lanes ([`Lane::Short`] for
+//! IS/IC reads, [`Lane::Heavy`] for BI analytics, [`Lane::Write`] for
+//! durable batches) precisely because one FIFO has head-of-line
+//! blocking: a burst of multi-millisecond BI jobs queued ahead of a
+//! microsecond point lookup makes the lookup pay the burst's full
+//! drain time. With lanes, short reads never sit behind heavy ones —
+//! [`LaneQueues::pop_read`] drains the two read lanes under a weighted
+//! scheduler (`short_weight` short pops for every heavy pop when both
+//! are non-empty, work-conserving when either is empty), and write
+//! batches get dedicated consumers via [`LaneQueues::pop_write`] so a
+//! WAL fsync never stalls a read worker.
+//!
+//! Each lane also chooses a shed policy: [`ShedPolicy::Reject`] (refuse
+//! the newcomer — right for reads, where the caller retries with
+//! backoff) or [`ShedPolicy::DropOldest`] (evict the stalest queued
+//! item to admit the newcomer — right when the newest request is the
+//! most likely to still meet its deadline).
 //!
 //! Shutdown semantics implement the drain phase of graceful shutdown:
-//! [`AdmissionQueue::close`] refuses new work but lets consumers pop
-//! everything already admitted; [`AdmissionQueue::pop`] returns `None`
-//! only once the queue is both closed and empty.
+//! [`LaneQueues::close`] refuses new work but lets consumers pop
+//! everything already admitted; the pops return `None` only once the
+//! queues are both closed and empty.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+use crate::proto::Lane;
+
+/// What a lane does when a push arrives and the lane is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the newcomer; queued work is untouched. The default for
+    /// every lane — predictable for retrying clients.
+    Reject,
+    /// Evict the oldest queued item to admit the newcomer. The evicted
+    /// item is handed back so the caller can answer it `Overloaded`;
+    /// nothing is silently dropped.
+    DropOldest,
+}
 
 /// Why a push was refused, carrying the rejected item back to the
 /// caller so it can respond to the client.
 #[derive(Debug)]
 pub enum PushError<T> {
-    /// The queue was at capacity — the request is shed.
+    /// The lane was at capacity — the request is shed.
     Full(T),
-    /// The queue was closed for shutdown — no new work is admitted.
+    /// The queues were closed for shutdown — no new work is admitted.
     Closed(T),
 }
 
-struct QueueState<T> {
-    items: VecDeque<T>,
+/// A successful push, possibly carrying an evicted victim (DropOldest
+/// lanes only) that the caller must answer `Overloaded`.
+#[derive(Debug)]
+pub enum Admitted<T> {
+    /// The item was queued; nothing was displaced.
+    Queued,
+    /// The item was queued and the lane's oldest entry was evicted to
+    /// make room — the caller owns responding to the victim.
+    QueuedEvicting(T),
+}
+
+struct LanesState<T> {
+    lanes: [VecDeque<T>; 3],
     closed: bool,
+    /// Monotone pop counter driving the weighted read scheduler.
+    tick: u64,
 }
 
-/// A bounded MPMC queue: transports push, workers pop.
-pub struct AdmissionQueue<T> {
-    state: Mutex<QueueState<T>>,
-    not_empty: Condvar,
-    capacity: usize,
+/// Three bounded MPMC lanes behind one lock: transports push, read
+/// workers drain short+heavy under the weighted scheduler, write
+/// workers drain the write lane.
+pub struct LaneQueues<T> {
+    state: Mutex<LanesState<T>>,
+    /// Wakes read workers (short or heavy arrivals).
+    read_ready: Condvar,
+    /// Wakes write workers (write arrivals).
+    write_ready: Condvar,
+    caps: [usize; 3],
+    sheds: [ShedPolicy; 3],
+    /// Short pops per heavy pop when both read lanes are non-empty.
+    short_weight: u64,
 }
 
-impl<T> AdmissionQueue<T> {
-    /// A queue admitting at most `capacity` items (minimum 1).
-    pub fn new(capacity: usize) -> Self {
-        AdmissionQueue {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
-            not_empty: Condvar::new(),
-            capacity: capacity.max(1),
+impl<T> LaneQueues<T> {
+    /// Queues with per-lane capacities (minimum 1 each), per-lane shed
+    /// policies, and a short:heavy drain ratio of `short_weight`:1
+    /// (minimum 1).
+    pub fn new(caps: [usize; 3], sheds: [ShedPolicy; 3], short_weight: u64) -> Self {
+        LaneQueues {
+            state: Mutex::new(LanesState {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+                tick: 0,
+            }),
+            read_ready: Condvar::new(),
+            write_ready: Condvar::new(),
+            caps: caps.map(|c| c.max(1)),
+            sheds,
+            short_weight: short_weight.max(1),
         }
     }
 
-    /// The admission capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// The admission capacity of one lane.
+    pub fn capacity(&self, lane: Lane) -> usize {
+        self.caps[lane.index()]
     }
 
-    /// Items currently queued.
+    /// The shed policy of one lane.
+    pub fn shed_policy(&self, lane: Lane) -> ShedPolicy {
+        self.sheds[lane.index()]
+    }
+
+    /// Items currently queued across all lanes.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).items.len()
+        let st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.lanes.iter().map(VecDeque::len).sum()
     }
 
-    /// Whether the queue is currently empty.
+    /// Whether every lane is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Attempts to admit an item without blocking.
-    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+    /// Per-lane queue depths, indexed by [`Lane::index`] — one lock
+    /// acquisition, so the three values are a consistent snapshot (the
+    /// property shed `detail` strings rely on).
+    pub fn depths(&self) -> [usize; 3] {
+        let st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        [st.lanes[0].len(), st.lanes[1].len(), st.lanes[2].len()]
+    }
+
+    /// Attempts to admit an item to its lane without blocking. On a
+    /// full `DropOldest` lane the oldest queued item is evicted and
+    /// returned inside [`Admitted::QueuedEvicting`].
+    pub fn try_push(&self, lane: Lane, item: T) -> Result<Admitted<T>, PushError<T>> {
+        let i = lane.index();
         let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if st.closed {
             return Err(PushError::Closed(item));
         }
-        if st.items.len() >= self.capacity {
-            return Err(PushError::Full(item));
+        let mut evicted = None;
+        if st.lanes[i].len() >= self.caps[i] {
+            match self.sheds[i] {
+                ShedPolicy::Reject => return Err(PushError::Full(item)),
+                ShedPolicy::DropOldest => evicted = st.lanes[i].pop_front(),
+            }
         }
-        st.items.push_back(item);
+        st.lanes[i].push_back(item);
         drop(st);
-        self.not_empty.notify_one();
-        Ok(())
+        match lane {
+            Lane::Short | Lane::Heavy => self.read_ready.notify_one(),
+            Lane::Write => self.write_ready.notify_one(),
+        }
+        Ok(match evicted {
+            None => Admitted::Queued,
+            Some(v) => Admitted::QueuedEvicting(v),
+        })
     }
 
-    /// Blocks until an item is available or the queue is closed and
-    /// drained; `None` means "no more work will ever arrive".
-    pub fn pop(&self) -> Option<T> {
+    /// Blocks until a read-lane item is available or the queues are
+    /// closed and the read lanes drained; `None` means "no more read
+    /// work will ever arrive". When both read lanes hold work the
+    /// weighted scheduler takes `short_weight` short items per heavy
+    /// item; when only one lane holds work it is drained directly
+    /// (work-conserving — the ratio shapes contention, it never idles
+    /// a worker).
+    pub fn pop_read(&self) -> Option<(Lane, T)> {
         let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
-            if let Some(item) = st.items.pop_front() {
+            let short_empty = st.lanes[Lane::Short.index()].is_empty();
+            let heavy_empty = st.lanes[Lane::Heavy.index()].is_empty();
+            let lane = match (short_empty, heavy_empty) {
+                (false, true) => Some(Lane::Short),
+                (true, false) => Some(Lane::Heavy),
+                (false, false) => {
+                    // Of every short_weight+1 contended pops, short_weight
+                    // go to the short lane: heavy progress is guaranteed
+                    // (no total starvation) but short reads never wait
+                    // behind more than one heavy dispatch.
+                    if st.tick % (self.short_weight + 1) < self.short_weight {
+                        Some(Lane::Short)
+                    } else {
+                        Some(Lane::Heavy)
+                    }
+                }
+                (true, true) => None,
+            };
+            if let Some(lane) = lane {
+                st.tick += 1;
+                let item = st.lanes[lane.index()].pop_front().expect("checked non-empty");
+                return Some((lane, item));
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.read_ready.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until a write-lane item is available or the queues are
+    /// closed and the write lane drained; `None` means "no more write
+    /// work will ever arrive".
+    pub fn pop_write(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(item) = st.lanes[Lane::Write.index()].pop_front() {
                 return Some(item);
             }
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = self.write_ready.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
-    /// Closes the queue: subsequent pushes fail with
+    /// Closes every lane: subsequent pushes fail with
     /// [`PushError::Closed`]; pops drain the remaining items and then
     /// return `None`. Wakes every blocked consumer.
     pub fn close(&self) {
         let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         st.closed = true;
         drop(st);
-        self.not_empty.notify_all();
+        self.read_ready.notify_all();
+        self.write_ready.notify_all();
     }
 }
 
@@ -109,83 +240,166 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn reads_only(caps: [usize; 3], weight: u64) -> LaneQueues<u32> {
+        LaneQueues::new(caps, [ShedPolicy::Reject; 3], weight)
+    }
+
     #[test]
-    fn sheds_exactly_past_capacity() {
-        let q = AdmissionQueue::new(3);
-        assert!(q.try_push(1).is_ok());
-        assert!(q.try_push(2).is_ok());
-        assert!(q.try_push(3).is_ok());
-        match q.try_push(4) {
+    fn sheds_exactly_past_lane_capacity() {
+        let q = reads_only([8, 3, 8], 4);
+        for v in 1..=3 {
+            assert!(matches!(q.try_push(Lane::Heavy, v), Ok(Admitted::Queued)));
+        }
+        match q.try_push(Lane::Heavy, 4) {
             Err(PushError::Full(v)) => assert_eq!(v, 4),
             other => panic!("expected Full, got {other:?}"),
         }
-        assert_eq!(q.len(), 3);
+        // Lane capacities are independent: heavy full, short still open.
+        assert!(matches!(q.try_push(Lane::Short, 99), Ok(Admitted::Queued)));
+        assert_eq!(q.depths(), [1, 3, 0]);
         // A pop frees one slot exactly.
-        assert_eq!(q.pop(), Some(1));
-        assert!(q.try_push(5).is_ok());
-        match q.try_push(6) {
-            Err(PushError::Full(_)) => {}
-            other => panic!("expected Full, got {other:?}"),
+        assert_eq!(q.pop_read().map(|(l, v)| (l.name(), v)), Some(("short", 99)));
+        assert_eq!(q.pop_read().map(|(l, v)| (l.name(), v)), Some(("heavy", 1)));
+        assert!(q.try_push(Lane::Heavy, 5).is_ok());
+        assert!(matches!(q.try_push(Lane::Heavy, 6), Err(PushError::Full(_))));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head_not_newcomer() {
+        let q = LaneQueues::new(
+            [2, 2, 2],
+            [ShedPolicy::Reject, ShedPolicy::Reject, ShedPolicy::DropOldest],
+            4,
+        );
+        assert!(matches!(q.try_push(Lane::Write, 1), Ok(Admitted::Queued)));
+        assert!(matches!(q.try_push(Lane::Write, 2), Ok(Admitted::Queued)));
+        match q.try_push(Lane::Write, 3) {
+            Ok(Admitted::QueuedEvicting(v)) => assert_eq!(v, 1, "oldest evicted"),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(q.pop_write(), Some(2));
+        assert_eq!(q.pop_write(), Some(3));
+    }
+
+    #[test]
+    fn weighted_pop_interleaves_but_never_starves_heavy() {
+        // 10 in each read lane, weight 4: the contended drain order must
+        // give heavy one pop per 4 short pops, then drain the remainder.
+        let q = reads_only([64, 64, 64], 4);
+        for v in 0..10 {
+            q.try_push(Lane::Short, v).unwrap();
+            q.try_push(Lane::Heavy, 100 + v).unwrap();
+        }
+        let mut order = Vec::new();
+        while let Some((lane, _)) = {
+            if q.is_empty() {
+                None
+            } else {
+                q.pop_read()
+            }
+        } {
+            order.push(lane);
+        }
+        assert_eq!(order.len(), 20);
+        // First 12 pops: ticks 0..12 → pattern SSSSH SSSSH SS (heavy at
+        // ticks 4 and 9). Short drains at tick 12; the rest is heavy.
+        let heavy_in_first_12 = order[..12].iter().filter(|l| **l == Lane::Heavy).count();
+        assert_eq!(heavy_in_first_12, 2, "order: {order:?}");
+        assert!(order[12..].iter().all(|l| *l == Lane::Heavy), "order: {order:?}");
+    }
+
+    #[test]
+    fn pop_read_is_work_conserving_when_one_lane_empty() {
+        let q = reads_only([8, 8, 8], 4);
+        for v in 0..5 {
+            q.try_push(Lane::Heavy, v).unwrap();
+        }
+        // No short work: every pop must yield heavy without waiting.
+        for v in 0..5 {
+            assert_eq!(q.pop_read(), Some((Lane::Heavy, v)));
         }
     }
 
     #[test]
-    fn close_drains_then_ends() {
-        let q = AdmissionQueue::new(8);
-        q.try_push("a").unwrap();
-        q.try_push("b").unwrap();
+    fn close_drains_all_lanes_then_ends() {
+        let q = reads_only([8, 8, 8], 4);
+        q.try_push(Lane::Short, 1).unwrap();
+        q.try_push(Lane::Heavy, 2).unwrap();
+        q.try_push(Lane::Write, 3).unwrap();
         q.close();
-        match q.try_push("c") {
-            Err(PushError::Closed(v)) => assert_eq!(v, "c"),
+        match q.try_push(Lane::Short, 4) {
+            Err(PushError::Closed(v)) => assert_eq!(v, 4),
             other => panic!("expected Closed, got {other:?}"),
         }
-        assert_eq!(q.pop(), Some("a"));
-        assert_eq!(q.pop(), Some("b"));
-        assert_eq!(q.pop(), None);
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop_read(), Some((Lane::Short, 1)));
+        assert_eq!(q.pop_read(), Some((Lane::Heavy, 2)));
+        assert_eq!(q.pop_read(), None);
+        assert_eq!(q.pop_write(), Some(3));
+        assert_eq!(q.pop_write(), None);
+        assert_eq!(q.pop_read(), None);
     }
 
     #[test]
-    fn close_wakes_blocked_consumers() {
-        let q = Arc::new(AdmissionQueue::<u32>::new(1));
-        let q2 = Arc::clone(&q);
-        let h = std::thread::spawn(move || q2.pop());
+    fn close_wakes_blocked_consumers_on_both_paths() {
+        let q = Arc::new(reads_only([1, 1, 1], 4));
+        let qr = Arc::clone(&q);
+        let qw = Arc::clone(&q);
+        let hr = std::thread::spawn(move || qr.pop_read());
+        let hw = std::thread::spawn(move || qw.pop_write());
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
-        assert_eq!(h.join().unwrap(), None);
+        assert_eq!(hr.join().unwrap(), None);
+        assert_eq!(hw.join().unwrap(), None);
     }
 
     #[test]
     fn mpmc_under_contention_loses_nothing() {
-        let q = Arc::new(AdmissionQueue::<usize>::new(64));
-        let total = 4_000usize;
-        let consumed: Vec<std::thread::JoinHandle<usize>> = (0..3)
+        let q = Arc::new(reads_only([32, 32, 32], 4));
+        let total = 4_000u32;
+        let readers: Vec<std::thread::JoinHandle<u64>> = (0..3)
             .map(|_| {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
-                    let mut sum = 0usize;
-                    while let Some(v) = q.pop() {
-                        sum += v;
+                    let mut sum = 0u64;
+                    while let Some((_, v)) = q.pop_read() {
+                        sum += v as u64;
                     }
                     sum
                 })
             })
             .collect();
-        let mut pushed_sum = 0usize;
+        let writer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Some(v) = q.pop_write() {
+                    sum += v as u64;
+                }
+                sum
+            })
+        };
+        let mut pushed_sum = 0u64;
         for i in 0..total {
+            let lane = match i % 3 {
+                0 => Lane::Short,
+                1 => Lane::Heavy,
+                _ => Lane::Write,
+            };
             loop {
-                match q.try_push(i) {
-                    Ok(()) => {
-                        pushed_sum += i;
+                match q.try_push(lane, i) {
+                    Ok(Admitted::Queued) => {
+                        pushed_sum += i as u64;
                         break;
                     }
+                    Ok(Admitted::QueuedEvicting(_)) => unreachable!("Reject lanes never evict"),
                     Err(PushError::Full(_)) => std::thread::yield_now(),
                     Err(PushError::Closed(_)) => unreachable!(),
                 }
             }
         }
         q.close();
-        let got: usize = consumed.into_iter().map(|h| h.join().unwrap()).sum();
+        let got: u64 =
+            readers.into_iter().map(|h| h.join().unwrap()).sum::<u64>() + writer.join().unwrap();
         assert_eq!(got, pushed_sum);
     }
 }

@@ -2,19 +2,28 @@
 //!
 //! Life of a request:
 //!
-//! 1. a transport (TCP connection reader or in-process client) decodes
-//!    a [`Request`] and calls `admit`;
-//! 2. admission control either queues a [`Job`] (bounded queue) or
-//!    responds immediately — `Overloaded` when the queue is full,
-//!    `ShuttingDown` during drain, `BadRequest` for undecodable frames;
-//! 3. a worker pops the job, **checks the deadline at dequeue** (a
-//!    request whose deadline passed while queued is answered
-//!    `DeadlineExceeded` without touching the store — shedding work
-//!    the client has already given up on), binds its [`QueryContext`]
-//!    to the **store snapshot pinned at admission**, executes, and
-//!    writes the response through the job's responder;
+//! 1. a transport (the epoll reactor draining TCP connections, or an
+//!    in-process client) decodes a [`Request`] and calls `admit`;
+//! 2. admission classifies the request into a [`Lane`] (IS/IC short
+//!    reads, heavy BI, writes) and either queues a [`Job`] on that
+//!    lane's bounded queue or responds immediately — `Overloaded` when
+//!    the lane is full (the shed detail names the lane and the
+//!    observed depths), `ShuttingDown` during drain, `BadRequest` for
+//!    undecodable frames;
+//! 3. a read worker pops under the weighted lane scheduler
+//!    ([`LaneQueues::pop_read`] — short reads cannot be starved by a
+//!    BI flood), **checks the deadline at dequeue** (a request whose
+//!    deadline passed while queued is answered `DeadlineExceeded`
+//!    without touching the store), binds its [`QueryContext`] to the
+//!    **store snapshot pinned at admission**, executes, **re-checks
+//!    the deadline at completion** (a job that starts inside its
+//!    budget but overruns mid-execution is answered — and counted —
+//!    `deadline_overrun`, not `ok`), and writes the response through
+//!    the job's responder; write batches drain on dedicated write
+//!    workers so a WAL fsync never stalls a read worker;
 //! 4. every path appends exactly one access-log record (carrying the
-//!    `store_version` read and the snapshot's age at execution).
+//!    lane, the `store_version` read, and the snapshot's age at
+//!    execution).
 //!
 //! Graceful shutdown ([`Server::shutdown`]): stop accepting (transport
 //! rejections + acceptor exit), close the queue, let workers drain the
@@ -34,7 +43,7 @@
 //! the WAL holds a batch the published store does not (restart +
 //! recovery re-converges them).
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, TryLockError};
@@ -50,9 +59,10 @@ use snb_store::{
 
 use crate::log::{AccessLog, AccessRecord};
 use crate::proto::{
-    self, ErrorBody, ErrorKind, OkBody, Request, Response, ServiceParams, WriteBatch, WriteOps,
+    self, ErrorBody, ErrorKind, Lane, OkBody, Request, Response, ServiceParams, WriteBatch,
+    WriteOps,
 };
-use crate::queue::{AdmissionQueue, PushError};
+use crate::queue::{Admitted, LaneQueues, PushError, ShedPolicy};
 use crate::wal::SegmentedWal;
 
 /// Group-commit formation window: how long an ack-waiter parks before
@@ -61,6 +71,59 @@ use crate::wal::SegmentedWal;
 /// rejection) to append and join the fsync; short enough to bound the
 /// extra ack latency when the waiter turns out to be alone.
 const GROUP_COMMIT_WINDOW: Duration = Duration::from_micros(250);
+
+/// How long a response write to a slow TCP peer may retry on a full
+/// socket buffer before the response is dropped (the request outcome
+/// is already logged). The reactor's connections are non-blocking, so
+/// the dup'd write halves are too; this bounds how long a dead or
+/// stalled client can pin a worker in the write loop.
+const WRITE_STALL_BUDGET: Duration = Duration::from_secs(2);
+
+/// Per-lane admission settings. Zero / `None` fields inherit the
+/// server-wide `queue_capacity` / `default_deadline`, so existing
+/// callers that only set the global knobs keep their exact semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneSettings {
+    /// Lane queue capacity; `0` inherits [`ServerConfig::queue_capacity`].
+    pub capacity: usize,
+    /// Deadline for requests on this lane that carry none; `None`
+    /// inherits [`ServerConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+    /// What to do when the lane is full.
+    pub shed: ShedPolicy,
+}
+
+impl Default for LaneSettings {
+    fn default() -> Self {
+        LaneSettings { capacity: 0, deadline: None, shed: ShedPolicy::Reject }
+    }
+}
+
+/// Admission-lane configuration: one [`LaneSettings`] per lane plus
+/// the read-scheduler weight.
+#[derive(Clone, Debug, Default)]
+pub struct LanesConfig {
+    /// IS/IC short reads.
+    pub short: LaneSettings,
+    /// Heavy BI analytics.
+    pub heavy: LaneSettings,
+    /// Sequenced write batches.
+    pub write: LaneSettings,
+    /// Short pops per heavy pop when both read lanes hold work; `0`
+    /// means the default (4:1).
+    pub short_weight: u64,
+}
+
+impl LanesConfig {
+    /// The settings for one lane.
+    pub fn lane(&self, lane: Lane) -> &LaneSettings {
+        match lane {
+            Lane::Short => &self.short,
+            Lane::Heavy => &self.heavy,
+            Lane::Write => &self.write,
+        }
+    }
+}
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -92,6 +155,16 @@ pub struct ServerConfig {
     /// server owns a WAL opened with the same count) write batches are
     /// routed to per-partition log segments. `0`/`1` = unpartitioned.
     pub partitions: usize,
+    /// Per-lane capacities, deadlines, and shed policies (fields left
+    /// at their defaults inherit `queue_capacity` /
+    /// `default_deadline`).
+    pub lanes: LanesConfig,
+    /// Dedicated threads draining the write lane (TCP write batches),
+    /// so a WAL fsync never stalls a read worker. Clamped to at least
+    /// 1 when `workers > 0`; with `workers == 0` (deterministic test
+    /// mode) no write workers spawn either and both drains happen
+    /// inline at shutdown.
+    pub write_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +177,36 @@ impl Default for ServerConfig {
             threads_per_worker: 1,
             conn_read_timeout: Some(Duration::from_secs(30)),
             partitions: 1,
+            lanes: LanesConfig::default(),
+            write_workers: 2,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The resolved capacity of one lane (its own, or the inherited
+    /// `queue_capacity`).
+    pub fn lane_capacity(&self, lane: Lane) -> usize {
+        let own = self.lanes.lane(lane).capacity;
+        if own > 0 {
+            own
+        } else {
+            self.queue_capacity
+        }
+    }
+
+    /// The resolved no-deadline default of one lane (its own, or the
+    /// inherited `default_deadline`).
+    pub fn lane_deadline(&self, lane: Lane) -> Option<Duration> {
+        self.lanes.lane(lane).deadline.or(self.default_deadline)
+    }
+
+    /// The resolved short:heavy drain ratio.
+    pub fn short_weight(&self) -> u64 {
+        if self.lanes.short_weight > 0 {
+            self.lanes.short_weight
+        } else {
+            4
         }
     }
 }
@@ -113,10 +216,15 @@ impl Default for ServerConfig {
 pub struct ServiceReport {
     /// Requests executed to completion.
     pub served: u64,
-    /// Requests shed by admission control (queue full).
+    /// Requests shed by admission control (lane full).
     pub shed: u64,
     /// Requests whose deadline passed before execution.
     pub deadline_missed: u64,
+    /// Requests that started inside their budget but finished past the
+    /// deadline — executed, then answered `deadline_overrun` instead of
+    /// `ok` (the satellite bugfix: overruns used to be miscounted as
+    /// served).
+    pub deadline_overrun: u64,
     /// Requests rejected because the server was draining.
     pub rejected_shutdown: u64,
     /// Frames that failed to decode.
@@ -154,6 +262,16 @@ pub struct ServiceReport {
     /// yielded — must be zero under any sane publish rate (asserted by
     /// the interference CI stage).
     pub reader_blocked: u64,
+    /// Requests served per lane, indexed by [`Lane::index`]
+    /// (`[short, heavy, write]`; the write slot counts applied +
+    /// deduped batches routed through the write lane or inline path).
+    pub served_by_lane: [u64; 3],
+    /// Requests shed (lane full) per lane, indexed by [`Lane::index`].
+    pub shed_by_lane: [u64; 3],
+    /// TCP connections accepted over the server's lifetime.
+    pub conn_accepted: u64,
+    /// High-water mark of simultaneously open TCP connections.
+    pub conn_peak: u64,
 }
 
 #[derive(Default)]
@@ -161,6 +279,7 @@ struct Counters {
     served: AtomicU64,
     shed: AtomicU64,
     deadline_missed: AtomicU64,
+    deadline_overrun: AtomicU64,
     rejected_shutdown: AtomicU64,
     bad_requests: AtomicU64,
     internal_errors: AtomicU64,
@@ -170,6 +289,10 @@ struct Counters {
     batches_deduped: AtomicU64,
     poisoned_rejects: AtomicU64,
     conn_stalled: AtomicU64,
+    served_by_lane: [AtomicU64; 3],
+    shed_by_lane: [AtomicU64; 3],
+    conn_accepted: AtomicU64,
+    conn_peak: AtomicU64,
 }
 
 /// Where a job's response goes.
@@ -186,9 +309,10 @@ impl Responder {
             Responder::Tcp(stream) => {
                 let payload = proto::encode_response(&resp);
                 let mut guard = stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                // A write error means the client hung up; the request
-                // outcome is already logged, so drop it silently.
-                let _ = proto::write_frame(&mut *guard, &payload);
+                // A write error means the client hung up or stalled past
+                // the budget; the request outcome is already logged, so
+                // drop it silently.
+                let _ = send_frame_resilient(&mut guard, &payload);
             }
             Responder::InProc(tx) => {
                 let _ = tx.send(resp);
@@ -197,12 +321,46 @@ impl Responder {
     }
 }
 
+/// Writes one length-prefixed frame to a possibly *non-blocking*
+/// stream. The reactor puts connections in non-blocking mode, and
+/// `O_NONBLOCK` lives on the open file description — shared with every
+/// `try_clone`d write half — so a plain `write_all` could return
+/// `WouldBlock` mid-frame and corrupt the framing for good. This
+/// helper serialises the whole frame into one buffer and retries from
+/// the exact offset on `WouldBlock`, bounded by [`WRITE_STALL_BUDGET`].
+fn send_frame_resilient(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let started = Instant::now();
+    let mut off = 0usize;
+    while off < frame.len() {
+        match stream.write(&frame[off..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if started.elapsed() > WRITE_STALL_BUDGET {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// One admitted unit of work, carrying the store version pinned at
 /// admission: whatever the writer publishes while this job is queued,
 /// the job reads the version that was current when it was admitted.
 struct Job {
     request: Request,
     seq: u64,
+    lane: Lane,
     admitted: Instant,
     deadline: Option<Instant>,
     snapshot: StoreSnapshot,
@@ -231,7 +389,7 @@ struct DurableState {
 
 struct ServerInner {
     store: Arc<StoreHandle>,
-    queue: AdmissionQueue<Job>,
+    queue: LaneQueues<Job>,
     log: AccessLog,
     accepting: AtomicBool,
     config: ServerConfig,
@@ -256,10 +414,29 @@ struct ServerInner {
 }
 
 impl ServerInner {
-    fn reject(&self, seq: u64, request: &Request, kind: ErrorKind, responder: &Responder) {
+    /// Renders the consistent per-lane depth snapshot that admission
+    /// refusals carry, so clients and the chaos harness can distinguish
+    /// lane-full from global overload (the satellite bugfix for shed
+    /// responses that used to report nothing but `queue_us: 0`).
+    fn depths_detail(&self) -> String {
+        let d = self.queue.depths();
+        format!("lanes short={} heavy={} write={}", d[0], d[1], d[2])
+    }
+
+    fn reject(
+        &self,
+        seq: u64,
+        request: &Request,
+        lane: Lane,
+        kind: ErrorKind,
+        responder: &Responder,
+    ) {
         let (workload, query) = request.params.label();
         match kind {
-            ErrorKind::Overloaded => self.counters.shed.fetch_add(1, Ordering::Relaxed),
+            ErrorKind::Overloaded => {
+                self.counters.shed_by_lane[lane.index()].fetch_add(1, Ordering::Relaxed);
+                self.counters.shed.fetch_add(1, Ordering::Relaxed)
+            }
             ErrorKind::ShuttingDown => {
                 self.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed)
             }
@@ -273,6 +450,7 @@ impl ServerInner {
             workload,
             query,
             binding_hash: request.params.binding_hash(),
+            lane: lane.name(),
             queue_us: 0,
             exec_us: 0,
             outcome: kind.name(),
@@ -284,9 +462,16 @@ impl ServerInner {
         });
         let detail = match kind {
             ErrorKind::Overloaded => {
-                format!("admission queue full (capacity {})", self.queue.capacity())
+                format!(
+                    "{} lane full (capacity {}; {})",
+                    lane.name(),
+                    self.queue.capacity(lane),
+                    self.depths_detail()
+                )
             }
-            ErrorKind::ShuttingDown => "server is draining for shutdown".to_string(),
+            ErrorKind::ShuttingDown => {
+                format!("server is draining for shutdown ({})", self.depths_detail())
+            }
             ErrorKind::StorePoisoned => {
                 "store poisoned by a mid-apply panic; restart to recover from the WAL".to_string()
             }
@@ -296,46 +481,71 @@ impl ServerInner {
             .send(Response { id: request.id, body: Err(ErrorBody { kind, queue_us: 0, detail }) });
     }
 
-    /// Admission control: queue the request or answer immediately.
-    /// Write batches never enter the read queue — they are applied on
-    /// the submitting thread (batches serialize on the durability lock
-    /// anyway, and the WAL fsync must not stall query workers).
+    /// Admission control: queue the request on its lane or answer
+    /// immediately. In-process write batches are applied on the
+    /// submitting thread (they serialize on the durability lock anyway,
+    /// and the group-commit formation window wants concurrent
+    /// submitters parked *in* `submit_batch`); TCP write batches are
+    /// queued on the write lane and drained by the dedicated write
+    /// workers, so a WAL fsync never stalls the reactor or a read
+    /// worker.
     fn admit(&self, request: Request, responder: Responder) {
-        if matches!(request.params, ServiceParams::Write(_)) {
-            self.admit_write(request, responder);
-            return;
+        let lane = request.params.lane();
+        if lane == Lane::Write {
+            if let Responder::InProc(_) = responder {
+                self.admit_write(request, responder);
+                return;
+            }
         }
         let seq = self.log.next_seq();
         if !self.accepting.load(Ordering::Acquire) {
-            self.reject(seq, &request, ErrorKind::ShuttingDown, &responder);
+            self.reject(seq, &request, lane, ErrorKind::ShuttingDown, &responder);
             return;
         }
         if self.degraded.load(Ordering::Acquire) {
-            self.reject(seq, &request, ErrorKind::StorePoisoned, &responder);
+            self.reject(seq, &request, lane, ErrorKind::StorePoisoned, &responder);
             return;
         }
         let admitted = Instant::now();
         let deadline = if request.deadline_us > 0 {
             Some(admitted + Duration::from_micros(request.deadline_us))
         } else {
-            self.config.default_deadline.map(|d| admitted + d)
+            self.config.lane_deadline(lane).map(|d| admitted + d)
         };
         // Pin the store version here, at admission: the job reads this
         // version no matter how many publishes land while it queues.
         let snapshot = self.store.snapshot();
-        let job = Job { request, seq, admitted, deadline, snapshot, responder };
-        match self.queue.try_push(job) {
-            Ok(()) => {}
+        let job = Job { request, seq, lane, admitted, deadline, snapshot, responder };
+        match self.queue.try_push(lane, job) {
+            Ok(Admitted::Queued) => {}
+            Ok(Admitted::QueuedEvicting(victim)) => {
+                // DropOldest lane: the newcomer is queued and the stalest
+                // entry is shed in its place — answered Overloaded like
+                // any other shed, never silently dropped.
+                self.reject(
+                    victim.seq,
+                    &victim.request,
+                    victim.lane,
+                    ErrorKind::Overloaded,
+                    &victim.responder,
+                );
+            }
             Err(PushError::Full(job)) => {
-                self.reject(job.seq, &job.request, ErrorKind::Overloaded, &job.responder)
+                self.reject(job.seq, &job.request, job.lane, ErrorKind::Overloaded, &job.responder)
             }
-            Err(PushError::Closed(job)) => {
-                self.reject(job.seq, &job.request, ErrorKind::ShuttingDown, &job.responder)
-            }
+            Err(PushError::Closed(job)) => self.reject(
+                job.seq,
+                &job.request,
+                job.lane,
+                ErrorKind::ShuttingDown,
+                &job.responder,
+            ),
         }
     }
 
-    /// Handles one undecodable frame.
+    /// Handles one undecodable frame. The rejection carries the lane
+    /// depths so a flooding client can tell protocol failure apart from
+    /// overload even on the garbage path.
     fn admit_garbage(&self, id: Option<u64>, detail: String, responder: Responder) {
         let seq = self.log.next_seq();
         self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -344,6 +554,7 @@ impl ServerInner {
             workload: "",
             query: 0,
             binding_hash: 0,
+            lane: "",
             queue_us: 0,
             exec_us: 0,
             outcome: ErrorKind::BadRequest.name(),
@@ -353,21 +564,35 @@ impl ServerInner {
             snapshot_age_us: 0,
             profile: None,
         });
+        let detail = format!("{detail} ({})", self.depths_detail());
         responder.send(Response {
             id: id.unwrap_or(u64::MAX),
             body: Err(ErrorBody { kind: ErrorKind::BadRequest, queue_us: 0, detail }),
         });
     }
 
-    /// Handles one sequenced write batch on the submitting thread and
-    /// answers it (ack ⇔ the batch is durable and applied, or was
-    /// already applied and is being re-acknowledged).
+    /// Handles one sequenced write batch on the submitting thread
+    /// (in-process transport) and answers it.
     fn admit_write(&self, request: Request, responder: Responder) {
         let seq = self.log.next_seq();
+        self.run_write(request, responder, seq, 0);
+    }
+
+    /// Drains one write-lane job on a write worker.
+    fn execute_write(&self, job: Job) {
+        let queue_us = job.admitted.elapsed().as_micros() as u64;
+        self.run_write(job.request, job.responder, job.seq, queue_us);
+    }
+
+    /// Runs one sequenced write batch and answers it (ack ⇔ the batch
+    /// is durable and applied, or was already applied and is being
+    /// re-acknowledged). `queue_us` is 0 on the inline in-process path
+    /// and the observed lane wait on the write-worker path.
+    fn run_write(&self, request: Request, responder: Responder, seq: u64, queue_us: u64) {
         let (workload, query) = request.params.label();
         let binding_hash = request.params.binding_hash();
         let ServiceParams::Write(batch) = &request.params else {
-            unreachable!("admit_write is only called for Write params");
+            unreachable!("run_write is only called for Write params");
         };
         let started = Instant::now();
         let result = self.submit_batch(batch);
@@ -376,12 +601,16 @@ impl ServerInner {
             Ok((outcome, ok)) => (*outcome, ok.rows, ok.fingerprint),
             Err(e) => (e.kind.name(), 0, 0),
         };
+        if result.is_ok() {
+            self.counters.served_by_lane[Lane::Write.index()].fetch_add(1, Ordering::Relaxed);
+        }
         self.log.push(AccessRecord {
             seq,
             workload,
             query,
             binding_hash,
-            queue_us: 0,
+            lane: Lane::Write.name(),
+            queue_us,
             exec_us,
             outcome,
             rows,
@@ -392,10 +621,14 @@ impl ServerInner {
         });
         let body = match result {
             Ok((_, mut ok)) => {
+                ok.queue_us = queue_us;
                 ok.exec_us = exec_us;
                 Ok(ok)
             }
-            Err(e) => Err(e),
+            Err(mut e) => {
+                e.queue_us = queue_us;
+                Err(e)
+            }
         };
         responder.send(Response { id: request.id, body });
     }
@@ -634,9 +867,16 @@ impl ServerInner {
         }
     }
 
-    /// Executes one dequeued job on `ctx` (deadline check first).
+    /// Executes one dequeued read job on `ctx`: deadline check at
+    /// dequeue (don't execute work the client gave up on), execution
+    /// against the admission-pinned snapshot, then a second deadline
+    /// check at completion — a job that started inside its budget but
+    /// overran mid-execution is answered `deadline_overrun`, not `ok`
+    /// (before this check, overruns were silently miscounted as
+    /// served).
     fn execute(&self, ctx: &QueryContext, job: Job) {
         let queue_us = job.admitted.elapsed().as_micros() as u64;
+        let lane = job.lane.name();
         let (workload, query) = job.request.params.label();
         let binding_hash = job.request.params.binding_hash();
         // A poisoning write may have landed while this job was queued.
@@ -647,6 +887,7 @@ impl ServerInner {
                 workload,
                 query,
                 binding_hash,
+                lane,
                 queue_us,
                 exec_us: 0,
                 outcome: ErrorKind::StorePoisoned.name(),
@@ -675,6 +916,7 @@ impl ServerInner {
                     workload,
                     query,
                     binding_hash,
+                    lane,
                     queue_us,
                     exec_us: 0,
                     outcome: ErrorKind::DeadlineExceeded.name(),
@@ -712,21 +954,60 @@ impl ServerInner {
                     (s.rows as u64, s.fingerprint)
                 }
                 ServiceParams::Ic(p) => (snb_interactive::run_complex_bound(&bound, p) as u64, 0),
-                // Write batches are applied at admission, never queued;
-                // the unwind turns a slipped-through one into `internal`.
-                ServiceParams::Write(_) => unreachable!("write batches bypass the read queue"),
+                ServiceParams::Is(p) => (snb_interactive::run_short_bound(&bound, p) as u64, 0),
+                // Write batches ride the write lane, never the read
+                // lanes; the unwind turns a slipped-through one into
+                // `internal`.
+                ServiceParams::Write(_) => unreachable!("write batches bypass the read lanes"),
             }
         }));
         let exec_us = started.elapsed().as_micros() as u64;
         match outcome {
             Ok((rows, fingerprint)) => {
+                // Completion-time deadline check: the work is done (and
+                // its cost is visible in exec_us), but the client's
+                // budget is spent — report it as an overrun, never as
+                // a success.
+                let overran = job.deadline.is_some_and(|d| Instant::now() > d);
+                if overran {
+                    self.counters.deadline_overrun.fetch_add(1, Ordering::Relaxed);
+                    self.log.push(AccessRecord {
+                        seq: job.seq,
+                        workload,
+                        query,
+                        binding_hash,
+                        lane,
+                        queue_us,
+                        exec_us,
+                        outcome: ErrorKind::DeadlineOverrun.name(),
+                        rows,
+                        fingerprint,
+                        store_version,
+                        snapshot_age_us,
+                        profile: None,
+                    });
+                    job.responder.send(Response {
+                        id: job.request.id,
+                        body: Err(ErrorBody {
+                            kind: ErrorKind::DeadlineOverrun,
+                            queue_us,
+                            detail: format!(
+                                "started inside the budget but overran it: {queue_us}us queued \
+                                 + {exec_us}us executing"
+                            ),
+                        }),
+                    });
+                    return;
+                }
                 let profile = self.config.profiling.then(|| ctx.metrics().snapshot());
                 self.counters.served.fetch_add(1, Ordering::Relaxed);
+                self.counters.served_by_lane[job.lane.index()].fetch_add(1, Ordering::Relaxed);
                 self.log.push(AccessRecord {
                     seq: job.seq,
                     workload,
                     query,
                     binding_hash,
+                    lane,
                     queue_us,
                     exec_us,
                     outcome: "ok",
@@ -748,6 +1029,7 @@ impl ServerInner {
                     workload,
                     query,
                     binding_hash,
+                    lane,
                     queue_us,
                     exec_us,
                     outcome: ErrorKind::Internal.name(),
@@ -780,10 +1062,20 @@ impl ServerInner {
 
     fn report(&self) -> ServiceReport {
         let snap = self.store.stats();
+        let by = |a: &[AtomicU64; 3]| {
+            [
+                a[0].load(Ordering::Relaxed),
+                a[1].load(Ordering::Relaxed),
+                a[2].load(Ordering::Relaxed),
+            ]
+        };
         ServiceReport {
             served: self.counters.served.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
+            served_by_lane: by(&self.counters.served_by_lane),
+            shed_by_lane: by(&self.counters.shed_by_lane),
             deadline_missed: self.counters.deadline_missed.load(Ordering::Relaxed),
+            deadline_overrun: self.counters.deadline_overrun.load(Ordering::Relaxed),
             rejected_shutdown: self.counters.rejected_shutdown.load(Ordering::Relaxed),
             bad_requests: self.counters.bad_requests.load(Ordering::Relaxed),
             internal_errors: self.counters.internal_errors.load(Ordering::Relaxed),
@@ -793,6 +1085,8 @@ impl ServerInner {
             batches_deduped: self.counters.batches_deduped.load(Ordering::Relaxed),
             poisoned_rejects: self.counters.poisoned_rejects.load(Ordering::Relaxed),
             conn_stalled: self.counters.conn_stalled.load(Ordering::Relaxed),
+            conn_accepted: self.counters.conn_accepted.load(Ordering::Relaxed),
+            conn_peak: self.counters.conn_peak.load(Ordering::Relaxed),
             log_records: self.log.len() as u64,
             versions_published: snap.version,
             peak_live_snapshots: snap.peak_live_versions,
@@ -806,6 +1100,7 @@ impl ServerInner {
 pub struct Server {
     inner: Arc<ServerInner>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    write_workers: Vec<std::thread::JoinHandle<()>>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     local_addr: Option<SocketAddr>,
@@ -854,9 +1149,18 @@ impl Server {
             None => (None, 0),
             Some(d) => (Some(Mutex::new(DurableState { wal: d.wal, world: d.world })), d.last_seq),
         };
+        let queue = LaneQueues::new(
+            [
+                config.lane_capacity(Lane::Short),
+                config.lane_capacity(Lane::Heavy),
+                config.lane_capacity(Lane::Write),
+            ],
+            [config.lanes.short.shed, config.lanes.heavy.shed, config.lanes.write.shed],
+            config.short_weight(),
+        );
         let inner = Arc::new(ServerInner {
             store,
-            queue: AdmissionQueue::new(config.queue_capacity),
+            queue,
             log: AccessLog::new(),
             accepting: AtomicBool::new(true),
             config,
@@ -868,13 +1172,28 @@ impl Server {
             flush_cv: Condvar::new(),
             degraded: AtomicBool::new(false),
         });
-        let workers = (0..inner.config.workers)
+        let workers: Vec<_> = (0..inner.config.workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
                 std::thread::spawn(move || {
                     let ctx = inner.worker_context();
-                    while let Some(job) = inner.queue.pop() {
+                    while let Some((_lane, job)) = inner.queue.pop_read() {
                         inner.execute(&ctx, job);
+                    }
+                })
+            })
+            .collect();
+        // The write lane gets its own drain threads so a WAL fsync in
+        // one batch never stalls read progress; with `workers == 0`
+        // (inline test mode) writes drain inline at shutdown too.
+        let write_worker_count =
+            if inner.config.workers == 0 { 0 } else { inner.config.write_workers.max(1) };
+        let write_workers = (0..write_worker_count)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    while let Some(job) = inner.queue.pop_write() {
+                        inner.execute_write(job);
                     }
                 })
             })
@@ -882,6 +1201,7 @@ impl Server {
         Server {
             inner,
             workers,
+            write_workers,
             acceptor: None,
             connections: Arc::new(Mutex::new(Vec::new())),
             local_addr: None,
@@ -890,31 +1210,53 @@ impl Server {
 
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// starts accepting connections; returns the bound address.
+    ///
+    /// On Linux the transport is a readiness-driven reactor: a single
+    /// thread `epoll_wait`s on the listener plus every connection, so
+    /// an idle connection costs one registered fd and a buffer rather
+    /// than an OS thread — the property that lets `service_load
+    /// --sweep` hold a thousand connections open against a fixed
+    /// thread count. Elsewhere it falls back to thread-per-connection.
     pub fn listen(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         self.local_addr = Some(local);
         let inner = Arc::clone(&self.inner);
-        let connections = Arc::clone(&self.connections);
-        self.acceptor = Some(std::thread::spawn(move || {
-            while inner.accepting.load(Ordering::Acquire) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let inner = Arc::clone(&inner);
-                        let handle = std::thread::spawn(move || connection_loop(&inner, stream));
-                        connections
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .push(handle);
+        #[cfg(target_os = "linux")]
+        {
+            let poller = crate::reactor::Poller::new()?;
+            self.acceptor =
+                Some(std::thread::spawn(move || reactor_loop(&inner, listener, poller)));
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let connections = Arc::clone(&self.connections);
+            self.acceptor = Some(std::thread::spawn(move || {
+                while inner.accepting.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            inner.counters.conn_accepted.fetch_add(1, Ordering::Relaxed);
+                            let inner = Arc::clone(&inner);
+                            let handle =
+                                std::thread::spawn(move || connection_loop(&inner, stream));
+                            let mut conns = connections
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            conns.push(handle);
+                            inner
+                                .counters
+                                .conn_peak
+                                .fetch_max(conns.len() as u64, Ordering::Relaxed);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
                 }
-            }
-        }));
+            }));
+        }
         Ok(local)
     }
 
@@ -998,15 +1340,24 @@ impl Server {
     pub fn shutdown(mut self) -> ServiceReport {
         self.inner.accepting.store(false, Ordering::Release);
         self.inner.queue.close();
-        // No background workers (test mode): drain inline so admitted
-        // jobs still complete before the report is cut.
+        // No background workers (test mode): drain both read lanes and
+        // the write lane inline so admitted jobs still complete before
+        // the report is cut.
         if self.workers.is_empty() {
             let ctx = self.inner.worker_context();
-            while let Some(job) = self.inner.queue.pop() {
+            while let Some((_lane, job)) = self.inner.queue.pop_read() {
                 self.inner.execute(&ctx, job);
             }
         }
+        if self.write_workers.is_empty() {
+            while let Some(job) = self.inner.queue.pop_write() {
+                self.inner.execute_write(job);
+            }
+        }
         for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        for w in self.write_workers.drain(..) {
             let _ = w.join();
         }
         if let Some(a) = self.acceptor.take() {
@@ -1037,11 +1388,176 @@ impl Drop for Server {
     }
 }
 
-/// Reads frames off one TCP connection and admits them. The read half
-/// uses a timeout poll so the thread notices shutdown; the write half
-/// is shared (behind a mutex) with the workers answering this
+/// The readiness-driven transport: one thread owns the listener and
+/// every connection, multiplexed through [`crate::reactor::Poller`].
+/// Accepts, drains readable sockets into per-connection buffers,
+/// decodes frames, and admits them; responses are written by the
+/// workers through each connection's shared (mutexed) write half, so
+/// they may interleave in completion order — clients match on the
+/// correlation id. Writer clones held by in-flight jobs keep a socket
+/// open after the reactor drops a connection, which is what lets
+/// shutdown drain admitted work to the wire.
+#[cfg(target_os = "linux")]
+fn reactor_loop(
+    inner: &Arc<ServerInner>,
+    listener: TcpListener,
+    mut poller: crate::reactor::Poller,
+) {
+    use std::collections::HashMap;
+    use std::os::fd::AsRawFd;
+
+    struct Conn {
+        reader: TcpStream,
+        writer: Arc<Mutex<TcpStream>>,
+        buf: Vec<u8>,
+        last_progress: Instant,
+    }
+
+    const LISTENER: u64 = 0;
+    // Per-connection read budget per wakeup: bounds how long one chatty
+    // peer can monopolize the reactor. Level-triggered registration
+    // re-reports an undrained fd on the next wait, so no data is lost.
+    const READS_PER_WAKE: usize = 4;
+
+    if poller.add(listener.as_raw_fd(), LISTENER).is_err() {
+        return;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = LISTENER + 1;
+    let mut events = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    while inner.accepting.load(Ordering::Acquire) {
+        if poller.wait(Duration::from_millis(25), &mut events).is_err() {
+            break;
+        }
+        if let Some(fault) = snb_fault::check("conn.read.stall") {
+            // Simulates a handler wedged in the read path (the hazard
+            // the idle deadline exists for).
+            fault.trip("conn.read.stall");
+        }
+        for ev in &events {
+            if ev.token == LISTENER {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nodelay(true);
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let Ok(writer) = stream.try_clone() else { continue };
+                            if poller.add(stream.as_raw_fd(), next_token).is_err() {
+                                continue;
+                            }
+                            inner.counters.conn_accepted.fetch_add(1, Ordering::Relaxed);
+                            conns.insert(
+                                next_token,
+                                Conn {
+                                    reader: stream,
+                                    writer: Arc::new(Mutex::new(writer)),
+                                    buf: Vec::new(),
+                                    last_progress: Instant::now(),
+                                },
+                            );
+                            inner
+                                .counters
+                                .conn_peak
+                                .fetch_max(conns.len() as u64, Ordering::Relaxed);
+                            next_token += 1;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else { continue };
+            let mut drop_conn = ev.closed && !ev.readable;
+            if ev.readable {
+                for _ in 0..READS_PER_WAKE {
+                    match conn.reader.read(&mut tmp) {
+                        Ok(0) => {
+                            drop_conn = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.buf.extend_from_slice(&tmp[..n]);
+                            conn.last_progress = Instant::now();
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            drop_conn = true;
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    match proto::take_frame(&mut conn.buf) {
+                        Ok(Some(payload)) => match proto::decode_request(&payload) {
+                            Ok(request) => {
+                                inner.admit(request, Responder::Tcp(Arc::clone(&conn.writer)))
+                            }
+                            Err(e) => inner.admit_garbage(
+                                e.id,
+                                e.detail,
+                                Responder::Tcp(Arc::clone(&conn.writer)),
+                            ),
+                        },
+                        Ok(None) => break,
+                        // Unrecoverable framing violation: drop the
+                        // connection.
+                        Err(_) => {
+                            drop_conn = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if drop_conn {
+                if let Some(conn) = conns.remove(&ev.token) {
+                    poller.delete(conn.reader.as_raw_fd());
+                }
+            }
+        }
+        // Idle sweep: a Slowloris / half-open peer is closed with a
+        // typed outcome instead of pinning its fd forever.
+        if let Some(limit) = inner.config.conn_read_timeout {
+            let stalled: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.last_progress.elapsed() > limit)
+                .map(|(t, _)| *t)
+                .collect();
+            for token in stalled {
+                let Some(conn) = conns.remove(&token) else { continue };
+                poller.delete(conn.reader.as_raw_fd());
+                inner.counters.conn_stalled.fetch_add(1, Ordering::Relaxed);
+                inner.log.push(AccessRecord {
+                    seq: inner.log.next_seq(),
+                    workload: "",
+                    query: 0,
+                    binding_hash: 0,
+                    lane: "",
+                    queue_us: limit.as_micros() as u64,
+                    exec_us: 0,
+                    outcome: "conn_stalled",
+                    rows: 0,
+                    fingerprint: 0,
+                    store_version: inner.store.version(),
+                    snapshot_age_us: 0,
+                    profile: None,
+                });
+            }
+        }
+    }
+}
+
+/// Reads frames off one TCP connection and admits them (the non-Linux
+/// fallback transport — one thread per connection). The read half uses
+/// a timeout poll so the thread notices shutdown; the write half is
+/// shared (behind a mutex) with the workers answering this
 /// connection's requests, so responses may interleave in completion
 /// order — clients match on the correlation id.
+#[cfg(not(target_os = "linux"))]
 fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
@@ -1099,6 +1615,7 @@ fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
                             workload: "",
                             query: 0,
                             binding_hash: 0,
+                            lane: "",
                             queue_us: limit.as_micros() as u64,
                             exec_us: 0,
                             outcome: "conn_stalled",

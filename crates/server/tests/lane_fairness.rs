@@ -1,0 +1,144 @@
+//! Regression tests for head-of-line blocking in the service tier.
+//!
+//! Before the lane split, one bounded FIFO admitted every workload, so
+//! a burst of heavy BI reads parked hundreds of jobs in front of
+//! single-entity IS lookups: short-read latency degraded to the full
+//! drain time of the backlog, and under shed pressure short reads were
+//! rejected exactly as often as the heavies that caused the pressure.
+//! These tests pin the fix — short reads keep progressing (and are
+//! never shed) while a BI flood holds a deep heavy-lane backlog — and
+//! exercise the reactor transport with hundreds of concurrent
+//! connections.
+
+use std::time::{Duration, Instant};
+
+use snb_datagen::GeneratorConfig;
+use snb_interactive::IsParams;
+use snb_server::proto::{self, Request};
+use snb_server::{Server, ServerConfig, ServiceParams};
+use snb_store::store_for_config;
+
+fn tiny_store() -> snb_store::Store {
+    store_for_config(&GeneratorConfig::for_scale_name("0.001").unwrap())
+}
+
+fn heavy_bi() -> ServiceParams {
+    ServiceParams::Bi(snb_bi::BiParams::Q13(snb_bi::bi13::Params { country: "India".into() }))
+}
+
+fn short_is(key: u64) -> ServiceParams {
+    ServiceParams::Is(IsParams::from_parts(1 + (key % 7) as u8, key).expect("valid IS query"))
+}
+
+/// The starvation regression: pipeline a deep BI flood over TCP, then
+/// issue short reads while the heavy lane still holds a backlog. Every
+/// short read must succeed quickly — none may shed, and none may wait
+/// for the flood to drain.
+#[test]
+fn short_reads_progress_under_bi_flood() {
+    const FLOOD: usize = 400;
+    const SHORTS: usize = 30;
+
+    let mut server = Server::start(
+        tiny_store(),
+        ServerConfig { workers: 1, queue_capacity: 512, ..ServerConfig::default() },
+    );
+    let addr = server.listen("127.0.0.1:0").expect("bind ephemeral port");
+    let mut flood_conn = std::net::TcpStream::connect(addr).expect("connect");
+
+    // Pipeline the whole flood before reading any response: the heavy
+    // lane fills while the single worker drains it.
+    for i in 0..FLOOD as u64 {
+        let req = Request { id: i + 1, deadline_us: 0, params: heavy_bi() };
+        proto::write_frame(&mut flood_conn, &proto::encode_request(&req)).expect("write frame");
+    }
+
+    // Wait until a real backlog is admitted (not just buffered in the
+    // socket) so the shorts demonstrably overtake queued heavies.
+    let arm_deadline = Instant::now() + Duration::from_secs(10);
+    while server.queued() < 64 {
+        assert!(Instant::now() < arm_deadline, "flood never built a heavy backlog");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let client = server.client();
+    let mut short_latencies = Vec::with_capacity(SHORTS);
+    for key in 0..SHORTS as u64 {
+        let started = Instant::now();
+        let resp = client.call(short_is(key), 0);
+        short_latencies.push(started.elapsed());
+        assert!(resp.body.is_ok(), "short read under flood failed: {resp:?}");
+    }
+    // The heavy backlog must still exist when the last short finishes:
+    // the shorts went around the flood, not behind it.
+    assert!(
+        server.queued() > 0,
+        "heavy lane drained before the shorts finished — the flood was too shallow \
+         to exercise head-of-line blocking"
+    );
+    short_latencies.sort();
+    let p99 = short_latencies[(SHORTS * 99) / 100];
+    // Generous CI bound: before the lane split the same shorts waited
+    // behind ~400 queued heavies (an unbounded multiple of one heavy
+    // execution); with the weighted scheduler each waits for at most a
+    // couple of in-flight heavies.
+    assert!(p99 < Duration::from_secs(2), "short p99 {p99:?} under BI flood");
+
+    let mid = server.report_now();
+    assert_eq!(mid.shed_by_lane[0], 0, "no short read may shed during a BI flood");
+
+    // Drain the flood responses; all were admitted (capacity 512), so
+    // all must be answered ok.
+    for _ in 0..FLOOD {
+        let payload = proto::read_frame(&mut flood_conn).expect("read flood response");
+        let resp = proto::decode_response(&payload).expect("decode flood response");
+        assert!(resp.body.is_ok(), "flood response failed: {resp:?}");
+    }
+    drop(flood_conn);
+
+    let report = server.shutdown();
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.served_by_lane[0], SHORTS as u64, "every short served");
+    assert_eq!(report.served_by_lane[1], FLOOD as u64, "every heavy served");
+    assert_eq!(report.served, (SHORTS + FLOOD) as u64);
+}
+
+/// The reactor transport holds hundreds of concurrent connections on a
+/// fixed thread count: every connection gets its request answered, and
+/// the peak-connection gauge proves they were all open at once.
+#[test]
+fn hundreds_of_concurrent_connections_all_answered() {
+    const CONNS: usize = 300;
+
+    let mut server = Server::start(
+        tiny_store(),
+        ServerConfig { workers: 2, queue_capacity: 1024, ..ServerConfig::default() },
+    );
+    let addr = server.listen("127.0.0.1:0").expect("bind ephemeral port");
+
+    // Open every connection first (all concurrently alive), then issue
+    // one short read per connection, then collect every response.
+    let mut conns: Vec<std::net::TcpStream> =
+        (0..CONNS).map(|_| std::net::TcpStream::connect(addr).expect("connect")).collect();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let req = Request { id: i as u64 + 1, deadline_us: 0, params: short_is(i as u64) };
+        proto::write_frame(conn, &proto::encode_request(&req)).expect("write frame");
+    }
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let payload = proto::read_frame(conn).expect("read response");
+        let resp = proto::decode_response(&payload).expect("decode response");
+        assert_eq!(resp.id, i as u64 + 1);
+        assert!(resp.body.is_ok(), "conn #{i} failed: {resp:?}");
+    }
+    drop(conns);
+
+    let report = server.shutdown();
+    assert_eq!(report.served, CONNS as u64);
+    assert_eq!(report.conn_accepted, CONNS as u64);
+    assert!(
+        report.conn_peak >= CONNS as u64,
+        "peak {} — connections were not concurrently open",
+        report.conn_peak
+    );
+    assert_eq!(report.shed, 0);
+}
