@@ -231,4 +231,30 @@ grep -q '"reader_blocked": 0' "$SWEEP_JSON" || {
   rm -f "$SWEEP_JSON"; exit 1; }
 rm -f "$SWEEP_JSON"
 
+echo "==> replication smoke (log shipping, SIGKILL failover, oracle equality)"
+# E17: one primary + two follower processes over the log-shipping port.
+# The harness measures cold-WAL catch-up, samples replication lag while
+# writes stream, ladders read throughput from one node to the cluster
+# (the 1.8x gate self-waives below 4 cores — recorded as
+# scaling_gated), then SIGKILLs the primary right after an ack,
+# promotes a follower over the replication port, replays the client
+# outbox (seq-dedupe absorbs whatever shipped), and verifies all 25 BI
+# queries on the promoted node against an every-batch oracle. The
+# binary exits nonzero on any stuck catch-up, refused promote, lost
+# record, or fingerprint divergence.
+REPL_JSON="$(mktemp /tmp/repl_smoke.XXXXXX.json)"
+SNB_SERVICE_OUT="$REPL_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 --replication \
+  --followers 2 --server-bin target/release/snb-server > /dev/null
+for key in replication catch_up stale_read_refusals lag_records read_scaling \
+           scaling scaling_gated failover writable_from failover_ms \
+           resubmitted queries_verified mismatches; do
+  grep -q "\"$key\":" "$REPL_JSON" || {
+    echo "replication JSON is missing key '$key'" >&2; rm -f "$REPL_JSON"; exit 1; }
+done
+grep -q '"mismatches": 0' "$REPL_JSON" || {
+  echo "promoted node diverges from the every-batch oracle" >&2
+  rm -f "$REPL_JSON"; exit 1; }
+rm -f "$REPL_JSON"
+
 echo "CI OK"

@@ -52,7 +52,7 @@ const ACK_TIMEOUT: Duration = Duration::from_secs(10);
 /// Sequenced batches carved from a real update stream: chunks of
 /// inserts in stream order, with a like-delete batch interleaved after
 /// any chunk that produced likes (both write families hit the WAL).
-fn carve_stream(stream: &[snb_datagen::stream::TimedEvent], chunks: usize) -> Vec<WriteOps> {
+pub fn carve_stream(stream: &[snb_datagen::stream::TimedEvent], chunks: usize) -> Vec<WriteOps> {
     let mut out = Vec::new();
     let mut likes = Vec::new();
     for chunk in stream.chunks(20).take(chunks) {
@@ -168,7 +168,7 @@ impl ChaosServer {
 }
 
 fn call(stream: &mut TcpStream, id: u64, params: ServiceParams) -> Result<Response, String> {
-    let req = Request { id, deadline_us: 0, params };
+    let req = Request { id, deadline_us: 0, min_seq: 0, params };
     proto::write_frame(stream, &proto::encode_request(&req)).map_err(|e| format!("write: {e}"))?;
     let payload = proto::read_frame(stream).map_err(|e| format!("read: {e}"))?;
     proto::decode_response(&payload).map_err(|e| format!("decode: {}", e.detail))

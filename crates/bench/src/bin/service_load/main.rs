@@ -16,6 +16,7 @@
 //!              [--tcp | --connect HOST:PORT]
 //!              [--updates] [--exercise-edges] [--retries N]
 //!              [--wal-bench] [--chaos [--server-bin PATH]]
+//!              [--replication [--followers N]]
 //!              [--interference] [--out PATH]
 //!              [--sweep] [--sweep-levels 1,2,...,1024] [--sweep-duration 2s]
 //! ```
@@ -43,6 +44,15 @@
 //! (the server dedupes by sequence number), and finally proves the
 //! recovered store answers all 25 BI queries identically to an oracle
 //! that applied exactly the acknowledged batches once each.
+//!
+//! `--replication` runs experiment E17 instead of the load window: it
+//! spawns one primary `snb-server` plus `--followers N` follower
+//! processes subscribed over the log-shipping port, measures catch-up
+//! from a cold WAL, samples replication lag while writes stream,
+//! ladders read throughput from the primary alone to the full cluster,
+//! then SIGKILLs the primary mid-ship, promotes a follower, resubmits
+//! the unacked suffix, and proves the promoted node answers all 25 BI
+//! queries identically to an every-batch oracle (see `replication.rs`).
 //!
 //! `--interference` runs experiment E15 instead of the plain load
 //! window: two identical closed-loop read windows against the same
@@ -77,6 +87,7 @@ use snb_store::DeleteOp;
 
 mod chaos;
 mod interference;
+mod replication;
 mod sweep;
 mod wal_bench;
 
@@ -98,6 +109,8 @@ struct Args {
     retries: u32,
     wal_bench: bool,
     chaos: bool,
+    replication: bool,
+    followers: usize,
     interference: bool,
     sweep: bool,
     sweep_levels: Vec<usize>,
@@ -135,6 +148,8 @@ fn parse_args() -> Result<Args, String> {
         retries: 0,
         wal_bench: false,
         chaos: false,
+        replication: false,
+        followers: 2,
         interference: false,
         sweep: false,
         sweep_levels: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
@@ -183,6 +198,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--wal-bench" => args.wal_bench = true,
             "--chaos" => args.chaos = true,
+            "--replication" => args.replication = true,
+            "--followers" => {
+                args.followers =
+                    need("--followers", argv.next())?.parse().map_err(|e| format!("{e}"))?;
+                if args.followers == 0 {
+                    return Err("--followers needs at least one follower".into());
+                }
+            }
             "--interference" => args.interference = true,
             "--sweep" => args.sweep = true,
             "--sweep-levels" => {
@@ -235,6 +258,12 @@ fn parse_args() -> Result<Args, String> {
     if args.interference && (args.tcp || args.connect.is_some() || args.updates || args.open) {
         return Err("--interference drives its own in-process windows (no --tcp/--connect/--updates/--open)".into());
     }
+    if args.replication && (args.tcp || args.connect.is_some() || args.updates || args.open) {
+        return Err(
+            "--replication spawns its own server processes (no --tcp/--connect/--updates/--open)"
+                .into(),
+        );
+    }
     if args.sweep && (args.tcp || args.connect.is_some() || args.updates || args.open) {
         return Err(
             "--sweep drives its own TCP connection ladder (no --tcp/--connect/--updates/--open)"
@@ -265,7 +294,7 @@ impl Transport {
         match self {
             Transport::InProc(c) => Ok(c.call(params, deadline_us)),
             Transport::Tcp(stream) => {
-                let req = Request { id, deadline_us, params };
+                let req = Request { id, deadline_us, min_seq: 0, params };
                 proto::write_frame(stream, &proto::encode_request(&req))
                     .map_err(|e| format!("write: {e}"))?;
                 let payload = proto::read_frame(stream).map_err(|e| format!("read: {e}"))?;
@@ -315,6 +344,8 @@ struct ClientStats {
     bad_request: u64,
     internal: u64,
     store_poisoned: u64,
+    not_primary: u64,
+    stale_read: u64,
     protocol_errors: u64,
     verify_failures: u64,
 }
@@ -331,6 +362,8 @@ impl ClientStats {
         self.bad_request += other.bad_request;
         self.internal += other.internal;
         self.store_poisoned += other.store_poisoned;
+        self.not_primary += other.not_primary;
+        self.stale_read += other.stale_read;
         self.protocol_errors += other.protocol_errors;
         self.verify_failures += other.verify_failures;
     }
@@ -358,6 +391,8 @@ impl ClientStats {
                 ErrorKind::BadRequest => self.bad_request += 1,
                 ErrorKind::Internal => self.internal += 1,
                 ErrorKind::StorePoisoned => self.store_poisoned += 1,
+                ErrorKind::NotPrimary => self.not_primary += 1,
+                ErrorKind::StaleRead => self.stale_read += 1,
             },
         }
     }
@@ -399,6 +434,10 @@ fn main() {
 
     if args.chaos {
         chaos::run(&args);
+        return;
+    }
+    if args.replication {
+        replication::run(&args);
         return;
     }
     if args.interference {
@@ -679,7 +718,8 @@ fn main() {
     out.push_str(&format!(
         "  \"outcomes\": {{\"ok\": {}, \"shed\": {}, \"deadline_missed\": {}, \
          \"deadline_overrun\": {}, \"shutting_down\": {}, \"bad_request\": {}, \"internal\": {}, \
-         \"store_poisoned\": {}, \"protocol_errors\": {}, \"verify_failures\": {}, \
+         \"store_poisoned\": {}, \"not_primary\": {}, \"stale_read\": {}, \
+         \"protocol_errors\": {}, \"verify_failures\": {}, \
          \"burst_shed\": {}, \"burst_deadline_missed\": {}}}",
         total.ok,
         total.overloaded + burst_shed,
@@ -689,6 +729,8 @@ fn main() {
         total.bad_request,
         total.internal,
         total.store_poisoned,
+        total.not_primary,
+        total.stale_read,
         total.protocol_errors,
         total.verify_failures,
         burst_shed,
@@ -702,6 +744,7 @@ fn main() {
              \"rejected_shutdown\": {}, \"bad_requests\": {}, \"internal_errors\": {}, \
              \"updates_applied\": {}, \"deletes_applied\": {}, \"log_records\": {}, \
              \"batches_applied\": {}, \"batches_deduped\": {}, \"poisoned_rejects\": {}, \
+             \"not_primary_rejects\": {}, \"stale_read_rejects\": {}, \
              \"conn_stalled\": {}, \"store_version\": {}, \"versions_published\": {}, \
              \"peak_live_snapshots\": {}, \"reader_retries\": {}, \"reader_blocked\": {}}}",
             r.served,
@@ -723,6 +766,8 @@ fn main() {
             r.batches_applied,
             r.batches_deduped,
             r.poisoned_rejects,
+            r.not_primary_rejects,
+            r.stale_read_rejects,
             r.conn_stalled,
             r.versions_published,
             r.versions_published,
@@ -764,6 +809,7 @@ fn exercise_edges(addr: &str, pool: &[(u8, BiParams)]) -> (u64, u64) {
             let req = Request {
                 id: i as u64 + 1,
                 deadline_us,
+                min_seq: 0,
                 params: ServiceParams::Bi(params.clone()),
             };
             proto::write_frame(&mut conn, &proto::encode_request(&req)).expect("burst write");

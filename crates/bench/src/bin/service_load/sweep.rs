@@ -89,7 +89,7 @@ impl LevelStats {
 }
 
 fn call(conn: &mut TcpStream, id: u64, params: ServiceParams) -> Result<Response, String> {
-    let req = Request { id, deadline_us: 0, params };
+    let req = Request { id, deadline_us: 0, min_seq: 0, params };
     proto::write_frame(conn, &proto::encode_request(&req)).map_err(|e| format!("write: {e}"))?;
     let payload = proto::read_frame(conn).map_err(|e| format!("read: {e}"))?;
     proto::decode_response(&payload).map_err(|e| format!("decode: {}", e.detail))
@@ -137,7 +137,7 @@ fn run_level(
                         let heavy = n.is_multiple_of(MIX_PERIOD);
                         let params =
                             if heavy { heavy_params(&pools, n) } else { short_params(&pools, n) };
-                        let req = Request { id: n, deadline_us: 0, params };
+                        let req = Request { id: n, deadline_us: 0, min_seq: 0, params };
                         if proto::write_frame(conn, &proto::encode_request(&req)).is_err() {
                             stats.protocol_errors += 1;
                         }
@@ -194,7 +194,7 @@ fn run_flood(
     let mut flood_conn = TcpStream::connect(addr).expect("flood connect");
     let _ = flood_conn.set_nodelay(true);
     for i in 0..FLOOD as u64 {
-        let req = Request { id: i + 1, deadline_us: 0, params: heavy_params(pools, i) };
+        let req = Request { id: i + 1, deadline_us: 0, min_seq: 0, params: heavy_params(pools, i) };
         proto::write_frame(&mut flood_conn, &proto::encode_request(&req)).expect("flood write");
     }
     // Probe only once a real heavy backlog is admitted.

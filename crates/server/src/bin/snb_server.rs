@@ -8,6 +8,7 @@
 //!            [--deadline-ms N] [--short-deadline-ms N] [--profile]
 //!            [--wal-dir PATH] [--fsync-every N] [--snapshot-every N]
 //!            [--conn-timeout-ms N] [--partitions N] [--group-commit]
+//!            [--repl-port N] [--follower] [--replicate-from ADDR]
 //! ```
 //!
 //! Admission is split into three priority lanes — IS/IC short reads,
@@ -29,9 +30,20 @@
 //! `--wal-dir` enables the write workload: the directory is recovered
 //! (snapshot + WAL tail, torn records truncated) before the listener
 //! opens, and every acknowledged batch is WAL-appended first. The
-//! recovery summary is printed as `recovered seq=N ...` on stdout so
-//! chaos harnesses can assert on it. Fault injection arms from
-//! `$SNB_FAULTS` / `$SNB_FAULT_SEED` (see `snb_fault`).
+//! recovery summary is printed as `recovered seq=N ...` on stdout
+//! (including `replayed=` and `recovery_ms=`) so chaos harnesses can
+//! assert on it, and the same numbers open the access log as its
+//! preamble record. Fault injection arms from `$SNB_FAULTS` /
+//! `$SNB_FAULT_SEED` (see `snb_fault`).
+//!
+//! Replication (requires `--wal-dir`): `--repl-port N` opens the
+//! log-shipping listener, announced as `replication on 127.0.0.1:PORT`
+//! on stdout *before* the `listening on` line. `--follower` starts the
+//! node read-only (client writes answer `not_primary` until a
+//! `Promote` frame arrives on the replication port), and
+//! `--replicate-from ADDR` subscribes to a primary's replication
+//! listener and applies its shipped records through the local durable
+//! write path.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -67,6 +79,8 @@ struct Args {
     server: ServerConfig,
     wal_dir: Option<std::path::PathBuf>,
     wal: WalOptions,
+    repl_port: Option<u16>,
+    replicate_from: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -75,6 +89,8 @@ fn parse_args() -> Result<Args, String> {
     let mut server = ServerConfig::default();
     let mut wal_dir = None;
     let mut wal = WalOptions::default();
+    let mut repl_port = None;
+    let mut replicate_from = None;
     let mut argv = std::env::args().skip(1);
     let parse = |name: &str, v: Option<String>| -> Result<u64, String> {
         v.ok_or_else(|| format!("{name} needs a value"))?
@@ -127,6 +143,11 @@ fn parse_args() -> Result<Args, String> {
                 server.partitions = parse("--partitions", argv.next())?.max(1) as usize;
             }
             "--group-commit" => wal.group_commit = true,
+            "--repl-port" => repl_port = Some(parse("--repl-port", argv.next())? as u16),
+            "--follower" => server.read_only = true,
+            "--replicate-from" => {
+                replicate_from = Some(argv.next().ok_or("--replicate-from needs a value")?);
+            }
             "--profile" => server.profiling = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positionals.push(other.to_string()),
@@ -151,7 +172,19 @@ fn parse_args() -> Result<Args, String> {
     if let Some(seed) = positionals.get(1) {
         config.seed = seed.parse().map_err(|e| format!("seed: {e}"))?;
     }
-    Ok(Args { config, scale: sf.to_string(), port, server, wal_dir, wal })
+    if (repl_port.is_some() || replicate_from.is_some()) && wal_dir.is_none() {
+        return Err("replication needs a WAL: pass --wal-dir".into());
+    }
+    Ok(Args {
+        config,
+        scale: sf.to_string(),
+        port,
+        server,
+        wal_dir,
+        wal,
+        repl_port,
+        replicate_from,
+    })
 }
 
 fn main() {
@@ -187,15 +220,52 @@ fn main() {
         eprintln!("# store ready in {:.2?}", started.elapsed());
         // Harness contract: one recovery summary line on stdout.
         println!(
-            "recovered seq={} snapshot_entries={} wal_entries={} truncated_bytes={}",
-            report.last_seq, report.snapshot_entries, report.wal_entries, report.truncated_bytes
+            "recovered seq={} snapshot_entries={} wal_entries={} truncated_bytes={} \
+             replayed={} recovery_ms={}",
+            report.last_seq,
+            report.snapshot_entries,
+            report.wal_entries,
+            report.truncated_bytes,
+            report.replayed(),
+            report.recovery_us / 1000,
         );
-        Server::start_durable(store, args.server.clone(), durability)
+        let server = Server::start_durable(store, args.server.clone(), durability);
+        // The same numbers open the access log, so catch-up time is
+        // measurable from the log alone.
+        server.access_log().push_recovery_preamble(
+            report.replayed(),
+            report.recovery_us,
+            report.last_seq,
+        );
+        server
     } else {
         let store = snb_store::store_for_config(&args.config);
         eprintln!("# store ready in {:.2?}", started.elapsed());
         Server::start(store, args.server.clone())
     };
+    let repl_config = args.wal_dir.as_ref().map(|dir| snb_server::ReplicationConfig {
+        wal_dir: dir.clone(),
+        scale: args.scale.clone(),
+        seed: args.config.seed,
+        partitions: args.server.partitions.max(1),
+    });
+    // Announced before `listening on` so harnesses can scrape both in
+    // order.
+    if let Some(repl_port) = args.repl_port {
+        let config = repl_config.clone().expect("parse_args enforces --wal-dir");
+        match server.listen_replication(&format!("127.0.0.1:{repl_port}"), config) {
+            Ok(repl_addr) => println!("replication on {repl_addr}"),
+            Err(e) => {
+                eprintln!("snb-server: replication bind failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let follower = args.replicate_from.as_ref().map(|primary| {
+        let config = repl_config.clone().expect("parse_args enforces --wal-dir");
+        eprintln!("# following {primary}");
+        server.replicate_from(primary, config)
+    });
     let addr = match server.listen(&format!("127.0.0.1:{}", args.port)) {
         Ok(a) => a,
         Err(e) => {
@@ -215,10 +285,35 @@ fn main() {
         args.server.profiling
     );
 
+    let mut was_read_only = server.is_read_only();
     while !SHUTDOWN.load(Ordering::Acquire) {
         std::thread::sleep(Duration::from_millis(50));
+        // Promotion arrives on the replication port; announce the flip
+        // on stdout so failover harnesses can scrape it.
+        if was_read_only && !server.is_read_only() {
+            was_read_only = false;
+            // Ignore stdout errors: a harness that scraped the startup
+            // lines and closed the pipe must not crash a freshly
+            // promoted primary with EPIPE.
+            let mut out = std::io::stdout();
+            let _ = writeln!(out, "promoted writable_from={}", server.last_applied_seq());
+            let _ = out.flush();
+        }
     }
     eprintln!("# signal received, draining ...");
+    if let Some(follower) = follower {
+        let st = follower.status();
+        eprintln!(
+            "# follower: applied {} deduped {} errors {} caught_up {} catch_up_ms {} lag {}",
+            st.records_applied,
+            st.records_deduped,
+            st.apply_errors,
+            st.caught_up,
+            st.catch_up_ms,
+            st.lag(),
+        );
+        follower.stop();
+    }
     let log = server.log_handle();
     let report = server.shutdown();
     if let Ok(path) = std::env::var("SNB_ACCESS_LOG") {

@@ -35,21 +35,26 @@ pub mod proto;
 pub mod queue;
 #[cfg(target_os = "linux")]
 pub(crate) mod reactor;
+pub mod replication;
 pub mod retry;
 pub mod server;
 pub mod wal;
 
 pub use log::{AccessLog, AccessRecord};
 pub use proto::{
-    ErrorBody, ErrorKind, Lane, OkBody, Request, Response, ServiceParams, WriteBatch, WriteOps,
+    ErrorBody, ErrorKind, Lane, OkBody, ReplFrame, Request, RequestHeader, Response, ServiceParams,
+    WriteBatch, WriteOps,
 };
 pub use queue::{Admitted, LaneQueues, PushError, ShedPolicy};
+pub use replication::{FollowerHandle, FollowerStatus, ReplicationConfig};
 pub use retry::RetryPolicy;
 pub use server::{
     Durability, InProcClient, LaneSettings, LanesConfig, LogHandle, Server, ServerConfig,
     ServiceReport, StoreWriter,
 };
-pub use wal::{recover, Recovered, RecoveryReport, SegmentedWal, Wal, WalOptions};
+pub use wal::{
+    recover, Recovered, RecoveryReport, SegmentedWal, ShippedRecord, Wal, WalOptions, WalTailer,
+};
 
 #[cfg(test)]
 mod tests {
@@ -254,7 +259,12 @@ mod tests {
 
         // Pipeline every request before reading any response.
         for (i, p) in sample_params().into_iter().enumerate() {
-            let req = Request { id: i as u64 + 1, deadline_us: 0, params: ServiceParams::Bi(p) };
+            let req = Request {
+                id: i as u64 + 1,
+                deadline_us: 0,
+                min_seq: 0,
+                params: ServiceParams::Bi(p),
+            };
             let payload = proto::encode_request(&req);
             proto::write_frame(&mut conn, &payload).expect("write frame");
         }
@@ -292,7 +302,12 @@ mod tests {
         let addr = server.listen("127.0.0.1:0").expect("bind");
         let mut conn = std::net::TcpStream::connect(addr).expect("connect");
         for i in 0..4u64 {
-            let req = Request { id: i + 1, deadline_us: 0, params: ServiceParams::Bi(q13_india()) };
+            let req = Request {
+                id: i + 1,
+                deadline_us: 0,
+                min_seq: 0,
+                params: ServiceParams::Bi(q13_india()),
+            };
             proto::write_frame(&mut conn, &proto::encode_request(&req)).expect("write");
         }
         conn.flush().unwrap();

@@ -116,6 +116,30 @@ impl AccessLog {
         self.records.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(record);
     }
 
+    /// Records the startup-recovery summary as the log's preamble:
+    /// `outcome: "recovered"`, `rows` = records replayed through the
+    /// apply path, `exec_us` = recovery wall-clock, `fingerprint` = the
+    /// recovered sequence high-water mark. Replication catch-up time is
+    /// measured against this baseline, so it lives in the same log the
+    /// requests do.
+    pub fn push_recovery_preamble(&self, replayed: u64, recovery_us: u64, last_seq: u64) {
+        self.push(AccessRecord {
+            seq: self.next_seq(),
+            workload: "",
+            query: 0,
+            binding_hash: 0,
+            lane: "",
+            queue_us: 0,
+            exec_us: recovery_us,
+            outcome: "recovered",
+            rows: replayed,
+            fingerprint: last_seq,
+            store_version: 0,
+            snapshot_age_us: 0,
+            profile: None,
+        });
+    }
+
     /// Number of records so far.
     pub fn len(&self) -> usize {
         self.records.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
@@ -191,6 +215,19 @@ mod tests {
         assert!(jsonl.lines().next().unwrap().contains("\"lane\": \"heavy\""));
         assert!(jsonl.lines().next().unwrap().contains("\"store_version\": 7"));
         assert!(jsonl.lines().next().unwrap().contains("\"snapshot_age_us\": 42"));
+    }
+
+    #[test]
+    fn recovery_preamble_is_a_normal_record() {
+        let log = AccessLog::new();
+        log.push_recovery_preamble(42, 1_500, 37);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].outcome, "recovered");
+        assert_eq!(snap[0].rows, 42, "rows carries the replayed-record count");
+        assert_eq!(snap[0].exec_us, 1_500, "exec_us carries the recovery wall-clock");
+        assert_eq!(snap[0].fingerprint, 37, "fingerprint carries the recovered seq");
+        assert!(log.render_jsonl().contains("\"outcome\": \"recovered\""));
     }
 
     #[test]

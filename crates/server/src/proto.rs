@@ -185,6 +185,12 @@ pub struct Request {
     /// Relative deadline in microseconds from server admission; `0`
     /// means "no deadline" (the server default applies).
     pub deadline_us: u64,
+    /// Bounded-staleness floor: the server must have applied at least
+    /// this write sequence number before serving the read, else it
+    /// answers [`ErrorKind::StaleRead`]. `0` means "any version" —
+    /// every request before replication existed, and every client that
+    /// doesn't care about freshness.
+    pub min_seq: u64,
     /// The query binding to execute.
     pub params: ServiceParams,
 }
@@ -214,6 +220,15 @@ pub enum ErrorKind {
     /// retrying a spent deadline only burns more of the caller's
     /// budget.
     DeadlineOverrun,
+    /// A write was sent to a read-only replica. Terminal with redirect:
+    /// re-sending the same write here can never succeed — the client
+    /// must route it to the primary instead. The detail names the
+    /// node's role so operators can see misrouted traffic in logs.
+    NotPrimary,
+    /// A read demanded `min_seq` freshness the node hasn't replayed
+    /// yet. Retryable — replication lag drains, so the same request
+    /// sent a moment later (or to a fresher node) succeeds.
+    StaleRead,
 }
 
 impl ErrorKind {
@@ -226,6 +241,8 @@ impl ErrorKind {
             ErrorKind::Internal => 5,
             ErrorKind::StorePoisoned => 6,
             ErrorKind::DeadlineOverrun => 7,
+            ErrorKind::NotPrimary => 8,
+            ErrorKind::StaleRead => 9,
         }
     }
 
@@ -238,6 +255,8 @@ impl ErrorKind {
             5 => Some(ErrorKind::Internal),
             6 => Some(ErrorKind::StorePoisoned),
             7 => Some(ErrorKind::DeadlineOverrun),
+            8 => Some(ErrorKind::NotPrimary),
+            9 => Some(ErrorKind::StaleRead),
             _ => None,
         }
     }
@@ -252,6 +271,8 @@ impl ErrorKind {
             ErrorKind::Internal => "internal",
             ErrorKind::StorePoisoned => "store_poisoned",
             ErrorKind::DeadlineOverrun => "deadline_overrun",
+            ErrorKind::NotPrimary => "not_primary",
+            ErrorKind::StaleRead => "stale_read",
         }
     }
 }
@@ -268,6 +289,11 @@ pub struct OkBody {
     pub queue_us: u64,
     /// Pure execution time.
     pub exec_us: u64,
+    /// The highest write sequence number applied to the store version
+    /// this request observed — the bounded-staleness stamp. A client
+    /// computes its lag as `primary_seq - applied_seq`, and can demand
+    /// freshness with [`Request::min_seq`].
+    pub applied_seq: u64,
     /// Operator counters for this request (present when the server runs
     /// with per-request profiling enabled).
     pub profile: Option<QueryProfile>,
@@ -725,8 +751,51 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     put_u8(&mut buf, PROTO_VERSION);
     put_u64(&mut buf, req.id);
     put_u64(&mut buf, req.deadline_us);
+    put_u64(&mut buf, req.min_seq);
     encode_params(&mut buf, &req.params);
     buf
+}
+
+/// Everything the reactor needs before handing a raw frame to a lane
+/// worker: the correlation id (for typed error replies), the header
+/// fields admission gates on, and the lane (which queue to enqueue the
+/// undecoded frame into). Full binding decode happens on the worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Client correlation id.
+    pub id: u64,
+    /// Relative deadline in microseconds (`0` = server default).
+    pub deadline_us: u64,
+    /// Bounded-staleness floor (`0` = any version).
+    pub min_seq: u64,
+    /// Admission lane, derived from the workload tag byte.
+    pub lane: Lane,
+}
+
+/// Parses just the fixed-offset request header — version, id, deadline,
+/// staleness floor, and the workload byte that determines the lane —
+/// without touching the binding payload. This is the reactor's entire
+/// per-frame parse: a few bounds-checked reads, so a peer sending
+/// parse-heavy bindings cannot stall transport reads for everyone else.
+/// The binding itself is decoded later on a lane worker, which still
+/// answers a typed `bad_request` on failure.
+pub fn peek_header(payload: &[u8]) -> Result<RequestHeader, DecodeError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != PROTO_VERSION {
+        return Err(r.err(format!("unsupported protocol version {version}")));
+    }
+    let id = r.u64()?;
+    r.id = Some(id);
+    let deadline_us = r.u64()?;
+    let min_seq = r.u64()?;
+    let lane = match r.u8()? {
+        WORKLOAD_BI => Lane::Heavy,
+        WORKLOAD_IC | WORKLOAD_IS => Lane::Short,
+        WORKLOAD_WR => Lane::Write,
+        other => return Err(r.err(format!("unknown workload tag {other}"))),
+    };
+    Ok(RequestHeader { id, deadline_us, min_seq, lane })
 }
 
 /// Parses a request frame payload.
@@ -739,6 +808,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
     let id = r.u64()?;
     r.id = Some(id);
     let deadline_us = r.u64()?;
+    let min_seq = r.u64()?;
     let workload = r.u8()?;
     let query = r.u8()?;
     let params = match workload {
@@ -759,7 +829,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, DecodeError> {
         other => return Err(r.err(format!("unknown workload tag {other}"))),
     };
     r.finish()?;
-    Ok(Request { id, deadline_us, params })
+    Ok(Request { id, deadline_us, min_seq, params })
 }
 
 const STATUS_OK: u8 = 0;
@@ -818,6 +888,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut buf, ok.fingerprint);
             put_u64(&mut buf, ok.queue_us);
             put_u64(&mut buf, ok.exec_us);
+            put_u64(&mut buf, ok.applied_seq);
             encode_profile(&mut buf, &ok.profile);
         }
         Err(e) => {
@@ -845,6 +916,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
             fingerprint: r.u64()?,
             queue_us: r.u64()?,
             exec_us: r.u64()?,
+            applied_seq: r.u64()?,
             profile: decode_profile(&mut r)?,
         })
     } else {
@@ -907,6 +979,165 @@ pub fn read_frame(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+// ---------------------------------------------------------------------
+// Replication frames.
+// ---------------------------------------------------------------------
+
+/// Version byte leading every replication frame payload. Separate from
+/// [`PROTO_VERSION`] so the shipping protocol can evolve without
+/// breaking query clients.
+pub const REPL_VERSION: u8 = 1;
+
+const REPL_HELLO: u8 = 1;
+const REPL_RECORD: u8 = 2;
+const REPL_CAUGHT_UP: u8 = 3;
+const REPL_HEARTBEAT: u8 = 4;
+const REPL_PROMOTE: u8 = 5;
+const REPL_PROMOTED: u8 = 6;
+const REPL_DENY: u8 = 7;
+
+/// One frame of the log-shipping protocol, spoken on the replication
+/// listener (a separate port from query traffic). A follower opens the
+/// stream with `Hello`; the primary replays the acked WAL tail as
+/// `Record`s, marks the live edge with `CaughtUp`, then keeps shipping
+/// new records interleaved with `Heartbeat`s. `Promote`/`Promoted` ride
+/// the same codec because the operator (or failover harness) speaks to
+/// the follower's own replication listener to flip it writable.
+#[derive(Clone, Debug)]
+pub enum ReplFrame {
+    /// Follower → primary: subscribe to the log from `from_seq`
+    /// (exclusive — the follower already has everything at or below
+    /// it). Scale/seed/partitions must match the primary's or it
+    /// answers `Deny`: shipping records into a store built from a
+    /// different deterministic world would corrupt it silently.
+    Hello {
+        /// The follower's configured scale label.
+        scale: String,
+        /// The follower's datagen seed.
+        seed: u64,
+        /// The follower's partition count.
+        partitions: u32,
+        /// Ship records with `seq > from_seq`.
+        from_seq: u64,
+    },
+    /// Primary → follower: one acked WAL record. `partition` is the
+    /// segment the record lives in on the primary — followers write it
+    /// to the same segment so their WAL layout mirrors the primary's
+    /// and a promoted follower's log is indistinguishable from a
+    /// primary's.
+    Record {
+        /// Global write sequence number.
+        seq: u64,
+        /// Originating WAL partition.
+        partition: u32,
+        /// The batch payload.
+        ops: WriteOps,
+    },
+    /// Primary → follower: the backlog through `through_seq` has been
+    /// shipped; everything after this frame is live tail. The follower
+    /// uses it to mark catch-up complete (and stamp catch-up duration).
+    CaughtUp {
+        /// Highest sequence shipped before this marker.
+        through_seq: u64,
+    },
+    /// Primary → follower: periodic liveness + lag beacon carrying the
+    /// primary's current acked high-water mark.
+    Heartbeat {
+        /// The primary's flushed (acked) sequence high-water mark.
+        last_seq: u64,
+    },
+    /// Operator → follower: stop following, become a writable primary.
+    /// Idempotent — promoting an already-promoted node re-acks.
+    Promote,
+    /// Follower → operator: promotion done; writes are accepted from
+    /// `seq + 1` onward.
+    Promoted {
+        /// The node's last applied sequence at promotion.
+        seq: u64,
+    },
+    /// Either side: the request was refused (mismatched world, Hello to
+    /// a non-primary, promote of a node that can't promote).
+    Deny {
+        /// Why.
+        detail: String,
+    },
+}
+
+/// Serialises a replication frame into a frame payload (no length
+/// prefix — transport framing is the same [`write_frame`] as queries).
+pub fn encode_repl(frame: &ReplFrame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u8(&mut buf, REPL_VERSION);
+    match frame {
+        ReplFrame::Hello { scale, seed, partitions, from_seq } => {
+            put_u8(&mut buf, REPL_HELLO);
+            put_str(&mut buf, scale);
+            put_u64(&mut buf, *seed);
+            put_u32(&mut buf, *partitions);
+            put_u64(&mut buf, *from_seq);
+        }
+        ReplFrame::Record { seq, partition, ops } => {
+            put_u8(&mut buf, REPL_RECORD);
+            put_u64(&mut buf, *seq);
+            put_u32(&mut buf, *partition);
+            put_u8(&mut buf, ops.query_tag());
+            crate::events::encode_write_ops(&mut buf, ops);
+        }
+        ReplFrame::CaughtUp { through_seq } => {
+            put_u8(&mut buf, REPL_CAUGHT_UP);
+            put_u64(&mut buf, *through_seq);
+        }
+        ReplFrame::Heartbeat { last_seq } => {
+            put_u8(&mut buf, REPL_HEARTBEAT);
+            put_u64(&mut buf, *last_seq);
+        }
+        ReplFrame::Promote => {
+            put_u8(&mut buf, REPL_PROMOTE);
+        }
+        ReplFrame::Promoted { seq } => {
+            put_u8(&mut buf, REPL_PROMOTED);
+            put_u64(&mut buf, *seq);
+        }
+        ReplFrame::Deny { detail } => {
+            put_u8(&mut buf, REPL_DENY);
+            put_str(&mut buf, detail);
+        }
+    }
+    buf
+}
+
+/// Parses a replication frame payload.
+pub fn decode_repl(payload: &[u8]) -> Result<ReplFrame, DecodeError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != REPL_VERSION {
+        return Err(r.err(format!("unsupported replication version {version}")));
+    }
+    let frame = match r.u8()? {
+        REPL_HELLO => ReplFrame::Hello {
+            scale: r.string()?,
+            seed: r.u64()?,
+            partitions: r.u32()?,
+            from_seq: r.u64()?,
+        },
+        REPL_RECORD => {
+            let seq = r.u64()?;
+            let partition = r.u32()?;
+            let family = r.u8()?;
+            let ops = crate::events::decode_write_ops(&mut r, family)?;
+            ReplFrame::Record { seq, partition, ops }
+        }
+        REPL_CAUGHT_UP => ReplFrame::CaughtUp { through_seq: r.u64()? },
+        REPL_HEARTBEAT => ReplFrame::Heartbeat { last_seq: r.u64()? },
+        REPL_PROMOTE => ReplFrame::Promote,
+        REPL_PROMOTED => ReplFrame::Promoted { seq: r.u64()? },
+        REPL_DENY => ReplFrame::Deny { detail: r.string()? },
+        other => return Err(r.err(format!("unknown replication frame tag {other}"))),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -965,12 +1196,27 @@ mod tests {
     #[test]
     fn request_roundtrip_preserves_bindings() {
         for (i, params) in sample_bindings().into_iter().enumerate() {
-            let req = Request { id: i as u64 + 100, deadline_us: 5_000, params };
+            let req =
+                Request { id: i as u64 + 100, deadline_us: 5_000, min_seq: i as u64 * 3, params };
             let bytes = encode_request(&req);
+            // The header peek and the full decode must agree on every
+            // fixed-offset field — the reactor gates on the peek, the
+            // worker on the decode.
+            let head = peek_header(&bytes).unwrap();
             let back = decode_request(&bytes).unwrap();
             assert_eq!(back.id, req.id);
             assert_eq!(back.deadline_us, req.deadline_us);
+            assert_eq!(back.min_seq, req.min_seq);
             assert_eq!(format!("{:?}", back.params), format!("{:?}", req.params));
+            assert_eq!(
+                head,
+                RequestHeader {
+                    id: req.id,
+                    deadline_us: req.deadline_us,
+                    min_seq: req.min_seq,
+                    lane: req.params.lane(),
+                }
+            );
         }
     }
 
@@ -984,6 +1230,7 @@ mod tests {
                     fingerprint: 0xdead_beef,
                     queue_us: 12,
                     exec_us: 345,
+                    applied_seq: 9,
                     profile: None,
                 }),
             },
@@ -994,6 +1241,7 @@ mod tests {
                     fingerprint: 7,
                     queue_us: 1,
                     exec_us: 2,
+                    applied_seq: 0,
                     profile: Some(QueryProfile {
                         par_calls: 4,
                         morsels: 8,
@@ -1027,6 +1275,22 @@ mod tests {
                     detail: "deadline 500us, finished at 820us (exec 780us)".into(),
                 }),
             },
+            Response {
+                id: 6,
+                body: Err(ErrorBody {
+                    kind: ErrorKind::NotPrimary,
+                    queue_us: 0,
+                    detail: "read-only follower; route writes to the primary".into(),
+                }),
+            },
+            Response {
+                id: 7,
+                body: Err(ErrorBody {
+                    kind: ErrorKind::StaleRead,
+                    queue_us: 0,
+                    detail: "min_seq 40, applied 37 (lag 3)".into(),
+                }),
+            },
         ];
         for resp in cases {
             let bytes = encode_response(&resp);
@@ -1040,6 +1304,7 @@ mod tests {
         let req = Request {
             id: 77,
             deadline_us: 0,
+            min_seq: 0,
             params: ServiceParams::Bi(BiParams::Q5(snb_bi::bi05::Params {
                 country: "China".into(),
             })),
@@ -1054,9 +1319,14 @@ mod tests {
         put_u8(&mut buf, PROTO_VERSION);
         put_u64(&mut buf, 5);
         put_u64(&mut buf, 0);
+        put_u64(&mut buf, 0);
         put_u8(&mut buf, WORKLOAD_BI);
         put_u8(&mut buf, 99);
         assert!(decode_request(&buf).is_err());
+        // ... but the header peek succeeds: the lane is known from the
+        // workload byte alone, and the bad query number surfaces as a
+        // typed error on the worker.
+        assert_eq!(peek_header(&buf).unwrap().lane, Lane::Heavy);
 
         // Bad version.
         let mut buf = encode_request(&req);
@@ -1073,6 +1343,7 @@ mod tests {
         let write = Request {
             id: 13,
             deadline_us: 0,
+            min_seq: 0,
             params: ServiceParams::Write(WriteBatch {
                 seq: 4,
                 ops: WriteOps::Deletes(vec![
@@ -1160,6 +1431,89 @@ mod tests {
         for (i, lane) in Lane::ALL.iter().enumerate() {
             assert_eq!(lane.index(), i);
         }
+    }
+
+    fn sample_repl_frames() -> Vec<ReplFrame> {
+        let config = snb_datagen::GeneratorConfig::for_scale_name("0.001").unwrap();
+        let (_, stream) = snb_store::bulk_store_and_stream(&config);
+        assert!(stream.len() >= 3, "stream too short for repl samples");
+        vec![
+            ReplFrame::Hello { scale: "0.001".into(), seed: 42, partitions: 2, from_seq: 17 },
+            ReplFrame::Record {
+                seq: 18,
+                partition: 1,
+                ops: WriteOps::Updates(stream[..3].to_vec()),
+            },
+            ReplFrame::Record {
+                seq: 19,
+                partition: 0,
+                ops: WriteOps::Deletes(vec![
+                    snb_store::DeleteOp::Like(7, 9),
+                    snb_store::DeleteOp::Forum(3),
+                ]),
+            },
+            ReplFrame::CaughtUp { through_seq: 19 },
+            ReplFrame::Heartbeat { last_seq: 25 },
+            ReplFrame::Promote,
+            ReplFrame::Promoted { seq: 25 },
+            ReplFrame::Deny { detail: "scale mismatch".into() },
+        ]
+    }
+
+    #[test]
+    fn repl_frames_roundtrip_exactly() {
+        for frame in sample_repl_frames() {
+            let bytes = encode_repl(&frame);
+            let back = decode_repl(&bytes).expect("repl frame decodes");
+            // WriteOps payloads don't implement PartialEq; Debug form is
+            // the repo-wide stand-in (same as the event codec tests).
+            assert_eq!(format!("{back:?}"), format!("{frame:?}"));
+        }
+    }
+
+    #[test]
+    fn bad_repl_frames_are_typed_errors_not_panics() {
+        // Every frame flavour truncated at every byte boundary: typed
+        // error each time, never a panic or an over-read.
+        for frame in sample_repl_frames() {
+            let bytes = encode_repl(&frame);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_repl(&bytes[..cut]).is_err(),
+                    "cut at {cut} of {:?} must not decode",
+                    bytes[..cut.min(2)].first()
+                );
+            }
+            // Trailing garbage is refused too.
+            let mut padded = bytes.clone();
+            padded.push(0);
+            assert!(decode_repl(&padded).is_err());
+        }
+
+        // Bad version byte.
+        let mut bytes = encode_repl(&ReplFrame::Promote);
+        bytes[0] = 9;
+        assert!(decode_repl(&bytes).is_err());
+
+        // Unknown frame tag.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, REPL_VERSION);
+        put_u8(&mut buf, 99);
+        assert!(decode_repl(&buf).is_err());
+
+        // Transport layer is shared with queries, so the oversized /
+        // mid-frame-disconnect behaviour pinned there applies here: an
+        // oversized prefix is refused before allocation, a torn frame
+        // is an I/O error, not a hang.
+        let mut oversized = Vec::new();
+        put_u32(&mut oversized, MAX_FRAME + 1);
+        let err = read_frame(&mut std::io::Cursor::new(&oversized)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let mut torn = Vec::new();
+        put_u32(&mut torn, 64);
+        torn.extend_from_slice(&encode_repl(&ReplFrame::Heartbeat { last_seq: 1 }));
+        let err = read_frame(&mut std::io::Cursor::new(&torn)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! Cross-process replication: per-partition WAL log shipping.
+//!
+//! A **primary** exposes a replication listener (a separate port from
+//! query traffic) and streams its acked WAL records — tail-read through
+//! [`crate::wal::WalTailer`], so compaction never disturbs the cursor —
+//! to any number of **followers**. A follower connects with
+//! [`ReplFrame::Hello`] carrying its applied high-water mark, replays
+//! the backlog through its own [`crate::server::ServerInner::submit_batch`]
+//! write path (same WAL append + apply + snapshot publication as a
+//! primary, so a follower's on-disk state is a primary's), and then
+//! applies the live tail as it arrives. Because apply goes through the
+//! seq-dedupe gate, delivery is at-least-once but application is
+//! exactly-once: a follower restart or a rewound cursor re-ships
+//! records that are simply re-acked as duplicates.
+//!
+//! **Staleness contract.** Followers serve reads lock-free from their
+//! published snapshots; every response carries `applied_seq`, and a
+//! client that needs read-your-writes sends `min_seq` — admission
+//! refuses with `stale_read` (retryable) until the follower catches up.
+//! The store version is published *before* `last_applied_seq` advances,
+//! so a request admitted at `applied_seq = n` pins a snapshot containing
+//! every write `≤ n`.
+//!
+//! **Promotion.** The failover harness (or an operator) speaks
+//! [`ReplFrame::Promote`] to the *follower's* replication listener; the
+//! follower clears read-only mode, answers [`ReplFrame::Promoted`] with
+//! the sequence it is writable from, and its applier loop exits. From
+//! then on it accepts writes at `seq + 1` and serves `Hello` itself —
+//! a promoted follower is a primary in every observable way.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::proto::{decode_repl, encode_repl, take_frame, write_frame, ReplFrame, WriteBatch};
+use crate::server::{Server, ServerInner};
+use crate::wal::WalTailer;
+
+/// How often an idle ship loop re-polls the WAL for new acked records.
+/// Low, because this bounds best-case replication lag.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+/// Idle heartbeat period: keeps the follower's view of the primary's
+/// high-water mark fresh and surfaces dead peers via write failures.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(150);
+/// Read timeout on replication sockets; reads buffer through
+/// [`take_frame`], so a timeout mid-frame loses nothing.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// What a node needs to know about its own WAL/world to ship or
+/// subscribe: the shipping cursor reads `wal_dir` directly, and
+/// scale/seed/partitions fence `Hello` against a mismatched
+/// deterministic world (applying another world's records would corrupt
+/// the store silently, not loudly).
+#[derive(Clone, Debug)]
+pub struct ReplicationConfig {
+    /// The node's own WAL directory (the primary tails it to ship).
+    pub wal_dir: PathBuf,
+    /// Datagen scale label, e.g. `"0.003"`.
+    pub scale: String,
+    /// Datagen seed.
+    pub seed: u64,
+    /// WAL partition count.
+    pub partitions: usize,
+}
+
+/// Internal follower-side gauges, shared between the applier thread and
+/// [`FollowerHandle::status`].
+struct FollowerState {
+    stopped: AtomicBool,
+    connected: AtomicBool,
+    caught_up: AtomicBool,
+    denied: AtomicBool,
+    catch_up_ms: AtomicU64,
+    records_applied: AtomicU64,
+    records_deduped: AtomicU64,
+    apply_errors: AtomicU64,
+    primary_seq: AtomicU64,
+}
+
+/// Point-in-time snapshot of a follower's replication progress.
+#[derive(Clone, Debug, Default)]
+pub struct FollowerStatus {
+    /// The applier currently holds a live connection to the primary.
+    pub connected: bool,
+    /// The primary sent `CaughtUp`: the backlog at subscribe time has
+    /// been fully replayed and everything since is live tail.
+    pub caught_up: bool,
+    /// The primary refused the subscription (mismatched world or
+    /// hello'd a non-primary); the applier has given up.
+    pub denied: bool,
+    /// Wall-clock from connect to `CaughtUp`, for the catch-up bench.
+    pub catch_up_ms: u64,
+    /// Records applied first-hand (WAL append + store publish).
+    pub records_applied: u64,
+    /// Records re-acked by the seq-dedupe gate (at-least-once delivery
+    /// made visible: nonzero after a restart or rewound cursor).
+    pub records_deduped: u64,
+    /// Records the local submit path refused (sequence gap or poisoned
+    /// store); each forces a reconnect-and-resubscribe.
+    pub apply_errors: u64,
+    /// The primary's acked high-water mark, from records, `CaughtUp`
+    /// and heartbeats.
+    pub primary_seq: u64,
+    /// This node's own applied high-water mark.
+    pub applied_seq: u64,
+}
+
+impl FollowerStatus {
+    /// Replication lag in records (primary's acked seq minus ours).
+    pub fn lag(&self) -> u64 {
+        self.primary_seq.saturating_sub(self.applied_seq)
+    }
+}
+
+/// Handle to a running follower applier (returned by
+/// [`Server::replicate_from`]). Dropping it leaves the applier running
+/// for the life of the server; [`FollowerHandle::stop`] halts it.
+pub struct FollowerHandle {
+    inner: Arc<ServerInner>,
+    state: Arc<FollowerState>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FollowerHandle {
+    /// Current replication progress.
+    pub fn status(&self) -> FollowerStatus {
+        FollowerStatus {
+            connected: self.state.connected.load(Ordering::Acquire),
+            caught_up: self.state.caught_up.load(Ordering::Acquire),
+            denied: self.state.denied.load(Ordering::Acquire),
+            catch_up_ms: self.state.catch_up_ms.load(Ordering::Acquire),
+            records_applied: self.state.records_applied.load(Ordering::Relaxed),
+            records_deduped: self.state.records_deduped.load(Ordering::Relaxed),
+            apply_errors: self.state.apply_errors.load(Ordering::Relaxed),
+            primary_seq: self.state.primary_seq.load(Ordering::Acquire),
+            applied_seq: self.inner.applied_seq(),
+        }
+    }
+
+    /// Blocks until the follower has caught up (or `timeout` passes);
+    /// returns whether it did.
+    pub fn wait_caught_up(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.state.caught_up.load(Ordering::Acquire) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.state.caught_up.load(Ordering::Acquire)
+    }
+
+    /// Stops the applier and joins its thread.
+    pub fn stop(mut self) {
+        self.state.stopped.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds the replication listener and starts serving the shipping
+    /// protocol: `Hello` subscriptions get the acked WAL tail streamed
+    /// from `config.wal_dir`; `Promote` flips this node writable.
+    /// Returns the bound address. Threads exit when the server stops
+    /// accepting (shutdown).
+    pub fn listen_replication(
+        &self,
+        addr: &str,
+        config: ReplicationConfig,
+    ) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let inner = Arc::clone(self.inner());
+        std::thread::spawn(move || {
+            while inner.is_accepting() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let inner = Arc::clone(&inner);
+                        let config = config.clone();
+                        std::thread::spawn(move || serve_peer(&inner, stream, &config));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(local)
+    }
+
+    /// Starts a follower applier: subscribe to `primary`'s replication
+    /// listener from this node's applied high-water mark, apply shipped
+    /// records through the local durable write path, reconnect with
+    /// backoff on disconnect. The applier exits when stopped, when the
+    /// server shuts down, or when this node is promoted.
+    pub fn replicate_from(&self, primary: &str, config: ReplicationConfig) -> FollowerHandle {
+        let state = Arc::new(FollowerState {
+            stopped: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            caught_up: AtomicBool::new(false),
+            denied: AtomicBool::new(false),
+            catch_up_ms: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            records_deduped: AtomicU64::new(0),
+            apply_errors: AtomicU64::new(0),
+            primary_seq: AtomicU64::new(0),
+        });
+        let inner = Arc::clone(self.inner());
+        let thread = {
+            let inner = Arc::clone(&inner);
+            let state = Arc::clone(&state);
+            let primary = primary.to_string();
+            std::thread::spawn(move || follower_loop(&inner, &primary, &config, &state))
+        };
+        FollowerHandle { inner, state, thread: Some(thread) }
+    }
+}
+
+/// Operator/harness-side promotion: speaks `Promote` to a follower's
+/// replication listener and returns the sequence the node is writable
+/// from. An error means the node never answered `Promoted`.
+pub fn promote(addr: &str) -> std::io::Result<u64> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write_frame(&mut stream, &encode_repl(&ReplFrame::Promote))?;
+    let payload = crate::proto::read_frame(&mut stream)?;
+    match decode_repl(&payload) {
+        Ok(ReplFrame::Promoted { seq }) => Ok(seq),
+        Ok(ReplFrame::Deny { detail }) => {
+            Err(std::io::Error::new(std::io::ErrorKind::PermissionDenied, detail))
+        }
+        Ok(other) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected reply to Promote: {other:?}"),
+        )),
+        Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.detail)),
+    }
+}
+
+/// Handles one inbound replication connection: the first frame decides
+/// whether this is a subscription (`Hello` → ship loop until
+/// disconnect/shutdown) or a control call (`Promote` → reply and
+/// close).
+fn serve_peer(inner: &Arc<ServerInner>, mut stream: TcpStream, config: &ReplicationConfig) {
+    stream.set_nodelay(true).ok();
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let Some(first) = read_one_frame(inner, &mut stream) else { return };
+    let deny = |stream: &mut TcpStream, detail: String| {
+        let _ = write_frame(stream, &encode_repl(&ReplFrame::Deny { detail }));
+    };
+    match decode_repl(&first) {
+        Ok(ReplFrame::Hello { scale, seed, partitions, from_seq }) => {
+            if inner.read_only_flag() {
+                deny(&mut stream, "not a primary (follower mode); subscribe elsewhere".into());
+                return;
+            }
+            if scale != config.scale
+                || seed != config.seed
+                || partitions as usize != config.partitions
+            {
+                deny(
+                    &mut stream,
+                    format!(
+                        "world mismatch: primary is scale={} seed={} partitions={}, \
+                         follower sent scale={scale} seed={seed} partitions={partitions}",
+                        config.scale, config.seed, config.partitions
+                    ),
+                );
+                return;
+            }
+            let Some(group_commit) = inner.wal_group_commit() else {
+                deny(&mut stream, "primary has no write-ahead log; nothing to ship".into());
+                return;
+            };
+            ship_loop(inner, &mut stream, config, from_seq, group_commit);
+        }
+        Ok(ReplFrame::Promote) => {
+            let seq = inner.clear_read_only();
+            let _ = write_frame(&mut stream, &encode_repl(&ReplFrame::Promoted { seq }));
+        }
+        Ok(other) => deny(&mut stream, format!("unexpected opening frame: {other:?}")),
+        Err(e) => deny(&mut stream, e.detail),
+    }
+}
+
+/// Streams acked WAL records `> from_seq` to one subscriber, then keeps
+/// live-tailing with heartbeats. Exits on any write failure (dead peer)
+/// or when the server stops accepting.
+fn ship_loop(
+    inner: &Arc<ServerInner>,
+    stream: &mut TcpStream,
+    config: &ReplicationConfig,
+    from_seq: u64,
+    group_commit: bool,
+) {
+    let mut tailer =
+        WalTailer::new(&config.wal_dir, &config.scale, config.seed, config.partitions, from_seq);
+    // The backlog target is pinned at subscribe time: once the cursor
+    // passes it, the follower has everything that predated its Hello
+    // and `CaughtUp` marks the live edge.
+    let target = inner.acked_seq(group_commit);
+    let mut caught_up_sent = false;
+    let mut last_beat = Instant::now();
+    while inner.is_accepting() {
+        let bound = inner.acked_seq(group_commit);
+        let records = match tailer.poll(bound) {
+            Ok(r) => r,
+            Err(_) => {
+                // Transient read race with the writer/compactor; the
+                // cursor is untouched, so just retry.
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        };
+        let idle = records.is_empty();
+        for rec in records {
+            let frame =
+                ReplFrame::Record { seq: rec.seq, partition: rec.partition as u32, ops: rec.ops };
+            if write_frame(stream, &encode_repl(&frame)).is_err() {
+                return;
+            }
+            last_beat = Instant::now();
+        }
+        if !caught_up_sent && tailer.next_seq() > target {
+            let through_seq = tailer.next_seq() - 1;
+            if write_frame(stream, &encode_repl(&ReplFrame::CaughtUp { through_seq })).is_err() {
+                return;
+            }
+            caught_up_sent = true;
+            last_beat = Instant::now();
+        }
+        if idle {
+            if caught_up_sent && last_beat.elapsed() >= HEARTBEAT_EVERY {
+                let beat = ReplFrame::Heartbeat { last_seq: bound };
+                if write_frame(stream, &encode_repl(&beat)).is_err() {
+                    return;
+                }
+                last_beat = Instant::now();
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+}
+
+/// The follower applier: connect → `Hello` from the local applied seq →
+/// apply every shipped record through the durable write path →
+/// reconnect with backoff on disconnect. Runs until stopped, shutdown,
+/// promoted, or denied.
+fn follower_loop(
+    inner: &Arc<ServerInner>,
+    primary: &str,
+    config: &ReplicationConfig,
+    state: &Arc<FollowerState>,
+) {
+    let mut backoff = Duration::from_millis(10);
+    let active = |state: &FollowerState| {
+        !state.stopped.load(Ordering::Acquire)
+            && !state.denied.load(Ordering::Acquire)
+            && inner.is_accepting()
+            && inner.read_only_flag()
+    };
+    while active(state) {
+        let Ok(mut stream) = TcpStream::connect(primary) else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(500));
+            continue;
+        };
+        backoff = Duration::from_millis(10);
+        stream.set_nodelay(true).ok();
+        if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+            continue;
+        }
+        let hello = ReplFrame::Hello {
+            scale: config.scale.clone(),
+            seed: config.seed,
+            partitions: config.partitions as u32,
+            from_seq: inner.applied_seq(),
+        };
+        if write_frame(&mut stream, &encode_repl(&hello)).is_err() {
+            continue;
+        }
+        state.connected.store(true, Ordering::Release);
+        let subscribe_started = Instant::now();
+        apply_stream(inner, &mut stream, state, subscribe_started, &active);
+        state.connected.store(false, Ordering::Release);
+    }
+    state.connected.store(false, Ordering::Release);
+}
+
+/// Drains one subscription connection, applying records until the
+/// stream breaks or the applier goes inactive.
+fn apply_stream(
+    inner: &Arc<ServerInner>,
+    stream: &mut TcpStream,
+    state: &Arc<FollowerState>,
+    subscribe_started: Instant,
+    active: &impl Fn(&FollowerState) -> bool,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    loop {
+        loop {
+            let payload = match take_frame(&mut buf) {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(_) => return,
+            };
+            let Ok(frame) = decode_repl(&payload) else { return };
+            match frame {
+                ReplFrame::Record { seq, ops, .. } => {
+                    let batch = WriteBatch { seq, ops };
+                    match inner.submit_batch(&batch) {
+                        Ok(("deduped", _)) => {
+                            state.records_deduped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            state.records_applied.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Sequence gap or poisoned store: drop the
+                            // connection and re-Hello from the real
+                            // applied seq — the primary restreams and
+                            // dedupe absorbs any overlap.
+                            state.apply_errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    state.primary_seq.fetch_max(seq, Ordering::AcqRel);
+                }
+                ReplFrame::CaughtUp { through_seq } => {
+                    state.primary_seq.fetch_max(through_seq, Ordering::AcqRel);
+                    if !state.caught_up.swap(true, Ordering::AcqRel) {
+                        state.catch_up_ms.store(
+                            subscribe_started.elapsed().as_millis() as u64,
+                            Ordering::Release,
+                        );
+                    }
+                }
+                ReplFrame::Heartbeat { last_seq } => {
+                    state.primary_seq.fetch_max(last_seq, Ordering::AcqRel);
+                }
+                ReplFrame::Deny { detail: _ } => {
+                    state.denied.store(true, Ordering::Release);
+                    return;
+                }
+                // Hello/Promote/Promoted are never primary→follower.
+                _ => return,
+            }
+        }
+        if !active(state) {
+            return;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads one length-prefixed frame with the connection's read timeout,
+/// buffering partial reads so a timeout never tears a frame. Returns
+/// `None` on disconnect, framing violation, or server shutdown.
+fn read_one_frame(inner: &Arc<ServerInner>, stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4 * 1024];
+    loop {
+        match take_frame(&mut buf) {
+            Ok(Some(payload)) => return Some(payload),
+            Ok(None) => {}
+            Err(_) => return None,
+        }
+        if !inner.is_accepting() {
+            return None;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}

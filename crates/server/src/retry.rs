@@ -4,15 +4,20 @@
 //! sleeps `uniform(0, min(cap, base·2^k))`, drawn from a seeded
 //! splitmix64 stream so a benchmark run's retry schedule is
 //! reproducible. Retryable outcomes are the transient taxonomy entries —
-//! `overloaded` (admission shed; pressure passes) and `shutting_down` /
-//! lost-connection (the chaos harness restarts the server). Permanent
-//! outcomes (`bad_request`, `internal`, `store_poisoned`) are returned
-//! immediately: retrying them without operator action is wasted load.
-//! The deadline kinds — `deadline_exceeded` (never executed) and
-//! `deadline_overrun` (executed but finished late) — are terminal too:
-//! the client's time budget is spent, so resubmitting the same
-//! deadline only burns capacity on an answer that will again arrive
-//! too late.
+//! `overloaded` (admission shed; pressure passes), `shutting_down` /
+//! lost-connection (the chaos harness restarts the server), and
+//! `stale_read` (a follower behind the requested `min_seq`; replication
+//! catches up). Permanent outcomes (`bad_request`, `internal`,
+//! `store_poisoned`) are returned immediately: retrying them without
+//! operator action is wasted load. `not_primary` is
+//! **terminal-with-redirect**: resending a write to a read-only
+//! follower can never succeed no matter how long the client waits —
+//! the correct reaction is to re-route to the primary, so the retry
+//! loop must not burn its budget on it. The deadline kinds —
+//! `deadline_exceeded` (never executed) and `deadline_overrun`
+//! (executed but finished late) — are terminal too: the client's time
+//! budget is spent, so resubmitting the same deadline only burns
+//! capacity on an answer that will again arrive too late.
 
 use std::time::Duration;
 
@@ -93,8 +98,10 @@ impl Backoff {
 }
 
 /// Whether this error kind is worth retrying from a client.
+/// `not_primary` is deliberately absent: it redirects (re-route the
+/// write to the primary), it never heals in place.
 pub fn retryable(kind: ErrorKind) -> bool {
-    matches!(kind, ErrorKind::Overloaded | ErrorKind::ShuttingDown)
+    matches!(kind, ErrorKind::Overloaded | ErrorKind::ShuttingDown | ErrorKind::StaleRead)
 }
 
 impl InProcClient {
@@ -167,9 +174,16 @@ mod tests {
     fn taxonomy_split_between_transient_and_permanent() {
         assert!(retryable(ErrorKind::Overloaded));
         assert!(retryable(ErrorKind::ShuttingDown));
+        // A follower behind the requested `min_seq` heals as shipping
+        // catches up — transient.
+        assert!(retryable(ErrorKind::StaleRead));
         assert!(!retryable(ErrorKind::BadRequest));
         assert!(!retryable(ErrorKind::Internal));
         assert!(!retryable(ErrorKind::StorePoisoned));
+        // Terminal-with-redirect: a write refused by a read-only
+        // follower will be refused forever; the client must re-route to
+        // the primary, not burn retry budget here.
+        assert!(!retryable(ErrorKind::NotPrimary));
         // Both deadline kinds are terminal: the budget is spent whether
         // the query never ran (`deadline_exceeded`) or ran and finished
         // late (`deadline_overrun`).

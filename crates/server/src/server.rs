@@ -165,6 +165,11 @@ pub struct ServerConfig {
     /// mode) no write workers spawn either and both drains happen
     /// inline at shutdown.
     pub write_workers: usize,
+    /// Start in read-only (follower) mode: client write batches are
+    /// refused with `not_primary` (terminal-with-redirect) while the
+    /// replication applier keeps the store moving. Flipped off by
+    /// [`Server::promote`].
+    pub read_only: bool,
 }
 
 impl Default for ServerConfig {
@@ -179,6 +184,7 @@ impl Default for ServerConfig {
             partitions: 1,
             lanes: LanesConfig::default(),
             write_workers: 2,
+            read_only: false,
         }
     }
 }
@@ -272,6 +278,12 @@ pub struct ServiceReport {
     pub conn_accepted: u64,
     /// High-water mark of simultaneously open TCP connections.
     pub conn_peak: u64,
+    /// Write batches refused because the node was a read-only follower
+    /// (`not_primary` — the client must redirect to the primary).
+    pub not_primary_rejects: u64,
+    /// Reads refused because the node had not yet applied the
+    /// requested `min_seq` (`stale_read` — retryable, lag drains).
+    pub stale_read_rejects: u64,
 }
 
 #[derive(Default)]
@@ -293,6 +305,8 @@ struct Counters {
     shed_by_lane: [AtomicU64; 3],
     conn_accepted: AtomicU64,
     conn_peak: AtomicU64,
+    not_primary_rejects: AtomicU64,
+    stale_read_rejects: AtomicU64,
 }
 
 /// Where a job's response goes.
@@ -354,16 +368,53 @@ fn send_frame_resilient(stream: &mut TcpStream, payload: &[u8]) -> std::io::Resu
     Ok(())
 }
 
+/// What a queued job carries: a fully decoded request (in-process
+/// transport), or the raw frame payload plus its peeked header (TCP
+/// transports). Raw frames are decoded on the lane worker that pops
+/// them — the reactor thread only ever runs the cheap fixed-offset
+/// [`proto::peek_header`], so a peer flooding parse-heavy bindings
+/// burns worker time, never transport-read time.
+enum JobPayload {
+    Decoded(Request),
+    Raw { payload: Vec<u8>, header: proto::RequestHeader },
+}
+
+impl JobPayload {
+    fn id(&self) -> u64 {
+        match self {
+            JobPayload::Decoded(req) => req.id,
+            JobPayload::Raw { header, .. } => header.id,
+        }
+    }
+
+    /// `(workload, query, binding_hash)` for access-log records. Raw
+    /// frames are unlabelled until decoded — shed records for them
+    /// carry empty labels, exactly like the garbage path.
+    fn labels(&self) -> (&'static str, u8, u64) {
+        match self {
+            JobPayload::Decoded(req) => {
+                let (w, q) = req.params.label();
+                (w, q, req.params.binding_hash())
+            }
+            JobPayload::Raw { .. } => ("", 0, 0),
+        }
+    }
+}
+
 /// One admitted unit of work, carrying the store version pinned at
 /// admission: whatever the writer publishes while this job is queued,
 /// the job reads the version that was current when it was admitted.
 struct Job {
-    request: Request,
+    payload: JobPayload,
     seq: u64,
     lane: Lane,
     admitted: Instant,
     deadline: Option<Instant>,
     snapshot: StoreSnapshot,
+    /// The node's applied write sequence loaded at admission — stamped
+    /// into the response as the bounded-staleness contract: the pinned
+    /// snapshot contains every write at or below it.
+    applied_seq: u64,
     responder: Responder,
 }
 
@@ -387,7 +438,7 @@ struct DurableState {
     world: StaticWorld,
 }
 
-struct ServerInner {
+pub(crate) struct ServerInner {
     store: Arc<StoreHandle>,
     queue: LaneQueues<Job>,
     log: AccessLog,
@@ -411,9 +462,58 @@ struct ServerInner {
     /// with `store_poisoned` until restart-and-recovery re-converges
     /// them.
     degraded: AtomicBool,
+    /// Follower mode: client writes are refused with `not_primary`.
+    /// The replication applier bypasses admission (it calls
+    /// [`ServerInner::submit_batch`] directly), so shipped records
+    /// apply regardless. Cleared by promotion.
+    read_only: AtomicBool,
 }
 
 impl ServerInner {
+    /// Whether the server is still accepting work (replication ship
+    /// loops exit when this clears).
+    pub(crate) fn is_accepting(&self) -> bool {
+        self.accepting.load(Ordering::Acquire)
+    }
+
+    /// Highest applied write sequence (the follower's Hello cursor and
+    /// the non-group-commit ship bound).
+    pub(crate) fn applied_seq(&self) -> u64 {
+        self.last_applied_seq.load(Ordering::Acquire)
+    }
+
+    /// The replication ship bound: the highest sequence whose ack has
+    /// been released. Under group commit an applied-but-unflushed batch
+    /// is not yet acked, so shipping stops at `flushed_seq`; otherwise
+    /// apply and ack coincide at `last_applied_seq`. Followers must
+    /// never see a record the primary could still disavow.
+    pub(crate) fn acked_seq(&self, group_commit: bool) -> u64 {
+        if group_commit {
+            self.flushed_seq.load(Ordering::Acquire)
+        } else {
+            self.last_applied_seq.load(Ordering::Acquire)
+        }
+    }
+
+    /// Whether the WAL runs group commit (`None` without a WAL) — read
+    /// once per replication listener, not per poll.
+    pub(crate) fn wal_group_commit(&self) -> Option<bool> {
+        let durable = self.durable.as_ref()?;
+        let state = durable.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Some(state.wal.options().group_commit)
+    }
+
+    /// Whether client writes are refused (follower mode).
+    pub(crate) fn read_only_flag(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// Promotion: clears follower mode, returns the writable-from seq.
+    pub(crate) fn clear_read_only(&self) -> u64 {
+        self.read_only.store(false, Ordering::Release);
+        self.last_applied_seq.load(Ordering::Acquire)
+    }
+
     /// Renders the consistent per-lane depth snapshot that admission
     /// refusals carry, so clients and the chaos harness can distinguish
     /// lane-full from global overload (the satellite bugfix for shed
@@ -423,15 +523,23 @@ impl ServerInner {
         format!("lanes short={} heavy={} write={}", d[0], d[1], d[2])
     }
 
-    fn reject(
+    /// The single refusal path behind every admission rejection:
+    /// counters, one access-log record, and a typed error response.
+    /// `labels` is `(workload, query, binding_hash)` — empty for raw
+    /// frames that were never decoded. `min_seq` feeds the `stale_read`
+    /// detail so the client sees its lag.
+    #[allow(clippy::too_many_arguments)]
+    fn refuse(
         &self,
         seq: u64,
-        request: &Request,
+        id: u64,
+        labels: (&'static str, u8, u64),
         lane: Lane,
         kind: ErrorKind,
+        min_seq: u64,
         responder: &Responder,
     ) {
-        let (workload, query) = request.params.label();
+        let (workload, query, binding_hash) = labels;
         match kind {
             ErrorKind::Overloaded => {
                 self.counters.shed_by_lane[lane.index()].fetch_add(1, Ordering::Relaxed);
@@ -443,13 +551,19 @@ impl ServerInner {
             ErrorKind::StorePoisoned => {
                 self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed)
             }
+            ErrorKind::NotPrimary => {
+                self.counters.not_primary_rejects.fetch_add(1, Ordering::Relaxed)
+            }
+            ErrorKind::StaleRead => {
+                self.counters.stale_read_rejects.fetch_add(1, Ordering::Relaxed)
+            }
             _ => 0,
         };
         self.log.push(AccessRecord {
             seq,
             workload,
             query,
-            binding_hash: request.params.binding_hash(),
+            binding_hash,
             lane: lane.name(),
             queue_us: 0,
             exec_us: 0,
@@ -475,10 +589,55 @@ impl ServerInner {
             ErrorKind::StorePoisoned => {
                 "store poisoned by a mid-apply panic; restart to recover from the WAL".to_string()
             }
+            ErrorKind::NotPrimary => "read-only follower; route writes to the primary".to_string(),
+            ErrorKind::StaleRead => {
+                let applied = self.last_applied_seq.load(Ordering::Acquire);
+                format!(
+                    "min_seq {min_seq}, applied {applied} (lag {})",
+                    min_seq.saturating_sub(applied)
+                )
+            }
             other => other.name().to_string(),
         };
-        responder
-            .send(Response { id: request.id, body: Err(ErrorBody { kind, queue_us: 0, detail }) });
+        responder.send(Response { id, body: Err(ErrorBody { kind, queue_us: 0, detail }) });
+    }
+
+    fn reject(
+        &self,
+        seq: u64,
+        request: &Request,
+        lane: Lane,
+        kind: ErrorKind,
+        responder: &Responder,
+    ) {
+        let (workload, query) = request.params.label();
+        self.refuse(
+            seq,
+            request.id,
+            (workload, query, request.params.binding_hash()),
+            lane,
+            kind,
+            request.min_seq,
+            responder,
+        );
+    }
+
+    /// Refuses one already-queued job (shed victim or closed-queue
+    /// push-back) whichever payload form it carries.
+    fn reject_job(&self, job: Job, kind: ErrorKind) {
+        let min_seq = match &job.payload {
+            JobPayload::Decoded(req) => req.min_seq,
+            JobPayload::Raw { header, .. } => header.min_seq,
+        };
+        self.refuse(
+            job.seq,
+            job.payload.id(),
+            job.payload.labels(),
+            job.lane,
+            kind,
+            min_seq,
+            &job.responder,
+        );
     }
 
     /// Admission control: queue the request on its lane or answer
@@ -491,6 +650,14 @@ impl ServerInner {
     /// worker.
     fn admit(&self, request: Request, responder: Responder) {
         let lane = request.params.lane();
+        if lane == Lane::Write && self.read_only.load(Ordering::Acquire) {
+            // Follower: client writes can never succeed here (the
+            // replication applier is the only writer) — terminal with
+            // redirect, checked before anything queues.
+            let seq = self.log.next_seq();
+            self.reject(seq, &request, lane, ErrorKind::NotPrimary, &responder);
+            return;
+        }
         if lane == Lane::Write {
             if let Responder::InProc(_) = responder {
                 self.admit_write(request, responder);
@@ -506,6 +673,16 @@ impl ServerInner {
             self.reject(seq, &request, lane, ErrorKind::StorePoisoned, &responder);
             return;
         }
+        // Bounded-staleness gate: load the applied high-water mark
+        // *before* pinning the snapshot. `submit_batch` publishes the
+        // store version before bumping `last_applied_seq`, so a
+        // snapshot pinned after this load necessarily contains every
+        // write at or below it.
+        let applied_seq = self.last_applied_seq.load(Ordering::Acquire);
+        if request.min_seq > applied_seq {
+            self.reject(seq, &request, lane, ErrorKind::StaleRead, &responder);
+            return;
+        }
         let admitted = Instant::now();
         let deadline = if request.deadline_us > 0 {
             Some(admitted + Duration::from_micros(request.deadline_us))
@@ -515,31 +692,91 @@ impl ServerInner {
         // Pin the store version here, at admission: the job reads this
         // version no matter how many publishes land while it queues.
         let snapshot = self.store.snapshot();
-        let job = Job { request, seq, lane, admitted, deadline, snapshot, responder };
+        let job = Job {
+            payload: JobPayload::Decoded(request),
+            seq,
+            lane,
+            admitted,
+            deadline,
+            snapshot,
+            applied_seq,
+            responder,
+        };
+        self.push_job(lane, job);
+    }
+
+    /// Admission for a raw TCP frame: peek the fixed-offset header (id,
+    /// deadline, staleness floor, lane), run every admission gate on
+    /// it, and queue the *undecoded* payload — the lane worker that
+    /// pops it does the full binding decode. This keeps the reactor
+    /// thread's per-frame cost flat regardless of binding complexity.
+    fn admit_frame(&self, payload: Vec<u8>, responder: Responder) {
+        let header = match proto::peek_header(&payload) {
+            Ok(h) => h,
+            Err(e) => {
+                self.admit_garbage(e.id, e.detail, responder);
+                return;
+            }
+        };
+        let lane = header.lane;
+        let seq = self.log.next_seq();
+        let labels = ("", 0, 0);
+        if lane == Lane::Write && self.read_only.load(Ordering::Acquire) {
+            self.refuse(seq, header.id, labels, lane, ErrorKind::NotPrimary, 0, &responder);
+            return;
+        }
+        if !self.accepting.load(Ordering::Acquire) {
+            self.refuse(seq, header.id, labels, lane, ErrorKind::ShuttingDown, 0, &responder);
+            return;
+        }
+        if self.degraded.load(Ordering::Acquire) {
+            self.refuse(seq, header.id, labels, lane, ErrorKind::StorePoisoned, 0, &responder);
+            return;
+        }
+        let applied_seq = self.last_applied_seq.load(Ordering::Acquire);
+        if header.min_seq > applied_seq {
+            self.refuse(
+                seq,
+                header.id,
+                labels,
+                lane,
+                ErrorKind::StaleRead,
+                header.min_seq,
+                &responder,
+            );
+            return;
+        }
+        let admitted = Instant::now();
+        let deadline = if header.deadline_us > 0 {
+            Some(admitted + Duration::from_micros(header.deadline_us))
+        } else {
+            self.config.lane_deadline(lane).map(|d| admitted + d)
+        };
+        let snapshot = self.store.snapshot();
+        let job = Job {
+            payload: JobPayload::Raw { payload, header },
+            seq,
+            lane,
+            admitted,
+            deadline,
+            snapshot,
+            applied_seq,
+            responder,
+        };
+        self.push_job(lane, job);
+    }
+
+    fn push_job(&self, lane: Lane, job: Job) {
         match self.queue.try_push(lane, job) {
             Ok(Admitted::Queued) => {}
             Ok(Admitted::QueuedEvicting(victim)) => {
                 // DropOldest lane: the newcomer is queued and the stalest
                 // entry is shed in its place — answered Overloaded like
                 // any other shed, never silently dropped.
-                self.reject(
-                    victim.seq,
-                    &victim.request,
-                    victim.lane,
-                    ErrorKind::Overloaded,
-                    &victim.responder,
-                );
+                self.reject_job(victim, ErrorKind::Overloaded);
             }
-            Err(PushError::Full(job)) => {
-                self.reject(job.seq, &job.request, job.lane, ErrorKind::Overloaded, &job.responder)
-            }
-            Err(PushError::Closed(job)) => self.reject(
-                job.seq,
-                &job.request,
-                job.lane,
-                ErrorKind::ShuttingDown,
-                &job.responder,
-            ),
+            Err(PushError::Full(job)) => self.reject_job(job, ErrorKind::Overloaded),
+            Err(PushError::Closed(job)) => self.reject_job(job, ErrorKind::ShuttingDown),
         }
     }
 
@@ -578,10 +815,22 @@ impl ServerInner {
         self.run_write(request, responder, seq, 0);
     }
 
-    /// Drains one write-lane job on a write worker.
+    /// Drains one write-lane job on a write worker. Raw TCP frames are
+    /// decoded here — a decode failure still answers a typed
+    /// `bad_request`, it just does so off the reactor thread.
     fn execute_write(&self, job: Job) {
         let queue_us = job.admitted.elapsed().as_micros() as u64;
-        self.run_write(job.request, job.responder, job.seq, queue_us);
+        let request = match job.payload {
+            JobPayload::Decoded(req) => req,
+            JobPayload::Raw { payload, .. } => match proto::decode_request(&payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    self.admit_garbage(e.id, e.detail, job.responder);
+                    return;
+                }
+            },
+        };
+        self.run_write(request, job.responder, job.seq, queue_us);
     }
 
     /// Runs one sequenced write batch and answers it (ack ⇔ the batch
@@ -642,7 +891,10 @@ impl ServerInner {
     /// applied sequence number after this call, and `rows` is the
     /// number of operations applied *by this call* — `0` for a dedupe
     /// re-ack, so a client can tell first-apply from replay.
-    fn submit_batch(&self, batch: &WriteBatch) -> Result<(&'static str, OkBody), ErrorBody> {
+    pub(crate) fn submit_batch(
+        &self,
+        batch: &WriteBatch,
+    ) -> Result<(&'static str, OkBody), ErrorBody> {
         let err = |kind: ErrorKind, detail: String| ErrorBody { kind, queue_us: 0, detail };
         if self.degraded.load(Ordering::Acquire) {
             self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
@@ -678,7 +930,10 @@ impl ServerInner {
                 self.note_flushed(state.wal.last_seq());
             }
             self.counters.batches_deduped.fetch_add(1, Ordering::Relaxed);
-            return Ok(("deduped", OkBody { rows: 0, fingerprint: last, ..OkBody::default() }));
+            return Ok((
+                "deduped",
+                OkBody { rows: 0, fingerprint: last, applied_seq: last, ..OkBody::default() },
+            ));
         }
         if batch.seq != last + 1 {
             self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -766,6 +1021,7 @@ impl ServerInner {
                     OkBody {
                         rows: batch.ops.len() as u64,
                         fingerprint: batch.seq,
+                        applied_seq: batch.seq,
                         ..OkBody::default()
                     },
                 ))
@@ -875,15 +1131,38 @@ impl ServerInner {
     /// (before this check, overruns were silently miscounted as
     /// served).
     fn execute(&self, ctx: &QueryContext, job: Job) {
-        let queue_us = job.admitted.elapsed().as_micros() as u64;
-        let lane = job.lane.name();
-        let (workload, query) = job.request.params.label();
-        let binding_hash = job.request.params.binding_hash();
+        let Job {
+            payload,
+            seq,
+            lane: job_lane,
+            admitted,
+            deadline,
+            snapshot,
+            applied_seq,
+            responder,
+        } = job;
+        let queue_us = admitted.elapsed().as_micros() as u64;
+        // Raw TCP frames decode here, on the worker: a parse-heavy
+        // binding costs worker time, never reactor time, and a decode
+        // failure still answers a typed `bad_request`.
+        let request = match payload {
+            JobPayload::Decoded(req) => req,
+            JobPayload::Raw { payload, .. } => match proto::decode_request(&payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    self.admit_garbage(e.id, e.detail, responder);
+                    return;
+                }
+            },
+        };
+        let lane = job_lane.name();
+        let (workload, query) = request.params.label();
+        let binding_hash = request.params.binding_hash();
         // A poisoning write may have landed while this job was queued.
         if self.degraded.load(Ordering::Acquire) {
             self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
             self.log.push(AccessRecord {
-                seq: job.seq,
+                seq,
                 workload,
                 query,
                 binding_hash,
@@ -893,12 +1172,12 @@ impl ServerInner {
                 outcome: ErrorKind::StorePoisoned.name(),
                 rows: 0,
                 fingerprint: 0,
-                store_version: job.snapshot.version(),
+                store_version: snapshot.version(),
                 snapshot_age_us: 0,
                 profile: None,
             });
-            job.responder.send(Response {
-                id: job.request.id,
+            responder.send(Response {
+                id: request.id,
                 body: Err(ErrorBody {
                     kind: ErrorKind::StorePoisoned,
                     queue_us,
@@ -908,11 +1187,11 @@ impl ServerInner {
             });
             return;
         }
-        if let Some(deadline) = job.deadline {
+        if let Some(deadline) = deadline {
             if Instant::now() > deadline {
                 self.counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
                 self.log.push(AccessRecord {
-                    seq: job.seq,
+                    seq,
                     workload,
                     query,
                     binding_hash,
@@ -922,12 +1201,12 @@ impl ServerInner {
                     outcome: ErrorKind::DeadlineExceeded.name(),
                     rows: 0,
                     fingerprint: 0,
-                    store_version: job.snapshot.version(),
+                    store_version: snapshot.version(),
                     snapshot_age_us: 0,
                     profile: None,
                 });
-                job.responder.send(Response {
-                    id: job.request.id,
+                responder.send(Response {
+                    id: request.id,
                     body: Err(ErrorBody {
                         kind: ErrorKind::DeadlineExceeded,
                         queue_us,
@@ -941,14 +1220,14 @@ impl ServerInner {
         }
         ctx.metrics().reset();
         let started = Instant::now();
-        let store_version = job.snapshot.version();
-        let snapshot_age_us = job.snapshot.age().as_micros() as u64;
+        let store_version = snapshot.version();
+        let snapshot_age_us = snapshot.age().as_micros() as u64;
         // Bind the worker's context to the version pinned at admission:
         // the query reads that immutable snapshot — no lock, no
         // interference from concurrent publishes.
-        let bound = ctx.clone().with_snapshot(job.snapshot.clone());
+        let bound = ctx.clone().with_snapshot(snapshot.clone());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match &job.request.params {
+            match &request.params {
                 ServiceParams::Bi(p) => {
                     let s = snb_bi::run_bound(&bound, p);
                     (s.rows as u64, s.fingerprint)
@@ -968,11 +1247,11 @@ impl ServerInner {
                 // its cost is visible in exec_us), but the client's
                 // budget is spent — report it as an overrun, never as
                 // a success.
-                let overran = job.deadline.is_some_and(|d| Instant::now() > d);
+                let overran = deadline.is_some_and(|d| Instant::now() > d);
                 if overran {
                     self.counters.deadline_overrun.fetch_add(1, Ordering::Relaxed);
                     self.log.push(AccessRecord {
-                        seq: job.seq,
+                        seq,
                         workload,
                         query,
                         binding_hash,
@@ -986,8 +1265,8 @@ impl ServerInner {
                         snapshot_age_us,
                         profile: None,
                     });
-                    job.responder.send(Response {
-                        id: job.request.id,
+                    responder.send(Response {
+                        id: request.id,
                         body: Err(ErrorBody {
                             kind: ErrorKind::DeadlineOverrun,
                             queue_us,
@@ -1001,9 +1280,9 @@ impl ServerInner {
                 }
                 let profile = self.config.profiling.then(|| ctx.metrics().snapshot());
                 self.counters.served.fetch_add(1, Ordering::Relaxed);
-                self.counters.served_by_lane[job.lane.index()].fetch_add(1, Ordering::Relaxed);
+                self.counters.served_by_lane[job_lane.index()].fetch_add(1, Ordering::Relaxed);
                 self.log.push(AccessRecord {
-                    seq: job.seq,
+                    seq,
                     workload,
                     query,
                     binding_hash,
@@ -1017,15 +1296,15 @@ impl ServerInner {
                     snapshot_age_us,
                     profile: profile.clone(),
                 });
-                job.responder.send(Response {
-                    id: job.request.id,
-                    body: Ok(OkBody { rows, fingerprint, queue_us, exec_us, profile }),
+                responder.send(Response {
+                    id: request.id,
+                    body: Ok(OkBody { rows, fingerprint, queue_us, exec_us, applied_seq, profile }),
                 });
             }
             Err(_) => {
                 self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
                 self.log.push(AccessRecord {
-                    seq: job.seq,
+                    seq,
                     workload,
                     query,
                     binding_hash,
@@ -1039,8 +1318,8 @@ impl ServerInner {
                     snapshot_age_us,
                     profile: None,
                 });
-                job.responder.send(Response {
-                    id: job.request.id,
+                responder.send(Response {
+                    id: request.id,
                     body: Err(ErrorBody {
                         kind: ErrorKind::Internal,
                         queue_us,
@@ -1087,6 +1366,8 @@ impl ServerInner {
             conn_stalled: self.counters.conn_stalled.load(Ordering::Relaxed),
             conn_accepted: self.counters.conn_accepted.load(Ordering::Relaxed),
             conn_peak: self.counters.conn_peak.load(Ordering::Relaxed),
+            not_primary_rejects: self.counters.not_primary_rejects.load(Ordering::Relaxed),
+            stale_read_rejects: self.counters.stale_read_rejects.load(Ordering::Relaxed),
             log_records: self.log.len() as u64,
             versions_published: snap.version,
             peak_live_snapshots: snap.peak_live_versions,
@@ -1158,6 +1439,7 @@ impl Server {
             [config.lanes.short.shed, config.lanes.heavy.shed, config.lanes.write.shed],
             config.short_weight(),
         );
+        let read_only = config.read_only;
         let inner = Arc::new(ServerInner {
             store,
             queue,
@@ -1171,6 +1453,7 @@ impl Server {
             flush_mutex: Mutex::new(()),
             flush_cv: Condvar::new(),
             degraded: AtomicBool::new(false),
+            read_only: AtomicBool::new(read_only),
         });
         let workers: Vec<_> = (0..inner.config.workers)
             .map(|_| {
@@ -1335,6 +1618,31 @@ impl Server {
         self.inner.degraded.load(Ordering::Acquire)
     }
 
+    /// Whether this node refuses client writes (follower mode).
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read_only.load(Ordering::Acquire)
+    }
+
+    /// Promotes a read-only follower to a writable primary and returns
+    /// the sequence it is writable from (its applied high-water mark).
+    /// Idempotent: promoting a primary just reports its current seq.
+    pub fn promote(&self) -> u64 {
+        self.inner.read_only.store(false, Ordering::Release);
+        self.inner.last_applied_seq.load(Ordering::Acquire)
+    }
+
+    /// Highest WAL sequence known flushed (the replication shipping
+    /// bound: followers only ever see acked records).
+    pub fn flushed_seq(&self) -> u64 {
+        self.inner.flushed_seq.load(Ordering::Acquire)
+    }
+
+    /// The shared server core, for the replication module's accept
+    /// loop and follower applier.
+    pub(crate) fn inner(&self) -> &Arc<ServerInner> {
+        &self.inner
+    }
+
     /// Graceful drain-then-shutdown: stop accepting, finish every
     /// admitted job, join all threads, return the final report.
     pub fn shutdown(mut self) -> ServiceReport {
@@ -1493,16 +1801,13 @@ fn reactor_loop(
                 }
                 loop {
                     match proto::take_frame(&mut conn.buf) {
-                        Ok(Some(payload)) => match proto::decode_request(&payload) {
-                            Ok(request) => {
-                                inner.admit(request, Responder::Tcp(Arc::clone(&conn.writer)))
-                            }
-                            Err(e) => inner.admit_garbage(
-                                e.id,
-                                e.detail,
-                                Responder::Tcp(Arc::clone(&conn.writer)),
-                            ),
-                        },
+                        // Decode happens on a lane worker, not here: the
+                        // reactor only peeks the fixed header for routing,
+                        // so a parse-heavy peer cannot stall transport
+                        // reads for every other connection.
+                        Ok(Some(payload)) => {
+                            inner.admit_frame(payload, Responder::Tcp(Arc::clone(&conn.writer)));
+                        }
                         Ok(None) => break,
                         // Unrecoverable framing violation: drop the
                         // connection.
@@ -1576,12 +1881,11 @@ fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
     loop {
         loop {
             match proto::take_frame(&mut buf) {
-                Ok(Some(payload)) => match proto::decode_request(&payload) {
-                    Ok(request) => inner.admit(request, Responder::Tcp(Arc::clone(&writer))),
-                    Err(e) => {
-                        inner.admit_garbage(e.id, e.detail, Responder::Tcp(Arc::clone(&writer)))
-                    }
-                },
+                // Decode happens on a lane worker: this thread only peeks
+                // the fixed header for routing.
+                Ok(Some(payload)) => {
+                    inner.admit_frame(payload, Responder::Tcp(Arc::clone(&writer)));
+                }
                 Ok(None) => break,
                 // Unrecoverable framing violation: drop the connection.
                 Err(_) => return,
@@ -1662,9 +1966,16 @@ pub struct InProcClient {
 impl InProcClient {
     /// Executes one request; `deadline_us = 0` means "server default".
     pub fn call(&self, params: ServiceParams, deadline_us: u64) -> Response {
+        self.call_min_seq(params, deadline_us, 0)
+    }
+
+    /// Like [`InProcClient::call`] with a bounded-staleness floor: the
+    /// request is refused with `stale_read` unless the server has
+    /// applied at least write sequence `min_seq`.
+    pub fn call_min_seq(&self, params: ServiceParams, deadline_us: u64, min_seq: u64) -> Response {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = crossbeam::channel::bounded(1);
-        self.inner.admit(Request { id, deadline_us, params }, Responder::InProc(tx));
+        self.inner.admit(Request { id, deadline_us, min_seq, params }, Responder::InProc(tx));
         rx.recv().unwrap_or(Response {
             id,
             body: Err(ErrorBody {

@@ -154,6 +154,17 @@ pub struct RecoveryReport {
     /// Highest batch sequence number recovered; the server resumes
     /// deduplication from here.
     pub last_seq: u64,
+    /// Recovery wall-clock, microseconds (store rebuild + replay) —
+    /// the baseline a replication catch-up is measured against.
+    pub recovery_us: u64,
+}
+
+impl RecoveryReport {
+    /// Total records replayed through the real apply path (snapshot
+    /// plus live WAL tail).
+    pub fn replayed(&self) -> u64 {
+        self.snapshot_entries + self.wal_entries
+    }
 }
 
 /// An append-only write-ahead log rooted at a directory — one segment
@@ -755,6 +766,7 @@ pub fn recover(
     scale: &str,
     options: WalOptions,
 ) -> SnbResult<Recovered> {
+    let recovery_started = std::time::Instant::now();
     std::fs::create_dir_all(dir)?;
     guard_layout(dir, options.partitions.max(1))?;
     let (mut store, _) = snb_store::bulk_store_and_stream(config);
@@ -874,7 +886,113 @@ pub fn recover(
     store.validate_invariants()?;
 
     let wal = SegmentedWal::open(dir, scale, config.seed, options, report.last_seq, &seg_live)?;
+    report.recovery_us = recovery_started.elapsed().as_micros() as u64;
     Ok(Recovered { store, world, wal, report })
+}
+
+/// One record the shipping cursor surfaced: its global sequence, the
+/// partition it routes to, and the batch payload.
+pub struct ShippedRecord {
+    /// Global write sequence number.
+    pub seq: u64,
+    /// Owning WAL partition ([`crate::events::route_key`] hashed with
+    /// [`snb_store::partition_of_raw`] — the same routing the append
+    /// used, so it names the segment the record lives in).
+    pub partition: usize,
+    /// The batch payload.
+    pub ops: WriteOps,
+}
+
+/// The log-shipping cursor: reads acked records out of a WAL directory
+/// in global sequence order, for streaming to followers.
+///
+/// Each [`WalTailer::poll`] re-reads `snapshot.log` plus every live
+/// segment, merges the entries by sequence, and returns the contiguous
+/// run `(next_seq, upto]` — re-scanning rather than holding file offsets
+/// is what makes the cursor **compaction-safe**: [`SegmentedWal::
+/// maybe_snapshot`] moves records between files at any time, but the
+/// seq-merged *view* of the directory never changes, and that view is
+/// all the tailer reads. The caller bounds `upto` by the server's
+/// flushed (acked) high-water mark so only durable, acknowledged records
+/// ever ship. Torn tails are skipped (never truncated — recovery owns
+/// repair), and duplicate sequences (append-then-retry) collapse to
+/// their first appearance, mirroring replay.
+pub struct WalTailer {
+    dir: PathBuf,
+    scale: String,
+    seed: u64,
+    parts: usize,
+    next_seq: u64,
+}
+
+impl WalTailer {
+    /// A cursor over the WAL directory `dir`, positioned to ship
+    /// records with `seq > from_seq`. The `(scale, seed, partitions)`
+    /// triple must match the directory's layout (headers are verified
+    /// on every poll).
+    pub fn new(dir: &Path, scale: &str, seed: u64, partitions: usize, from_seq: u64) -> WalTailer {
+        WalTailer {
+            dir: dir.to_path_buf(),
+            scale: scale.to_string(),
+            seed,
+            parts: partitions.max(1),
+            next_seq: from_seq + 1,
+        }
+    }
+
+    /// The next sequence number the cursor will ship.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Returns every not-yet-shipped record with `seq <= upto`, in
+    /// sequence order, and advances the cursor past them. Stops at a
+    /// sequence gap (ships only the contiguous prefix) — with `upto`
+    /// bounded by the acked high-water mark a gap cannot happen, but a
+    /// cursor must never invent order it didn't observe.
+    pub fn poll(&mut self, upto: u64) -> SnbResult<Vec<ShippedRecord>> {
+        if upto < self.next_seq {
+            return Ok(Vec::new());
+        }
+        let mut entries: Vec<WalEntry> = Vec::new();
+
+        let snap_path = self.dir.join(SNAP_FILE);
+        if snap_path.exists() {
+            let bytes = std::fs::read(&snap_path)?;
+            let off = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
+            let ctx = snap_path.display().to_string();
+            let (snap_entries, _) = scan_records(&bytes, off, &ctx)?;
+            entries.extend(snap_entries);
+        }
+        for p in 0..self.parts {
+            let path = self.dir.join(segment_file(p, self.parts));
+            if !path.exists() {
+                continue;
+            }
+            let bytes = std::fs::read(&path)?;
+            let off = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &path)?;
+            let ctx = path.display().to_string();
+            let (seg_entries, _) = scan_records(&bytes, off, &ctx)?;
+            entries.extend(seg_entries);
+        }
+        entries.retain(|e| e.seq >= self.next_seq && e.seq <= upto);
+        entries.sort_by_key(|e| e.seq);
+
+        let mut out = Vec::new();
+        for entry in entries {
+            if entry.seq < self.next_seq {
+                continue; // append-then-retry duplicate: first copy wins
+            }
+            if entry.seq > self.next_seq {
+                break; // gap: ship only the contiguous prefix
+            }
+            let partition =
+                snb_store::partition_of_raw(crate::events::route_key(&entry.ops), self.parts);
+            out.push(ShippedRecord { seq: entry.seq, partition, ops: entry.ops });
+            self.next_seq += 1;
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -1075,7 +1193,9 @@ mod tests {
         let dir = tmp_dir("fresh");
         let cfg = config();
         let rec = recover(&dir, &cfg, SCALE, WalOptions::default()).unwrap();
-        assert_eq!(rec.report, RecoveryReport::default());
+        // Everything but the wall-clock stamp is zero on a fresh start.
+        assert_eq!(RecoveryReport { recovery_us: 0, ..rec.report }, RecoveryReport::default());
+        assert_eq!(rec.report.replayed(), 0);
         let (bulk, _) = snb_store::bulk_store_and_stream(&cfg);
         assert_eq!(store_fingerprint(&rec.store), store_fingerprint(&bulk));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1265,6 +1385,59 @@ mod tests {
         drop(wal);
         let rec = recover(&dir, &cfg, SCALE, opts).unwrap();
         assert_eq!(rec.report.last_seq, all.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailer_ships_contiguously_across_compaction() {
+        let cfg = config();
+        let dir = tmp_dir("tailer");
+        let parts = 2;
+        let all = batches(6);
+        let opts = WalOptions { snapshot_every: 3, ..seg_opts(parts) };
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[]).unwrap();
+        let mut tailer = WalTailer::new(&dir, SCALE, cfg.seed, parts, 0);
+
+        // Nothing acked yet: nothing ships.
+        assert!(tailer.poll(0).unwrap().is_empty());
+
+        let mut shipped: Vec<u64> = Vec::new();
+        let mut rotations = 0;
+        for (i, ops) in all.iter().enumerate() {
+            let seq = i as u64 + 1;
+            wal.append(seq, ops).unwrap();
+            if wal.maybe_snapshot().unwrap() {
+                rotations += 1;
+            }
+            // Poll after every append: records keep shipping in order
+            // even as compaction moves them from segments to the
+            // snapshot between polls.
+            for rec in tailer.poll(wal.last_seq()).unwrap() {
+                shipped.push(rec.seq);
+                assert_eq!(
+                    rec.partition,
+                    snb_store::partition_of_raw(crate::events::route_key(&rec.ops), parts)
+                );
+            }
+        }
+        assert!(rotations >= 1, "snapshot_every=3 never rotated");
+        assert_eq!(shipped, (1..=all.len() as u64).collect::<Vec<_>>());
+
+        // A cursor behind the compaction point replays out of the
+        // snapshot: a fresh tailer from 0 re-ships everything.
+        let mut fresh = WalTailer::new(&dir, SCALE, cfg.seed, parts, 0);
+        let replayed: Vec<u64> =
+            fresh.poll(wal.last_seq()).unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(replayed, shipped);
+
+        // `upto` bounds shipping: a cursor asked for less ships less,
+        // then resumes exactly where it stopped.
+        let mut bounded = WalTailer::new(&dir, SCALE, cfg.seed, parts, 0);
+        let first: Vec<u64> = bounded.poll(2).unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(first, vec![1, 2]);
+        assert_eq!(bounded.next_seq(), 3);
+        let rest: Vec<u64> = bounded.poll(wal.last_seq()).unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(rest, (3..=all.len() as u64).collect::<Vec<_>>());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

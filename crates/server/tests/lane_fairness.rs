@@ -49,7 +49,7 @@ fn short_reads_progress_under_bi_flood() {
     // Pipeline the whole flood before reading any response: the heavy
     // lane fills while the single worker drains it.
     for i in 0..FLOOD as u64 {
-        let req = Request { id: i + 1, deadline_us: 0, params: heavy_bi() };
+        let req = Request { id: i + 1, deadline_us: 0, min_seq: 0, params: heavy_bi() };
         proto::write_frame(&mut flood_conn, &proto::encode_request(&req)).expect("write frame");
     }
 
@@ -121,7 +121,8 @@ fn hundreds_of_concurrent_connections_all_answered() {
     let mut conns: Vec<std::net::TcpStream> =
         (0..CONNS).map(|_| std::net::TcpStream::connect(addr).expect("connect")).collect();
     for (i, conn) in conns.iter_mut().enumerate() {
-        let req = Request { id: i as u64 + 1, deadline_us: 0, params: short_is(i as u64) };
+        let req =
+            Request { id: i as u64 + 1, deadline_us: 0, min_seq: 0, params: short_is(i as u64) };
         proto::write_frame(conn, &proto::encode_request(&req)).expect("write frame");
     }
     for (i, conn) in conns.iter_mut().enumerate() {

@@ -1,0 +1,264 @@
+//! Replication integration tests, in-process (no child processes, so
+//! they run under plain `cargo test`; the subprocess SIGKILL failover
+//! lives in `service_load --replication`).
+//!
+//! Invariants under test: a follower converges to the primary's exact
+//! store through the real durable write path; responses carry
+//! `applied_seq` and the `min_seq` floor refuses with `stale_read`
+//! until shipping catches up; client writes on a follower answer
+//! `not_primary`; promotion flips the node writable from its applied
+//! high-water mark; and delivery is at-least-once while application is
+//! exactly-once — a restarted or rewound subscription re-ships records
+//! that the seq-dedupe gate absorbs without double-applying.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use snb_bi::BiParams;
+use snb_datagen::GeneratorConfig;
+use snb_server::proto::{decode_repl, encode_repl, read_frame, write_frame};
+use snb_server::{
+    recover, replication, ErrorKind, ReplFrame, ReplicationConfig, Server, ServerConfig,
+    ServiceParams, WalOptions, WriteBatch, WriteOps,
+};
+
+const SCALE: &str = "0.001";
+
+fn config() -> GeneratorConfig {
+    GeneratorConfig::for_scale_name(SCALE).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("snb_replit_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Update-only sequenced batches carved from the real stream.
+fn batches(n: usize) -> Vec<WriteOps> {
+    let (_, stream) = snb_store::bulk_store_and_stream(&config());
+    stream.chunks(10).take(n).map(|chunk| WriteOps::Updates(chunk.to_vec())).collect()
+}
+
+fn server_config(read_only: bool) -> ServerConfig {
+    ServerConfig { workers: 2, threads_per_worker: 1, read_only, ..ServerConfig::default() }
+}
+
+fn start(dir: &std::path::Path, read_only: bool) -> Server {
+    let recovered =
+        recover(dir, &config(), SCALE, WalOptions::default()).expect("recovery succeeds");
+    let (store, durability, _) = recovered.into_durability();
+    Server::start_durable(store, server_config(read_only), durability)
+}
+
+fn repl_cfg(dir: &std::path::Path) -> ReplicationConfig {
+    ReplicationConfig {
+        wal_dir: dir.to_path_buf(),
+        scale: SCALE.to_string(),
+        seed: config().seed,
+        partitions: 1,
+    }
+}
+
+fn submit(server: &Server, seq: u64, ops: &WriteOps) -> u64 {
+    let resp = server.client().call(ServiceParams::Write(WriteBatch { seq, ops: ops.clone() }), 0);
+    resp.body.unwrap_or_else(|e| panic!("write seq {seq} refused: {e:?}")).fingerprint
+}
+
+fn q5(server: &Server) -> snb_server::OkBody {
+    let params = BiParams::Q5(snb_bi::bi05::Params { country: "China".into() });
+    server.client().call(ServiceParams::Bi(params), 0).body.expect("Q5 read")
+}
+
+fn wait_applied(server: &Server, seq: u64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    while server.last_applied_seq() < seq {
+        assert!(Instant::now() < deadline, "follower stuck at {}", server.last_applied_seq());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn follower_converges_serves_bounded_staleness_and_promotes() {
+    let p_dir = tmp_dir("prim");
+    let f_dir = tmp_dir("foll");
+    let all = batches(7);
+
+    let primary = start(&p_dir, false);
+    let repl_addr = primary.listen_replication("127.0.0.1:0", repl_cfg(&p_dir)).expect("repl bind");
+
+    // Backlog: three batches land before the follower ever connects, so
+    // catch-up (not live tail) must deliver them.
+    for seq in 1..=3u64 {
+        assert_eq!(submit(&primary, seq, &all[seq as usize - 1]), seq);
+    }
+
+    let follower = start(&f_dir, true);
+    assert!(follower.is_read_only());
+    let handle = follower.replicate_from(&repl_addr.to_string(), repl_cfg(&f_dir));
+    assert!(handle.wait_caught_up(Duration::from_secs(10)), "catch-up: {:?}", handle.status());
+    wait_applied(&follower, 3, Duration::from_secs(10));
+
+    // Live tail: three more batches while subscribed.
+    for seq in 4..=6u64 {
+        assert_eq!(submit(&primary, seq, &all[seq as usize - 1]), seq);
+    }
+    wait_applied(&follower, 6, Duration::from_secs(10));
+    let status = handle.status();
+    assert_eq!(status.records_applied, 6, "all six applied first-hand: {status:?}");
+    assert_eq!(status.apply_errors, 0);
+
+    // Oracle equality plus the staleness stamp on both nodes.
+    let (p, f) = (q5(&primary), q5(&follower));
+    assert_eq!((p.rows, p.fingerprint), (f.rows, f.fingerprint), "follower equals primary");
+    assert_eq!(p.applied_seq, 6);
+    assert_eq!(f.applied_seq, 6);
+
+    // `min_seq` above the applied frontier refuses typed + retryable.
+    let params = BiParams::Q5(snb_bi::bi05::Params { country: "China".into() });
+    let stale = follower.client().call_min_seq(ServiceParams::Bi(params), 0, 7);
+    let err = stale.body.expect_err("min_seq 7 > applied 6 must refuse");
+    assert_eq!(err.kind, ErrorKind::StaleRead);
+    assert!(err.detail.contains("lag"), "detail names the lag: {}", err.detail);
+    // At the frontier it serves.
+    let params = BiParams::Q5(snb_bi::bi05::Params { country: "China".into() });
+    let fresh = follower.client().call_min_seq(ServiceParams::Bi(params), 0, 6);
+    assert!(fresh.body.is_ok());
+
+    // Writes are refused with the redirect kind, not applied.
+    let resp =
+        follower.client().call(ServiceParams::Write(WriteBatch { seq: 7, ops: all[0].clone() }), 0);
+    let err = resp.body.expect_err("follower must refuse client writes");
+    assert_eq!(err.kind, ErrorKind::NotPrimary);
+    let report = follower.report_now();
+    assert_eq!(report.not_primary_rejects, 1);
+    assert_eq!(report.stale_read_rejects, 1);
+
+    // A Hello to a follower is denied (it is not a primary yet).
+    let f_repl_addr =
+        follower.listen_replication("127.0.0.1:0", repl_cfg(&f_dir)).expect("follower repl bind");
+    let mut probe = TcpStream::connect(f_repl_addr).expect("connect follower repl");
+    let hello =
+        ReplFrame::Hello { scale: SCALE.into(), seed: config().seed, partitions: 1, from_seq: 0 };
+    write_frame(&mut probe, &encode_repl(&hello)).unwrap();
+    match decode_repl(&read_frame(&mut probe).unwrap()).unwrap() {
+        ReplFrame::Deny { detail } => assert!(detail.contains("not a primary"), "{detail}"),
+        other => panic!("expected Deny, got {other:?}"),
+    }
+    drop(probe);
+
+    // Promotion over the wire: writable from seq 6, applier exits, and
+    // the next write in sequence is accepted locally.
+    let writable_from = replication::promote(&f_repl_addr.to_string()).expect("promote");
+    assert_eq!(writable_from, 6);
+    assert!(!follower.is_read_only());
+    assert_eq!(submit(&follower, 7, &all[6]), 7);
+    // Idempotent re-promotion.
+    assert_eq!(replication::promote(&f_repl_addr.to_string()).expect("re-promote"), 7);
+
+    handle.stop();
+    primary.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&p_dir);
+    let _ = std::fs::remove_dir_all(&f_dir);
+}
+
+/// Accepts subscription attempts until one delivers a `Hello` (dead
+/// sockets from a stopped applier's reconnect backoff are drained and
+/// dropped), returning the live stream and the follower's cursor.
+fn accept_subscriber(listener: &TcpListener) -> (TcpStream, u64) {
+    loop {
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let Ok(payload) = read_frame(&mut stream) else { continue };
+        match decode_repl(&payload) {
+            Ok(ReplFrame::Hello { from_seq, .. }) => return (stream, from_seq),
+            _ => continue,
+        }
+    }
+}
+
+fn ship(stream: &mut TcpStream, seq: u64, ops: &WriteOps) {
+    let frame = ReplFrame::Record { seq, partition: 0, ops: ops.clone() };
+    write_frame(stream, &encode_repl(&frame)).expect("ship record");
+}
+
+#[test]
+fn follower_restart_mid_catch_up_reapplies_idempotently() {
+    let f_dir = tmp_dir("restart");
+    let all = batches(6);
+
+    // A scripted primary: the test owns the listener and speaks the
+    // shipping protocol by hand, so the overlap window is exact.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake primary bind");
+    let addr = listener.local_addr().unwrap().to_string();
+
+    let follower = start(&f_dir, true);
+    let handle = follower.replicate_from(&addr, repl_cfg(&f_dir));
+
+    // Connection 1: fresh follower subscribes from 0; ship three
+    // records, then die mid-catch-up (no CaughtUp marker).
+    let (mut conn, from_seq) = accept_subscriber(&listener);
+    assert_eq!(from_seq, 0, "fresh follower subscribes from zero");
+    for seq in 1..=3u64 {
+        ship(&mut conn, seq, &all[seq as usize - 1]);
+    }
+    wait_applied(&follower, 3, Duration::from_secs(10));
+    drop(conn); // primary dies mid-ship
+
+    // Follower restarts: its own WAL must hold exactly the applied
+    // prefix, recovered through the real replay path.
+    handle.stop();
+    follower.shutdown();
+    let report = recover(&f_dir, &config(), SCALE, WalOptions::default()).unwrap().report;
+    assert_eq!(report.last_seq, 3, "follower WAL persisted the shipped prefix");
+    assert_eq!(report.replayed(), 3);
+
+    let follower = start(&f_dir, true);
+    assert_eq!(follower.last_applied_seq(), 3);
+    let handle = follower.replicate_from(&addr, repl_cfg(&f_dir));
+
+    // Connection 2: the restarted follower resumes from its recovered
+    // cursor. Re-ship an overlapping window (2..=6) — at-least-once
+    // delivery — and the dedupe gate must absorb 2 and 3 silently.
+    let (mut conn, from_seq) = accept_subscriber(&listener);
+    assert_eq!(from_seq, 3, "restart resumes from the recovered seq, not zero");
+    for seq in 2..=6u64 {
+        ship(&mut conn, seq, &all[seq as usize - 1]);
+    }
+    write_frame(&mut conn, &encode_repl(&ReplFrame::CaughtUp { through_seq: 6 })).unwrap();
+    assert!(handle.wait_caught_up(Duration::from_secs(10)), "status: {:?}", handle.status());
+    wait_applied(&follower, 6, Duration::from_secs(10));
+
+    let status = handle.status();
+    assert_eq!(status.records_applied, 3, "only 4..=6 apply first-hand: {status:?}");
+    assert_eq!(status.records_deduped, 2, "the 2..=3 overlap re-acks, never re-applies");
+    assert_eq!(status.apply_errors, 0);
+    assert_eq!(status.primary_seq, 6);
+    assert_eq!(status.lag(), 0);
+
+    handle.stop();
+    follower.shutdown();
+
+    // Exactly-once application: the follower's durable state equals a
+    // direct-apply oracle of batches 1..=6 (a double-apply would
+    // diverge node/edge counts).
+    let cfg = config();
+    let world = snb_datagen::dictionaries::StaticWorld::build(cfg.seed);
+    let (mut oracle, _) = snb_store::bulk_store_and_stream(&cfg);
+    for ops in &all {
+        let WriteOps::Updates(events) = ops else { unreachable!() };
+        for ev in events {
+            oracle.apply_event(ev, &world).unwrap();
+        }
+    }
+    if !oracle.date_index_fresh() {
+        oracle.rebuild_date_index();
+    }
+    let rec = recover(&f_dir, &cfg, SCALE, WalOptions::default()).unwrap();
+    assert_eq!(rec.report.last_seq, 6);
+    let (f, o) = (rec.store.stats(), oracle.stats());
+    assert_eq!((f.nodes, f.edges), (o.nodes, o.edges), "follower equals the oracle");
+
+    let _ = std::fs::remove_dir_all(&f_dir);
+}
