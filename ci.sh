@@ -257,4 +257,38 @@ grep -q '"mismatches": 0' "$REPL_JSON" || {
   rm -f "$REPL_JSON"; exit 1; }
 rm -f "$REPL_JSON"
 
+echo "==> split-brain smoke (net.partition, fencing epochs, auto re-subscribe)"
+# E18: the primary is black-holed mid-traffic by a deterministic
+# net.partition fault (sockets stay open, bytes vanish), a follower is
+# promoted at a bumped fencing epoch with the sibling list, and writes
+# keep hitting both nodes. Hard gates: the zombie ex-primary acks ZERO
+# post-promotion writes (in-window writes are black-holed; post-heal
+# the announce fences it into typed terminal refusals), every
+# pre-partition acked write survives on the new primary, the surviving
+# follower re-subscribes to the announced primary without operator
+# re-pointing, the fenced redirect is followed client-side, and both
+# survivors answer all 25 BI queries identically to an every-batch
+# oracle. The binary exits nonzero on any gate; the JSON greps pin the
+# contract keys so a silently skipped phase cannot pass.
+SB_JSON="$(mktemp /tmp/splitbrain_smoke.XXXXXX.json)"
+SNB_SERVICE_OUT="$SB_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 --split-brain \
+  --server-bin target/release/snb-server > /dev/null
+for key in failover partitioned_at_seq writable_from epoch promote_ms first_ack_ms \
+           resubscribe_ms fenced_after_ms zombie_write_attempts fenced_rejects_observed \
+           redirect_followed queries_verified; do
+  grep -q "\"$key\":" "$SB_JSON" || {
+    echo "split-brain JSON is missing key '$key'" >&2; rm -f "$SB_JSON"; exit 1; }
+done
+grep -q '"zombie_acks_after_promotion": 0' "$SB_JSON" || {
+  echo "the fenced ex-primary acked writes after promotion (split-brain)" >&2
+  rm -f "$SB_JSON"; exit 1; }
+grep -q '"lost_acked_writes": 0' "$SB_JSON" || {
+  echo "acked writes are missing from the promoted primary" >&2
+  rm -f "$SB_JSON"; exit 1; }
+grep -q '"mismatches": 0' "$SB_JSON" || {
+  echo "survivors diverge from the every-batch oracle after failover" >&2
+  rm -f "$SB_JSON"; exit 1; }
+rm -f "$SB_JSON"
+
 echo "CI OK"

@@ -16,7 +16,7 @@
 //!              [--tcp | --connect HOST:PORT]
 //!              [--updates] [--exercise-edges] [--retries N]
 //!              [--wal-bench] [--chaos [--server-bin PATH]]
-//!              [--replication [--followers N]]
+//!              [--replication [--followers N]] [--split-brain]
 //!              [--interference] [--out PATH]
 //!              [--sweep] [--sweep-levels 1,2,...,1024] [--sweep-duration 2s]
 //! ```
@@ -54,6 +54,16 @@
 //! the unacked suffix, and proves the promoted node answers all 25 BI
 //! queries identically to an every-batch oracle (see `replication.rs`).
 //!
+//! `--split-brain` runs experiment E18 instead of the load window: it
+//! spawns a primary armed with a deterministic `net.partition` fault
+//! plus two followers, black-holes the primary mid-traffic, promotes a
+//! follower (which durably bumps the fencing epoch and announces itself
+//! to its siblings), keeps driving writes at *both* nodes, heals the
+//! partition, and asserts the zombie acked zero post-promotion writes,
+//! no acked write was lost, the surviving follower re-subscribed
+//! without operator help, and the new primary answers all 25 BI
+//! queries identically to an every-batch oracle (see `split_brain.rs`).
+//!
 //! `--interference` runs experiment E15 instead of the plain load
 //! window: two identical closed-loop read windows against the same
 //! server, first write-free (the baseline), then with a writer
@@ -88,6 +98,7 @@ use snb_store::DeleteOp;
 mod chaos;
 mod interference;
 mod replication;
+mod split_brain;
 mod sweep;
 mod wal_bench;
 
@@ -110,6 +121,7 @@ struct Args {
     wal_bench: bool,
     chaos: bool,
     replication: bool,
+    split_brain: bool,
     followers: usize,
     interference: bool,
     sweep: bool,
@@ -149,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
         wal_bench: false,
         chaos: false,
         replication: false,
+        split_brain: false,
         followers: 2,
         interference: false,
         sweep: false,
@@ -199,6 +212,7 @@ fn parse_args() -> Result<Args, String> {
             "--wal-bench" => args.wal_bench = true,
             "--chaos" => args.chaos = true,
             "--replication" => args.replication = true,
+            "--split-brain" => args.split_brain = true,
             "--followers" => {
                 args.followers =
                     need("--followers", argv.next())?.parse().map_err(|e| format!("{e}"))?;
@@ -264,6 +278,12 @@ fn parse_args() -> Result<Args, String> {
                 .into(),
         );
     }
+    if args.split_brain && (args.tcp || args.connect.is_some() || args.updates || args.open) {
+        return Err(
+            "--split-brain spawns its own server processes (no --tcp/--connect/--updates/--open)"
+                .into(),
+        );
+    }
     if args.sweep && (args.tcp || args.connect.is_some() || args.updates || args.open) {
         return Err(
             "--sweep drives its own TCP connection ladder (no --tcp/--connect/--updates/--open)"
@@ -312,6 +332,12 @@ impl Transport {
     /// retries on transient rejections. Works uniformly over both
     /// transports; the request is re-sent verbatim (reads are
     /// idempotent, writes are deduplicated by sequence number).
+    /// Terminal-with-redirect refusals (`not_primary`, `fenced`) that
+    /// carry a `(primary=HOST:PORT)` hint are followed automatically on
+    /// the TCP transport: reconnect to the carried target and resubmit
+    /// the same request — the seq-dedupe gate absorbs a duplicate write
+    /// if the original actually applied. Bounded to two hops so a
+    /// misconfigured redirect loop cannot spin forever.
     fn call_with_retries(
         &mut self,
         id: u64,
@@ -320,8 +346,29 @@ impl Transport {
         policy: RetryPolicy,
     ) -> Result<Response, String> {
         let mut backoff = snb_server::retry::Backoff::new(policy);
+        let mut hops = 0u32;
         loop {
             let resp = self.call(id, params.clone(), deadline_us)?;
+            let redirect: Option<String> = match &resp.body {
+                Err(e) if matches!(e.kind, ErrorKind::NotPrimary | ErrorKind::Fenced) => {
+                    snb_server::retry::redirect_target(&e.detail).map(str::to_string)
+                }
+                _ => None,
+            };
+            if let Some(target) = redirect {
+                if hops < 2 {
+                    if let Transport::Tcp(stream) = self {
+                        if let Ok(s) = TcpStream::connect(&target) {
+                            let _ = s.set_nodelay(true);
+                            let _ = s.set_read_timeout(stream.read_timeout().ok().flatten());
+                            *stream = s;
+                            hops += 1;
+                            continue;
+                        }
+                    }
+                }
+                return Ok(resp);
+            }
             match &resp.body {
                 Err(e) if snb_server::retry::retryable(e.kind) && backoff.attempts_left() => {
                     std::thread::sleep(backoff.next_delay());
@@ -346,6 +393,7 @@ struct ClientStats {
     store_poisoned: u64,
     not_primary: u64,
     stale_read: u64,
+    fenced: u64,
     protocol_errors: u64,
     verify_failures: u64,
 }
@@ -364,6 +412,7 @@ impl ClientStats {
         self.store_poisoned += other.store_poisoned;
         self.not_primary += other.not_primary;
         self.stale_read += other.stale_read;
+        self.fenced += other.fenced;
         self.protocol_errors += other.protocol_errors;
         self.verify_failures += other.verify_failures;
     }
@@ -393,6 +442,7 @@ impl ClientStats {
                 ErrorKind::StorePoisoned => self.store_poisoned += 1,
                 ErrorKind::NotPrimary => self.not_primary += 1,
                 ErrorKind::StaleRead => self.stale_read += 1,
+                ErrorKind::Fenced => self.fenced += 1,
             },
         }
     }
@@ -438,6 +488,10 @@ fn main() {
     }
     if args.replication {
         replication::run(&args);
+        return;
+    }
+    if args.split_brain {
+        split_brain::run(&args);
         return;
     }
     if args.interference {
@@ -718,7 +772,7 @@ fn main() {
     out.push_str(&format!(
         "  \"outcomes\": {{\"ok\": {}, \"shed\": {}, \"deadline_missed\": {}, \
          \"deadline_overrun\": {}, \"shutting_down\": {}, \"bad_request\": {}, \"internal\": {}, \
-         \"store_poisoned\": {}, \"not_primary\": {}, \"stale_read\": {}, \
+         \"store_poisoned\": {}, \"not_primary\": {}, \"stale_read\": {}, \"fenced\": {}, \
          \"protocol_errors\": {}, \"verify_failures\": {}, \
          \"burst_shed\": {}, \"burst_deadline_missed\": {}}}",
         total.ok,
@@ -731,6 +785,7 @@ fn main() {
         total.store_poisoned,
         total.not_primary,
         total.stale_read,
+        total.fenced,
         total.protocol_errors,
         total.verify_failures,
         burst_shed,
@@ -744,7 +799,7 @@ fn main() {
              \"rejected_shutdown\": {}, \"bad_requests\": {}, \"internal_errors\": {}, \
              \"updates_applied\": {}, \"deletes_applied\": {}, \"log_records\": {}, \
              \"batches_applied\": {}, \"batches_deduped\": {}, \"poisoned_rejects\": {}, \
-             \"not_primary_rejects\": {}, \"stale_read_rejects\": {}, \
+             \"not_primary_rejects\": {}, \"stale_read_rejects\": {}, \"fenced_rejects\": {}, \
              \"conn_stalled\": {}, \"store_version\": {}, \"versions_published\": {}, \
              \"peak_live_snapshots\": {}, \"reader_retries\": {}, \"reader_blocked\": {}}}",
             r.served,
@@ -768,6 +823,7 @@ fn main() {
             r.poisoned_rejects,
             r.not_primary_rejects,
             r.stale_read_rejects,
+            r.fenced_rejects,
             r.conn_stalled,
             r.versions_published,
             r.versions_published,

@@ -9,6 +9,8 @@
 //!            [--wal-dir PATH] [--fsync-every N] [--snapshot-every N]
 //!            [--conn-timeout-ms N] [--partitions N] [--group-commit]
 //!            [--repl-port N] [--follower] [--replicate-from ADDR]
+//! snb-server --promote REPL_ADDR [--announce-repl ADDR]
+//!            [--announce-client ADDR] [--siblings A,B,..] [--epoch-floor N]
 //! ```
 //!
 //! Admission is split into three priority lanes — IS/IC short reads,
@@ -44,6 +46,17 @@
 //! `--replicate-from ADDR` subscribes to a primary's replication
 //! listener and applies its shipped records through the local durable
 //! write path.
+//!
+//! `--promote REPL_ADDR` is an operator *client* mode: send one
+//! `Promote` frame to a follower's replication port and exit. The
+//! follower durably bumps its fencing epoch before going writable;
+//! pass `--announce-repl` / `--announce-client` (the promoted node's
+//! own endpoints) and `--siblings` (comma-separated replication
+//! addresses of the rest of the cluster, including the old primary) so
+//! the new primary announces itself — surviving followers re-subscribe
+//! automatically and a partitioned ex-primary fences itself once
+//! reachable. `--epoch-floor` forces a minimum epoch (0 = the
+//! follower's own term + 1).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -81,6 +94,11 @@ struct Args {
     wal: WalOptions,
     repl_port: Option<u16>,
     replicate_from: Option<String>,
+    promote: Option<String>,
+    announce_repl: String,
+    announce_client: String,
+    siblings: Vec<String>,
+    epoch_floor: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -91,6 +109,11 @@ fn parse_args() -> Result<Args, String> {
     let mut wal = WalOptions::default();
     let mut repl_port = None;
     let mut replicate_from = None;
+    let mut promote = None;
+    let mut announce_repl = String::new();
+    let mut announce_client = String::new();
+    let mut siblings = Vec::new();
+    let mut epoch_floor = 0u64;
     let mut argv = std::env::args().skip(1);
     let parse = |name: &str, v: Option<String>| -> Result<u64, String> {
         v.ok_or_else(|| format!("{name} needs a value"))?
@@ -148,6 +171,26 @@ fn parse_args() -> Result<Args, String> {
             "--replicate-from" => {
                 replicate_from = Some(argv.next().ok_or("--replicate-from needs a value")?);
             }
+            "--promote" => {
+                promote = Some(argv.next().ok_or("--promote needs the follower's repl addr")?);
+            }
+            "--announce-repl" => {
+                announce_repl = argv.next().ok_or("--announce-repl needs a value")?;
+            }
+            "--announce-client" => {
+                announce_client = argv.next().ok_or("--announce-client needs a value")?;
+            }
+            "--siblings" => {
+                siblings = argv
+                    .next()
+                    .ok_or("--siblings needs a comma-separated list")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--epoch-floor" => epoch_floor = parse("--epoch-floor", argv.next())?,
             "--profile" => server.profiling = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positionals.push(other.to_string()),
@@ -184,6 +227,11 @@ fn parse_args() -> Result<Args, String> {
         wal,
         repl_port,
         replicate_from,
+        promote,
+        announce_repl,
+        announce_client,
+        siblings,
+        epoch_floor,
     })
 }
 
@@ -196,6 +244,34 @@ fn main() {
         }
     };
     install_signal_handlers();
+
+    // Operator client mode: one Promote frame, print the outcome, exit.
+    if let Some(target) = &args.promote {
+        match snb_server::replication::promote_with(
+            target,
+            args.epoch_floor,
+            &args.announce_repl,
+            &args.announce_client,
+            &args.siblings,
+        ) {
+            Ok(p) => {
+                println!("promoted writable_from={} epoch={}", p.writable_from, p.epoch);
+                if !args.siblings.is_empty() {
+                    // The announce fan-out runs on the *promoted node*,
+                    // not in this client; nothing to wait for here.
+                    eprintln!(
+                        "# announce to {} sibling(s) delegated to the new primary",
+                        args.siblings.len()
+                    );
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("snb-server: promote {target}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     match snb_fault::arm_from_env() {
         Ok(0) => {}
@@ -221,13 +297,14 @@ fn main() {
         // Harness contract: one recovery summary line on stdout.
         println!(
             "recovered seq={} snapshot_entries={} wal_entries={} truncated_bytes={} \
-             replayed={} recovery_ms={}",
+             replayed={} recovery_ms={} epoch={}",
             report.last_seq,
             report.snapshot_entries,
             report.wal_entries,
             report.truncated_bytes,
             report.replayed(),
             report.recovery_us / 1000,
+            report.epoch,
         );
         let server = Server::start_durable(store, args.server.clone(), durability);
         // The same numbers open the access log, so catch-up time is
@@ -286,6 +363,7 @@ fn main() {
     );
 
     let mut was_read_only = server.is_read_only();
+    let mut was_fenced = server.is_fenced();
     while !SHUTDOWN.load(Ordering::Acquire) {
         std::thread::sleep(Duration::from_millis(50));
         // Promotion arrives on the replication port; announce the flip
@@ -296,21 +374,41 @@ fn main() {
             // lines and closed the pipe must not crash a freshly
             // promoted primary with EPIPE.
             let mut out = std::io::stdout();
-            let _ = writeln!(out, "promoted writable_from={}", server.last_applied_seq());
+            let _ = writeln!(
+                out,
+                "promoted writable_from={} epoch={}",
+                server.last_applied_seq(),
+                server.epoch()
+            );
             let _ = out.flush();
+        }
+        // Zombie detection: a higher epoch reached this ex-primary over
+        // the repl channel and client writes now refuse `fenced`.
+        if !was_fenced && server.is_fenced() {
+            was_fenced = true;
+            let mut out = std::io::stdout();
+            let _ = writeln!(out, "fenced epoch={}", server.epoch());
+            let _ = out.flush();
+        }
+        if was_fenced && !server.is_fenced() {
+            // Re-promoted into a newer term.
+            was_fenced = false;
         }
     }
     eprintln!("# signal received, draining ...");
     if let Some(follower) = follower {
         let st = follower.status();
         eprintln!(
-            "# follower: applied {} deduped {} errors {} caught_up {} catch_up_ms {} lag {}",
+            "# follower: applied {} deduped {} errors {} caught_up {} catch_up_ms {} lag {} \
+             heartbeat_timeouts {} resubscribed {}",
             st.records_applied,
             st.records_deduped,
             st.apply_errors,
             st.caught_up,
             st.catch_up_ms,
             st.lag(),
+            st.heartbeat_timeouts,
+            st.resubscribed,
         );
         follower.stop();
     }

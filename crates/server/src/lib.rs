@@ -46,7 +46,7 @@ pub use proto::{
     WriteBatch, WriteOps,
 };
 pub use queue::{Admitted, LaneQueues, PushError, ShedPolicy};
-pub use replication::{FollowerHandle, FollowerStatus, ReplicationConfig};
+pub use replication::{FollowerHandle, FollowerStatus, Promotion, ReplicationConfig};
 pub use retry::RetryPolicy;
 pub use server::{
     Durability, InProcClient, LaneSettings, LanesConfig, LogHandle, Server, ServerConfig,

@@ -229,6 +229,12 @@ pub enum ErrorKind {
     /// yet. Retryable — replication lag drains, so the same request
     /// sent a moment later (or to a fresher node) succeeds.
     StaleRead,
+    /// The node observed a higher fencing epoch: it *was* a primary,
+    /// but a follower has since been promoted, and acking writes here
+    /// would fork history. Terminal with redirect — like
+    /// [`ErrorKind::NotPrimary`], the detail carries the current
+    /// primary's address when known.
+    Fenced,
 }
 
 impl ErrorKind {
@@ -243,6 +249,7 @@ impl ErrorKind {
             ErrorKind::DeadlineOverrun => 7,
             ErrorKind::NotPrimary => 8,
             ErrorKind::StaleRead => 9,
+            ErrorKind::Fenced => 10,
         }
     }
 
@@ -257,6 +264,7 @@ impl ErrorKind {
             7 => Some(ErrorKind::DeadlineOverrun),
             8 => Some(ErrorKind::NotPrimary),
             9 => Some(ErrorKind::StaleRead),
+            10 => Some(ErrorKind::Fenced),
             _ => None,
         }
     }
@@ -273,6 +281,7 @@ impl ErrorKind {
             ErrorKind::DeadlineOverrun => "deadline_overrun",
             ErrorKind::NotPrimary => "not_primary",
             ErrorKind::StaleRead => "stale_read",
+            ErrorKind::Fenced => "fenced",
         }
     }
 }
@@ -995,6 +1004,7 @@ const REPL_HEARTBEAT: u8 = 4;
 const REPL_PROMOTE: u8 = 5;
 const REPL_PROMOTED: u8 = 6;
 const REPL_DENY: u8 = 7;
+const REPL_ANNOUNCE: u8 = 8;
 
 /// One frame of the log-shipping protocol, spoken on the replication
 /// listener (a separate port from query traffic). A follower opens the
@@ -1003,6 +1013,13 @@ const REPL_DENY: u8 = 7;
 /// new records interleaved with `Heartbeat`s. `Promote`/`Promoted` ride
 /// the same codec because the operator (or failover harness) speaks to
 /// the follower's own replication listener to flip it writable.
+///
+/// Every primary-originated frame is stamped with the sender's
+/// **fencing epoch**: a receiver that knows a higher term drops the
+/// connection (the sender is a zombie), and a receiver that sees a
+/// higher term adopts it. The epoch is durable (WAL header) and bumped
+/// on promotion *before* the node goes writable, so two nodes can
+/// never ack writes under the same term.
 #[derive(Clone, Debug)]
 pub enum ReplFrame {
     /// Follower → primary: subscribe to the log from `from_seq`
@@ -1019,6 +1036,10 @@ pub enum ReplFrame {
         partitions: u32,
         /// Ship records with `seq > from_seq`.
         from_seq: u64,
+        /// The highest fencing epoch the follower has observed. A
+        /// primary whose own epoch is lower has been fenced and must
+        /// refuse the subscription (and stop acking writes).
+        epoch: u64,
     },
     /// Primary → follower: one acked WAL record. `partition` is the
     /// segment the record lives in on the primary — followers write it
@@ -1032,6 +1053,8 @@ pub enum ReplFrame {
         partition: u32,
         /// The batch payload.
         ops: WriteOps,
+        /// The shipping primary's fencing epoch.
+        epoch: u64,
     },
     /// Primary → follower: the backlog through `through_seq` has been
     /// shipped; everything after this frame is live tail. The follower
@@ -1045,21 +1068,64 @@ pub enum ReplFrame {
     Heartbeat {
         /// The primary's flushed (acked) sequence high-water mark.
         last_seq: u64,
+        /// The sender's fencing epoch — a follower that knows a higher
+        /// term treats the sender as a zombie and drops the stream.
+        epoch: u64,
     },
-    /// Operator → follower: stop following, become a writable primary.
-    /// Idempotent — promoting an already-promoted node re-acks.
-    Promote,
+    /// Operator → follower: stop following, become a writable primary
+    /// at (at least) `epoch`. Idempotent — promoting an
+    /// already-promoted node re-acks. The addresses let the promoted
+    /// node announce itself: `repl_addr`/`client_addr` are *its own*
+    /// advertised endpoints (carried back to siblings and clients),
+    /// `siblings` lists the replication listeners of the other nodes —
+    /// including, ideally, the old primary's, so a partitioned zombie
+    /// gets fenced the moment the partition heals.
+    Promote {
+        /// Minimum term to promote into; the node takes
+        /// `max(own + 1, epoch)`. `0` lets the node pick.
+        epoch: u64,
+        /// The promoted node's own replication listener address, as
+        /// siblings should dial it. Empty = don't announce.
+        repl_addr: String,
+        /// The promoted node's query listener address, for client
+        /// redirect hints. Empty = unknown.
+        client_addr: String,
+        /// Replication listeners of surviving siblings (and the old
+        /// primary) to notify with [`ReplFrame::Announce`].
+        siblings: Vec<String>,
+    },
     /// Follower → operator: promotion done; writes are accepted from
-    /// `seq + 1` onward.
+    /// `seq + 1` onward under term `epoch`.
     Promoted {
         /// The node's last applied sequence at promotion.
         seq: u64,
+        /// The durably bumped fencing epoch the node now serves at.
+        epoch: u64,
     },
     /// Either side: the request was refused (mismatched world, Hello to
-    /// a non-primary, promote of a node that can't promote).
+    /// a non-primary, promote of a node that can't promote). Carries
+    /// the denier's epoch so a zombie that subscribes somewhere learns
+    /// it was fenced.
     Deny {
         /// Why.
         detail: String,
+        /// The denier's fencing epoch (0 when irrelevant).
+        epoch: u64,
+    },
+    /// New primary → any node's replication listener: "I am the
+    /// primary at `epoch`; re-subscribe to `repl_addr`". A read-only
+    /// node adopts the target and its follower loop reconnects there; a
+    /// writable node with a lower term fences itself (it is the
+    /// zombie). Acked with a [`ReplFrame::Heartbeat`]; denied (with the
+    /// higher term) if the receiver's epoch is newer.
+    Announce {
+        /// The announcing primary's fencing epoch.
+        epoch: u64,
+        /// The announcing primary's replication listener address.
+        repl_addr: String,
+        /// The announcing primary's query listener address (redirect
+        /// hint for clients).
+        client_addr: String,
     },
 }
 
@@ -1069,17 +1135,19 @@ pub fn encode_repl(frame: &ReplFrame) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     put_u8(&mut buf, REPL_VERSION);
     match frame {
-        ReplFrame::Hello { scale, seed, partitions, from_seq } => {
+        ReplFrame::Hello { scale, seed, partitions, from_seq, epoch } => {
             put_u8(&mut buf, REPL_HELLO);
             put_str(&mut buf, scale);
             put_u64(&mut buf, *seed);
             put_u32(&mut buf, *partitions);
             put_u64(&mut buf, *from_seq);
+            put_u64(&mut buf, *epoch);
         }
-        ReplFrame::Record { seq, partition, ops } => {
+        ReplFrame::Record { seq, partition, ops, epoch } => {
             put_u8(&mut buf, REPL_RECORD);
             put_u64(&mut buf, *seq);
             put_u32(&mut buf, *partition);
+            put_u64(&mut buf, *epoch);
             put_u8(&mut buf, ops.query_tag());
             crate::events::encode_write_ops(&mut buf, ops);
         }
@@ -1087,20 +1155,36 @@ pub fn encode_repl(frame: &ReplFrame) -> Vec<u8> {
             put_u8(&mut buf, REPL_CAUGHT_UP);
             put_u64(&mut buf, *through_seq);
         }
-        ReplFrame::Heartbeat { last_seq } => {
+        ReplFrame::Heartbeat { last_seq, epoch } => {
             put_u8(&mut buf, REPL_HEARTBEAT);
             put_u64(&mut buf, *last_seq);
+            put_u64(&mut buf, *epoch);
         }
-        ReplFrame::Promote => {
+        ReplFrame::Promote { epoch, repl_addr, client_addr, siblings } => {
             put_u8(&mut buf, REPL_PROMOTE);
+            put_u64(&mut buf, *epoch);
+            put_str(&mut buf, repl_addr);
+            put_str(&mut buf, client_addr);
+            put_u32(&mut buf, siblings.len() as u32);
+            for s in siblings {
+                put_str(&mut buf, s);
+            }
         }
-        ReplFrame::Promoted { seq } => {
+        ReplFrame::Promoted { seq, epoch } => {
             put_u8(&mut buf, REPL_PROMOTED);
             put_u64(&mut buf, *seq);
+            put_u64(&mut buf, *epoch);
         }
-        ReplFrame::Deny { detail } => {
+        ReplFrame::Deny { detail, epoch } => {
             put_u8(&mut buf, REPL_DENY);
             put_str(&mut buf, detail);
+            put_u64(&mut buf, *epoch);
+        }
+        ReplFrame::Announce { epoch, repl_addr, client_addr } => {
+            put_u8(&mut buf, REPL_ANNOUNCE);
+            put_u64(&mut buf, *epoch);
+            put_str(&mut buf, repl_addr);
+            put_str(&mut buf, client_addr);
         }
     }
     buf
@@ -1119,19 +1203,39 @@ pub fn decode_repl(payload: &[u8]) -> Result<ReplFrame, DecodeError> {
             seed: r.u64()?,
             partitions: r.u32()?,
             from_seq: r.u64()?,
+            epoch: r.u64()?,
         },
         REPL_RECORD => {
             let seq = r.u64()?;
             let partition = r.u32()?;
+            let epoch = r.u64()?;
             let family = r.u8()?;
             let ops = crate::events::decode_write_ops(&mut r, family)?;
-            ReplFrame::Record { seq, partition, ops }
+            ReplFrame::Record { seq, partition, ops, epoch }
         }
         REPL_CAUGHT_UP => ReplFrame::CaughtUp { through_seq: r.u64()? },
-        REPL_HEARTBEAT => ReplFrame::Heartbeat { last_seq: r.u64()? },
-        REPL_PROMOTE => ReplFrame::Promote,
-        REPL_PROMOTED => ReplFrame::Promoted { seq: r.u64()? },
-        REPL_DENY => ReplFrame::Deny { detail: r.string()? },
+        REPL_HEARTBEAT => ReplFrame::Heartbeat { last_seq: r.u64()?, epoch: r.u64()? },
+        REPL_PROMOTE => {
+            let epoch = r.u64()?;
+            let repl_addr = r.string()?;
+            let client_addr = r.string()?;
+            let n = r.u32()? as usize;
+            if n > 1024 {
+                return Err(r.err(format!("implausible sibling count {n}")));
+            }
+            let mut siblings = Vec::with_capacity(n);
+            for _ in 0..n {
+                siblings.push(r.string()?);
+            }
+            ReplFrame::Promote { epoch, repl_addr, client_addr, siblings }
+        }
+        REPL_PROMOTED => ReplFrame::Promoted { seq: r.u64()?, epoch: r.u64()? },
+        REPL_DENY => ReplFrame::Deny { detail: r.string()?, epoch: r.u64()? },
+        REPL_ANNOUNCE => ReplFrame::Announce {
+            epoch: r.u64()?,
+            repl_addr: r.string()?,
+            client_addr: r.string()?,
+        },
         other => return Err(r.err(format!("unknown replication frame tag {other}"))),
     };
     r.finish()?;
@@ -1291,6 +1395,14 @@ mod tests {
                     detail: "min_seq 40, applied 37 (lag 3)".into(),
                 }),
             },
+            Response {
+                id: 8,
+                body: Err(ErrorBody {
+                    kind: ErrorKind::Fenced,
+                    queue_us: 0,
+                    detail: "fenced at epoch 2 by epoch 3 (primary=127.0.0.1:9999)".into(),
+                }),
+            },
         ];
         for resp in cases {
             let bytes = encode_response(&resp);
@@ -1438,11 +1550,18 @@ mod tests {
         let (_, stream) = snb_store::bulk_store_and_stream(&config);
         assert!(stream.len() >= 3, "stream too short for repl samples");
         vec![
-            ReplFrame::Hello { scale: "0.001".into(), seed: 42, partitions: 2, from_seq: 17 },
+            ReplFrame::Hello {
+                scale: "0.001".into(),
+                seed: 42,
+                partitions: 2,
+                from_seq: 17,
+                epoch: 3,
+            },
             ReplFrame::Record {
                 seq: 18,
                 partition: 1,
                 ops: WriteOps::Updates(stream[..3].to_vec()),
+                epoch: 3,
             },
             ReplFrame::Record {
                 seq: 19,
@@ -1451,12 +1570,29 @@ mod tests {
                     snb_store::DeleteOp::Like(7, 9),
                     snb_store::DeleteOp::Forum(3),
                 ]),
+                epoch: 3,
             },
             ReplFrame::CaughtUp { through_seq: 19 },
-            ReplFrame::Heartbeat { last_seq: 25 },
-            ReplFrame::Promote,
-            ReplFrame::Promoted { seq: 25 },
-            ReplFrame::Deny { detail: "scale mismatch".into() },
+            ReplFrame::Heartbeat { last_seq: 25, epoch: 3 },
+            ReplFrame::Promote {
+                epoch: 4,
+                repl_addr: "127.0.0.1:7001".into(),
+                client_addr: "127.0.0.1:7000".into(),
+                siblings: vec!["127.0.0.1:7003".into(), "127.0.0.1:7005".into()],
+            },
+            ReplFrame::Promote {
+                epoch: 0,
+                repl_addr: String::new(),
+                client_addr: String::new(),
+                siblings: Vec::new(),
+            },
+            ReplFrame::Promoted { seq: 25, epoch: 4 },
+            ReplFrame::Deny { detail: "scale mismatch".into(), epoch: 4 },
+            ReplFrame::Announce {
+                epoch: 4,
+                repl_addr: "127.0.0.1:7001".into(),
+                client_addr: "127.0.0.1:7000".into(),
+            },
         ]
     }
 
@@ -1491,7 +1627,7 @@ mod tests {
         }
 
         // Bad version byte.
-        let mut bytes = encode_repl(&ReplFrame::Promote);
+        let mut bytes = encode_repl(&ReplFrame::CaughtUp { through_seq: 1 });
         bytes[0] = 9;
         assert!(decode_repl(&bytes).is_err());
 
@@ -1511,7 +1647,7 @@ mod tests {
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let mut torn = Vec::new();
         put_u32(&mut torn, 64);
-        torn.extend_from_slice(&encode_repl(&ReplFrame::Heartbeat { last_seq: 1 }));
+        torn.extend_from_slice(&encode_repl(&ReplFrame::Heartbeat { last_seq: 1, epoch: 0 }));
         let err = read_frame(&mut std::io::Cursor::new(&torn)).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }

@@ -21,12 +21,28 @@
 //! so a request admitted at `applied_seq = n` pins a snapshot containing
 //! every write `≤ n`.
 //!
-//! **Promotion.** The failover harness (or an operator) speaks
-//! [`ReplFrame::Promote`] to the *follower's* replication listener; the
-//! follower clears read-only mode, answers [`ReplFrame::Promoted`] with
-//! the sequence it is writable from, and its applier loop exits. From
-//! then on it accepts writes at `seq + 1` and serves `Hello` itself —
-//! a promoted follower is a primary in every observable way.
+//! **Promotion and fencing.** The failover harness (or an operator)
+//! speaks [`ReplFrame::Promote`] to the *follower's* replication
+//! listener; the follower durably bumps its **fencing epoch** (fsynced
+//! into every WAL header *before* it goes writable), answers
+//! [`ReplFrame::Promoted`] with the sequence it is writable from and
+//! the new epoch, and its applier loop exits. Every shipped frame —
+//! `Hello`, `Record`, `Heartbeat`, `Deny`, `Announce` — carries the
+//! sender's epoch, so a **zombie**: an ex-primary that was only
+//! partitioned, not dead, is detected the moment any frame at a higher
+//! term reaches it, and fences itself — client writes refuse with the
+//! terminal `fenced` error instead of acking into a doomed history.
+//!
+//! **Automatic re-subscription.** `Promote` carries the new primary's
+//! own endpoints plus a sibling list; after answering `Promoted` the
+//! new primary announces itself ([`ReplFrame::Announce`]) to every
+//! sibling, retrying through partitions. A surviving follower adopts
+//! the announced replication target and its applier reconnects there
+//! on its next pass — no operator re-pointing. The old primary is a
+//! sibling too: the announce that finally lands after the partition
+//! heals is what fences it. Followers additionally watch for primary
+//! silence (no bytes for [`HEARTBEAT_TIMEOUT`]) and drop the dead
+//! subscription with a typed log line instead of waiting forever.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,6 +64,17 @@ const HEARTBEAT_EVERY: Duration = Duration::from_millis(150);
 /// Read timeout on replication sockets; reads buffer through
 /// [`take_frame`], so a timeout mid-frame loses nothing.
 const READ_TIMEOUT: Duration = Duration::from_millis(50);
+/// A subscribed follower that hears *nothing* (no records, no
+/// heartbeats) for this long presumes the primary dead and reconnects.
+/// Eight heartbeat periods: deep enough that a scheduling hiccup never
+/// trips it, shallow enough that failover detection is sub-second-ish.
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(1200);
+/// How long a freshly promoted primary keeps retrying its `Announce`
+/// to unreachable siblings (a partitioned zombie needs the retry that
+/// lands *after* the heal to learn it was deposed).
+const ANNOUNCE_BUDGET: Duration = Duration::from_secs(30);
+/// Delay between announce retry sweeps over still-pending siblings.
+const ANNOUNCE_RETRY_EVERY: Duration = Duration::from_millis(200);
 
 /// What a node needs to know about its own WAL/world to ship or
 /// subscribe: the shipping cursor reads `wal_dir` directly, and
@@ -78,6 +105,8 @@ struct FollowerState {
     records_deduped: AtomicU64,
     apply_errors: AtomicU64,
     primary_seq: AtomicU64,
+    heartbeat_timeouts: AtomicU64,
+    resubscribed: AtomicU64,
 }
 
 /// Point-in-time snapshot of a follower's replication progress.
@@ -106,6 +135,12 @@ pub struct FollowerStatus {
     pub primary_seq: u64,
     /// This node's own applied high-water mark.
     pub applied_seq: u64,
+    /// Subscriptions dropped because the primary went silent past
+    /// [`HEARTBEAT_TIMEOUT`] (dead-primary detection).
+    pub heartbeat_timeouts: u64,
+    /// Times the applier re-subscribed to a *different* primary than
+    /// the one it was following (automatic failover re-pointing).
+    pub resubscribed: u64,
 }
 
 impl FollowerStatus {
@@ -137,6 +172,8 @@ impl FollowerHandle {
             apply_errors: self.state.apply_errors.load(Ordering::Relaxed),
             primary_seq: self.state.primary_seq.load(Ordering::Acquire),
             applied_seq: self.inner.applied_seq(),
+            heartbeat_timeouts: self.state.heartbeat_timeouts.load(Ordering::Relaxed),
+            resubscribed: self.state.resubscribed.load(Ordering::Relaxed),
         }
     }
 
@@ -199,7 +236,9 @@ impl Server {
     /// listener from this node's applied high-water mark, apply shipped
     /// records through the local durable write path, reconnect with
     /// backoff on disconnect. The applier exits when stopped, when the
-    /// server shuts down, or when this node is promoted.
+    /// server shuts down, or when this node is promoted. If a newer
+    /// primary announces itself over the repl channel, the applier
+    /// re-subscribes there automatically.
     pub fn replicate_from(&self, primary: &str, config: ReplicationConfig) -> FollowerHandle {
         let state = Arc::new(FollowerState {
             stopped: AtomicBool::new(false),
@@ -211,6 +250,8 @@ impl Server {
             records_deduped: AtomicU64::new(0),
             apply_errors: AtomicU64::new(0),
             primary_seq: AtomicU64::new(0),
+            heartbeat_timeouts: AtomicU64::new(0),
+            resubscribed: AtomicU64::new(0),
         });
         let inner = Arc::clone(self.inner());
         let thread = {
@@ -223,18 +264,52 @@ impl Server {
     }
 }
 
+/// What [`promote_with`] returns: where the new primary's history
+/// starts and which fencing epoch it now rules under.
+#[derive(Clone, Copy, Debug)]
+pub struct Promotion {
+    /// The node accepts writes at `writable_from + 1`.
+    pub writable_from: u64,
+    /// The durably bumped fencing epoch the node promoted into.
+    pub epoch: u64,
+}
+
 /// Operator/harness-side promotion: speaks `Promote` to a follower's
 /// replication listener and returns the sequence the node is writable
-/// from. An error means the node never answered `Promoted`.
+/// from. An error means the node never answered `Promoted`. Thin
+/// wrapper over [`promote_with`] with no epoch floor, no advertised
+/// endpoints and no siblings to announce to.
 pub fn promote(addr: &str) -> std::io::Result<u64> {
+    promote_with(addr, 0, "", "", &[]).map(|p| p.writable_from)
+}
+
+/// Full promotion: the node durably bumps its fencing epoch to at
+/// least `epoch` (0 lets the node pick: its own term + 1) *before*
+/// going writable, then announces `repl_addr`/`client_addr` (its own
+/// advertised endpoints) to every address in `siblings` so surviving
+/// followers re-subscribe — and the partitioned ex-primary, when the
+/// announce finally reaches it, fences itself.
+pub fn promote_with(
+    addr: &str,
+    epoch: u64,
+    repl_addr: &str,
+    client_addr: &str,
+    siblings: &[String],
+) -> std::io::Result<Promotion> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    write_frame(&mut stream, &encode_repl(&ReplFrame::Promote))?;
+    let frame = ReplFrame::Promote {
+        epoch,
+        repl_addr: repl_addr.to_string(),
+        client_addr: client_addr.to_string(),
+        siblings: siblings.to_vec(),
+    };
+    write_frame(&mut stream, &encode_repl(&frame))?;
     let payload = crate::proto::read_frame(&mut stream)?;
     match decode_repl(&payload) {
-        Ok(ReplFrame::Promoted { seq }) => Ok(seq),
-        Ok(ReplFrame::Deny { detail }) => {
+        Ok(ReplFrame::Promoted { seq, epoch }) => Ok(Promotion { writable_from: seq, epoch }),
+        Ok(ReplFrame::Deny { detail, .. }) => {
             Err(std::io::Error::new(std::io::ErrorKind::PermissionDenied, detail))
         }
         Ok(other) => Err(std::io::Error::new(
@@ -247,21 +322,40 @@ pub fn promote(addr: &str) -> std::io::Result<u64> {
 
 /// Handles one inbound replication connection: the first frame decides
 /// whether this is a subscription (`Hello` → ship loop until
-/// disconnect/shutdown) or a control call (`Promote` → reply and
-/// close).
+/// disconnect/shutdown), a control call (`Promote` → bump epoch, reply,
+/// start announcing), or a failover notification (`Announce` → adopt or
+/// fence).
 fn serve_peer(inner: &Arc<ServerInner>, mut stream: TcpStream, config: &ReplicationConfig) {
     stream.set_nodelay(true).ok();
     if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
         return;
     }
     let Some(first) = read_one_frame(inner, &mut stream) else { return };
-    let deny = |stream: &mut TcpStream, detail: String| {
-        let _ = write_frame(stream, &encode_repl(&ReplFrame::Deny { detail }));
+    let deny = |stream: &mut TcpStream, detail: String, epoch: u64| {
+        let _ = write_frame(stream, &encode_repl(&ReplFrame::Deny { detail, epoch }));
     };
     match decode_repl(&first) {
-        Ok(ReplFrame::Hello { scale, seed, partitions, from_seq }) => {
-            if inner.read_only_flag() {
-                deny(&mut stream, "not a primary (follower mode); subscribe elsewhere".into());
+        Ok(ReplFrame::Hello { scale, seed, partitions, from_seq, epoch }) => {
+            if epoch > inner.epoch() {
+                if inner.read_only_flag() {
+                    inner.observe_epoch(epoch);
+                } else {
+                    // A subscriber knows a newer term than this
+                    // "primary" does: we are the zombie. Fence before
+                    // another client write gets acked.
+                    eprintln!(
+                        "repl: fenced epoch={} by subscriber hello at epoch={epoch}",
+                        inner.epoch()
+                    );
+                    inner.fence(epoch, "");
+                }
+            }
+            if inner.read_only_flag() || inner.is_fenced() {
+                deny(
+                    &mut stream,
+                    "not a primary (follower or fenced); subscribe elsewhere".into(),
+                    inner.epoch(),
+                );
                 return;
             }
             if scale != config.scale
@@ -275,27 +369,125 @@ fn serve_peer(inner: &Arc<ServerInner>, mut stream: TcpStream, config: &Replicat
                          follower sent scale={scale} seed={seed} partitions={partitions}",
                         config.scale, config.seed, config.partitions
                     ),
+                    inner.epoch(),
                 );
                 return;
             }
             let Some(group_commit) = inner.wal_group_commit() else {
-                deny(&mut stream, "primary has no write-ahead log; nothing to ship".into());
+                deny(
+                    &mut stream,
+                    "primary has no write-ahead log; nothing to ship".into(),
+                    inner.epoch(),
+                );
                 return;
             };
             ship_loop(inner, &mut stream, config, from_seq, group_commit);
         }
-        Ok(ReplFrame::Promote) => {
-            let seq = inner.clear_read_only();
-            let _ = write_frame(&mut stream, &encode_repl(&ReplFrame::Promoted { seq }));
+        Ok(ReplFrame::Promote { epoch, repl_addr, client_addr, siblings }) => {
+            match inner.promote_inner(epoch) {
+                Ok((seq, new_epoch)) => {
+                    if !client_addr.is_empty() {
+                        inner.set_primary_hint(&client_addr);
+                    }
+                    let reply = ReplFrame::Promoted { seq, epoch: new_epoch };
+                    let _ = write_frame(&mut stream, &encode_repl(&reply));
+                    if !siblings.is_empty() {
+                        let inner = Arc::clone(inner);
+                        std::thread::spawn(move || {
+                            announce_promotion(&inner, new_epoch, repl_addr, client_addr, siblings)
+                        });
+                    }
+                }
+                Err(e) => deny(
+                    &mut stream,
+                    format!("promotion failed to bump the epoch durably: {e:?}"),
+                    inner.epoch(),
+                ),
+            }
         }
-        Ok(other) => deny(&mut stream, format!("unexpected opening frame: {other:?}")),
-        Err(e) => deny(&mut stream, e.detail),
+        Ok(ReplFrame::Announce { epoch, repl_addr, client_addr }) => {
+            let own = inner.epoch();
+            if epoch < own {
+                deny(&mut stream, format!("stale announce: epoch {epoch} < {own}"), own);
+                return;
+            }
+            if inner.read_only_flag() {
+                // Surviving follower: re-point the applier at the new
+                // primary; it reconnects there on its next pass.
+                inner.observe_epoch(epoch);
+                if !repl_addr.is_empty() {
+                    inner.set_repl_target(&repl_addr);
+                }
+                if !client_addr.is_empty() {
+                    inner.set_primary_hint(&client_addr);
+                }
+            } else if epoch > own {
+                // Writable node told of a newer term: zombie ex-primary.
+                eprintln!(
+                    "repl: fenced epoch={own} by announce epoch={epoch} primary={client_addr}"
+                );
+                inner.fence(epoch, &client_addr);
+            }
+            // epoch == own on a writable node is the self-announce echo
+            // (we are the announced primary); ack idempotently.
+            let ack = ReplFrame::Heartbeat { last_seq: inner.applied_seq(), epoch: inner.epoch() };
+            let _ = write_frame(&mut stream, &encode_repl(&ack));
+        }
+        Ok(other) => {
+            deny(&mut stream, format!("unexpected opening frame: {other:?}"), inner.epoch())
+        }
+        Err(e) => deny(&mut stream, e.detail, inner.epoch()),
     }
 }
 
+/// The freshly promoted primary's side of automatic re-subscription:
+/// push an `Announce` at every sibling replication listener, retrying
+/// unreachable ones (a partitioned zombie answers only after the heal —
+/// that late ack is precisely the fencing handshake). A sibling that
+/// replies at all — ack or deny — is settled.
+fn announce_promotion(
+    inner: &Arc<ServerInner>,
+    epoch: u64,
+    repl_addr: String,
+    client_addr: String,
+    siblings: Vec<String>,
+) {
+    let frame = encode_repl(&ReplFrame::Announce { epoch, repl_addr, client_addr });
+    let started = Instant::now();
+    let mut pending = siblings;
+    while inner.is_accepting() && !pending.is_empty() && started.elapsed() < ANNOUNCE_BUDGET {
+        pending.retain(|addr| announce_once(addr, &frame).is_err());
+        if !pending.is_empty() {
+            std::thread::sleep(ANNOUNCE_RETRY_EVERY);
+        }
+    }
+    for addr in &pending {
+        eprintln!(
+            "repl: announce to sibling {addr} never answered (gave up after {:?})",
+            ANNOUNCE_BUDGET
+        );
+    }
+}
+
+/// One announce attempt: any decodable reply (`Heartbeat` ack or
+/// `Deny` from a peer already at a newer term) settles the sibling;
+/// an I/O error means unreachable — retry later.
+fn announce_once(addr: &str, frame: &[u8]) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    write_frame(&mut stream, frame)?;
+    let payload = crate::proto::read_frame(&mut stream)?;
+    decode_repl(&payload)
+        .map(|_| ())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.detail))
+}
+
 /// Streams acked WAL records `> from_seq` to one subscriber, then keeps
-/// live-tailing with heartbeats. Exits on any write failure (dead peer)
-/// or when the server stops accepting.
+/// live-tailing with heartbeats. Every frame is stamped with the
+/// shipper's current epoch. Exits on any write failure (dead peer),
+/// when the node is fenced (a stale term must stop shipping), or when
+/// the server stops accepting.
 fn ship_loop(
     inner: &Arc<ServerInner>,
     stream: &mut TcpStream,
@@ -311,7 +503,13 @@ fn ship_loop(
     let target = inner.acked_seq(group_commit);
     let mut caught_up_sent = false;
     let mut last_beat = Instant::now();
-    while inner.is_accepting() {
+    while inner.is_accepting() && !inner.is_fenced() {
+        if snb_fault::partition_active() {
+            // Black-holed: ship nothing, close nothing. The follower
+            // hears silence and its heartbeat timeout does the rest.
+            std::thread::sleep(POLL_INTERVAL);
+            continue;
+        }
         let bound = inner.acked_seq(group_commit);
         let records = match tailer.poll(bound) {
             Ok(r) => r,
@@ -324,8 +522,12 @@ fn ship_loop(
         };
         let idle = records.is_empty();
         for rec in records {
-            let frame =
-                ReplFrame::Record { seq: rec.seq, partition: rec.partition as u32, ops: rec.ops };
+            let frame = ReplFrame::Record {
+                seq: rec.seq,
+                partition: rec.partition as u32,
+                ops: rec.ops,
+                epoch: inner.epoch(),
+            };
             if write_frame(stream, &encode_repl(&frame)).is_err() {
                 return;
             }
@@ -341,7 +543,7 @@ fn ship_loop(
         }
         if idle {
             if caught_up_sent && last_beat.elapsed() >= HEARTBEAT_EVERY {
-                let beat = ReplFrame::Heartbeat { last_seq: bound };
+                let beat = ReplFrame::Heartbeat { last_seq: bound, epoch: inner.epoch() };
                 if write_frame(stream, &encode_repl(&beat)).is_err() {
                     return;
                 }
@@ -355,7 +557,9 @@ fn ship_loop(
 /// The follower applier: connect → `Hello` from the local applied seq →
 /// apply every shipped record through the durable write path →
 /// reconnect with backoff on disconnect. Runs until stopped, shutdown,
-/// promoted, or denied.
+/// promoted, or denied. Each pass re-reads the announced replication
+/// target, so an `Announce` from a new primary re-points the very next
+/// connection — that is the automatic re-subscription.
 fn follower_loop(
     inner: &Arc<ServerInner>,
     primary: &str,
@@ -363,6 +567,7 @@ fn follower_loop(
     state: &Arc<FollowerState>,
 ) {
     let mut backoff = Duration::from_millis(10);
+    let mut current = String::new();
     let active = |state: &FollowerState| {
         !state.stopped.load(Ordering::Acquire)
             && !state.denied.load(Ordering::Acquire)
@@ -370,7 +575,15 @@ fn follower_loop(
             && inner.read_only_flag()
     };
     while active(state) {
-        let Ok(mut stream) = TcpStream::connect(primary) else {
+        let target = {
+            let announced = inner.repl_target();
+            if announced.is_empty() {
+                primary.to_string()
+            } else {
+                announced
+            }
+        };
+        let Ok(mut stream) = TcpStream::connect(&target) else {
             std::thread::sleep(backoff);
             backoff = (backoff * 2).min(Duration::from_millis(500));
             continue;
@@ -385,29 +598,39 @@ fn follower_loop(
             seed: config.seed,
             partitions: config.partitions as u32,
             from_seq: inner.applied_seq(),
+            epoch: inner.epoch(),
         };
         if write_frame(&mut stream, &encode_repl(&hello)).is_err() {
             continue;
         }
+        if !current.is_empty() && current != target {
+            state.resubscribed.fetch_add(1, Ordering::Relaxed);
+            eprintln!("repl: re-subscribed to new primary {target} (was {current})");
+        }
+        current = target.clone();
         state.connected.store(true, Ordering::Release);
         let subscribe_started = Instant::now();
-        apply_stream(inner, &mut stream, state, subscribe_started, &active);
+        apply_stream(inner, &mut stream, state, subscribe_started, &active, &target);
         state.connected.store(false, Ordering::Release);
     }
     state.connected.store(false, Ordering::Release);
 }
 
 /// Drains one subscription connection, applying records until the
-/// stream breaks or the applier goes inactive.
+/// stream breaks, the applier goes inactive, the primary goes silent
+/// past [`HEARTBEAT_TIMEOUT`], a newer primary is announced, or a
+/// stale-epoch frame unmasks a zombie shipper.
 fn apply_stream(
     inner: &Arc<ServerInner>,
     stream: &mut TcpStream,
     state: &Arc<FollowerState>,
     subscribe_started: Instant,
     active: &impl Fn(&FollowerState) -> bool,
+    connected_to: &str,
 ) {
     let mut buf: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 16 * 1024];
+    let mut last_heard = Instant::now();
     loop {
         loop {
             let payload = match take_frame(&mut buf) {
@@ -417,7 +640,17 @@ fn apply_stream(
             };
             let Ok(frame) = decode_repl(&payload) else { return };
             match frame {
-                ReplFrame::Record { seq, ops, .. } => {
+                ReplFrame::Record { seq, ops, epoch, .. } => {
+                    if epoch < inner.epoch() {
+                        // A deposed primary still shipping its old term:
+                        // never apply a stale-epoch record.
+                        eprintln!(
+                            "repl: dropping subscription to {connected_to}: record epoch {epoch} < known {}",
+                            inner.epoch()
+                        );
+                        return;
+                    }
+                    inner.observe_epoch(epoch);
                     let batch = WriteBatch { seq, ops };
                     match inner.submit_batch(&batch) {
                         Ok(("deduped", _)) => {
@@ -446,23 +679,75 @@ fn apply_stream(
                         );
                     }
                 }
-                ReplFrame::Heartbeat { last_seq } => {
+                ReplFrame::Heartbeat { last_seq, epoch } => {
+                    if epoch < inner.epoch() {
+                        eprintln!(
+                            "repl: dropping subscription to {connected_to}: heartbeat epoch {epoch} < known {}",
+                            inner.epoch()
+                        );
+                        return;
+                    }
+                    inner.observe_epoch(epoch);
                     state.primary_seq.fetch_max(last_seq, Ordering::AcqRel);
                 }
-                ReplFrame::Deny { detail: _ } => {
+                ReplFrame::Deny { detail, epoch } => {
+                    if epoch > inner.epoch() {
+                        // The peer knows a newer term we have not heard
+                        // of yet; its Announce is presumably en route.
+                        // Reconnect (throttled) instead of giving up.
+                        eprintln!(
+                            "repl: denied by {connected_to} at newer epoch {epoch}; awaiting announce: {detail}"
+                        );
+                        std::thread::sleep(HEARTBEAT_EVERY);
+                        return;
+                    }
+                    let retarget = {
+                        let t = inner.repl_target();
+                        !t.is_empty() && t != connected_to
+                    };
+                    if retarget {
+                        // A new primary was announced while this deny
+                        // was in flight; just reconnect there.
+                        return;
+                    }
+                    eprintln!("repl: subscription denied by {connected_to}: {detail}");
                     state.denied.store(true, Ordering::Release);
                     return;
                 }
-                // Hello/Promote/Promoted are never primary→follower.
+                // Hello/Promote/Promoted/Announce are never primary→follower.
                 _ => return,
             }
         }
         if !active(state) {
             return;
         }
+        {
+            let t = inner.repl_target();
+            if !t.is_empty() && t != connected_to {
+                // Announced failover: drop this (dead) subscription and
+                // let the outer loop re-subscribe at the new primary.
+                return;
+            }
+        }
+        if last_heard.elapsed() > HEARTBEAT_TIMEOUT {
+            state.heartbeat_timeouts.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "repl: heartbeat timeout target={connected_to} silent_ms={}; presuming primary dead, reconnecting",
+                last_heard.elapsed().as_millis()
+            );
+            return;
+        }
         match stream.read(&mut tmp) {
             Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Ok(n) => {
+                if snb_fault::partition_active() {
+                    // Black-holed on our side: inbound bytes vanish.
+                    buf.clear();
+                    continue;
+                }
+                buf.extend_from_slice(&tmp[..n]);
+                last_heard = Instant::now();
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut
@@ -474,7 +759,10 @@ fn apply_stream(
 
 /// Reads one length-prefixed frame with the connection's read timeout,
 /// buffering partial reads so a timeout never tears a frame. Returns
-/// `None` on disconnect, framing violation, or server shutdown.
+/// `None` on disconnect, framing violation, or server shutdown. Under
+/// an active `net.partition` fault the bytes are discarded unread —
+/// the peer's frame vanishes in transit and no reply will ever come,
+/// exactly a mid-network drop.
 fn read_one_frame(inner: &Arc<ServerInner>, stream: &mut TcpStream) -> Option<Vec<u8>> {
     let mut buf: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 4 * 1024];
@@ -489,7 +777,13 @@ fn read_one_frame(inner: &Arc<ServerInner>, stream: &mut TcpStream) -> Option<Ve
         }
         match stream.read(&mut tmp) {
             Ok(0) => return None,
-            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Ok(n) => {
+                if snb_fault::partition_active() {
+                    buf.clear();
+                    continue;
+                }
+                buf.extend_from_slice(&tmp[..n]);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut

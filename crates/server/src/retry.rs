@@ -9,11 +9,15 @@
 //! `stale_read` (a follower behind the requested `min_seq`; replication
 //! catches up). Permanent outcomes (`bad_request`, `internal`,
 //! `store_poisoned`) are returned immediately: retrying them without
-//! operator action is wasted load. `not_primary` is
+//! operator action is wasted load. `not_primary` and `fenced` are
 //! **terminal-with-redirect**: resending a write to a read-only
-//! follower can never succeed no matter how long the client waits —
-//! the correct reaction is to re-route to the primary, so the retry
-//! loop must not burn its budget on it. The deadline kinds —
+//! follower (or a fenced ex-primary) can never succeed no matter how
+//! long the client waits — the correct reaction is to re-route to the
+//! primary, so the retry loop must not burn its budget on them. The
+//! refusal's detail may carry the current primary's address as a
+//! `(primary=HOST:PORT)` suffix; [`redirect_target`] extracts it so a
+//! networked client can reconnect and resubmit the same batch seq
+//! (dedupe-protected) without operator help. The deadline kinds —
 //! `deadline_exceeded` (never executed) and `deadline_overrun`
 //! (executed but finished late) — are terminal too: the client's time
 //! budget is spent, so resubmitting the same deadline only burns
@@ -98,10 +102,27 @@ impl Backoff {
 }
 
 /// Whether this error kind is worth retrying from a client.
-/// `not_primary` is deliberately absent: it redirects (re-route the
-/// write to the primary), it never heals in place.
+/// `not_primary` and `fenced` are deliberately absent: they redirect
+/// (re-route the write to the primary), they never heal in place.
 pub fn retryable(kind: ErrorKind) -> bool {
     matches!(kind, ErrorKind::Overloaded | ErrorKind::ShuttingDown | ErrorKind::StaleRead)
+}
+
+/// Extracts the redirect target from a `not_primary`/`fenced` refusal
+/// detail. Servers that know the current primary append
+/// `(primary=HOST:PORT)` to the detail; a networked client reconnects
+/// there and resubmits the same batch seq (the seq-dedupe gate absorbs
+/// a duplicate if the original was actually applied).
+pub fn redirect_target(detail: &str) -> Option<&str> {
+    let start = detail.rfind("(primary=")? + "(primary=".len();
+    let rest = &detail[start..];
+    let end = rest.find(')')?;
+    let addr = &rest[..end];
+    if addr.is_empty() {
+        None
+    } else {
+        Some(addr)
+    }
 }
 
 impl InProcClient {
@@ -182,13 +203,34 @@ mod tests {
         assert!(!retryable(ErrorKind::StorePoisoned));
         // Terminal-with-redirect: a write refused by a read-only
         // follower will be refused forever; the client must re-route to
-        // the primary, not burn retry budget here.
+        // the primary, not burn retry budget here. Same for a fenced
+        // ex-primary — its term is over, no retry revives it.
         assert!(!retryable(ErrorKind::NotPrimary));
+        assert!(!retryable(ErrorKind::Fenced));
         // Both deadline kinds are terminal: the budget is spent whether
         // the query never ran (`deadline_exceeded`) or ran and finished
         // late (`deadline_overrun`).
         assert!(!retryable(ErrorKind::DeadlineExceeded));
         assert!(!retryable(ErrorKind::DeadlineOverrun));
+    }
+
+    #[test]
+    fn redirect_target_parses_the_primary_suffix() {
+        assert_eq!(
+            redirect_target(
+                "read-only follower; route writes to the primary (primary=10.0.0.7:9099)"
+            ),
+            Some("10.0.0.7:9099")
+        );
+        assert_eq!(
+            redirect_target("fenced at epoch 2 by epoch 3 (primary=127.0.0.1:4000)"),
+            Some("127.0.0.1:4000")
+        );
+        // The *last* suffix wins if a detail nests one in free text.
+        assert_eq!(redirect_target("(primary=stale:1) updated (primary=fresh:2)"), Some("fresh:2"));
+        assert_eq!(redirect_target("read-only follower"), None, "no hint, no redirect");
+        assert_eq!(redirect_target("oops (primary=)"), None, "empty hint is no hint");
+        assert_eq!(redirect_target("oops (primary=unterminated"), None);
     }
 
     #[test]

@@ -284,6 +284,10 @@ pub struct ServiceReport {
     /// Reads refused because the node had not yet applied the
     /// requested `min_seq` (`stale_read` — retryable, lag drains).
     pub stale_read_rejects: u64,
+    /// Write batches refused because the node was fenced — a higher
+    /// fencing epoch was observed, so a newer primary exists and acking
+    /// here would fork history (`fenced` — terminal with redirect).
+    pub fenced_rejects: u64,
 }
 
 #[derive(Default)]
@@ -307,6 +311,7 @@ struct Counters {
     conn_peak: AtomicU64,
     not_primary_rejects: AtomicU64,
     stale_read_rejects: AtomicU64,
+    fenced_rejects: AtomicU64,
 }
 
 /// Where a job's response goes.
@@ -343,6 +348,12 @@ impl Responder {
 /// helper serialises the whole frame into one buffer and retries from
 /// the exact offset on `WouldBlock`, bounded by [`WRITE_STALL_BUDGET`].
 fn send_frame_resilient(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    if snb_fault::partition_active() {
+        // `net.partition` black-holes the wire: the write "succeeds"
+        // locally but the peer never sees the bytes, and the socket
+        // stays open — exactly a mid-network drop, not a close.
+        return Ok(());
+    }
     let mut frame = Vec::with_capacity(4 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(payload);
@@ -429,6 +440,9 @@ pub struct Durability {
     /// Highest batch sequence number already applied (recovered);
     /// deduplication resumes from here.
     pub last_seq: u64,
+    /// Fencing epoch recovered from the WAL headers — the replication
+    /// term the node serves at until promotion bumps it.
+    pub epoch: u64,
 }
 
 /// Serialized under one mutex so WAL append, store apply, and sequence
@@ -467,6 +481,24 @@ pub(crate) struct ServerInner {
     /// [`ServerInner::submit_batch`] directly), so shipped records
     /// apply regardless. Cleared by promotion.
     read_only: AtomicBool,
+    /// The node's fencing epoch — the replication term it serves under.
+    /// Durable in the WAL header; bumped (and fsynced) by promotion
+    /// *before* `read_only` clears.
+    epoch: AtomicU64,
+    /// Set when the node observes a higher fencing epoch than its own
+    /// while writable: a newer primary exists, so every client write is
+    /// refused with `fenced` instead of acking into a forked history.
+    /// Never cleared except by promotion (which bumps past the fencing
+    /// term).
+    fenced: AtomicBool,
+    /// Client-facing address of the current primary, when known —
+    /// carried in `not_primary`/`fenced` details as a redirect hint.
+    primary_hint: Mutex<String>,
+    /// Replication-listener address the follower loop should subscribe
+    /// to. Updated by `Announce`/`Deny` handling; the follower loop
+    /// re-reads it each reconnect, which is what makes re-subscription
+    /// to a new primary automatic.
+    repl_target: Mutex<String>,
 }
 
 impl ServerInner {
@@ -508,10 +540,78 @@ impl ServerInner {
         self.read_only.load(Ordering::Acquire)
     }
 
-    /// Promotion: clears follower mode, returns the writable-from seq.
-    pub(crate) fn clear_read_only(&self) -> u64 {
-        self.read_only.store(false, Ordering::Release);
-        self.last_applied_seq.load(Ordering::Acquire)
+    /// The node's current fencing epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the node has been fenced by a higher epoch.
+    pub(crate) fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::Acquire)
+    }
+
+    /// Fences the node at `epoch`: a newer primary exists, so client
+    /// writes are refused with `fenced` from here on. `primary` (when
+    /// non-empty) becomes the redirect hint. Raises the stored epoch so
+    /// later frames at the same term aren't "higher" again.
+    pub(crate) fn fence(&self, epoch: u64, primary: &str) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+        self.fenced.store(true, Ordering::Release);
+        if !primary.is_empty() {
+            self.set_primary_hint(primary);
+        }
+    }
+
+    /// Adopts a newer epoch observed on the wire *without* fencing —
+    /// the follower path: a read-only node tracking its primary's term
+    /// is not a zombie, it just learned the term changed.
+    pub(crate) fn observe_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// The current redirect hint (client-facing primary address), empty
+    /// when unknown.
+    pub(crate) fn primary_hint(&self) -> String {
+        self.primary_hint.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    pub(crate) fn set_primary_hint(&self, addr: &str) {
+        let mut hint = self.primary_hint.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *hint = addr.to_string();
+    }
+
+    /// The replication listener the follower loop should subscribe to
+    /// (empty = stick with the address it was started with).
+    pub(crate) fn repl_target(&self) -> String {
+        self.repl_target.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    pub(crate) fn set_repl_target(&self, addr: &str) {
+        let mut t = self.repl_target.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *t = addr.to_string();
+    }
+
+    /// Promotion: durably bumps the fencing epoch to at least
+    /// `min_epoch` (and at least one past the node's own term), *then*
+    /// clears follower mode — the order matters, because a crash
+    /// between the two must leave a node that recovers fenced-forward,
+    /// never a writable node at the old term. Returns the writable-from
+    /// seq and the new epoch. Idempotent: re-promoting an
+    /// already-writable node only reports its state.
+    pub(crate) fn promote_inner(&self, min_epoch: u64) -> SnbResult<(u64, u64)> {
+        if self.read_only.load(Ordering::Acquire) || self.is_fenced() {
+            let new_epoch = min_epoch.max(self.epoch().saturating_add(1));
+            if let Some(durable) = self.durable.as_ref() {
+                let mut state = durable.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                state.wal.bump_epoch(new_epoch)?;
+            }
+            self.epoch.fetch_max(new_epoch, Ordering::AcqRel);
+            // A fenced ex-primary re-promoted into a newer term is a
+            // primary again; its writes carry the new epoch.
+            self.fenced.store(false, Ordering::Release);
+            self.read_only.store(false, Ordering::Release);
+        }
+        Ok((self.last_applied_seq.load(Ordering::Acquire), self.epoch()))
     }
 
     /// Renders the consistent per-lane depth snapshot that admission
@@ -557,6 +657,7 @@ impl ServerInner {
             ErrorKind::StaleRead => {
                 self.counters.stale_read_rejects.fetch_add(1, Ordering::Relaxed)
             }
+            ErrorKind::Fenced => self.counters.fenced_rejects.fetch_add(1, Ordering::Relaxed),
             _ => 0,
         };
         self.log.push(AccessRecord {
@@ -589,7 +690,23 @@ impl ServerInner {
             ErrorKind::StorePoisoned => {
                 "store poisoned by a mid-apply panic; restart to recover from the WAL".to_string()
             }
-            ErrorKind::NotPrimary => "read-only follower; route writes to the primary".to_string(),
+            ErrorKind::NotPrimary => {
+                let hint = self.primary_hint();
+                if hint.is_empty() {
+                    "read-only follower; route writes to the primary".to_string()
+                } else {
+                    format!("read-only follower; route writes to the primary (primary={hint})")
+                }
+            }
+            ErrorKind::Fenced => {
+                let hint = self.primary_hint();
+                let epoch = self.epoch();
+                if hint.is_empty() {
+                    format!("fenced: a newer primary exists at epoch {epoch}")
+                } else {
+                    format!("fenced: a newer primary exists at epoch {epoch} (primary={hint})")
+                }
+            }
             ErrorKind::StaleRead => {
                 let applied = self.last_applied_seq.load(Ordering::Acquire);
                 format!(
@@ -658,6 +775,13 @@ impl ServerInner {
             self.reject(seq, &request, lane, ErrorKind::NotPrimary, &responder);
             return;
         }
+        if lane == Lane::Write && self.is_fenced() {
+            // Zombie ex-primary: a newer term exists, so acking this
+            // write would fork history — terminal with redirect.
+            let seq = self.log.next_seq();
+            self.reject(seq, &request, lane, ErrorKind::Fenced, &responder);
+            return;
+        }
         if lane == Lane::Write {
             if let Responder::InProc(_) = responder {
                 self.admit_write(request, responder);
@@ -723,6 +847,10 @@ impl ServerInner {
         let labels = ("", 0, 0);
         if lane == Lane::Write && self.read_only.load(Ordering::Acquire) {
             self.refuse(seq, header.id, labels, lane, ErrorKind::NotPrimary, 0, &responder);
+            return;
+        }
+        if lane == Lane::Write && self.is_fenced() {
+            self.refuse(seq, header.id, labels, lane, ErrorKind::Fenced, 0, &responder);
             return;
         }
         if !self.accepting.load(Ordering::Acquire) {
@@ -896,6 +1024,24 @@ impl ServerInner {
         batch: &WriteBatch,
     ) -> Result<(&'static str, OkBody), ErrorBody> {
         let err = |kind: ErrorKind, detail: String| ErrorBody { kind, queue_us: 0, detail };
+        // The split-brain chaos point: firing it opens the process-wide
+        // partition window (`partition:MS@hN` = at the N-th submitted
+        // batch), under which the transport black-holes traffic without
+        // closing sockets. Hit-counted here so the window opens at a
+        // deterministic point in the write stream.
+        if let Some(fault) = snb_fault::check("net.partition") {
+            fault.trip("net.partition");
+        }
+        if self.is_fenced() {
+            self.counters.fenced_rejects.fetch_add(1, Ordering::Relaxed);
+            let hint = self.primary_hint();
+            let detail = if hint.is_empty() {
+                format!("fenced: a newer primary exists at epoch {}", self.epoch())
+            } else {
+                format!("fenced: a newer primary exists at epoch {} (primary={hint})", self.epoch())
+            };
+            return Err(err(ErrorKind::Fenced, detail));
+        }
         if self.degraded.load(Ordering::Acquire) {
             self.counters.poisoned_rejects.fetch_add(1, Ordering::Relaxed);
             return Err(err(
@@ -1368,6 +1514,7 @@ impl ServerInner {
             conn_peak: self.counters.conn_peak.load(Ordering::Relaxed),
             not_primary_rejects: self.counters.not_primary_rejects.load(Ordering::Relaxed),
             stale_read_rejects: self.counters.stale_read_rejects.load(Ordering::Relaxed),
+            fenced_rejects: self.counters.fenced_rejects.load(Ordering::Relaxed),
             log_records: self.log.len() as u64,
             versions_published: snap.version,
             peak_live_snapshots: snap.peak_live_versions,
@@ -1426,9 +1573,11 @@ impl Server {
         config: ServerConfig,
         durability: Option<Durability>,
     ) -> Server {
-        let (durable, last_seq) = match durability {
-            None => (None, 0),
-            Some(d) => (Some(Mutex::new(DurableState { wal: d.wal, world: d.world })), d.last_seq),
+        let (durable, last_seq, epoch) = match durability {
+            None => (None, 0, 0),
+            Some(d) => {
+                (Some(Mutex::new(DurableState { wal: d.wal, world: d.world })), d.last_seq, d.epoch)
+            }
         };
         let queue = LaneQueues::new(
             [
@@ -1454,6 +1603,10 @@ impl Server {
             flush_cv: Condvar::new(),
             degraded: AtomicBool::new(false),
             read_only: AtomicBool::new(read_only),
+            epoch: AtomicU64::new(epoch),
+            fenced: AtomicBool::new(false),
+            primary_hint: Mutex::new(String::new()),
+            repl_target: Mutex::new(String::new()),
         });
         let workers: Vec<_> = (0..inner.config.workers)
             .map(|_| {
@@ -1623,12 +1776,27 @@ impl Server {
         self.inner.read_only.load(Ordering::Acquire)
     }
 
+    /// Whether this node has been fenced by a higher epoch (client
+    /// writes answer `fenced` until re-promotion).
+    pub fn is_fenced(&self) -> bool {
+        self.inner.is_fenced()
+    }
+
+    /// The node's current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
     /// Promotes a read-only follower to a writable primary and returns
     /// the sequence it is writable from (its applied high-water mark).
-    /// Idempotent: promoting a primary just reports its current seq.
+    /// The fencing epoch is durably bumped *before* the node goes
+    /// writable. Idempotent: promoting a primary just reports its
+    /// current seq.
     pub fn promote(&self) -> u64 {
-        self.inner.read_only.store(false, Ordering::Release);
-        self.inner.last_applied_seq.load(Ordering::Acquire)
+        match self.inner.promote_inner(0) {
+            Ok((seq, _)) => seq,
+            Err(e) => panic!("promotion failed to bump the fencing epoch: {e:?}"),
+        }
     }
 
     /// Highest WAL sequence known flushed (the replication shipping
@@ -1780,7 +1948,20 @@ fn reactor_loop(
             }
             let Some(conn) = conns.get_mut(&ev.token) else { continue };
             let mut drop_conn = ev.closed && !ev.readable;
-            if ev.readable {
+            if ev.readable && snb_fault::partition_active() {
+                // Black-holed: drain and discard so the peer's bytes
+                // vanish in transit (no decode, no response, no close).
+                // `last_progress` advances so the idle sweep does not
+                // turn a partition into a connection close.
+                while let Ok(n) = conn.reader.read(&mut tmp) {
+                    if n == 0 {
+                        drop_conn = true;
+                        break;
+                    }
+                }
+                conn.buf.clear();
+                conn.last_progress = Instant::now();
+            } else if ev.readable {
                 for _ in 0..READS_PER_WAKE {
                     match conn.reader.read(&mut tmp) {
                         Ok(0) => {
@@ -1899,6 +2080,13 @@ fn connection_loop(inner: &Arc<ServerInner>, stream: TcpStream) {
         match reader.read(&mut tmp) {
             Ok(0) => return,
             Ok(n) => {
+                if snb_fault::partition_active() {
+                    // Black-holed: the peer's bytes vanish in transit —
+                    // no decode, no response, and the socket stays open.
+                    buf.clear();
+                    last_progress = Instant::now();
+                    continue;
+                }
                 buf.extend_from_slice(&tmp[..n]);
                 last_progress = Instant::now();
             }

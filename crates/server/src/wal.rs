@@ -38,9 +38,12 @@
 //! ## File format
 //!
 //! Both `wal.log` and `snapshot.log` start with an 8-byte magic, the
-//! scale name (`u16`-length string) and the generator seed (`u64`) —
-//! together they name the deterministic bulk image the log is relative
-//! to. Each record is:
+//! scale name (`u16`-length string), the generator seed (`u64`) and the
+//! **fencing epoch** (`u64`) — scale and seed name the deterministic
+//! bulk image the log is relative to, and the epoch is the replication
+//! term the node last served under ([`SegmentedWal::bump_epoch`] is
+//! called on promotion, before the node goes writable, so a restarted
+//! ex-primary recovers the term it was fenced at). Each record is:
 //!
 //! ```text
 //! [u32 payload_len][u64 fnv64(payload)][payload]
@@ -157,6 +160,11 @@ pub struct RecoveryReport {
     /// Recovery wall-clock, microseconds (store rebuild + replay) —
     /// the baseline a replication catch-up is measured against.
     pub recovery_us: u64,
+    /// Fencing epoch recovered from the log headers (the maximum across
+    /// the snapshot and every segment — a crash mid-[`SegmentedWal::
+    /// bump_epoch`] may leave mixed headers, and the bumped value must
+    /// win to keep the term monotonic).
+    pub epoch: u64,
 }
 
 impl RecoveryReport {
@@ -179,6 +187,8 @@ pub struct Wal {
     live_entries: u64,
     appends_since_sync: u64,
     last_seq: u64,
+    /// Fencing epoch recorded in this segment's header.
+    epoch: u64,
     /// Set after a failed (torn) append: the file tail is garbage, so
     /// further appends must be refused until restart-and-recover.
     broken: bool,
@@ -188,21 +198,31 @@ fn parse_err(context: &str, detail: impl Into<String>) -> SnbError {
     SnbError::Parse { context: context.to_string(), detail: detail.into() }
 }
 
-fn write_header(buf: &mut Vec<u8>, magic: &[u8; 8], scale: &str, seed: u64) {
+fn write_header(buf: &mut Vec<u8>, magic: &[u8; 8], scale: &str, seed: u64, epoch: u64) {
     buf.extend_from_slice(magic);
     put_str(buf, scale);
     put_u64(buf, seed);
+    put_u64(buf, epoch);
+}
+
+/// Byte offset of the `u64` epoch field inside a log header — fixed
+/// once the scale name is known, so [`SegmentedWal::bump_epoch`] can
+/// overwrite it in place without rewriting the log.
+fn header_epoch_offset(scale: &str) -> u64 {
+    (8 + 2 + scale.len() + 8) as u64
 }
 
 /// Reads and validates a log header; returns the offset of the first
-/// record.
+/// record and the fencing epoch the header carries. Scale and seed are
+/// match requirements (a log for a different world must not replay);
+/// the epoch is data — recovery takes the maximum it sees.
 fn check_header(
     bytes: &[u8],
     magic: &[u8; 8],
     scale: &str,
     seed: u64,
     path: &Path,
-) -> SnbResult<usize> {
+) -> SnbResult<(usize, u64)> {
     let ctx = path.display().to_string();
     if bytes.len() < 8 || &bytes[..8] != magic {
         return Err(parse_err(&ctx, "bad or missing log magic"));
@@ -210,6 +230,7 @@ fn check_header(
     let mut r = Reader::new(&bytes[8..]);
     let got_scale = r.string().map_err(|e| parse_err(&ctx, e.detail))?;
     let got_seed = r.u64().map_err(|e| parse_err(&ctx, e.detail))?;
+    let epoch = r.u64().map_err(|e| parse_err(&ctx, e.detail))?;
     if got_scale != scale || got_seed != seed {
         return Err(parse_err(
             &ctx,
@@ -219,7 +240,7 @@ fn check_header(
             ),
         ));
     }
-    Ok(8 + r.pos())
+    Ok((8 + r.pos(), epoch))
 }
 
 /// Scans records from `bytes[offset..]`. Returns the parsed entries plus
@@ -296,10 +317,14 @@ impl Wal {
         last_seq: u64,
         live_entries: u64,
     ) -> SnbResult<Wal> {
-        Wal::open_segment(dir, WAL_FILE, scale, seed, options, last_seq, live_entries)
+        Wal::open_segment(dir, WAL_FILE, scale, seed, options, last_seq, live_entries, 0)
     }
 
-    /// Opens one named segment file (see [`segment_file`]).
+    /// Opens one named segment file (see [`segment_file`]). A fresh
+    /// file is created at `epoch`; an existing file keeps the epoch its
+    /// header carries (the param is a creation default, not a match
+    /// requirement).
+    #[allow(clippy::too_many_arguments)]
     fn open_segment(
         dir: &Path,
         file_name: &str,
@@ -308,20 +333,23 @@ impl Wal {
         options: WalOptions,
         last_seq: u64,
         live_entries: u64,
+        epoch: u64,
     ) -> SnbResult<Wal> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(file_name);
         let fresh = !path.exists();
         let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
+        let mut epoch = epoch;
         if fresh {
             let mut header = Vec::new();
-            write_header(&mut header, WAL_MAGIC, scale, seed);
+            write_header(&mut header, WAL_MAGIC, scale, seed, epoch);
             file.write_all(&header)?;
             file.sync_data()?;
         } else {
             let mut bytes = Vec::new();
             file.read_to_end(&mut bytes)?;
-            check_header(&bytes, WAL_MAGIC, scale, seed, &path)?;
+            let (_, stored) = check_header(&bytes, WAL_MAGIC, scale, seed, &path)?;
+            epoch = stored;
             file.seek(SeekFrom::End(0))?;
         }
         Ok(Wal {
@@ -334,6 +362,7 @@ impl Wal {
             live_entries,
             appends_since_sync: 0,
             last_seq,
+            epoch,
             broken: false,
         })
     }
@@ -388,7 +417,7 @@ impl Wal {
     fn reset_to_header(&mut self) -> SnbResult<()> {
         // set_len + seek keeps the same append handle valid.
         let mut header = Vec::new();
-        write_header(&mut header, WAL_MAGIC, &self.scale, self.seed);
+        write_header(&mut header, WAL_MAGIC, &self.scale, self.seed, self.epoch);
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(&header)?;
@@ -451,15 +480,15 @@ impl Wal {
         let tmp_path = self.dir.join(SNAP_TMP);
 
         let mut combined = Vec::new();
-        write_header(&mut combined, SNAP_MAGIC, &self.scale, self.seed);
+        write_header(&mut combined, SNAP_MAGIC, &self.scale, self.seed, self.epoch);
         if snap_path.exists() {
             let bytes = std::fs::read(&snap_path)?;
-            let off = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
+            let (off, _) = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
             combined.extend_from_slice(&bytes[off..]);
         }
         let wal_path = self.path();
         let bytes = std::fs::read(&wal_path)?;
-        let off = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &wal_path)?;
+        let (off, _) = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &wal_path)?;
         combined.extend_from_slice(&bytes[off..]);
 
         let mut tmp = File::create(&tmp_path)?;
@@ -529,13 +558,20 @@ pub struct SegmentedWal {
     appends_since_sync: u64,
     unsynced: u64,
     syncs: u64,
+    /// Fencing epoch the log is at (max across segment headers and the
+    /// open-time floor; see [`SegmentedWal::bump_epoch`]).
+    epoch: u64,
 }
 
 impl SegmentedWal {
     /// Opens (or creates) every segment under `dir` for appending.
     /// `seg_live` carries recovery's per-segment live-record counts (a
-    /// missing entry means a fresh segment). Refuses a directory laid
-    /// out for a different partition count.
+    /// missing entry means a fresh segment). `epoch` is a floor: fresh
+    /// segments are created at it, and the log's effective epoch is the
+    /// max of the floor and every stored header (a crash mid-bump may
+    /// leave mixed headers — the bumped value wins). Refuses a directory
+    /// laid out for a different partition count.
+    #[allow(clippy::too_many_arguments)]
     pub fn open(
         dir: &Path,
         scale: &str,
@@ -543,16 +579,18 @@ impl SegmentedWal {
         options: WalOptions,
         last_seq: u64,
         seg_live: &[u64],
+        epoch: u64,
     ) -> SnbResult<SegmentedWal> {
         let parts = options.partitions.max(1);
         std::fs::create_dir_all(dir)?;
         guard_layout(dir, parts)?;
         let mut segments = Vec::with_capacity(parts);
         let mut live_entries = 0u64;
+        let mut max_epoch = epoch;
         for p in 0..parts {
             let live = seg_live.get(p).copied().unwrap_or(0);
             live_entries += live;
-            segments.push(Wal::open_segment(
+            let seg = Wal::open_segment(
                 dir,
                 &segment_file(p, parts),
                 scale,
@@ -560,7 +598,10 @@ impl SegmentedWal {
                 options,
                 last_seq,
                 live,
-            )?);
+                epoch,
+            )?;
+            max_epoch = max_epoch.max(seg.epoch);
+            segments.push(seg);
         }
         Ok(SegmentedWal {
             dir: dir.to_path_buf(),
@@ -573,12 +614,51 @@ impl SegmentedWal {
             appends_since_sync: 0,
             unsynced: 0,
             syncs: 0,
+            epoch: max_epoch,
         })
     }
 
     /// Highest sequence number durably appended across all segments.
     pub fn last_seq(&self) -> u64 {
         self.last_seq
+    }
+
+    /// The fencing epoch the log is at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Durably raises the fencing epoch to `new_epoch`, overwriting the
+    /// 8-byte epoch field in every segment header (and the snapshot's,
+    /// if one exists) in place and fsyncing each file. Called on
+    /// promotion *before* the node goes writable, so a crash at any
+    /// point either leaves the old term (promotion never happened) or a
+    /// term at least as high as announced (recovery takes the max across
+    /// headers, so mixed headers resolve to the bumped value). A no-op
+    /// if the log is already at or past `new_epoch`.
+    pub fn bump_epoch(&mut self, new_epoch: u64) -> SnbResult<()> {
+        if new_epoch <= self.epoch {
+            return Ok(());
+        }
+        let offset = header_epoch_offset(&self.scale);
+        let mut paths: Vec<PathBuf> = self.segments.iter().map(|s| s.path()).collect();
+        let snap_path = self.dir.join(SNAP_FILE);
+        if snap_path.exists() {
+            paths.push(snap_path);
+        }
+        for path in paths {
+            // The append handles ignore seeks, so patch the header
+            // through a separate write-mode handle.
+            let mut f = OpenOptions::new().write(true).open(&path)?;
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(&new_epoch.to_le_bytes())?;
+            f.sync_data()?;
+        }
+        for seg in &mut self.segments {
+            seg.epoch = new_epoch;
+        }
+        self.epoch = new_epoch;
+        Ok(())
     }
 
     /// Number of per-partition segment files.
@@ -684,17 +764,17 @@ impl SegmentedWal {
         let tmp_path = self.dir.join(SNAP_TMP);
 
         let mut combined = Vec::new();
-        write_header(&mut combined, SNAP_MAGIC, &self.scale, self.seed);
+        write_header(&mut combined, SNAP_MAGIC, &self.scale, self.seed, self.epoch);
         if snap_path.exists() {
             let bytes = std::fs::read(&snap_path)?;
-            let off = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
+            let (off, _) = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
             combined.extend_from_slice(&bytes[off..]);
         }
         let mut entries = Vec::new();
         for seg in &self.segments {
             let path = seg.path();
             let bytes = std::fs::read(&path)?;
-            let off = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &path)?;
+            let (off, _) = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &path)?;
             let ctx = path.display().to_string();
             let (seg_entries, valid_end) = scan_records(&bytes, off, &ctx)?;
             if valid_end != bytes.len() {
@@ -743,6 +823,7 @@ impl Recovered {
     /// bundle [`crate::Server::start_durable`] wants, plus the report.
     pub fn into_durability(self) -> (Store, crate::server::Durability, RecoveryReport) {
         let durability = crate::server::Durability {
+            epoch: self.wal.epoch(),
             wal: self.wal,
             world: self.world,
             last_seq: self.report.last_seq,
@@ -797,7 +878,8 @@ pub fn recover(
     let snap_path = dir.join(SNAP_FILE);
     if snap_path.exists() {
         let bytes = std::fs::read(&snap_path)?;
-        let off = check_header(&bytes, SNAP_MAGIC, scale, config.seed, &snap_path)?;
+        let (off, epoch) = check_header(&bytes, SNAP_MAGIC, scale, config.seed, &snap_path)?;
+        report.epoch = report.epoch.max(epoch);
         let ctx = snap_path.display().to_string();
         let (entries, valid_end) = scan_records(&bytes, off, &ctx)?;
         if valid_end != bytes.len() {
@@ -822,7 +904,8 @@ pub fn recover(
             continue;
         }
         let bytes = std::fs::read(&path)?;
-        let off = check_header(&bytes, WAL_MAGIC, scale, config.seed, &path)?;
+        let (off, epoch) = check_header(&bytes, WAL_MAGIC, scale, config.seed, &path)?;
+        report.epoch = report.epoch.max(epoch);
         let ctx = path.display().to_string();
         let (entries, valid_end) = scan_records_located(&bytes, off, &ctx)?;
         if valid_end != bytes.len() {
@@ -885,7 +968,16 @@ pub fn recover(
     }
     store.validate_invariants()?;
 
-    let wal = SegmentedWal::open(dir, scale, config.seed, options, report.last_seq, &seg_live)?;
+    let wal = SegmentedWal::open(
+        dir,
+        scale,
+        config.seed,
+        options,
+        report.last_seq,
+        &seg_live,
+        report.epoch,
+    )?;
+    report.epoch = wal.epoch();
     report.recovery_us = recovery_started.elapsed().as_micros() as u64;
     Ok(Recovered { store, world, wal, report })
 }
@@ -903,40 +995,72 @@ pub struct ShippedRecord {
     pub ops: WriteOps,
 }
 
+/// Byte cursor into one log file (the snapshot or a segment).
+#[derive(Clone, Copy, Debug, Default)]
+struct FileCursor {
+    /// Offset one past the last valid record already scanned (0 = the
+    /// file has not been scanned yet, or was reset).
+    offset: u64,
+    /// File length at the last poll — a shrink means compaction rewrote
+    /// or reset the file and the cursor must rescan from 0.
+    last_len: u64,
+    /// Consecutive polls that saw the file grow past `offset` without
+    /// yielding a single new valid record — a persistent misalignment
+    /// (reset-then-regrow to a larger size between polls) that a full
+    /// rescan repairs.
+    stuck: u32,
+}
+
 /// The log-shipping cursor: reads acked records out of a WAL directory
 /// in global sequence order, for streaming to followers.
 ///
-/// Each [`WalTailer::poll`] re-reads `snapshot.log` plus every live
-/// segment, merges the entries by sequence, and returns the contiguous
-/// run `(next_seq, upto]` — re-scanning rather than holding file offsets
-/// is what makes the cursor **compaction-safe**: [`SegmentedWal::
-/// maybe_snapshot`] moves records between files at any time, but the
-/// seq-merged *view* of the directory never changes, and that view is
-/// all the tailer reads. The caller bounds `upto` by the server's
-/// flushed (acked) high-water mark so only durable, acknowledged records
-/// ever ship. Torn tails are skipped (never truncated — recovery owns
-/// repair), and duplicate sequences (append-then-retry) collapse to
-/// their first appearance, mirroring replay.
+/// Each [`WalTailer::poll`] checks `snapshot.log` plus every live
+/// segment, merges new entries by sequence, and returns the contiguous
+/// run `(next_seq, upto]`. The cursor keeps a **per-file byte offset**
+/// so an idle poll is O(`stat(2)` per file) and an active poll reads
+/// only bytes appended since the last one — not the whole history.
+/// Compaction safety comes from two facts: the snapshot rewrite only
+/// *appends* records past its previous contents (the seq-merged view
+/// never reorders what was already there), and a segment reset shrinks
+/// the file, which the cursor detects via the length and answers with a
+/// rescan from 0. Records already shipped re-read during a rescan are
+/// dropped by the seq filter, mirroring replay's dedupe. The caller
+/// bounds `upto` by the server's flushed (acked) high-water mark so
+/// only durable, acknowledged records ever ship; records past a gap are
+/// buffered until the gap fills. Torn tails are skipped (never
+/// truncated — recovery owns repair).
 pub struct WalTailer {
     dir: PathBuf,
     scale: String,
     seed: u64,
     parts: usize,
     next_seq: u64,
+    /// Cursor 0 is `snapshot.log`; cursor `1 + p` is segment `p`.
+    cursors: Vec<FileCursor>,
+    /// Scanned-but-not-yet-shipped records (beyond a gap, or past a
+    /// bounded `upto`), keyed by seq; first copy wins.
+    pending: std::collections::BTreeMap<u64, WriteOps>,
+    /// Total bytes read off disk across all polls — the O(new bytes)
+    /// pin the cursor test counts.
+    bytes_scanned: u64,
 }
 
 impl WalTailer {
     /// A cursor over the WAL directory `dir`, positioned to ship
     /// records with `seq > from_seq`. The `(scale, seed, partitions)`
     /// triple must match the directory's layout (headers are verified
-    /// on every poll).
+    /// whenever a file is scanned from its start).
     pub fn new(dir: &Path, scale: &str, seed: u64, partitions: usize, from_seq: u64) -> WalTailer {
+        let parts = partitions.max(1);
         WalTailer {
             dir: dir.to_path_buf(),
             scale: scale.to_string(),
             seed,
-            parts: partitions.max(1),
+            parts,
             next_seq: from_seq + 1,
+            cursors: vec![FileCursor::default(); 1 + parts],
+            pending: std::collections::BTreeMap::new(),
+            bytes_scanned: 0,
         }
     }
 
@@ -945,50 +1069,97 @@ impl WalTailer {
         self.next_seq
     }
 
+    /// Total bytes read off disk across all polls (the idle-cost pin:
+    /// polls with no new appends add zero).
+    pub fn bytes_scanned(&self) -> u64 {
+        self.bytes_scanned
+    }
+
+    /// Scans one file from its cursor, buffering new entries into
+    /// `pending`.
+    fn scan_file(&mut self, cursor_ix: usize, path: &Path, magic: &[u8; 8]) -> SnbResult<()> {
+        if !path.exists() {
+            return Ok(());
+        }
+        let len = std::fs::metadata(path)?.len();
+        let cur = &mut self.cursors[cursor_ix];
+        if len < cur.last_len || len < cur.offset {
+            // Compaction reset/rewrote the file: rescan from the top.
+            cur.offset = 0;
+            cur.stuck = 0;
+        }
+        cur.last_len = len;
+        if len <= cur.offset {
+            return Ok(()); // idle: nothing appended since last poll
+        }
+        let start = cur.offset;
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(start))?;
+        let mut bytes = Vec::with_capacity((len - start) as usize);
+        file.read_to_end(&mut bytes)?;
+        self.bytes_scanned += bytes.len() as u64;
+
+        let ctx = path.display().to_string();
+        let scan_from = if start == 0 {
+            let (off, _) = check_header(&bytes, magic, &self.scale, self.seed, path)?;
+            off
+        } else {
+            0
+        };
+        let (entries, valid_end) = scan_records(&bytes, scan_from, &ctx)?;
+        let cur = &mut self.cursors[cursor_ix];
+        if entries.is_empty() && valid_end == scan_from && start > 0 {
+            // The file grew but nothing at our offset parses — the file
+            // was reset and regrew past our cursor between polls, so the
+            // offset no longer sits on a record boundary. A boundary
+            // mid-flush looks the same for a poll or two (torn tail), so
+            // only a *persistent* stall triggers the full rescan.
+            cur.stuck += 1;
+            if cur.stuck >= 4 {
+                cur.offset = 0;
+                cur.stuck = 0;
+            }
+            return Ok(());
+        }
+        cur.stuck = 0;
+        cur.offset = start + valid_end as u64;
+        for entry in entries {
+            if entry.seq >= self.next_seq {
+                self.pending.entry(entry.seq).or_insert(entry.ops);
+            }
+        }
+        Ok(())
+    }
+
     /// Returns every not-yet-shipped record with `seq <= upto`, in
     /// sequence order, and advances the cursor past them. Stops at a
     /// sequence gap (ships only the contiguous prefix) — with `upto`
     /// bounded by the acked high-water mark a gap cannot happen, but a
     /// cursor must never invent order it didn't observe.
     pub fn poll(&mut self, upto: u64) -> SnbResult<Vec<ShippedRecord>> {
-        if upto < self.next_seq {
-            return Ok(Vec::new());
-        }
-        let mut entries: Vec<WalEntry> = Vec::new();
-
         let snap_path = self.dir.join(SNAP_FILE);
-        if snap_path.exists() {
-            let bytes = std::fs::read(&snap_path)?;
-            let off = check_header(&bytes, SNAP_MAGIC, &self.scale, self.seed, &snap_path)?;
-            let ctx = snap_path.display().to_string();
-            let (snap_entries, _) = scan_records(&bytes, off, &ctx)?;
-            entries.extend(snap_entries);
-        }
+        self.scan_file(0, &snap_path, SNAP_MAGIC)?;
         for p in 0..self.parts {
             let path = self.dir.join(segment_file(p, self.parts));
-            if !path.exists() {
-                continue;
-            }
-            let bytes = std::fs::read(&path)?;
-            let off = check_header(&bytes, WAL_MAGIC, &self.scale, self.seed, &path)?;
-            let ctx = path.display().to_string();
-            let (seg_entries, _) = scan_records(&bytes, off, &ctx)?;
-            entries.extend(seg_entries);
+            self.scan_file(1 + p, &path, WAL_MAGIC)?;
         }
-        entries.retain(|e| e.seq >= self.next_seq && e.seq <= upto);
-        entries.sort_by_key(|e| e.seq);
+        // Anything below the ship frontier is already delivered (a
+        // rescan re-read it); drop it so `pending` stays bounded by the
+        // unshipped window.
+        while let Some((&seq, _)) = self.pending.first_key_value() {
+            if seq >= self.next_seq {
+                break;
+            }
+            self.pending.remove(&seq);
+        }
 
         let mut out = Vec::new();
-        for entry in entries {
-            if entry.seq < self.next_seq {
-                continue; // append-then-retry duplicate: first copy wins
-            }
-            if entry.seq > self.next_seq {
-                break; // gap: ship only the contiguous prefix
-            }
-            let partition =
-                snb_store::partition_of_raw(crate::events::route_key(&entry.ops), self.parts);
-            out.push(ShippedRecord { seq: entry.seq, partition, ops: entry.ops });
+        while self.next_seq <= upto {
+            let Some(ops) = self.pending.remove(&self.next_seq) else {
+                break; // gap (or not yet written): ship the prefix only
+            };
+            let partition = snb_store::partition_of_raw(crate::events::route_key(&ops), self.parts);
+            out.push(ShippedRecord { seq: self.next_seq, partition, ops });
             self.next_seq += 1;
         }
         Ok(out)
@@ -1213,7 +1384,7 @@ mod tests {
         for parts in [1usize, 2, 4] {
             let dir = tmp_dir(&format!("seg{parts}"));
             let mut wal =
-                SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[]).unwrap();
+                SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[], 0).unwrap();
             assert_eq!(wal.segment_count(), parts);
             for (i, ops) in all.iter().enumerate() {
                 wal.append(i as u64 + 1, ops).unwrap();
@@ -1243,14 +1414,15 @@ mod tests {
         let cfg = config();
         let dir = tmp_dir("spread");
         let parts = 2;
-        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[]).unwrap();
+        let mut wal =
+            SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[], 0).unwrap();
         for (i, ops) in batches(8).iter().enumerate() {
             wal.append(i as u64 + 1, ops).unwrap();
         }
         drop(wal);
         let header = {
             let mut h = Vec::new();
-            write_header(&mut h, WAL_MAGIC, SCALE, cfg.seed);
+            write_header(&mut h, WAL_MAGIC, SCALE, cfg.seed, 0);
             h.len() as u64
         };
         let grew: Vec<bool> = (0..parts)
@@ -1266,7 +1438,8 @@ mod tests {
         let dir = tmp_dir("seggap");
         let parts = 2;
         let all = batches(8);
-        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[]).unwrap();
+        let mut wal =
+            SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(parts), 0, &[], 0).unwrap();
         // Track which segment got each seq so we can tear a record that
         // is *not* globally last.
         let mut seq_seg = Vec::new();
@@ -1317,13 +1490,13 @@ mod tests {
     fn partition_count_mismatch_is_refused() {
         let cfg = config();
         let dir = tmp_dir("layout");
-        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(2), 0, &[]).unwrap();
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(2), 0, &[], 0).unwrap();
         wal.append(1, &batches(1)[0]).unwrap();
         drop(wal);
-        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(1), 0, &[]).is_err());
-        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(4), 0, &[]).is_err());
+        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(1), 0, &[], 0).is_err());
+        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(4), 0, &[], 0).is_err());
         assert!(recover(&dir, &cfg, SCALE, seg_opts(1)).is_err());
-        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(2), 0, &[]).is_ok());
+        assert!(SegmentedWal::open(&dir, SCALE, cfg.seed, seg_opts(2), 0, &[], 0).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1334,7 +1507,7 @@ mod tests {
         let parts = 2;
         let all = batches(6);
         let opts = WalOptions { snapshot_every: 2, ..seg_opts(parts) };
-        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[]).unwrap();
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[], 0).unwrap();
         let mut rotations = 0;
         for (i, ops) in all.iter().enumerate() {
             wal.append(i as u64 + 1, ops).unwrap();
@@ -1352,7 +1525,7 @@ mod tests {
 
         // Same appends, no snapshots, single segment: identical state.
         let dir2 = tmp_dir("segrotate_control");
-        let mut wal2 = SegmentedWal::open(&dir2, SCALE, cfg.seed, seg_opts(1), 0, &[]).unwrap();
+        let mut wal2 = SegmentedWal::open(&dir2, SCALE, cfg.seed, seg_opts(1), 0, &[], 0).unwrap();
         for (i, ops) in all.iter().enumerate() {
             wal2.append(i as u64 + 1, ops).unwrap();
         }
@@ -1369,7 +1542,7 @@ mod tests {
         let dir = tmp_dir("group");
         let opts = WalOptions { group_commit: true, partitions: 2, ..WalOptions::default() };
         let all = batches(6);
-        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[]).unwrap();
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[], 0).unwrap();
         for (i, ops) in all.iter().enumerate() {
             wal.append(i as u64 + 1, ops).unwrap();
         }
@@ -1395,7 +1568,7 @@ mod tests {
         let parts = 2;
         let all = batches(6);
         let opts = WalOptions { snapshot_every: 3, ..seg_opts(parts) };
-        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[]).unwrap();
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[], 0).unwrap();
         let mut tailer = WalTailer::new(&dir, SCALE, cfg.seed, parts, 0);
 
         // Nothing acked yet: nothing ships.
@@ -1438,6 +1611,89 @@ mod tests {
         assert_eq!(bounded.next_seq(), 3);
         let rest: Vec<u64> = bounded.poll(wal.last_seq()).unwrap().iter().map(|r| r.seq).collect();
         assert_eq!(rest, (3..=all.len() as u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailer_idle_polls_read_zero_bytes() {
+        let cfg = config();
+        let dir = tmp_dir("tailcost");
+        let parts = 2;
+        let all = batches(6);
+        // No compaction: this pins the pure append-tail cost.
+        let opts = WalOptions { snapshot_every: 0, ..seg_opts(parts) };
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[], 0).unwrap();
+        let mut tailer = WalTailer::new(&dir, SCALE, cfg.seed, parts, 0);
+
+        for (i, ops) in all.iter().take(5).enumerate() {
+            wal.append(i as u64 + 1, ops).unwrap();
+        }
+        let shipped = tailer.poll(wal.last_seq()).unwrap();
+        assert_eq!(shipped.len(), 5);
+        let after_catchup = tailer.bytes_scanned();
+        assert!(after_catchup > 0);
+
+        // Idle polls re-stat the files but must not re-read history.
+        for _ in 0..100 {
+            assert!(tailer.poll(wal.last_seq()).unwrap().is_empty());
+        }
+        assert_eq!(
+            tailer.bytes_scanned(),
+            after_catchup,
+            "idle polls must be O(stat), not O(history)"
+        );
+
+        // One more append: the poll reads exactly the file growth.
+        let sizes = |dir: &Path| -> u64 {
+            (0..parts)
+                .map(|p| std::fs::metadata(dir.join(segment_file(p, parts))).unwrap().len())
+                .sum()
+        };
+        let before = sizes(&dir);
+        wal.append(6, &all[5]).unwrap();
+        let grew = sizes(&dir) - before;
+        assert_eq!(tailer.poll(wal.last_seq()).unwrap().len(), 1);
+        assert_eq!(
+            tailer.bytes_scanned() - after_catchup,
+            grew,
+            "an active poll reads only the appended bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bumped_epoch_survives_recovery_and_compaction() {
+        let cfg = config();
+        let dir = tmp_dir("epoch");
+        let parts = 2;
+        let all = batches(6);
+        let opts = WalOptions { snapshot_every: 3, ..seg_opts(parts) };
+        let mut wal = SegmentedWal::open(&dir, SCALE, cfg.seed, opts, 0, &[], 0).unwrap();
+        assert_eq!(wal.epoch(), 0);
+        for (i, ops) in all.iter().take(3).enumerate() {
+            wal.append(i as u64 + 1, ops).unwrap();
+        }
+        // Promotion: bump in place, with records already in the log.
+        wal.bump_epoch(3).unwrap();
+        assert_eq!(wal.epoch(), 3);
+        wal.bump_epoch(1).unwrap(); // stale bump is a no-op
+        assert_eq!(wal.epoch(), 3);
+        for (i, ops) in all.iter().enumerate().skip(3) {
+            wal.append(i as u64 + 1, ops).unwrap();
+            wal.maybe_snapshot().unwrap();
+        }
+        drop(wal); // crash, no graceful shutdown
+
+        let rec = recover(&dir, &cfg, SCALE, opts).unwrap();
+        assert_eq!(rec.report.epoch, 3, "bumped epoch survives restart");
+        assert_eq!(rec.wal.epoch(), 3);
+        assert_eq!(rec.report.last_seq, all.len() as u64, "records survive the bump");
+
+        // The epoch rides compaction into the snapshot header too: even
+        // with every live segment reset, recovery still sees the term.
+        let (_, durability, report) = rec.into_durability();
+        assert_eq!(durability.epoch, 3);
+        assert_eq!(report.epoch, 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -138,11 +138,16 @@ fn follower_converges_serves_bounded_staleness_and_promotes() {
     let f_repl_addr =
         follower.listen_replication("127.0.0.1:0", repl_cfg(&f_dir)).expect("follower repl bind");
     let mut probe = TcpStream::connect(f_repl_addr).expect("connect follower repl");
-    let hello =
-        ReplFrame::Hello { scale: SCALE.into(), seed: config().seed, partitions: 1, from_seq: 0 };
+    let hello = ReplFrame::Hello {
+        scale: SCALE.into(),
+        seed: config().seed,
+        partitions: 1,
+        from_seq: 0,
+        epoch: 0,
+    };
     write_frame(&mut probe, &encode_repl(&hello)).unwrap();
     match decode_repl(&read_frame(&mut probe).unwrap()).unwrap() {
-        ReplFrame::Deny { detail } => assert!(detail.contains("not a primary"), "{detail}"),
+        ReplFrame::Deny { detail, .. } => assert!(detail.contains("not a primary"), "{detail}"),
         other => panic!("expected Deny, got {other:?}"),
     }
     drop(probe);
@@ -179,7 +184,7 @@ fn accept_subscriber(listener: &TcpListener) -> (TcpStream, u64) {
 }
 
 fn ship(stream: &mut TcpStream, seq: u64, ops: &WriteOps) {
-    let frame = ReplFrame::Record { seq, partition: 0, ops: ops.clone() };
+    let frame = ReplFrame::Record { seq, partition: 0, ops: ops.clone(), epoch: 0 };
     write_frame(stream, &encode_repl(&frame)).expect("ship record");
 }
 
@@ -261,4 +266,124 @@ fn follower_restart_mid_catch_up_reapplies_idempotently() {
     assert_eq!((f.nodes, f.edges), (o.nodes, o.edges), "follower equals the oracle");
 
     let _ = std::fs::remove_dir_all(&f_dir);
+}
+
+#[test]
+fn promoted_epoch_survives_restart() {
+    let dir = tmp_dir("epoch");
+    let all = batches(3);
+
+    // A follower with two applied records, promoted over the wire: the
+    // bumped fencing epoch must be fsynced into the WAL headers before
+    // the node goes writable, so a restart recovers it.
+    let node = start(&dir, true);
+    let repl_addr = node.listen_replication("127.0.0.1:0", repl_cfg(&dir)).expect("repl bind");
+    assert_eq!(node.epoch(), 0, "fresh node starts at epoch zero");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake primary bind");
+    let fake_primary = listener.local_addr().unwrap().to_string();
+    let handle = node.replicate_from(&fake_primary, repl_cfg(&dir));
+    let (mut conn, _) = accept_subscriber(&listener);
+    for seq in 1..=2u64 {
+        ship(&mut conn, seq, &all[seq as usize - 1]);
+    }
+    wait_applied(&node, 2, Duration::from_secs(10));
+
+    let promotion = replication::promote_with(&repl_addr.to_string(), 7, "", "", &[])
+        .expect("promote with an epoch floor");
+    assert_eq!(promotion.writable_from, 2);
+    assert_eq!(promotion.epoch, 7, "the floor wins when above own-term + 1");
+    assert_eq!(node.epoch(), 7);
+    // Writable in the new term: the next write in sequence lands.
+    assert_eq!(submit(&node, 3, &all[2]), 3);
+
+    handle.stop();
+    node.shutdown();
+
+    // Restart: recovery reports the bumped epoch from the WAL headers
+    // and the server resumes in the same term.
+    let rec = recover(&dir, &config(), SCALE, WalOptions::default()).expect("recovery");
+    assert_eq!(rec.report.epoch, 7, "bumped epoch recovered from the headers");
+    assert_eq!(rec.report.last_seq, 3);
+    let (store, durability, _) = rec.into_durability();
+    let node = Server::start_durable(store, server_config(false), durability);
+    assert_eq!(node.epoch(), 7, "restarted node resumes its term");
+    assert!(!node.is_fenced());
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn promotion_announce_repoints_siblings_and_fences_the_old_primary() {
+    let p_dir = tmp_dir("sb_p");
+    let f1_dir = tmp_dir("sb_f1");
+    let f2_dir = tmp_dir("sb_f2");
+    let all = batches(5);
+
+    let primary = start(&p_dir, false);
+    let p_repl = primary.listen_replication("127.0.0.1:0", repl_cfg(&p_dir)).expect("p repl");
+    let f1 = start(&f1_dir, true);
+    let f1_repl = f1.listen_replication("127.0.0.1:0", repl_cfg(&f1_dir)).expect("f1 repl");
+    let f2 = start(&f2_dir, true);
+    // f2 needs its own listener to receive the Announce.
+    let f2_repl = f2.listen_replication("127.0.0.1:0", repl_cfg(&f2_dir)).expect("f2 repl");
+
+    let h1 = f1.replicate_from(&p_repl.to_string(), repl_cfg(&f1_dir));
+    let h2 = f2.replicate_from(&p_repl.to_string(), repl_cfg(&f2_dir));
+    for seq in 1..=3u64 {
+        assert_eq!(submit(&primary, seq, &all[seq as usize - 1]), seq);
+    }
+    wait_applied(&f1, 3, Duration::from_secs(10));
+    wait_applied(&f2, 3, Duration::from_secs(10));
+
+    // Promote f1, telling it where it lives and who its siblings are —
+    // including the still-running old primary, which must end up fenced.
+    let siblings = vec![f2_repl.to_string(), p_repl.to_string()];
+    let promotion = replication::promote_with(
+        &f1_repl.to_string(),
+        0,
+        &f1_repl.to_string(),
+        "127.0.0.1:7777",
+        &siblings,
+    )
+    .expect("promote f1");
+    assert_eq!(promotion.writable_from, 3);
+    assert!(promotion.epoch >= 1);
+    assert!(!f1.is_read_only());
+
+    // The old primary learns of the newer term from the announce and
+    // fences itself — no operator intervention.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !primary.is_fenced() {
+        assert!(Instant::now() < deadline, "old primary never fenced");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let resp =
+        primary.client().call(ServiceParams::Write(WriteBatch { seq: 4, ops: all[3].clone() }), 0);
+    let err = resp.body.expect_err("fenced ex-primary must refuse writes");
+    assert_eq!(err.kind, ErrorKind::Fenced);
+    assert!(
+        err.detail.contains("(primary=127.0.0.1:7777)"),
+        "fenced refusal carries the redirect hint: {}",
+        err.detail
+    );
+    assert_eq!(primary.report_now().fenced_rejects, 1);
+
+    // f2 re-subscribes to f1 automatically and applies f1's new writes.
+    assert_eq!(submit(&f1, 4, &all[3]), 4);
+    wait_applied(&f2, 4, Duration::from_secs(10));
+    let status = h2.status();
+    assert!(status.resubscribed >= 1, "f2 re-pointed itself: {status:?}");
+    assert!(!status.denied);
+    let (a, b) = (q5(&f1), q5(&f2));
+    assert_eq!((a.rows, a.fingerprint), (b.rows, b.fingerprint), "f2 equals the new primary");
+
+    h1.stop();
+    h2.stop();
+    primary.shutdown();
+    f1.shutdown();
+    f2.shutdown();
+    let _ = std::fs::remove_dir_all(&p_dir);
+    let _ = std::fs::remove_dir_all(&f1_dir);
+    let _ = std::fs::remove_dir_all(&f2_dir);
 }
