@@ -156,10 +156,11 @@ echo "==> chaos recovery smoke (WAL + SIGKILL + dedupe + oracle equality)"
 # full chaos run — a broken record format makes the rest meaningless.
 cargo test -q --release -p snb-server --lib wal:: > /dev/null
 # The harness spawns snb-server itself (ephemeral port, temp WAL dir),
-# SIGKILLs it at three injected fault points, restarts it, resubmits
-# unacked batches, and verifies the recovered store against an
-# acked-batches oracle over all 25 BI queries. Nonzero exit = lost ack,
-# duplicate application, or result divergence.
+# SIGKILLs it at four injected fault points (WAL tears, apply panic,
+# torn store-image write), restarts it, resubmits unacked batches, and
+# verifies the recovered store against an acked-batches oracle over all
+# 25 BI queries. Nonzero exit = lost ack, duplicate application, torn
+# image landing, or result divergence.
 CHAOS_JSON="$(mktemp /tmp/chaos_smoke.XXXXXX.json)"
 SNB_SERVICE_OUT="$CHAOS_JSON" \
   cargo run -q --release -p snb-bench --bin service_load -- 0.001 --chaos \
@@ -174,6 +175,32 @@ grep -q '"mismatches": 0' "$CHAOS_JSON" || {
   echo "recovered store diverges from the acked-batches oracle" >&2
   rm -f "$CHAOS_JSON"; exit 1; }
 rm -f "$CHAOS_JSON"
+
+echo "==> loading smoke (streaming ingest + packed strings + image recovery, E19)"
+# The binary itself hard-fails below the 2x person-string gate, on a
+# broken recovery curve (image tail > snapshot interval), and on
+# oracle divergence at the deepest history; CI re-checks the JSON
+# schema and pins an absolute bytes-per-person ceiling so a footprint
+# regression can't hide behind a still-passing ratio.
+LOADING_JSON="$(mktemp /tmp/loading_smoke.XXXXXX.json)"
+SNB_SERVICE_OUT="$LOADING_JSON" \
+  cargo run -q --release -p snb-bench --bin service_load -- 0.001 --loading \
+  > /dev/null
+for key in loading streaming materialized strings recovery oracle \
+    person_ratio bytes_per_person_packed verified_history peak_rss_bytes; do
+  grep -q "\"$key\":" "$LOADING_JSON" || {
+    echo "loading JSON is missing key '$key'" >&2; rm -f "$LOADING_JSON"; exit 1; }
+done
+# Image-anchored recovery points must replay a bounded tail (0 here:
+# every tested history lands exactly on a compaction point).
+grep -q '"tail_replayed": 0' "$LOADING_JSON" || {
+  echo "no image-anchored recovery point with a bounded tail" >&2
+  rm -f "$LOADING_JSON"; exit 1; }
+BPP="$(sed -n 's/.*"bytes_per_person_packed": \([0-9.]*\).*/\1/p' "$LOADING_JSON" | head -1)"
+awk -v bpp="$BPP" 'BEGIN { exit !(bpp > 0 && bpp <= 120) }' || {
+  echo "packed person-string footprint regressed: $BPP bytes/person (ceiling 120)" >&2
+  rm -f "$LOADING_JSON"; exit 1; }
+rm -f "$LOADING_JSON"
 
 echo "==> read-path chaos (conn.read.stall -> typed conn_stalled outcome)"
 # A connection goes quiet while the armed stall wedges its handler in

@@ -1,7 +1,7 @@
 //! `--chaos`: the crash-recovery experiment.
 //!
 //! Spawns a real `snb-server` process with a WAL, drives sequenced
-//! write batches at it, and SIGKILLs it at three injected fault points:
+//! write batches at it, and SIGKILLs it at four injected fault points:
 //!
 //! 1. `wal.append.short_write` — the append tears mid-record. Recovery
 //!    must truncate the torn tail; the batch was never durable, so the
@@ -13,6 +13,11 @@
 //!    append. The server answers `store_poisoned` (typed, no hang),
 //!    refuses further traffic, and after restart the WAL'd batch is
 //!    replayed; the resubmission dedupes.
+//! 4. `image.write.torn` — with `--image`, the store-image replacement
+//!    at a compaction point tears mid-write (temp file abandoned, no
+//!    rename). The write is non-fatal, so the server keeps acking; the
+//!    SIGKILL then proves recovery falls back to the *previous* intact
+//!    image plus the WAL tail — never a torn or lost image.
 //!
 //! After the last restart the harness quiesces and proves the recovered
 //! store answers **all 25 BI queries** with the same row counts and
@@ -82,6 +87,8 @@ struct Recovery {
     snapshot_entries: u64,
     wal_entries: u64,
     truncated_bytes: u64,
+    image_seq: u64,
+    tail_replayed: u64,
 }
 
 struct ChaosServer {
@@ -91,7 +98,13 @@ struct ChaosServer {
 }
 
 impl ChaosServer {
-    fn spawn(args: &Args, bin: &str, wal_dir: &std::path::Path, faults: Option<&str>) -> Self {
+    fn spawn(
+        args: &Args,
+        bin: &str,
+        wal_dir: &std::path::Path,
+        faults: Option<&str>,
+        image: bool,
+    ) -> Self {
         let mut cmd = Command::new(bin);
         cmd.arg(&args.scale)
             .arg(args.config.seed.to_string())
@@ -101,6 +114,9 @@ impl ChaosServer {
             .env_remove("SNB_FAULTS")
             .stdout(Stdio::piped())
             .stderr(Stdio::null());
+        if image {
+            cmd.arg("--image");
+        }
         if let Some(spec) = faults {
             cmd.env("SNB_FAULTS", spec).env("SNB_FAULT_SEED", "42");
         }
@@ -119,6 +135,8 @@ impl ChaosServer {
                         "snapshot_entries" => recovery.snapshot_entries = value,
                         "wal_entries" => recovery.wal_entries = value,
                         "truncated_bytes" => recovery.truncated_bytes = value,
+                        "image_seq" => recovery.image_seq = value,
+                        "tail_replayed" => recovery.tail_replayed = value,
                         _ => {}
                     }
                 }
@@ -220,7 +238,12 @@ pub fn run(args: &Args) {
         .pop()
         .expect("one BI 1 binding");
     let total = batches.len() as u64;
-    assert!(total >= 8, "need at least 8 batches for the three phases, got {total}");
+    // Phases 1-3 burn seqs 1-5; the image phases need >= 5 appends
+    // before the first kill (so an image lands at a compaction point)
+    // and >= 5 after (so the replacement attempt trips the torn write).
+    assert!(total >= 16, "need at least 16 batches for the four phases, got {total}");
+    // Everything after this seq exercises the store-image fault.
+    let image_drain = total - 5;
     let mut ack_flavor: Vec<Option<&'static str>> = vec![None; batches.len()];
     let mut dedupes = 0u64;
     let mut phases: Vec<PhaseOutcome> = Vec::new();
@@ -234,6 +257,7 @@ pub fn run(args: &Args) {
         &bin,
         &wal_dir,
         Some("wal.append.short_write=short:8,stall:600000@h3"),
+        false,
     );
     assert_eq!(server.recovery.seq, 0, "fresh directory recovers to the bulk image");
     let mut conn = server.connect();
@@ -249,8 +273,13 @@ pub fn run(args: &Args) {
     // ---- Phase 2: restart, verify truncation, resubmit seq 3 (first
     // apply), then die after a durable append of seq 4 (pre-apply).
     eprintln!("# chaos phase 2: recover; SIGKILL at wal.append.post_append (seq 4)");
-    let server =
-        ChaosServer::spawn(args, &bin, &wal_dir, Some("wal.append.post_append=stall:600000@h2"));
+    let server = ChaosServer::spawn(
+        args,
+        &bin,
+        &wal_dir,
+        Some("wal.append.post_append=stall:600000@h2"),
+        false,
+    );
     // (effects in one clause are comma-separated; `@h2` because the
     // resubmitted seq 3 consumes this fresh process's first append.)
     assert_eq!(server.recovery.seq, 2, "torn seq 3 must not be replayed");
@@ -274,7 +303,8 @@ pub fn run(args: &Args) {
     // WAL; its resubmission dedupes. Then seq 5 panics mid-apply: the
     // server answers store_poisoned (typed, no hang) and refuses reads.
     eprintln!("# chaos phase 3: recover; SIGKILL after writer.apply.panic (seq 5)");
-    let server = ChaosServer::spawn(args, &bin, &wal_dir, Some("writer.apply.panic=panic@h1"));
+    let server =
+        ChaosServer::spawn(args, &bin, &wal_dir, Some("writer.apply.panic=panic@h1"), false);
     assert_eq!(server.recovery.seq, 4, "durable seq 4 must be replayed, not lost");
     assert_eq!(server.recovery.truncated_bytes, 0, "seq 4's append was clean");
     let mut conn = server.connect();
@@ -304,12 +334,15 @@ pub fn run(args: &Args) {
     }
     server.sigkill();
 
-    // ---- Phase 4: final recovery. Seq 5 was WAL-appended before the
-    // injected panic, so replay (which sees no fault) applies it; the
-    // resubmission dedupes. Drain the rest of the schedule normally.
-    eprintln!("# chaos phase 4: recover; drain remaining batches");
-    let server = ChaosServer::spawn(args, &bin, &wal_dir, None);
+    // ---- Phase 4: recovery with `--image`. Seq 5 was WAL-appended
+    // before the injected panic, so replay (which sees no fault)
+    // applies it; the resubmission dedupes. Drain most of the schedule
+    // normally — each compaction point (every 5 appends) now also
+    // writes a store image, so by the kill an image anchors the WAL.
+    eprintln!("# chaos phase 4: recover; drain under --image; SIGKILL");
+    let server = ChaosServer::spawn(args, &bin, &wal_dir, None, true);
     assert_eq!(server.recovery.seq, 5, "seq 5 was durable before the panic: replayed");
+    assert_eq!(server.recovery.image_seq, 0, "no image exists yet: full-history replay");
     let mut conn = server.connect();
     let (flavor, rows) = submit(&mut conn, 5, seq_ops(5)).expect("resubmit seq 5");
     assert_eq!((flavor, rows), ("deduped", 0), "replayed seq 5 must dedupe");
@@ -322,11 +355,67 @@ pub fn run(args: &Args) {
         truncated_bytes: server.recovery.truncated_bytes,
         resubmit_flavor: flavor,
     });
-    for seq in 6..=total {
+    for seq in 6..=image_drain {
         let (flavor, _) = submit(&mut conn, seq, seq_ops(seq)).expect("drain ack");
         assert_eq!(flavor, "ok");
         ack_flavor[seq as usize - 1] = Some("ok");
     }
+    server.sigkill();
+
+    // ---- Phase 5: image-anchored recovery, then a torn image write.
+    // Recovery must start from the store image the previous process
+    // wrote, replaying only the WAL tail past it — not full history.
+    // Every image *replacement* in this process tears (`@p1` fires on
+    // each hit): a partial temp file, never renamed over `store.img`.
+    // The write is non-fatal, so the acks keep flowing; the SIGKILL
+    // then leaves a directory whose newest durable state lives only in
+    // the WAL tail past the old image.
+    eprintln!("# chaos phase 5: recover from image; SIGKILL after image.write.torn");
+    let server =
+        ChaosServer::spawn(args, &bin, &wal_dir, Some("image.write.torn=short:120@p1"), true);
+    assert!(server.recovery.image_seq > 0, "recovery must anchor on the store image");
+    assert_eq!(server.recovery.seq, image_drain, "every acked batch survives the kill");
+    assert_eq!(
+        server.recovery.tail_replayed,
+        server.recovery.seq - server.recovery.image_seq,
+        "tail replay is bounded by the image, not by history length"
+    );
+    let anchor = server.recovery.image_seq;
+    let mut conn = server.connect();
+    for seq in image_drain + 1..=total {
+        let (flavor, _) = submit(&mut conn, seq, seq_ops(seq)).expect("post-image ack");
+        assert_eq!(flavor, "ok");
+        ack_flavor[seq as usize - 1] = Some("ok");
+    }
+    server.sigkill();
+    // Five appends crossed a compaction point, so the server tried to
+    // replace the image and tore every attempt. The on-disk image must
+    // still be the intact anchor — a torn write never lands.
+    let on_disk = snb_server::image_info(&wal_dir, &args.scale, args.config.seed)
+        .expect("peek store.img")
+        .expect("store.img present after the torn replacement");
+    assert_eq!(on_disk.seq, anchor, "torn image write must not replace the previous image");
+
+    // ---- Phase 6: final recovery. The replacement image never landed,
+    // so recovery falls back to the previous image plus the WAL tail —
+    // which now includes the post-image batches. The last batch was
+    // durable before the kill, so its resubmission dedupes.
+    eprintln!("# chaos phase 6: recover; verify fallback to previous image + WAL tail");
+    let server = ChaosServer::spawn(args, &bin, &wal_dir, None, true);
+    assert_eq!(server.recovery.image_seq, anchor, "fallback to the intact previous image");
+    assert_eq!(server.recovery.seq, total, "WAL tail past the image replays in full");
+    assert_eq!(server.recovery.tail_replayed, total - anchor, "tail = everything past the image");
+    let mut conn = server.connect();
+    let (flavor, rows) = submit(&mut conn, total, seq_ops(total)).expect("resubmit last batch");
+    assert_eq!((flavor, rows), ("deduped", 0), "durable post-image batch must dedupe");
+    dedupes += 1;
+    phases.push(PhaseOutcome {
+        name: "image.write.torn",
+        killed_at_seq: total,
+        recovered_seq: server.recovery.seq,
+        truncated_bytes: server.recovery.truncated_bytes,
+        resubmit_flavor: flavor,
+    });
     let lost_acks = ack_flavor.iter().filter(|f| f.is_none()).count() as u64;
     assert_eq!(lost_acks, 0, "every batch must end acknowledged");
 
@@ -385,7 +474,7 @@ pub fn run(args: &Args) {
     // ---- Report.
     snb_bench::print_table(
         "E13: chaos recovery",
-        &["batches", "kills", "dedupes", "queries verified", "mismatches"],
+        &["batches", "faults", "dedupes", "queries verified", "mismatches"],
         &[vec![
             total.to_string(),
             phases.len().to_string(),
@@ -412,11 +501,17 @@ pub fn run(args: &Args) {
     }
     out.push_str("    ],\n");
     out.push_str(&format!(
+        "    \"image\": {{\"anchor_seq\": {anchor}, \"tail_replayed\": {}}},\n",
+        total - anchor
+    ));
+    out.push_str(&format!(
         "    \"dedupes\": {dedupes}, \"lost_acks\": {lost_acks}, \
          \"queries_verified\": {verified}, \"mismatches\": {mismatches}\n"
     ));
     out.push_str("  }\n}\n");
     std::fs::write(&args.out, out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
     println!("wrote {}", args.out);
-    eprintln!("# chaos: PASS ({total} batches, 3 kills, {dedupes} dedupes, {verified} queries)");
+    eprintln!(
+        "# chaos: PASS ({total} batches, 4 faults, 5 kills, {dedupes} dedupes, {verified} queries)"
+    );
 }

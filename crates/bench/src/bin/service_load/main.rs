@@ -15,7 +15,7 @@
 //!              [--queries 2,12,18] [--bindings N]
 //!              [--tcp | --connect HOST:PORT]
 //!              [--updates] [--exercise-edges] [--retries N]
-//!              [--wal-bench] [--chaos [--server-bin PATH]]
+//!              [--wal-bench] [--loading] [--chaos [--server-bin PATH]]
 //!              [--replication [--followers N]] [--split-brain]
 //!              [--interference] [--out PATH]
 //!              [--sweep] [--sweep-levels 1,2,...,1024] [--sweep-duration 2s]
@@ -44,6 +44,13 @@
 //! (the server dedupes by sequence number), and finally proves the
 //! recovered store answers all 25 BI queries identically to an oracle
 //! that applied exactly the acknowledged batches once each.
+//!
+//! `--loading` runs experiment E19 instead of the load window: the
+//! streaming datagen→ingest pipeline with per-entity rows/sec and
+//! MB/sec, the packed-vs-`String` string-footprint gate (hard failure
+//! below 2×), peak-RSS attribution for the streaming vs materialised
+//! builds, and a recovery-time-vs-history-length curve with and
+//! without store-image snapshots, oracle-verified (see `loading.rs`).
 //!
 //! `--replication` runs experiment E17 instead of the load window: it
 //! spawns one primary `snb-server` plus `--followers N` follower
@@ -97,6 +104,7 @@ use snb_store::DeleteOp;
 
 mod chaos;
 mod interference;
+mod loading;
 mod replication;
 mod split_brain;
 mod sweep;
@@ -119,6 +127,7 @@ struct Args {
     exercise_edges: bool,
     retries: u32,
     wal_bench: bool,
+    loading: bool,
     chaos: bool,
     replication: bool,
     split_brain: bool,
@@ -159,6 +168,7 @@ fn parse_args() -> Result<Args, String> {
         exercise_edges: false,
         retries: 0,
         wal_bench: false,
+        loading: false,
         chaos: false,
         replication: false,
         split_brain: false,
@@ -210,6 +220,7 @@ fn parse_args() -> Result<Args, String> {
                     need("--retries", argv.next())?.parse().map_err(|e| format!("{e}"))?
             }
             "--wal-bench" => args.wal_bench = true,
+            "--loading" => args.loading = true,
             "--chaos" => args.chaos = true,
             "--replication" => args.replication = true,
             "--split-brain" => args.split_brain = true,
@@ -482,6 +493,10 @@ fn main() {
         }
     };
 
+    if args.loading {
+        loading::run(&args);
+        return;
+    }
     if args.chaos {
         chaos::run(&args);
         return;

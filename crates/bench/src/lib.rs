@@ -98,11 +98,29 @@ pub fn partitions_resolved() -> usize {
         .unwrap_or(1)
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where that interface does not exist
+/// (non-Linux). The high-water mark is sticky for the process
+/// lifetime, so phase-level attribution needs the phases ordered
+/// smallest-footprint first (or a `clear_refs` reset between them).
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
 /// Renders the run-metadata JSON object embedded in `BENCH_bi.json`
 /// and `BENCH_service.json`: git commit, scale, seed, hardware core
-/// count, the resolved `SNB_THREADS` and `SNB_PARTITIONS` values, and
-/// every set `SNB_*` knob — enough to tell two result files apart
-/// without provenance guesswork.
+/// count, the resolved `SNB_THREADS` and `SNB_PARTITIONS` values, the
+/// process peak RSS at render time, and every set `SNB_*` knob —
+/// enough to tell two result files apart without provenance guesswork.
 pub fn meta_json(config: &GeneratorConfig) -> String {
     let git_commit = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -126,12 +144,13 @@ pub fn meta_json(config: &GeneratorConfig) -> String {
     format!(
         "{{\"git_commit\": \"{}\", \"scale_persons\": {}, \"datagen_seed\": {}, \
          \"hardware_cores\": {cores}, \"threads_resolved\": {threads_resolved}, \
-         \"partitions_resolved\": {}, \
+         \"partitions_resolved\": {}, \"peak_rss_bytes\": {}, \
          \"env\": {{{}}}}}",
         json_escape(&git_commit),
         config.persons,
         config.seed,
         partitions_resolved(),
+        peak_rss_bytes(),
         env_entries.join(", "),
     )
 }
@@ -164,11 +183,21 @@ mod tests {
             "hardware_cores",
             "threads_resolved",
             "partitions_resolved",
+            "peak_rss_bytes",
             "env",
         ] {
             assert!(meta.contains(&format!("\"{key}\":")), "meta missing {key}: {meta}");
         }
         assert!(meta.contains(&format!("\"scale_persons\": {}", config.persons)));
+    }
+
+    #[test]
+    fn peak_rss_is_nonzero_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // A running test process has touched well over a megabyte.
+            assert!(rss > 1 << 20, "implausible VmHWM {rss}");
+        }
     }
 
     #[test]

@@ -58,21 +58,21 @@ type Key = (Ix, u32, Gender, i32, Ix); // (country, month, gender, ageGroup, tag
 fn sort_key(store: &Store, key: &Key, count: u64) -> impl Ord + Clone {
     (
         std::cmp::Reverse(count),
-        store.tags.name[key.4 as usize].clone(),
+        store.tags.name[key.4 as usize].to_string(),
         key.3,
         key.1,
         key.2 == Gender::Male, // female < male alphabetically
-        store.places.name[key.0 as usize].clone(),
+        store.places.name[key.0 as usize].to_string(),
     )
 }
 
 fn to_row(store: &Store, key: Key, count: u64) -> Row {
     Row {
-        country_name: store.places.name[key.0 as usize].clone(),
+        country_name: store.places.name[key.0 as usize].to_string(),
         month: key.1,
         gender: key.2,
         age_group: key.3,
-        tag_name: store.tags.name[key.4 as usize].clone(),
+        tag_name: store.tags.name[key.4 as usize].to_string(),
         message_count: count,
     }
 }

@@ -83,7 +83,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     let mut tk = TopK::new(LIMIT);
     for (tag, (c1, c2)) in counts {
         let row = Row {
-            tag_name: store.tags.name[tag as usize].clone(),
+            tag_name: store.tags.name[tag as usize].to_string(),
             count_month1: c1,
             count_month2: c2,
             diff: c1.abs_diff(c2),
@@ -116,7 +116,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
             continue;
         }
         let row = Row {
-            tag_name: store.tags.name[tag as usize].clone(),
+            tag_name: store.tags.name[tag as usize].to_string(),
             count_month1: c1,
             count_month2: c2,
             diff: c1.abs_diff(c2),

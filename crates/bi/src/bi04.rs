@@ -74,7 +74,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
             }
             let row = Row {
                 forum_id: store.forums.id[f as usize],
-                forum_title: store.forums.title[f as usize].clone(),
+                forum_title: store.forums.title[f as usize].to_string(),
                 forum_creation_date: store.forums.creation_date[f as usize],
                 moderator_id: store.persons.id[moderator as usize],
                 post_count: count,
@@ -113,7 +113,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
             let moderator = store.forums.moderator[f as usize];
             let row = Row {
                 forum_id: store.forums.id[f as usize],
-                forum_title: store.forums.title[f as usize].clone(),
+                forum_title: store.forums.title[f as usize].to_string(),
                 forum_creation_date: store.forums.creation_date[f as usize],
                 moderator_id: store.persons.id[moderator as usize],
                 post_count: count,

@@ -61,8 +61,8 @@ fn sort_key(row: &Row) -> (std::cmp::Reverse<u64>, u64) {
 fn to_row(store: &Store, p: Ix, count: u64) -> Row {
     Row {
         person_id: store.persons.id[p as usize],
-        first_name: store.persons.first_name[p as usize].clone(),
-        last_name: store.persons.last_name[p as usize].clone(),
+        first_name: store.persons.first_name[p as usize].to_string(),
+        last_name: store.persons.last_name[p as usize].to_string(),
         creation_date: store.persons.creation_date[p as usize],
         post_count: count,
     }

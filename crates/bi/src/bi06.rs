@@ -124,7 +124,7 @@ mod tests {
 
     fn busiest_tag(s: &Store) -> String {
         let t = (0..s.tags.len() as Ix).max_by_key(|&t| s.tag_message.degree(t)).unwrap();
-        s.tags.name[t as usize].clone()
+        s.tags.name[t as usize].to_string()
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     );
     let mut tk = TopK::new(LIMIT);
     for (t, count) in counts {
-        let row = Row { related_tag_name: store.tags.name[t as usize].clone(), count };
+        let row = Row { related_tag_name: store.tags.name[t as usize].to_string(), count };
         tk.push(sort_key(&row), row);
     }
     ctx.metrics().note_topk(&tk);
@@ -95,7 +95,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let items: Vec<_> = counts
         .into_iter()
         .map(|(t, count)| {
-            let row = Row { related_tag_name: store.tags.name[t as usize].clone(), count };
+            let row = Row { related_tag_name: store.tags.name[t as usize].to_string(), count };
             (sort_key(&row), row)
         })
         .collect();
@@ -109,7 +109,7 @@ mod tests {
 
     fn busy_tag(s: &Store) -> String {
         let t = (0..s.tags.len() as Ix).max_by_key(|&t| s.tag_message.degree(t)).unwrap();
-        s.tags.name[t as usize].clone()
+        s.tags.name[t as usize].to_string()
     }
 
     #[test]

@@ -125,7 +125,7 @@ mod tests {
 
     fn busy_tag(s: &Store) -> String {
         let t = (0..s.tags.len() as Ix).max_by_key(|&t| s.tag_message.degree(t)).unwrap();
-        s.tags.name[t as usize].clone()
+        s.tags.name[t as usize].to_string()
     }
 
     fn params(s: &Store) -> Params {

@@ -110,7 +110,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     for ((p, t), (likes, replies)) in groups {
         let row = Row {
             person_id: store.persons.id[p as usize],
-            tag_name: store.tags.name[t as usize].clone(),
+            tag_name: store.tags.name[t as usize].to_string(),
             like_count: likes,
             reply_count: replies,
         };
@@ -145,7 +145,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     for ((p, t), (likes, replies)) in groups {
         let row = Row {
             person_id: store.persons.id[p as usize],
-            tag_name: store.tags.name[t as usize].clone(),
+            tag_name: store.tags.name[t as usize].to_string(),
             like_count: likes,
             reply_count: replies,
         };

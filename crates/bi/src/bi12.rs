@@ -44,8 +44,8 @@ fn to_row(store: &Store, m: Ix, likes: u64) -> Row {
     Row {
         message_id: store.messages.id[m as usize],
         creation_date: store.messages.creation_date[m as usize],
-        first_name: store.persons.first_name[c].clone(),
-        last_name: store.persons.last_name[c].clone(),
+        first_name: store.persons.first_name[c].to_string(),
+        last_name: store.persons.last_name[c].to_string(),
         like_count: likes,
     }
 }

@@ -39,7 +39,7 @@ fn sort_key(row: &Row) -> (std::cmp::Reverse<i32>, u32) {
 fn top_tags(store: &Store, counts: FxHashMap<Ix, u64>) -> Vec<(String, u64)> {
     let mut tk = TopK::new(TAGS_PER_GROUP);
     for (t, c) in counts {
-        let name = store.tags.name[t as usize].clone();
+        let name = store.tags.name[t as usize].to_string();
         tk.push((std::cmp::Reverse(c), name.clone()), (name, c));
     }
     tk.into_sorted()
@@ -111,7 +111,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         }
         // Sort-truncate top five.
         let mut pairs: Vec<(String, u64)> =
-            counts.into_iter().map(|(t, c)| (store.tags.name[t as usize].clone(), c)).collect();
+            counts.into_iter().map(|(t, c)| (store.tags.name[t as usize].to_string(), c)).collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         pairs.truncate(TAGS_PER_GROUP);
         let row = Row { year, month, popular_tags: pairs };

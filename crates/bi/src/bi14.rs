@@ -86,8 +86,8 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     for (p, (threads, msgs)) in acc {
         let row = Row {
             person_id: store.persons.id[p as usize],
-            first_name: store.persons.first_name[p as usize].clone(),
-            last_name: store.persons.last_name[p as usize].clone(),
+            first_name: store.persons.first_name[p as usize].to_string(),
+            last_name: store.persons.last_name[p as usize].to_string(),
             thread_count: threads,
             message_count: msgs,
         };
@@ -131,8 +131,8 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         .map(|(p, threads)| {
             let row = Row {
                 person_id: store.persons.id[p as usize],
-                first_name: store.persons.first_name[p as usize].clone(),
-                last_name: store.persons.last_name[p as usize].clone(),
+                first_name: store.persons.first_name[p as usize].to_string(),
+                last_name: store.persons.last_name[p as usize].to_string(),
                 thread_count: threads,
                 message_count: msgs.get(&p).copied().unwrap_or(0),
             };

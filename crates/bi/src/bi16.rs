@@ -121,7 +121,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     for ((p, t), count) in groups {
         let row = Row {
             person_id: store.persons.id[p as usize],
-            tag_name: store.tags.name[t as usize].clone(),
+            tag_name: store.tags.name[t as usize].to_string(),
             message_count: count,
         };
         tk.push(sort_key(&row), row);
@@ -154,7 +154,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         .map(|((p, t), count)| {
             let row = Row {
                 person_id: store.persons.id[p as usize],
-                tag_name: store.tags.name[t as usize].clone(),
+                tag_name: store.tags.name[t as usize].to_string(),
                 message_count: count,
             };
             (sort_key(&row), row)

@@ -121,7 +121,7 @@ fn rows_from_scores(store: &Store, scores: FxHashMap<(Ix, Ix), u64>) -> Vec<Row>
         let row = Row {
             person1_id: store.persons.id[a as usize],
             person2_id: store.persons.id[b as usize],
-            city1_name: store.places.name[city as usize].clone(),
+            city1_name: store.places.name[city as usize].to_string(),
             score,
         };
         match best.get(&city) {

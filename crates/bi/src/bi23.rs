@@ -73,7 +73,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     for ((dest, month), count) in groups {
         let row = Row {
             message_count: count,
-            destination_name: store.places.name[dest as usize].clone(),
+            destination_name: store.places.name[dest as usize].to_string(),
             month,
         };
         tk.push(sort_key(&row), row);
@@ -104,7 +104,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         .map(|((dest, month), count)| {
             let row = Row {
                 message_count: count,
-                destination_name: store.places.name[dest as usize].clone(),
+                destination_name: store.places.name[dest as usize].to_string(),
                 month,
             };
             (sort_key(&row), row)

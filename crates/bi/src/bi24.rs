@@ -51,7 +51,7 @@ fn group_rows(store: &Store, groups: FxHashMap<(i32, u32, Ix), (u64, u64)>) -> V
                 like_count: likes,
                 year,
                 month,
-                continent_name: store.places.name[continent as usize].clone(),
+                continent_name: store.places.name[continent as usize].to_string(),
             };
             (sort_key(&row), row)
         })

@@ -265,7 +265,7 @@ mod tests {
         for m in 0..s.messages.len() as Ix {
             if !s.messages.is_post(m) {
                 let root = s.messages.root_post[m as usize];
-                assert_eq!(thread_language(s, m), s.messages.language[root as usize]);
+                assert_eq!(thread_language(s, m), &s.messages.language[root as usize]);
             }
         }
     }

@@ -14,6 +14,16 @@
 //!   albums (image posts by the owner), topical groups (members drawn
 //!   from the moderator's neighbourhood plus interest-correlated
 //!   strangers).
+//!
+//! The pass is *sink-driven*: every record is emitted through
+//! [`ActivitySink`] the moment it is generated, in a deterministic
+//! order (forum, then its memberships, then each message immediately
+//! followed by its likes). [`RawGraph`] implements the sink by pushing
+//! (the classic materialising path used by [`crate::generate`]);
+//! `snb-store`'s streaming builder implements it to ingest records
+//! directly into columnar form without ever holding the raw activity in
+//! memory. Both paths observe the identical record sequence, so the
+//! resulting stores are equal.
 
 use rustc_hash::FxHashMap;
 use snb_core::datetime::{DateTime, MILLIS_PER_DAY, MILLIS_PER_HOUR};
@@ -21,13 +31,46 @@ use snb_core::model::{ForumId, ForumKind, MessageId, MessageKind, PersonId, TagI
 use snb_core::rng::Rng;
 
 use crate::dictionaries::{StaticWorld, COUNTRIES, FILLER_WORDS, TAGS};
-use crate::graph::{RawForum, RawGraph, RawMembership, RawMessage};
+use crate::graph::{RawForum, RawGraph, RawKnows, RawLike, RawMembership, RawMessage, RawPerson};
 use crate::GeneratorConfig;
 
 const TAG_FLASHMOB: u64 = 20;
 const TAG_FORUM: u64 = 21;
 const TAG_GROUP: u64 = 22;
 const TAG_POST: u64 = 23;
+
+/// Receiver of generated activity records.
+///
+/// Records arrive in dependency order: a forum strictly before its
+/// memberships and messages; a message strictly before its replies and
+/// likes; message ids strictly increasing. Consumers may therefore
+/// resolve every reference against records they have already seen.
+pub trait ActivitySink {
+    /// A new forum (wall / album / group).
+    fn forum(&mut self, f: RawForum);
+    /// A forum membership (its forum has already been emitted).
+    fn membership(&mut self, m: RawMembership);
+    /// A post or comment (its forum/parent has already been emitted).
+    fn message(&mut self, m: RawMessage);
+    /// A like (its message has already been emitted).
+    fn like(&mut self, l: RawLike);
+}
+
+/// The materialising sink: plain pushes into the raw vectors.
+impl ActivitySink for RawGraph {
+    fn forum(&mut self, f: RawForum) {
+        self.forums.push(f);
+    }
+    fn membership(&mut self, m: RawMembership) {
+        self.memberships.push(m);
+    }
+    fn message(&mut self, m: RawMessage) {
+        self.messages.push(m);
+    }
+    fn like(&mut self, l: RawLike) {
+        self.likes.push(l);
+    }
+}
 
 /// A flashmob event: a topic spike at a point in simulated time.
 #[derive(Clone, Copy, Debug)]
@@ -73,12 +116,31 @@ struct ActivityState<'a> {
     end_millis: i64,
 }
 
-/// Populates `graph` with forums, memberships, messages and likes.
+/// Populates `graph` with forums, memberships, messages and likes
+/// (the materialising wrapper over [`generate_activity_into`]).
 pub fn generate_activity(config: &GeneratorConfig, world: &StaticWorld, graph: &mut RawGraph) {
-    let n = graph.persons.len();
+    let persons = std::mem::take(&mut graph.persons);
+    let knows = std::mem::take(&mut graph.knows);
+    generate_activity_into(config, world, &persons, &knows, graph);
+    graph.persons = persons;
+    graph.knows = knows;
+}
+
+/// Generates all activity, emitting each record through `sink` the
+/// moment it exists. Only `persons` and `knows` need to be materialised
+/// (both are O(persons), tiny next to the message volume); the
+/// forums/messages/likes stream through without accumulating.
+pub fn generate_activity_into<S: ActivitySink>(
+    config: &GeneratorConfig,
+    world: &StaticWorld,
+    persons: &[RawPerson],
+    knows: &[RawKnows],
+    sink: &mut S,
+) {
+    let n = persons.len();
     let mut friends: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut friend_since = FxHashMap::default();
-    for k in &graph.knows {
+    for k in knows {
         friends[k.a.0 as usize].push(k.b.0 as u32);
         friends[k.b.0 as usize].push(k.a.0 as u32);
         friend_since.insert((k.a.0 as u32, k.b.0 as u32), k.creation_date);
@@ -102,10 +164,9 @@ pub fn generate_activity(config: &GeneratorConfig, world: &StaticWorld, graph: &
         end_millis: config.end.at_midnight().0 - 1,
     };
 
-    generate_walls(&mut state, graph);
-    generate_albums(&mut state, graph);
-    generate_groups(&mut state, graph);
-    generate_likes(&mut state, graph);
+    generate_walls(&mut state, persons, sink);
+    generate_albums(&mut state, persons, sink);
+    generate_groups(&mut state, persons, sink);
 }
 
 impl ActivityState<'_> {
@@ -190,10 +251,14 @@ fn make_content(tag: Option<TagId>, rng: &mut Rng) -> (String, u32) {
 }
 
 /// Personal walls: one per person, members are the person's friends.
-fn generate_walls(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
-    for pi in 0..graph.persons.len() {
+fn generate_walls<S: ActivitySink>(
+    state: &mut ActivityState<'_>,
+    persons: &[RawPerson],
+    sink: &mut S,
+) {
+    for pi in 0..persons.len() {
         let (person_id, person_created, title) = {
-            let person = &graph.persons[pi];
+            let person = &persons[pi];
             (
                 person.id,
                 person.creation_date,
@@ -204,7 +269,7 @@ fn generate_walls(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
         let forum_id = state.alloc_forum();
         let creation =
             state.clamp(person_created.0 + rng.range_i64(0, MILLIS_PER_HOUR), person_created.0);
-        let mut tags: Vec<TagId> = graph.persons[pi].interests.iter().copied().take(3).collect();
+        let mut tags: Vec<TagId> = persons[pi].interests.iter().copied().take(3).collect();
         tags.dedup();
         let forum = RawForum {
             id: forum_id,
@@ -214,6 +279,7 @@ fn generate_walls(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
             moderator: person_id,
             tags,
         };
+        sink.forum(forum.clone());
 
         // Friends join the wall when the friendship forms.
         let mut members: Vec<(PersonId, DateTime)> = Vec::new();
@@ -223,7 +289,7 @@ fn generate_walls(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
             members.push((PersonId(f as u64), join));
         }
         for &(person_m, join_date) in &members {
-            graph.memberships.push(RawMembership { forum: forum_id, person: person_m, join_date });
+            sink.membership(RawMembership { forum: forum_id, person: person_m, join_date });
         }
 
         // Wall posts: by the owner (moderator posts without membership,
@@ -231,38 +297,34 @@ fn generate_walls(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
         let owner_posts =
             1 + rng.geometric(1.0 / (state.config.activity_scale * 2.0 + 1.0)) as usize;
         for _ in 0..owner_posts {
-            make_post(state, graph, &forum, person_id, creation, &mut rng, false);
+            make_post(state, persons, sink, &forum, person_id, creation, &mut rng, false);
         }
         for &(member, join) in &members {
             let mean = state.config.activity_scale * 0.5;
             let cnt = rng.geometric(1.0 / (mean + 1.0)) as usize;
             for _ in 0..cnt {
-                make_post(state, graph, &forum, member, join, &mut rng, false);
+                make_post(state, persons, sink, &forum, member, join, &mut rng, false);
             }
         }
-        graph.forums.push(forum);
     }
 }
 
 /// Image albums: 0..=2 per person; only the owner posts (image posts).
-fn generate_albums(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
-    for pi in 0..graph.persons.len() {
-        let (person_id, person_created, first, last, interests) = {
-            let person = &graph.persons[pi];
-            (
-                person.id,
-                person.creation_date,
-                person.first_name.clone(),
-                person.last_name.clone(),
-                person.interests.clone(),
-            )
-        };
+fn generate_albums<S: ActivitySink>(
+    state: &mut ActivityState<'_>,
+    persons: &[RawPerson],
+    sink: &mut S,
+) {
+    for pi in 0..persons.len() {
+        let person = &persons[pi];
+        let (person_id, person_created, first, last) =
+            (person.id, person.creation_date, person.first_name, person.last_name);
         let mut rng = Rng::derive(state.config.seed, person_id.0, TAG_FORUM + 100);
         let albums = rng.geometric(0.5).min(2) as usize;
         for ai in 0..albums {
             let forum_id = state.alloc_forum();
             let creation = state.uniform_after(&mut rng, person_created.0);
-            let tags = enrich_tags(state.world, &interests, &mut rng, 2);
+            let tags = enrich_tags(state.world, &person.interests, &mut rng, 2);
             let forum = RawForum {
                 id: forum_id,
                 kind: ForumKind::Album,
@@ -271,15 +333,14 @@ fn generate_albums(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
                 moderator: person_id,
                 tags,
             };
+            sink.forum(forum.clone());
             // A subset of friends follows the album.
             let fr = &state.friends[pi];
             let take = rng.index(fr.len().min(8) + 1);
             for &f in fr.iter().take(take) {
-                let join = state.uniform_after(
-                    &mut rng,
-                    creation.0.max(graph.persons[f as usize].creation_date.0),
-                );
-                graph.memberships.push(RawMembership {
+                let join = state
+                    .uniform_after(&mut rng, creation.0.max(persons[f as usize].creation_date.0));
+                sink.membership(RawMembership {
                     forum: forum_id,
                     person: PersonId(f as u64),
                     join_date: join,
@@ -287,24 +348,27 @@ fn generate_albums(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
             }
             let photos = 3 + rng.geometric(0.2).min(17) as usize;
             for _ in 0..photos {
-                make_post(state, graph, &forum, person_id, creation, &mut rng, true);
+                make_post(state, persons, sink, &forum, person_id, creation, &mut rng, true);
             }
-            graph.forums.push(forum);
         }
     }
 }
 
 /// Topical groups: ~1 per 10 persons; members come from the moderator's
 /// neighbourhood plus interest-correlated strangers.
-fn generate_groups(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
-    let n = graph.persons.len();
+fn generate_groups<S: ActivitySink>(
+    state: &mut ActivityState<'_>,
+    persons: &[RawPerson],
+    sink: &mut S,
+) {
+    let n = persons.len();
     if n == 0 {
         return;
     }
     let group_count = (n / 10).max(1);
     // Interest index: tag -> persons interested.
     let mut by_interest: FxHashMap<TagId, Vec<u32>> = FxHashMap::default();
-    for (pi, p) in graph.persons.iter().enumerate() {
+    for (pi, p) in persons.iter().enumerate() {
         for &t in &p.interests {
             by_interest.entry(t).or_default().push(pi as u32);
         }
@@ -314,7 +378,7 @@ fn generate_groups(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
         let mut rng = Rng::derive(state.config.seed, gi as u64, TAG_GROUP);
         let moderator_ix = rng.index(n);
         let (moderator_id, moderator_created, topic) = {
-            let moderator = &graph.persons[moderator_ix];
+            let moderator = &persons[moderator_ix];
             let topic = if moderator.interests.is_empty() {
                 state.world.sample_tag_for_country(moderator.country, &mut rng)
             } else {
@@ -333,6 +397,7 @@ fn generate_groups(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
             moderator: moderator_id,
             tags,
         };
+        sink.forum(forum.clone());
 
         // Candidate members: moderator's friends + persons sharing the
         // topic interest.
@@ -348,12 +413,11 @@ fn generate_groups(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
         let mut members: Vec<(PersonId, DateTime)> = vec![(moderator_id, creation)];
         for ci in chosen {
             let pix = candidates[ci] as usize;
-            let join =
-                state.uniform_after(&mut rng, creation.0.max(graph.persons[pix].creation_date.0));
-            members.push((graph.persons[pix].id, join));
+            let join = state.uniform_after(&mut rng, creation.0.max(persons[pix].creation_date.0));
+            members.push((persons[pix].id, join));
         }
         for &(person_m, join_date) in &members {
-            graph.memberships.push(RawMembership { forum: forum_id, person: person_m, join_date });
+            sink.membership(RawMembership { forum: forum_id, person: person_m, join_date });
         }
 
         // Group posts by members, volume scaled by their degree.
@@ -362,25 +426,26 @@ fn generate_groups(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
             let mean = state.config.activity_scale * (1.0 + deg).ln() * 0.4;
             let cnt = rng.geometric(1.0 / (mean + 1.0)) as usize;
             for _ in 0..cnt {
-                make_post(state, graph, &forum, member, join, &mut rng, false);
+                make_post(state, persons, sink, &forum, member, join, &mut rng, false);
             }
         }
-        graph.forums.push(forum);
     }
 }
 
 /// Creates one Post (plus its comment tree) in `forum` by `author`,
 /// no earlier than `not_before`.
-fn make_post(
+#[allow(clippy::too_many_arguments)]
+fn make_post<S: ActivitySink>(
     state: &mut ActivityState<'_>,
-    graph: &mut RawGraph,
+    persons: &[RawPerson],
+    sink: &mut S,
     forum: &RawForum,
     author: PersonId,
     not_before: DateTime,
     rng: &mut Rng,
     image: bool,
 ) {
-    let author_rec = &graph.persons[author.0 as usize];
+    let author_rec = &persons[author.0 as usize];
     let lo = not_before.0.max(forum.creation_date.0).max(author_rec.creation_date.0);
 
     // Flashmob or uniform background (spec: both kinds of activity)?
@@ -423,6 +488,7 @@ fn make_post(
         let (c, l) = make_content(tags.first().copied(), rng);
         (c, l, None, Some(author_rec.languages[0]))
     };
+    let post_tags = tags.clone();
     let post = RawMessage {
         id,
         kind: MessageKind::Post,
@@ -440,20 +506,30 @@ fn make_post(
         root_post: id,
         tags,
     };
-    graph.messages.push(post);
+    sink.message(post);
+    emit_likes(state, persons, sink, id, MessageKind::Post, author, creation);
 
     if !image {
-        make_comment_tree(state, graph, id, id, creation, 0, rng);
+        make_comment_tree(state, persons, sink, id, id, author, author, &post_tags, creation, 0, rng);
     }
 }
 
 /// Recursively generates the comment tree under `parent`.
+///
+/// Parent metadata (`post_creator`, `parent_author`, `parent_tags`) is
+/// threaded down the recursion rather than read back out of the emitted
+/// records — this is what lets the pass stream: the sink never has to
+/// answer lookups.
 #[allow(clippy::too_many_arguments)]
-fn make_comment_tree(
+fn make_comment_tree<S: ActivitySink>(
     state: &mut ActivityState<'_>,
-    graph: &mut RawGraph,
+    persons: &[RawPerson],
+    sink: &mut S,
     parent: MessageId,
     root_post: MessageId,
+    post_creator: PersonId,
+    parent_author: PersonId,
+    parent_tags: &[TagId],
     parent_time: DateTime,
     depth: u32,
     rng: &mut Rng,
@@ -471,20 +547,17 @@ fn make_comment_tree(
     if replies == 0 {
         return;
     }
-    let parent_tags = graph.messages[parent.0 as usize].tags.clone();
-    let post_creator = graph.messages[root_post.0 as usize].creator;
     for _ in 0..replies {
         // Replier: a friend of the post creator or the forum moderator's
         // neighbourhood — approximate with friends of the parent author,
         // falling back to the moderator.
-        let parent_author = graph.messages[parent.0 as usize].creator;
         let candidates = &state.friends[parent_author.0 as usize];
         let replier_ix = if candidates.is_empty() || rng.chance(0.2) {
             post_creator.0 as usize
         } else {
             *rng.pick(candidates) as usize
         };
-        let replier = &graph.persons[replier_ix];
+        let replier = &persons[replier_ix];
         let lo = parent_time.0.max(replier.creation_date.0);
         // Replies cluster after the parent: geometric hours. If the
         // delay would spill past the simulation window, fall back to a
@@ -499,7 +572,7 @@ fn make_comment_tree(
         // Comment tags: subset of the parent's plus correlated ones.
         let mut tags = Vec::new();
         if !parent_tags.is_empty() && rng.chance(0.7) {
-            tags.push(*rng.pick(&parent_tags));
+            tags.push(*rng.pick(parent_tags));
         }
         let enriched = enrich_tags(state.world, &tags, rng, 2);
         if !enriched.is_empty() {
@@ -513,11 +586,13 @@ fn make_comment_tree(
         } else {
             state.world.country_place[replier.country]
         };
+        let comment_tags = tags.clone();
+        let replier_id = replier.id;
         let comment = RawMessage {
             id,
             kind: MessageKind::Comment,
             creation_date: creation,
-            creator: replier.id,
+            creator: replier_id,
             country: comment_country,
             location_ip: replier.location_ip.clone(),
             browser: replier.browser,
@@ -530,44 +605,65 @@ fn make_comment_tree(
             root_post,
             tags,
         };
-        graph.messages.push(comment);
-        make_comment_tree(state, graph, id, root_post, creation, depth + 1, rng);
+        sink.message(comment);
+        emit_likes(state, persons, sink, id, MessageKind::Comment, replier_id, creation);
+        make_comment_tree(
+            state,
+            persons,
+            sink,
+            id,
+            root_post,
+            post_creator,
+            replier_id,
+            &comment_tags,
+            creation,
+            depth + 1,
+            rng,
+        );
     }
 }
 
-/// Likes: per-message count scales with thread popularity; likers come
-/// from the creator's neighbourhood.
-fn generate_likes(state: &mut ActivityState<'_>, graph: &mut RawGraph) {
-    let mut likes = Vec::new();
-    for m in &graph.messages {
-        let mut rng = Rng::derive(state.config.seed, m.id.0, TAG_POST + 50);
-        let mean = match m.kind {
-            MessageKind::Post => 1.8,
-            MessageKind::Comment => 0.5,
-        };
-        let count = rng.geometric(1.0 / (mean + 1.0)) as usize;
-        if count == 0 {
-            continue;
-        }
-        let candidates = &state.friends[m.creator.0 as usize];
-        if candidates.is_empty() {
-            continue;
-        }
-        let take = count.min(candidates.len());
-        let chosen = rng.sample_indices(candidates.len(), take);
-        for ci in chosen {
-            let liker = &graph.persons[candidates[ci] as usize];
-            let lo = m.creation_date.0.max(liker.creation_date.0);
-            let delay = (rng.geometric(0.08) as i64 + 1) * MILLIS_PER_HOUR;
-            let creation_date = if lo + delay > state.end_millis {
-                state.uniform_after(&mut rng, lo)
-            } else {
-                state.clamp(lo + delay, lo)
-            };
-            likes.push(crate::graph::RawLike { person: liker.id, message: m.id, creation_date });
-        }
+/// Likes for one freshly created message: count scales with thread
+/// popularity; likers come from the creator's neighbourhood. Each
+/// message's like stream is an independent RNG derived from its id, so
+/// emitting inline here produces the identical sequence the
+/// pre-streaming layout produced with a dedicated pass over messages in
+/// id order.
+fn emit_likes<S: ActivitySink>(
+    state: &ActivityState<'_>,
+    persons: &[RawPerson],
+    sink: &mut S,
+    id: MessageId,
+    kind: MessageKind,
+    creator: PersonId,
+    created: DateTime,
+) {
+    let mut rng = Rng::derive(state.config.seed, id.0, TAG_POST + 50);
+    let mean = match kind {
+        MessageKind::Post => 1.8,
+        MessageKind::Comment => 0.5,
+    };
+    let count = rng.geometric(1.0 / (mean + 1.0)) as usize;
+    if count == 0 {
+        return;
     }
-    graph.likes = likes;
+    let candidates = &state.friends[creator.0 as usize];
+    if candidates.is_empty() {
+        return;
+    }
+    let take = count.min(candidates.len());
+    let chosen = rng.sample_indices(candidates.len(), take);
+    for ci in chosen {
+        let liker = &persons[candidates[ci] as usize];
+        let lo = created.0.max(liker.creation_date.0);
+        let delay = (rng.geometric(0.08) as i64 + 1) * MILLIS_PER_HOUR;
+        let creation_date = if lo + delay > state.end_millis {
+            state.uniform_after(&mut rng, lo)
+        } else {
+            state.clamp(lo + delay, lo)
+        };
+        sink.like(RawLike { person: liker.id, message: id, creation_date });
+    }
 }
 
 #[cfg(test)]
@@ -737,5 +833,53 @@ mod tests {
         let high: f64 =
             idx[idx.len() - q..].iter().map(|&i| msgs[i] as f64).sum::<f64>() / q as f64;
         assert!(high > low * 1.5, "high-degree activity {high} vs low {low}");
+    }
+
+    /// The sink contract: forums precede their memberships/messages,
+    /// parents precede replies, messages precede their likes, and
+    /// message ids are emitted in strictly increasing order.
+    #[test]
+    fn sink_emission_order_is_dependency_safe() {
+        use std::collections::HashSet;
+        #[derive(Default)]
+        struct OrderCheck {
+            forums: HashSet<u64>,
+            messages: HashSet<u64>,
+            last_message: Option<u64>,
+        }
+        impl ActivitySink for OrderCheck {
+            fn forum(&mut self, f: RawForum) {
+                assert!(self.forums.insert(f.id.0), "forum {:?} emitted twice", f.id);
+            }
+            fn membership(&mut self, m: RawMembership) {
+                assert!(self.forums.contains(&m.forum.0), "membership before forum");
+            }
+            fn message(&mut self, m: RawMessage) {
+                if let Some(last) = self.last_message {
+                    assert!(m.id.0 > last, "message ids not increasing");
+                }
+                self.last_message = Some(m.id.0);
+                if let Some(f) = m.forum {
+                    assert!(self.forums.contains(&f.0), "post before its forum");
+                }
+                if let Some(p) = m.reply_of {
+                    assert!(self.messages.contains(&p.0), "comment before its parent");
+                }
+                assert!(self.messages.contains(&m.root_post.0) || m.root_post == m.id);
+                self.messages.insert(m.id.0);
+            }
+            fn like(&mut self, l: RawLike) {
+                assert!(self.messages.contains(&l.message.0), "like before message");
+            }
+        }
+
+        let mut c = GeneratorConfig::for_scale(ScaleFactor::by_name("0.001").unwrap());
+        c.persons = 150;
+        let world = StaticWorld::build(c.seed);
+        let persons = crate::person::generate_persons(&c, &world);
+        let knows = crate::knows::generate_knows(&c, &persons);
+        let mut check = OrderCheck::default();
+        generate_activity_into(&c, &world, &persons, &knows, &mut check);
+        assert!(check.messages.len() > 100);
     }
 }

@@ -15,9 +15,9 @@ pub struct RawPerson {
     /// Person id.
     pub id: PersonId,
     /// First name (country- and gender-correlated).
-    pub first_name: String,
+    pub first_name: &'static str,
     /// Surname (country-correlated).
-    pub last_name: String,
+    pub last_name: &'static str,
     /// Gender.
     pub gender: Gender,
     /// Birthday (day precision).

@@ -37,7 +37,9 @@ pub mod turtle;
 use snb_core::datetime::Date;
 use snb_core::scale::ScaleFactor;
 
+pub use activity::{generate_activity_into, ActivitySink};
 pub use graph::RawGraph;
+pub use person::person_chunks;
 
 /// Parameters of a generation run (spec §2.3.3: "Three parameters
 /// determine the generated data: the number of persons, the number of
@@ -157,8 +159,8 @@ mod tests {
         let c2 = tiny_config().with_seed(999);
         let g1 = generate(&c1);
         let g2 = generate(&c2);
-        let names1: Vec<_> = g1.persons.iter().map(|p| p.first_name.clone()).collect();
-        let names2: Vec<_> = g2.persons.iter().map(|p| p.first_name.clone()).collect();
+        let names1: Vec<_> = g1.persons.iter().map(|p| p.first_name).collect();
+        let names2: Vec<_> = g2.persons.iter().map(|p| p.first_name).collect();
         assert_ne!(names1, names2);
     }
 

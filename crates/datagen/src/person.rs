@@ -21,8 +21,28 @@ pub fn generate_persons(config: &GeneratorConfig, world: &StaticWorld) -> Vec<Ra
     (0..config.persons).map(|i| generate_person(config, world, i)).collect()
 }
 
+/// Iterator over persons in fixed-size chunks.
+///
+/// Every person is an independent function of `(seed, index)`, so chunked
+/// generation is bit-identical to [`generate_persons`] while letting an
+/// ingester (e.g. `snb-store`'s streaming builder) consume one chunk at
+/// a time instead of materialising the whole vector.
+pub fn person_chunks<'a>(
+    config: &'a GeneratorConfig,
+    world: &'a StaticWorld,
+    chunk: usize,
+) -> impl Iterator<Item = Vec<RawPerson>> + 'a {
+    let chunk = chunk.max(1) as u64;
+    let n = config.persons;
+    (0..n.div_ceil(chunk)).map(move |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        (lo..hi).map(|i| generate_person(config, world, i)).collect()
+    })
+}
+
 /// Generates person `i` deterministically from `(seed, i)`.
-fn generate_person(config: &GeneratorConfig, world: &StaticWorld, i: u64) -> RawPerson {
+pub fn generate_person(config: &GeneratorConfig, world: &StaticWorld, i: u64) -> RawPerson {
     let mut rng = Rng::derive(config.seed, i, TAG_PERSON);
     let id = PersonId(i);
 
@@ -35,10 +55,9 @@ fn generate_person(config: &GeneratorConfig, world: &StaticWorld, i: u64) -> Raw
         Gender::Male => (MALE_NAMES, &world.male_name_ranks[country]),
         Gender::Female => (FEMALE_NAMES, &world.female_name_ranks[country]),
     };
-    let first_name = pool[ranks[world.name_rank_sampler.sample(&mut rng)] as usize].to_string();
+    let first_name = pool[ranks[world.name_rank_sampler.sample(&mut rng)] as usize];
     let last_name = SURNAMES
-        [world.surname_ranks[country][world.name_rank_sampler.sample(&mut rng)] as usize]
-        .to_string();
+        [world.surname_ranks[country][world.name_rank_sampler.sample(&mut rng)] as usize];
 
     // Birthday: uniform over 1980-01-01 .. 1995-12-31.
     let bday_lo = Date::from_ymd(1980, 1, 1).0;
@@ -230,7 +249,7 @@ mod tests {
             use std::collections::HashMap;
             let mut freq: HashMap<&str, usize> = HashMap::new();
             for p in ps.iter().filter(|p| p.country == country) {
-                *freq.entry(p.first_name.as_str()).or_default() += 1;
+                *freq.entry(p.first_name).or_default() += 1;
             }
             freq.into_iter().max_by_key(|&(_, c)| c).map(|(n, _)| n.to_string()).unwrap_or_default()
         };

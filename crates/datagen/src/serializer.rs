@@ -303,8 +303,8 @@ fn write_dynamic(
                 p.languages.iter().map(|&l| world.languages[l as usize]).collect();
             let mut fields: Vec<String> = vec![
                 id.clone(),
-                p.first_name.clone(),
-                p.last_name.clone(),
+                p.first_name.to_string(),
+                p.last_name.to_string(),
                 p.gender.as_str().to_string(),
                 p.birthday.to_string(),
                 p.creation_date.to_string(),

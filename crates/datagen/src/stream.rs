@@ -14,9 +14,8 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-use rustc_hash::FxHashMap;
 use snb_core::datetime::DateTime;
-use snb_core::model::{MessageId, MessageKind, PersonId};
+use snb_core::model::MessageKind;
 use snb_core::SnbResult;
 
 use crate::dictionaries::{StaticWorld, BROWSERS};
@@ -73,61 +72,81 @@ pub struct TimedEvent {
 
 /// Builds the sorted update-event streams for everything at/after `cut`.
 pub fn build_update_streams(graph: &RawGraph, cut: DateTime) -> Vec<TimedEvent> {
-    let person_created: FxHashMap<PersonId, DateTime> =
-        graph.persons.iter().map(|p| (p.id, p.creation_date)).collect();
-    let forum_created: FxHashMap<_, _> =
-        graph.forums.iter().map(|f| (f.id, f.creation_date)).collect();
-    let message_created: FxHashMap<MessageId, (DateTime, MessageKind)> =
-        graph.messages.iter().map(|m| (m.id, (m.creation_date, m.kind))).collect();
+    let person_created: Vec<DateTime> = graph.persons.iter().map(|p| p.creation_date).collect();
+    let forum_created: Vec<DateTime> = graph.forums.iter().map(|f| f.creation_date).collect();
+    let message_created: Vec<(DateTime, MessageKind)> =
+        graph.messages.iter().map(|m| (m.creation_date, m.kind)).collect();
+    build_update_streams_dense(graph, &person_created, &forum_created, &message_created, cut)
+}
+
+/// [`build_update_streams`] with the creation-date lookups passed in as
+/// dense id-indexed slices (generator ids are sequential, so `id.0` is
+/// the index).
+///
+/// This is the streaming-ingest entry point: the caller materialises
+/// only the *tail* records (the ~10% at/after `cut`) in `tail`, plus the
+/// three creation-date vectors covering **all** entities — a dependant
+/// timestamp may reference a bulk entity the tail graph doesn't hold.
+/// The vectors cost a few bytes per entity instead of a full
+/// [`RawMessage`] per message.
+pub fn build_update_streams_dense(
+    tail: &RawGraph,
+    person_created: &[DateTime],
+    forum_created: &[DateTime],
+    message_created: &[(DateTime, MessageKind)],
+    cut: DateTime,
+) -> Vec<TimedEvent> {
     let zero = DateTime(0);
 
     let mut events = Vec::new();
-    for p in graph.persons.iter().filter(|p| p.creation_date >= cut) {
+    for p in tail.persons.iter().filter(|p| p.creation_date >= cut) {
         events.push(TimedEvent {
             timestamp: p.creation_date,
             dependent: zero,
             event: UpdateEvent::AddPerson(p.clone()),
         });
     }
-    for k in graph.knows.iter().filter(|k| k.creation_date >= cut) {
+    for k in tail.knows.iter().filter(|k| k.creation_date >= cut) {
         events.push(TimedEvent {
             timestamp: k.creation_date,
-            dependent: person_created[&k.a].max(person_created[&k.b]),
+            dependent: person_created[k.a.0 as usize].max(person_created[k.b.0 as usize]),
             event: UpdateEvent::AddKnows(*k),
         });
     }
-    for f in graph.forums.iter().filter(|f| f.creation_date >= cut) {
+    for f in tail.forums.iter().filter(|f| f.creation_date >= cut) {
         events.push(TimedEvent {
             timestamp: f.creation_date,
-            dependent: person_created[&f.moderator],
+            dependent: person_created[f.moderator.0 as usize],
             event: UpdateEvent::AddForum(f.clone()),
         });
     }
-    for m in graph.memberships.iter().filter(|m| m.join_date >= cut) {
+    for m in tail.memberships.iter().filter(|m| m.join_date >= cut) {
         events.push(TimedEvent {
             timestamp: m.join_date,
-            dependent: person_created[&m.person].max(forum_created[&m.forum]),
+            dependent: person_created[m.person.0 as usize]
+                .max(forum_created[m.forum.0 as usize]),
             event: UpdateEvent::AddMembership(*m),
         });
     }
-    for m in graph.messages.iter().filter(|m| m.creation_date >= cut) {
+    for m in tail.messages.iter().filter(|m| m.creation_date >= cut) {
         let (dependent, event) = match m.kind {
             MessageKind::Post => {
-                let dep = person_created[&m.creator]
-                    .max(forum_created[&m.forum.expect("post has forum")]);
+                let dep = person_created[m.creator.0 as usize]
+                    .max(forum_created[m.forum.expect("post has forum").0 as usize]);
                 (dep, UpdateEvent::AddPost(m.clone()))
             }
             MessageKind::Comment => {
                 let parent = m.reply_of.expect("comment has parent");
-                let dep = person_created[&m.creator].max(message_created[&parent].0);
+                let dep = person_created[m.creator.0 as usize]
+                    .max(message_created[parent.0 as usize].0);
                 (dep, UpdateEvent::AddComment(m.clone()))
             }
         };
         events.push(TimedEvent { timestamp: m.creation_date, dependent, event });
     }
-    for l in graph.likes.iter().filter(|l| l.creation_date >= cut) {
-        let (msg_created, kind) = message_created[&l.message];
-        let dependent = person_created[&l.person].max(msg_created);
+    for l in tail.likes.iter().filter(|l| l.creation_date >= cut) {
+        let (msg_created, kind) = message_created[l.message.0 as usize];
+        let dependent = person_created[l.person.0 as usize].max(msg_created);
         let event = match kind {
             MessageKind::Post => UpdateEvent::AddLikePost(*l),
             MessageKind::Comment => UpdateEvent::AddLikeComment(*l),

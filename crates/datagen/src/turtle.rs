@@ -136,8 +136,8 @@ fn write_dynamic(
         let id = p.id.0;
         writeln!(w, "sn:pers{id} rdf:type snvoc:Person ;")?;
         writeln!(w, "    snvoc:id \"{id}\"^^xsd:long ;")?;
-        writeln!(w, "    snvoc:firstName {} ;", ttl_str(&p.first_name))?;
-        writeln!(w, "    snvoc:lastName {} ;", ttl_str(&p.last_name))?;
+        writeln!(w, "    snvoc:firstName {} ;", ttl_str(p.first_name))?;
+        writeln!(w, "    snvoc:lastName {} ;", ttl_str(p.last_name))?;
         writeln!(w, "    snvoc:gender {} ;", ttl_str(p.gender.as_str()))?;
         writeln!(w, "    snvoc:birthday \"{}\"^^xsd:date ;", p.birthday)?;
         writeln!(w, "    snvoc:creationDate {} ;", dt_literal(p.creation_date))?;

@@ -21,9 +21,9 @@ pub fn friends_within_2(store: &Store, p: Ix) -> Vec<Ix> {
 pub fn content_or_image(store: &Store, m: Ix) -> String {
     let content = &store.messages.content[m as usize];
     if content.is_empty() {
-        store.messages.image_file[m as usize].clone()
+        store.messages.image_file[m as usize].to_string()
     } else {
-        content.clone()
+        content.to_string()
     }
 }
 

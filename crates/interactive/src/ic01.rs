@@ -58,9 +58,9 @@ fn to_row(store: &Store, p: Ix, distance: u32) -> Row {
         .map(|(org, year)| {
             let city = store.organisations.place[org as usize];
             (
-                store.organisations.name[org as usize].clone(),
+                store.organisations.name[org as usize].to_string(),
                 year,
-                store.places.name[city as usize].clone(),
+                store.places.name[city as usize].to_string(),
             )
         })
         .collect();
@@ -70,24 +70,24 @@ fn to_row(store: &Store, p: Ix, distance: u32) -> Row {
         .map(|(org, from)| {
             let country = store.organisations.place[org as usize];
             (
-                store.organisations.name[org as usize].clone(),
+                store.organisations.name[org as usize].to_string(),
                 from,
-                store.places.name[country as usize].clone(),
+                store.places.name[country as usize].to_string(),
             )
         })
         .collect();
     Row {
         friend_id: store.persons.id[i],
-        last_name: store.persons.last_name[i].clone(),
+        last_name: store.persons.last_name[i].to_string(),
         distance,
         birthday: store.persons.birthday[i],
         creation_date: store.persons.creation_date[i],
         gender: store.persons.gender[i].as_str().to_string(),
-        browser_used: store.persons.browser[i].clone(),
-        location_ip: store.persons.location_ip[i].clone(),
-        emails: store.persons.emails[i].clone(),
-        languages: store.persons.speaks[i].clone(),
-        city_name: store.places.name[store.persons.city[i] as usize].clone(),
+        browser_used: store.persons.browser[i].to_string(),
+        location_ip: store.persons.location_ip[i].to_string(),
+        emails: store.persons.emails.row_vec(i),
+        languages: store.persons.speaks.row_vec(i),
+        city_name: store.places.name[store.persons.city[i] as usize].to_string(),
         universities,
         companies,
     }
@@ -101,7 +101,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
         if store.persons.first_name[p as usize] != params.first_name {
             continue;
         }
-        let key = (d, store.persons.last_name[p as usize].clone(), store.persons.id[p as usize]);
+        let key = (d, store.persons.last_name[p as usize].to_string(), store.persons.id[p as usize]);
         if !tk.would_accept(&key) {
             continue;
         }
@@ -143,7 +143,7 @@ mod tests {
     fn common_name(s: &Store) -> String {
         use std::collections::HashMap;
         let mut freq: HashMap<&str, usize> = HashMap::new();
-        for n in &s.persons.first_name {
+        for n in s.persons.first_name.iter() {
             *freq.entry(n).or_default() += 1;
         }
         freq.into_iter().max_by_key(|&(_, c)| c).unwrap().0.to_string()

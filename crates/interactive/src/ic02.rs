@@ -70,8 +70,8 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
 fn to_row(store: &Store, f: Ix, m: Ix) -> Row {
     Row {
         person_id: store.persons.id[f as usize],
-        person_first_name: store.persons.first_name[f as usize].clone(),
-        person_last_name: store.persons.last_name[f as usize].clone(),
+        person_first_name: store.persons.first_name[f as usize].to_string(),
+        person_last_name: store.persons.last_name[f as usize].to_string(),
         message_id: store.messages.id[m as usize],
         message_content: content_or_image(store, m),
         message_creation_date: store.messages.creation_date[m as usize],

@@ -89,8 +89,8 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
             }
             let row = Row {
                 person_id: store.persons.id[p as usize],
-                person_first_name: store.persons.first_name[p as usize].clone(),
-                person_last_name: store.persons.last_name[p as usize].clone(),
+                person_first_name: store.persons.first_name[p as usize].to_string(),
+                person_last_name: store.persons.last_name[p as usize].to_string(),
                 x_count: x,
                 y_count: y,
                 count: x + y,
@@ -154,8 +154,8 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         }
         let row = Row {
             person_id: store.persons.id[p as usize],
-            person_first_name: store.persons.first_name[p as usize].clone(),
-            person_last_name: store.persons.last_name[p as usize].clone(),
+            person_first_name: store.persons.first_name[p as usize].to_string(),
+            person_last_name: store.persons.last_name[p as usize].to_string(),
             x_count: x,
             y_count: y,
             count: x + y,

@@ -60,7 +60,7 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
         if before.contains(&tag) {
             continue;
         }
-        let row = Row { tag_name: store.tags.name[tag as usize].clone(), post_count: count };
+        let row = Row { tag_name: store.tags.name[tag as usize].to_string(), post_count: count };
         tk.push((std::cmp::Reverse(count), row.tag_name.clone()), row);
     }
     tk.into_sorted()
@@ -91,7 +91,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         .into_iter()
         .filter(|(tag, _)| !before.contains(tag))
         .map(|(tag, count)| {
-            let row = Row { tag_name: store.tags.name[tag as usize].clone(), post_count: count };
+            let row = Row { tag_name: store.tags.name[tag as usize].to_string(), post_count: count };
             ((std::cmp::Reverse(count), row.tag_name.clone()), row)
         })
         .collect();

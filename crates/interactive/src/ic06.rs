@@ -71,7 +71,7 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
     );
     let mut tk = TopK::new(LIMIT);
     for (t, count) in counts {
-        let row = Row { tag_name: store.tags.name[t as usize].clone(), post_count: count };
+        let row = Row { tag_name: store.tags.name[t as usize].to_string(), post_count: count };
         tk.push((std::cmp::Reverse(count), row.tag_name.clone()), row);
     }
     tk.into_sorted()
@@ -101,7 +101,7 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
     let items: Vec<_> = counts
         .into_iter()
         .map(|(t, count)| {
-            let row = Row { tag_name: store.tags.name[t as usize].clone(), post_count: count };
+            let row = Row { tag_name: store.tags.name[t as usize].to_string(), post_count: count };
             ((std::cmp::Reverse(count), row.tag_name.clone()), row)
         })
         .collect();
@@ -115,7 +115,7 @@ mod tests {
 
     fn busy_tag(s: &Store) -> String {
         let t = (0..s.tags.len() as Ix).max_by_key(|&t| s.tag_message.degree(t)).unwrap();
-        s.tags.name[t as usize].clone()
+        s.tags.name[t as usize].to_string()
     }
 
     #[test]

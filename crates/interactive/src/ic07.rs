@@ -67,8 +67,8 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     for (liker, (date, m)) in latest {
         let row = Row {
             person_id: store.persons.id[liker as usize],
-            person_first_name: store.persons.first_name[liker as usize].clone(),
-            person_last_name: store.persons.last_name[liker as usize].clone(),
+            person_first_name: store.persons.first_name[liker as usize].to_string(),
+            person_last_name: store.persons.last_name[liker as usize].to_string(),
             like_creation_date: date,
             message_id: store.messages.id[m as usize],
             message_content: content_or_image(store, m),
@@ -107,8 +107,8 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         .map(|(liker, (date, m))| {
             let row = Row {
                 person_id: store.persons.id[liker as usize],
-                person_first_name: store.persons.first_name[liker as usize].clone(),
-                person_last_name: store.persons.last_name[liker as usize].clone(),
+                person_first_name: store.persons.first_name[liker as usize].to_string(),
+                person_last_name: store.persons.last_name[liker as usize].to_string(),
                 like_creation_date: date,
                 message_id: store.messages.id[m as usize],
                 message_content: content_or_image(store, m),

@@ -50,11 +50,11 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
                 key,
                 Row {
                     person_id: store.persons.id[replier],
-                    person_first_name: store.persons.first_name[replier].clone(),
-                    person_last_name: store.persons.last_name[replier].clone(),
+                    person_first_name: store.persons.first_name[replier].to_string(),
+                    person_last_name: store.persons.last_name[replier].to_string(),
                     comment_creation_date: date,
                     comment_id: cid,
-                    comment_content: store.messages.content[c as usize].clone(),
+                    comment_content: store.messages.content[c as usize].to_string(),
                 },
             );
         }
@@ -75,11 +75,11 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         let replier = store.messages.creator[c as usize] as usize;
         let row = Row {
             person_id: store.persons.id[replier],
-            person_first_name: store.persons.first_name[replier].clone(),
-            person_last_name: store.persons.last_name[replier].clone(),
+            person_first_name: store.persons.first_name[replier].to_string(),
+            person_last_name: store.persons.last_name[replier].to_string(),
             comment_creation_date: store.messages.creation_date[c as usize],
             comment_id: store.messages.id[c as usize],
-            comment_content: store.messages.content[c as usize].clone(),
+            comment_content: store.messages.content[c as usize].to_string(),
         };
         items.push(((std::cmp::Reverse(row.comment_creation_date), row.comment_id), row));
     }

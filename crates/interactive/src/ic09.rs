@@ -63,8 +63,8 @@ pub fn run_ctx(store: &Store, ctx: &QueryContext, params: &Params) -> Vec<Row> {
                     key,
                     Row {
                         person_id: store.persons.id[p as usize],
-                        person_first_name: store.persons.first_name[p as usize].clone(),
-                        person_last_name: store.persons.last_name[p as usize].clone(),
+                        person_first_name: store.persons.first_name[p as usize].to_string(),
+                        person_last_name: store.persons.last_name[p as usize].to_string(),
                         message_id: store.messages.id[m as usize],
                         message_content: content_or_image(store, m),
                         message_creation_date: t,
@@ -102,8 +102,8 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         }
         let row = Row {
             person_id: store.persons.id[p as usize],
-            person_first_name: store.persons.first_name[p as usize].clone(),
-            person_last_name: store.persons.last_name[p as usize].clone(),
+            person_first_name: store.persons.first_name[p as usize].to_string(),
+            person_last_name: store.persons.last_name[p as usize].to_string(),
             message_id: store.messages.id[m as usize],
             message_content: content_or_image(store, m),
             message_creation_date: store.messages.creation_date[m as usize],

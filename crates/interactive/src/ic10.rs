@@ -73,11 +73,11 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
         let score = common - uncommon;
         let row = Row {
             person_id: store.persons.id[p as usize],
-            person_first_name: store.persons.first_name[p as usize].clone(),
-            person_last_name: store.persons.last_name[p as usize].clone(),
+            person_first_name: store.persons.first_name[p as usize].to_string(),
+            person_last_name: store.persons.last_name[p as usize].to_string(),
             common_interest_score: score,
             person_gender: store.persons.gender[p as usize].as_str().to_string(),
-            person_city_name: store.places.name[store.persons.city[p as usize] as usize].clone(),
+            person_city_name: store.places.name[store.persons.city[p as usize] as usize].to_string(),
         };
         tk.push((std::cmp::Reverse(score), row.person_id), row);
     }
@@ -116,11 +116,11 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         let score = common - uncommon;
         let row = Row {
             person_id: store.persons.id[p as usize],
-            person_first_name: store.persons.first_name[p as usize].clone(),
-            person_last_name: store.persons.last_name[p as usize].clone(),
+            person_first_name: store.persons.first_name[p as usize].to_string(),
+            person_last_name: store.persons.last_name[p as usize].to_string(),
             common_interest_score: score,
             person_gender: store.persons.gender[p as usize].as_str().to_string(),
-            person_city_name: store.places.name[store.persons.city[p as usize] as usize].clone(),
+            person_city_name: store.places.name[store.persons.city[p as usize] as usize].to_string(),
         };
         items.push(((std::cmp::Reverse(score), row.person_id), row));
     }

@@ -60,9 +60,9 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
             }
             let row = Row {
                 person_id: store.persons.id[p as usize],
-                person_first_name: store.persons.first_name[p as usize].clone(),
-                person_last_name: store.persons.last_name[p as usize].clone(),
-                organization_name: store.organisations.name[org as usize].clone(),
+                person_first_name: store.persons.first_name[p as usize].to_string(),
+                person_last_name: store.persons.last_name[p as usize].to_string(),
+                organization_name: store.organisations.name[org as usize].to_string(),
                 organization_work_from_year: from,
             };
             let key = (from, row.person_id, std::cmp::Reverse(row.organization_name.clone()));
@@ -103,9 +103,9 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
             }
             let row = Row {
                 person_id: store.persons.id[p as usize],
-                person_first_name: store.persons.first_name[p as usize].clone(),
-                person_last_name: store.persons.last_name[p as usize].clone(),
-                organization_name: store.organisations.name[org as usize].clone(),
+                person_first_name: store.persons.first_name[p as usize].to_string(),
+                person_last_name: store.persons.last_name[p as usize].to_string(),
+                organization_name: store.organisations.name[org as usize].to_string(),
                 organization_work_from_year: from,
             };
             let key = (from, row.person_id, std::cmp::Reverse(row.organization_name.clone()));

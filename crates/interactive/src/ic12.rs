@@ -67,12 +67,12 @@ pub fn run(store: &Store, params: &Params) -> Vec<Row> {
     let mut tk = TopK::new(LIMIT);
     for (f, (count, tags)) in acc {
         let mut tag_names: Vec<String> =
-            tags.into_iter().map(|t| store.tags.name[t as usize].clone()).collect();
+            tags.into_iter().map(|t| store.tags.name[t as usize].to_string()).collect();
         tag_names.sort();
         let row = Row {
             person_id: store.persons.id[f as usize],
-            person_first_name: store.persons.first_name[f as usize].clone(),
-            person_last_name: store.persons.last_name[f as usize].clone(),
+            person_first_name: store.persons.first_name[f as usize].to_string(),
+            person_last_name: store.persons.last_name[f as usize].to_string(),
             tag_names,
             reply_count: count,
         };
@@ -115,12 +115,12 @@ pub fn run_naive(store: &Store, params: &Params) -> Vec<Row> {
         .into_iter()
         .map(|(f, (count, tags))| {
             let mut tag_names: Vec<String> =
-                tags.into_iter().map(|t| store.tags.name[t as usize].clone()).collect();
+                tags.into_iter().map(|t| store.tags.name[t as usize].to_string()).collect();
             tag_names.sort();
             let row = Row {
                 person_id: store.persons.id[f as usize],
-                person_first_name: store.persons.first_name[f as usize].clone(),
-                person_last_name: store.persons.last_name[f as usize].clone(),
+                person_first_name: store.persons.first_name[f as usize].to_string(),
+                person_last_name: store.persons.last_name[f as usize].to_string(),
                 tag_names,
                 reply_count: count,
             };

@@ -43,11 +43,11 @@ pub mod is1 {
         let Ok(p) = store.person(params.person_id) else { return Vec::new() };
         let i = p as usize;
         vec![Row {
-            first_name: store.persons.first_name[i].clone(),
-            last_name: store.persons.last_name[i].clone(),
+            first_name: store.persons.first_name[i].to_string(),
+            last_name: store.persons.last_name[i].to_string(),
             birthday: store.persons.birthday[i],
-            location_ip: store.persons.location_ip[i].clone(),
-            browser_used: store.persons.browser[i].clone(),
+            location_ip: store.persons.location_ip[i].to_string(),
+            browser_used: store.persons.browser[i].to_string(),
             city_id: store.places.id[store.persons.city[i] as usize],
             gender: store.persons.gender[i].as_str().to_string(),
             creation_date: store.persons.creation_date[i],
@@ -110,8 +110,8 @@ pub mod is2 {
                     message_creation_date: t,
                     original_post_id: store.messages.id[root as usize],
                     original_post_author_id: store.persons.id[author],
-                    original_post_author_first_name: store.persons.first_name[author].clone(),
-                    original_post_author_last_name: store.persons.last_name[author].clone(),
+                    original_post_author_first_name: store.persons.first_name[author].to_string(),
+                    original_post_author_last_name: store.persons.last_name[author].to_string(),
                 },
             );
         }
@@ -151,8 +151,8 @@ pub mod is3 {
             .neighbors(p)
             .map(|(f, d)| Row {
                 person_id: store.persons.id[f as usize],
-                first_name: store.persons.first_name[f as usize].clone(),
-                last_name: store.persons.last_name[f as usize].clone(),
+                first_name: store.persons.first_name[f as usize].to_string(),
+                last_name: store.persons.last_name[f as usize].to_string(),
                 friendship_creation_date: d,
             })
             .collect();
@@ -223,8 +223,8 @@ pub mod is5 {
         let p = store.messages.creator[m as usize] as usize;
         vec![Row {
             person_id: store.persons.id[p],
-            first_name: store.persons.first_name[p].clone(),
-            last_name: store.persons.last_name[p].clone(),
+            first_name: store.persons.first_name[p].to_string(),
+            last_name: store.persons.last_name[p].to_string(),
         }]
     }
 }
@@ -265,10 +265,10 @@ pub mod is6 {
         let moderator = store.forums.moderator[forum as usize] as usize;
         vec![Row {
             forum_id: store.forums.id[forum as usize],
-            forum_title: store.forums.title[forum as usize].clone(),
+            forum_title: store.forums.title[forum as usize].to_string(),
             moderator_id: store.persons.id[moderator],
-            moderator_first_name: store.persons.first_name[moderator].clone(),
-            moderator_last_name: store.persons.last_name[moderator].clone(),
+            moderator_first_name: store.persons.first_name[moderator].to_string(),
+            moderator_last_name: store.persons.last_name[moderator].to_string(),
         }]
     }
 }
@@ -318,11 +318,11 @@ pub mod is7 {
                     author != original_author && store.knows.contains(author, original_author);
                 Row {
                     comment_id: store.messages.id[c as usize],
-                    comment_content: store.messages.content[c as usize].clone(),
+                    comment_content: store.messages.content[c as usize].to_string(),
                     comment_creation_date: store.messages.creation_date[c as usize],
                     reply_author_id: store.persons.id[author as usize],
-                    reply_author_first_name: store.persons.first_name[author as usize].clone(),
-                    reply_author_last_name: store.persons.last_name[author as usize].clone(),
+                    reply_author_first_name: store.persons.first_name[author as usize].to_string(),
+                    reply_author_last_name: store.persons.last_name[author as usize].to_string(),
                     reply_author_knows_original: knows,
                 }
             })

@@ -107,7 +107,7 @@ impl<'a> ParamGen<'a> {
     }
 
     fn country_name(&self, c: Ix) -> String {
-        self.store.places.name[c as usize].clone()
+        self.store.places.name[c as usize].to_string()
     }
 
     /// Curated bindings for BI query `query` (1–25).
@@ -183,7 +183,7 @@ impl<'a> ParamGen<'a> {
                     .into_iter()
                     .map(|(cl, co)| {
                         BiParams::Q4(snb_bi::bi04::Params {
-                            tag_class: s.tag_classes.name[cl as usize].clone(),
+                            tag_class: s.tag_classes.name[cl as usize].to_string(),
                             country: self.country_name(co),
                         })
                     })
@@ -198,21 +198,21 @@ impl<'a> ParamGen<'a> {
                 .pick_bindings(&self.tags_with_messages(), n, curated, 6)
                 .into_iter()
                 .map(|t| {
-                    BiParams::Q6(snb_bi::bi06::Params { tag: s.tags.name[t as usize].clone() })
+                    BiParams::Q6(snb_bi::bi06::Params { tag: s.tags.name[t as usize].to_string() })
                 })
                 .collect(),
             7 => self
                 .pick_bindings(&self.tags_with_messages(), n, curated, 7)
                 .into_iter()
                 .map(|t| {
-                    BiParams::Q7(snb_bi::bi07::Params { tag: s.tags.name[t as usize].clone() })
+                    BiParams::Q7(snb_bi::bi07::Params { tag: s.tags.name[t as usize].to_string() })
                 })
                 .collect(),
             8 => self
                 .pick_bindings(&self.tags_with_messages(), n, curated, 8)
                 .into_iter()
                 .map(|t| {
-                    BiParams::Q8(snb_bi::bi08::Params { tag: s.tags.name[t as usize].clone() })
+                    BiParams::Q8(snb_bi::bi08::Params { tag: s.tags.name[t as usize].to_string() })
                 })
                 .collect(),
             9 => {
@@ -227,8 +227,8 @@ impl<'a> ParamGen<'a> {
                     .into_iter()
                     .map(|(c1, c2)| {
                         BiParams::Q9(snb_bi::bi09::Params {
-                            tag_class1: s.tag_classes.name[c1 as usize].clone(),
-                            tag_class2: s.tag_classes.name[c2 as usize].clone(),
+                            tag_class1: s.tag_classes.name[c1 as usize].to_string(),
+                            tag_class2: s.tag_classes.name[c2 as usize].to_string(),
                             threshold: 0,
                         })
                     })
@@ -239,7 +239,7 @@ impl<'a> ParamGen<'a> {
                 .into_iter()
                 .map(|t| {
                     BiParams::Q10(snb_bi::bi10::Params {
-                        tag: s.tags.name[t as usize].clone(),
+                        tag: s.tags.name[t as usize].to_string(),
                         date: Date::from_ymd(2011, 1, 1),
                     })
                 })
@@ -290,7 +290,7 @@ impl<'a> ParamGen<'a> {
                         BiParams::Q16(snb_bi::bi16::Params {
                             person_id: s.persons.id[p as usize],
                             country: self.country_name(co),
-                            tag_class: s.tag_classes.name[cl as usize].clone(),
+                            tag_class: s.tag_classes.name[cl as usize].to_string(),
                             min_path_distance: 1,
                             max_path_distance: 2,
                         })
@@ -326,8 +326,8 @@ impl<'a> ParamGen<'a> {
                     .map(|(c1, c2)| {
                         BiParams::Q19(snb_bi::bi19::Params {
                             date: Date::from_ymd(1984, 1, 1),
-                            tag_class1: s.tag_classes.name[c1 as usize].clone(),
-                            tag_class2: s.tag_classes.name[c2 as usize].clone(),
+                            tag_class1: s.tag_classes.name[c1 as usize].to_string(),
+                            tag_class2: s.tag_classes.name[c2 as usize].to_string(),
                         })
                     })
                     .collect()
@@ -341,7 +341,7 @@ impl<'a> ParamGen<'a> {
                             .cycle()
                             .skip(i)
                             .take(4)
-                            .map(|&(c, _)| s.tag_classes.name[c as usize].clone())
+                            .map(|&(c, _)| s.tag_classes.name[c as usize].to_string())
                             .collect();
                         BiParams::Q20(snb_bi::bi20::Params { tag_classes: names })
                     })
@@ -385,7 +385,7 @@ impl<'a> ParamGen<'a> {
                 .into_iter()
                 .map(|c| {
                     BiParams::Q24(snb_bi::bi24::Params {
-                        tag_class: s.tag_classes.name[c as usize].clone(),
+                        tag_class: s.tag_classes.name[c as usize].to_string(),
                     })
                 })
                 .collect(),
@@ -444,7 +444,7 @@ impl<'a> ParamGen<'a> {
             1 => {
                 // Common first names as the name parameter.
                 let mut freq: rustc_hash::FxHashMap<&str, u64> = rustc_hash::FxHashMap::default();
-                for name in &s.persons.first_name {
+                for name in s.persons.first_name.iter() {
                     *freq.entry(name).or_insert(0) += 1;
                 }
                 let cands: Vec<(String, u64)> =
@@ -511,7 +511,7 @@ impl<'a> ParamGen<'a> {
                     .map(|(i, t)| {
                         IcParams::Q6(snb_interactive::ic06::Params {
                             person_id: pid(i),
-                            tag_name: s.tags.name[t as usize].clone(),
+                            tag_name: s.tags.name[t as usize].to_string(),
                         })
                     })
                     .collect()
@@ -558,7 +558,7 @@ impl<'a> ParamGen<'a> {
                             person_id: pid(i),
                             tag_class_name: s.tag_classes.name
                                 [classes[i % classes.len()].0 as usize]
-                                .clone(),
+                                .to_string(),
                         })
                     })
                     .collect()

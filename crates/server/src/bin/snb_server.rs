@@ -7,7 +7,7 @@
 //!            [--write-cap N] [--short-weight N] [--shed-oldest]
 //!            [--deadline-ms N] [--short-deadline-ms N] [--profile]
 //!            [--wal-dir PATH] [--fsync-every N] [--snapshot-every N]
-//!            [--conn-timeout-ms N] [--partitions N] [--group-commit]
+//!            [--image] [--conn-timeout-ms N] [--partitions N] [--group-commit]
 //!            [--repl-port N] [--follower] [--replicate-from ADDR]
 //! snb-server --promote REPL_ADDR [--announce-repl ADDR]
 //!            [--announce-client ADDR] [--siblings A,B,..] [--epoch-floor N]
@@ -33,10 +33,15 @@
 //! (snapshot + WAL tail, torn records truncated) before the listener
 //! opens, and every acknowledged batch is WAL-appended first. The
 //! recovery summary is printed as `recovered seq=N ...` on stdout
-//! (including `replayed=` and `recovery_ms=`) so chaos harnesses can
-//! assert on it, and the same numbers open the access log as its
-//! preamble record. Fault injection arms from `$SNB_FAULTS` /
-//! `$SNB_FAULT_SEED` (see `snb_fault`).
+//! (including `replayed=`, `recovery_ms=`, and — when a store image
+//! anchored the rebuild — `image_seq=`/`image_ms=`/`tail_replayed=`)
+//! so chaos harnesses can assert on it, and the same numbers open the
+//! access log as its preamble record. `--image` writes a checksummed
+//! store image (`store.img`) at every compaction point and truncates
+//! the snapshot log behind it, bounding recovery by the image plus the
+//! WAL tail instead of the full history; recovery *uses* any existing
+//! image regardless of the flag. Fault injection arms from
+//! `$SNB_FAULTS` / `$SNB_FAULT_SEED` (see `snb_fault`).
 //!
 //! Replication (requires `--wal-dir`): `--repl-port N` opens the
 //! log-shipping listener, announced as `replication on 127.0.0.1:PORT`
@@ -162,6 +167,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fsync-every" => wal.fsync_every = parse("--fsync-every", argv.next())?.max(1),
             "--snapshot-every" => wal.snapshot_every = parse("--snapshot-every", argv.next())?,
+            "--image" => wal.image = true,
             "--partitions" => {
                 server.partitions = parse("--partitions", argv.next())?.max(1) as usize;
             }
@@ -297,7 +303,7 @@ fn main() {
         // Harness contract: one recovery summary line on stdout.
         println!(
             "recovered seq={} snapshot_entries={} wal_entries={} truncated_bytes={} \
-             replayed={} recovery_ms={} epoch={}",
+             replayed={} recovery_ms={} epoch={} image_seq={} image_ms={} tail_replayed={}",
             report.last_seq,
             report.snapshot_entries,
             report.wal_entries,
@@ -305,6 +311,9 @@ fn main() {
             report.replayed(),
             report.recovery_us / 1000,
             report.epoch,
+            report.image_seq,
+            report.image_us / 1000,
+            report.tail_replayed,
         );
         let server = Server::start_durable(store, args.server.clone(), durability);
         // The same numbers open the access log, so catch-up time is
@@ -313,6 +322,8 @@ fn main() {
             report.replayed(),
             report.recovery_us,
             report.last_seq,
+            report.image_seq,
+            report.image_us,
         );
         server
     } else {

@@ -26,6 +26,14 @@ use crate::proto::{
 // Small composite helpers.
 // ---------------------------------------------------------------------
 
+/// Interns `s` in the global store dictionary and returns the leaked
+/// `&'static str` — decoded wire values whose domain is a bounded
+/// dictionary (person names) borrow the interner's copy.
+fn intern_static(s: &str) -> &'static str {
+    let it = snb_store::interner();
+    it.resolve(it.intern(s))
+}
+
 fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
     match v {
         None => put_u8(buf, 0),
@@ -115,8 +123,11 @@ fn encode_person(buf: &mut Vec<u8>, p: &RawPerson) {
 fn decode_person(r: &mut Reader<'_>) -> Result<RawPerson, DecodeError> {
     Ok(RawPerson {
         id: PersonId(r.u64()?),
-        first_name: r.string()?,
-        last_name: r.string()?,
+        // Names come from the generator's static pools, so routing the
+        // decode through the interner (whose dictionary they already
+        // populate) hands back `&'static str` without a per-event leak.
+        first_name: intern_static(&r.string()?),
+        last_name: intern_static(&r.string()?),
         gender: match r.u8()? {
             0 => Gender::Male,
             1 => Gender::Female,

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod image;
 pub mod log;
 pub mod proto;
 pub mod queue;
@@ -40,6 +41,7 @@ pub mod retry;
 pub mod server;
 pub mod wal;
 
+pub use image::{image_info, load_image, write_image, ImageHeader, IMAGE_FILE};
 pub use log::{AccessLog, AccessRecord};
 pub use proto::{
     ErrorBody, ErrorKind, Lane, OkBody, ReplFrame, Request, RequestHeader, Response, ServiceParams,

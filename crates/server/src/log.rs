@@ -119,22 +119,31 @@ impl AccessLog {
     /// Records the startup-recovery summary as the log's preamble:
     /// `outcome: "recovered"`, `rows` = records replayed through the
     /// apply path, `exec_us` = recovery wall-clock, `fingerprint` = the
-    /// recovered sequence high-water mark. Replication catch-up time is
-    /// measured against this baseline, so it lives in the same log the
-    /// requests do.
-    pub fn push_recovery_preamble(&self, replayed: u64, recovery_us: u64, last_seq: u64) {
+    /// recovered sequence high-water mark, `store_version` = the store
+    /// image's sequence (0 when recovery rebuilt from scratch), and
+    /// `queue_us` = the image decode time within the recovery
+    /// wall-clock. Replication catch-up time is measured against this
+    /// baseline, so it lives in the same log the requests do.
+    pub fn push_recovery_preamble(
+        &self,
+        replayed: u64,
+        recovery_us: u64,
+        last_seq: u64,
+        image_seq: u64,
+        image_us: u64,
+    ) {
         self.push(AccessRecord {
             seq: self.next_seq(),
             workload: "",
             query: 0,
             binding_hash: 0,
             lane: "",
-            queue_us: 0,
+            queue_us: image_us,
             exec_us: recovery_us,
             outcome: "recovered",
             rows: replayed,
             fingerprint: last_seq,
-            store_version: 0,
+            store_version: image_seq,
             snapshot_age_us: 0,
             profile: None,
         });
@@ -220,13 +229,15 @@ mod tests {
     #[test]
     fn recovery_preamble_is_a_normal_record() {
         let log = AccessLog::new();
-        log.push_recovery_preamble(42, 1_500, 37);
+        log.push_recovery_preamble(42, 1_500, 37, 30, 800);
         let snap = log.snapshot();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].outcome, "recovered");
         assert_eq!(snap[0].rows, 42, "rows carries the replayed-record count");
         assert_eq!(snap[0].exec_us, 1_500, "exec_us carries the recovery wall-clock");
         assert_eq!(snap[0].fingerprint, 37, "fingerprint carries the recovered seq");
+        assert_eq!(snap[0].store_version, 30, "store_version carries the image seq");
+        assert_eq!(snap[0].queue_us, 800, "queue_us carries the image decode time");
         assert!(log.render_jsonl().contains("\"outcome\": \"recovered\""));
     }
 

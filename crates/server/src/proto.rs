@@ -1005,6 +1005,13 @@ const REPL_PROMOTE: u8 = 5;
 const REPL_PROMOTED: u8 = 6;
 const REPL_DENY: u8 = 7;
 const REPL_ANNOUNCE: u8 = 8;
+const REPL_IMAGE_OFFER: u8 = 9;
+const REPL_IMAGE_CHUNK: u8 = 10;
+
+/// Largest `data` run carried by a single [`ReplFrame::ImageChunk`].
+/// Comfortably under [`MAX_FRAME`] (1 MiB) with headroom for the frame
+/// envelope, version byte, tag, and offset.
+pub const IMAGE_CHUNK_BYTES: usize = 256 * 1024;
 
 /// One frame of the log-shipping protocol, spoken on the replication
 /// listener (a separate port from query traffic). A follower opens the
@@ -1127,6 +1134,39 @@ pub enum ReplFrame {
         /// hint for clients).
         client_addr: String,
     },
+    /// Primary → follower: "instead of replaying the whole history,
+    /// here comes a store image covering everything through `seq`".
+    /// Sent before any `Record` when the subscriber's `from_seq` is so
+    /// far behind the primary's image that log replay would be slower
+    /// (or the shipped tail no longer reaches back that far). The raw
+    /// image file follows as [`ReplFrame::ImageChunk`]s; after `len`
+    /// bytes have been shipped the primary resumes normal `Record`
+    /// shipping from `seq`. The follower assembles the blob, verifies
+    /// `checksum` (FNV-1a 64 over the whole file), installs it
+    /// atomically, and only then applies the tail.
+    ImageOffer {
+        /// The image covers every write with sequence ≤ this.
+        seq: u64,
+        /// The fencing epoch the image was written under.
+        epoch: u64,
+        /// Total image file length in bytes (header + body).
+        len: u64,
+        /// FNV-1a 64 of the whole file, checked after reassembly.
+        checksum: u64,
+        /// The shipping primary's current fencing epoch.
+        primary_epoch: u64,
+    },
+    /// Primary → follower: one run of image bytes at `offset` within
+    /// the blob promised by the preceding [`ReplFrame::ImageOffer`].
+    /// Runs are shipped in order and are at most
+    /// [`IMAGE_CHUNK_BYTES`] long, so every frame stays well under
+    /// [`MAX_FRAME`].
+    ImageChunk {
+        /// Byte offset of `data` within the image file.
+        offset: u64,
+        /// The raw bytes.
+        data: Vec<u8>,
+    },
 }
 
 /// Serialises a replication frame into a frame payload (no length
@@ -1186,6 +1226,20 @@ pub fn encode_repl(frame: &ReplFrame) -> Vec<u8> {
             put_str(&mut buf, repl_addr);
             put_str(&mut buf, client_addr);
         }
+        ReplFrame::ImageOffer { seq, epoch, len, checksum, primary_epoch } => {
+            put_u8(&mut buf, REPL_IMAGE_OFFER);
+            put_u64(&mut buf, *seq);
+            put_u64(&mut buf, *epoch);
+            put_u64(&mut buf, *len);
+            put_u64(&mut buf, *checksum);
+            put_u64(&mut buf, *primary_epoch);
+        }
+        ReplFrame::ImageChunk { offset, data } => {
+            put_u8(&mut buf, REPL_IMAGE_CHUNK);
+            put_u64(&mut buf, *offset);
+            put_u32(&mut buf, data.len() as u32);
+            buf.extend_from_slice(data);
+        }
     }
     buf
 }
@@ -1236,6 +1290,24 @@ pub fn decode_repl(payload: &[u8]) -> Result<ReplFrame, DecodeError> {
             repl_addr: r.string()?,
             client_addr: r.string()?,
         },
+        REPL_IMAGE_OFFER => ReplFrame::ImageOffer {
+            seq: r.u64()?,
+            epoch: r.u64()?,
+            len: r.u64()?,
+            checksum: r.u64()?,
+            primary_epoch: r.u64()?,
+        },
+        REPL_IMAGE_CHUNK => {
+            let offset = r.u64()?;
+            let n = r.u32()? as usize;
+            if n > IMAGE_CHUNK_BYTES {
+                return Err(r.err(format!(
+                    "image chunk of {n} bytes exceeds maximum {IMAGE_CHUNK_BYTES}"
+                )));
+            }
+            let data = r.take(n)?.to_vec();
+            ReplFrame::ImageChunk { offset, data }
+        }
         other => return Err(r.err(format!("unknown replication frame tag {other}"))),
     };
     r.finish()?;
@@ -1593,6 +1665,15 @@ mod tests {
                 repl_addr: "127.0.0.1:7001".into(),
                 client_addr: "127.0.0.1:7000".into(),
             },
+            ReplFrame::ImageOffer {
+                seq: 640,
+                epoch: 3,
+                len: 1 << 22,
+                checksum: 0xdead_beef_cafe_f00d,
+                primary_epoch: 4,
+            },
+            ReplFrame::ImageChunk { offset: 262_144, data: vec![0xab; 97] },
+            ReplFrame::ImageChunk { offset: 0, data: Vec::new() },
         ]
     }
 
@@ -1636,6 +1717,16 @@ mod tests {
         put_u8(&mut buf, REPL_VERSION);
         put_u8(&mut buf, 99);
         assert!(decode_repl(&buf).is_err());
+
+        // An image chunk claiming more than the chunk ceiling is
+        // refused before allocation, even if the bytes were present.
+        let mut big = Vec::new();
+        put_u8(&mut big, REPL_VERSION);
+        put_u8(&mut big, REPL_IMAGE_CHUNK);
+        put_u64(&mut big, 0);
+        put_u32(&mut big, IMAGE_CHUNK_BYTES as u32 + 1);
+        big.resize(big.len() + IMAGE_CHUNK_BYTES + 1, 0);
+        assert!(decode_repl(&big).is_err());
 
         // Transport layer is shared with queries, so the oversized /
         // mid-frame-disconnect behaviour pinned there applies here: an

@@ -107,6 +107,7 @@ struct FollowerState {
     primary_seq: AtomicU64,
     heartbeat_timeouts: AtomicU64,
     resubscribed: AtomicU64,
+    image_bootstraps: AtomicU64,
 }
 
 /// Point-in-time snapshot of a follower's replication progress.
@@ -141,6 +142,9 @@ pub struct FollowerStatus {
     /// Times the applier re-subscribed to a *different* primary than
     /// the one it was following (automatic failover re-pointing).
     pub resubscribed: u64,
+    /// Store images received, verified, and installed in place of log
+    /// replay (cold-follower bootstrap).
+    pub image_bootstraps: u64,
 }
 
 impl FollowerStatus {
@@ -174,6 +178,7 @@ impl FollowerHandle {
             applied_seq: self.inner.applied_seq(),
             heartbeat_timeouts: self.state.heartbeat_timeouts.load(Ordering::Relaxed),
             resubscribed: self.state.resubscribed.load(Ordering::Relaxed),
+            image_bootstraps: self.state.image_bootstraps.load(Ordering::Relaxed),
         }
     }
 
@@ -252,6 +257,7 @@ impl Server {
             primary_seq: AtomicU64::new(0),
             heartbeat_timeouts: AtomicU64::new(0),
             resubscribed: AtomicU64::new(0),
+            image_bootstraps: AtomicU64::new(0),
         });
         let inner = Arc::clone(self.inner());
         let thread = {
@@ -495,6 +501,14 @@ fn ship_loop(
     from_seq: u64,
     group_commit: bool,
 ) {
+    // Cold (or far-behind) subscriber with a store image on disk:
+    // ship the image first and tail from its sequence instead of
+    // replaying the whole history — the snapshot log behind the image
+    // has been truncated, so the log alone can't reach back that far.
+    let from_seq = match ship_image(inner, stream, config, from_seq) {
+        Some(seq) => seq,
+        None => return, // dead peer mid-bootstrap
+    };
     let mut tailer =
         WalTailer::new(&config.wal_dir, &config.scale, config.seed, config.partitions, from_seq);
     // The backlog target is pinned at subscribe time: once the cursor
@@ -552,6 +566,63 @@ fn ship_loop(
             std::thread::sleep(POLL_INTERVAL);
         }
     }
+}
+
+/// Offers this node's store image to a subscriber whose `from_seq`
+/// predates it: the raw file bytes go out as one
+/// [`ReplFrame::ImageOffer`] followed by in-order
+/// [`ReplFrame::ImageChunk`]s. Returns the sequence to tail records
+/// from — the image's if one was shipped, the subscriber's own
+/// otherwise — or `None` if the peer died mid-transfer. Any local
+/// image problem (unreadable, superseded mid-read, corrupt) falls back
+/// to plain log shipping rather than killing the subscription.
+fn ship_image(
+    inner: &Arc<ServerInner>,
+    stream: &mut TcpStream,
+    config: &ReplicationConfig,
+    from_seq: u64,
+) -> Option<u64> {
+    match crate::image::image_info(&config.wal_dir, &config.scale, config.seed) {
+        Ok(Some(info)) if info.seq > from_seq => {}
+        _ => return Some(from_seq),
+    }
+    let Ok(bytes) = crate::image::read_image_bytes(&config.wal_dir) else {
+        return Some(from_seq);
+    };
+    // Stamp the offer from the bytes actually being shipped — the file
+    // can be superseded by an atomic rename between stat and read.
+    let Ok(header) = crate::image::peek_header(&bytes, &config.scale, config.seed) else {
+        return Some(from_seq);
+    };
+    if header.seq <= from_seq {
+        return Some(from_seq);
+    }
+    let offer = ReplFrame::ImageOffer {
+        seq: header.seq,
+        epoch: header.epoch,
+        len: bytes.len() as u64,
+        checksum: snb_store::image_fnv64(&bytes),
+        primary_epoch: inner.epoch(),
+    };
+    if write_frame(stream, &encode_repl(&offer)).is_err() {
+        return None;
+    }
+    for (i, chunk) in bytes.chunks(crate::proto::IMAGE_CHUNK_BYTES).enumerate() {
+        let frame = ReplFrame::ImageChunk {
+            offset: (i * crate::proto::IMAGE_CHUNK_BYTES) as u64,
+            data: chunk.to_vec(),
+        };
+        if write_frame(stream, &encode_repl(&frame)).is_err() {
+            return None;
+        }
+    }
+    eprintln!(
+        "repl: shipped image seq={} epoch={} bytes={} to subscriber at from_seq={from_seq}",
+        header.seq,
+        header.epoch,
+        bytes.len()
+    );
+    Some(header.seq)
 }
 
 /// The follower applier: connect → `Hello` from the local applied seq →
@@ -631,6 +702,9 @@ fn apply_stream(
     let mut buf: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 16 * 1024];
     let mut last_heard = Instant::now();
+    // In-flight image bootstrap: promised (len, checksum) from the
+    // offer plus the bytes assembled so far.
+    let mut image: Option<(u64, u64, Vec<u8>)> = None;
     loop {
         loop {
             let payload = match take_frame(&mut buf) {
@@ -713,6 +787,66 @@ fn apply_stream(
                     eprintln!("repl: subscription denied by {connected_to}: {detail}");
                     state.denied.store(true, Ordering::Release);
                     return;
+                }
+                ReplFrame::ImageOffer { seq, epoch: _, len, checksum, primary_epoch } => {
+                    if primary_epoch < inner.epoch() {
+                        eprintln!(
+                            "repl: dropping subscription to {connected_to}: image offer epoch {primary_epoch} < known {}",
+                            inner.epoch()
+                        );
+                        return;
+                    }
+                    inner.observe_epoch(primary_epoch);
+                    // The image file is the whole store; anything past a
+                    // few GiB is a framing bug, not a bigger store.
+                    if len == 0 || len > (4u64 << 30) {
+                        eprintln!("repl: refusing implausible image offer of {len} bytes");
+                        return;
+                    }
+                    state.primary_seq.fetch_max(seq, Ordering::AcqRel);
+                    image = Some((len, checksum, Vec::with_capacity(len as usize)));
+                }
+                ReplFrame::ImageChunk { offset, data } => {
+                    let complete = {
+                        let Some((len, _, assembled)) = image.as_mut() else {
+                            // Chunk with no offer: protocol violation.
+                            return;
+                        };
+                        if offset != assembled.len() as u64
+                            || (assembled.len() + data.len()) as u64 > *len
+                        {
+                            // Out-of-order or overlong run: drop the
+                            // stream and re-Hello from scratch.
+                            return;
+                        }
+                        assembled.extend_from_slice(&data);
+                        assembled.len() as u64 == *len
+                    };
+                    if complete {
+                        let (len, checksum, assembled) = image.take().expect("complete image");
+                        if snb_store::image_fnv64(&assembled) != checksum {
+                            eprintln!(
+                                "repl: shipped image failed its checksum after reassembly; re-subscribing"
+                            );
+                            return;
+                        }
+                        match inner.install_image(&assembled) {
+                            Ok(header) => {
+                                state.image_bootstraps.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "repl: bootstrapped from shipped image seq={} epoch={} bytes={len}",
+                                    header.seq, header.epoch
+                                );
+                            }
+                            Err(e) => {
+                                // An image at or below our own applied
+                                // seq is not progress; the record tail
+                                // that follows simply dedupes. Log and
+                                // keep the subscription either way.
+                                eprintln!("repl: shipped image not installed: {e:?}");
+                            }
+                        }
+                    }
                 }
                 // Hello/Promote/Promoted/Announce are never primary→follower.
                 _ => return,

@@ -1153,6 +1153,9 @@ impl ServerInner {
                             // Compaction sealed every segment first.
                             self.note_flushed(state.wal.last_seq());
                         }
+                        if rotated && state.wal.options().image {
+                            self.write_store_image(&mut state, batch.seq);
+                        }
                     }
                     Err(_) => {
                         self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
@@ -1195,6 +1198,71 @@ impl ServerInner {
                 ))
             }
         }
+    }
+
+    /// Writes a store image at a compaction point. Called under the
+    /// durability lock right after `maybe_snapshot` rotated, so the
+    /// published store is exactly the state at `seq` (no other writer
+    /// can publish while the lock is held) and the just-compacted
+    /// `snapshot.log` is fully covered by the image — it gets truncated
+    /// behind it. Failure is non-fatal: the log-only layout remains
+    /// complete and recovery still replays everything.
+    fn write_store_image(&self, state: &mut DurableState, seq: u64) {
+        let snapshot = self.store.snapshot();
+        let store: &Store = snapshot.store();
+        let (dir, scale, seed) =
+            (state.wal.dir().to_path_buf(), state.wal.scale().to_string(), state.wal.seed());
+        let result = crate::image::write_image(
+            &dir,
+            &scale,
+            seed,
+            state.wal.epoch(),
+            seq,
+            state.wal.segment_count(),
+            store,
+        )
+        .and_then(|_| state.wal.reset_snapshot_log());
+        if result.is_err() {
+            self.counters.internal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Installs a shipped store image (follower bootstrap): verifies and
+    /// persists the blob into the WAL directory, resets the log behind
+    /// it (every held record is at or below the image's sequence), and
+    /// publishes the decoded store wholesale. After this the node
+    /// resumes applying shipped records from `header.seq + 1`.
+    pub(crate) fn install_image(&self, bytes: &[u8]) -> SnbResult<crate::image::ImageHeader> {
+        let Some(durable) = &self.durable else {
+            return Err(SnbError::Config(
+                "image bootstrap requires a WAL directory (start with --wal-dir)".into(),
+            ));
+        };
+        let mut state = durable.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dir = state.wal.dir().to_path_buf();
+        let scale = state.wal.scale().to_string();
+        let seed = state.wal.seed();
+        // Land the image atomically first: a crash between this and the
+        // WAL reset recovers image + stale log records, all of which
+        // dedupe away (every held seq <= image seq).
+        let (store, header) = crate::image::install_image_bytes(&dir, &scale, seed, bytes)?;
+        if header.seq < self.applied_seq() {
+            return Err(SnbError::Config(format!(
+                "refusing image at seq {} older than applied seq {}",
+                header.seq,
+                self.applied_seq()
+            )));
+        }
+        state.wal.reset_for_image(header.seq, header.epoch)?;
+        let parts = self.store.snapshot().store().partitions();
+        self.store.publish_with(|next| {
+            *next = PartitionedStore::new(store, parts);
+            Ok(())
+        })?;
+        self.last_applied_seq.store(header.seq, Ordering::Release);
+        self.flushed_seq.fetch_max(header.seq, Ordering::AcqRel);
+        self.observe_epoch(header.epoch);
+        Ok(header)
     }
 
     /// Records a completed flush covering everything appended up to

@@ -117,11 +117,24 @@ pub struct WalOptions {
     /// acknowledgements. Off, appends sync per `fsync_every` exactly as
     /// before.
     pub group_commit: bool,
+    /// Write a store image (`store.img`, see [`crate::image`]) at every
+    /// compaction point and truncate `snapshot.log` behind it, so
+    /// recovery cost is bounded by live-data size instead of history
+    /// length. Off by default: the classic log-only layout (recovery
+    /// replays full history) is unchanged, and any *existing* image in
+    /// the directory is still used by [`recover`].
+    pub image: bool,
 }
 
 impl Default for WalOptions {
     fn default() -> Self {
-        WalOptions { fsync_every: 1, snapshot_every: 4096, partitions: 1, group_commit: false }
+        WalOptions {
+            fsync_every: 1,
+            snapshot_every: 4096,
+            partitions: 1,
+            group_commit: false,
+            image: false,
+        }
     }
 }
 
@@ -165,6 +178,19 @@ pub struct RecoveryReport {
     /// bump_epoch`] may leave mixed headers, and the bumped value must
     /// win to keep the term monotonic).
     pub epoch: u64,
+    /// Sequence number of the store image recovery started from (0 when
+    /// no image was found and the bulk store was rebuilt from scratch).
+    pub image_seq: u64,
+    /// Wall-clock microseconds spent loading and decoding the store
+    /// image (0 when no image was used).
+    pub image_us: u64,
+    /// Records actually applied on top of the starting point (image or
+    /// bulk rebuild). Without an image this equals [`RecoveryReport::
+    /// replayed`]; with one, scanned-but-stale records (`seq <=
+    /// image_seq`, e.g. a `snapshot.log` not yet truncated behind the
+    /// image) are counted by `snapshot_entries`/`wal_entries` but not
+    /// here.
+    pub tail_replayed: u64,
 }
 
 impl RecoveryReport {
@@ -671,6 +697,41 @@ impl SegmentedWal {
         self.options
     }
 
+    /// The directory the log (and any store image) lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The scale name the log's headers are bound to.
+    pub fn scale(&self) -> &str {
+        &self.scale
+    }
+
+    /// The generator seed the log's headers are bound to.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Truncates `snapshot.log` back to a bare header. Called after a
+    /// store image lands: the image supersedes the compacted history, so
+    /// keeping it would only make the next recovery scan-and-skip it. A
+    /// crash *before* this truncation is benign — recovery dedupes
+    /// every snapshot record at or below the image's sequence number.
+    pub fn reset_snapshot_log(&mut self) -> SnbResult<()> {
+        let snap_path = self.dir.join(SNAP_FILE);
+        if !snap_path.exists() {
+            return Ok(());
+        }
+        let mut header = Vec::new();
+        write_header(&mut header, SNAP_MAGIC, &self.scale, self.seed, self.epoch);
+        let mut f = OpenOptions::new().write(true).open(&snap_path)?;
+        f.set_len(0)?;
+        f.seek(SeekFrom::Start(0))?;
+        f.write_all(&header)?;
+        f.sync_data()?;
+        Ok(())
+    }
+
     /// Total `fsync(2)` calls issued for appended records (the
     /// group-commit metric: appends ÷ syncs is the sharing factor).
     pub fn syncs(&self) -> u64 {
@@ -745,6 +806,27 @@ impl SegmentedWal {
         for seg in &mut self.segments {
             seg.sync()?;
         }
+        self.appends_since_sync = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Resets the whole log behind a freshly installed store image at
+    /// `image_seq` (follower bootstrap): every segment and the snapshot
+    /// drop to a bare header — each record they held is at or below the
+    /// image's sequence and superseded by it — the epoch is raised to
+    /// the image's, and appends resume from `image_seq`. Crash-safe in
+    /// either order with the image landing: image + stale records
+    /// recovers by dedupe, image + bare log recovers directly.
+    pub fn reset_for_image(&mut self, image_seq: u64, epoch: u64) -> SnbResult<()> {
+        self.bump_epoch(epoch)?;
+        for seg in &mut self.segments {
+            seg.reset_to_header()?;
+            seg.last_seq = image_seq;
+        }
+        self.reset_snapshot_log()?;
+        self.last_seq = image_seq;
+        self.live_entries = 0;
         self.appends_since_sync = 0;
         self.unsynced = 0;
         Ok(())
@@ -850,30 +932,56 @@ pub fn recover(
     let recovery_started = std::time::Instant::now();
     std::fs::create_dir_all(dir)?;
     guard_layout(dir, options.partitions.max(1))?;
-    let (mut store, _) = snb_store::bulk_store_and_stream(config);
     let world = StaticWorld::build(config.seed);
     let mut report = RecoveryReport::default();
 
-    let apply = |store: &mut Store, entry: &WalEntry, last_seq: &mut u64| -> SnbResult<()> {
-        // Replay is monotonic by sequence number: a duplicate record
-        // (an appended-but-unacked batch whose retry landed in a later
-        // log segment) is applied once, never twice.
-        if entry.seq <= *last_seq {
-            return Ok(());
+    // Image-first: a valid `store.img` replaces both the deterministic
+    // bulk rebuild *and* the history replay up to its sequence number —
+    // everything at or before `image_seq` dedupes away below, so
+    // recovery cost is image size + WAL tail, flat in history length. A
+    // present-but-corrupt image is a hard refusal (never a silent
+    // fallback); an absent one takes the classic full-replay path.
+    let mut store = match crate::image::load_image(dir, scale, config.seed)? {
+        Some((store, header)) => {
+            let parts = options.partitions.max(1);
+            if header.partitions != parts {
+                return Err(SnbError::Config(format!(
+                    "store image was written for {} partition(s), directory opened with {parts}",
+                    header.partitions
+                )));
+            }
+            report.image_seq = header.seq;
+            report.last_seq = header.seq;
+            report.epoch = header.epoch;
+            report.image_us = recovery_started.elapsed().as_micros() as u64;
+            store
         }
-        match &entry.ops {
-            WriteOps::Updates(events) => {
-                for ev in events {
-                    store.apply_event(ev, &world)?;
+        None => snb_store::bulk_store_and_stream(config).0,
+    };
+
+    let apply =
+        |store: &mut Store, entry: &WalEntry, last_seq: &mut u64, applied: &mut u64| -> SnbResult<()> {
+            // Replay is monotonic by sequence number: a duplicate record
+            // (an appended-but-unacked batch whose retry landed in a later
+            // log segment) is applied once, never twice. Records already
+            // covered by the store image dedupe away the same way.
+            if entry.seq <= *last_seq {
+                return Ok(());
+            }
+            match &entry.ops {
+                WriteOps::Updates(events) => {
+                    for ev in events {
+                        store.apply_event(ev, &world)?;
+                    }
+                }
+                WriteOps::Deletes(dels) => {
+                    store.apply_deletes(dels)?;
                 }
             }
-            WriteOps::Deletes(dels) => {
-                store.apply_deletes(dels)?;
-            }
-        }
-        *last_seq = entry.seq;
-        Ok(())
-    };
+            *last_seq = entry.seq;
+            *applied += 1;
+            Ok(())
+        };
 
     let snap_path = dir.join(SNAP_FILE);
     if snap_path.exists() {
@@ -889,7 +997,7 @@ pub fn recover(
             return Err(parse_err(&ctx, "snapshot has a torn record (atomic write violated)"));
         }
         for entry in &entries {
-            apply(&mut store, entry, &mut report.last_seq)?;
+            apply(&mut store, entry, &mut report.last_seq, &mut report.tail_replayed)?;
         }
         report.snapshot_entries = entries.len() as u64;
     }
@@ -958,7 +1066,7 @@ pub fn recover(
 
     let mut seg_live = vec![0u64; parts];
     for (p, _, entry) in &located {
-        apply(&mut store, entry, &mut report.last_seq)?;
+        apply(&mut store, entry, &mut report.last_seq, &mut report.tail_replayed)?;
         seg_live[*p] += 1;
     }
     report.wal_entries = located.len() as u64;

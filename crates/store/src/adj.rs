@@ -123,6 +123,34 @@ impl<P: Copy> Adj<P> {
         self.overflow_len += 1;
     }
 
+    /// Whether any edges live in the insert overflow (i.e. the CSR
+    /// arrays alone do not describe the full adjacency).
+    pub fn has_overflow(&self) -> bool {
+        self.overflow_len > 0
+    }
+
+    /// The raw CSR arrays `(offsets, targets, payloads)` — what the
+    /// on-disk store image serialises. Callers must [`Adj::compact`]
+    /// first; overflow edges are not visible through these slices.
+    ///
+    /// # Panics
+    /// If overflow edges exist.
+    pub fn csr_parts(&self) -> (&[u32], &[u32], &[P]) {
+        assert!(self.overflow.is_empty(), "csr_parts on an adjacency with overflow; compact first");
+        (&self.offsets, &self.targets, &self.payloads)
+    }
+
+    /// Rebuilds an adjacency from raw CSR arrays (the store-image load
+    /// path). `offsets` must be monotonic with `offsets[0] == 0` and
+    /// `targets`/`payloads` must both match its final value.
+    pub fn from_csr_parts(offsets: Vec<u32>, targets: Vec<u32>, payloads: Vec<P>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotonic");
+        assert_eq!(*offsets.last().expect("non-empty") as usize, targets.len());
+        assert_eq!(targets.len(), payloads.len());
+        Adj { offsets, targets, payloads, overflow: FxHashMap::default(), overflow_len: 0 }
+    }
+
     /// Ensures at least `n` source vertices exist (for vertex inserts
     /// that start with zero edges).
     pub fn grow_sources(&mut self, n: usize) {

@@ -26,18 +26,16 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
         let ix = s.persons.len() as Ix;
         s.person_ix.insert(p.id.0, ix);
         s.persons.id.push(p.id.0);
-        s.persons.first_name.push(p.first_name.clone());
-        s.persons.last_name.push(p.last_name.clone());
+        s.persons.first_name.push(p.first_name);
+        s.persons.last_name.push(p.last_name);
         s.persons.gender.push(p.gender);
         s.persons.birthday.push(p.birthday);
         s.persons.creation_date.push(p.creation_date);
-        s.persons.location_ip.push(p.location_ip.clone());
-        s.persons.browser.push(BROWSERS[p.browser as usize].0.to_string());
+        s.persons.location_ip.push(&p.location_ip);
+        s.persons.browser.push(BROWSERS[p.browser as usize].0);
         s.persons.city.push(s.place_ix[&p.city.0]);
-        s.persons.emails.push(p.emails.clone());
-        s.persons
-            .speaks
-            .push(p.languages.iter().map(|&l| world.languages[l as usize].to_string()).collect());
+        s.persons.emails.push_row(&p.emails);
+        s.persons.speaks.push_row(p.languages.iter().map(|&l| world.languages[l as usize]));
     }
     let np = s.persons.len();
 
@@ -86,7 +84,7 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
         let ix = s.forums.len() as Ix;
         s.forum_ix.insert(f.id.0, ix);
         s.forums.id.push(f.id.0);
-        s.forums.title.push(f.title.clone());
+        s.forums.title.push(&f.title);
         s.forums.creation_date.push(f.creation_date);
         s.forums.moderator.push(moderator);
         for t in &f.tags {
@@ -124,14 +122,12 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
         s.messages.creation_date.push(m.creation_date);
         s.messages.creator.push(s.person_ix[&m.creator.0]);
         s.messages.country.push(s.place_ix[&m.country.0]);
-        s.messages.browser.push(BROWSERS[m.browser as usize].0.to_string());
-        s.messages.location_ip.push(m.location_ip.clone());
-        s.messages.content.push(m.content.clone());
+        s.messages.browser.push(BROWSERS[m.browser as usize].0);
+        s.messages.location_ip.push(&m.location_ip);
+        s.messages.content.push(&m.content);
         s.messages.length.push(m.length);
-        s.messages.image_file.push(m.image_file.clone().unwrap_or_default());
-        s.messages
-            .language
-            .push(m.language.map(|l| world.languages[l as usize].to_string()).unwrap_or_default());
+        s.messages.image_file.push(m.image_file.as_deref().unwrap_or_default());
+        s.messages.language.push(m.language.map(|l| world.languages[l as usize]).unwrap_or_default());
         s.messages.forum.push(match m.forum {
             Some(f) => s.forum_ix[&f.0],
             None => NONE,
@@ -182,12 +178,13 @@ pub fn build_store(graph: &RawGraph, world: &StaticWorld, cut: Option<DateTime>)
     *s.message_likes = Adj::from_edges(nm, &rev);
 
     s.rebuild_date_index();
+    s.shrink_columns();
     s
 }
 
 /// Loads the static part of the schema (places, tags, tag classes,
 /// organisations) from the dictionary world.
-fn load_static(s: &mut Store, world: &StaticWorld) {
+pub(crate) fn load_static(s: &mut Store, world: &StaticWorld) {
     // Places: ids are the StaticWorld's dense layout (continents,
     // countries, cities).
     let continents = world.continent_place.len();
@@ -196,7 +193,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
         let ix = pid as Ix;
         s.place_ix.insert(pid as u64, ix);
         s.places.id.push(pid as u64);
-        s.places.name.push(name.clone());
+        s.places.name.push(name);
         let kind = if pid < continents {
             PlaceKind::Continent
         } else if pid < continents + countries {
@@ -234,7 +231,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
         let ix = ci as Ix;
         s.tag_class_ix.insert(ci as u64, ix);
         s.tag_classes.id.push(ci as u64);
-        s.tag_classes.name.push(name.to_string());
+        s.tag_classes.name.push(name);
         s.tag_classes.parent.push(if ci == 0 { NONE } else { parent as Ix });
         s.tag_class_by_name.insert(name.to_string(), ix);
     }
@@ -252,7 +249,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
         let ix = ti as Ix;
         s.tag_ix.insert(ti as u64, ix);
         s.tags.id.push(ti as u64);
-        s.tags.name.push(name.to_string());
+        s.tags.name.push(name);
         s.tags.class.push(class as Ix);
         s.tag_by_name.insert(name.to_string(), ix);
         class_tag_edges.push((class as Ix, ix, ()));
@@ -265,7 +262,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
         let ix = s.organisations.len() as Ix;
         s.org_ix.insert(ui as u64, ix);
         s.organisations.id.push(ui as u64);
-        s.organisations.name.push(u.name.clone());
+        s.organisations.name.push(&u.name);
         s.organisations.kind.push(OrganisationKind::University);
         s.organisations.place.push(u.city.0 as Ix);
     }
@@ -274,7 +271,7 @@ fn load_static(s: &mut Store, world: &StaticWorld) {
         let ix = s.organisations.len() as Ix;
         s.org_ix.insert(base + ci as u64, ix);
         s.organisations.id.push(base + ci as u64);
-        s.organisations.name.push(name.clone());
+        s.organisations.name.push(name);
         s.organisations.kind.push(OrganisationKind::Company);
         s.organisations.place.push(world.country_place[*country].0 as Ix);
     }

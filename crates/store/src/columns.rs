@@ -4,9 +4,19 @@
 //! raw 64-bit ids are kept in an `id` column and a hash index maps them
 //! back (id→index lookups use `FxHashMap`, per the perf guidance for
 //! integer keys). `NONE` marks absent optional references.
+//!
+//! String-valued attributes no longer store `Vec<String>`: dictionary
+//! values (names, browsers, languages) live in [`SymCol`] columns of
+//! 4-byte symbols into the global [`interner`](crate::intern::interner),
+//! and high-cardinality values (content, IPs, emails) live in
+//! [`PackCol`]/[`PackListCol`] byte arenas. Both index as `&str`, so
+//! `cols.first_name[i]` reads exactly as it did — only `.clone()`
+//! became `.to_string()` at the call sites that need ownership.
 
 use snb_core::datetime::{Date, DateTime};
 use snb_core::model::{Gender, MessageKind, OrganisationKind, PlaceKind};
+
+use crate::intern::{PackCol, PackListCol, SymCol, SymListCol};
 
 /// Dense entity index.
 pub type Ix = u32;
@@ -19,26 +29,26 @@ pub const NONE: Ix = u32::MAX;
 pub struct PersonCols {
     /// Raw ids.
     pub id: Vec<u64>,
-    /// First names.
-    pub first_name: Vec<String>,
-    /// Surnames.
-    pub last_name: Vec<String>,
+    /// First names (interned — drawn from the name dictionaries).
+    pub first_name: SymCol,
+    /// Surnames (interned).
+    pub last_name: SymCol,
     /// Genders.
     pub gender: Vec<Gender>,
     /// Birthdays.
     pub birthday: Vec<Date>,
     /// Join dates.
     pub creation_date: Vec<DateTime>,
-    /// Registration IPs.
-    pub location_ip: Vec<String>,
-    /// Browser names (resolved strings, returned verbatim by queries).
-    pub browser: Vec<String>,
+    /// Registration IPs (packed — high cardinality).
+    pub location_ip: PackCol,
+    /// Browser names (interned — tiny dictionary).
+    pub browser: SymCol,
     /// Home city (place index).
     pub city: Vec<Ix>,
-    /// Email addresses (multi-valued).
-    pub emails: Vec<Vec<String>>,
-    /// Spoken languages (multi-valued).
-    pub speaks: Vec<Vec<String>>,
+    /// Email addresses (multi-valued, packed — unique per person).
+    pub emails: PackListCol,
+    /// Spoken languages (multi-valued, interned).
+    pub speaks: SymListCol,
 }
 
 impl PersonCols {
@@ -51,6 +61,39 @@ impl PersonCols {
     pub fn is_empty(&self) -> bool {
         self.id.is_empty()
     }
+
+    /// `(packed, string_baseline)` heap bytes of the string columns.
+    pub fn string_bytes(&self) -> (usize, usize) {
+        (
+            self.first_name.heap_bytes()
+                + self.last_name.heap_bytes()
+                + self.location_ip.heap_bytes()
+                + self.browser.heap_bytes()
+                + self.emails.heap_bytes()
+                + self.speaks.heap_bytes(),
+            self.first_name.string_baseline_bytes()
+                + self.last_name.string_baseline_bytes()
+                + self.location_ip.string_baseline_bytes()
+                + self.browser.string_baseline_bytes()
+                + self.emails.string_baseline_bytes()
+                + self.speaks.string_baseline_bytes(),
+        )
+    }
+
+    /// Releases push-growth slack after an append-once bulk build.
+    pub fn shrink_to_fit(&mut self) {
+        self.id.shrink_to_fit();
+        self.first_name.shrink_to_fit();
+        self.last_name.shrink_to_fit();
+        self.gender.shrink_to_fit();
+        self.birthday.shrink_to_fit();
+        self.creation_date.shrink_to_fit();
+        self.location_ip.shrink_to_fit();
+        self.browser.shrink_to_fit();
+        self.city.shrink_to_fit();
+        self.emails.shrink_to_fit();
+        self.speaks.shrink_to_fit();
+    }
 }
 
 /// Forum columns (spec Table 2.2 + moderator).
@@ -58,8 +101,9 @@ impl PersonCols {
 pub struct ForumCols {
     /// Raw ids.
     pub id: Vec<u64>,
-    /// Titles ("Wall of …" / "Album …" / "Group for …").
-    pub title: Vec<String>,
+    /// Titles ("Wall of …" / "Album …" / "Group for …") — packed,
+    /// unique per forum.
+    pub title: PackCol,
     /// Creation timestamps.
     pub creation_date: Vec<DateTime>,
     /// Moderator (person index).
@@ -75,6 +119,19 @@ impl ForumCols {
     /// True when no forums are loaded.
     pub fn is_empty(&self) -> bool {
         self.id.is_empty()
+    }
+
+    /// `(packed, string_baseline)` heap bytes of the string columns.
+    pub fn string_bytes(&self) -> (usize, usize) {
+        (self.title.heap_bytes(), self.title.string_baseline_bytes())
+    }
+
+    /// Releases push-growth slack after an append-once bulk build.
+    pub fn shrink_to_fit(&mut self) {
+        self.id.shrink_to_fit();
+        self.title.shrink_to_fit();
+        self.creation_date.shrink_to_fit();
+        self.moderator.shrink_to_fit();
     }
 }
 
@@ -92,18 +149,18 @@ pub struct MessageCols {
     pub creator: Vec<Ix>,
     /// Country the message was issued from (place index).
     pub country: Vec<Ix>,
-    /// Browser names.
-    pub browser: Vec<String>,
-    /// Origin IPs.
-    pub location_ip: Vec<String>,
-    /// Content (empty iff image post).
-    pub content: Vec<String>,
+    /// Browser names (interned).
+    pub browser: SymCol,
+    /// Origin IPs (packed).
+    pub location_ip: PackCol,
+    /// Content (empty iff image post) — packed.
+    pub content: PackCol,
     /// Content length.
     pub length: Vec<u32>,
-    /// Image file name (empty string when absent).
-    pub image_file: Vec<String>,
-    /// Language (Posts; empty string when absent).
-    pub language: Vec<String>,
+    /// Image file name (empty string when absent) — packed.
+    pub image_file: PackCol,
+    /// Language (Posts; empty string when absent) — interned.
+    pub language: SymCol,
     /// Containing forum (Posts; `NONE` for comments).
     pub forum: Vec<Ix>,
     /// Replied-to message (Comments; `NONE` for posts).
@@ -127,6 +184,40 @@ impl MessageCols {
     pub fn is_post(&self, m: Ix) -> bool {
         self.kind[m as usize] == MessageKind::Post
     }
+
+    /// `(packed, string_baseline)` heap bytes of the string columns.
+    pub fn string_bytes(&self) -> (usize, usize) {
+        (
+            self.browser.heap_bytes()
+                + self.location_ip.heap_bytes()
+                + self.content.heap_bytes()
+                + self.image_file.heap_bytes()
+                + self.language.heap_bytes(),
+            self.browser.string_baseline_bytes()
+                + self.location_ip.string_baseline_bytes()
+                + self.content.string_baseline_bytes()
+                + self.image_file.string_baseline_bytes()
+                + self.language.string_baseline_bytes(),
+        )
+    }
+
+    /// Releases push-growth slack after an append-once bulk build.
+    pub fn shrink_to_fit(&mut self) {
+        self.id.shrink_to_fit();
+        self.kind.shrink_to_fit();
+        self.creation_date.shrink_to_fit();
+        self.creator.shrink_to_fit();
+        self.country.shrink_to_fit();
+        self.browser.shrink_to_fit();
+        self.location_ip.shrink_to_fit();
+        self.content.shrink_to_fit();
+        self.length.shrink_to_fit();
+        self.image_file.shrink_to_fit();
+        self.language.shrink_to_fit();
+        self.forum.shrink_to_fit();
+        self.reply_of.shrink_to_fit();
+        self.root_post.shrink_to_fit();
+    }
 }
 
 /// Place columns.
@@ -134,8 +225,8 @@ impl MessageCols {
 pub struct PlaceCols {
     /// Raw ids.
     pub id: Vec<u64>,
-    /// Names.
-    pub name: Vec<String>,
+    /// Names (interned).
+    pub name: SymCol,
     /// City / country / continent.
     pub kind: Vec<PlaceKind>,
     /// `isPartOf` parent (`NONE` for continents).
@@ -159,8 +250,8 @@ impl PlaceCols {
 pub struct TagCols {
     /// Raw ids.
     pub id: Vec<u64>,
-    /// Names.
-    pub name: Vec<String>,
+    /// Names (interned).
+    pub name: SymCol,
     /// `hasType` tag class (index).
     pub class: Vec<Ix>,
 }
@@ -182,8 +273,8 @@ impl TagCols {
 pub struct TagClassCols {
     /// Raw ids.
     pub id: Vec<u64>,
-    /// Names.
-    pub name: Vec<String>,
+    /// Names (interned).
+    pub name: SymCol,
     /// `isSubclassOf` parent (`NONE` for the root).
     pub parent: Vec<Ix>,
 }
@@ -205,8 +296,8 @@ impl TagClassCols {
 pub struct OrganisationCols {
     /// Raw ids.
     pub id: Vec<u64>,
-    /// Names.
-    pub name: Vec<String>,
+    /// Names (interned).
+    pub name: SymCol,
     /// University or company.
     pub kind: Vec<OrganisationKind>,
     /// Location (city for universities, country for companies).
@@ -244,5 +335,22 @@ mod tests {
         assert!(m.is_post(0));
         assert!(!m.is_post(1));
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn string_columns_index_as_str() {
+        let mut p = PersonCols::default();
+        p.id.push(7);
+        p.first_name.push("Ada");
+        p.last_name.push("Lovelace");
+        p.location_ip.push("10.0.0.1");
+        p.browser.push("Firefox");
+        p.emails.push_row(["ada@example.org"]);
+        p.speaks.push_row(["en"]);
+        assert_eq!(&p.first_name[0], "Ada");
+        assert_eq!(&p.location_ip[0], "10.0.0.1");
+        assert_eq!(p.emails.row_vec(0), vec!["ada@example.org"]);
+        let (packed, baseline) = p.string_bytes();
+        assert!(packed > 0 && baseline > packed);
     }
 }

@@ -184,21 +184,21 @@ impl Store {
         // --- person columns ---
         let keep_p = |i: usize| person_map[i] != NONE;
         filter_in_place(&mut self.persons.id, keep_p);
-        filter_in_place(&mut self.persons.first_name, keep_p);
-        filter_in_place(&mut self.persons.last_name, keep_p);
+        self.persons.first_name.filter_in_place(keep_p);
+        self.persons.last_name.filter_in_place(keep_p);
         filter_in_place(&mut self.persons.gender, keep_p);
         filter_in_place(&mut self.persons.birthday, keep_p);
         filter_in_place(&mut self.persons.creation_date, keep_p);
-        filter_in_place(&mut self.persons.location_ip, keep_p);
-        filter_in_place(&mut self.persons.browser, keep_p);
+        self.persons.location_ip.filter_in_place(keep_p);
+        self.persons.browser.filter_in_place(keep_p);
         filter_in_place(&mut self.persons.city, keep_p);
-        filter_in_place(&mut self.persons.emails, keep_p);
-        filter_in_place(&mut self.persons.speaks, keep_p);
+        self.persons.emails.filter_in_place(keep_p);
+        self.persons.speaks.filter_in_place(keep_p);
 
         // --- forum columns ---
         let keep_f = |i: usize| forum_map[i] != NONE;
         filter_in_place(&mut self.forums.id, keep_f);
-        filter_in_place(&mut self.forums.title, keep_f);
+        self.forums.title.filter_in_place(keep_f);
         filter_in_place(&mut self.forums.creation_date, keep_f);
         filter_in_place(&mut self.forums.moderator, keep_f);
         for m in &mut self.forums.moderator {
@@ -212,12 +212,12 @@ impl Store {
         filter_in_place(&mut self.messages.creation_date, keep_m);
         filter_in_place(&mut self.messages.creator, keep_m);
         filter_in_place(&mut self.messages.country, keep_m);
-        filter_in_place(&mut self.messages.browser, keep_m);
-        filter_in_place(&mut self.messages.location_ip, keep_m);
-        filter_in_place(&mut self.messages.content, keep_m);
+        self.messages.browser.filter_in_place(keep_m);
+        self.messages.location_ip.filter_in_place(keep_m);
+        self.messages.content.filter_in_place(keep_m);
         filter_in_place(&mut self.messages.length, keep_m);
-        filter_in_place(&mut self.messages.image_file, keep_m);
-        filter_in_place(&mut self.messages.language, keep_m);
+        self.messages.image_file.filter_in_place(keep_m);
+        self.messages.language.filter_in_place(keep_m);
         filter_in_place(&mut self.messages.forum, keep_m);
         filter_in_place(&mut self.messages.reply_of, keep_m);
         filter_in_place(&mut self.messages.root_post, keep_m);
@@ -569,7 +569,7 @@ mod tests {
             work_at: vec![],
         })
         .unwrap();
-        assert_eq!(s.persons.first_name[s.person(victim).unwrap() as usize], "Reborn");
+        assert_eq!(&s.persons.first_name[s.person(victim).unwrap() as usize], "Reborn");
         s.validate_invariants().unwrap();
     }
 }

@@ -140,8 +140,8 @@ impl Store {
         self.persons.location_ip.push(p.location_ip);
         self.persons.browser.push(p.browser_used);
         self.persons.city.push(city);
-        self.persons.emails.push(p.emails);
-        self.persons.speaks.push(p.speaks);
+        self.persons.emails.push_row(p.emails);
+        self.persons.speaks.push_row(p.speaks);
 
         let n = self.persons.len();
         self.knows.grow_sources(n);
@@ -368,8 +368,8 @@ impl Store {
             UpdateEvent::AddPerson(p) => {
                 self.insert_person(PersonInsert {
                     id: p.id.0,
-                    first_name: p.first_name.clone(),
-                    last_name: p.last_name.clone(),
+                    first_name: p.first_name.to_string(),
+                    last_name: p.last_name.to_string(),
                     gender: p.gender,
                     birthday: p.birthday,
                     creation_date: p.creation_date,

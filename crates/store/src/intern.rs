@@ -1,0 +1,717 @@
+//! String interning and packed string columns.
+//!
+//! At the scale factors the SNB spec targets (arXiv 2001.02299: SF1 is
+//! ~10k persons and ~3.5M messages, the ladder goes up from there) the
+//! store's ~16 `String`-typed columns dominate memory: every row pays a
+//! 24-byte `String` header plus a separate heap allocation, even though
+//! most values come from tiny dictionaries (names, browsers, languages)
+//! or are immutable once loaded (IPs, content). This module replaces
+//! them with two representations:
+//!
+//! * [`SymCol`] — a `Vec<u32>` of symbols into the process-global
+//!   [`StrInterner`]. Identical strings share one symbol across every
+//!   column and every partition, so a dictionary value costs 4 bytes
+//!   per row no matter how often it repeats.
+//! * [`PackCol`] — a byte arena plus `u32` offsets for high-cardinality
+//!   columns (message content, IPs) where interning would only bloat
+//!   the dictionary: 4 bytes per row of overhead instead of 24+.
+//!
+//! Both index as `&str` (`col[i]`), so query plans compile against them
+//! exactly as they did against `Vec<String>`. Multi-valued columns get
+//! the same treatment via [`SymListCol`] / [`PackListCol`].
+//!
+//! Trade-offs, stated honestly: the interner is append-only and leaks
+//! its dictionary for the process lifetime (symbols must stay valid in
+//! every published copy-on-write store version, and the SNB dictionary
+//! space is bounded); a `PackCol` arena is capped at 4 GiB per column
+//! by its `u32` offsets (one column of one entity type — far beyond
+//! what a single in-memory partition holds).
+
+use std::ops::Index;
+use std::sync::{Mutex, OnceLock, RwLock};
+
+use rustc_hash::FxHashMap;
+
+/// A symbol: an index into the global interner's dictionary.
+pub type Sym = u32;
+
+/// The process-global append-only string dictionary.
+///
+/// `intern` is O(1) amortised under a mutex (write path only: bulk
+/// load, inserts); `resolve` takes a read lock and returns the
+/// `&'static str` leaked at intern time, so readers never contend with
+/// each other and the returned reference outlives every store version.
+pub struct StrInterner {
+    map: Mutex<FxHashMap<&'static str, Sym>>,
+    strings: RwLock<Vec<&'static str>>,
+}
+
+impl StrInterner {
+    fn new() -> StrInterner {
+        let interner =
+            StrInterner { map: Mutex::new(FxHashMap::default()), strings: RwLock::new(Vec::new()) };
+        // Symbol 0 is always the empty string: `Default`-constructed
+        // rows and "absent" optional attributes resolve without ever
+        // touching the map.
+        assert_eq!(interner.intern(""), 0);
+        interner
+    }
+
+    /// Interns `s`, returning its symbol. Identical strings — from any
+    /// column, partition, or thread — always yield the same symbol.
+    pub fn intern(&self, s: &str) -> Sym {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&sym) = map.get(s) {
+            return sym;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let mut strings = self.strings.write().unwrap_or_else(|e| e.into_inner());
+        let sym = u32::try_from(strings.len()).expect("interner dictionary overflow");
+        strings.push(leaked);
+        map.insert(leaked, sym);
+        sym
+    }
+
+    /// Resolves a symbol back to its string. Panics on a symbol that
+    /// was never handed out (a corrupted column, not a user error).
+    pub fn resolve(&self, sym: Sym) -> &'static str {
+        self.strings.read().unwrap_or_else(|e| e.into_inner())[sym as usize]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when only the empty string is interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Bytes held by the dictionary itself (leaked strings + index).
+    pub fn dictionary_bytes(&self) -> usize {
+        let strings = self.strings.read().unwrap_or_else(|e| e.into_inner());
+        strings.iter().map(|s| s.len()).sum::<usize>()
+            + strings.capacity() * std::mem::size_of::<&'static str>()
+    }
+}
+
+/// The global interner (one dictionary per process, shared by every
+/// store version and partition).
+pub fn interner() -> &'static StrInterner {
+    static INTERNER: OnceLock<StrInterner> = OnceLock::new();
+    INTERNER.get_or_init(StrInterner::new)
+}
+
+/// Estimated heap footprint of a `Vec<String>` holding the same rows —
+/// the String-column baseline the loading benchmark compares against:
+/// 24 bytes of header per row (inline in the vec) plus each string's
+/// own allocation.
+fn string_baseline(rows: usize, content_bytes: usize) -> usize {
+    rows * std::mem::size_of::<String>() + content_bytes
+}
+
+/// An interned string column: one `u32` symbol per row.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymCol {
+    syms: Vec<Sym>,
+}
+
+impl SymCol {
+    /// Appends a row, interning the value.
+    pub fn push(&mut self, s: impl AsRef<str>) {
+        self.syms.push(interner().intern(s.as_ref()));
+    }
+
+    /// Appends an already-interned symbol (datagen hands these out so
+    /// the hot path skips the dictionary lookup entirely).
+    pub fn push_sym(&mut self, sym: Sym) {
+        self.syms.push(sym);
+    }
+
+    /// The symbol at row `i`.
+    pub fn sym(&self, i: usize) -> Sym {
+        self.syms[i]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Iterates the resolved values in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.syms.iter().map(|&s| interner().resolve(s))
+    }
+
+    /// The raw symbol slice (image serialization).
+    pub fn syms(&self) -> &[Sym] {
+        &self.syms
+    }
+
+    /// Keeps only rows whose index passes `keep` (delete rebuilds).
+    pub fn filter_in_place(&mut self, keep: impl Fn(usize) -> bool) {
+        let mut i = 0;
+        self.syms.retain(|_| {
+            let k = keep(i);
+            i += 1;
+            k
+        });
+    }
+
+    /// Releases push-growth slack after an append-once bulk build.
+    pub fn shrink_to_fit(&mut self) {
+        self.syms.shrink_to_fit();
+    }
+
+    /// Heap bytes held by this column (the shared dictionary is global
+    /// and counted once, not per column).
+    pub fn heap_bytes(&self) -> usize {
+        self.syms.capacity() * std::mem::size_of::<Sym>()
+    }
+
+    /// Estimated heap bytes of the `Vec<String>` this column replaced.
+    pub fn string_baseline_bytes(&self) -> usize {
+        string_baseline(self.syms.len(), self.iter().map(str::len).sum())
+    }
+}
+
+impl Index<usize> for SymCol {
+    type Output = str;
+    fn index(&self, i: usize) -> &str {
+        interner().resolve(self.syms[i])
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for SymCol {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> SymCol {
+        let mut col = SymCol::default();
+        for s in iter {
+            col.push(s);
+        }
+        col
+    }
+}
+
+/// A packed string column: contiguous byte arena + `u32` end offsets.
+/// For high-cardinality values (content, IPs) where a dictionary would
+/// not deduplicate anything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackCol {
+    bytes: Vec<u8>,
+    /// `ends[i]` is the exclusive end of row `i`; row `i` starts at
+    /// `ends[i-1]` (0 for the first row).
+    ends: Vec<u32>,
+}
+
+impl PackCol {
+    /// Appends a row.
+    pub fn push(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.ends.push(u32::try_from(self.bytes.len()).expect("PackCol arena overflow (4 GiB)"));
+    }
+
+    fn range(&self, i: usize) -> (usize, usize) {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        (start, self.ends[i] as usize)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Iterates the values in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        (0..self.len()).map(|i| &self[i])
+    }
+
+    /// Keeps only rows whose index passes `keep`, rebuilding the arena
+    /// so deleted rows free their bytes.
+    pub fn filter_in_place(&mut self, keep: impl Fn(usize) -> bool) {
+        let mut next = PackCol::default();
+        for i in 0..self.len() {
+            if keep(i) {
+                next.push(&self[i]);
+            }
+        }
+        *self = next;
+    }
+
+    /// Releases push-growth slack after an append-once bulk build.
+    pub fn shrink_to_fit(&mut self) {
+        self.bytes.shrink_to_fit();
+        self.ends.shrink_to_fit();
+    }
+
+    /// Heap bytes held by this column.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.capacity() + self.ends.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Estimated heap bytes of the `Vec<String>` this column replaced.
+    pub fn string_baseline_bytes(&self) -> usize {
+        string_baseline(self.ends.len(), self.bytes.len())
+    }
+}
+
+impl Index<usize> for PackCol {
+    type Output = str;
+    fn index(&self, i: usize) -> &str {
+        let (start, end) = self.range(i);
+        // The arena only ever receives whole `&str` values, so the
+        // slice is valid UTF-8 by construction; the checked conversion
+        // keeps the module unsafe-free.
+        std::str::from_utf8(&self.bytes[start..end]).expect("PackCol arena holds valid UTF-8")
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for PackCol {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> PackCol {
+        let mut col = PackCol::default();
+        for s in iter {
+            col.push(s);
+        }
+        col
+    }
+}
+
+/// A multi-valued interned column (e.g. spoken languages) in CSR
+/// layout: one flat symbol vector plus a `u32` end offset per row.
+/// Costs 4 bytes per value and 4 per row — no per-row `Vec` headers
+/// (24 bytes each) and no per-row growth slack, which at SNB row
+/// counts is the difference between beating the `String` baseline and
+/// losing to it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymListCol {
+    syms: Vec<Sym>,
+    /// `row_ends[i]` is the exclusive end of row `i` in `syms`.
+    row_ends: Vec<u32>,
+}
+
+impl SymListCol {
+    /// Appends a row with the given values.
+    pub fn push_row<S: AsRef<str>>(&mut self, values: impl IntoIterator<Item = S>) {
+        for s in values {
+            self.syms.push(interner().intern(s.as_ref()));
+        }
+        self.row_ends
+            .push(u32::try_from(self.syms.len()).expect("SymListCol overflow (4 G values)"));
+    }
+
+    fn range(&self, i: usize) -> (usize, usize) {
+        let start = if i == 0 { 0 } else { self.row_ends[i - 1] as usize };
+        (start, self.row_ends[i] as usize)
+    }
+
+    /// The values of row `i`, resolved.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = &'static str> + '_ {
+        let (start, end) = self.range(i);
+        self.syms[start..end].iter().map(|&s| interner().resolve(s))
+    }
+
+    /// The values of row `i` as owned strings (query results).
+    pub fn row_vec(&self, i: usize) -> Vec<String> {
+        self.row(i).map(str::to_string).collect()
+    }
+
+    /// Number of values in row `i`.
+    pub fn row_len(&self, i: usize) -> usize {
+        let (start, end) = self.range(i);
+        end - start
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.row_ends.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_ends.is_empty()
+    }
+
+    /// Keeps only rows whose index passes `keep`, rebuilding the flat
+    /// vectors so deleted rows free their values.
+    pub fn filter_in_place(&mut self, keep: impl Fn(usize) -> bool) {
+        let mut next = SymListCol::default();
+        for i in 0..self.len() {
+            if keep(i) {
+                let (start, end) = self.range(i);
+                next.syms.extend_from_slice(&self.syms[start..end]);
+                next.row_ends.push(next.syms.len() as u32);
+            }
+        }
+        *self = next;
+    }
+
+    /// Releases push-growth slack (bulk builds are append-once, so
+    /// capacity beyond `len` is pure waste after load).
+    pub fn shrink_to_fit(&mut self) {
+        self.syms.shrink_to_fit();
+        self.row_ends.shrink_to_fit();
+    }
+
+    /// Heap bytes held by this column.
+    pub fn heap_bytes(&self) -> usize {
+        self.syms.capacity() * std::mem::size_of::<Sym>()
+            + self.row_ends.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Estimated heap bytes of the `Vec<Vec<String>>` this replaced.
+    pub fn string_baseline_bytes(&self) -> usize {
+        self.row_ends.len() * std::mem::size_of::<Vec<String>>()
+            + string_baseline(
+                self.syms.len(),
+                self.syms.iter().map(|&s| interner().resolve(s).len()).sum(),
+            )
+    }
+}
+
+/// A multi-valued packed column (e.g. emails) in CSR layout: all value
+/// bytes in one shared arena, a `u32` end offset per value, and a
+/// `u32` end offset per row — for unique-per-row values where
+/// interning would only grow the global dictionary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackListCol {
+    bytes: Vec<u8>,
+    /// `val_ends[v]` is the exclusive byte end of value `v` in `bytes`.
+    val_ends: Vec<u32>,
+    /// `row_ends[i]` is the exclusive end of row `i` in `val_ends`.
+    row_ends: Vec<u32>,
+}
+
+impl PackListCol {
+    /// Appends a row with the given values.
+    pub fn push_row<S: AsRef<str>>(&mut self, values: impl IntoIterator<Item = S>) {
+        for v in values {
+            self.bytes.extend_from_slice(v.as_ref().as_bytes());
+            self.val_ends
+                .push(u32::try_from(self.bytes.len()).expect("PackListCol arena overflow (4 GiB)"));
+        }
+        self.row_ends
+            .push(u32::try_from(self.val_ends.len()).expect("PackListCol overflow (4 G values)"));
+    }
+
+    fn row_range(&self, i: usize) -> (usize, usize) {
+        let start = if i == 0 { 0 } else { self.row_ends[i - 1] as usize };
+        (start, self.row_ends[i] as usize)
+    }
+
+    /// The values of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = &str> + '_ {
+        let (start, end) = self.row_range(i);
+        (start..end).map(move |v| {
+            let b0 = if v == 0 { 0 } else { self.val_ends[v - 1] as usize };
+            let b1 = self.val_ends[v] as usize;
+            std::str::from_utf8(&self.bytes[b0..b1]).expect("PackListCol arena holds valid UTF-8")
+        })
+    }
+
+    /// The values of row `i` as owned strings (query results).
+    pub fn row_vec(&self, i: usize) -> Vec<String> {
+        self.row(i).map(str::to_string).collect()
+    }
+
+    /// Number of values in row `i`.
+    pub fn row_len(&self, i: usize) -> usize {
+        let (start, end) = self.row_range(i);
+        end - start
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.row_ends.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_ends.is_empty()
+    }
+
+    /// Keeps only rows whose index passes `keep`, rebuilding the arena.
+    pub fn filter_in_place(&mut self, keep: impl Fn(usize) -> bool) {
+        let mut next = PackListCol::default();
+        for i in 0..self.len() {
+            if keep(i) {
+                next.push_row(self.row(i));
+            }
+        }
+        *self = next;
+    }
+
+    /// Releases push-growth slack after an append-once bulk build.
+    pub fn shrink_to_fit(&mut self) {
+        self.bytes.shrink_to_fit();
+        self.val_ends.shrink_to_fit();
+        self.row_ends.shrink_to_fit();
+    }
+
+    /// Heap bytes held by this column.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.capacity()
+            + self.val_ends.capacity() * std::mem::size_of::<u32>()
+            + self.row_ends.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Estimated heap bytes of the `Vec<Vec<String>>` this replaced.
+    pub fn string_baseline_bytes(&self) -> usize {
+        self.row_ends.len() * std::mem::size_of::<Vec<String>>()
+            + string_baseline(self.val_ends.len(), self.bytes.len())
+    }
+}
+
+/// Zigzag-encodes a signed delta for varint packing.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`. `None` on truncation.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Delta+varint packs a sequence of `i64` values (sorted id and date
+/// columns delta-encode to ~1–2 bytes per row; unsorted ones still
+/// round-trip, just with larger deltas).
+pub fn pack_deltas(values: impl IntoIterator<Item = i64>, out: &mut Vec<u8>) -> usize {
+    let mut prev = 0i64;
+    let mut n = 0usize;
+    for v in values {
+        put_varint(out, zigzag(v.wrapping_sub(prev)));
+        prev = v;
+        n += 1;
+    }
+    n
+}
+
+/// Unpacks `n` delta+varint values. `None` on truncation.
+pub fn unpack_deltas(buf: &[u8], pos: &mut usize, n: usize) -> Option<Vec<i64>> {
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev = prev.wrapping_add(unzigzag(get_varint(buf, pos)?));
+        out.push(prev);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_resolve_is_identity_and_dedupes() {
+        let it = interner();
+        let a = it.intern("Hermione");
+        let b = it.intern("Hermione");
+        assert_eq!(a, b, "identical strings must share one symbol");
+        assert_eq!(it.resolve(a), "Hermione");
+        assert_ne!(it.intern("Harry"), a);
+        assert_eq!(it.intern(""), 0, "symbol 0 is the empty string");
+    }
+
+    #[test]
+    fn interner_proptest_round_trip_and_cross_column_dedupe() {
+        // A minimal property test (the workspace's proptest stub has no
+        // shrinking, so the loop is explicit): random strings from a
+        // pseudo-random generator must round-trip intern→resolve, and
+        // the same string interned via two independent columns (the
+        // "two partitions" case) must share one symbol.
+        let mut seed = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut cols = (SymCol::default(), SymCol::default());
+        for i in 0..500 {
+            let s = format!("w{}-{}", next() % 97, i % 13);
+            let sym = interner().intern(&s);
+            assert_eq!(interner().resolve(sym), s, "round-trip failed for {s:?}");
+            cols.0.push(&s);
+            cols.1.push(&s);
+        }
+        for i in 0..cols.0.len() {
+            assert_eq!(
+                cols.0.sym(i),
+                cols.1.sym(i),
+                "identical strings must share a symbol across columns/partitions"
+            );
+            assert_eq!(&cols.0[i], &cols.1[i]);
+        }
+    }
+
+    #[test]
+    fn sym_col_indexes_and_filters() {
+        let mut col = SymCol::default();
+        for s in ["alpha", "beta", "alpha", "gamma"] {
+            col.push(s);
+        }
+        assert_eq!(col.len(), 4);
+        assert_eq!(&col[0], "alpha");
+        assert_eq!(col.sym(0), col.sym(2), "dedupe within a column");
+        col.filter_in_place(|i| i != 1);
+        assert_eq!(col.len(), 3);
+        assert_eq!(&col[1], "alpha");
+        assert_eq!(col.iter().collect::<Vec<_>>(), vec!["alpha", "alpha", "gamma"]);
+    }
+
+    #[test]
+    fn pack_col_round_trips_including_empty_and_unicode() {
+        let mut col = PackCol::default();
+        for s in ["", "hello", "héllo wörld", "", "x"] {
+            col.push(s);
+        }
+        assert_eq!(col.len(), 5);
+        assert_eq!(&col[0], "");
+        assert_eq!(&col[2], "héllo wörld");
+        assert_eq!(&col[4], "x");
+        col.filter_in_place(|i| i % 2 == 0);
+        assert_eq!(col.iter().collect::<Vec<_>>(), vec!["", "héllo wörld", "x"]);
+        assert!(col.heap_bytes() < col.string_baseline_bytes());
+    }
+
+    #[test]
+    fn list_cols_round_trip_rows() {
+        let mut sl = SymListCol::default();
+        sl.push_row(["en", "de"]);
+        sl.push_row(Vec::<String>::new());
+        sl.push_row(["fr"]);
+        assert_eq!(sl.row_vec(0), vec!["en", "de"]);
+        assert_eq!(sl.row_len(1), 0);
+        assert_eq!(sl.row_vec(2), vec!["fr"]);
+        sl.filter_in_place(|i| i != 1);
+        assert_eq!(sl.len(), 2);
+        assert_eq!(sl.row_vec(0), vec!["en", "de"]);
+        assert_eq!(sl.row_vec(1), vec!["fr"]);
+
+        let mut pl = PackListCol::default();
+        pl.push_row(["a@x.org", "b@y.org"]);
+        pl.push_row(Vec::<String>::new());
+        pl.push_row(["c@z.org"]);
+        assert_eq!(pl.row_vec(0), vec!["a@x.org", "b@y.org"]);
+        assert_eq!(pl.row_len(1), 0);
+        assert_eq!(pl.row_vec(2), vec!["c@z.org"]);
+        pl.filter_in_place(|i| i != 0);
+        assert_eq!(pl.len(), 2);
+        assert_eq!(pl.row_len(0), 0);
+        assert_eq!(pl.row_vec(1), vec!["c@z.org"]);
+    }
+
+    #[test]
+    fn list_cols_csr_beats_vec_per_row_baseline() {
+        // The per-person gate depends on the CSR layout: a 24-byte
+        // `Vec` header per row would already exceed the payload for
+        // short lists. Two emails of ~15 bytes per row must cost less
+        // than half the `Vec<Vec<String>>` equivalent.
+        let mut pl = PackListCol::default();
+        let mut sl = SymListCol::default();
+        for i in 0..1_000 {
+            pl.push_row([format!("u{i}@example.org"), format!("u{i}@mail.test")]);
+            sl.push_row(["en", ["de", "fr", "zh"][i % 3]]);
+        }
+        pl.shrink_to_fit();
+        sl.shrink_to_fit();
+        assert!(
+            pl.heap_bytes() * 2 <= pl.string_baseline_bytes(),
+            "packed lists {} vs baseline {}",
+            pl.heap_bytes(),
+            pl.string_baseline_bytes()
+        );
+        assert!(
+            sl.heap_bytes() * 2 <= sl.string_baseline_bytes(),
+            "interned lists {} vs baseline {}",
+            sl.heap_bytes(),
+            sl.string_baseline_bytes()
+        );
+    }
+
+    #[test]
+    fn packed_columns_beat_string_baseline_by_2x() {
+        // The loading gate in miniature: a dictionary-valued column at
+        // realistic cardinality must cost less than half its
+        // `Vec<String>` equivalent.
+        let names = ["Jan", "Maria", "Chen", "Otso", "Ayesha", "Bran"];
+        let mut col = SymCol::default();
+        for i in 0..10_000 {
+            col.push(names[i % names.len()]);
+        }
+        assert!(
+            col.heap_bytes() * 2 <= col.string_baseline_bytes(),
+            "interned {} vs baseline {}",
+            col.heap_bytes(),
+            col.string_baseline_bytes()
+        );
+    }
+
+    #[test]
+    fn varint_and_delta_round_trip() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        // Sorted ids pack to ~1 byte per row; negatives round-trip too.
+        let values: Vec<i64> = (0..1000).map(|i| 1_000_000 + i * 3).collect();
+        let mut packed = Vec::new();
+        let n = pack_deltas(values.iter().copied(), &mut packed);
+        assert_eq!(n, values.len());
+        assert!(packed.len() < values.len() * 2, "sorted deltas must pack tightly");
+        let mut pos = 0;
+        assert_eq!(unpack_deltas(&packed, &mut pos, n).unwrap(), values);
+        let wild = vec![i64::MIN, i64::MAX, 0, -1, 42];
+        packed.clear();
+        pack_deltas(wild.iter().copied(), &mut packed);
+        let mut pos = 0;
+        assert_eq!(unpack_deltas(&packed, &mut pos, wild.len()).unwrap(), wild);
+        // Truncation is detected, not misread.
+        assert_eq!(unpack_deltas(&packed[..packed.len() - 1], &mut 0, wild.len()), None);
+    }
+}

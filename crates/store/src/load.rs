@@ -75,7 +75,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         let ix = s.places.len() as Ix;
         s.place_ix.insert(id, ix);
         s.places.id.push(id);
-        s.places.name.push(f[1].to_string());
+        s.places.name.push(f[1]);
         s.places.kind.push(match f[3] {
             "city" => PlaceKind::City,
             "country" => PlaceKind::Country,
@@ -106,7 +106,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         let ix = s.tag_classes.len() as Ix;
         s.tag_class_ix.insert(id, ix);
         s.tag_classes.id.push(id);
-        s.tag_classes.name.push(f[1].to_string());
+        s.tag_classes.name.push(f[1]);
         s.tag_classes.parent.push(NONE);
         s.tag_class_by_name.insert(f[1].to_string(), ix);
         Ok(())
@@ -131,7 +131,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         let ix = s.tags.len() as Ix;
         s.tag_ix.insert(id, ix);
         s.tags.id.push(id);
-        s.tags.name.push(f[1].to_string());
+        s.tags.name.push(f[1]);
         s.tags.class.push(NONE);
         s.tag_by_name.insert(f[1].to_string(), ix);
         Ok(())
@@ -161,7 +161,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
             "company" => OrganisationKind::Company,
             other => return Err(SnbError::parse("organisation type", other)),
         });
-        s.organisations.name.push(f[2].to_string());
+        s.organisations.name.push(f[2]);
         s.organisations.place.push(NONE);
         Ok(())
     })?;
@@ -178,16 +178,14 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         let ix = s.persons.len() as Ix;
         s.person_ix.insert(id, ix);
         s.persons.id.push(id);
-        s.persons.first_name.push(f[1].to_string());
-        s.persons.last_name.push(f[2].to_string());
+        s.persons.first_name.push(f[1]);
+        s.persons.last_name.push(f[2]);
         s.persons.gender.push(if f[3] == "male" { Gender::Male } else { Gender::Female });
         s.persons.birthday.push(parse_date(f[4])?);
         s.persons.creation_date.push(parse_datetime(f[5])?);
-        s.persons.location_ip.push(f[6].to_string());
-        s.persons.browser.push(f[7].to_string());
+        s.persons.location_ip.push(f[6]);
+        s.persons.browser.push(f[7]);
         s.persons.city.push(NONE);
-        s.persons.emails.push(Vec::new());
-        s.persons.speaks.push(Vec::new());
         Ok(())
     })?;
     let np = s.persons.len();
@@ -196,16 +194,27 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         s.persons.city[p as usize] = s.place_ix[&parse_u64(f[1])?];
         Ok(())
     })?;
+    // Multi-valued person attributes are buffered per person and
+    // pushed as whole rows: the CSR list columns are append-only, and
+    // the association files key rows by person id, not file order.
+    let mut emails: Vec<Vec<String>> = vec![Vec::new(); np];
     read_csv(&dy, "person_email_emailaddress_0_0.csv", |f| {
         let p = s.person_ix[&parse_u64(f[0])?];
-        s.persons.emails[p as usize].push(f[1].to_string());
+        emails[p as usize].push(f[1].to_string());
         Ok(())
     })?;
+    for row in &emails {
+        s.persons.emails.push_row(row);
+    }
+    let mut speaks: Vec<Vec<String>> = vec![Vec::new(); np];
     read_csv(&dy, "person_speaks_language_0_0.csv", |f| {
         let p = s.person_ix[&parse_u64(f[0])?];
-        s.persons.speaks[p as usize].push(f[1].to_string());
+        speaks[p as usize].push(f[1].to_string());
         Ok(())
     })?;
+    for row in &speaks {
+        s.persons.speaks.push_row(row);
+    }
     let mut city_person = Vec::new();
     for (p, &city) in s.persons.city.iter().enumerate() {
         city_person.push((city, p as Ix, ()));
@@ -251,7 +260,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         let ix = s.forums.len() as Ix;
         s.forum_ix.insert(id, ix);
         s.forums.id.push(id);
-        s.forums.title.push(f[1].to_string());
+        s.forums.title.push(f[1]);
         s.forums.creation_date.push(parse_datetime(f[2])?);
         s.forums.moderator.push(NONE);
         Ok(())
@@ -298,12 +307,12 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         s.message_ix.insert(id, ix);
         s.messages.id.push(id);
         s.messages.kind.push(MessageKind::Post);
-        s.messages.image_file.push(f[1].to_string());
+        s.messages.image_file.push(f[1]);
         s.messages.creation_date.push(parse_datetime(f[2])?);
-        s.messages.location_ip.push(f[3].to_string());
-        s.messages.browser.push(f[4].to_string());
-        s.messages.language.push(f[5].to_string());
-        s.messages.content.push(f[6].to_string());
+        s.messages.location_ip.push(f[3]);
+        s.messages.browser.push(f[4]);
+        s.messages.language.push(f[5]);
+        s.messages.content.push(f[6]);
         s.messages.length.push(parse_i32(f[7])? as u32);
         s.messages.creator.push(NONE);
         s.messages.country.push(NONE);
@@ -319,12 +328,12 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
         s.messages.id.push(id);
         s.messages.kind.push(MessageKind::Comment);
         s.messages.creation_date.push(parse_datetime(f[1])?);
-        s.messages.location_ip.push(f[2].to_string());
-        s.messages.browser.push(f[3].to_string());
-        s.messages.content.push(f[4].to_string());
+        s.messages.location_ip.push(f[2]);
+        s.messages.browser.push(f[3]);
+        s.messages.content.push(f[4]);
         s.messages.length.push(parse_i32(f[5])? as u32);
-        s.messages.image_file.push(String::new());
-        s.messages.language.push(String::new());
+        s.messages.image_file.push("");
+        s.messages.language.push("");
         s.messages.creator.push(NONE);
         s.messages.country.push(NONE);
         s.messages.forum.push(NONE);
@@ -426,6 +435,7 @@ pub fn load_csv_basic(root: &Path) -> SnbResult<Store> {
     *s.message_likes = Adj::from_edges(nm, &rev);
 
     s.rebuild_date_index();
+    s.shrink_columns();
     Ok(s)
 }
 

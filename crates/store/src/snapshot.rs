@@ -452,11 +452,18 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut last = 0u64;
                     let mut loads = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
+                    // Check `stop` *after* each load: on a 1-core host
+                    // the writer can finish all 500 publishes before
+                    // this thread is first scheduled, and every reader
+                    // must still observe at least one version.
+                    loop {
                         let v = h.snapshot().version();
                         assert!(v >= last, "version went backwards: {last} -> {v}");
                         last = v;
                         loads += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
                     }
                     loads
                 })

@@ -109,6 +109,16 @@ pub struct Store {
 }
 
 impl Store {
+    /// Releases push-growth slack in the big column groups. Bulk loads
+    /// are append-once, so capacity beyond `len` is pure waste; every
+    /// build path (datagen, streaming, image decode) calls this before
+    /// handing the store out. Runtime inserts re-grow as needed.
+    pub fn shrink_columns(&mut self) {
+        self.persons.shrink_to_fit();
+        self.forums.shrink_to_fit();
+        self.messages.shrink_to_fit();
+    }
+
     /// Resolves a raw person id.
     pub fn person(&self, id: u64) -> SnbResult<Ix> {
         self.person_ix.get(&id).copied().ok_or(SnbError::UnknownId { entity: "Person", id })

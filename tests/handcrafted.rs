@@ -128,7 +128,7 @@ fn bi12_exact_rows() {
 #[test]
 fn bi06_exact_score() {
     let s = fixture();
-    let tag0 = s.tags.name[0].clone();
+    let tag0 = s.tags.name[0].to_string();
     let rows = bi06::run(&s, &bi06::Params { tag: tag0 });
     // Alice's post 100 carries tag 0: 1 message, 1 direct reply, 2 likes
     // → score 1 + 2*1 + 10*2 = 23.
